@@ -1,0 +1,127 @@
+"""Bound ablation: R = 2^(l+2) (this paper) vs R = 2^(l+3) (Blum–Paar [3]).
+
+Section 2's claim: using Walter's optimal bound saves one iteration per
+multiplication (l+2 vs l+3) and removes the extra algorithm step, which
+over a ~1500-multiplication exponentiation is a few percent of cycles
+before any clock-rate advantage.  We regenerate that comparison, plus the
+window-stability probe showing why R cannot shrink below 4N.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.baselines.blum_paar import (
+    BlumPaarModel,
+    blum_paar_exponentiation_cycles,
+    blum_paar_mmm_cycles,
+    blum_paar_montgomery,
+)
+from repro.montgomery.bounds import probe_window_stability
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.timing import exponentiation_cycles_paper, mmm_cycles
+from repro.utils.rng import random_odd_modulus
+
+
+def test_bound_ablation_cycle_counts(benchmark, save_table):
+    rng = random.Random(13)
+    rows = []
+
+    def run():
+        out = []
+        for l in (160, 512, 1024, 2048):
+            e = rng.getrandbits(l) | (1 << (l - 1)) | 1
+            ours_mmm = mmm_cycles(l)
+            theirs_mmm = blum_paar_mmm_cycles(l)
+            ours_exp = exponentiation_cycles_paper(l, e).total
+            theirs_exp = blum_paar_exponentiation_cycles(l, e)
+            out.append((l, ours_mmm, theirs_mmm, ours_exp, theirs_exp))
+        return out
+
+    for l, om, tm, oe, te in benchmark(run):
+        rows.append([l, om, tm, oe, te, round(te / oe, 4)])
+        assert om < tm
+        assert oe < te
+        # The per-multiplication saving is 2 cycles out of ~3l.
+        assert 1.0 < te / oe < 1.05
+    save_table(
+        "ablation_bound_cycles",
+        render_table(
+            ["l", "MMM ours", "MMM B-P", "exp ours", "exp B-P", "B-P/ours"],
+            rows,
+            title="Bound ablation — cycle counts, R=2^(l+2) vs R=2^(l+3)",
+        ),
+    )
+
+
+def test_bound_ablation_wall_clock(benchmark, save_table):
+    """Adding the paper's clock-rate advantage over the B-P cells."""
+    base_tp = 10.0
+    rows = []
+
+    def run():
+        out = []
+        for l in (512, 1024):
+            e = (1 << l) - 1
+            model = BlumPaarModel(l=l)
+            ours_ns = exponentiation_cycles_paper(l, e).total * base_tp
+            theirs_ns = model.exponentiation_time_ns(base_tp, e)
+            out.append((l, ours_ns / 1e6, theirs_ns / 1e6))
+        return out
+
+    for l, ours_ms, theirs_ms in benchmark(run):
+        rows.append([l, round(ours_ms, 2), round(theirs_ms, 2), round(theirs_ms / ours_ms, 2)])
+        assert theirs_ms > ours_ms * 1.2, "clock penalty dominates the comparison"
+    save_table(
+        "ablation_bound_wallclock",
+        render_table(
+            ["l", "ours (ms)", "Blum-Paar model (ms)", "ratio"],
+            rows,
+            title="Bound ablation — modeled wall clock (all-ones exponent)",
+        ),
+    )
+
+
+def test_window_stability_probe(benchmark, save_table):
+    """Empirical Eq. (2): the 2N window is closed for r = l+2 and l+3,
+    open for r = l (known violating operands exist)."""
+    rng = random.Random(17)
+    n = random_odd_modulus(16, rng)
+    ops = [(rng.randrange(2 * n), rng.randrange(2 * n)) for _ in range(400)]
+    ops.append((2 * n - 1, 2 * n - 1))
+
+    def probe_all():
+        return {
+            r_off: probe_window_stability(n, n.bit_length() + r_off, ops)
+            for r_off in (2, 3)
+        }
+
+    probes = benchmark(probe_all)
+    rows = [
+        [f"l+{off}", str(p.closed), p.max_output, 2 * n]
+        for off, p in sorted(probes.items())
+    ]
+    # Known-violating small cases for r = l (from exhaustive search).
+    for n_bad, x, y in [(3, 3, 5), (5, 7, 9), (7, 7, 13)]:
+        bad = probe_window_stability(n_bad, n_bad.bit_length(), [(x, y)])
+        rows.append([f"l (N={n_bad})", str(bad.closed), bad.max_output, 2 * n_bad])
+        assert not bad.closed
+    for p in probes.values():
+        assert p.closed
+    save_table(
+        "ablation_bound_probe",
+        render_table(
+            ["R exponent", "window closed", "max output", "2N"],
+            rows,
+            title="Walter-bound window probe (x,y < 2N; closed iff R >= 4N)",
+        ),
+    )
+
+
+def test_blum_paar_algorithm_correct(benchmark):
+    """Functional sanity of the baseline itself."""
+    rng = random.Random(19)
+    n = random_odd_modulus(64, rng)
+    ctx = MontgomeryContext(n)
+    x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+    t = benchmark(lambda: blum_paar_montgomery(ctx, x, y))
+    assert t % n == (x * y * pow(1 << (ctx.l + 3), -1, n)) % n

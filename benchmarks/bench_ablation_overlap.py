@@ -1,0 +1,86 @@
+"""Extension ablation: overlapped multiplication issue on the array.
+
+The paper's own pre-computation count (5l+10 = two issues at 2(l+2)+1
+plus a drain) implies the array supports pipelined back-to-back
+multiplications, but its measured totals charge a full 3l+4 per
+operation.  The issue model in repro.systolic.pipeline quantifies what
+the overlap is worth for a whole exponentiation: multiplications by the
+standing M·R can stream the previous result into X and start ~l cycles
+early; squarings cannot (they need the result in parallel).
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.systolic.pipeline import (
+    IssuePlanner,
+    exponentiation_cycles_overlapped,
+    issue_interval,
+    precomputation_overlapped,
+)
+from repro.systolic.timing import precomputation_cycles
+
+
+def test_overlap_exponentiation_saving(benchmark, save_table):
+    def sweep():
+        rows = []
+        for l in (160, 512, 1024, 2048):
+            e = random.Random(l).getrandbits(l) | (1 << (l - 1)) | 1
+            ov, nov = exponentiation_cycles_overlapped(l, e)
+            rows.append([l, nov, ov, round((nov - ov) / nov, 4)])
+        return rows
+
+    rows = benchmark(sweep)
+    save_table(
+        "ablation_overlap",
+        render_table(
+            ["l", "serial cycles", "overlapped cycles", "saving"],
+            rows,
+            title="Overlapped issue: streaming the result into the next X",
+        ),
+    )
+    for _, nov, ov, saving in rows:
+        assert ov < nov
+        assert 0.05 <= saving <= 0.20  # ~1/3 of ops save ~1/3 of their cost
+
+
+def test_paper_precomputation_formula_recovered(benchmark, save_table):
+    rows = []
+
+    def check():
+        out = []
+        for l in (32, 128, 1024):
+            out.append(
+                [
+                    l,
+                    precomputation_cycles(l),
+                    precomputation_overlapped(l),
+                    IssuePlanner(l).extend(["independent", "independent"]).total_cycles(),
+                ]
+            )
+        return out
+
+    for l, paper, derived, planner in benchmark(check):
+        rows.append([l, paper, derived, planner])
+        assert paper == derived
+        assert abs(planner - paper) <= 1
+    save_table(
+        "ablation_overlap_pre",
+        render_table(
+            ["l", "paper 5l+10", "issue-model formula", "planner (2 ops)"],
+            rows,
+            title="The paper's pre-computation count is pipelined issue",
+        ),
+    )
+
+
+def test_issue_interval_hierarchy(benchmark):
+    l = 1024
+    vals = benchmark(
+        lambda: (
+            issue_interval(l, "stream_x"),
+            issue_interval(l, "independent"),
+            issue_interval(l, "full_drain"),
+        )
+    )
+    assert vals[0] < vals[1] < vals[2]

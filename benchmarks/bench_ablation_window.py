@@ -1,0 +1,69 @@
+"""Extension ablation: exponent recoding on the paper's multiplier.
+
+The paper uses plain binary square-and-multiply (~1.5 multiplications per
+exponent bit).  Windowed recodings cut the multiply count at the price of
+a precomputed table; with a 3l+4-cycle multiplier the saving is directly
+wall-clock.  This bench sweeps window widths for RSA-size exponents and
+reports total multiplier passes — the design study a user would run
+before taping out the exponentiator's controller.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.montgomery.params import MontgomeryContext
+from repro.montgomery.windowed import (
+    binary_schedule,
+    execute_schedule,
+    mary_schedule,
+    optimal_window,
+    sliding_window_schedule,
+)
+from repro.systolic.timing import mmm_cycles
+
+
+def test_window_sweep(benchmark, save_table):
+    l = 1024
+    e = random.Random(47).getrandbits(l) | (1 << (l - 1)) | 1
+    per = mmm_cycles(l)
+
+    def sweep():
+        rows = []
+        base = binary_schedule(e).total_multiplications
+        rows.append(["binary", 1, base, base * per, 1.0])
+        for w in (2, 3, 4, 5, 6, 7):
+            for name, maker in (("m-ary", mary_schedule), ("sliding", sliding_window_schedule)):
+                s = maker(e, w)
+                t = s.total_multiplications
+                rows.append([name, w, t, t * per, round(t / base, 3)])
+        return rows
+
+    rows = benchmark(sweep)
+    save_table(
+        "ablation_window",
+        render_table(
+            ["method", "w", "multiplier passes", "cycles", "vs binary"],
+            rows,
+            title=f"Exponent recoding sweep (l={l}, random exponent)",
+        ),
+    )
+    base = rows[0][2]
+    best = min(r[2] for r in rows)
+    assert best < base * 0.88, "windowing must save >12% of passes"
+    # The cost model's predicted optimum is competitive.
+    w_star = optimal_window(l)
+    starred = [r[2] for r in rows if r[0] == "sliding" and r[1] == w_star]
+    assert starred and starred[0] <= best * 1.03
+
+
+def test_windowed_execution_correct_at_scale(benchmark):
+    """Functional: a w=5 sliding-window RSA-size exponentiation."""
+    rng = random.Random(53)
+    n = rng.getrandbits(512) | (1 << 511) | 1
+    ctx = MontgomeryContext(n)
+    m = rng.randrange(n)
+    e = rng.getrandbits(512) | (1 << 511) | 1
+    sched = sliding_window_schedule(e, 5)
+
+    result = benchmark(lambda: execute_schedule(ctx, sched, m))
+    assert result == pow(m, e, n)

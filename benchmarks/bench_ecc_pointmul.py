@@ -1,0 +1,98 @@
+"""Section 5 outlook: ECC point multiplication on the paper's multiplier.
+
+"This operation does not require modular exponentiation but modular
+multiplication only, so all required components are available."  We run
+scalar multiplication over GF(p) with every field multiplication routed
+through the Montgomery model, count multiplications exactly, and convert
+to hardware latency via (3l+4) cycles x the Virtex-E Tp — the table an
+ECC companion implementation would report.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.ecc.curves import NIST_P192, NIST_P256
+from repro.ecc.point import AffinePoint
+from repro.ecc.scalarmul import (
+    montgomery_ladder,
+    naf_scalar_multiply,
+    scalar_multiply,
+)
+from repro.fpga.report import implementation_report
+from repro.systolic.timing import mmm_cycles
+
+
+def test_ecc_point_multiplication_latency(benchmark, save_table):
+    rng = random.Random(37)
+    curve = NIST_P192
+    g = AffinePoint.generator(curve)
+    k = rng.getrandbits(192) % curve.order
+
+    rep = benchmark(lambda: scalar_multiply(g, k))
+
+    tp_ns = implementation_report(256).tp_ns  # nearest modeled bit length
+    rows = []
+    for name, ladder in (
+        ("double-and-add", scalar_multiply),
+        ("NAF w=4", naf_scalar_multiply),
+        ("Montgomery ladder", montgomery_ladder),
+    ):
+        r = ladder(g, k)
+        cycles = r.field_multiplications * mmm_cycles(curve.bits)
+        rows.append(
+            [
+                name,
+                r.field_multiplications,
+                r.doubles,
+                r.adds,
+                cycles,
+                round(cycles * tp_ns / 1e6, 3),
+            ]
+        )
+        assert (r.point.x, r.point.y) == (rep.point.x, rep.point.y)
+    save_table(
+        "ecc_pointmul",
+        render_table(
+            ["ladder", "field mults", "doubles", "adds", "multiplier cycles", "est. ms @Tp"],
+            rows,
+            title=f"ECC point multiplication on the systolic multiplier ({curve.name})",
+        ),
+    )
+    # Shape: NAF does fewer adds than binary; the ladder is the dearest
+    # of the three but fully regular.
+    by_name = {r[0]: r for r in rows}
+    assert by_name["NAF w=4"][3] <= by_name["double-and-add"][3]
+    assert by_name["Montgomery ladder"][2] == by_name["Montgomery ladder"][3]
+
+
+def test_ecc_vs_rsa_workload_comparison(benchmark, save_table):
+    """The paper's motivation: ECC reaches RSA-class security with far
+    smaller operands.  P-192 was the c.2003 equivalent of RSA-1024
+    (~80-bit security); compare multiplier work for one private-key op
+    on the same (suitably sized) systolic multiplier."""
+    rng = random.Random(41)
+
+    def ecc_cost():
+        g = AffinePoint.generator(NIST_P192)
+        k = rng.getrandbits(191) | (1 << 190)
+        r = montgomery_ladder(g, k)
+        return r.field_multiplications * mmm_cycles(NIST_P192.bits)
+
+    ecc_cycles = benchmark(ecc_cost)
+    from repro.systolic.timing import average_exponentiation_cycles
+
+    rsa_cycles = average_exponentiation_cycles(1024)
+    rows = [
+        ["ECC P-192 point mult (ladder)", NIST_P192.bits, ecc_cycles],
+        ["RSA-1024 private exponentiation", 1024, round(rsa_cycles)],
+        ["ratio RSA/ECC", "-", round(rsa_cycles / ecc_cycles, 2)],
+    ]
+    save_table(
+        "ecc_vs_rsa",
+        render_table(
+            ["operation", "operand bits", "multiplier cycles"],
+            rows,
+            title="Comparable-security (c. 2003) workloads on the multiplier",
+        ),
+    )
+    assert rsa_cycles > ecc_cycles

@@ -1,0 +1,65 @@
+"""Equation (10) regeneration: exponentiation cycle bounds.
+
+    3l² + 10l + 12  <=  T_mod-exp  <=  6l² + 14l + 12
+
+The lower bound is attained by a single-one exponent, the upper by an
+all-ones exponent; random balanced exponents land near the midpoint
+4.5l² + 12l + 12 (Table 1's "average").  We measure all three on the
+exponentiator with exact RTL cycle accounting and print the comparison.
+The measured numbers carry the two documented accounting deltas (pre/post
+as full multiplications; +1 cycle per multiplication for the corrected
+array), so the assertion uses a small relative tolerance.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.exponentiator import ModularExponentiator
+from repro.systolic.timing import (
+    average_exponentiation_cycles,
+    exponentiation_cycle_bounds,
+)
+from repro.utils.rng import random_odd_modulus
+
+
+def test_eq10_bounds(benchmark, save_table):
+    rng = random.Random(11)
+    rows = []
+
+    def run_all():
+        out = []
+        for l in (16, 32, 64, 128):
+            n = random_odd_modulus(l, rng)
+            ctx = MontgomeryContext(n)
+            exp = ModularExponentiator(ctx, engine="golden")
+            lo, hi = exponentiation_cycle_bounds(l)
+            e_min = 1 << l  # single one-bit, l+1 bits
+            e_max = (1 << (l + 1)) - 1  # all ones
+            e_rand = rng.getrandbits(l + 1) | (1 << l) | 1
+            m = rng.randrange(n)
+            c_min = exp.exponentiate(m, e_min).cycles
+            c_max = exp.exponentiate(m, e_max).cycles
+            c_rnd = exp.exponentiate(m, e_rand).cycles
+            out.append((l, lo, c_min, hi, c_max, c_rnd))
+        return out
+
+    for l, lo, c_min, hi, c_max, c_rnd in benchmark(run_all):
+        avg = average_exponentiation_cycles(l)
+        rows.append([l, lo, c_min, hi, c_max, round(avg), c_rnd])
+        # Shape: measured extremes within 3% of the paper bounds, and
+        # ordered as the bounds demand.
+        assert abs(c_min - lo) / lo < 0.05
+        assert abs(c_max - hi) / hi < 0.05
+        assert c_min < c_rnd < c_max
+        # Random balanced exponent sits between the bounds, near midpoint.
+        assert lo < c_rnd < hi
+    save_table(
+        "eq10",
+        render_table(
+            ["l", "Eq10 lower", "measured min", "Eq10 upper", "measured max",
+             "avg formula", "measured random"],
+            rows,
+            title="Equation (10) — exponentiation cycle bounds vs measurement",
+        ),
+    )

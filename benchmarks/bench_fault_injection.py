@@ -1,0 +1,72 @@
+"""Extension: single-bit fault (SEU) susceptibility of the array.
+
+Two results:
+
+1. per-register-class corruption rates under random single-bit upsets —
+   the dependability table an FPGA deployment (the paper's target) would
+   need;
+2. validation of the shadow-lattice microarchitecture theory: flips into
+   a register's off-parity (shadow) phase must never corrupt the product,
+   flips into the live phase almost always must.  This is the strongest
+   available evidence that the RTL model is the machine we think it is.
+"""
+
+from repro.analysis.fault import FaultSite, campaign_summary, fault_campaign, inject_fault
+from repro.analysis.tables import render_table
+
+L, N, X, Y = 10, 811, 1200, 950
+
+
+def test_fault_campaign_by_register(benchmark, save_table):
+    outs = benchmark(lambda: fault_campaign(L, X, Y, N, samples=400, seed=3))
+    summary = campaign_summary(outs)
+    rows = [
+        [reg, int(v["injections"]), round(v["corruption_rate"], 3)]
+        for reg, v in summary.items()
+    ]
+    save_table(
+        "fault_campaign",
+        render_table(
+            ["register class", "injections", "corruption rate"],
+            rows,
+            title=f"Single-bit upset campaign (l={L}, 400 flips, one multiplication)",
+        ),
+    )
+    assert 0.3 <= summary["ALL"]["corruption_rate"] <= 0.7
+    # The m broadcast is the most sensitive structure (its value fans out
+    # across half the array for two cycles).
+    assert summary["m_pipe"]["corruption_rate"] >= summary["ALL"]["corruption_rate"]
+
+
+def test_shadow_lattice_theory(benchmark, save_table):
+    """0% corruption on shadow-phase flips; 100% on mid-run live flips."""
+
+    def sweep():
+        shadow = live = shadow_n = live_n = 0
+        for j in (2, 3, 4, 5):
+            for tau in range(6, 2 * L):
+                out = inject_fault(
+                    L, X, Y, N, FaultSite(cycle=tau, register="t", index=j)
+                )
+                if tau % 2 == j % 2:
+                    live += out.corrupted
+                    live_n += 1
+                else:
+                    shadow += out.corrupted
+                    shadow_n += 1
+        return shadow, shadow_n, live, live_n
+
+    shadow, shadow_n, live, live_n = benchmark(sweep)
+    save_table(
+        "fault_shadow",
+        render_table(
+            ["flip phase", "corrupted", "injections", "rate"],
+            [
+                ["shadow (off-parity)", shadow, shadow_n, round(shadow / shadow_n, 3)],
+                ["live (on-parity)", live, live_n, round(live / live_n, 3)],
+            ],
+            title="Shadow-lattice prediction: only live-phase flips matter",
+        ),
+    )
+    assert shadow == 0
+    assert live == live_n

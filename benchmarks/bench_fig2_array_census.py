@@ -1,0 +1,103 @@
+"""Figure 2 / Section 4.3 regeneration: complete-array area and schedule.
+
+The paper states the array totals ``(5l-3) XOR + (7l-7) AND + (4l-5) OR``
+gates and ``4l`` flip-flops, with the critical path of one regular cell
+(independent of l).  We census the elaborated array netlist at several l
+and print formula vs measurement; XOR/AND/FF agree to within a few gates,
+the OR column does not (the paper's accounting implies a different
+full-adder carry decomposition — documented in EXPERIMENTS.md).  The
+wavefront occupancy of the ``2i+j`` schedule is reported alongside.
+"""
+
+from repro.analysis.tables import render_table
+from repro.hdl.census import census, paper_array_formula
+from repro.systolic.array_netlist import build_array
+from repro.systolic.schedule import WavefrontSchedule
+
+BITS = (16, 32, 64, 128)
+
+
+def test_fig2_area_formula(benchmark, save_table):
+    results = benchmark(
+        lambda: [(l, census(build_array(l, "paper").circuit)) for l in BITS]
+    )
+    rows = []
+    for l, cen in results:
+        f = paper_array_formula(l)
+        rows.append(
+            [
+                l,
+                f"{f['xor']}/{cen.by_kind.get('xor', 0)}",
+                f"{f['and']}/{cen.by_kind.get('and', 0)}",
+                f"{f['or']}/{cen.by_kind.get('or', 0)}",
+                f"{f['FF']}/{cen.flip_flops}",
+            ]
+        )
+        # XOR, AND and FF columns: within a small constant of the formula.
+        assert abs(cen.by_kind.get("xor", 0) - f["xor"]) <= 4
+        assert abs(cen.by_kind.get("and", 0) - f["and"]) <= 6
+        assert abs(cen.flip_flops - f["FF"]) <= 2
+        # OR column: the documented divergence — ours is ~2l, paper says 4l.
+        assert cen.by_kind.get("or", 0) < f["or"]
+    save_table(
+        "fig2_census",
+        render_table(
+            ["l", "XOR paper/meas", "AND paper/meas", "OR paper/meas", "FF paper/meas"],
+            rows,
+            title="Figure 2 / Section 4.3 — array census (paper formula vs netlist)",
+        ),
+    )
+
+
+def test_fig2_schedule_occupancy(benchmark, save_table):
+    """The 2i+j wavefront: cells work every other cycle (peak ~50%)."""
+    l = 64
+    sched = WavefrontSchedule(l)
+
+    def occupancy_profile():
+        return [sched.occupancy(c) for c in range(sched.datapath_cycles)]
+
+    prof = benchmark(occupancy_profile)
+    peak = max(prof)
+    mean = sum(prof) / len(prof)
+    save_table(
+        "fig2_schedule",
+        render_table(
+            ["metric", "value"],
+            [
+                ["cells", sched.num_cells],
+                ["rows", sched.num_rows],
+                ["datapath cycles (3l+3)", sched.datapath_cycles],
+                ["peak occupancy", round(peak, 3)],
+                ["mean occupancy", round(mean, 3)],
+            ],
+            title="Figure 2 — wavefront schedule occupancy (l=64)",
+        ),
+    )
+    assert 0.45 <= peak <= 0.55
+    # Every digit is computed exactly once.
+    assert sum(len(sched.active_cells(c)) for c in range(sched.datapath_cycles)) == (
+        sched.num_cells * sched.num_rows
+    )
+
+
+def test_fig2_critical_path_independent_of_l(benchmark, save_table):
+    """The paper's headline structural claim, on the mapped netlist."""
+    from repro.fpga.techmap import technology_map
+
+    def depths():
+        return [
+            (l, technology_map(build_array(l, "paper").circuit).lut_depth)
+            for l in BITS
+        ]
+
+    rows = benchmark(depths)
+    save_table(
+        "fig2_depth",
+        render_table(
+            ["l", "LUT depth of array critical path"],
+            rows,
+            title="Figure 2 — critical path (2 T_FA + T_HA) is l-independent",
+        ),
+    )
+    assert len({d for _, d in rows}) == 1

@@ -1,0 +1,95 @@
+"""Figures 3-4 regeneration: the MMMC controller and its latency.
+
+Fig. 4's ASM: IDLE -> MUL1 <-> MUL2 -> OUT, with X shifting in MUL2 and
+the counter/comparator ending the loop; the text derives T_MMM = 3l+4.
+We run the behavioral MMMC and the full gate-level MMMC netlist, print the
+observed state sequence shape and the measured latency per l, and assert
+both match the formula (paper mode) / formula+1 (corrected mode).
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.controller import State
+from repro.systolic.mmmc import MMMC
+from repro.systolic.mmmc_netlist import GateLevelMMMC
+from repro.utils.rng import random_odd_modulus
+
+
+def test_fig4_state_sequence(benchmark, save_table):
+    l = 8
+    n = 139  # 3N < 2^(l+1): safe for the printed architecture
+
+    def run():
+        m = MMMC(l, mode="paper")
+        return m.multiply(100, 200, n)
+
+    rec = benchmark(run)
+    seq = rec.state_sequence
+    counts = {s.name: sum(1 for t in seq if t is s) for s in State}
+    save_table(
+        "fig4_states",
+        render_table(
+            ["state", "cycles"],
+            [[k, v] for k, v in counts.items()],
+            title=f"Figure 4 — ASM state occupancy for one MMM (l={l})",
+        ),
+    )
+    assert counts["IDLE"] == 1  # the load cycle
+    assert counts["OUT"] == 1
+    assert counts["MUL1"] + counts["MUL2"] == 3 * l + 3
+    assert abs(counts["MUL1"] - counts["MUL2"]) <= 1
+    # strict alternation
+    muls = [s for s in seq if s in (State.MUL1, State.MUL2)]
+    assert all(a is not b for a, b in zip(muls, muls[1:]))
+
+
+def test_fig3_latency_scaling(benchmark, save_table):
+    rng = random.Random(7)
+    rows = []
+
+    def measure_all():
+        out = []
+        for l in (8, 16, 32, 64, 128):
+            n = random_odd_modulus(l, rng)
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            m = MMMC(l, mode="corrected")
+            run = m.multiply(x, y, n)
+            assert run.result == montgomery_no_subtraction(MontgomeryContext(n), x, y)
+            out.append((l, 3 * l + 4, run.cycles))
+        return out
+
+    for l, formula, measured in benchmark(measure_all):
+        rows.append([l, formula, measured, measured - formula])
+        assert measured == formula + 1  # corrected array: +1 cycle
+    save_table(
+        "fig3_latency",
+        render_table(
+            ["l", "paper 3l+4", "measured (corrected)", "delta"],
+            rows,
+            title="Figure 3 — MMMC latency: formula vs cycle-accurate measurement",
+        ),
+    )
+
+
+def test_fig3_gate_level_agrees(benchmark, save_table):
+    """The full gate netlist (controller + datapath) hits the same count."""
+    l = 8
+    rng = random.Random(9)
+    n = random_odd_modulus(l, rng)
+    x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+    g = GateLevelMMMC(l, "corrected")
+
+    run = benchmark(lambda: g.multiply(x, y, n))
+    assert run.result == montgomery_no_subtraction(MontgomeryContext(n), x, y)
+    assert run.cycles == 3 * l + 5
+    save_table(
+        "fig3_gate_level",
+        render_table(
+            ["model", "cycles"],
+            [["behavioral MMMC", 3 * l + 5], ["gate-level MMMC", run.cycles]],
+            title=f"Figure 3 — gate-level vs behavioral latency (l={l})",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Extension: the paper's array vs the Tenca-Koç scalable unit [26].
+
+Section 2 presents the scalable architecture as the flexible alternative
+("ability to work on any given operand precision, adjustable to any chip
+area").  This bench puts both designs on one latency-vs-area axis for
+1024-bit operands: the paper's full array is the low-latency/high-area
+corner; scalable configurations trace the rest of the Pareto front.
+"""
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.baselines.scalable import ScalableUnit, scalable_montgomery
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.timing import mmm_cycles
+from repro.utils.rng import random_odd_modulus
+
+
+def test_latency_area_pareto(benchmark, save_table):
+    n_bits = 1024
+
+    def sweep():
+        rows = []
+        # The paper's array: one cell per bit, 3l+4 cycles.
+        rows.append(["paper array", "-", n_bits + 1, mmm_cycles(n_bits)])
+        for w, p in ((8, 4), (8, 16), (8, 64), (16, 16), (32, 8), (16, 32)):
+            u = ScalableUnit(word=w, stages=p)
+            rows.append([f"scalable w={w}", p, u.area_cells, u.mmm_cycles(n_bits)])
+        return rows
+
+    rows = benchmark(sweep)
+    save_table(
+        "scalable_pareto",
+        render_table(
+            ["design", "stages", "area (cell equivalents)", "T_MMM cycles"],
+            rows,
+            title=f"Latency vs area at {n_bits} bits: paper array vs Tenca-Koç",
+        ),
+    )
+    paper_area, paper_cycles = rows[0][2], rows[0][3]
+    small = [r for r in rows[1:] if r[2] <= paper_area // 4]
+    large = [r for r in rows[1:] if r[2] > paper_area // 2]
+    for row in rows[1:]:
+        assert row[2] < paper_area, "every scalable config is smaller"
+    for row in small:
+        assert row[3] > paper_cycles, "small configs pay in latency"
+    # Finding: a scalable unit at ~half the array's area can *undercut*
+    # the array's latency, because the 2i+j wavefront only keeps 50% of
+    # the array's cells busy (see the Fig. 2 occupancy bench).  The
+    # array's edge is its clock (1-bit cells), not its cycle count.
+    assert any(r[3] < paper_cycles for r in large) or not large
+
+
+def test_scalable_kernel_correct(benchmark):
+    """Functional word-serial kernel at RSA size."""
+    rng = random.Random(71)
+    n = random_odd_modulus(512, rng)
+    ctx = MontgomeryContext(n)
+    x, y = rng.randrange(n), rng.randrange(n)
+
+    got = benchmark(lambda: scalable_montgomery(ctx, x, y, 32))
+    assert got == (x * y * pow(1 << ctx.l, -1, n)) % n

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table/figure/claim) and
+does two things with it:
+
+1. prints the paper-vs-measured comparison (visible with ``-s``; also
+   written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can
+   quote it);
+2. asserts the *shape* of the result — who wins, by roughly what factor —
+   so a regression in the reproduction fails the suite loudly.
+
+Wall-clock timings of the simulators themselves go through
+pytest-benchmark's ``benchmark`` fixture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Writer fixture: ``save_table(name, text)`` persists and echoes."""
+
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Export the MMMC as synthesizable Verilog — back to a real FPGA flow.
+
+Elaborates the complete Fig. 3 circuit at a chosen bit length, emits
+structural Verilog, re-parses it with the bundled interpreter and
+co-simulates against the native netlist simulator to prove the text means
+the machine, then writes the .v file.
+
+    python examples/export_verilog.py [l] [out.v]
+"""
+
+import sys
+
+from repro.hdl.verilog import export_verilog
+from repro.hdl.verilog_sim import cosimulate
+from repro.systolic.mmmc_netlist import build_mmmc
+
+
+def main(l: int = 32, path: str = None) -> None:
+    path = path or f"mmmc_l{l}.v"
+    print(f"Elaborating the corrected-architecture MMMC at l = {l} ...")
+    ports = build_mmmc(l, "corrected")
+    stats = ports.circuit.stats()
+    print(f"  {stats['gates']} gates, {stats['dffs']} flip-flops")
+
+    vm = export_verilog(ports.circuit, f"mmmc_l{l}")
+    print(f"  exported module {vm.name}: {len(vm.text.splitlines())} lines")
+
+    checked = cosimulate(ports.circuit, cycles=40, module=vm)
+    print(f"  co-simulated parsed Verilog vs native netlist: "
+          f"{checked} output comparisons, all equal")
+
+    with open(path, "w") as fh:
+        fh.write(vm.text)
+    print(f"  written to {path}")
+    print()
+    print("Interface: X/Y/N operand buses, START strobe, RESULT bus, DONE.")
+    print(f"Expected latency: {3 * l + 5} cycles per multiplication.")
+
+
+if __name__ == "__main__":
+    l = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    out = sys.argv[2] if len(sys.argv) > 2 else None
+    main(l, out)

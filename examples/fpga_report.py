@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate the paper's full evaluation: Tables 1 and 2 plus the index.
+
+Prints every experiment in the registry, then the two tables with
+paper-vs-model columns — the one-command reproduction of the paper's
+evaluation section on the Virtex-E implementation model.
+
+    python examples/fpga_report.py
+"""
+
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.tables import render_table
+from repro.fpga.report import table1_rows, table2_rows
+
+
+def main() -> None:
+    print(
+        render_table(
+            ["id", "paper artifact", "benchmark"],
+            [[e.id, e.paper_artifact, e.benchmark] for e in EXPERIMENTS.values()],
+            title="Experiment index (see DESIGN.md / EXPERIMENTS.md)",
+        )
+    )
+    print()
+
+    rows2 = table2_rows()
+    print(
+        render_table(
+            ["l", "S model", "S paper", "Tp model", "Tp paper",
+             "TA model", "TA paper", "TMMM model us", "TMMM paper us"],
+            [
+                [
+                    r.l,
+                    r.slices,
+                    r.paper_slices,
+                    round(r.tp_ns, 3),
+                    r.paper_tp_ns,
+                    round(r.ta_slice_ns, 1),
+                    r.paper_ta,
+                    round(r.t_mmm_us, 3),
+                    r.paper_t_mmm_us,
+                ]
+                for r in rows2
+            ],
+            title="Table 2 — MMMC on Xilinx V812E-BG-560-8 (model vs paper)",
+        )
+    )
+    print()
+
+    rows1 = table1_rows()
+    print(
+        render_table(
+            ["l", "Tp model ns", "Tp paper ns", "avg exp model ms", "avg exp paper ms"],
+            [
+                [
+                    r.l,
+                    round(r.tp_ns, 3),
+                    r.paper_tp_ns,
+                    round(r.avg_exp_ms, 3),
+                    r.paper_avg_exp_ms,
+                ]
+                for r in rows1
+            ],
+            title="Table 1 — average modular exponentiation (model vs paper)",
+        )
+    )
+    print()
+    print("Cycle formulas (measured identically by the simulators):")
+    print("  one MMM        : 3l + 4     (corrected architecture: 3l + 5)")
+    print("  exponentiation : 3l² + 10l + 12  ≤ T ≤  6l² + 14l + 12  (Eq. 10)")
+
+
+if __name__ == "__main__":
+    main()

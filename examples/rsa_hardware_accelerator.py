@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""RSA on the systolic exponentiator — the paper's Section 4.5 use case.
+
+Generates an RSA key pair, runs encrypt / decrypt / sign / verify through
+the Montgomery exponentiator model, and converts the exact cycle counts
+into wall-clock time using the Virtex-E clock-period model — i.e., "what
+would this RSA operation cost on the paper's FPGA?"
+
+    python examples/rsa_hardware_accelerator.py [modulus_bits]
+"""
+
+import random
+import sys
+
+from repro.analysis.tables import render_table
+from repro.fpga.report import implementation_report
+from repro.rsa import RSACipher, generate_keypair
+
+
+def main(bits: int = 512) -> None:
+    rng = random.Random(42)
+    print(f"Generating an RSA-{bits} key pair ...")
+    key = generate_keypair(bits, rng)
+    print(f"  N has {key.bits} bits; E = {key.public_exponent}")
+    print(f"  D has {key.private_exponent.bit_length()} bits "
+          f"(E·D ≡ 1 mod lcm(p-1, q-1), as in the paper)")
+    print()
+
+    cipher = RSACipher(key, engine="golden")
+    message = rng.randrange(key.modulus)
+
+    enc = cipher.encrypt(message)
+    dec = cipher.decrypt(enc.value)
+    crt = cipher.decrypt_crt(enc.value)
+    sig = cipher.sign(message)
+    ok = cipher.verify(message, sig.value)
+    assert dec.value == message and crt.value == message and ok
+
+    # Convert cycles to time with the Virtex-E model for this bit length.
+    point = implementation_report(min(bits, 1024))
+    tp = point.tp_ns
+
+    def ms(cycles: int) -> float:
+        return cycles * tp / 1e6
+
+    print(
+        render_table(
+            ["operation", "mults", "cycles", f"time @ Tp={tp:.2f} ns (ms)"],
+            [
+                ["encrypt (E = 65537)", enc.multiplications, enc.cycles, round(ms(enc.cycles), 3)],
+                ["decrypt (direct)", dec.multiplications, dec.cycles, round(ms(dec.cycles), 3)],
+                ["decrypt (CRT)", crt.multiplications, crt.cycles, round(ms(crt.cycles), 3)],
+                ["sign", sig.multiplications, sig.cycles, round(ms(sig.cycles), 3)],
+            ],
+            title=f"RSA-{bits} on the systolic Montgomery multiplier (model)",
+        )
+    )
+    print()
+    print(f"  CRT speedup: {dec.cycles / crt.cycles:.2f}x in cycles "
+          "(linear-cost multiplier; see benchmarks/bench_rsa_crt.py)")
+    if bits == 1024:
+        print(f"  paper Table 1 average for l=1024: 49.508 ms")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 512)

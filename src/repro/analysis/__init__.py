@@ -1,0 +1,22 @@
+"""Experiment harness: table rendering, the experiment registry,
+parameter sweeps and the side-channel trace analysis."""
+
+from repro.analysis.tables import render_table
+from repro.analysis.experiments import EXPERIMENTS, Experiment, get_experiment
+from repro.analysis.sweep import sweep
+from repro.analysis.sidechannel import (
+    subtraction_trace,
+    timing_histogram,
+    leakage_summary,
+)
+
+__all__ = [
+    "render_table",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "sweep",
+    "subtraction_trace",
+    "timing_histogram",
+    "leakage_summary",
+]

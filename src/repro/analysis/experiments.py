@@ -1,0 +1,221 @@
+"""The experiment registry: every paper artifact, addressable by id.
+
+Each :class:`Experiment` names one table/figure/claim of the paper, the
+modules that implement it, and the benchmark that regenerates it.  The
+registry is the machine-readable counterpart of DESIGN.md's experiment
+index; ``examples/fpga_report.py`` iterates it to print the full
+reproduction, and the tests assert the registry stays consistent with the
+benchmark tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper."""
+
+    id: str
+    paper_artifact: str
+    description: str
+    modules: Tuple[str, ...]
+    benchmark: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment(
+            id="table1",
+            paper_artifact="Table 1",
+            description=(
+                "Clock period and average modular-exponentiation time for "
+                "l in {32, 128, 256, 512, 1024} on the Virtex-E model"
+            ),
+            modules=(
+                "repro.systolic.exponentiator",
+                "repro.systolic.timing",
+                "repro.fpga.report",
+            ),
+            benchmark="benchmarks/bench_table1_exponentiation.py",
+        ),
+        Experiment(
+            id="table2",
+            paper_artifact="Table 2",
+            description=(
+                "Slices, clock period, time-area product and T_MMM for "
+                "l in {32..1024}: techmapped MMMC netlist + timing model"
+            ),
+            modules=(
+                "repro.systolic.mmmc_netlist",
+                "repro.fpga.techmap",
+                "repro.fpga.timing_model",
+                "repro.fpga.report",
+            ),
+            benchmark="benchmarks/bench_table2_mmm.py",
+        ),
+        Experiment(
+            id="fig1",
+            paper_artifact="Figure 1",
+            description=(
+                "Gate inventory of the four systolic cell types, measured "
+                "on the elaborated cell netlists vs the paper's schematic"
+            ),
+            modules=("repro.systolic.cell_netlists", "repro.hdl.census"),
+            benchmark="benchmarks/bench_fig1_cell_census.py",
+        ),
+        Experiment(
+            id="fig2",
+            paper_artifact="Figure 2 / Section 4.3 area formula",
+            description=(
+                "Complete-array census vs (5l-3) XOR + (7l-7) AND + "
+                "(4l-5) OR + 4l FF, and the 2i+j schedule occupancy"
+            ),
+            modules=("repro.systolic.array_netlist", "repro.systolic.schedule"),
+            benchmark="benchmarks/bench_fig2_array_census.py",
+        ),
+        Experiment(
+            id="fig34",
+            paper_artifact="Figures 3-4",
+            description=(
+                "MMMC controller state sequence (IDLE/MUL1/MUL2/OUT) and "
+                "the measured 3l+4-cycle multiplication latency"
+            ),
+            modules=(
+                "repro.systolic.controller",
+                "repro.systolic.mmmc",
+                "repro.systolic.mmmc_netlist",
+            ),
+            benchmark="benchmarks/bench_fig34_mmmc_timing.py",
+        ),
+        Experiment(
+            id="eq10",
+            paper_artifact="Equation 10",
+            description=(
+                "Measured exponentiation cycle counts against the bounds "
+                "3l^2+10l+12 <= T <= 6l^2+14l+12"
+            ),
+            modules=("repro.systolic.exponentiator", "repro.systolic.timing"),
+            benchmark="benchmarks/bench_eq10_bounds.py",
+        ),
+        Experiment(
+            id="ablation-bound",
+            paper_artifact="Section 2 comparison vs Blum-Paar [3]",
+            description=(
+                "R = 2^(l+2) (l+2 iterations) vs R = 2^(l+3) (l+3) and the "
+                "window-stability probe showing why R >= 4N is needed"
+            ),
+            modules=("repro.montgomery.bounds", "repro.baselines.blum_paar"),
+            benchmark="benchmarks/bench_ablation_bound.py",
+        ),
+        Experiment(
+            id="ablation-radix",
+            paper_artifact="Section 2 high-radix discussion",
+            description=(
+                "Radix-2 vs radix-2^a: ceil((l+2)/a) iterations against "
+                "the cell-latency penalty; SOS/CIOS/FIOS software forms"
+            ),
+            modules=("repro.montgomery.radix", "repro.baselines.highradix"),
+            benchmark="benchmarks/bench_ablation_radix.py",
+        ),
+        Experiment(
+            id="sidechannel",
+            paper_artifact="Section 5 side-channel claim",
+            description=(
+                "Algorithm 1's data-dependent final subtraction vs "
+                "Algorithm 2's constant-time trace"
+            ),
+            modules=("repro.analysis.sidechannel",),
+            benchmark="benchmarks/bench_sidechannel.py",
+        ),
+        Experiment(
+            id="overflow-finding",
+            paper_artifact="Fig. 1(d)/Eq. (9) (reproduction finding)",
+            description=(
+                "The printed leftmost cell drops a reachable carry for "
+                "N > (2/3)*2^l; frequency measurement and the corrected "
+                "architecture's cost (+1 cell, +1 cycle)"
+            ),
+            modules=("repro.systolic.array",),
+            benchmark="benchmarks/bench_overflow_finding.py",
+        ),
+        Experiment(
+            id="ext-window",
+            paper_artifact="extension: exponent recoding",
+            description=(
+                "m-ary and sliding-window exponentiation vs the paper's "
+                "binary square-and-multiply: multiplier passes per window"
+            ),
+            modules=("repro.montgomery.windowed",),
+            benchmark="benchmarks/bench_ablation_window.py",
+        ),
+        Experiment(
+            id="ext-overlap",
+            paper_artifact="extension: pipelined issue (explains 5l+10)",
+            description=(
+                "Overlapped back-to-back multiplications: stream_x issue "
+                "at 2l+3, independent at 2(l+2)+1 (the paper's own "
+                "pre-computation constant), saving ~11% per exponentiation"
+            ),
+            modules=("repro.systolic.pipeline",),
+            benchmark="benchmarks/bench_ablation_overlap.py",
+        ),
+        Experiment(
+            id="ext-dualfield",
+            paper_artifact="extension: dual-field GF(p)/GF(2^m) [24]",
+            description=(
+                "GF(2^m) Montgomery multiplication (carry-free Algorithm "
+                "2) and the near-zero marginal cost of a dual-field cell"
+            ),
+            modules=("repro.montgomery.gf2",),
+            benchmark="benchmarks/bench_dualfield.py",
+        ),
+        Experiment(
+            id="ext-scalable",
+            paper_artifact="extension: Tenca-Koç scalable unit [26]",
+            description=(
+                "Latency-vs-area Pareto: the paper's full bit-parallel "
+                "array against word-serial scalable configurations"
+            ),
+            modules=("repro.baselines.scalable",),
+            benchmark="benchmarks/bench_scalable.py",
+        ),
+        Experiment(
+            id="ext-fault",
+            paper_artifact="extension: SEU fault injection",
+            description=(
+                "Single-bit upset corruption rates per register class and "
+                "the shadow-lattice validation of the RTL microarchitecture"
+            ),
+            modules=("repro.analysis.fault",),
+            benchmark="benchmarks/bench_fault_injection.py",
+        ),
+        Experiment(
+            id="ecc-outlook",
+            paper_artifact="Section 5 ECC outlook",
+            description=(
+                "Point-multiplication latency from field-multiplication "
+                "counts x (3l+4) cycles, for the ladders in repro.ecc"
+            ),
+            modules=("repro.ecc.scalarmul", "repro.systolic.timing"),
+            benchmark="benchmarks/bench_ecc_pointmul.py",
+        ),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by id; raises with the known ids on miss."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None

@@ -1,0 +1,192 @@
+"""Single-bit fault injection into the cycle-accurate array.
+
+Two purposes:
+
+1. **Dependability study** — transient upsets (SEUs) are the classic FPGA
+   concern; this harness measures which fraction of single-bit register
+   flips corrupt a Montgomery product, per register class and cycle.
+2. **Microarchitecture validation** — the RTL model's correctness rests
+   on the *shadow-lattice* argument: every register alternates between a
+   productive value and a harmless interleaved one.  If the argument is
+   right, flipping a register during its shadow phase must NEVER change
+   the result, while flipping a live value that is still to be consumed
+   almost always must.  :func:`fault_campaign` measures exactly that, and
+   the tests pin the prediction down.
+
+Injection model: after the clock edge of the chosen cycle, one register
+bit is inverted; the multiplication then runs to completion and the
+result is compared against the fault-free value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import random
+
+from repro.errors import ParameterError, SimulationError
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.array import SystolicArrayRTL
+
+__all__ = [
+    "FaultSite",
+    "FaultOutcome",
+    "inject_fault",
+    "fault_campaign",
+    "campaign_summary",
+    "REGISTER_CLASSES",
+]
+
+#: Register classes addressable by the injector.
+REGISTER_CLASSES = ("t", "c0", "c1", "x_pipe", "m_pipe", "result", "x_shift")
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injection point: flip ``register[index]`` after ``cycle``'s edge."""
+
+    cycle: int
+    register: str
+    index: int
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Result of injecting one fault into one multiplication."""
+
+    site: FaultSite
+    corrupted: bool
+    detected: bool  # the leftmost-cell invariant check fired
+    fault_free: int
+    observed: Optional[int]
+
+
+def _flip(arr: SystolicArrayRTL, site: FaultSite) -> None:
+    reg = site.register
+    if reg == "t":
+        arr.t_reg[site.index] ^= 1
+    elif reg == "c0":
+        arr.c0_reg[site.index] ^= 1
+    elif reg == "c1":
+        arr.c1_reg[site.index] ^= 1
+    elif reg == "x_pipe":
+        arr.x_pipe[site.index] ^= 1
+    elif reg == "m_pipe":
+        arr.m_pipe[site.index] ^= 1
+    elif reg == "result":
+        arr.result_reg[site.index] ^= 1
+    elif reg == "x_shift":
+        arr.x_shift ^= 1 << site.index
+    else:
+        raise ParameterError(
+            f"unknown register {reg!r}; choose from {REGISTER_CLASSES}"
+        )
+
+
+def _register_width(arr: SystolicArrayRTL, reg: str) -> int:
+    widths = {
+        "t": len(arr.t_reg),
+        "c0": len(arr.c0_reg),
+        "c1": len(arr.c1_reg),
+        "x_pipe": len(arr.x_pipe),
+        "m_pipe": len(arr.m_pipe),
+        "result": len(arr.result_reg),
+        "x_shift": arr.l + 1,
+    }
+    if reg not in widths:
+        raise ParameterError(
+            f"unknown register {reg!r}; choose from {REGISTER_CLASSES}"
+        )
+    return widths[reg]
+
+
+def inject_fault(
+    l: int, x: int, y: int, n: int, site: FaultSite, *, mode: str = "corrected"
+) -> FaultOutcome:
+    """Run one multiplication with one injected bit flip."""
+    ctx = MontgomeryContext(n)
+    fault_free = montgomery_no_subtraction(ctx, x, y)
+    arr = SystolicArrayRTL(l, mode=mode)
+    arr.load(x, y, n)
+    if not 0 <= site.cycle < arr.datapath_cycles:
+        raise ParameterError(
+            f"cycle {site.cycle} outside datapath [0, {arr.datapath_cycles})"
+        )
+    if not 0 <= site.index < _register_width(arr, site.register):
+        raise ParameterError(f"index {site.index} out of range for {site.register}")
+    detected = False
+    observed: Optional[int] = None
+    try:
+        for tau in range(arr.datapath_cycles):
+            arr.step()
+            if tau == site.cycle:
+                _flip(arr, site)
+        observed = arr.result_value()
+    except SimulationError:
+        detected = True
+    return FaultOutcome(
+        site=site,
+        corrupted=(observed != fault_free),
+        detected=detected,
+        fault_free=fault_free,
+        observed=observed,
+    )
+
+
+def fault_campaign(
+    l: int,
+    x: int,
+    y: int,
+    n: int,
+    *,
+    sites: Optional[Iterable[FaultSite]] = None,
+    samples: int = 200,
+    seed: int = 0,
+    registers: Tuple[str, ...] = ("t", "c0", "c1", "x_pipe", "m_pipe"),
+    mode: str = "corrected",
+) -> List[FaultOutcome]:
+    """Inject many faults into the same multiplication.
+
+    With ``sites=None``, samples ``samples`` random (cycle, register,
+    index) sites from ``registers`` uniformly.
+    """
+    if sites is None:
+        rng = random.Random(seed)
+        probe = SystolicArrayRTL(l, mode=mode)
+        gen: List[FaultSite] = []
+        for _ in range(samples):
+            reg = rng.choice(registers)
+            gen.append(
+                FaultSite(
+                    cycle=rng.randrange(probe.datapath_cycles),
+                    register=reg,
+                    index=rng.randrange(_register_width(probe, reg)),
+                )
+            )
+        sites = gen
+    return [inject_fault(l, x, y, n, s, mode=mode) for s in sites]
+
+
+def campaign_summary(outcomes: List[FaultOutcome]) -> Dict[str, Dict[str, float]]:
+    """Per-register-class corruption statistics."""
+    if not outcomes:
+        raise ParameterError("no outcomes to summarize")
+    by_reg: Dict[str, List[FaultOutcome]] = {}
+    for o in outcomes:
+        by_reg.setdefault(o.site.register, []).append(o)
+    summary: Dict[str, Dict[str, float]] = {}
+    for reg, outs in sorted(by_reg.items()):
+        summary[reg] = {
+            "injections": float(len(outs)),
+            "corruption_rate": sum(o.corrupted for o in outs) / len(outs),
+            "detection_rate": sum(o.detected for o in outs) / len(outs),
+        }
+    total = [o for o in outcomes]
+    summary["ALL"] = {
+        "injections": float(len(total)),
+        "corruption_rate": sum(o.corrupted for o in total) / len(total),
+        "detection_rate": sum(o.detected for o in total) / len(total),
+    }
+    return summary

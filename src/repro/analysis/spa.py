@@ -1,0 +1,95 @@
+"""Simple-power-analysis (SPA) attack simulation on the exponentiators.
+
+Even with the paper's constant-time multiplier, plain square-and-multiply
+leaks the exponent through the *operation sequence*: an SPA observer who
+can distinguish squarings from multiplications (different operand-bus
+activity) reads the 1-bits directly — a multiply event follows the square
+of every set bit.  The Montgomery powering ladder executes the same
+two-operation rhythm for every bit and leaks only the bit length.
+
+:func:`recover_exponent_sqm` implements the attacker against a
+square/multiply trace; :func:`spa_resistance_report` runs both
+exponentiation styles and scores the attacker's recovery rate — 100% vs
+0 recovered bits — the quantitative form of the paper's Section 5
+side-channel discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ParameterError
+from repro.montgomery.exponent import (
+    montgomery_modexp,
+    montgomery_powering_ladder,
+)
+from repro.montgomery.params import MontgomeryContext
+
+__all__ = ["recover_exponent_sqm", "SPAOutcome", "spa_resistance_report"]
+
+
+def recover_exponent_sqm(op_kinds: List[str]) -> int:
+    """Reconstruct the exponent from a square/multiply operation trace.
+
+    The attacker model: each loop operation is classified as ``square`` or
+    ``multiply`` (pre/post excluded).  Left-to-right square-and-multiply
+    emits, for each exponent bit below the leading 1: ``square`` then,
+    iff the bit is 1, ``multiply``.  Recovery is therefore a linear scan.
+    """
+    loop = [k for k in op_kinds if k in ("square", "multiply")]
+    bits = [1]  # the implicit leading bit
+    i = 0
+    while i < len(loop):
+        if loop[i] != "square":
+            raise ParameterError("malformed trace: expected a square")
+        if i + 1 < len(loop) and loop[i + 1] == "multiply":
+            bits.append(1)
+            i += 2
+        else:
+            bits.append(0)
+            i += 1
+    acc = 0
+    for b in bits:
+        acc = (acc << 1) | b
+    return acc
+
+
+@dataclass(frozen=True)
+class SPAOutcome:
+    """Result of one simulated SPA attack."""
+
+    style: str
+    recovered: Optional[int]
+    exact: bool
+    leaked_bits: int  # how many exponent bits the trace determines
+
+
+def spa_resistance_report(
+    modulus: int, message: int, exponent: int
+) -> Dict[str, SPAOutcome]:
+    """Attack both exponentiation styles; return per-style outcomes.
+
+    * ``square-multiply``: full exponent recovery expected;
+    * ``ladder``: the trace determines only the bit length.
+    """
+    ctx = MontgomeryContext(modulus)
+    _, sqm_trace = montgomery_modexp(ctx, message, exponent)
+    sqm_kinds = [op.kind for op in sqm_trace.operations]
+    recovered = recover_exponent_sqm(sqm_kinds)
+    sqm = SPAOutcome(
+        style="square-multiply",
+        recovered=recovered,
+        exact=(recovered == exponent),
+        leaked_bits=exponent.bit_length(),
+    )
+
+    _, lad_trace = montgomery_powering_ladder(ctx, message, exponent)
+    lad_kinds = [op.kind for op in lad_trace.operations]
+    # The ladder trace is ("ladder-mul", "ladder-sq") x bitlen: identical
+    # for every exponent of that length, so the attacker determines the
+    # bit length and nothing else (leaked_bits counts *value* bits).
+    loop = [k for k in lad_kinds if k.startswith("ladder")]
+    assert loop[::2] == ["ladder-mul"] * (len(loop) // 2)
+    ladder = SPAOutcome(style="ladder", recovered=None, exact=False, leaked_bits=0)
+    return {"square-multiply": sqm, "ladder": ladder}

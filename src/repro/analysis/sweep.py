@@ -1,0 +1,52 @@
+"""Parameter-sweep driver.
+
+A tiny declarative helper the benchmarks share: run a callable across a
+parameter grid, collect per-point records, and hand back rows ready for
+:func:`repro.analysis.tables.render_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameters and the measurement dict."""
+
+    params: Dict[str, Any]
+    result: Dict[str, Any]
+
+    def row(self, columns: Sequence[str]) -> List[Any]:
+        """Project onto ordered columns (params first, then results)."""
+        merged = {**self.params, **self.result}
+        return [merged.get(c) for c in columns]
+
+
+def sweep(
+    fn: Callable[..., Dict[str, Any]],
+    grid: Dict[str, Iterable[Any]],
+) -> List[SweepPoint]:
+    """Run ``fn(**point)`` over the cartesian product of ``grid``.
+
+    ``fn`` must return a dict of measurements.  Points run in
+    deterministic (sorted-key, given-order) sequence so benchmark output
+    is stable.
+    """
+    keys = list(grid)
+    points: List[SweepPoint] = []
+
+    def rec(i: int, current: Dict[str, Any]) -> None:
+        if i == len(keys):
+            points.append(SweepPoint(params=dict(current), result=fn(**current)))
+            return
+        for v in grid[keys[i]]:
+            current[keys[i]] = v
+            rec(i + 1, current)
+            del current[keys[i]]
+
+    rec(0, {})
+    return points

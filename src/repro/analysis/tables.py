@@ -1,0 +1,73 @@
+"""Fixed-width table rendering for paper-style output.
+
+The benchmarks print their regenerated tables through
+:func:`render_table` so every harness produces uniform, diff-friendly
+text that EXPERIMENTS.md can quote directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["render_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def _format(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Column widths are computed from the content; numbers are right-
+    aligned, text left-aligned.  Example output::
+
+         l |    Tp
+        ---+------
+        32 | 9.256
+    """
+    cols = len(headers)
+    text_rows: List[List[str]] = [
+        [_format(row[i] if i < len(row) else None, precision) for i in range(cols)]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in text_rows), default=0))
+        for i in range(cols)
+    ]
+    numeric = [
+        all(_is_numeric(row[i] if i < len(row) else None) for row in rows)
+        for i in range(cols)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(r) for r in text_rows)
+    return "\n".join(lines)
+
+
+def _is_numeric(v: Cell) -> bool:
+    return v is None or (isinstance(v, (int, float)) and not isinstance(v, bool))

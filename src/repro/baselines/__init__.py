@@ -1,0 +1,40 @@
+"""Baselines the paper compares against (or displaces).
+
+* :mod:`repro.baselines.naive` — classical modular multiplication with
+  trial division, the bottleneck Montgomery's method avoids (Section 1).
+* :mod:`repro.baselines.blum_paar` — the Blum–Paar radix-2 design [3]
+  with ``R = 2^(l+3)`` (one extra iteration) and a final-subtraction step,
+  the paper's principal comparison point.
+* :mod:`repro.baselines.highradix` — the Blum–Paar high-radix design [4]
+  with u-bit cells and its control-latency penalty.
+"""
+
+from repro.baselines.naive import (
+    schoolbook_modmul,
+    interleaved_modmul,
+    naive_cycle_model,
+)
+from repro.baselines.blum_paar import (
+    blum_paar_montgomery,
+    blum_paar_mmm_cycles,
+    blum_paar_exponentiation_cycles,
+)
+from repro.baselines.highradix import HighRadixModel
+from repro.baselines.scalable import (
+    ScalableUnit,
+    scalable_mmm_cycles,
+    scalable_montgomery,
+)
+
+__all__ = [
+    "ScalableUnit",
+    "scalable_mmm_cycles",
+    "scalable_montgomery",
+    "schoolbook_modmul",
+    "interleaved_modmul",
+    "naive_cycle_model",
+    "blum_paar_montgomery",
+    "blum_paar_mmm_cycles",
+    "blum_paar_exponentiation_cycles",
+    "HighRadixModel",
+]

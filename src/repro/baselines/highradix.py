@@ -1,0 +1,76 @@
+"""High-radix Montgomery hardware model (Blum–Paar [4], Batina–Muurling [1]).
+
+Section 2 notes that with word base ``2^α`` the no-subtraction loop needs
+``⌈(n+2)/α⌉`` iterations.  Higher radix trades fewer iterations for wider
+multipliers in each cell and more complex quotient logic, which stretches
+the critical path.  :class:`HighRadixModel` captures that trade-off:
+
+* iterations: ``⌈(l+2)/α⌉`` (each still issued every other cycle on the
+  linear array, plus the l-cycle drain);
+* clock period: the base radix-2 Tp times a per-α penalty — each doubling
+  of the radix adds roughly one carry-save level plus mux depth to the
+  cell (parameterized; the ablation benchmark sweeps it).
+
+The *functional* high-radix multiplication itself lives in
+:mod:`repro.montgomery.radix` (SOS/CIOS/FIOS) and is correctness-tested
+there; this module is the performance model the radix-ablation benchmark
+plots, reproducing the paper's claim that radix 2 maximizes clock rate
+while high radix wins on cycle count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.montgomery.radix import iterations_high_radix
+
+__all__ = ["HighRadixModel"]
+
+
+@dataclass(frozen=True)
+class HighRadixModel:
+    """Latency model for a radix-``2^alpha`` systolic Montgomery multiplier.
+
+    Parameters
+    ----------
+    l:
+        Modulus bit length.
+    alpha:
+        Word size in bits (α = 1 reproduces the paper's design).
+    cell_depth_penalty:
+        Additional LUT levels per log2(α) on the cell critical path.
+    """
+
+    l: int
+    alpha: int
+    cell_depth_penalty: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.l < 2:
+            raise ParameterError(f"l must be >= 2, got {self.l}")
+        if self.alpha < 1:
+            raise ParameterError(f"alpha must be >= 1, got {self.alpha}")
+
+    @property
+    def iterations(self) -> int:
+        """Loop iterations: ``⌈(l+2)/α⌉`` (paper Section 2, from [1])."""
+        return iterations_high_radix(self.l, self.alpha)
+
+    @property
+    def mmm_cycles(self) -> int:
+        """Cycles per multiplication: 2 per issued row + word-count drain."""
+        words = -(-self.l // self.alpha)
+        return 2 * self.iterations + words + 2
+
+    def clock_period_ns(self, base_tp_ns: float) -> float:
+        """Clock period after the radix penalty (α = 1 → the base Tp)."""
+        import math
+
+        levels = math.log2(self.alpha) if self.alpha > 1 else 0.0
+        depth_scale = (3 + self.cell_depth_penalty * levels) / 3.0
+        return base_tp_ns * depth_scale
+
+    def mmm_time_ns(self, base_tp_ns: float) -> float:
+        """Wall-clock latency of one multiplication."""
+        return self.mmm_cycles * self.clock_period_ns(base_tp_ns)

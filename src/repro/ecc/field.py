@@ -1,0 +1,156 @@
+"""GF(p) arithmetic backed by the Montgomery domain.
+
+:class:`PrimeField` wraps a :class:`~repro.montgomery.domain.MontgomeryDomain`
+so that every field multiplication is one Montgomery multiplication — one
+``3l+4``-cycle pass of the paper's systolic array.  Elements are held in
+Montgomery representation inside the ``[0, 2N)`` window; they only leave
+the domain when the user asks for the integer value, mirroring how a real
+ECC coprocessor built from this multiplier would keep coordinates
+domain-resident across an entire point multiplication.
+
+:class:`FieldElement` is an immutable operator-overloaded wrapper, so the
+point formulas in :mod:`repro.ecc.point` read like the textbook equations.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ParameterError
+from repro.montgomery.domain import MontgomeryDomain
+from repro.rsa.primes import is_probable_prime
+
+__all__ = ["PrimeField", "FieldElement"]
+
+
+class PrimeField:
+    """The field GF(p) with Montgomery-domain arithmetic.
+
+    ``p`` must be an odd prime (checked probabilistically; pass
+    ``trusted=True`` to skip for well-known curve primes).
+    """
+
+    def __init__(self, p: int, *, trusted: bool = False, multiplier=None) -> None:
+        if p < 3 or p % 2 == 0:
+            raise ParameterError(f"field characteristic must be an odd prime, got {p}")
+        if not trusted and not is_probable_prime(p):
+            raise ParameterError(f"{p} is not prime")
+        self.p = p
+        self.domain = MontgomeryDomain(p, multiplier)
+
+    # ------------------------------------------------------------------
+    def __call__(self, value: int) -> "FieldElement":
+        """Lift an integer into the field (entering the Montgomery domain)."""
+        return FieldElement(self, self.domain.enter(value % self.p))
+
+    def zero(self) -> "FieldElement":
+        return FieldElement(self, 0)
+
+    def one(self) -> "FieldElement":
+        return FieldElement(self, self.domain.ctx.r_mod_n)
+
+    @property
+    def mult_count(self) -> int:
+        """Montgomery multiplications issued so far (cost accounting)."""
+        return self.domain.mult_count
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrimeField(p={self.p})"
+
+
+class FieldElement:
+    """An element of GF(p), stored in Montgomery representation.
+
+    Supports ``+ - * / **`` and unary negation; comparisons reduce mod p
+    (the Montgomery window is 2p wide, so raw representations are not
+    canonical).
+    """
+
+    __slots__ = ("field", "mont")
+
+    def __init__(self, field: PrimeField, mont_value: int) -> None:
+        self.field = field
+        self.mont = mont_value
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> int:
+        """The integer this element represents (leaves the domain)."""
+        return self.field.domain.leave(self.mont)
+
+    def _coerce(self, other: Union["FieldElement", int]) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise ParameterError("cannot mix elements of different fields")
+            return other
+        if isinstance(other, int) and not isinstance(other, bool):
+            return self.field(other)
+        raise ParameterError(f"cannot operate with {type(other).__name__}")
+
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        o = self._coerce(other)
+        return FieldElement(self.field, self.field.domain.add(self.mont, o.mont))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        return FieldElement(self.field, self.field.domain.sub(self.mont, o.mont))
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        return FieldElement(self.field, self.field.domain.mul(self.mont, o.mont))
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return FieldElement(self.field, self.field.domain.sub(0, self.mont))
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        return self * o.inverse()
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: int):
+        if not isinstance(exponent, int):
+            raise ParameterError("exponent must be an int")
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(self.field, self.field.domain.exp(self.mont, exponent))
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse via Fermat: ``a^(p-2)`` — all multiplier ops."""
+        if self.is_zero():
+            raise ParameterError("zero is not invertible")
+        return FieldElement(
+            self.field, self.field.domain.exp(self.mont, self.field.p - 2)
+        )
+
+    # ------------------------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.mont % self.field.p == 0
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, int) and not isinstance(other, bool):
+            other = self.field(other)
+        if not isinstance(other, FieldElement) or other.field != self.field:
+            return NotImplemented
+        return (self.mont - other.mont) % self.field.p == 0
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.mont % self.field.p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FieldElement({self.value} mod {self.field.p})"

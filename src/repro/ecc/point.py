@@ -1,0 +1,180 @@
+"""Elliptic-curve points: affine and Jacobian coordinates.
+
+Jacobian projective coordinates ``(X, Y, Z)`` represent the affine point
+``(X/Z², Y/Z³)``; they avoid a field inversion per group operation —
+essential here because an inversion costs a full Fermat exponentiation on
+the Montgomery multiplier while add/double cost 16/8 multiplications.
+The formulas are the standard ones (Cohen–Miyaji–Ono):
+
+* double: 4M + 4S (with the a = -3 shortcut available but not required);
+* add: 12M + 4S.
+
+Every coordinate operation flows through
+:class:`~repro.ecc.field.FieldElement`, i.e. through the paper's
+multiplier, so :func:`repro.ecc.scalarmul` can report exact
+multiplication (and therefore cycle) counts for a point multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ecc.curves import WeierstrassCurve
+from repro.ecc.field import FieldElement
+from repro.errors import ParameterError
+
+__all__ = ["AffinePoint", "JacobianPoint"]
+
+
+def _dbl(a: FieldElement) -> FieldElement:
+    """Field doubling by addition (no multiplier pass)."""
+    return a + a
+
+
+@dataclass(frozen=True)
+class AffinePoint:
+    """An affine point, or the point at infinity (``x = y = None``)."""
+
+    curve: WeierstrassCurve
+    x: Optional[int]
+    y: Optional[int]
+
+    @staticmethod
+    def infinity(curve: WeierstrassCurve) -> "AffinePoint":
+        return AffinePoint(curve, None, None)
+
+    @staticmethod
+    def generator(curve: WeierstrassCurve) -> "AffinePoint":
+        return AffinePoint(curve, curve.gx, curve.gy)
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __post_init__(self) -> None:
+        if (self.x is None) != (self.y is None):
+            raise ParameterError("affine point needs both coordinates or neither")
+        if self.x is not None and not self.curve.contains(self.x % self.curve.p, self.y % self.curve.p):
+            raise ParameterError(f"({self.x}, {self.y}) not on {self.curve.name}")
+
+    def to_jacobian(self) -> "JacobianPoint":
+        f = self.curve.field
+        if self.is_infinity:
+            return JacobianPoint(self.curve, f.one(), f.one(), f.zero())
+        return JacobianPoint(self.curve, f(self.x), f(self.y), f.one())
+
+    def __neg__(self) -> "AffinePoint":
+        if self.is_infinity:
+            return self
+        return AffinePoint(self.curve, self.x, (-self.y) % self.curve.p)
+
+
+class JacobianPoint:
+    """A point in Jacobian coordinates over the curve's Montgomery field."""
+
+    __slots__ = ("curve", "X", "Y", "Z")
+
+    def __init__(
+        self,
+        curve: WeierstrassCurve,
+        X: FieldElement,
+        Y: FieldElement,
+        Z: FieldElement,
+    ) -> None:
+        self.curve = curve
+        self.X, self.Y, self.Z = X, Y, Z
+
+    # ------------------------------------------------------------------
+    @property
+    def is_infinity(self) -> bool:
+        return self.Z.is_zero()
+
+    @staticmethod
+    def infinity(curve: WeierstrassCurve) -> "JacobianPoint":
+        f = curve.field
+        return JacobianPoint(curve, f.one(), f.one(), f.zero())
+
+    def to_affine(self) -> AffinePoint:
+        """Normalize (one inversion + a handful of multiplications)."""
+        if self.is_infinity:
+            return AffinePoint.infinity(self.curve)
+        z_inv = self.Z.inverse()
+        z2 = z_inv * z_inv
+        x = self.X * z2
+        y = self.Y * z2 * z_inv
+        return AffinePoint(self.curve, x.value, y.value)
+
+    # ------------------------------------------------------------------
+    def double(self) -> "JacobianPoint":
+        """Point doubling (Cohen–Miyaji–Ono): 10 multiplications.
+
+        Small-constant products (x2, x3, x4, x8) are computed by field
+        additions — they must not consume multiplier passes, since the
+        whole point of the cost accounting is multiplier cycles.
+        """
+        if self.is_infinity or self.Y.is_zero():
+            return JacobianPoint.infinity(self.curve)
+        X1, Y1, Z1 = self.X, self.Y, self.Z
+        Y1_sq = Y1 * Y1
+        XY2 = X1 * Y1_sq
+        S = _dbl(_dbl(XY2))  # 4·X1·Y1²
+        Z1_sq = Z1 * Z1
+        X1_sq = X1 * X1
+        M = _dbl(X1_sq) + X1_sq + self.curve.a_mont() * (Z1_sq * Z1_sq)
+        X3 = M * M - _dbl(S)
+        Y1_4 = Y1_sq * Y1_sq
+        Y3 = M * (S - X3) - _dbl(_dbl(_dbl(Y1_4)))  # 8·Y1⁴
+        Z3 = _dbl(Y1 * Z1)
+        return JacobianPoint(self.curve, X3, Y3, Z3)
+
+    def add(self, other: "JacobianPoint") -> "JacobianPoint":
+        """General addition: 12M + 4S, handling all degenerate cases."""
+        if not isinstance(other, JacobianPoint) or other.curve != self.curve:
+            raise ParameterError("cannot add points from different curves")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        X1, Y1, Z1 = self.X, self.Y, self.Z
+        X2, Y2, Z2 = other.X, other.Y, other.Z
+        Z1Z1 = Z1 * Z1
+        Z2Z2 = Z2 * Z2
+        U1 = X1 * Z2Z2
+        U2 = X2 * Z1Z1
+        S1 = Y1 * Z2Z2 * Z2
+        S2 = Y2 * Z1Z1 * Z1
+        if U1 == U2:
+            if S1 == S2:
+                return self.double()
+            return JacobianPoint.infinity(self.curve)
+        H = U2 - U1
+        R = S2 - S1
+        H2 = H * H
+        H3 = H2 * H
+        U1H2 = U1 * H2
+        X3 = R * R - H3 - _dbl(U1H2)
+        Y3 = R * (U1H2 - X3) - S1 * H3
+        Z3 = Z1 * Z2 * H
+        return JacobianPoint(self.curve, X3, Y3, Z3)
+
+    def __add__(self, other: "JacobianPoint") -> "JacobianPoint":
+        return self.add(other)
+
+    def __neg__(self) -> "JacobianPoint":
+        return JacobianPoint(self.curve, self.X, -self.Y, self.Z)
+
+    def equals(self, other: "JacobianPoint") -> bool:
+        """Projective equality (cross-multiplied, no inversion)."""
+        if self.is_infinity or other.is_infinity:
+            return self.is_infinity and other.is_infinity
+        Z1Z1 = self.Z * self.Z
+        Z2Z2 = other.Z * other.Z
+        if not (self.X * Z2Z2 == other.X * Z1Z1):
+            return False
+        return self.Y * Z2Z2 * other.Z == other.Y * Z1Z1 * self.Z
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_infinity:
+            return f"JacobianPoint(infinity, {self.curve.name})"
+        return f"JacobianPoint({self.curve.name})"

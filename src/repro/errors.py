@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+subclasses partition failures by subsystem:
+
+* :class:`ParameterError` — invalid Montgomery / RSA / ECC parameters
+  (even modulus, operand out of the ``[0, 2N)`` window, bad radix, ...).
+* :class:`HardwareModelError` — structural problems in a gate netlist
+  (dangling wire, combinational loop, port width mismatch).
+* :class:`SimulationError` — a simulation ran but violated an invariant the
+  architecture guarantees (e.g. the leftmost-cell XOR saw both inputs high).
+* :class:`ProtocolError` — misuse of a circuit's handshake (reading RESULT
+  before DONE, starting a multiplication while one is in flight).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "HardwareModelError",
+    "SimulationError",
+    "ProtocolError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """Invalid algorithm parameters (modulus, operand range, radix, ...)."""
+
+
+class HardwareModelError(ReproError):
+    """A netlist or hardware model is structurally invalid."""
+
+
+class SimulationError(ReproError):
+    """A simulation violated an invariant guaranteed by the architecture."""
+
+
+class ProtocolError(ReproError):
+    """A circuit's control handshake was used incorrectly."""

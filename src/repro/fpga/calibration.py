@@ -1,0 +1,65 @@
+"""The paper's reported evaluation numbers (Tables 1 and 2).
+
+Kept here as **comparison data only**: nothing in the implementation model
+reads these values — they exist so the benchmarks and EXPERIMENTS.md can
+print paper-vs-measured side by side.
+
+Table 2: number of slices S, clock period Tp (ns), time-area product
+TA (S·ns) and time for one MMM (µs) on the Xilinx V812E-BG-560-8.
+Table 1: Tp (ns) and average modular-exponentiation time (ms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Table1Row", "Table2Row", "PAPER_TABLE1", "PAPER_TABLE2"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    l: int
+    tp_ns: float
+    avg_exp_ms: float
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    l: int
+    slices: int
+    tp_ns: float
+    ta_slice_ns: float
+    t_mmm_us: float
+
+
+PAPER_TABLE1: Dict[int, Table1Row] = {
+    r.l: r
+    for r in (
+        Table1Row(32, 9.256, 0.046),
+        Table1Row(128, 10.242, 0.775),
+        Table1Row(256, 9.956, 2.974),
+        Table1Row(512, 10.501, 12.468),
+        Table1Row(1024, 10.458, 49.508),
+    )
+}
+
+PAPER_TABLE2: Dict[int, Table2Row] = {
+    r.l: r
+    for r in (
+        Table2Row(32, 225, 9.256, 2082.6, 0.926),
+        Table2Row(64, 418, 9.221, 3854.38, 1.807),
+        Table2Row(128, 806, 10.242, 8255.05, 3.974),
+        Table2Row(256, 1548, 9.956, 15411.88, 7.686),
+        Table2Row(512, 2972, 10.501, 31208.97, 16.171),
+        Table2Row(1024, 5706, 10.458, 59673.35, 32.168),
+    )
+}
+
+
+def table1_bit_lengths() -> Tuple[int, ...]:
+    return tuple(sorted(PAPER_TABLE1))
+
+
+def table2_bit_lengths() -> Tuple[int, ...]:
+    return tuple(sorted(PAPER_TABLE2))

@@ -1,0 +1,231 @@
+"""Technology mapping: gate netlist → Virtex-E LUT4s and slices.
+
+The mapper implements classic **cut-based depth-optimal k-LUT mapping**
+(the algorithm family behind FlowMap/DAOmap and ABC's ``if`` command):
+
+1. BUF gates dissolve into wire aliases.
+2. For every gate, enumerate 4-feasible cuts by merging fan-in cut sets
+   (bounded per node, preferring lower depth then fewer leaves).
+3. Each node's mapping depth is the best achievable over its cuts; this
+   per-node minimum yields a depth-optimal cover on a DAG.
+4. The cover is extracted backward from the visible wires (flip-flop
+   data/enable/clear pins and primary outputs), instantiating one LUT per
+   selected node with logic duplication where fanout demands it.
+
+Slice packing uses the Virtex rule — 2 LUT4 + 2 FF per slice, a flip-flop
+sharing a slice half with the LUT driving its D pin.  Flip-flop clock
+enables and synchronous clears ride the dedicated CE/SR pins (no fabric),
+and the ripple-increment chains of counters map onto the slice carry
+logic, exactly as real synthesis treats them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.fpga.virtex import V812E, VirtexEDevice
+from repro.hdl.gates import GateKind
+from repro.hdl.netlist import Circuit
+
+__all__ = ["TechMapResult", "technology_map"]
+
+#: Maximum cuts retained per node (standard pruning).
+_CUTS_PER_NODE = 8
+_K = 4
+
+
+@dataclass
+class TechMapResult:
+    """Outcome of mapping one circuit onto a Virtex-E device."""
+
+    luts: int
+    flip_flops: int
+    paired_ffs: int
+    slices: int
+    lut_depth: int
+    #: LUT-level depth per selected root gate index.
+    depth_by_root: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: Selected root gate index per covered output wire.
+    root_of_wire: Dict[int, int] = field(default_factory=dict, repr=False)
+    #: Chosen cut (leaf wires) per selected root — the LUT's input support.
+    cut_of_root: Dict[int, FrozenSet[int]] = field(default_factory=dict, repr=False)
+    #: Resolved BUF aliases used during mapping (wire -> ultimate source).
+    alias: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def utilization(self, device: VirtexEDevice = V812E) -> float:
+        """Fraction of the device's slices this design occupies."""
+        return self.slices / device.total_slices
+
+
+def technology_map(circuit: Circuit, device: VirtexEDevice = V812E) -> TechMapResult:
+    """Map ``circuit`` onto LUT4s + FFs and pack into slices."""
+    gates = circuit.gates
+
+    # ------------------------------------------------------------------
+    # Dissolve BUFs.
+    # ------------------------------------------------------------------
+    alias: Dict[int, int] = {}
+    for g in gates:
+        if g.kind is GateKind.BUF:
+            alias[g.output] = g.inputs[0]
+
+    def resolve(w: int) -> int:
+        seen = []
+        while w in alias:
+            seen.append(w)
+            w = alias[w]
+        for s in seen:  # path compression
+            alias[s] = w
+        return w
+
+    real: List[int] = [gi for gi, g in enumerate(gates) if g.kind is not GateKind.BUF]
+    g_inputs: Dict[int, Tuple[int, ...]] = {
+        gi: tuple(resolve(w) for w in gates[gi].inputs) for gi in real
+    }
+    producer: Dict[int, int] = {gates[gi].output: gi for gi in real}
+
+    # ------------------------------------------------------------------
+    # Cut enumeration in topological order.
+    # ------------------------------------------------------------------
+    order = _topo_order(real, g_inputs, producer)
+    const_wires = {circuit.const0.index, circuit.const1.index}
+    # Per gate: list of (cut leaves, depth); leaves are frozensets of wires.
+    cuts: Dict[int, List[Tuple[FrozenSet[int], int]]] = {}
+    node_depth: Dict[int, int] = {}
+    best_cut: Dict[int, FrozenSet[int]] = {}
+
+    def wire_cuts(w: int) -> List[Tuple[FrozenSet[int], int]]:
+        src = producer.get(w)
+        if src is None:
+            # Primary input / FF output / constant: a free leaf of depth 0
+            # (constants vanish into LUT masks, so they cost nothing).
+            leaf = frozenset() if w in const_wires else frozenset((w,))
+            return [(leaf, 0)]
+        return cuts[src]
+
+    def wire_depth(w: int) -> int:
+        src = producer.get(w)
+        return 0 if src is None else node_depth[src]
+
+    for gi in order:
+        ins = g_inputs[gi]
+        if len(ins) == 1:
+            merged = [
+                (leaves, _cut_depth(leaves, wire_depth))
+                for leaves, _ in wire_cuts(ins[0])
+            ]
+        else:
+            merged = []
+            for la, _ in wire_cuts(ins[0]):
+                for lb, _ in wire_cuts(ins[1]):
+                    leaves = la | lb
+                    if len(leaves) <= _K:
+                        merged.append((leaves, _cut_depth(leaves, wire_depth)))
+        # Always include the trivial cut (inputs themselves as leaves).
+        triv = frozenset(w for w in ins if w not in const_wires)
+        merged.append((triv, _cut_depth(triv, wire_depth)))
+        # Deduplicate, sort by (depth, size), prune.
+        uniq: Dict[FrozenSet[int], int] = {}
+        for leaves, d in merged:
+            if leaves not in uniq or d < uniq[leaves]:
+                uniq[leaves] = d
+        ranked = sorted(uniq.items(), key=lambda kv: (kv[1], len(kv[0])))[
+            :_CUTS_PER_NODE
+        ]
+        cuts[gi] = ranked
+        best_cut[gi], node_depth[gi] = ranked[0][0], ranked[0][1]
+
+    # ------------------------------------------------------------------
+    # Cover extraction from visible wires.
+    # ------------------------------------------------------------------
+    visible: Set[int] = set()
+    ff_d_sources: List[int] = []
+    for f in circuit.dffs:
+        d = resolve(f.d)
+        ff_d_sources.append(d)
+        visible.add(d)
+        if f.enable is not None:
+            visible.add(resolve(f.enable))
+        if f.clear is not None:
+            visible.add(resolve(f.clear))
+    for w in circuit.outputs.values():
+        visible.add(resolve(w))
+
+    selected: Set[int] = set()
+    frontier = [w for w in visible if w in producer]
+    while frontier:
+        w = frontier.pop()
+        gi = producer[w]
+        if gi in selected:
+            continue
+        selected.add(gi)
+        for leaf in best_cut[gi]:
+            if leaf in producer and producer[leaf] not in selected:
+                frontier.append(leaf)
+
+    depth_by_root = {gi: node_depth[gi] for gi in selected}
+    root_of_wire = {gates[gi].output: gi for gi in selected}
+    lut_depth = max(depth_by_root.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Slice packing.  A slice half holds 1 LUT + 1 FF; the FF is fed
+    # either by its half's LUT or through the BX/BY bypass pins, so
+    # unrelated LUT/FF pairs may share a half.  The binding resource is
+    # therefore max(LUTs, FFs) halves, derated by the packing efficiency
+    # a real placer achieves.
+    # ------------------------------------------------------------------
+    n_luts = len(selected)
+    n_ffs = len(circuit.dffs)
+    host_free: Dict[int, bool] = {w: True for w in root_of_wire}
+    paired = 0
+    for d in ff_d_sources:
+        if host_free.get(d):
+            host_free[d] = False
+            paired += 1
+    halves = max(n_luts, n_ffs)
+    slices = int(-(-halves // (device.slice_luts * device.packing_efficiency)))
+
+    return TechMapResult(
+        luts=n_luts,
+        flip_flops=n_ffs,
+        paired_ffs=paired,
+        slices=slices,
+        lut_depth=lut_depth,
+        depth_by_root=depth_by_root,
+        root_of_wire=root_of_wire,
+        cut_of_root={gi: best_cut[gi] for gi in selected},
+        alias=dict(alias),
+    )
+
+
+def _cut_depth(leaves: FrozenSet[int], wire_depth) -> int:
+    return 1 + max((wire_depth(w) for w in leaves), default=0)
+
+
+def _topo_order(
+    real: List[int],
+    g_inputs: Dict[int, Tuple[int, ...]],
+    producer: Dict[int, int],
+) -> List[int]:
+    """Topological order of the real-gate DAG (inputs first)."""
+    from collections import deque
+
+    indeg = {gi: 0 for gi in real}
+    deps: Dict[int, List[int]] = {gi: [] for gi in real}
+    for gi in real:
+        for w in g_inputs[gi]:
+            src = producer.get(w)
+            if src is not None:
+                indeg[gi] += 1
+                deps[src].append(gi)
+    ready = deque(gi for gi in real if indeg[gi] == 0)
+    order: List[int] = []
+    while ready:
+        gi = ready.popleft()
+        order.append(gi)
+        for d in deps[gi]:
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                ready.append(d)
+    return order

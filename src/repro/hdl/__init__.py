@@ -1,0 +1,36 @@
+"""Gate-level hardware substrate.
+
+A small structural HDL: circuits are built from 1- and 2-input gates and
+D flip-flops, then simulated with a levelized two-phase (combinational
+settle / clock edge) simulator.  This substitutes for the FPGA in the
+paper's evaluation: the systolic multiplier of Fig. 1/Fig. 2 is elaborated
+gate-by-gate into a :class:`~repro.hdl.netlist.Circuit`, simulated for
+bit-exactness against the algorithmic golden model, censused for the area
+formula of Section 4.3, and technology-mapped by :mod:`repro.fpga`.
+"""
+
+from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.gates import GateKind
+from repro.hdl.simulator import Simulator
+from repro.hdl.registers import (
+    register,
+    shift_register_right,
+    counter,
+    equality_comparator,
+)
+from repro.hdl.census import GateCensus, census
+from repro.hdl.waveform import WaveformRecorder
+
+__all__ = [
+    "Circuit",
+    "Wire",
+    "GateKind",
+    "Simulator",
+    "register",
+    "shift_register_right",
+    "counter",
+    "equality_comparator",
+    "GateCensus",
+    "census",
+    "WaveformRecorder",
+]

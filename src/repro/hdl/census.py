@@ -1,0 +1,65 @@
+"""Gate and flip-flop census of a netlist.
+
+Section 4.3 of the paper gives a closed-form area inventory for the
+systolic array:
+
+    (5l − 3) XOR + (7l − 7) AND + (4l − 5) OR gates and 4l flip-flops.
+
+:func:`census` counts what an elaborated circuit *actually* contains, so
+the Fig. 2 benchmark can print the paper's formula next to the measured
+inventory (they differ slightly — the paper's accounting assumes a
+particular FA decomposition; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hdl.gates import GateKind
+from repro.hdl.netlist import Circuit
+
+__all__ = ["GateCensus", "census", "paper_array_formula"]
+
+
+@dataclass(frozen=True)
+class GateCensus:
+    """Gate/FF counts of one circuit."""
+
+    by_kind: Dict[str, int]
+    flip_flops: int
+
+    @property
+    def total_gates(self) -> int:
+        return sum(self.by_kind.values())
+
+    def get(self, kind: GateKind) -> int:
+        return self.by_kind.get(kind.value, 0)
+
+    def as_row(self) -> Dict[str, int]:
+        """Flat dict suitable for table rendering."""
+        row = dict(self.by_kind)
+        row["FF"] = self.flip_flops
+        row["total_gates"] = self.total_gates
+        return row
+
+
+def census(circuit: Circuit) -> GateCensus:
+    """Count gates by kind and flip-flops in ``circuit``."""
+    counts = Counter(g.kind.value for g in circuit.gates)
+    return GateCensus(by_kind=dict(counts), flip_flops=len(circuit.dffs))
+
+
+def paper_array_formula(l: int) -> Dict[str, int]:
+    """The paper's Section 4.3 area inventory for bit length ``l``.
+
+    Returns the XOR/AND/OR/FF counts the paper states for the systolic
+    array alone (registers of the surrounding MMMC excluded).
+    """
+    return {
+        "xor": 5 * l - 3,
+        "and": 7 * l - 7,
+        "or": 4 * l - 5,
+        "FF": 4 * l,
+    }

@@ -1,0 +1,93 @@
+"""Gate primitives and adder macros.
+
+Gates are 1- or 2-input boolean primitives.  The adder macros
+(:func:`half_adder`, :func:`full_adder`) build the exact decompositions the
+paper's cell inventory assumes:
+
+* half adder  = 1 XOR + 1 AND
+* full adder  = 2 XOR + 2 AND + 1 OR   (two chained half adders whose
+  carries are ORed — the carries can never both be 1, so OR is exact)
+
+so the gate census of an elaborated systolic array can be compared
+meaningfully against the paper's ``(5l−3) XOR + (7l−7) AND + (4l−5) OR``
+formula.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["GateKind", "Gate", "GATE_EVAL", "half_adder", "full_adder"]
+
+
+class GateKind(enum.Enum):
+    """Supported combinational primitives."""
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+
+    @property
+    def arity(self) -> int:
+        return 1 if self in (GateKind.NOT, GateKind.BUF) else 2
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational gate instance inside a circuit.
+
+    ``inputs`` and ``output`` are wire indices local to the owning circuit.
+    """
+
+    kind: GateKind
+    inputs: Tuple[int, ...]
+    output: int
+
+
+# Evaluation table: kind -> function of the input bit tuple.
+GATE_EVAL = {
+    GateKind.AND: lambda a, b: a & b,
+    GateKind.OR: lambda a, b: a | b,
+    GateKind.XOR: lambda a, b: a ^ b,
+    GateKind.NAND: lambda a, b: 1 - (a & b),
+    GateKind.NOR: lambda a, b: 1 - (a | b),
+    GateKind.XNOR: lambda a, b: 1 - (a ^ b),
+    GateKind.NOT: lambda a: 1 - a,
+    GateKind.BUF: lambda a: a,
+}
+
+
+def half_adder(circuit, a, b, name: str = "ha"):
+    """Attach a half adder; returns ``(sum, carry)`` wires.
+
+    sum = a XOR b, carry = a AND b — 1 XOR + 1 AND, the paper's HA.
+    """
+    s = circuit.xor(a, b, name=f"{name}.s")
+    c = circuit.and_(a, b, name=f"{name}.c")
+    return s, c
+
+
+def full_adder(circuit, a, b, cin, name: str = "fa"):
+    """Attach a full adder; returns ``(sum, carry)`` wires.
+
+    Built as two half adders plus an OR on the carries:
+
+        s1 = a ⊕ b          c1 = a·b
+        s  = s1 ⊕ cin       c2 = s1·cin
+        cout = c1 + c2      (c1 and c2 are never both 1)
+
+    Total: 2 XOR + 2 AND + 1 OR.  The critical carry path
+    cin → cout traverses one AND and one OR — the ``T_FA(cin→cout)``
+    the paper's critical-path expression ``2·T_FA + T_HA`` refers to.
+    """
+    s1, c1 = half_adder(circuit, a, b, name=f"{name}.ha0")
+    s, c2 = half_adder(circuit, s1, cin, name=f"{name}.ha1")
+    cout = circuit.or_(c1, c2, name=f"{name}.cout")
+    return s, cout

@@ -1,0 +1,299 @@
+"""Netlist optimization passes.
+
+Light, synthesis-style cleanups applied before census/technology mapping:
+
+* **constant propagation** — gates with constant inputs fold
+  (``AND(x, 0) → 0``, ``XOR(x, 1) → NOT x``, ...);
+* **buffer sweeping** — BUF chains collapse into wire aliases;
+* **double-inversion removal** — ``NOT(NOT x) → x``;
+* **duplicate-gate sharing (CSE)** — structurally identical gates merge;
+* **dead-gate elimination** — logic driving nothing visible disappears.
+
+The passes rewrite into a **new** circuit (the original is never
+mutated) and return a wire map so callers can re-locate their signals.
+Correctness is enforced the same way as the technology mapper's: random
+co-simulation of optimized vs original on all visible wires
+(`tests/hdl/test_optimize.py`), plus idempotence and census checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hdl.gates import GateKind
+from repro.hdl.netlist import Circuit
+
+__all__ = ["OptimizedCircuit", "optimize"]
+
+# Constant-folding rules: (kind, which input is constant, value) ->
+# "const0" | "const1" | "pass" (other input) | "invert" (other input).
+_FOLD: Dict[Tuple[GateKind, int], str] = {
+    (GateKind.AND, 0): "const0",
+    (GateKind.AND, 1): "pass",
+    (GateKind.OR, 0): "pass",
+    (GateKind.OR, 1): "const1",
+    (GateKind.XOR, 0): "pass",
+    (GateKind.XOR, 1): "invert",
+    (GateKind.NAND, 0): "const1",
+    (GateKind.NAND, 1): "invert",
+    (GateKind.NOR, 0): "invert",
+    (GateKind.NOR, 1): "const0",
+    (GateKind.XNOR, 0): "invert",
+    (GateKind.XNOR, 1): "pass",
+}
+
+# Same-input rules: kind -> "pass" | "const0" | "const1".
+_SAME = {
+    GateKind.AND: "pass",
+    GateKind.OR: "pass",
+    GateKind.XOR: "const0",
+    GateKind.XNOR: "const1",
+    GateKind.NAND: "invert",
+    GateKind.NOR: "invert",
+}
+
+
+@dataclass
+class OptimizedCircuit:
+    """Result of :func:`optimize`: the new circuit plus bookkeeping."""
+
+    circuit: Circuit
+    #: old wire index -> new wire index (only for wires that survive).
+    wire_map: Dict[int, int]
+    gates_removed: int
+    gates_shared: int
+
+    def map_wire(self, old_index: int) -> int:
+        try:
+            return self.wire_map[old_index]
+        except KeyError:
+            raise HardwareModelError(
+                f"wire {old_index} was optimized away"
+            ) from None
+
+
+def optimize(circuit: Circuit) -> OptimizedCircuit:
+    """Apply all passes; returns a fresh, functionally equal circuit."""
+    circuit.validate()
+    new = Circuit(circuit.name + "_opt")
+    # old wire -> new Wire handle.
+    wmap: Dict[int, "object"] = {
+        circuit.const0.index: new.const0,
+        circuit.const1.index: new.const1,
+    }
+    for name, idx in circuit.inputs.items():
+        if idx in wmap:
+            continue
+        wmap[idx] = new.add_input(circuit.wire_names[idx])
+
+    # FF outputs must exist before gate rewriting (feedback); create the
+    # new DFFs on placeholder D wires, patch at the end.
+
+    placeholders = []
+    for f in circuit.dffs:
+        d_ph = new.new_wire(f"{circuit.wire_names[f.q]}.d")
+        q = new.dff(
+            d_ph,
+            name=circuit.wire_names[f.q].removesuffix(".q"),
+            reset_value=f.reset_value,
+        )
+        placeholders.append((f, d_ph))
+        wmap[f.q] = q
+
+    # Gate rewriting in topological order with folding + CSE.
+    order = _topo(circuit)
+    cse: Dict[Tuple, "object"] = {}
+    shared = 0
+    inverter_of: Dict[int, "object"] = {}  # new-wire index -> NOT output
+
+    def invert(w) -> "object":
+        if w.index in inverter_of:
+            return inverter_of[w.index]
+        out = new.not_(w, name=f"opt.n{w.index}")
+        inverter_of[w.index] = out
+        return out
+
+    for gi in order:
+        g = circuit.gates[gi]
+        ins = [wmap[w] for w in g.inputs]
+        kind = g.kind
+        result = None
+        if kind is GateKind.BUF:
+            result = ins[0]
+        elif kind is GateKind.NOT:
+            if ins[0] is new.const0:
+                result = new.const1
+            elif ins[0] is new.const1:
+                result = new.const0
+            else:
+                # double inversion: NOT(NOT x) = x
+                src = _producer_kind(new, ins[0])
+                if src is not None and src[0] is GateKind.NOT:
+                    result = src[1]
+                else:
+                    result = invert(ins[0])
+        else:
+            a, b = ins
+            const_in = None
+            if a is new.const0 or a is new.const1:
+                const_in = (1 if a is new.const1 else 0, b)
+            elif b is new.const0 or b is new.const1:
+                const_in = (1 if b is new.const1 else 0, a)
+            if const_in is not None:
+                action = _FOLD[(kind, const_in[0])]
+                other = const_in[1]
+                if action == "const0":
+                    result = new.const0
+                elif action == "const1":
+                    result = new.const1
+                elif action == "pass":
+                    result = other
+                else:
+                    result = invert(other)
+            elif a.index == b.index:
+                action = _SAME[kind]
+                if action == "pass":
+                    result = a
+                elif action == "const0":
+                    result = new.const0
+                elif action == "const1":
+                    result = new.const1
+                else:
+                    result = invert(a)
+            else:
+                key = (kind, *sorted((a.index, b.index)))
+                if key in cse:
+                    result = cse[key]
+                    shared += 1
+                else:
+                    result = new._gate(kind, (a, b), circuit.wire_names[g.output])
+                    cse[key] = result
+                    if kind is GateKind.NOT:
+                        pass
+        wmap[g.output] = result
+
+    # Patch FF D inputs and attach enables/clears.  Repointing the frozen
+    # DFF's d field (instead of driving the placeholder through a BUF)
+    # keeps the output BUF-free.
+    for pos, (f, d_ph) in enumerate(placeholders):
+        ff = new.dffs[pos]
+        object.__setattr__(ff, "d", wmap[f.d].index)
+        en = wmap[f.enable].index if f.enable is not None else None
+        clr = wmap[f.clear].index if f.clear is not None else None
+        object.__setattr__(ff, "enable", en)
+        object.__setattr__(ff, "clear", clr)
+
+    for name, idx in circuit.outputs.items():
+        new.outputs[name] = wmap[idx].index
+
+    # Dead-gate elimination: rebuild keeping only gates reachable from
+    # visible wires.
+    pruned, final_map = _prune(new)
+    composed = {
+        old: final_map[w.index]
+        for old, w in wmap.items()
+        if w.index in final_map
+    }
+    return OptimizedCircuit(
+        circuit=pruned,
+        wire_map=composed,
+        gates_removed=len(circuit.gates) - len(pruned.gates),
+        gates_shared=shared,
+    )
+
+
+def _producer_kind(c: Circuit, wire) -> Optional[Tuple[GateKind, "object"]]:
+    """(kind, first input handle) of the gate driving ``wire``, if any."""
+    for g in c.gates:
+        if g.output == wire.index:
+            from repro.hdl.netlist import Wire
+
+            return g.kind, Wire(c, g.inputs[0])
+    return None
+
+
+def _topo(circuit: Circuit):
+    from collections import deque
+
+    producer = {g.output: i for i, g in enumerate(circuit.gates)}
+    indeg = [0] * len(circuit.gates)
+    deps = [[] for _ in circuit.gates]
+    for i, g in enumerate(circuit.gates):
+        for w in g.inputs:
+            if w in producer:
+                indeg[i] += 1
+                deps[producer[w]].append(i)
+    q = deque(i for i, d in enumerate(indeg) if d == 0)
+    order = []
+    while q:
+        i = q.popleft()
+        order.append(i)
+        for d in deps[i]:
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                q.append(d)
+    return order
+
+
+def _prune(c: Circuit) -> Tuple[Circuit, Dict[int, int]]:
+    """Copy ``c`` keeping only logic reachable from visible wires."""
+    producer = {g.output: i for i, g in enumerate(c.gates)}
+    keep_gates = set()
+    stack = []
+    for f in c.dffs:
+        stack.append(f.d)
+        if f.enable is not None:
+            stack.append(f.enable)
+        if f.clear is not None:
+            stack.append(f.clear)
+    stack.extend(c.outputs.values())
+    seen = set()
+    while stack:
+        w = stack.pop()
+        if w in seen:
+            continue
+        seen.add(w)
+        gi = producer.get(w)
+        if gi is not None:
+            keep_gates.add(gi)
+            stack.extend(c.gates[gi].inputs)
+
+    out = Circuit(c.name)
+    wmap: Dict[int, int] = {
+        c.const0.index: out.const0.index,
+        c.const1.index: out.const1.index,
+    }
+    from repro.hdl.netlist import Wire
+
+    def lift(idx: int) -> Wire:
+        return Wire(out, wmap[idx])
+
+    for name, idx in c.inputs.items():
+        if idx not in wmap:
+            wmap[idx] = out.add_input(c.wire_names[idx]).index
+    # FFs first (placeholder pattern again).
+
+    ph = []
+    for f in c.dffs:
+        d_ph = out.new_wire(c.wire_names[f.d])
+        q = out.dff(d_ph, name=c.wire_names[f.q].removesuffix(".q"),
+                    reset_value=f.reset_value)
+        ph.append((f, d_ph))
+        wmap[f.q] = q.index
+    for gi in _topo(c):
+        if gi not in keep_gates:
+            continue
+        g = c.gates[gi]
+        w = out._gate(g.kind, tuple(lift(i) for i in g.inputs), c.wire_names[g.output])
+        wmap[g.output] = w.index
+    for pos, (f, d_ph) in enumerate(ph):
+        ff = out.dffs[pos]
+        object.__setattr__(ff, "d", wmap[f.d])
+        object.__setattr__(ff, "enable", wmap[f.enable] if f.enable is not None else None)
+        object.__setattr__(ff, "clear", wmap[f.clear] if f.clear is not None else None)
+    for name, idx in c.outputs.items():
+        out.outputs[name] = wmap[idx]
+    out.validate()
+    return out, wmap

@@ -1,0 +1,168 @@
+"""Levelized two-phase simulator for :class:`repro.hdl.netlist.Circuit`.
+
+The simulator evaluates a circuit the way synchronous hardware behaves:
+
+1. **settle** — propagate primary inputs and flip-flop outputs through the
+   combinational gates in topological order (computed once, reused every
+   cycle);
+2. **clock** — capture every flip-flop's D input into its Q output.
+
+Combinational loops are detected at construction time and rejected; the
+levelization also yields each gate's logic depth, which the Virtex-E timing
+model uses to find the critical path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence
+
+from repro.errors import HardwareModelError, SimulationError
+from repro.hdl.gates import GateKind, GATE_EVAL
+from repro.hdl.netlist import Circuit, Wire
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Cycle-accurate simulator bound to one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.  It is validated (no undriven wires) and
+        levelized; a combinational cycle raises
+        :class:`~repro.errors.HardwareModelError`.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.values: List[int] = [0] * circuit.num_wires
+        self.values[circuit.const1.index] = 1
+        self._order = self._levelize()
+        self.cycle = 0
+        # Gate logic depth (1 = directly fed by registers/inputs/constants).
+        self.gate_depth: Dict[int, int] = {}
+        self._compute_depths()
+
+    # ------------------------------------------------------------------
+    def _levelize(self) -> List[int]:
+        """Topologically order gate indices; detect combinational loops."""
+        c = self.circuit
+        producers: Dict[int, int] = {}  # wire -> gate index
+        for gi, g in enumerate(c.gates):
+            producers[g.output] = gi
+        indegree = [0] * len(c.gates)
+        dependents: Dict[int, List[int]] = {gi: [] for gi in range(len(c.gates))}
+        for gi, g in enumerate(c.gates):
+            for w in g.inputs:
+                src = producers.get(w)
+                if src is not None:
+                    indegree[gi] += 1
+                    dependents[src].append(gi)
+        ready = deque(gi for gi, d in enumerate(indegree) if d == 0)
+        order: List[int] = []
+        while ready:
+            gi = ready.popleft()
+            order.append(gi)
+            for dep in dependents[gi]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(c.gates):
+            stuck = [c.wire_names[c.gates[gi].output] for gi, d in enumerate(indegree) if d > 0]
+            raise HardwareModelError(
+                f"combinational loop through: {stuck[:8]}" + ("..." if len(stuck) > 8 else "")
+            )
+        return order
+
+    def _compute_depths(self) -> None:
+        c = self.circuit
+        wire_depth: Dict[int, int] = {}
+        for gi in self._order:
+            g = c.gates[gi]
+            d = 1 + max((wire_depth.get(w, 0) for w in g.inputs), default=0)
+            self.gate_depth[gi] = d
+            wire_depth[g.output] = d
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest combinational level (gate count on the longest path)."""
+        return max(self.gate_depth.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    def poke(self, wire_or_bus, value: int) -> None:
+        """Drive a primary input wire (0/1) or bus (little-endian integer)."""
+        if isinstance(wire_or_bus, Wire):
+            if value not in (0, 1):
+                raise SimulationError(f"single wire takes 0/1, got {value}")
+            self.values[wire_or_bus.index] = value
+            return
+        bus: Sequence[Wire] = wire_or_bus
+        if value < 0 or value >> len(bus):
+            raise SimulationError(f"value {value} does not fit bus of width {len(bus)}")
+        for i, w in enumerate(bus):
+            self.values[w.index] = (value >> i) & 1
+
+    def peek(self, wire_or_bus) -> int:
+        """Read a wire (0/1) or a bus (little-endian integer)."""
+        if isinstance(wire_or_bus, Wire):
+            return self.values[wire_or_bus.index]
+        acc = 0
+        for i, w in enumerate(wire_or_bus):
+            acc |= self.values[w.index] << i
+        return acc
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def settle(self) -> None:
+        """Propagate through all combinational gates (phase 1)."""
+        vals = self.values
+        gates = self.circuit.gates
+        for gi in self._order:
+            g = gates[gi]
+            fn = GATE_EVAL[g.kind]
+            if g.kind in (GateKind.NOT, GateKind.BUF):
+                vals[g.output] = fn(vals[g.inputs[0]])
+            else:
+                vals[g.output] = fn(vals[g.inputs[0]], vals[g.inputs[1]])
+
+    def clock(self) -> None:
+        """Capture every DFF (phase 2).  Captures are simultaneous.
+
+        A DFF's ``clear`` strobe dominates its ``enable`` (the Virtex SR
+        pin semantics the netlists rely on).
+        """
+        vals = self.values
+        captures = []
+        for f in self.circuit.dffs:
+            if f.clear is not None and vals[f.clear]:
+                captures.append((f.q, 0))
+                continue
+            if f.enable is not None and not vals[f.enable]:
+                continue
+            captures.append((f.q, vals[f.d]))
+        for q, v in captures:
+            vals[q] = v
+        self.cycle += 1
+
+    def step(self) -> None:
+        """One full clock cycle: settle, then capture."""
+        self.settle()
+        self.clock()
+
+    def reset(self) -> None:
+        """Synchronous reset: load every DFF's reset value; rewind the clock."""
+        for f in self.circuit.dffs:
+            self.values[f.q] = f.reset_value
+        self.cycle = 0
+        self.settle()
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` full clock cycles."""
+        for _ in range(cycles):
+            self.step()

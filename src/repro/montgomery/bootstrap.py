@@ -1,0 +1,111 @@
+"""Computing the Montgomery constant R² mod N with the multiplier alone.
+
+Every Montgomery pipeline needs ``R² mod N`` to enter the domain.  The
+paper treats it as given; a real device must produce it after each key
+load, ideally *without* a general divider.  The standard bootstrap:
+
+1. ``R mod N`` costs only shifts and conditional subtractions
+   (:func:`r_mod_n_by_shifts` — the one place a subtractor is ever
+   needed, and it runs once per key, off the critical path);
+2. each Montgomery squaring **doubles the exponent of 2**:
+   ``Mont(2^k mod N, 2^k mod N) = 2^(2k - r) mod N`` — so starting from
+   ``c = R mod N = 2^r mod N``, squaring ``ceil(log2 r)``-ish times with
+   occasional doublings reaches ``2^(2r) mod N = R² mod N``.
+
+:func:`compute_r2` implements the exponent-tracking version: it maintains
+``c = 2^k mod N`` and repeatedly squares (k ← 2k−r) or doubles
+(k ← k+1, one modular add) until ``k = 2r``.  Cost:
+``O(log r)`` multiplier passes plus at most ``log2 r`` modular doublings.
+The multiplications can run through any engine (including the
+cycle-accurate hardware models).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+
+__all__ = ["r_mod_n_by_shifts", "compute_r2", "bootstrap_plan"]
+
+
+def r_mod_n_by_shifts(modulus: int, r_exponent: int) -> int:
+    """``2^r mod N`` by r shift-and-conditionally-subtract steps.
+
+    Exactly what a tiny sequential circuit (one shifter + one subtractor)
+    computes; no multiplication or division involved.
+    """
+    if modulus <= 0 or modulus % 2 == 0:
+        raise ParameterError("modulus must be odd and positive")
+    if r_exponent < 0:
+        raise ParameterError("r_exponent must be >= 0")
+    acc = 1 % modulus
+    for _ in range(r_exponent):
+        acc <<= 1
+        if acc >= modulus:
+            acc -= modulus
+    return acc
+
+
+def bootstrap_plan(r_exponent: int) -> List[str]:
+    """The square/double schedule reaching exponent ``2r`` from ``r``.
+
+    Work backwards from ``2r``: halve when even (undoing a squaring needs
+    target+r even ... forward: from k, square gives 2k−r, double gives
+    k+1).  We plan forward greedily on the exponent *offset* d = k − r
+    (square doubles d; double increments d), reaching d = r from d = 0:
+    that is simply binary expansion of r — ``O(log r)`` steps.
+    """
+    if r_exponent <= 0:
+        raise ParameterError("r_exponent must be positive")
+    # Build d from its binary digits, MSB first: d = 0 -> ... -> r.
+    plan: List[str] = []
+    for bit in bin(r_exponent)[2:]:
+        plan.append("square")  # d <- 2d
+        if bit == "1":
+            plan.append("double")  # d <- d + 1
+    # The first 'square' acts on d=0 (no-op arithmetic-wise) but keeps the
+    # schedule uniform; callers may skip leading no-ops.
+    return plan
+
+
+def compute_r2(
+    ctx: MontgomeryContext,
+    mont: Optional[Callable[[MontgomeryContext, int, int], int]] = None,
+) -> Tuple[int, int]:
+    """Compute ``R² mod N`` with multiplier passes only.
+
+    Returns ``(R² mod N, multiplier_passes)``.  Cross-checked against the
+    directly computed constant by the tests; usable with the hardware
+    models via the ``mont`` hook (values stay inside the ``[0, 2N)``
+    window throughout).
+    """
+    mul = mont or montgomery_no_subtraction
+    n = ctx.modulus
+    r = ctx.r_exponent
+    c = r_mod_n_by_shifts(n, r)  # 2^r mod N
+    d = 0  # c == 2^(r + d) mod N (up to the 2N window)
+    passes = 0
+    for step in bootstrap_plan(r):
+        if step == "square":
+            if d == 0:
+                continue  # squaring 2^r yields 2^r: skip the no-op
+            c = mul(ctx, c, c)
+            passes += 1
+            d *= 2
+        else:
+            c = c * 2
+            if c >= 2 * n:
+                c -= 2 * n
+            d += 1
+    assert d == r
+    result = c % n
+    # Final sanity: c represents 2^(2r) mod N.
+    if result != ctx.r2_mod_n:
+        # One congruence-preserving reduction is legitimate (window 2N).
+        raise ParameterError(
+            "bootstrap did not reach R^2 mod N — engine inconsistency"
+        )
+    return result, passes

@@ -1,0 +1,269 @@
+"""Montgomery multiplication in GF(2^m) — the dual-field extension.
+
+The paper cites Savaş–Tenca–Koç [24]: the same Montgomery datapath can
+serve both GF(p) (RSA, prime-field ECC) and GF(2^m) (binary-field ECC) —
+"obvious benefits for many applications of public key cryptography".
+This module supplies the GF(2^m) side:
+
+* polynomials over GF(2) as Python ints (bit ``i`` = coefficient of
+  ``x^i``): carry-less multiplication, remainder, extended Euclid;
+* Rabin irreducibility testing;
+* :class:`GF2MontgomeryContext` with the bit-serial Montgomery product
+  ``A·B·x^{-m} mod f`` — structurally the *same loop* as Algorithm 2 with
+  XOR replacing addition.  Because GF(2) addition is carry-free, there is
+  no magnitude, hence **no window problem, no final subtraction, and no
+  equivalent of the leftmost-cell overflow**: the result always has
+  degree < m.  The dual-field cell is the paper's regular cell with the
+  carry chain removed (2 AND + 2 XOR), quantified by
+  :func:`dual_field_cell_costs`.
+
+Everything is validated against an independent schoolbook
+multiply-then-reduce path and classic test vectors (the AES field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ParameterError
+from repro.utils.validation import ensure_positive
+
+__all__ = [
+    "clmul",
+    "poly_mod",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_inverse",
+    "is_irreducible",
+    "GF2MontgomeryContext",
+    "gf2_modexp",
+    "dual_field_cell_costs",
+    "AES_POLY",
+    "NIST_B163_POLY",
+]
+
+#: x^8 + x^4 + x^3 + x + 1 — the AES field polynomial.
+AES_POLY = 0x11B
+#: x^163 + x^7 + x^6 + x^3 + 1 — the NIST B-163/K-163 field polynomial.
+NIST_B163_POLY = (1 << 163) | (1 << 7) | (1 << 6) | (1 << 3) | 1
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less (GF(2)[x]) product of two polynomials."""
+    if a < 0 or b < 0:
+        raise ParameterError("polynomials are non-negative ints")
+    acc = 0
+    while b:
+        low = b & -b
+        acc ^= a * low  # multiplying by a power of two is a shift
+        b ^= low
+    return acc
+
+
+def poly_divmod(a: int, b: int) -> Tuple[int, int]:
+    """Polynomial division: returns (quotient, remainder) with deg r < deg b."""
+    if b == 0:
+        raise ParameterError("division by the zero polynomial")
+    q = 0
+    db = b.bit_length()
+    while a.bit_length() >= db:
+        shift = a.bit_length() - db
+        q ^= 1 << shift
+        a ^= b << shift
+    return q, a
+
+
+def poly_mod(a: int, b: int) -> int:
+    """Polynomial remainder ``a mod b``."""
+    return poly_divmod(a, b)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor in GF(2)[x]."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_inverse(a: int, modulus: int) -> int:
+    """Inverse of ``a`` modulo ``modulus`` via extended Euclid.
+
+    Raises if ``gcd(a, modulus) != 1``.
+    """
+    if poly_mod(a, modulus) == 0:
+        raise ParameterError("zero is not invertible")
+    r0, r1 = modulus, poly_mod(a, modulus)
+    s0, s1 = 0, 1
+    while r1:
+        q, r = poly_divmod(r0, r1)
+        r0, r1 = r1, r
+        s0, s1 = s1, s0 ^ clmul(q, s1)
+    if r0 != 1:
+        raise ParameterError(f"polynomial {a:#x} not invertible mod {modulus:#x}")
+    return poly_mod(s0, modulus)
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin's irreducibility test for ``f`` over GF(2).
+
+    ``f`` of degree m is irreducible iff ``x^(2^m) ≡ x (mod f)`` and for
+    every prime divisor q of m, ``gcd(x^(2^(m/q)) - x, f) = 1``.
+    """
+    m = f.bit_length() - 1
+    if m < 1:
+        return False
+    if m == 1:
+        return f in (0b10, 0b11)
+    if f & 1 == 0:  # divisible by x
+        return False
+
+    def x_pow_2k(k: int) -> int:
+        """x^(2^k) mod f by repeated squaring."""
+        r = 0b10  # the polynomial x
+        for _ in range(k):
+            r = poly_mod(clmul(r, r), f)
+        return r
+
+    # prime divisors of m
+    divisors = set()
+    mm = m
+    d = 2
+    while d * d <= mm:
+        while mm % d == 0:
+            divisors.add(d)
+            mm //= d
+        d += 1
+    if mm > 1:
+        divisors.add(mm)
+    for q in divisors:
+        h = x_pow_2k(m // q) ^ 0b10
+        if poly_gcd(h, f) != 1:
+            return False
+    return x_pow_2k(m) == 0b10
+
+
+class GF2MontgomeryContext:
+    """Montgomery arithmetic in GF(2^m) = GF(2)[x] / f(x).
+
+    Parameters
+    ----------
+    modulus:
+        The field polynomial ``f`` (degree m, irreducible unless
+        ``trusted=False`` is overridden).
+
+    The Montgomery factor is ``r = x^m``; :meth:`multiply` computes
+    ``A·B·x^{-m} mod f`` with the bit-serial loop mirroring Algorithm 2.
+    """
+
+    def __init__(self, modulus: int, *, trusted: bool = False) -> None:
+        ensure_positive("modulus", modulus)
+        self.m = modulus.bit_length() - 1
+        if self.m < 1:
+            raise ParameterError("field polynomial must have degree >= 1")
+        if modulus & 1 == 0:
+            raise ParameterError("field polynomial needs a nonzero constant term")
+        if not trusted and not is_irreducible(modulus):
+            raise ParameterError(f"{modulus:#x} is reducible")
+        self.modulus = modulus
+        self.r = 1 << self.m  # x^m
+        self.r_mod_f = poly_mod(self.r, modulus)
+        self.r2_mod_f = poly_mod(clmul(self.r_mod_f, self.r_mod_f), modulus)
+        self.r_inverse = poly_inverse(self.r_mod_f, modulus)
+
+    # ------------------------------------------------------------------
+    def check_element(self, name: str, a: int) -> int:
+        if not isinstance(a, int) or isinstance(a, bool) or a < 0:
+            raise ParameterError(f"{name} must be a non-negative int")
+        if a.bit_length() > self.m:
+            raise ParameterError(
+                f"{name} has degree {a.bit_length() - 1} >= m = {self.m}"
+            )
+        return a
+
+    def multiply(self, a: int, b: int) -> int:
+        """Bit-serial Montgomery product ``A·B·x^{-m} mod f``.
+
+        The loop is Algorithm 2 with XOR for addition: per iteration,
+        ``m_i = t_0 ⊕ a_i·b_0`` then ``T = (T ⊕ a_i·B ⊕ m_i·f) / x``.
+        No carries → the result's degree stays < m; no window, no
+        subtraction, no top-cell overflow.
+        """
+        self.check_element("a", a)
+        self.check_element("b", b)
+        t = 0
+        b0 = b & 1
+        for i in range(self.m):
+            a_i = (a >> i) & 1
+            m_i = (t ^ (a_i & b0)) & 1
+            t = (t ^ (a_i * b) ^ (m_i * self.modulus)) >> 1
+        return t
+
+    def to_montgomery(self, a: int) -> int:
+        """Enter the domain: ``a·x^m mod f`` via Mont(a, x^{2m} mod f)."""
+        self.check_element("a", a)
+        return self.multiply(a, self.r2_mod_f)
+
+    def from_montgomery(self, a_bar: int) -> int:
+        """Leave the domain: Mont(ā, 1)."""
+        return self.multiply(a_bar, 1)
+
+    def field_multiply(self, a: int, b: int) -> int:
+        """Plain field product ``a·b mod f`` (through the domain)."""
+        return self.from_montgomery(
+            self.multiply(self.to_montgomery(a), self.to_montgomery(b))
+        )
+
+    def field_inverse(self, a: int) -> int:
+        """Field inverse via extended Euclid (independent of the domain)."""
+        return poly_inverse(a, self.modulus)
+
+
+def gf2_modexp(ctx: GF2MontgomeryContext, base: int, exponent: int) -> int:
+    """``base^exponent`` in GF(2^m) by Montgomery square-and-multiply."""
+    ctx.check_element("base", base)
+    if exponent < 0:
+        raise ParameterError("exponent must be >= 0")
+    if exponent == 0:
+        return 1
+    a = b_bar = ctx.to_montgomery(base)
+    for i in reversed(range(exponent.bit_length() - 1)):
+        a = ctx.multiply(a, a)
+        if (exponent >> i) & 1:
+            a = ctx.multiply(a, b_bar)
+    return ctx.from_montgomery(a)
+
+
+@dataclass(frozen=True)
+class DualFieldCellCost:
+    """Gate cost of one systolic cell in each field mode."""
+
+    mode: str
+    and_gates: int
+    xor_gates: int
+    or_gates: int
+    flip_flops_per_cell: float
+
+    @property
+    def total_gates(self) -> int:
+        return self.and_gates + self.xor_gates + self.or_gates
+
+
+def dual_field_cell_costs() -> Dict[str, DualFieldCellCost]:
+    """Per-cell cost of GF(p) vs GF(2^m) vs a dual-field (shared) cell.
+
+    GF(p): the paper's regular cell (2 FA + 1 HA + 2 AND = 5 XOR +
+    7 AND + 2 OR) plus ~4 FFs of pipeline state per cell column.
+    GF(2^m): the same cell with the carry plane deleted — the row update
+    is ``t = t_in ⊕ a_i·b_j ⊕ m_i·f_j`` (2 AND + 2 XOR, no carries, 1 FF).
+    Dual-field: the GF(p) cell plus one carry-suppression AND driven by a
+    field-select line, as in [24] — the binary field rides along almost
+    free, which is the cited unit's selling point.
+    """
+    gfp = DualFieldCellCost("GF(p)", and_gates=7, xor_gates=5, or_gates=2,
+                            flip_flops_per_cell=4.0)
+    gf2 = DualFieldCellCost("GF(2^m)", and_gates=2, xor_gates=2, or_gates=0,
+                            flip_flops_per_cell=1.0)
+    dual = DualFieldCellCost("dual-field", and_gates=8, xor_gates=5, or_gates=2,
+                             flip_flops_per_cell=4.0)
+    return {c.mode: c for c in (gfp, gf2, dual)}

@@ -1,0 +1,20 @@
+"""RSA over the systolic Montgomery exponentiator (paper Section 4.5).
+
+* :mod:`repro.rsa.primes` — Miller–Rabin primality and prime generation.
+* :mod:`repro.rsa.keygen` — key generation with the paper's
+  ``E·D ≡ 1 (mod lcm(p-1, q-1))`` convention.
+* :mod:`repro.rsa.cipher` — encrypt/decrypt/sign/verify through the
+  hardware exponentiator model, with optional CRT decryption.
+"""
+
+from repro.rsa.primes import is_probable_prime, generate_prime
+from repro.rsa.keygen import RSAKeyPair, generate_keypair
+from repro.rsa.cipher import RSACipher
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "RSAKeyPair",
+    "generate_keypair",
+    "RSACipher",
+]

@@ -1,0 +1,91 @@
+"""RSA key generation with the paper's conventions (Section 4.5).
+
+The private key is ``(p, q, D)``, the public key ``(N = p·q, E)`` with
+``E = D^{-1} mod lcm(p-1, q-1)`` — the Carmichael-function convention the
+paper states.  The modulus is guaranteed odd (trivially) and of the exact
+requested bit length so it slots into an ``l``-bit multiplier without
+re-sizing.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.rsa.primes import generate_prime
+from repro.utils.validation import ensure_positive
+
+__all__ = ["RSAKeyPair", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """One RSA key pair plus the factors needed for CRT decryption."""
+
+    modulus: int
+    public_exponent: int
+    private_exponent: int
+    p: int
+    q: int
+
+    @property
+    def bits(self) -> int:
+        return self.modulus.bit_length()
+
+    @property
+    def carmichael(self) -> int:
+        return math.lcm(self.p - 1, self.q - 1)
+
+    # CRT constants (standard RSA-CRT decryption: ~4x fewer cycle-weighted
+    # multiplications than a full-width exponentiation).
+    @property
+    def d_p(self) -> int:
+        return self.private_exponent % (self.p - 1)
+
+    @property
+    def d_q(self) -> int:
+        return self.private_exponent % (self.q - 1)
+
+    @property
+    def q_inv(self) -> int:
+        return pow(self.q, -1, self.p)
+
+
+def generate_keypair(
+    bits: int, rng: random.Random, public_exponent: int = 65537
+) -> RSAKeyPair:
+    """Generate an RSA key pair with an exactly ``bits``-bit modulus.
+
+    ``public_exponent`` must be odd and > 2; if it shares a factor with
+    ``lcm(p-1, q-1)`` new primes are drawn (the standard retry loop).
+    """
+    ensure_positive("bits", bits)
+    if bits < 6:
+        raise ParameterError(f"modulus needs at least 6 bits, got {bits}")
+    if public_exponent < 3 or public_exponent % 2 == 0:
+        raise ParameterError(f"public exponent must be odd >= 3, got {public_exponent}")
+    half = bits // 2
+    for _ in range(1000):
+        p = generate_prime(bits - half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        lam = math.lcm(p - 1, q - 1)
+        if math.gcd(public_exponent, lam) != 1:
+            continue
+        d = pow(public_exponent, -1, lam)
+        if d <= 1:
+            continue
+        return RSAKeyPair(
+            modulus=n,
+            public_exponent=public_exponent,
+            private_exponent=d,
+            p=max(p, q),
+            q=min(p, q),
+        )
+    raise ParameterError(f"could not generate a {bits}-bit key pair")

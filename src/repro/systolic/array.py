@@ -1,0 +1,323 @@
+"""Cycle-accurate register-transfer model of the linear systolic array (Fig. 2).
+
+Microarchitecture
+-----------------
+One physical row of cells processes the ``l+2`` virtual rows of
+Algorithm 2; cell ``j`` computes digit ``t_{i,j}`` at cycle ``2i + j``
+(cycle 0 = first cycle after operand load).  ``t_{i,j}`` is bit ``j`` of
+the *undivided* row sum ``S_i = T_{i-1} + x_i·Y + m_i·N``; the division by
+two is realized by wiring (cell ``j`` reads ``t_{i-1, j+1}``).
+
+Register inventory, matching the paper's **4l flip-flop** count:
+
+* ``T(j)``       — each cell's registered ``t`` output.
+* ``C0/C1``      — registered carries, consumed by the left neighbour one
+  cycle later.
+* ``m``-pipeline — ``m_i`` is generated in the rightmost cell (Eq. 5) at
+  cycle ``2i`` and must reach cell ``j`` at ``2i+j``.  Stage ``k`` serves
+  cells ``2k+1`` and ``2k+2``, latching at the end of even (MUL1) cycles.
+* ``x``-pipeline — cells 0 and 1 read ``X(0)`` directly (the X register
+  shifts at the end of every odd/MUL2 cycle); stage ``k`` serves cells
+  ``2k+2`` and ``2k+3``, latching at the end of odd cycles.
+
+T/C0/C1 capture every cycle; on a cell's off-parity cycles the captured
+value belongs to an interleaved shadow computation which parity analysis
+shows never contaminates the productive lattice.  The single exception is
+the topmost ``T`` register, which the top cell both writes and reads — it
+carries a phase-gated enable (capturing only on the top cell's parity).
+
+Array modes — a reproduction finding
+------------------------------------
+``mode="paper"`` is the architecture exactly as printed: cells ``0..l``
+with the Fig. 1(d) leftmost cell at position ``l``.  That cell XORs the
+final carries into bit ``l+1`` of the row sum and has **nowhere to put
+bit ``l+2``** — yet the loop invariant is ``T_i < Y + N`` (< 3N, not 2N!),
+so ``S_i = 2·T_i`` can reach ``6N``, which exceeds ``2^(l+2)`` whenever
+``N > (2/3)·2^l``.  Empirically ~6% of random ``(N, x, y)`` triples with
+``x, y < 2N`` hit the overflow and the printed array would return a wrong
+product.  In this mode the model raises
+:class:`~repro.errors.SimulationError` at the cycle the carry is lost.
+
+``mode="corrected"`` (default) appends one position: cell ``l`` becomes a
+regular cell with the ``m·n`` product removed (``n_l = 0``) but full carry
+outputs, and a new top cell ``l+1`` (1 HA + 1 XOR — no ``x·y`` product
+since ``y_{l+1} = 0``) absorbs the final carries into bits ``l+1`` and
+``l+2``.  Since ``S_i < 6N < 2^(l+3)``, the top cell's sum is provably
+≤ 3 and the design is exact for the full ``[0, 2N)`` operand window.
+Cost: one extra cell, ~4 extra flip-flops, and one extra clock cycle
+(``3l+5`` instead of ``3l+4`` per multiplication).
+
+The regular cells are evaluated vectorized with NumPy, so the model is
+practical at RSA sizes (l = 1024 and beyond).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError, SimulationError
+from repro.utils.bits import bit_array_to_int, int_to_bit_array
+
+__all__ = ["SystolicArrayRTL", "MultiplicationResult", "ARRAY_MODES"]
+
+ARRAY_MODES = ("corrected", "paper")
+
+
+@dataclass(frozen=True)
+class MultiplicationResult:
+    """Outcome of one cycle-accurate multiplication run."""
+
+    value: int
+    datapath_cycles: int
+    total_cycles: int
+
+
+class SystolicArrayRTL:
+    """Vectorized cycle-accurate model of the complete systolic array.
+
+    Parameters
+    ----------
+    l:
+        Modulus bit length.  ``l >= 2``.
+    mode:
+        ``"corrected"`` (default, exact on the full operand window) or
+        ``"paper"`` (the printed Fig. 2 architecture; raises
+        :class:`~repro.errors.SimulationError` if the final-carry overflow
+        is reached).
+    probe:
+        Optional callable invoked after every cycle with the model, for
+        waveform recording.
+    """
+
+    def __init__(
+        self,
+        l: int,
+        *,
+        mode: str = "corrected",
+        probe: Optional[Callable[["SystolicArrayRTL"], None]] = None,
+    ) -> None:
+        if l < 2:
+            raise ParameterError(f"systolic array needs l >= 2, got {l}")
+        if mode not in ARRAY_MODES:
+            raise ParameterError(f"mode must be one of {ARRAY_MODES}, got {mode!r}")
+        self.l = l
+        self.mode = mode
+        self.probe = probe
+        # Position of the topmost cell and of the top (self-loop) T register.
+        self.top_cell = l + 1 if mode == "corrected" else l
+        self.top_t = self.top_cell + 1
+        pipe_len = max(l // 2, 1)
+        # Registers.
+        self.t_reg = np.zeros(self.top_t + 1, dtype=np.uint8)  # T(1..top_t)
+        self.c0_reg = np.zeros(self.top_cell, dtype=np.uint8)  # C0(0..top-1)
+        self.c1_reg = np.zeros(self.top_cell, dtype=np.uint8)  # C1(1..top-1)
+        self.x_pipe = np.zeros(pipe_len, dtype=np.uint8)
+        self.m_pipe = np.zeros(pipe_len, dtype=np.uint8)
+        self.x_shift = 0  # the (l+1)-bit X register
+        self.result_reg = np.zeros(l + 1, dtype=np.uint8)  # datapath T register
+        self.cycle = 0
+        # Operand bit planes (loaded per multiplication).
+        self.y_bits = np.zeros(l + 1, dtype=np.uint8)
+        self.n_bits = np.zeros(l + 1, dtype=np.uint8)
+        # Static gather indices for vectorized regular cells j = 2..l-1.
+        js = np.arange(2, l)
+        self._idx_x = (js - 2) // 2
+        self._idx_m = (js - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Derived timing facts (measured against these by the tests)
+    # ------------------------------------------------------------------
+    @property
+    def datapath_cycles(self) -> int:
+        """Cycles until the last result bit exists: 3l+3 (paper), 3l+4 (corrected)."""
+        return 2 * (self.l + 1) + self.top_cell + 1
+
+    # ------------------------------------------------------------------
+    # Loading / state
+    # ------------------------------------------------------------------
+    def load(self, x: int, y: int, n: int) -> None:
+        """Load operands and reset the pipeline (the IDLE→MUL1 transition)."""
+        l = self.l
+        if n.bit_length() > l:
+            raise ParameterError(f"modulus needs {n.bit_length()} bits > l={l}")
+        if n % 2 == 0 or n < 3:
+            raise ParameterError(f"modulus must be odd and >= 3, got {n}")
+        for name, v in (("x", x), ("y", y)):
+            if not 0 <= v < 2 * n:
+                raise ParameterError(f"{name}={v} outside [0, 2N) for N={n}")
+        self.y_bits = int_to_bit_array(y, l + 1)
+        self.n_bits = int_to_bit_array(n, l + 1)  # n_l = 0 by construction
+        self.x_shift = x
+        self.t_reg[:] = 0
+        self.c0_reg[:] = 0
+        self.c1_reg[:] = 0
+        self.x_pipe[:] = 0
+        self.m_pipe[:] = 0
+        self.result_reg[:] = 0
+        self.cycle = 0
+
+    @property
+    def phase(self) -> str:
+        """Controller state this cycle: MUL1 on even cycles, MUL2 on odd."""
+        return "MUL1" if self.cycle % 2 == 0 else "MUL2"
+
+    # ------------------------------------------------------------------
+    # One clock cycle
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one clock: evaluate all cells combinationally, capture."""
+        l = self.l
+        t, c0, c1 = self.t_reg, self.c0_reg, self.c1_reg
+        x0 = self.x_shift & 1
+
+        # --- combinational evaluation from current register state ---
+        # Rightmost cell (j = 0): generates m_i and C0(0); Eqs. (5)-(7).
+        p0 = x0 & int(self.y_bits[0])
+        m0_comb = int(t[1]) ^ p0
+        new_c0_0 = int(t[1]) | p0
+
+        # 1st-bit cell (j = 1): Eq. (8).
+        tot1 = (
+            int(t[2])
+            + x0 * int(self.y_bits[1])
+            + int(self.m_pipe[0]) * int(self.n_bits[1])
+            + int(c0[0])
+        )
+        new_t1, new_c0_1, new_c1_1 = tot1 & 1, (tot1 >> 1) & 1, (tot1 >> 2) & 1
+
+        # Regular cells (j = 2..l-1), vectorized: Eq. (4).
+        if l > 2:
+            totals = (
+                t[3 : l + 1].astype(np.int32)
+                + self.x_pipe[self._idx_x].astype(np.int32) * self.y_bits[2:l]
+                + self.m_pipe[self._idx_m].astype(np.int32) * self.n_bits[2:l]
+                + 2 * c1[1 : l - 1].astype(np.int32)
+                + c0[1 : l - 1]
+            )
+            new_t_mid = (totals & 1).astype(np.uint8)
+            new_c0_mid = ((totals >> 1) & 1).astype(np.uint8)
+            new_c1_mid = ((totals >> 2) & 1).astype(np.uint8)
+        else:
+            new_t_mid = new_c0_mid = new_c1_mid = None
+
+        # Cell l: in paper mode this is the Fig. 1(d) leftmost cell; in
+        # corrected mode a regular cell with the m·n product removed
+        # (n_l = 0) and full carry outputs.
+        xl = int(self.x_pipe[(l - 2) // 2])
+        totl = (
+            int(t[l + 1])
+            + xl * int(self.y_bits[l])
+            + 2 * int(c1[l - 1])
+            + int(c0[l - 1])
+        )
+        if self.mode == "paper":
+            if totl >= 4 and self._productive(l):
+                raise SimulationError(
+                    f"paper-mode leftmost cell lost a carry at cycle "
+                    f"{self.cycle}: row sum needs bit l+2 (intermediate "
+                    "T >= 2^(l+1)); the printed Fig. 2 array computes this "
+                    "operand set incorrectly"
+                )
+            new_tl, new_top = totl & 1, (totl >> 1) & 1
+            new_c0_l = new_c1_l = None
+            new_t_top = None
+        else:
+            new_tl = totl & 1
+            new_c0_l = (totl >> 1) & 1
+            new_c1_l = (totl >> 2) & 1
+            # Top cell (j = l+1): 1 HA + 1 XOR; no x·y (y_{l+1} = 0).
+            tot_top = int(t[l + 2]) + 2 * int(c1[l]) + int(c0[l])
+            if tot_top >= 4 and self._productive(l + 1):
+                raise SimulationError(
+                    f"corrected-mode top cell overflow at cycle {self.cycle}: "
+                    "S_i >= 2^(l+3) should be mathematically impossible"
+                )
+            new_t_top, new_top = tot_top & 1, (tot_top >> 1) & 1
+
+        # --- synchronous capture (simultaneous) ---
+        t[1] = new_t1
+        if new_t_mid is not None:
+            t[2:l] = new_t_mid
+            c0[2:l] = new_c0_mid  # regular cell j writes C0(j), C1(j)
+            c1[2:l] = new_c1_mid
+        t[l] = new_tl
+        if self.mode == "corrected":
+            c0[l] = new_c0_l
+            c1[l] = new_c1_l
+            t[l + 1] = new_t_top
+        # The top T register is the only one read by the cell that writes
+        # it (the top cell's t_next feeds back as its own t_in two cycles
+        # later), so it captures only on that cell's productive parity —
+        # in hardware, a phase-gated enable.
+        if self.cycle % 2 == self.top_cell % 2:
+            t[self.top_t] = new_top
+        c0[0] = new_c0_0
+        c0[1] = new_c0_1
+        c1[1] = new_c1_1
+        # m pipeline: latch at the end of MUL1 (even) cycles.
+        if self.cycle % 2 == 0:
+            self.m_pipe[1:] = self.m_pipe[:-1]
+            self.m_pipe[0] = m0_comb
+        else:
+            # x pipeline + X register: latch/shift at the end of MUL2 cycles.
+            self.x_pipe[1:] = self.x_pipe[:-1]
+            self.x_pipe[0] = x0
+            self.x_shift >>= 1
+
+        # Diagonal result capture (the datapath T register of Fig. 3).
+        # Result bit b = t_{l+1, b+1}, finalized by cell b+1 at cycle
+        # 2(l+1) + b + 1; bit l comes from the top position.
+        tau = self.cycle
+        first = 2 * l + 3
+        if self.mode == "paper":
+            if first <= tau <= 3 * l + 1:
+                self.result_reg[tau - first] = t[tau - first + 1]
+            if tau == 3 * l + 2:
+                self.result_reg[l - 1] = t[l]
+                self.result_reg[l] = new_top
+        else:
+            if first <= tau <= first + l:
+                self.result_reg[tau - first] = t[tau - first + 1]
+
+        self.cycle += 1
+        if self.probe is not None:
+            self.probe(self)
+
+    def _productive(self, cell: int) -> bool:
+        """True when ``cell`` is computing a real row this cycle."""
+        if (self.cycle - cell) % 2:
+            return False
+        row = (self.cycle - cell) // 2
+        return 0 <= row <= self.l + 1
+
+    # ------------------------------------------------------------------
+    # Whole multiplications
+    # ------------------------------------------------------------------
+    def run_multiplication(self, x: int, y: int, n: int) -> MultiplicationResult:
+        """Execute one complete Montgomery multiplication, cycle by cycle.
+
+        Returns the result (``x·y·2^{-(l+2)} mod 2N``) together with the
+        measured cycle counts: ``datapath_cycles`` (3l+3 paper / 3l+4
+        corrected) and ``total_cycles`` including the OUT cycle (3l+4 /
+        3l+5), matching the paper's ``T_MMM`` accounting.
+        """
+        self.load(x, y, n)
+        datapath = self.datapath_cycles
+        for _ in range(datapath):
+            self.step()
+        value = bit_array_to_int(self.result_reg)
+        return MultiplicationResult(
+            value=value,
+            datapath_cycles=datapath,
+            total_cycles=datapath + 1,
+        )
+
+    def result_value(self) -> int:
+        """Current contents of the datapath result register, as an integer."""
+        return bit_array_to_int(self.result_reg)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SystolicArrayRTL(l={self.l}, mode={self.mode!r}, cycle={self.cycle})"

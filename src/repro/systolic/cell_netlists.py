@@ -1,0 +1,198 @@
+"""Gate netlists of the four cell types, exactly as drawn in Fig. 1.
+
+Each builder attaches one cell to an existing :class:`repro.hdl.Circuit`
+and returns the output wires.  The gate inventories match the paper:
+
+=============  =============================  ==========================
+cell           paper inventory                decomposition used here
+=============  =============================  ==========================
+regular (a)    2 FA + 1 HA + 2 AND            FA(xy, mn, c0_in) → s1;
+                                              HA(s1, t_in) → t;
+                                              FA(c1_in, cA, cB) → c0, c1
+rightmost (b)  1 AND + 1 OR + 1 XOR           m = t_in ⊕ xy; c0 = t_in ∨ xy
+1st-bit (c)    1 FA + 2 HA + 2 AND            FA(xy, mn, c0_in) → s1;
+                                              HA(s1, t_in) → t;
+                                              HA(cA, cB) → c0, c1
+leftmost (d)   1 FA + 1 AND + 1 XOR           FA(t_in, xy, c0_in) → t;
+                                              t_next = carry ⊕ c1_in
+=============  =============================  ==========================
+
+where FA = 2 XOR + 2 AND + 1 OR and HA = 1 XOR + 1 AND
+(see :mod:`repro.hdl.gates`).  Exhaustive equivalence against the
+behavioral models in :mod:`repro.systolic.cells` is enforced by the test
+suite, including the leftmost cell's reliance on the ``T < 2N`` invariant
+(its XOR is only correct on the reachable input set).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.hdl.gates import full_adder, half_adder
+from repro.hdl.netlist import Circuit, Wire
+
+__all__ = [
+    "RegularCellWires",
+    "RightmostCellWires",
+    "FirstBitCellWires",
+    "LeftmostCellWires",
+    "build_regular_cell",
+    "build_rightmost_cell",
+    "build_first_bit_cell",
+    "build_leftmost_cell",
+    "build_no_modulus_cell",
+    "build_top_cell",
+]
+
+
+class RegularCellWires(NamedTuple):
+    t: Wire
+    c0: Wire
+    c1: Wire
+
+
+class RightmostCellWires(NamedTuple):
+    m: Wire
+    c0: Wire
+
+
+class FirstBitCellWires(NamedTuple):
+    t: Wire
+    c0: Wire
+    c1: Wire
+
+
+class LeftmostCellWires(NamedTuple):
+    t: Wire
+    t_next: Wire
+
+
+def build_regular_cell(
+    c: Circuit,
+    t_in: Wire,
+    x: Wire,
+    y: Wire,
+    m: Wire,
+    n: Wire,
+    c0_in: Wire,
+    c1_in: Wire,
+    name: str = "cell",
+) -> RegularCellWires:
+    """Fig. 1(a): 2 FA + 1 HA + 2 AND computing Eq. (4).
+
+    Weight-1 plane: the partial products ``x·y`` and ``m·n`` join ``c0_in``
+    in the first full adder; its sum meets ``t_in`` in the half adder,
+    producing the ``t`` output.  Weight-2 plane: the two carries of those
+    adders join ``c1_in`` in the second full adder, producing ``c0`` (its
+    sum, weight 2) and ``c1`` (its carry, weight 4).
+    """
+    xy = c.and_(x, y, name=f"{name}.xy")
+    mn = c.and_(m, n, name=f"{name}.mn")
+    s1, ca = full_adder(c, xy, mn, c0_in, name=f"{name}.fa1")
+    t, cb = half_adder(c, s1, t_in, name=f"{name}.ha")
+    c0, c1 = full_adder(c, ca, cb, c1_in, name=f"{name}.fa2")
+    return RegularCellWires(t=t, c0=c0, c1=c1)
+
+
+def build_rightmost_cell(
+    c: Circuit, t_in: Wire, x: Wire, y0: Wire, name: str = "cell0"
+) -> RightmostCellWires:
+    """Fig. 1(b): 1 AND + 1 OR + 1 XOR.
+
+    Generates the quotient digit ``m = t_in ⊕ x·y0`` (Eq. 5) and the single
+    carry ``c0 = t_in ∨ x·y0`` (Eq. 7); the sum bit is identically zero.
+    """
+    xy = c.and_(x, y0, name=f"{name}.xy")
+    m = c.xor(t_in, xy, name=f"{name}.m")
+    c0 = c.or_(t_in, xy, name=f"{name}.c0")
+    return RightmostCellWires(m=m, c0=c0)
+
+
+def build_first_bit_cell(
+    c: Circuit,
+    t_in: Wire,
+    x: Wire,
+    y1: Wire,
+    m: Wire,
+    n1: Wire,
+    c0_in: Wire,
+    name: str = "cell1",
+) -> FirstBitCellWires:
+    """Fig. 1(c): 1 FA + 2 HA + 2 AND computing Eq. (8).
+
+    Identical to the regular cell except the weight-2 plane has only two
+    terms (there is no ``c1_in`` from the rightmost cell), so a half adder
+    replaces the second full adder.
+    """
+    xy = c.and_(x, y1, name=f"{name}.xy")
+    mn = c.and_(m, n1, name=f"{name}.mn")
+    s1, ca = full_adder(c, xy, mn, c0_in, name=f"{name}.fa")
+    t, cb = half_adder(c, s1, t_in, name=f"{name}.ha1")
+    c0, c1 = half_adder(c, ca, cb, name=f"{name}.ha2")
+    return FirstBitCellWires(t=t, c0=c0, c1=c1)
+
+
+def build_leftmost_cell(
+    c: Circuit,
+    t_in: Wire,
+    x: Wire,
+    yl: Wire,
+    c0_in: Wire,
+    c1_in: Wire,
+    name: str = "cellL",
+) -> LeftmostCellWires:
+    """Fig. 1(d): 1 FA + 1 AND + 1 XOR computing Eq. (9).
+
+    ``n_l = 0`` removes the m·n product; the FA adds ``t_in + x·y_l +
+    c0_in`` and its carry is XORed with ``c1_in`` to form the top bit —
+    exact because the ``T < 2N`` bound keeps the two XOR inputs from being
+    1 simultaneously (asserted by the behavioral model and property tests).
+    """
+    xy = c.and_(x, yl, name=f"{name}.xy")
+    t, carry = full_adder(c, t_in, xy, c0_in, name=f"{name}.fa")
+    t_next = c.xor(carry, c1_in, name=f"{name}.tnext")
+    return LeftmostCellWires(t=t, t_next=t_next)
+
+
+# ----------------------------------------------------------------------
+# Corrected-architecture cells (the reproduction's overflow fix; see the
+# array-mode discussion in repro.systolic.array).
+# ----------------------------------------------------------------------
+def build_no_modulus_cell(
+    c: Circuit,
+    t_in: Wire,
+    x: Wire,
+    yl: Wire,
+    c0_in: Wire,
+    c1_in: Wire,
+    name: str = "cellN",
+) -> RegularCellWires:
+    """Position-``l`` cell of the corrected array: 1 FA + 2 HA + 1 AND.
+
+    A regular cell with the ``m·n`` product removed (``n_l = 0``) but full
+    carry outputs, so the final carries can propagate into the extra top
+    position instead of being lost.
+    """
+    xy = c.and_(x, yl, name=f"{name}.xy")
+    s1, ca = half_adder(c, xy, c0_in, name=f"{name}.ha1")
+    t, cb = half_adder(c, s1, t_in, name=f"{name}.ha2")
+    c0, c1 = full_adder(c, ca, cb, c1_in, name=f"{name}.fa")
+    return RegularCellWires(t=t, c0=c0, c1=c1)
+
+
+def build_top_cell(
+    c: Circuit,
+    t_in: Wire,
+    c0_in: Wire,
+    c1_in: Wire,
+    name: str = "cellT",
+) -> LeftmostCellWires:
+    """Position-``l+1`` top cell of the corrected array: 1 HA + 1 XOR.
+
+    No ``x·y`` product (``y_{l+1} = 0``) and no modulus bit; it merely
+    folds the final carries into bits ``l+1`` and ``l+2`` of the row sum.
+    ``S_i < 2^{l+3}`` makes the XOR provably exact here (sum ≤ 3).
+    """
+    t, carry = half_adder(c, t_in, c0_in, name=f"{name}.ha")
+    t_next = c.xor(carry, c1_in, name=f"{name}.tnext")
+    return LeftmostCellWires(t=t, t_next=t_next)

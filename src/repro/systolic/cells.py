@@ -1,0 +1,152 @@
+"""Behavioral models of the four systolic cell types (paper Fig. 1).
+
+Each function is a pure combinational model of one cell, implementing the
+digit recurrences of Section 4.2.  The digit convention: ``t_{i,j}`` is bit
+``j`` of the *undivided* iteration sum ``S_i = T_{i-1} + x_i·Y + m_i·N``;
+the division by two of Algorithm 2 is realized by wiring — cell ``j`` of
+row ``i`` reads ``t_{i-1, j+1}``, i.e. bit ``j`` of ``T_{i-1} = S_{i-1}/2``.
+This is why ``t_{i,0}`` is identically zero (S_i is even by construction of
+``m_i``) and why the multiplier's result lives in bits ``t[1..l+1]``.
+
+Carry weights: a cell at position ``j`` outputs ``c0`` with weight ``2^(j+1)``
+and ``c1`` with weight ``2^(j+2)``; the neighbouring cell ``j+1`` consumes
+them as ``c0_in`` (weight 1 in its own frame) and ``c1_in`` (weight 2) —
+Eq. (4)'s ``2·c1_{i,j-1} + c0_{i,j-1}`` terms.
+
+All functions validate that their inputs are single bits and return plain
+ints, so they double as the oracle for exhaustive gate-netlist equivalence
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import ParameterError, SimulationError
+
+__all__ = [
+    "RegularOut",
+    "RightmostOut",
+    "FirstBitOut",
+    "LeftmostOut",
+    "regular_cell",
+    "rightmost_cell",
+    "first_bit_cell",
+    "leftmost_cell",
+]
+
+
+def _bit(name: str, value: int) -> int:
+    if value not in (0, 1):
+        raise ParameterError(f"{name} must be a bit (0/1), got {value!r}")
+    return value
+
+
+class RegularOut(NamedTuple):
+    """Outputs of the regular cell: Eq. (4)."""
+
+    t: int
+    c0: int
+    c1: int
+
+
+class RightmostOut(NamedTuple):
+    """Outputs of the rightmost cell: Eqs. (5)–(7).  ``t`` is always 0."""
+
+    m: int
+    c0: int
+
+
+class FirstBitOut(NamedTuple):
+    """Outputs of the 1st-bit cell: Eq. (8)."""
+
+    t: int
+    c0: int
+    c1: int
+
+
+class LeftmostOut(NamedTuple):
+    """Outputs of the leftmost cell: Eq. (9).
+
+    ``t`` is bit ``l`` of the row sum; ``t_next`` is bit ``l+1`` (the
+    top bit, stored in T(l+1) and fed back as next row's ``t_in``).
+    """
+
+    t: int
+    t_next: int
+
+
+def regular_cell(
+    t_in: int, x: int, y: int, m: int, n: int, c0_in: int, c1_in: int
+) -> RegularOut:
+    """Regular cell (Fig. 1a): Eq. (4).
+
+    ``2²·c1 + 2·c0 + t = t_in + x·y + m·n + 2·c1_in + c0_in``
+
+    Hardware: 2 FA + 1 HA + 2 AND.
+    """
+    total = (
+        _bit("t_in", t_in)
+        + _bit("x", x) * _bit("y", y)
+        + _bit("m", m) * _bit("n", n)
+        + 2 * _bit("c1_in", c1_in)
+        + _bit("c0_in", c0_in)
+    )
+    return RegularOut(t=total & 1, c0=(total >> 1) & 1, c1=(total >> 2) & 1)
+
+
+def rightmost_cell(t_in: int, x: int, y0: int) -> RightmostOut:
+    """Rightmost cell (Fig. 1b): Eqs. (5)–(7).
+
+    Generates the quotient digit ``m_i = t_in ⊕ x·y0`` (here ``t_in`` is
+    ``t_{i-1,1}``, the LSB of T_{i-1}) and the single carry
+    ``c0 = t_in ∨ x·y0``.  The sum bit ``t_{i,0}`` is identically zero and
+    therefore not an output.  Hardware: 1 AND + 1 OR + 1 XOR.
+    """
+    p = _bit("x", x) & _bit("y0", y0)
+    t = _bit("t_in", t_in)
+    return RightmostOut(m=t ^ p, c0=t | p)
+
+
+def first_bit_cell(
+    t_in: int, x: int, y1: int, m: int, n1: int, c0_in: int
+) -> FirstBitOut:
+    """1st-bit cell (Fig. 1c): Eq. (8).
+
+    Like the regular cell but its only carry input is the rightmost cell's
+    single ``c0`` (weight 1).  Hardware: 1 FA + 2 HA + 2 AND.
+    """
+    total = (
+        _bit("t_in", t_in)
+        + _bit("x", x) * _bit("y1", y1)
+        + _bit("m", m) * _bit("n1", n1)
+        + _bit("c0_in", c0_in)
+    )
+    return FirstBitOut(t=total & 1, c0=(total >> 1) & 1, c1=(total >> 2) & 1)
+
+
+def leftmost_cell(
+    t_in: int, x: int, yl: int, c0_in: int, c1_in: int, *, check: bool = True
+) -> LeftmostOut:
+    """Leftmost cell (Fig. 1d): Eq. (9), exploiting ``n_l = 0``.
+
+    ``2·t_next + t = t_in + x·y_l + 2·c1_in + c0_in``
+
+    Hardware: 1 FA + 1 AND + 1 XOR.  The XOR combines the FA's carry with
+    ``c1_in``; arithmetic worst case would need weight 4, but the window
+    bound ``T_i < 2N < 2^{l+1}`` guarantees the two XOR inputs are never
+    simultaneously 1.  With ``check=True`` (the default) that invariant is
+    asserted — a violation means the bound analysis was broken upstream.
+    """
+    total = (
+        _bit("t_in", t_in)
+        + _bit("x", x) * _bit("yl", yl)
+        + 2 * _bit("c1_in", c1_in)
+        + _bit("c0_in", c0_in)
+    )
+    if check and total >= 4:
+        raise SimulationError(
+            "leftmost cell overflow: row sum needs bit l+2, violating T < 2N "
+            f"(t_in={t_in}, x·y_l={x * yl}, c1_in={c1_in}, c0_in={c0_in})"
+        )
+    return LeftmostOut(t=total & 1, t_next=(total >> 1) & 1)

@@ -1,0 +1,135 @@
+"""Gate netlist of the systolic GF(2^m) array — dual-field at gate level.
+
+The carry-free counterpart of :mod:`repro.systolic.array_netlist`: same
+``2i+j`` wavefront, same T registers and a/m pipelines, but each cell is
+just ``t = t_in ⊕ a_i·b_j ⊕ m_i·f_j`` (2 AND + 2 XOR) and the C0/C1
+carry registers do not exist.  Elaborating both arrays at the same width
+lets the dual-field benchmark compare *measured netlists*, not just
+per-cell formulas — the Savaş et al. [24] claim at gate granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParameterError
+from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.registers import _drive
+from repro.hdl.simulator import Simulator
+from repro.montgomery.gf2 import GF2MontgomeryContext
+from repro.systolic.gf2_array import Gf2MultiplicationResult
+from repro.utils.bits import bits_to_int
+
+__all__ = ["Gf2ArrayPorts", "build_gf2_array", "GateLevelGf2Array"]
+
+
+@dataclass
+class Gf2ArrayPorts:
+    """Handles into an elaborated GF(2^m) array netlist."""
+
+    circuit: Circuit
+    m: int
+    a0: Wire  # serial A(0) input
+    b: List[Wire]  # B operand bus (m bits)
+    f: List[Wire]  # field polynomial bus (m+1 bits, monic)
+    t_regs: List[Wire]  # T(1..m)
+    t_comb: List[Wire]  # combinational t outputs of cells 1..m
+    m0: Wire
+    phase: Wire
+
+
+def build_gf2_array(m: int, name: str = "gf2array") -> Gf2ArrayPorts:
+    """Elaborate the systolic GF(2^m) array for field degree ``m``."""
+    if m < 2:
+        raise ParameterError(f"GF(2^m) array needs m >= 2, got {m}")
+    c = Circuit(f"{name}_m{m}")
+    a0 = c.add_input("a0")
+    b = c.add_input("b", m)
+    f = c.add_input("f", m + 1)
+
+    phase_d = c.new_wire("phase.d")
+    phase = c.dff(phase_d, name="phase")
+    _drive(c, phase_d, c.not_(phase, name="phase.n"))
+    not_phase = c.not_(phase, name="phase.inv")
+
+    # T registers T(1..m); index m+1 is identically 0 (degree bound).
+    t_d = [c.new_wire(f"T.d{j}") for j in range(1, m + 1)]
+    t_q = [c.dff(t_d[j - 1], name=f"T[{j}]") for j in range(1, m + 1)]
+
+    def T(j: int) -> Wire:
+        return t_q[j - 1] if j <= m else c.const0
+
+    pipe_len = max((m + 1) // 2, 1)
+    m_d = [c.new_wire(f"MP.d{k}") for k in range(pipe_len)]
+    m_q = [c.dff(m_d[k], name=f"MP[{k}]", enable=not_phase) for k in range(pipe_len)]
+    a_d = [c.new_wire(f"AP.d{k}") for k in range(pipe_len)]
+    a_q = [c.dff(a_d[k], name=f"AP[{k}]", enable=phase) for k in range(pipe_len)]
+
+    # Cell 0: m_i = t_in ⊕ a_i·b_0 (1 AND + 1 XOR, no carries at all).
+    ab0 = c.and_(a0, b[0], name="cell0.ab")
+    m0 = c.xor(T(1), ab0, name="cell0.m")
+
+    t_comb: List[Wire] = []
+    for j in range(1, m):
+        a_src = a0 if j == 1 else a_q[(j - 2) // 2]
+        m_src = m_q[(j - 1) // 2]
+        ab = c.and_(a_src, b[j], name=f"cell{j}.ab")
+        mf = c.and_(m_src, f[j], name=f"cell{j}.mf")
+        t = c.xor(c.xor(T(j + 1), ab, name=f"cell{j}.x1"), mf, name=f"cell{j}.t")
+        t_comb.append(t)
+    # Cell m: t = m_i · f_m (f monic ⇒ a plain AND; t_in = 0, b_m absent).
+    tm = c.and_(m_q[(m - 1) // 2], f[m], name=f"cell{m}.t")
+    t_comb.append(tm)
+
+    for j in range(1, m + 1):
+        _drive(c, t_d[j - 1], t_comb[j - 1])
+    _drive(c, m_d[0], m0)
+    for k in range(1, pipe_len):
+        _drive(c, m_d[k], m_q[k - 1])
+    _drive(c, a_d[0], a0)
+    for k in range(1, pipe_len):
+        _drive(c, a_d[k], a_q[k - 1])
+
+    c.mark_output("t", t_q)
+    c.mark_output("m0", m0)
+    c.validate()
+    return Gf2ArrayPorts(
+        circuit=c, m=m, a0=a0, b=b, f=f, t_regs=t_q, t_comb=t_comb, m0=m0, phase=phase
+    )
+
+
+class GateLevelGf2Array:
+    """Gate-level twin of :class:`~repro.systolic.gf2_array.Gf2ArraySystolic`."""
+
+    def __init__(self, ctx: GF2MontgomeryContext) -> None:
+        self.ctx = ctx
+        self.m = ctx.m
+        self.ports = build_gf2_array(ctx.m)
+        self.sim = Simulator(self.ports.circuit)
+
+    @property
+    def datapath_cycles(self) -> int:
+        return 3 * self.m - 1
+
+    def multiply(self, a: int, b: int) -> Gf2MultiplicationResult:
+        self.ctx.check_element("a", a)
+        self.ctx.check_element("b", b)
+        sim, ports = self.sim, self.ports
+        m = self.m
+        sim.reset()
+        sim.poke(ports.b, b)
+        sim.poke(ports.f, self.ctx.modulus)
+        result_bits = [0] * m
+        first = 2 * m - 1
+        for tau in range(self.datapath_cycles):
+            sim.poke(ports.a0, (a >> (tau // 2)) & 1)
+            sim.settle()
+            if first <= tau <= first + m - 1:
+                result_bits[tau - first] = sim.peek(ports.t_comb[tau - first])
+            sim.clock()
+        return Gf2MultiplicationResult(
+            value=bits_to_int(result_bits),
+            datapath_cycles=self.datapath_cycles,
+            total_cycles=self.datapath_cycles + 1,
+        )

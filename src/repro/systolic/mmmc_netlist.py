@@ -1,0 +1,219 @@
+"""The complete Montgomery Modular Multiplication Circuit as a gate netlist.
+
+This is Fig. 3 in full, at gate granularity: the four-state controller
+(2 state flip-flops + next-state logic), the cycle counter with its two
+comparators (count-end and token-start), the ``l+1``-bit X shift register,
+the Y and N operand registers, the embedded systolic array core, the
+result-capture token chain, the output RESULT register and the DONE flag.
+
+Interface (exactly the paper's): X, Y, N data inputs, START strobe,
+RESULT output, DONE output.  Drive START for one cycle while IDLE with the
+operands applied; DONE rises ``3l+4`` cycles later (``3l+5`` for the
+corrected array mode).
+
+Reproduction notes (see DESIGN.md):
+
+* the paper specifies a ``log2(l+2)``-bit counter incremented only in MUL2
+  with count-end at "2(l+1)" — mutually inconsistent statements; we use a
+  ``⌈log2(3l+5)⌉``-bit counter incremented every MUL cycle;
+* the paper does not specify how the skewed result diagonal reaches the
+  parallel T register; we use a traveling-token enable chain, the cheapest
+  realization consistent with Fig. 3's single comparator + counter style.
+
+The elaborated circuit is what the Virtex-E technology mapper consumes to
+reproduce Table 2's slice counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParameterError
+from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.registers import _drive, counter, equality_comparator, mux2, register, shift_register_right
+from repro.hdl.simulator import Simulator
+from repro.systolic.array import ARRAY_MODES
+from repro.systolic.array_netlist import ArrayCore, elaborate_array
+from repro.systolic.mmmc import MMMCRun
+from repro.utils.bits import bits_to_int
+
+__all__ = ["MMMCPorts", "build_mmmc", "GateLevelMMMC"]
+
+
+@dataclass
+class MMMCPorts:
+    """Handles into the elaborated MMMC netlist."""
+
+    circuit: Circuit
+    l: int
+    mode: str
+    x_in: List[Wire]
+    y_in: List[Wire]
+    n_in: List[Wire]
+    start: Wire
+    result: List[Wire]
+    done: Wire
+    state: List[Wire]  # [s0, s1]
+    counter: List[Wire]
+    core: ArrayCore
+
+
+# State encoding: IDLE=00, MUL1=01, MUL2=10, OUT=11 (s1 s0).
+_IDLE, _MUL1, _MUL2, _OUT = 0b00, 0b01, 0b10, 0b11
+
+
+def build_mmmc(l: int, mode: str = "corrected", name: str = "mmmc") -> MMMCPorts:
+    """Elaborate the complete MMMC for bit length ``l``."""
+    if l < 2:
+        raise ParameterError(f"MMMC needs l >= 2, got {l}")
+    if mode not in ARRAY_MODES:
+        raise ParameterError(f"mode must be one of {ARRAY_MODES}, got {mode!r}")
+    c = Circuit(f"{name}_l{l}_{mode}")
+    x_in = c.add_input("X", l + 1)
+    y_in = c.add_input("Y", l + 1)
+    n_in = c.add_input("N", l + 1)
+    start = c.add_input("START")
+
+    datapath_cycles = 3 * l + 4 if mode == "corrected" else 3 * l + 3
+
+    # ------------------------------------------------------------------
+    # Controller: 2 state FFs + next-state logic (Fig. 4 ASM).
+    # ------------------------------------------------------------------
+    s0_d = c.new_wire("ctl.s0d")
+    s1_d = c.new_wire("ctl.s1d")
+    s0 = c.dff(s0_d, name="ctl.s0")
+    s1 = c.dff(s1_d, name="ctl.s1")
+    ns0 = c.not_(s0, name="ctl.ns0")
+    ns1 = c.not_(s1, name="ctl.ns1")
+    in_idle = c.and_(ns1, ns0, name="ctl.idle")
+    in_mul1 = c.and_(ns1, s0, name="ctl.mul1")
+    in_mul2 = c.and_(s1, ns0, name="ctl.mul2")
+    in_out = c.and_(s1, s0, name="ctl.out")
+    load = c.and_(in_idle, start, name="ctl.load")
+    in_mul = c.or_(in_mul1, in_mul2, name="ctl.mul")
+
+    # Counter: counts MUL cycles 0..datapath_cycles-1; cleared on load.
+    width = max((datapath_cycles).bit_length(), 1)
+    ctr = counter(c, width, increment=in_mul, reset_to_zero=load, name="ctr")
+    count_end = equality_comparator(c, ctr, datapath_cycles - 1, name="cmp.end")
+    token_start = equality_comparator(c, ctr, 2 * l + 2, name="cmp.tok")
+
+    # Next state:
+    #   IDLE: START ? MUL1 : IDLE
+    #   MUL1: count_end ? OUT : MUL2
+    #   MUL2: count_end ? OUT : MUL1
+    #   OUT : IDLE
+    go_out = c.and_(in_mul, count_end, name="ctl.goOut")
+    stay1 = c.and_(in_mul2, c.not_(count_end, name="ctl.nend"), name="ctl.back1")
+    to_mul1 = c.or_(load, stay1, name="ctl.toMul1")
+    to_mul2 = c.and_(in_mul1, c.not_(count_end, name="ctl.nend2"), name="ctl.toMul2")
+    # s0' = to_mul1 | go_out ; s1' = to_mul2 | go_out
+    _drive(c, s0_d, c.or_(to_mul1, go_out, name="ctl.s0n"))
+    _drive(c, s1_d, c.or_(to_mul2, go_out, name="ctl.s1n"))
+
+    # ------------------------------------------------------------------
+    # Datapath registers (Fig. 3).
+    # ------------------------------------------------------------------
+    x_q = shift_register_right(c, x_in, load=load, shift=in_mul2, name="Xreg")
+    y_q = register(c, y_in, name="Yreg", enable=load)
+    n_q = register(c, n_in, name="Nreg", enable=load)
+
+    core = elaborate_array(
+        c,
+        x_q[0],
+        y_q,
+        n_q,
+        mode=mode,
+        en_mul1=in_mul1,
+        en_mul2=in_mul2,
+        clear=load,
+        name="arr",
+    )
+
+    # ------------------------------------------------------------------
+    # Result capture: traveling-token enable chain along the diagonal.
+    # ------------------------------------------------------------------
+    token_len = l + 1 if mode == "corrected" else l
+    tok_d = [c.new_wire(f"tok.d{k}") for k in range(token_len)]
+    tok_q = [c.dff(tok_d[k], name=f"tok[{k}]") for k in range(token_len)]
+    _drive(c, tok_d[0], c.and_(token_start, in_mul, name="tok.inj"))
+    for k in range(1, token_len):
+        _drive(c, tok_d[k], tok_q[k - 1])
+
+    result_q: List[Wire] = []
+    for b in range(l + 1):
+        if mode == "corrected":
+            src, en = core.t_comb[b], tok_q[b]
+        else:
+            if b < l:
+                src, en = core.t_comb[b], tok_q[b]
+            else:
+                # Paper mode: bit l comes from the leftmost cell's second
+                # output, at the same cycle as bit l-1.
+                src, en = core.t_next_comb, tok_q[l - 1]
+        result_q.append(c.dff(src, name=f"RES[{b}]", enable=en))
+
+    done = c.buf(in_out, name="DONE")
+    c.mark_output("RESULT", result_q)
+    c.mark_output("DONE", done)
+    c.validate()
+    return MMMCPorts(
+        circuit=c,
+        l=l,
+        mode=mode,
+        x_in=x_in,
+        y_in=y_in,
+        n_in=n_in,
+        start=start,
+        result=result_q,
+        done=done,
+        state=[s0, s1],
+        counter=ctr,
+        core=core,
+    )
+
+
+class GateLevelMMMC:
+    """Gate-level twin of :class:`~repro.systolic.mmmc.MMMC`.
+
+    Drives START/operands through the netlist simulator and waits for
+    DONE, measuring the latency in clock cycles.  Used by the equivalence
+    tests (gate MMMC ≡ behavioral MMMC ≡ golden) and the waveform example.
+    """
+
+    def __init__(self, l: int, mode: str = "corrected") -> None:
+        self.ports = build_mmmc(l, mode=mode)
+        self.sim = Simulator(self.ports.circuit)
+        self.l = l
+        self.mode = mode
+        self.sim.reset()
+
+    def multiply(self, x: int, y: int, n: int) -> MMMCRun:
+        """Run one multiplication; cycles counted from first MUL to DONE."""
+        p, sim = self.ports, self.sim
+        if n.bit_length() > self.l or n % 2 == 0 or n < 3:
+            raise ParameterError(f"bad modulus {n} for l={self.l}")
+        for nm, v in (("x", x), ("y", y)):
+            if not 0 <= v < 2 * n:
+                raise ParameterError(f"{nm}={v} outside [0, 2N) for N={n}")
+        sim.poke(p.x_in, x)
+        sim.poke(p.y_in, y)
+        sim.poke(p.n_in, n)
+        sim.poke(p.start, 1)
+        sim.step()  # the IDLE/load cycle (not charged, as in the behavioral MMMC)
+        sim.poke(p.start, 0)
+        cycles = 0
+        limit = 4 * self.l + 16
+        while cycles < limit:
+            sim.settle()
+            done = sim.peek(p.done)
+            sim.clock()
+            cycles += 1
+            if done:
+                return MMMCRun(
+                    result=bits_to_int([sim.peek(w) for w in p.result]),
+                    cycles=cycles,
+                    state_sequence=[],
+                )
+        raise ParameterError(f"DONE did not rise within {limit} cycles")

@@ -1,0 +1,131 @@
+"""The ``2i + j`` wavefront schedule of the linear systolic array.
+
+The paper's key scheduling fact (Section 4.2/4.3): with a single row of
+``l+1`` cells, cell ``j`` behaves like virtual cell ``(i, j)`` and computes
+digit ``t_{i,j}`` at clock cycle ``2i + j``.  This module makes that
+schedule a first-class object so tests and benchmarks can reason about it:
+which cell is active when, pipeline occupancy, the result-ready time
+``2(l+2) + l`` and the derived total latency ``3l + 4``.
+
+Cycle convention (used consistently by the RTL model and the MMMC):
+cycle 0 is the first cycle after operand load; row indices are 0-based
+(``i = 0 .. l+1``), so our cycle ``2i + j`` equals the paper's 1-based
+``2i' + j`` with ``i' = i + 1`` shifted by 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.utils.validation import ensure_positive
+
+__all__ = ["WavefrontSchedule", "CellActivity"]
+
+
+@dataclass(frozen=True)
+class CellActivity:
+    """One scheduled computation: cell ``j`` processing row ``i`` at ``cycle``."""
+
+    cycle: int
+    row: int
+    cell: int
+
+
+class WavefrontSchedule:
+    """Schedule of the ``l+1``-cell linear array over ``l+2`` rows.
+
+    Parameters
+    ----------
+    l:
+        Modulus bit length.  The array has cells ``j = 0..l`` and processes
+        rows ``i = 0..l+1`` (the ``l+2`` iterations of Algorithm 2).
+    """
+
+    def __init__(self, l: int) -> None:
+        ensure_positive("l", l)
+        if l < 2:
+            raise ParameterError(f"array needs l >= 2 (got l={l})")
+        self.l = l
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return self.l + 1
+
+    @property
+    def num_rows(self) -> int:
+        return self.l + 2
+
+    @property
+    def last_compute_cycle(self) -> int:
+        """Cycle of the final digit: cell ``l`` processing row ``l+1``."""
+        return 2 * (self.num_rows - 1) + self.l  # = 3l + 2
+
+    @property
+    def datapath_cycles(self) -> int:
+        """Cycles the array must be clocked for one multiplication (3l+3)."""
+        return self.last_compute_cycle + 1
+
+    def compute_cycle(self, row: int, cell: int) -> int:
+        """Clock cycle at which ``cell`` computes ``t_{row, cell}``."""
+        self._check(row, cell)
+        return 2 * row + cell
+
+    def active_row(self, cycle: int, cell: int) -> Optional[int]:
+        """Row processed by ``cell`` at ``cycle`` (None when idle/garbage).
+
+        A cell is productively active only on cycles matching its parity
+        and within its window ``[j, 2(l+1)+j]``.
+        """
+        if cell < 0 or cell > self.l:
+            raise ParameterError(f"cell {cell} outside [0, {self.l}]")
+        if (cycle - cell) % 2:
+            return None
+        row = (cycle - cell) // 2
+        return row if 0 <= row < self.num_rows else None
+
+    def active_cells(self, cycle: int) -> List[CellActivity]:
+        """All productive cell activities at ``cycle``."""
+        acts = []
+        for j in range(self.num_cells):
+            row = self.active_row(cycle, j)
+            if row is not None:
+                acts.append(CellActivity(cycle=cycle, row=row, cell=j))
+        return acts
+
+    def occupancy(self, cycle: int) -> float:
+        """Fraction of cells doing productive work at ``cycle``.
+
+        Peaks near 1/2 mid-multiplication — the structural cost of the
+        two-cycle issue interval, and the opening Blum–Paar's u-bit cells
+        attack differently.
+        """
+        return len(self.active_cells(cycle)) / self.num_cells
+
+    def __iter__(self) -> Iterator[CellActivity]:
+        """All activities in (cycle, cell) order."""
+        for cycle in range(self.datapath_cycles):
+            yield from self.active_cells(cycle)
+
+    # ------------------------------------------------------------------
+    def x_consumption_schedule(self) -> List[Tuple[int, int]]:
+        """(cycle, i) pairs at which ``x_i`` is first consumed (by cell 0)."""
+        return [(2 * i, i) for i in range(self.num_rows)]
+
+    def result_bit_ready(self, bit: int) -> int:
+        """Cycle after which result bit ``bit`` is final in register T(bit+1).
+
+        The result is ``T_{l+1} = S_{l+1}/2``: its bit ``b`` is digit
+        ``t_{l+1, b+1}``, computed by cell ``b+1`` at ``2(l+1) + b + 1``.
+        """
+        if not 0 <= bit <= self.l:
+            raise ParameterError(f"result bit {bit} outside [0, {self.l}]")
+        return 2 * (self.num_rows - 1) + bit + 1
+
+    def _check(self, row: int, cell: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise ParameterError(f"row {row} outside [0, {self.num_rows})")
+        if not 0 <= cell <= self.l:
+            raise ParameterError(f"cell {cell} outside [0, {self.l}]")

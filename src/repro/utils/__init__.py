@@ -1,0 +1,29 @@
+"""Shared low-level helpers: bit manipulation, validation, seeded RNG."""
+
+from repro.utils.bits import (
+    bit_length_words,
+    bits_to_int,
+    int_to_bits,
+    iter_bits_lsb_first,
+    hamming_weight,
+)
+from repro.utils.validation import (
+    ensure_int,
+    ensure_nonnegative,
+    ensure_odd,
+    ensure_positive,
+    ensure_in_range,
+)
+
+__all__ = [
+    "bit_length_words",
+    "bits_to_int",
+    "int_to_bits",
+    "iter_bits_lsb_first",
+    "hamming_weight",
+    "ensure_int",
+    "ensure_nonnegative",
+    "ensure_odd",
+    "ensure_positive",
+    "ensure_in_range",
+]

@@ -1,0 +1,116 @@
+"""Bit-vector helpers used throughout the library.
+
+The hardware models operate on little-endian bit vectors (index 0 is the
+least-significant bit), matching the paper's digit indexing
+``N = (n_{l-1} ... n_1 n_0)_2``.  The algorithm-level code operates on Python
+integers.  These helpers convert between the two representations and provide
+the small bit-twiddling utilities the schedulers and exponentiators need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "int_to_bits",
+    "bits_to_int",
+    "int_to_bit_array",
+    "bit_array_to_int",
+    "iter_bits_lsb_first",
+    "iter_bits_msb_first",
+    "hamming_weight",
+    "bit_length_words",
+]
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Return ``value`` as a little-endian list of ``width`` bits.
+
+    Raises :class:`ParameterError` if ``value`` is negative or does not fit
+    in ``width`` bits — hardware registers cannot silently truncate.
+
+    >>> int_to_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    if width < 0:
+        raise ParameterError(f"width must be non-negative, got {width}")
+    if value < 0:
+        raise ParameterError(f"cannot encode negative value {value}")
+    if value >> width:
+        raise ParameterError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian bit sequence -> int).
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    acc = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ParameterError(f"bit {i} is {b!r}, expected 0 or 1")
+        acc |= b << i
+    return acc
+
+
+def int_to_bit_array(value: int, width: int, dtype=np.uint8) -> np.ndarray:
+    """Return ``value`` as a little-endian NumPy bit array of length ``width``.
+
+    This is the vectorized-simulation counterpart of :func:`int_to_bits`.
+    """
+    return np.asarray(int_to_bits(value, width), dtype=dtype)
+
+
+def bit_array_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`int_to_bit_array`.
+
+    Accepts any integer array of 0/1 values; uses Python big integers so the
+    result is exact at arbitrary width.
+    """
+    return bits_to_int([int(b) for b in np.asarray(bits).ravel()])
+
+
+def iter_bits_lsb_first(value: int) -> Iterator[int]:
+    """Yield the bits of ``value`` from least to most significant.
+
+    Yields nothing for ``value == 0`` (a zero-bit number).
+    """
+    if value < 0:
+        raise ParameterError(f"cannot iterate bits of negative value {value}")
+    while value:
+        yield value & 1
+        value >>= 1
+
+
+def iter_bits_msb_first(value: int) -> Iterator[int]:
+    """Yield the bits of ``value`` from most to least significant."""
+    if value < 0:
+        raise ParameterError(f"cannot iterate bits of negative value {value}")
+    for i in reversed(range(value.bit_length())):
+        yield (value >> i) & 1
+
+
+def hamming_weight(value: int) -> int:
+    """Number of one-bits of a non-negative integer."""
+    if value < 0:
+        raise ParameterError(f"hamming_weight of negative value {value}")
+    return bin(value).count("1")
+
+
+def bit_length_words(bits: int, word_bits: int) -> int:
+    """Number of ``word_bits``-wide digits needed to hold a ``bits``-bit value.
+
+    This is the ceiling division the paper writes as ``d(n+2)/αe`` for the
+    high-radix iteration count.
+    """
+    if word_bits <= 0:
+        raise ParameterError(f"word_bits must be positive, got {word_bits}")
+    if bits < 0:
+        raise ParameterError(f"bits must be non-negative, got {bits}")
+    return -(-bits // word_bits)

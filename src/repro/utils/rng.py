@@ -1,0 +1,63 @@
+"""Seeded operand generators for tests, examples and benchmarks.
+
+Everything here is deterministic given a seed, so benchmark rows and test
+failures are reproducible.  The generators produce the operand classes the
+paper's algorithms care about: odd moduli of an exact bit length and
+residues inside the ``[0, 2N)`` window of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import ParameterError
+from repro.utils.validation import ensure_positive
+
+__all__ = [
+    "random_odd_modulus",
+    "random_residue",
+    "random_operand_pair",
+    "operand_batch",
+]
+
+
+def random_odd_modulus(bits: int, rng: random.Random) -> int:
+    """Return a uniformly random odd integer with exactly ``bits`` bits.
+
+    ``bits >= 2`` is required: a 1-bit odd modulus would be N = 1, for which
+    modular arithmetic degenerates.
+    """
+    ensure_positive("bits", bits)
+    if bits < 2:
+        raise ParameterError(f"modulus must have at least 2 bits, got {bits}")
+    n = rng.getrandbits(bits - 2) if bits > 2 else 0
+    return (1 << (bits - 1)) | (n << 1) | 1
+
+
+def random_residue(modulus: int, rng: random.Random, *, doubled: bool = False) -> int:
+    """Return a random residue in ``[0, N)`` or, with ``doubled``, ``[0, 2N)``.
+
+    The doubled window is the input domain of Algorithm 2 (no final
+    subtraction), where intermediate values legitimately exceed N.
+    """
+    ensure_positive("modulus", modulus)
+    upper = 2 * modulus if doubled else modulus
+    return rng.randrange(upper)
+
+
+def random_operand_pair(
+    bits: int, rng: random.Random, *, doubled: bool = False
+) -> Tuple[int, int, int]:
+    """Return ``(N, x, y)`` with N an odd ``bits``-bit modulus and x, y residues."""
+    n = random_odd_modulus(bits, rng)
+    return n, random_residue(n, rng, doubled=doubled), random_residue(n, rng, doubled=doubled)
+
+
+def operand_batch(
+    bits: int, count: int, seed: int = 0, *, doubled: bool = False
+) -> List[Tuple[int, int, int]]:
+    """Return ``count`` deterministic ``(N, x, y)`` triples for bit length ``bits``."""
+    ensure_positive("count", count)
+    rng = random.Random(seed)
+    return [random_operand_pair(bits, rng, doubled=doubled) for _ in range(count)]

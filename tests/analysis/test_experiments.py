@@ -1,0 +1,41 @@
+"""Tests for the experiment registry."""
+
+import importlib
+import os
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, get_experiment
+from repro.errors import ParameterError
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestRegistry:
+    def test_core_artifacts_present(self):
+        for eid in ("table1", "table2", "fig1", "fig2", "fig34", "eq10"):
+            assert eid in EXPERIMENTS
+
+    def test_lookup(self):
+        e = get_experiment("table2")
+        assert "Slices" in e.description or "slice" in e.description.lower()
+
+    def test_unknown_id(self):
+        with pytest.raises(ParameterError, match="unknown experiment"):
+            get_experiment("table99")
+
+    def test_module_references_importable(self):
+        for e in EXPERIMENTS.values():
+            for mod in e.modules:
+                importlib.import_module(mod)
+
+    def test_benchmark_files_exist(self):
+        for e in EXPERIMENTS.values():
+            path = os.path.join(REPO_ROOT, e.benchmark)
+            assert os.path.exists(path), f"{e.id}: missing {e.benchmark}"
+
+    def test_ids_unique_and_match_keys(self):
+        for key, e in EXPERIMENTS.items():
+            assert key == e.id

@@ -1,0 +1,49 @@
+"""Tests for the SPA attack simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.spa import recover_exponent_sqm, spa_resistance_report
+from repro.errors import ParameterError
+from repro.montgomery.exponent import montgomery_modexp
+from repro.montgomery.params import MontgomeryContext
+
+
+class TestRecovery:
+    @given(st.integers(1, 1 << 64))
+    @settings(max_examples=200)
+    def test_recovers_any_exponent_from_sqm_trace(self, e):
+        """The attacker reads the exponent straight off Algorithm 3's
+        operation sequence — for every exponent."""
+        ctx = MontgomeryContext(197)
+        _, trace = montgomery_modexp(ctx, 5, e)
+        kinds = [op.kind for op in trace.operations]
+        assert recover_exponent_sqm(kinds) == e
+
+    def test_single_bit_exponent(self):
+        ctx = MontgomeryContext(197)
+        _, trace = montgomery_modexp(ctx, 5, 1)
+        assert recover_exponent_sqm([op.kind for op in trace.operations]) == 1
+
+    def test_malformed_trace(self):
+        with pytest.raises(ParameterError):
+            recover_exponent_sqm(["multiply", "square"])
+
+
+class TestReport:
+    def test_sqm_leaks_ladder_does_not(self):
+        rep = spa_resistance_report(197, 55, 0xBEEF)
+        assert rep["square-multiply"].exact
+        assert rep["square-multiply"].recovered == 0xBEEF
+        assert rep["square-multiply"].leaked_bits == 16
+        assert not rep["ladder"].exact
+        assert rep["ladder"].recovered is None
+        assert rep["ladder"].leaked_bits == 0
+
+    @given(st.integers(1, 1 << 32))
+    @settings(max_examples=50)
+    def test_always_total_leak_vs_zero_leak(self, e):
+        rep = spa_resistance_report(251, 100, e)
+        assert rep["square-multiply"].exact
+        assert rep["ladder"].leaked_bits == 0

@@ -1,0 +1,28 @@
+"""Tests for the sweep driver."""
+
+from repro.analysis.sweep import sweep
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        points = sweep(lambda a, b: {"s": a + b}, {"a": [1, 2], "b": [10, 20]})
+        assert len(points) == 4
+        assert points[0].params == {"a": 1, "b": 10}
+        assert points[-1].result == {"s": 22}
+
+    def test_order_deterministic(self):
+        p1 = sweep(lambda a: {"v": a}, {"a": [3, 1, 2]})
+        p2 = sweep(lambda a: {"v": a}, {"a": [3, 1, 2]})
+        assert [p.params for p in p1] == [p.params for p in p2]
+        assert [p.params["a"] for p in p1] == [3, 1, 2]
+
+    def test_row_projection(self):
+        points = sweep(lambda l: {"cycles": 3 * l + 4}, {"l": [32]})
+        assert points[0].row(["l", "cycles", "missing"]) == [32, 100, None]
+
+    def test_single_axis(self):
+        points = sweep(lambda x: {"sq": x * x}, {"x": range(3)})
+        assert [p.result["sq"] for p in points] == [0, 1, 4]
+
+    def test_empty_grid_axis(self):
+        assert sweep(lambda x: {"v": x}, {"x": []}) == []

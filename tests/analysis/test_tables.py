@@ -1,0 +1,40 @@
+"""Tests for the table renderer."""
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["l", "Tp"], [[32, 9.256], [1024, 10.458]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "l" in lines[0] and "Tp" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "9.256" in lines[2]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 2")
+        assert out.splitlines()[0] == "Table 2"
+
+    def test_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in out and "1.23" not in out
+
+    def test_none_rendered_as_dash(self):
+        out = render_table(["a", "b"], [[1, None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_numeric_right_alignment(self):
+        out = render_table(["v"], [[1], [100]])
+        rows = out.splitlines()[2:]
+        assert rows[0].endswith("1") and rows[1].endswith("100")
+        assert rows[0].startswith("  ")
+
+    def test_text_left_alignment(self):
+        out = render_table(["name", "v"], [["ab", 1], ["abcdef", 2]])
+        rows = out.splitlines()[2:]
+        assert rows[0].startswith("ab ")
+
+    def test_short_rows_padded(self):
+        out = render_table(["a", "b", "c"], [[1]])
+        assert out.splitlines()[-1].count("-") >= 2

@@ -1,0 +1,74 @@
+"""Tests for the Blum-Paar comparison model."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.blum_paar import (
+    BlumPaarModel,
+    blum_paar_exponentiation_cycles,
+    blum_paar_mmm_cycles,
+    blum_paar_montgomery,
+)
+from repro.errors import ParameterError
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import context_and_operands
+
+
+class TestAlgorithm:
+    @given(context_and_operands(2, 64))
+    @settings(max_examples=150)
+    def test_congruence_with_extra_iteration(self, cxy):
+        """Output is x·y·2^-(l+3) mod N and stays in the window."""
+        ctx, x, y = cxy
+        t = blum_paar_montgomery(ctx, x, y)
+        n = ctx.modulus
+        r_inv = pow(1 << (ctx.l + 3), -1, n)
+        assert 0 <= t < 2 * n
+        assert t % n == (x * y * r_inv) % n
+
+    def test_relation_to_paper_algorithm(self):
+        """One extra iteration = one extra halving mod N."""
+        from repro.montgomery.algorithms import montgomery_no_subtraction
+
+        ctx = MontgomeryContext(197)
+        x, y = 300, 150
+        ours = montgomery_no_subtraction(ctx, x, y)
+        theirs = blum_paar_montgomery(ctx, x, y)
+        inv2 = pow(2, -1, 197)
+        assert theirs % 197 == (ours * inv2) % 197
+
+
+class TestCycleCounts:
+    def test_mmm_two_more_cycles(self):
+        from repro.systolic.timing import mmm_cycles
+
+        for l in (32, 1024):
+            assert blum_paar_mmm_cycles(l) == mmm_cycles(l) + 2
+
+    def test_exponentiation_count(self):
+        l, e = 128, 0b1011
+        per = blum_paar_mmm_cycles(l)
+        assert blum_paar_exponentiation_cycles(l, e) == (2 + 3 + 2) * per
+
+    def test_paper_always_faster_same_clock(self):
+        from repro.systolic.timing import exponentiation_cycles_paper
+
+        for l in (64, 512, 1024):
+            e = (1 << l) - 1
+            ours = exponentiation_cycles_paper(l, e).total
+            theirs = blum_paar_exponentiation_cycles(l, e)
+            assert ours < theirs
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            blum_paar_exponentiation_cycles(8, 0)
+
+
+class TestWallClockModel:
+    def test_penalty_applied(self):
+        m = BlumPaarModel(l=64, clock_penalty=1.5)
+        assert m.mmm_time_ns(10.0) == blum_paar_mmm_cycles(64) * 15.0
+
+    def test_default_penalty_above_one(self):
+        assert BlumPaarModel(l=64).clock_penalty > 1.0

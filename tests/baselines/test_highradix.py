@@ -1,0 +1,44 @@
+"""Tests for the high-radix latency model."""
+
+import pytest
+
+from repro.baselines.highradix import HighRadixModel
+from repro.errors import ParameterError
+
+
+class TestIterations:
+    def test_alpha_one_is_paper(self):
+        m = HighRadixModel(l=1024, alpha=1)
+        assert m.iterations == 1026
+
+    def test_iterations_shrink_with_alpha(self):
+        its = [HighRadixModel(l=1024, alpha=a).iterations for a in (1, 2, 4, 8, 16)]
+        assert its == sorted(its, reverse=True)
+        assert its[-1] == 65
+
+
+class TestLatency:
+    def test_alpha_one_clock_unchanged(self):
+        m = HighRadixModel(l=64, alpha=1)
+        assert m.clock_period_ns(10.0) == 10.0
+
+    def test_clock_grows_with_alpha(self):
+        tps = [
+            HighRadixModel(l=64, alpha=a).clock_period_ns(10.0) for a in (1, 2, 4, 8)
+        ]
+        assert tps == sorted(tps)
+
+    def test_cycle_count_vs_wall_clock_tradeoff(self):
+        """Higher radix always cuts cycles; wall clock improves only while
+        the cell penalty stays below the iteration saving."""
+        base = HighRadixModel(l=1024, alpha=1)
+        r16 = HighRadixModel(l=1024, alpha=16)
+        assert r16.mmm_cycles < base.mmm_cycles
+        # with the default penalty, radix-16 still wins on wall clock
+        assert r16.mmm_time_ns(10.0) < base.mmm_time_ns(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HighRadixModel(l=1, alpha=1)
+        with pytest.raises(ParameterError):
+            HighRadixModel(l=64, alpha=0)

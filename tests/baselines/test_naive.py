@@ -1,0 +1,65 @@
+"""Tests for the pre-Montgomery baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import (
+    interleaved_modmul,
+    naive_cycle_model,
+    schoolbook_modmul,
+)
+from repro.errors import ParameterError
+
+
+class TestSchoolbook:
+    @given(st.integers(2, 1 << 64), st.integers(0, 1 << 64), st.integers(0, 1 << 64))
+    @settings(max_examples=150)
+    def test_matches_builtin(self, n, xr, yr):
+        x, y = xr % n, yr % n
+        assert schoolbook_modmul(x, y, n) == (x * y) % n
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(ParameterError):
+            schoolbook_modmul(11, 1, 11)
+        with pytest.raises(ParameterError):
+            schoolbook_modmul(-1, 1, 11)
+        with pytest.raises(ParameterError):
+            schoolbook_modmul(1, 1, 0)
+
+
+class TestInterleaved:
+    @given(st.integers(2, 1 << 64), st.integers(0, 1 << 64), st.integers(0, 1 << 64))
+    @settings(max_examples=150)
+    def test_matches_builtin(self, n, xr, yr):
+        x, y = xr % n, yr % n
+        assert interleaved_modmul(x, y, n) == (x * y) % n
+
+    def test_zero_operands(self):
+        assert interleaved_modmul(0, 5, 7) == 0
+        assert interleaved_modmul(5, 0, 7) == 0
+
+
+class TestCycleModel:
+    def test_iteration_cost(self):
+        m = naive_cycle_model(1024, word=32)
+        assert m.cycles_per_iteration == 1 + 2 * 32
+        assert m.multiplication_cycles == 1024 * 65
+
+    def test_montgomery_wins(self):
+        """The point of the paper: Montgomery's 3l+4 beats the naive
+        multiplier's l x (1 + 2·l/w) for realistic sizes."""
+        from repro.systolic.timing import mmm_cycles
+
+        for l in (256, 512, 1024):
+            assert mmm_cycles(l) < naive_cycle_model(l).multiplication_cycles
+
+    def test_exponentiation_scaling(self):
+        m = naive_cycle_model(64)
+        assert m.exponentiation_cycles(64) == (64 + 32) * m.multiplication_cycles
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            naive_cycle_model(0)
+        with pytest.raises(ParameterError):
+            naive_cycle_model(8, word=0)

@@ -1,0 +1,78 @@
+"""Tests for the Tenca-Koç scalable architecture model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.scalable import (
+    ScalableUnit,
+    scalable_mmm_cycles,
+    scalable_montgomery,
+)
+from repro.errors import ParameterError
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import odd_modulus
+
+
+class TestFunctionalModel:
+    @given(
+        odd_modulus(2, 72),
+        st.integers(0, 1 << 80),
+        st.integers(0, 1 << 80),
+        st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=150)
+    def test_matches_classical_montgomery(self, n, xr, yr, w):
+        ctx = MontgomeryContext(n)
+        x, y = xr % n, yr % n
+        got = scalable_montgomery(ctx, x, y, w)
+        assert got == (x * y * pow(1 << ctx.l, -1, n)) % n
+
+    def test_rejects_unreduced(self):
+        ctx = MontgomeryContext(11)
+        with pytest.raises(ParameterError):
+            scalable_montgomery(ctx, 11, 1, 8)
+
+    def test_word_size_independence(self):
+        """All word sizes compute the same function."""
+        ctx = MontgomeryContext(0xC5)
+        outs = {scalable_montgomery(ctx, 100, 150, w) for w in (2, 4, 8, 16, 64)}
+        assert len(outs) == 1
+
+
+class TestLatencyModel:
+    def test_more_stages_fewer_cycles(self):
+        cycles = [scalable_mmm_cycles(1024, 8, p) for p in (2, 4, 8, 16, 32)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_saturates_at_iteration_bound(self):
+        """Beyond enough stages the bit loop itself is the bound."""
+        big = scalable_mmm_cycles(256, 8, 64)
+        bigger = scalable_mmm_cycles(256, 8, 128)
+        assert big == bigger
+
+    def test_paper_array_is_faster_but_larger(self):
+        """The paper's full array beats any modest scalable config on
+        latency; the scalable unit wins on area — the intended trade."""
+        from repro.systolic.timing import mmm_cycles
+
+        n_bits = 1024
+        unit = ScalableUnit(word=8, stages=16)
+        assert mmm_cycles(n_bits) < unit.mmm_cycles(n_bits)
+        paper_area_cells = n_bits + 1  # one cell per bit
+        assert unit.area_cells < paper_area_cells
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            scalable_mmm_cycles(0, 8, 4)
+        with pytest.raises(ParameterError):
+            scalable_mmm_cycles(64, 0, 4)
+        with pytest.raises(ParameterError):
+            scalable_mmm_cycles(64, 8, 0)
+
+
+class TestUnit:
+    def test_tradeoff_metric(self):
+        u = ScalableUnit(word=8, stages=8)
+        assert u.speedup_area_tradeoff(512) == u.mmm_cycles(512) * u.area_cells

@@ -1,0 +1,47 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.montgomery.params import MontgomeryContext
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+def odd_modulus(min_bits: int = 2, max_bits: int = 96) -> st.SearchStrategy[int]:
+    """Hypothesis strategy: odd modulus with exact bit length in range."""
+
+    def build(bits: int, body: int) -> int:
+        top = 1 << (bits - 1)
+        return top | ((body % max(top >> 1, 1)) << 1) | 1
+
+    return st.builds(
+        build,
+        st.integers(min_value=min_bits, max_value=max_bits),
+        st.integers(min_value=0),
+    )
+
+
+def context_and_operands(
+    min_bits: int = 2, max_bits: int = 96
+) -> st.SearchStrategy:
+    """Strategy producing (MontgomeryContext, x, y) with x, y in [0, 2N)."""
+
+    def build(n: int, fx: int, fy: int):
+        ctx = MontgomeryContext(n)
+        return ctx, fx % (2 * n), fy % (2 * n)
+
+    return st.builds(
+        build,
+        odd_modulus(min_bits, max_bits),
+        st.integers(min_value=0),
+        st.integers(min_value=0),
+    )

@@ -1,0 +1,145 @@
+"""Tests for binary-field (GF(2^m)) elliptic curves."""
+
+import random
+
+import pytest
+
+from repro.ecc.binary import (
+    NIST_K163,
+    TOY_B16,
+    BinaryPoint,
+    binary_scalar_multiply,
+)
+from repro.errors import ParameterError
+from repro.montgomery.gf2 import clmul, poly_inverse, poly_mod
+
+
+def _all_toy_points():
+    """Exhaustive affine points of the toy curve, plain polynomial math."""
+    f, a, b = TOY_B16.poly, TOY_B16.a, TOY_B16.b
+
+    def fm(u, v):
+        return poly_mod(clmul(u, v), f)
+
+    return [
+        (x, y)
+        for x in range(16)
+        for y in range(16)
+        if fm(y, y) ^ fm(x, y) == fm(fm(x, x), x) ^ fm(a, fm(x, x)) ^ b
+    ]
+
+
+def _ref_add(P, Q):
+    """Textbook affine addition over GF(2^4), independent implementation."""
+    f, a = TOY_B16.poly, TOY_B16.a
+
+    def fm(u, v):
+        return poly_mod(clmul(u, v), f)
+
+    if P is None:
+        return Q
+    if Q is None:
+        return P
+    x1, y1 = P
+    x2, y2 = Q
+    if x1 == x2:
+        if y1 != y2 or x1 == 0:
+            return None
+        lam = x1 ^ fm(y1, poly_inverse(x1, f))
+        x3 = fm(lam, lam) ^ lam ^ a
+        return (x3, fm(x1, x1) ^ fm(lam ^ 1, x3))
+    lam = fm(y1 ^ y2, poly_inverse(x1 ^ x2, f))
+    x3 = fm(lam, lam) ^ lam ^ x1 ^ x2 ^ a
+    return (x3, fm(lam, x1 ^ x3) ^ x3 ^ y1)
+
+
+class TestCurveParameters:
+    def test_k163_generator_on_curve(self):
+        assert NIST_K163.contains(NIST_K163.gx, NIST_K163.gy)
+
+    def test_toy_generator_on_curve_and_order(self):
+        assert TOY_B16.contains(TOY_B16.gx, TOY_B16.gy)
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        acc, order = g, 1
+        while not acc.infinite:
+            acc = acc.add(g)
+            order += 1
+            assert order <= 100
+        assert order == TOY_B16.order == 24
+
+
+class TestGroupLaws:
+    def test_add_matches_reference_exhaustive(self):
+        pts = _all_toy_points()
+        fld = TOY_B16.field()
+
+        def lift(P):
+            if P is None:
+                return BinaryPoint.infinity(TOY_B16, fld)
+            return BinaryPoint(TOY_B16, fld, fld.enter(P[0]), fld.enter(P[1]))
+
+        for P in pts:
+            for Q in pts:
+                got = lift(P).add(lift(Q)).to_affine_ints()
+                assert got == _ref_add(P, Q), (P, Q)
+
+    def test_double_matches_reference(self):
+        fld = TOY_B16.field()
+        for P in _all_toy_points():
+            pt = BinaryPoint(TOY_B16, fld, fld.enter(P[0]), fld.enter(P[1]))
+            assert pt.double().to_affine_ints() == _ref_add(P, P)
+
+    def test_negation(self):
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        assert g.add(-g).infinite
+
+    def test_identity(self):
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        inf = BinaryPoint.infinity(TOY_B16, fld)
+        assert g.add(inf).to_affine_ints() == g.to_affine_ints()
+        assert inf.add(g).to_affine_ints() == g.to_affine_ints()
+
+
+class TestScalarMultiplication:
+    def test_exhaustive_against_repeated_addition(self):
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        acc = BinaryPoint.infinity(TOY_B16, fld)
+        for k in range(0, 30):
+            got, _ = binary_scalar_multiply(g, k)
+            if acc.infinite:
+                assert got.infinite or k % TOY_B16.order != 0
+            if got.infinite:
+                assert k % TOY_B16.order == 0
+            else:
+                assert got.to_affine_ints() == acc.to_affine_ints()
+            acc = acc.add(g)
+
+    def test_k163_order_annihilates(self):
+        fld = NIST_K163.field()
+        g = BinaryPoint.generator(NIST_K163, fld)
+        res, mults = binary_scalar_multiply(g, NIST_K163.order)
+        assert res.infinite
+        assert mults > 0
+
+    def test_results_on_curve(self):
+        fld = NIST_K163.field()
+        g = BinaryPoint.generator(NIST_K163, fld)
+        p, _ = binary_scalar_multiply(g, 0xDEADBEEFCAFE)
+        x, y = p.to_affine_ints()
+        assert NIST_K163.contains(x, y)
+
+    def test_mult_count_reported(self):
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        _, mults = binary_scalar_multiply(g, 13)
+        assert mults > 0
+
+    def test_validation(self):
+        fld = TOY_B16.field()
+        g = BinaryPoint.generator(TOY_B16, fld)
+        with pytest.raises(ParameterError):
+            binary_scalar_multiply(g, -1)

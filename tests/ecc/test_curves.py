@@ -1,0 +1,50 @@
+"""Tests for the curve parameter sets."""
+
+import pytest
+
+from repro.ecc.curves import NIST_P192, NIST_P256, TOY_CURVE, WeierstrassCurve
+from repro.errors import ParameterError
+
+
+class TestNamedCurves:
+    @pytest.mark.parametrize("curve", [NIST_P192, NIST_P256, TOY_CURVE])
+    def test_base_point_on_curve(self, curve):
+        assert curve.contains(curve.gx, curve.gy)
+
+    def test_p192_bits(self):
+        assert NIST_P192.bits == 192
+
+    def test_p256_bits(self):
+        assert NIST_P256.bits == 256
+
+    def test_orders_are_prime_for_nist(self):
+        from repro.rsa.primes import is_probable_prime
+
+        assert is_probable_prime(NIST_P192.order)
+        assert is_probable_prime(NIST_P256.order)
+
+    def test_toy_generator_order(self):
+        """The toy generator has order 50 (verified by exhaustion here)."""
+        from repro.ecc.point import AffinePoint
+
+        g = AffinePoint.generator(TOY_CURVE).to_jacobian()
+        acc = g
+        order = 1
+        while not acc.is_infinity:
+            acc = acc.add(g)
+            order += 1
+            assert order <= 200
+        assert order == TOY_CURVE.order == 50
+
+
+class TestValidation:
+    def test_singular_rejected(self):
+        with pytest.raises(ParameterError, match="singular"):
+            WeierstrassCurve(name="bad", p=97, a=0, b=0, gx=0, gy=0, order=1)
+
+    def test_off_curve_base_point_rejected(self):
+        with pytest.raises(ParameterError, match="not on the curve"):
+            WeierstrassCurve(name="bad", p=97, a=2, b=3, gx=1, gy=1, order=1)
+
+    def test_generator_accessor(self):
+        assert TOY_CURVE.generator() == (TOY_CURVE.gx, TOY_CURVE.gy)

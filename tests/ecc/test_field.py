@@ -1,0 +1,98 @@
+"""Tests for GF(p) over the Montgomery domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.field import PrimeField
+from repro.errors import ParameterError
+
+P = 97
+
+
+@pytest.fixture(scope="module")
+def field():
+    return PrimeField(P)
+
+
+class TestConstruction:
+    def test_rejects_even(self):
+        with pytest.raises(ParameterError):
+            PrimeField(8)
+
+    def test_rejects_composite(self):
+        with pytest.raises(ParameterError):
+            PrimeField(91)
+
+    def test_trusted_skips_primality(self):
+        PrimeField(91, trusted=True)  # caller's responsibility
+
+    def test_equality(self):
+        assert PrimeField(97) == PrimeField(97)
+        assert PrimeField(97) != PrimeField(101)
+
+
+class TestArithmetic:
+    @given(st.integers(0, 500), st.integers(0, 500))
+    @settings(max_examples=80)
+    def test_ring_ops_match_integers(self, a, b):
+        f = PrimeField(P)
+        fa, fb = f(a), f(b)
+        assert (fa + fb).value == (a + b) % P
+        assert (fa - fb).value == (a - b) % P
+        assert (fa * fb).value == (a * b) % P
+
+    def test_int_coercion(self, field):
+        assert (field(5) + 10).value == 15
+        assert (10 + field(5)).value == 15
+        assert (10 - field(5)).value == 5
+        assert (3 * field(5)).value == 15
+
+    def test_negation(self, field):
+        assert (-field(5)).value == P - 5
+        assert (-field(0)).value == 0
+
+    def test_division(self, field):
+        a, b = field(30), field(7)
+        assert ((a / b) * b) == a
+
+    def test_division_by_zero(self, field):
+        with pytest.raises(ParameterError):
+            field(3) / field(0)
+
+    def test_pow(self, field):
+        assert (field(3) ** 10).value == pow(3, 10, P)
+        assert (field(3) ** 0).value == 1
+        assert (field(3) ** -1) == field(3).inverse()
+
+    def test_every_nonzero_invertible(self, field):
+        for v in range(1, P):
+            assert (field(v) * field(v).inverse()).value == 1
+
+    def test_equality_mod_p(self, field):
+        assert field(5) == field(5)
+        assert field(5) == 5
+        assert field(5) != field(6)
+
+    def test_cross_field_rejected(self):
+        with pytest.raises(ParameterError):
+            PrimeField(97)(1) + PrimeField(101)(1)
+
+    def test_zero_one_constants(self, field):
+        assert field.zero().is_zero()
+        assert field.one().value == 1
+
+
+class TestCostAccounting:
+    def test_mult_count_increases(self):
+        f = PrimeField(P)
+        before = f.mult_count
+        f(3) * f(4)
+        assert f.mult_count > before
+
+    def test_add_is_free(self):
+        f = PrimeField(P)
+        a, b = f(3), f(4)
+        before = f.mult_count
+        _ = a + b
+        assert f.mult_count == before, "additions must not hit the multiplier"

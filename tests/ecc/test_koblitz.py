@@ -1,0 +1,123 @@
+"""Tests for τ-adic NAF scalar multiplication on Koblitz curves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.binary import NIST_K163, TOY_B16, BinaryPoint
+from repro.ecc.binary_ld import ld_scalar_multiply
+from repro.ecc.koblitz import (
+    norm,
+    partmod,
+    tau_expand,
+    tau_power,
+    tnaf_scalar_multiply,
+)
+from repro.errors import ParameterError
+
+MU = 1  # K-163 has a = 1
+
+
+def _reconstruct(digits, mu=MU):
+    a = b = 0
+    for d in reversed(digits):
+        a, b = -2 * b + d, a + mu * b
+    return a, b
+
+
+class TestTauArithmetic:
+    def test_tau_satisfies_characteristic_equation(self):
+        """τ² = μτ − 2."""
+        assert tau_power(2, MU) == (-2, MU)
+
+    def test_tau_powers_multiplicative(self):
+        a3, b3 = tau_power(3, MU)
+        # τ³ = τ·τ²  = τ(μτ − 2) = μτ² − 2τ = μ(μτ−2) − 2τ = (μ²−2)τ − 2μ
+        assert (a3, b3) == (-2 * MU, MU * MU - 2)
+
+    def test_norm_multiplicative_on_powers(self):
+        """N(τ) = 2, so N(τ^i) = 2^i."""
+        for i in range(12):
+            a, b = tau_power(i, MU)
+            assert norm(a, b, MU) == 2**i
+
+
+class TestExpansion:
+    @given(st.integers(-(1 << 80), 1 << 80), st.integers(-(1 << 80), 1 << 80))
+    @settings(max_examples=200)
+    def test_reconstruction(self, a, b):
+        digits = tau_expand(a, b, MU)
+        assert _reconstruct(digits) == (a, b)
+
+    @given(st.integers(-(1 << 64), 1 << 64), st.integers(-(1 << 64), 1 << 64))
+    @settings(max_examples=150)
+    def test_naf_property(self, a, b):
+        digits = tau_expand(a, b, MU)
+        for x, y in zip(digits, digits[1:]):
+            assert not (x != 0 and y != 0)
+        for d in digits:
+            assert d in (-1, 0, 1)
+
+    @given(st.integers(-(1 << 64), 1 << 64), st.integers(-(1 << 64), 1 << 64))
+    @settings(max_examples=100)
+    def test_plain_expansion_also_reconstructs(self, a, b):
+        digits = tau_expand(a, b, MU, naf=False)
+        assert _reconstruct(digits) == (a, b)
+
+
+class TestPartmod:
+    @given(st.integers(1, 1 << 170))
+    @settings(max_examples=100)
+    def test_reduction_shrinks_norm(self, k):
+        """The reduced element has norm ≲ N(δ) — expansion length ~m."""
+        r0, r1 = partmod(k, NIST_K163)
+        digits = tau_expand(r0, r1, MU)
+        assert len(digits) <= NIST_K163.m + 6
+
+    def test_non_koblitz_rejected(self):
+        with pytest.raises(ParameterError):
+            partmod(5, TOY_B16)  # b = 6: not a Koblitz curve
+
+
+class TestScalarMultiplication:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return BinaryPoint.generator(NIST_K163, NIST_K163.field())
+
+    def test_matches_binary_ladder(self, generator):
+        rng = random.Random(5)
+        for _ in range(4):
+            k = rng.getrandbits(160)
+            a = tnaf_scalar_multiply(generator, k).point
+            b, _ = ld_scalar_multiply(generator, k)
+            assert a.to_affine_ints() == b.to_affine_ints()
+
+    def test_unreduced_path(self, generator):
+        k = 987654321
+        a = tnaf_scalar_multiply(generator, k, reduce_first=False).point
+        b, _ = ld_scalar_multiply(generator, k)
+        assert a.to_affine_ints() == b.to_affine_ints()
+
+    def test_zero_scalar(self, generator):
+        assert tnaf_scalar_multiply(generator, 0).point.infinite
+
+    def test_order_annihilates(self, generator):
+        assert tnaf_scalar_multiply(generator, NIST_K163.order).point.infinite
+
+    def test_speedup_over_binary(self, generator):
+        """Frobenius-for-doubling: >2x fewer multiplier passes."""
+        k = (1 << 160) - 1
+        r = tnaf_scalar_multiply(generator, k)
+        _, m_bin = ld_scalar_multiply(generator, k)
+        assert m_bin > 2 * r.field_multiplications
+
+    def test_digit_budget(self, generator):
+        r = tnaf_scalar_multiply(generator, 0xDEADBEEF << 100)
+        assert r.digits <= NIST_K163.m + 6
+        assert r.additions <= r.digits // 2 + 2  # NAF density
+
+    def test_negative_scalar_rejected(self, generator):
+        with pytest.raises(ParameterError):
+            tnaf_scalar_multiply(generator, -1)

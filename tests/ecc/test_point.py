@@ -1,0 +1,134 @@
+"""Group-law tests for the Jacobian point arithmetic (exhaustive on toy-97)."""
+
+import pytest
+
+from repro.ecc.curves import NIST_P192, TOY_CURVE
+from repro.ecc.point import AffinePoint, JacobianPoint
+from repro.errors import ParameterError
+
+
+def _all_affine_points(curve):
+    """Enumerate the whole group of the toy curve (order 100)."""
+    pts = [AffinePoint.infinity(curve)]
+    for x in range(curve.p):
+        for y in range(curve.p):
+            if curve.contains(x, y):
+                pts.append(AffinePoint(curve, x, y))
+    return pts
+
+
+@pytest.fixture(scope="module")
+def toy_points():
+    return _all_affine_points(TOY_CURVE)
+
+
+def _ref_add(curve, P, Q):
+    """Textbook affine addition as the independent oracle."""
+    p = curve.p
+    if P.is_infinity:
+        return Q
+    if Q.is_infinity:
+        return P
+    if P.x == Q.x and (P.y + Q.y) % p == 0:
+        return AffinePoint.infinity(curve)
+    if P.x == Q.x:
+        lam = (3 * P.x * P.x + curve.a) * pow(2 * P.y, -1, p) % p
+    else:
+        lam = (Q.y - P.y) * pow(Q.x - P.x, -1, p) % p
+    x3 = (lam * lam - P.x - Q.x) % p
+    y3 = (lam * (P.x - x3) - P.y) % p
+    return AffinePoint(curve, x3, y3)
+
+
+def _same(a: AffinePoint, b: AffinePoint) -> bool:
+    if a.is_infinity or b.is_infinity:
+        return a.is_infinity and b.is_infinity
+    return (a.x, a.y) == (b.x, b.y)
+
+
+class TestGroupLaws:
+    def test_add_matches_textbook_oracle(self, toy_points):
+        """Jacobian add == affine oracle over a full sample of pairs."""
+        sample = toy_points[::7]
+        for P in sample:
+            for Q in sample:
+                got = (P.to_jacobian() + Q.to_jacobian()).to_affine()
+                assert _same(got, _ref_add(TOY_CURVE, P, Q))
+
+    def test_double_matches_add_self(self, toy_points):
+        for P in toy_points[::5]:
+            d = P.to_jacobian().double().to_affine()
+            s = (P.to_jacobian() + P.to_jacobian()).to_affine()
+            assert _same(d, s)
+
+    def test_identity(self, toy_points):
+        inf = JacobianPoint.infinity(TOY_CURVE)
+        for P in toy_points[::9]:
+            assert _same((P.to_jacobian() + inf).to_affine(), P)
+            assert _same((inf + P.to_jacobian()).to_affine(), P)
+
+    def test_inverse(self, toy_points):
+        for P in toy_points[::9]:
+            got = (P.to_jacobian() + (-P).to_jacobian()).to_affine()
+            assert got.is_infinity
+
+    def test_commutativity(self, toy_points):
+        sample = toy_points[::11]
+        for P in sample:
+            for Q in sample:
+                pq = (P.to_jacobian() + Q.to_jacobian()).to_affine()
+                qp = (Q.to_jacobian() + P.to_jacobian()).to_affine()
+                assert _same(pq, qp)
+
+    def test_associativity_sampled(self, toy_points):
+        sample = toy_points[3::17]
+        for P in sample:
+            for Q in sample:
+                for R in sample:
+                    a = ((P.to_jacobian() + Q.to_jacobian()) + R.to_jacobian()).to_affine()
+                    b = (P.to_jacobian() + (Q.to_jacobian() + R.to_jacobian())).to_affine()
+                    assert _same(a, b)
+
+    def test_closure_all_results_on_curve(self, toy_points):
+        """to_affine re-validates the curve equation (AffinePoint checks)."""
+        for P in toy_points[::4]:
+            (P.to_jacobian().double()).to_affine()
+
+
+class TestJacobianRepresentation:
+    def test_projective_equality(self):
+        g = AffinePoint.generator(TOY_CURVE).to_jacobian()
+        doubled = g.double()
+        also = g + g
+        assert doubled.equals(also)
+        assert not doubled.equals(g)
+
+    def test_double_of_order2_point_is_infinity(self, toy_points):
+        """Points with y = 0 have order 2."""
+        for P in toy_points:
+            if not P.is_infinity and P.y == 0:
+                assert P.to_jacobian().double().is_infinity
+
+    def test_infinity_roundtrip(self):
+        inf = AffinePoint.infinity(TOY_CURVE)
+        assert inf.to_jacobian().to_affine().is_infinity
+
+
+class TestValidation:
+    def test_off_curve_rejected(self):
+        with pytest.raises(ParameterError):
+            AffinePoint(TOY_CURVE, 1, 1)
+
+    def test_half_infinity_rejected(self):
+        with pytest.raises(ParameterError):
+            AffinePoint(TOY_CURVE, None, 5)
+
+    def test_cross_curve_add_rejected(self):
+        a = AffinePoint.generator(TOY_CURVE).to_jacobian()
+        b = AffinePoint.generator(NIST_P192).to_jacobian()
+        with pytest.raises(ParameterError):
+            a + b
+
+    def test_negation_of_infinity(self):
+        inf = AffinePoint.infinity(TOY_CURVE)
+        assert (-inf).is_infinity

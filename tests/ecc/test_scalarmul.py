@@ -1,0 +1,130 @@
+"""Tests for the three scalar-multiplication ladders + ECDH."""
+
+import pytest
+
+from repro.ecc.curves import NIST_P192, TOY_CURVE
+from repro.ecc.point import AffinePoint
+from repro.ecc.scalarmul import (
+    ecdh_shared_secret,
+    montgomery_ladder,
+    naf_scalar_multiply,
+    non_adjacent_form,
+    scalar_multiply,
+)
+from repro.errors import ParameterError
+
+
+def _naive_multiple(curve, k):
+    """Repeated affine addition oracle."""
+    g = AffinePoint.generator(curve).to_jacobian()
+    acc = g
+    for _ in range(k - 1):
+        acc = acc + g
+    return acc.to_affine()
+
+
+class TestLaddersAgree:
+    def test_all_multiples_on_toy_curve(self):
+        """Exhaustive over the generator's full order: all three ladders
+        equal the repeated-addition oracle."""
+        g = AffinePoint.generator(TOY_CURVE)
+        for k in range(1, TOY_CURVE.order + 1):
+            ref = _naive_multiple(TOY_CURVE, k)
+            for ladder in (scalar_multiply, montgomery_ladder, naf_scalar_multiply):
+                got = ladder(g, k).point
+                if ref.is_infinity:
+                    assert got.is_infinity, (ladder.__name__, k)
+                else:
+                    assert (got.x, got.y) == (ref.x, ref.y), (ladder.__name__, k)
+
+    def test_zero_scalar(self):
+        g = AffinePoint.generator(TOY_CURVE)
+        for ladder in (scalar_multiply, montgomery_ladder, naf_scalar_multiply):
+            assert ladder(g, 0).point.is_infinity
+
+    def test_order_annihilates(self):
+        g = AffinePoint.generator(TOY_CURVE)
+        assert scalar_multiply(g, TOY_CURVE.order).point.is_infinity
+
+    def test_p192_consistency(self):
+        g = AffinePoint.generator(NIST_P192)
+        k = 0xDEADBEEFCAFE
+        a = scalar_multiply(g, k).point
+        b = montgomery_ladder(g, k).point
+        c = naf_scalar_multiply(g, k).point
+        assert (a.x, a.y) == (b.x, b.y) == (c.x, c.y)
+
+
+class TestNAF:
+    def test_digits_reconstruct(self):
+        for k in (0, 1, 7, 255, 0xDEADBEEF):
+            for w in (2, 3, 4, 5):
+                digits = non_adjacent_form(k, w)
+                assert sum(d << i for i, d in enumerate(digits)) == k
+
+    def test_digit_constraints(self):
+        for k in (255, 0b1010110111, 123456789):
+            for w in (2, 4):
+                for d in non_adjacent_form(k, w):
+                    assert d == 0 or (d % 2 == 1 and abs(d) < (1 << (w - 1)))
+
+    def test_naf_reduces_additions(self):
+        """Window-4 NAF must use fewer adds than plain double-and-add for
+        a dense scalar."""
+        g = AffinePoint.generator(NIST_P192)
+        k = (1 << 64) - 1  # worst case for binary
+        plain = scalar_multiply(g, k)
+        naf = naf_scalar_multiply(g, k, width=4)
+        assert naf.adds < plain.adds
+
+    def test_bad_width(self):
+        with pytest.raises(ParameterError):
+            non_adjacent_form(5, 1)
+
+
+class TestCostAccounting:
+    def test_field_mult_count_positive_and_plausible(self):
+        g = AffinePoint.generator(NIST_P192)
+        rep = scalar_multiply(g, (1 << 32) - 1)
+        # ~32 doubles (8 mult+add ops each) + ~31 adds (16 each) + inversion.
+        assert 400 < rep.field_multiplications < 3000
+        assert rep.doubles == 32
+        assert rep.adds == 32  # every bit of the all-ones scalar is set
+
+    def test_hardware_cycles(self):
+        from repro.systolic.timing import mmm_cycles
+
+        g = AffinePoint.generator(TOY_CURVE)
+        rep = scalar_multiply(g, 5)
+        assert rep.hardware_cycles() == rep.field_multiplications * mmm_cycles(7)
+
+    def test_ladder_is_regular(self):
+        """Montgomery ladder: doubles == adds == bitlen, independent of
+        the key's Hamming weight — the SPA-resistance property."""
+        g = AffinePoint.generator(TOY_CURVE)
+        sparse = montgomery_ladder(g, 0b10000)
+        dense = montgomery_ladder(g, 0b11111)
+        assert sparse.doubles == dense.doubles == 5
+        assert sparse.adds == dense.adds == 5
+
+
+class TestECDH:
+    def test_shared_secret_matches(self):
+        xa, xb, ok = ecdh_shared_secret(TOY_CURVE, 7, 13)
+        assert ok and xa == xb
+
+    def test_p192_ecdh(self):
+        xa, xb, ok = ecdh_shared_secret(NIST_P192, 0x123456789, 0x987654321)
+        assert ok and xa == xb
+
+
+class TestValidation:
+    def test_negative_scalar(self):
+        g = AffinePoint.generator(TOY_CURVE)
+        with pytest.raises(ParameterError):
+            scalar_multiply(g, -1)
+
+    def test_non_int_scalar(self):
+        g = AffinePoint.generator(TOY_CURVE)
+        with pytest.raises(ParameterError):
+            scalar_multiply(g, 1.5)

@@ -1,0 +1,68 @@
+"""Tests for the LUT materialization and mapping verification."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.fpga.lutsim import extract_luts, verify_mapping
+from repro.fpga.techmap import technology_map
+from repro.hdl.gates import full_adder
+from repro.hdl.netlist import Circuit
+from repro.systolic.array_netlist import build_array
+from repro.systolic.mmmc_netlist import build_mmmc
+
+
+class TestExtractLuts:
+    def test_full_adder_truth_tables(self):
+        """The two FA LUTs must be XOR3 (0x96) and majority (0xE8)."""
+        c = Circuit()
+        a, b, ci = (c.add_input(n) for n in "abc")
+        s, co = full_adder(c, a, b, ci)
+        c.mark_output("s", s)
+        c.mark_output("co", co)
+        masks = sorted(l.mask for l in extract_luts(c))
+        assert masks == [0x96, 0xE8]
+
+    def test_not_gate(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.not_(a))
+        (lut,) = extract_luts(c)
+        assert lut.inputs == (a.index,)
+        assert lut.mask == 0b01  # output 1 when input 0
+
+    def test_constant_inputs_folded(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.and_(a, c.const1))
+        (lut,) = extract_luts(c)
+        assert lut.inputs == (a.index,)
+        assert lut.mask == 0b10  # identity
+
+    def test_lut_count_matches_mapping(self):
+        circ = build_array(8, "paper").circuit
+        m = technology_map(circ)
+        assert len(extract_luts(circ, m)) == m.luts
+
+
+class TestVerifyMapping:
+    @pytest.mark.parametrize("l", [4, 8, 16])
+    def test_array_mapping_functional(self, l):
+        circ = build_array(l, "paper").circuit
+        assert verify_mapping(circ, vectors=12, seed=l) > 0
+
+    def test_mmmc_mapping_functional(self):
+        circ = build_mmmc(8, "corrected").circuit
+        assert verify_mapping(circ, vectors=12) > 0
+
+    def test_detects_a_corrupted_cover(self):
+        """Sabotage one LUT's cut and the verifier must notice."""
+        c = Circuit()
+        a, b, d = (c.add_input(n) for n in "abd")
+        out = c.xor(c.and_(a, b), d)
+        c.mark_output("o", out)
+        m = technology_map(c)
+        # Corrupt: claim the root only depends on (a, b).
+        root = next(iter(m.cut_of_root))
+        m.cut_of_root[root] = frozenset([a.index, b.index])
+        with pytest.raises(HardwareModelError):
+            verify_mapping(c, m, vectors=64)

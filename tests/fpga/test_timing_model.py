@@ -1,0 +1,56 @@
+"""Tests for the clock-period model."""
+
+import pytest
+
+from repro.fpga.techmap import technology_map
+from repro.fpga.timing_model import estimate_clock_period
+from repro.fpga.virtex import V812E, VirtexEDevice
+from repro.systolic.mmmc_netlist import build_mmmc
+
+
+class TestClockPeriod:
+    def test_depth_three_for_the_cell_path(self):
+        """2 FA + 1 HA in carry chain = 3 LUT levels after mapping."""
+        p = build_mmmc(32, "paper")
+        t = estimate_clock_period(p.circuit, 32)
+        assert t.lut_depth == 3
+
+    def test_tp_in_paper_band(self):
+        """Tp lands in the paper's 9.2-10.5 ns band across all sizes."""
+        for l in (32, 128, 1024):
+            p = build_mmmc(l, "paper")
+            t = estimate_clock_period(p.circuit, l)
+            assert 8.8 <= t.clock_period_ns <= 11.0
+
+    def test_tp_weakly_increasing(self):
+        tps = []
+        for l in (32, 128, 512):
+            p = build_mmmc(l, "paper")
+            tps.append(estimate_clock_period(p.circuit, l).clock_period_ns)
+        assert tps == sorted(tps)
+        assert tps[-1] / tps[0] < 1.2, "near-constant Tp is the claim"
+
+    def test_frequency_consistent(self):
+        p = build_mmmc(32, "paper")
+        t = estimate_clock_period(p.circuit, 32)
+        assert t.frequency_mhz == pytest.approx(1000.0 / t.clock_period_ns)
+
+    def test_carry_chain_never_critical(self):
+        """The counter/comparator carry chain stays below the cell path."""
+        p = build_mmmc(1024, "paper")
+        t = estimate_clock_period(p.circuit, 1024)
+        assert t.carry_chain_path_ns < t.clock_period_ns
+
+    def test_reuses_precomputed_mapping(self):
+        p = build_mmmc(32, "paper")
+        m = technology_map(p.circuit)
+        t1 = estimate_clock_period(p.circuit, 32, mapped=m)
+        t2 = estimate_clock_period(p.circuit, 32)
+        assert t1.clock_period_ns == t2.clock_period_ns
+
+    def test_slower_device_slower_clock(self):
+        slow = VirtexEDevice(name="slow", t_lut_ns=V812E.t_lut_ns * 2)
+        p = build_mmmc(32, "paper")
+        t_fast = estimate_clock_period(p.circuit, 32)
+        t_slow = estimate_clock_period(p.circuit, 32, device=slow)
+        assert t_slow.clock_period_ns > t_fast.clock_period_ns

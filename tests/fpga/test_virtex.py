@@ -1,0 +1,30 @@
+"""Tests for the Virtex-E device model."""
+
+from repro.fpga.virtex import V812E, VirtexEDevice
+
+
+class TestDevice:
+    def test_slice_shape(self):
+        assert V812E.slice_luts == 2
+        assert V812E.slice_ffs == 2
+
+    def test_net_delay_monotone_in_width(self):
+        prev = 0.0
+        for bits in (32, 64, 128, 256, 512, 1024):
+            d = V812E.net_delay_ns(bits)
+            assert d >= prev
+            prev = d
+
+    def test_net_delay_floor_below_32(self):
+        assert V812E.net_delay_ns(8) == V812E.net_delay_ns(32)
+
+    def test_net_delay_growth_is_mild(self):
+        """The paper's Tp drifts ~13% over 32..1024; the net model must
+        stay in that regime (l-independence of the architecture)."""
+        ratio = V812E.net_delay_ns(1024) / V812E.net_delay_ns(32)
+        assert 1.0 < ratio < 1.35
+
+    def test_custom_device(self):
+        dev = VirtexEDevice(name="test", t_lut_ns=1.0)
+        assert dev.t_lut_ns == 1.0
+        assert dev.name == "test"

@@ -1,0 +1,52 @@
+"""Unit tests for the gate census."""
+
+from repro.hdl.census import GateCensus, census, paper_array_formula
+from repro.hdl.gates import GateKind, full_adder
+from repro.hdl.netlist import Circuit
+
+
+class TestCensus:
+    def test_counts_by_kind(self):
+        c = Circuit()
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.and_(a, b)
+        c.and_(a, b)
+        c.xor(a, b)
+        c.dff(a)
+        cen = census(c)
+        assert cen.get(GateKind.AND) == 2
+        assert cen.get(GateKind.XOR) == 1
+        assert cen.get(GateKind.OR) == 0
+        assert cen.flip_flops == 1
+        assert cen.total_gates == 3
+
+    def test_full_adder_census(self):
+        c = Circuit()
+        a, b, ci = (c.add_input(n) for n in "abc")
+        full_adder(c, a, b, ci)
+        cen = census(c)
+        assert cen.as_row() == {
+            "xor": 2,
+            "and": 2,
+            "or": 1,
+            "FF": 0,
+            "total_gates": 5,
+        }
+
+    def test_empty_circuit(self):
+        cen = census(Circuit())
+        assert cen.total_gates == 0 and cen.flip_flops == 0
+
+
+class TestPaperFormula:
+    def test_values_at_1024(self):
+        f = paper_array_formula(1024)
+        assert f == {"xor": 5117, "and": 7161, "or": 4091, "FF": 4096}
+
+    def test_linear_in_l(self):
+        f32, f64 = paper_array_formula(32), paper_array_formula(64)
+        assert f64["xor"] - f32["xor"] == 5 * 32
+        assert f64["and"] - f32["and"] == 7 * 32
+        assert f64["or"] - f32["or"] == 4 * 32
+        assert f64["FF"] - f32["FF"] == 4 * 32

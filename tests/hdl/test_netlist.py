@@ -1,0 +1,87 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hdl.netlist import Circuit
+
+
+class TestWires:
+    def test_constants_exist(self):
+        c = Circuit()
+        assert c.const0.index == 0
+        assert c.const1.index == 1
+
+    def test_bus_naming(self):
+        c = Circuit()
+        bus = c.new_bus(3, "data")
+        assert [w.name for w in bus] == ["data[0]", "data[1]", "data[2]"]
+
+    def test_foreign_wire_rejected(self):
+        c1, c2 = Circuit("a"), Circuit("b")
+        w = c1.add_input("x")
+        with pytest.raises(HardwareModelError):
+            c2.not_(w)
+
+
+class TestDriving:
+    def test_double_drive_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        b = c.add_input("b")
+        out = c.and_(a, b)
+        # A gate output is already driven; driving it again must fail.
+        with pytest.raises(HardwareModelError):
+            c._mark_driven(out)
+        # Same for a primary input.
+        with pytest.raises(HardwareModelError):
+            c._mark_driven(a)
+
+    def test_undriven_detection(self):
+        c = Circuit()
+        floating = c.new_wire("floating")
+        a = c.add_input("a")
+        c.and_(a, floating)
+        assert "floating" in c.undriven_wires()
+        with pytest.raises(HardwareModelError):
+            c.validate()
+
+    def test_validate_clean_circuit(self):
+        c = Circuit()
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.mark_output("o", c.xor(a, b))
+        c.validate()
+
+
+class TestSequential:
+    def test_dff_creation(self):
+        c = Circuit()
+        d = c.add_input("d")
+        q = c.dff(d, name="r")
+        assert len(c.dffs) == 1
+        assert c.dffs[0].q == q.index
+
+    def test_dff_bad_reset_value(self):
+        c = Circuit()
+        d = c.add_input("d")
+        with pytest.raises(HardwareModelError):
+            c.dff(d, reset_value=2)
+
+    def test_clear_wire_tracked_as_read(self):
+        c = Circuit()
+        d = c.add_input("d")
+        clr = c.new_wire("clr")  # deliberately undriven
+        c.dff(d, clear=clr)
+        assert "clr" in c.undriven_wires()
+
+
+class TestStats:
+    def test_stats_counts(self):
+        c = Circuit("s")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        c.dff(c.or_(a, b))
+        s = c.stats()
+        assert s["gates"] == 1 and s["dffs"] == 1
+        assert s["wires"] == c.num_wires

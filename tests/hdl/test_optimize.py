@@ -1,0 +1,192 @@
+"""Tests for the netlist optimization passes."""
+
+import random
+
+import pytest
+
+from repro.hdl.gates import GateKind
+from repro.hdl.netlist import Circuit
+from repro.hdl.optimize import optimize
+from repro.hdl.simulator import Simulator
+
+from tests.fpga.test_techmap_fuzz import random_circuit
+
+
+def _cosim(original: Circuit, opt, cycles=25, seed=0) -> None:
+    s1, s2 = Simulator(original), Simulator(opt.circuit)
+    s1.reset()
+    s2.reset()
+    rng = random.Random(seed)
+    for _ in range(cycles):
+        for name, idx in original.inputs.items():
+            bit = rng.getrandbits(1)
+            s1.values[idx] = bit
+            s2.values[opt.circuit.inputs[name]] = bit
+        s1.settle()
+        s2.settle()
+        for name, idx in original.outputs.items():
+            assert s1.values[idx] == s2.values[opt.circuit.outputs[name]], name
+        s1.clock()
+        s2.clock()
+
+
+class TestFolding:
+    def test_and_with_zero(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.and_(a, c.const0))
+        opt = optimize(c)
+        assert len(opt.circuit.gates) == 0
+        assert opt.circuit.outputs["o"] == opt.circuit.const0.index
+
+    def test_xor_with_one_becomes_not(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.xor(a, c.const1))
+        opt = optimize(c)
+        kinds = [g.kind for g in opt.circuit.gates]
+        assert kinds == [GateKind.NOT]
+
+    def test_same_input_xor_is_zero(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.xor(a, a))
+        opt = optimize(c)
+        assert len(opt.circuit.gates) == 0
+
+    def test_double_inversion_removed(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.mark_output("o", c.not_(c.not_(a)))
+        opt = optimize(c)
+        assert len(opt.circuit.gates) == 0
+        assert opt.circuit.outputs["o"] == opt.circuit.inputs["a"]
+
+    def test_constant_chain_collapses(self):
+        """A whole cone of constants folds to a single constant output."""
+        c = Circuit()
+        a = c.add_input("a")
+        w = c.and_(a, c.const0)
+        w = c.or_(w, c.const0)
+        w = c.xor(w, c.const0)
+        c.mark_output("o", w)
+        assert len(optimize(c).circuit.gates) == 0
+
+
+class TestCSE:
+    def test_duplicate_gates_shared(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        g1 = c.and_(a, b)
+        g2 = c.and_(a, b)
+        g3 = c.and_(b, a)  # commuted duplicate
+        c.mark_output("o", c.xor(c.xor(g1, g2), g3))
+        opt = optimize(c)
+        # one AND survives; xor(g1,g2) folds to 0; xor(0, g3) passes g3.
+        assert opt.gates_shared == 2
+        and_count = sum(1 for g in opt.circuit.gates if g.kind is GateKind.AND)
+        assert and_count == 1
+        assert opt.circuit.outputs["o"] == [
+            g for g in opt.circuit.gates if g.kind is GateKind.AND
+        ][0].output
+
+
+class TestDeadCode:
+    def test_unobserved_logic_removed(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        c.xor(a, b)  # drives nothing
+        c.mark_output("o", c.and_(a, b))
+        opt = optimize(c)
+        assert len(opt.circuit.gates) == 1
+
+    def test_ff_feeding_logic_kept(self):
+        c = Circuit()
+        a = c.add_input("a")
+        q = c.dff(c.not_(a))
+        c.mark_output("o", q)
+        opt = optimize(c)
+        assert len(opt.circuit.dffs) == 1
+        assert len(opt.circuit.gates) == 1
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_circuits(self, seed):
+        c = random_circuit(seed, n_inputs=5, n_gates=50, n_ffs=4)
+        _cosim(c, optimize(c), seed=seed)
+
+    def test_mmmc_optimized_still_multiplies(self):
+        """End-to-end: the optimized MMMC computes the same products."""
+        from repro.montgomery.algorithms import montgomery_no_subtraction
+        from repro.montgomery.params import MontgomeryContext
+        from repro.systolic.mmmc_netlist import build_mmmc
+        from repro.utils.bits import bits_to_int
+
+        l, n, x, y = 6, 53, 100, 71
+        ports = build_mmmc(l, "corrected")
+        opt = optimize(ports.circuit)
+        sim = Simulator(opt.circuit)
+        sim.reset()
+        oc = opt.circuit
+
+        def poke_bus(prefix, value, width):
+            for i in range(width):
+                sim.values[oc.inputs[f"{prefix}[{i}]"]] = (value >> i) & 1
+
+        poke_bus("X", x, l + 1)
+        poke_bus("Y", y, l + 1)
+        poke_bus("N", n, l + 1)
+        sim.values[oc.inputs["START"]] = 1
+        sim.step()
+        sim.values[oc.inputs["START"]] = 0
+        for _ in range(4 * l + 16):
+            sim.settle()
+            done = sim.values[oc.outputs["DONE"]]
+            sim.clock()
+            if done:
+                break
+        else:
+            raise AssertionError("optimized MMMC never finished")
+        sim.settle()
+        bits = [sim.values[oc.outputs[f"RESULT[{b}]"]] for b in range(l + 1)]
+        assert bits_to_int(bits) == montgomery_no_subtraction(
+            MontgomeryContext(n), x, y
+        )
+
+    def test_idempotent(self):
+        from repro.systolic.array_netlist import build_array
+
+        c = build_array(16, "paper").circuit
+        once = optimize(c)
+        twice = optimize(once.circuit)
+        assert len(twice.circuit.gates) == len(once.circuit.gates)
+
+    def test_reduction_on_real_netlists(self):
+        from repro.systolic.mmmc_netlist import build_mmmc
+
+        c = build_mmmc(16, "paper").circuit
+        opt = optimize(c)
+        assert len(opt.circuit.gates) < len(c.gates) * 0.85
+        assert len(opt.circuit.dffs) == len(c.dffs)
+
+
+class TestWireMap:
+    def test_surviving_wires_mapped(self):
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        w = c.and_(a, b)
+        c.mark_output("o", w)
+        opt = optimize(c)
+        assert opt.map_wire(w.index) == opt.circuit.outputs["o"]
+
+    def test_dead_wire_raises(self):
+        from repro.errors import HardwareModelError
+
+        c = Circuit()
+        a, b = c.add_input("a"), c.add_input("b")
+        dead = c.xor(a, b)
+        c.mark_output("o", c.and_(a, b))
+        opt = optimize(c)
+        with pytest.raises(HardwareModelError):
+            opt.map_wire(dead.index)

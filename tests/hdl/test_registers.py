@@ -1,0 +1,206 @@
+"""Unit tests for the structural register/counter/comparator builders."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hdl.netlist import Circuit
+from repro.hdl.registers import (
+    counter,
+    equality_comparator,
+    mux2,
+    mux2_bus,
+    register,
+    ripple_adder,
+    ripple_increment,
+    shift_register_right,
+)
+from repro.hdl.simulator import Simulator
+
+
+class TestMux:
+    def test_mux2(self):
+        c = Circuit()
+        s = c.add_input("s")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        o = mux2(c, s, a, b)
+        sim = Simulator(c)
+        for sv, av, bv in [(0, 1, 0), (1, 1, 0), (0, 0, 1), (1, 0, 1)]:
+            sim.poke(s, sv)
+            sim.poke(a, av)
+            sim.poke(b, bv)
+            sim.settle()
+            assert sim.peek(o) == (bv if sv else av)
+
+    def test_mux_bus_width_mismatch(self):
+        c = Circuit()
+        s = c.add_input("s")
+        with pytest.raises(HardwareModelError):
+            mux2_bus(c, s, c.new_bus(3), c.new_bus(2))
+
+
+class TestAdders:
+    def test_ripple_adder_exhaustive_4bit(self):
+        c = Circuit()
+        a = c.add_input("a", 4)
+        b = c.add_input("b", 4)
+        s, cout = ripple_adder(c, a, b)
+        sim = Simulator(c)
+        for av in range(16):
+            for bv in range(16):
+                sim.poke(a, av)
+                sim.poke(b, bv)
+                sim.settle()
+                assert sim.peek(s) | (sim.peek(cout) << 4) == av + bv
+
+    def test_ripple_increment(self):
+        c = Circuit()
+        a = c.add_input("a", 4)
+        s, cout = ripple_increment(c, a)
+        sim = Simulator(c)
+        for av in range(16):
+            sim.poke(a, av)
+            sim.settle()
+            assert sim.peek(s) | (sim.peek(cout) << 4) == av + 1
+
+    def test_adder_width_mismatch(self):
+        c = Circuit()
+        with pytest.raises(HardwareModelError):
+            ripple_adder(c, c.add_input("a", 3), c.add_input("b", 2))
+
+
+class TestRegister:
+    def test_parallel_load(self):
+        c = Circuit()
+        d = c.add_input("d", 4)
+        en = c.add_input("en")
+        q = register(c, d, enable=en)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(d, 9)
+        sim.poke(en, 1)
+        sim.step()
+        assert sim.peek(q) == 9
+        sim.poke(d, 3)
+        sim.poke(en, 0)
+        sim.step()
+        assert sim.peek(q) == 9, "disabled register must hold"
+
+
+class TestShiftRegister:
+    def test_load_then_shift(self):
+        c = Circuit()
+        d = c.add_input("d", 5)
+        ld = c.add_input("ld")
+        sh = c.add_input("sh")
+        q = shift_register_right(c, d, ld, sh)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(d, 0b10110)
+        sim.poke(ld, 1)
+        sim.poke(sh, 0)
+        sim.step()
+        assert sim.peek(q) == 0b10110
+        sim.poke(ld, 0)
+        sim.poke(sh, 1)
+        seen = []
+        for _ in range(6):
+            seen.append(sim.peek(q[0]))
+            sim.step()
+        # Serial LSB-first output, MSB filled with 0 (paper's X register).
+        assert seen == [0, 1, 1, 0, 1, 0]
+        assert sim.peek(q) == 0
+
+    def test_hold_when_idle(self):
+        c = Circuit()
+        d = c.add_input("d", 3)
+        ld = c.add_input("ld")
+        sh = c.add_input("sh")
+        q = shift_register_right(c, d, ld, sh)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(d, 5)
+        sim.poke(ld, 1)
+        sim.poke(sh, 0)
+        sim.step()
+        sim.poke(ld, 0)
+        sim.step()
+        sim.step()
+        assert sim.peek(q) == 5
+
+    def test_custom_fill(self):
+        c = Circuit()
+        d = c.add_input("d", 3)
+        ld = c.add_input("ld")
+        sh = c.add_input("sh")
+        q = shift_register_right(c, d, ld, sh, fill=c.const1)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(d, 0)
+        sim.poke(ld, 1)
+        sim.poke(sh, 0)
+        sim.step()
+        sim.poke(ld, 0)
+        sim.poke(sh, 1)
+        sim.run(3)
+        assert sim.peek(q) == 0b111
+
+
+class TestCounter:
+    def test_count_and_clear(self):
+        c = Circuit()
+        inc = c.add_input("inc")
+        clr = c.add_input("clr")
+        q = counter(c, 4, inc, clr)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(inc, 1)
+        sim.poke(clr, 0)
+        for expect in range(1, 10):
+            sim.step()
+            assert sim.peek(q) == expect
+        sim.poke(clr, 1)
+        sim.step()
+        assert sim.peek(q) == 0, "clear dominates increment"
+        sim.poke(clr, 0)
+        sim.poke(inc, 0)
+        sim.step()
+        assert sim.peek(q) == 0, "idle counter holds"
+
+    def test_wraparound(self):
+        c = Circuit()
+        inc = c.add_input("inc")
+        clr = c.add_input("clr")
+        q = counter(c, 2, inc, clr)
+        sim = Simulator(c)
+        sim.reset()
+        sim.poke(inc, 1)
+        sim.poke(clr, 0)
+        sim.run(5)
+        assert sim.peek(q) == 1  # 5 mod 4
+
+
+class TestComparator:
+    def test_equality(self):
+        c = Circuit()
+        v = c.add_input("v", 5)
+        eq = equality_comparator(c, v, 19)
+        sim = Simulator(c)
+        for val in range(32):
+            sim.poke(v, val)
+            sim.settle()
+            assert sim.peek(eq) == (1 if val == 19 else 0)
+
+    def test_constant_too_wide(self):
+        c = Circuit()
+        v = c.add_input("v", 3)
+        with pytest.raises(HardwareModelError):
+            equality_comparator(c, v, 8)
+
+    def test_logarithmic_depth(self):
+        c = Circuit()
+        v = c.add_input("v", 16)
+        equality_comparator(c, v, 0x1234)
+        sim = Simulator(c)
+        # 16 leaf gates + log2(16)=4 AND levels.
+        assert sim.max_depth <= 6

@@ -1,0 +1,70 @@
+"""Smoke tests: the example scripts run end-to-end and say what they claim.
+
+Heavyweight examples run with reduced parameters; the two slowest
+(dualfield_demo, ecc_point_multiplication at full curve sizes) are
+exercised by the benchmark suite instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "examples",
+)
+
+
+def _run(script, *args, timeout=180):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=os.environ.get("TMPDIR", "/tmp"),
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py", "12")
+        assert "golden Algorithm 2" in out
+        assert "gate-level MMMC netlist" in out
+        assert "✔" in out
+
+    def test_fpga_report(self):
+        out = _run("fpga_report.py")
+        assert "Table 2" in out and "Table 1" in out
+        assert "1024" in out
+
+    def test_rsa_accelerator_small(self):
+        out = _run("rsa_hardware_accelerator.py", "128")
+        assert "decrypt (CRT)" in out
+        assert "CRT speedup" in out
+
+    def test_waveform_trace(self, tmp_path):
+        vcd = str(tmp_path / "t.vcd")
+        out = _run("waveform_trace.py", vcd)
+        assert "quotient digits" in out
+        assert os.path.exists(vcd)
+        with open(vcd) as fh:
+            assert "$enddefinitions" in fh.read()
+
+    def test_spa_attack_demo(self):
+        out = _run("spa_attack_demo.py")
+        assert "exact match with d: True" in out
+
+    def test_export_verilog_small(self, tmp_path):
+        target = str(tmp_path / "m.v")
+        out = _run("export_verilog.py", "8", target)
+        assert "all equal" in out
+        assert os.path.exists(target)
+
+    @pytest.mark.slow
+    def test_ecc_point_multiplication(self):
+        out = _run("ecc_point_multiplication.py", timeout=300)
+        assert "shared secret x-coordinate agrees" in out

@@ -1,0 +1,73 @@
+"""Tests for the R² mod N hardware bootstrap."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ParameterError
+from repro.montgomery.bootstrap import bootstrap_plan, compute_r2, r_mod_n_by_shifts
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import odd_modulus
+
+
+class TestShifts:
+    @given(odd_modulus(2, 128))
+    @settings(max_examples=100)
+    def test_r_mod_n(self, n):
+        ctx = MontgomeryContext(n)
+        assert r_mod_n_by_shifts(n, ctx.r_exponent) == ctx.R % n
+
+    def test_zero_exponent(self):
+        assert r_mod_n_by_shifts(7, 0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            r_mod_n_by_shifts(8, 4)
+        with pytest.raises(ParameterError):
+            r_mod_n_by_shifts(7, -1)
+
+
+class TestPlan:
+    def test_plan_reaches_exponent(self):
+        for r in (1, 2, 3, 10, 100, 1026):
+            d = 0
+            for step in bootstrap_plan(r):
+                d = 2 * d if step == "square" else d + 1
+            assert d == r
+
+    def test_plan_is_logarithmic(self):
+        assert len(bootstrap_plan(1026)) <= 2 * 1026 .bit_length()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            bootstrap_plan(0)
+
+
+class TestComputeR2:
+    @given(odd_modulus(2, 200))
+    @settings(max_examples=120)
+    def test_matches_direct_constant(self, n):
+        ctx = MontgomeryContext(n)
+        r2, passes = compute_r2(ctx)
+        assert r2 == ctx.r2_mod_n
+        assert passes <= 2 * ctx.r_exponent.bit_length()
+
+    def test_through_hardware_model(self):
+        """The bootstrap runs on the cycle-accurate MMMC unchanged."""
+        from repro.systolic.mmmc import MMMC
+
+        ctx = MontgomeryContext(197)
+        mmmc = MMMC(ctx.l)
+
+        def hw_mont(c, x, y):
+            return mmmc.multiply(x, y, c.modulus).result
+
+        r2, passes = compute_r2(ctx, mont=hw_mont)
+        assert r2 == ctx.r2_mod_n
+        assert mmmc.multiplications == passes
+
+    def test_pass_count_rsa_size(self):
+        """l = 1024: the whole bootstrap is ~10 multiplier passes."""
+        ctx = MontgomeryContext((1 << 1023) | 5)
+        _, passes = compute_r2(ctx)
+        assert passes <= 12

@@ -1,0 +1,93 @@
+"""Tests for the Walter bound machinery (paper Section 3, Eq. (2))."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.montgomery.bounds import (
+    iteration_counts,
+    minimal_r_exponent,
+    output_bound,
+    probe_window_stability,
+    worst_case_operands,
+)
+
+from tests.conftest import odd_modulus
+
+
+class TestOutputBound:
+    def test_eq2_exact(self):
+        # T < 4N²/R + N, as an exact fraction.
+        assert output_bound(11, 64) == Fraction(4 * 121, 64) + 11
+
+    def test_k4_gives_2n(self):
+        # R = 4N ⇒ bound = 2N exactly (the threshold case).
+        n = 101
+        assert output_bound(n, 4 * n) == 2 * n
+
+    def test_rejects_even(self):
+        with pytest.raises(ParameterError):
+            output_bound(10, 64)
+
+
+class TestMinimalR:
+    @given(odd_modulus(2, 200))
+    def test_search_matches_formula(self, n):
+        """The searched minimal r equals the closed form: the smallest
+        power of two above 4N."""
+        r = minimal_r_exponent(n)
+        assert (1 << r) >= 4 * n > (1 << (r - 1))
+
+    @given(odd_modulus(2, 200))
+    def test_paper_choice_is_safe_but_maybe_loose(self, n):
+        """R = 2^(l+2) always satisfies the bound; it is minimal unless N
+        is in the lower half of its bit range."""
+        l = n.bit_length()
+        assert l + 2 >= minimal_r_exponent(n)
+
+
+class TestIterationCounts:
+    def test_paper_vs_blum_paar(self):
+        ours, theirs = iteration_counts(1024)
+        assert ours == 1026
+        assert theirs == 1027
+
+    def test_positive_required(self):
+        with pytest.raises(ParameterError):
+            iteration_counts(0)
+
+
+class TestWindowProbe:
+    def test_paper_r_is_closed(self):
+        n = 197
+        ops = [(x, y) for x in range(0, 2 * n, 37) for y in range(0, 2 * n, 41)]
+        ops.append(worst_case_operands(n))
+        probe = probe_window_stability(n, n.bit_length() + 2, ops)
+        assert probe.closed
+        assert probe.max_output < 2 * n
+
+    def test_too_small_r_overflows(self):
+        """R = 2^l (k < 4) leaks out of the window for some operands —
+        this is exactly why Algorithm 2 runs l+2 iterations, not l.
+        Concrete violations found by exhaustive search over small moduli."""
+        for n, x, y in [(3, 3, 5), (5, 7, 9), (7, 7, 13)]:
+            probe = probe_window_stability(n, n.bit_length(), [(x, y)])
+            assert not probe.closed
+            assert probe.violations == ((x, y),)
+            assert probe.max_output >= 2 * n
+
+    @given(odd_modulus(3, 64), st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_probe_never_false_positive(self, n, sx, sy):
+        """With the paper's R the probe can never report a violation."""
+        x, y = sx % (2 * n), sy % (2 * n)
+        probe = probe_window_stability(n, n.bit_length() + 2, [(x, y)])
+        assert probe.closed
+
+
+class TestWorstCase:
+    def test_corner(self):
+        assert worst_case_operands(11) == (21, 21)

@@ -1,0 +1,140 @@
+"""Tests for GF(2^m) Montgomery arithmetic (the dual-field extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.montgomery.gf2 import (
+    AES_POLY,
+    NIST_B163_POLY,
+    GF2MontgomeryContext,
+    clmul,
+    dual_field_cell_costs,
+    gf2_modexp,
+    is_irreducible,
+    poly_divmod,
+    poly_gcd,
+    poly_inverse,
+    poly_mod,
+)
+
+
+class TestPolynomialArithmetic:
+    def test_clmul_known(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert clmul(0b11, 0b11) == 0b101
+        assert clmul(0b10, 0b110) == 0b1100
+
+    @given(st.integers(0, 1 << 64), st.integers(0, 1 << 64))
+    @settings(max_examples=100)
+    def test_clmul_commutative(self, a, b):
+        assert clmul(a, b) == clmul(b, a)
+
+    @given(st.integers(0, 1 << 48), st.integers(0, 1 << 48), st.integers(0, 1 << 48))
+    @settings(max_examples=100)
+    def test_clmul_distributive(self, a, b, c):
+        assert clmul(a, b ^ c) == clmul(a, b) ^ clmul(a, c)
+
+    @given(st.integers(0, 1 << 64), st.integers(1, 1 << 32))
+    @settings(max_examples=150)
+    def test_divmod_invariant(self, a, b):
+        q, r = poly_divmod(a, b)
+        assert clmul(q, b) ^ r == a
+        assert r.bit_length() < b.bit_length()
+
+    def test_div_by_zero(self):
+        with pytest.raises(ParameterError):
+            poly_divmod(5, 0)
+
+    def test_gcd(self):
+        # gcd((x+1)^2, (x+1)x) = x+1
+        assert poly_gcd(0b101, clmul(0b11, 0b10)) == 0b11
+
+    def test_inverse(self):
+        f = AES_POLY
+        for a in (1, 2, 0x53, 0xCA):
+            inv = poly_inverse(a, f)
+            assert poly_mod(clmul(a, inv), f) == 1
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(ParameterError):
+            poly_inverse(0, AES_POLY)
+
+
+class TestIrreducibility:
+    IRREDUCIBLE = [0b10, 0b11, 0b111, 0b1011, 0b10011, AES_POLY, NIST_B163_POLY]
+    REDUCIBLE = [0b101, 0b110, 0b1001, 0b1111, 0x11C]
+
+    @pytest.mark.parametrize("f", IRREDUCIBLE)
+    def test_known_irreducible(self, f):
+        assert is_irreducible(f)
+
+    @pytest.mark.parametrize("f", REDUCIBLE)
+    def test_known_reducible(self, f):
+        assert not is_irreducible(f)
+
+    def test_count_of_degree_4(self):
+        """There are exactly 3 irreducible degree-4 polynomials over GF(2)."""
+        count = sum(is_irreducible((1 << 4) | t) for t in range(16))
+        assert count == 3
+
+
+class TestGF2Montgomery:
+    def test_aes_test_vectors(self):
+        """FIPS-197: {57}·{83} = {c1}, {57}·{13} = {fe}."""
+        ctx = GF2MontgomeryContext(AES_POLY)
+        assert ctx.field_multiply(0x57, 0x83) == 0xC1
+        assert ctx.field_multiply(0x57, 0x13) == 0xFE
+
+    def test_montgomery_postcondition(self):
+        ctx = GF2MontgomeryContext(AES_POLY)
+        rng = random.Random(5)
+        for _ in range(50):
+            a, b = rng.getrandbits(8), rng.getrandbits(8)
+            t = ctx.multiply(a, b)
+            assert t == poly_mod(clmul(clmul(a, b), ctx.r_inverse), AES_POLY)
+            assert t.bit_length() <= ctx.m, "no window problem in GF(2^m)"
+
+    def test_domain_roundtrip(self):
+        ctx = GF2MontgomeryContext(NIST_B163_POLY)
+        rng = random.Random(7)
+        for _ in range(10):
+            a = rng.getrandbits(163)
+            assert ctx.from_montgomery(ctx.to_montgomery(a)) == a
+
+    def test_field_inverse(self):
+        ctx = GF2MontgomeryContext(NIST_B163_POLY)
+        a = random.Random(9).getrandbits(163) | 1
+        assert ctx.field_multiply(a, ctx.field_inverse(a)) == 1
+
+    def test_fermat_exponentiation(self):
+        """a^(2^m - 1) = 1 for nonzero a — the group order."""
+        ctx = GF2MontgomeryContext(0b10011)  # GF(2^4)
+        for a in range(1, 16):
+            assert gf2_modexp(ctx, a, 15) == 1
+        assert gf2_modexp(ctx, 5, 0) == 1
+
+    def test_rejects_reducible(self):
+        with pytest.raises(ParameterError):
+            GF2MontgomeryContext(0b101)
+
+    def test_trusted_skips_check(self):
+        GF2MontgomeryContext(0b101, trusted=True)
+
+    def test_element_degree_checked(self):
+        ctx = GF2MontgomeryContext(AES_POLY)
+        with pytest.raises(ParameterError):
+            ctx.multiply(0x100, 1)
+
+
+class TestDualFieldCosts:
+    def test_gf2_cell_is_much_smaller(self):
+        costs = dual_field_cell_costs()
+        assert costs["GF(2^m)"].total_gates < costs["GF(p)"].total_gates / 2
+
+    def test_dual_field_overhead_is_one_gate(self):
+        costs = dual_field_cell_costs()
+        assert costs["dual-field"].total_gates == costs["GF(p)"].total_gates + 1

@@ -1,0 +1,73 @@
+"""Tests for the Montgomery powering ladder (SPA-hardened exponentiation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.montgomery.exponent import montgomery_modexp, montgomery_powering_ladder
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import odd_modulus
+
+
+class TestCorrectness:
+    @given(odd_modulus(2, 96), st.integers(0, 1 << 128), st.integers(1, 1 << 20))
+    @settings(max_examples=150)
+    def test_matches_pow(self, n, m_raw, e):
+        ctx = MontgomeryContext(n)
+        m = m_raw % n
+        result, _ = montgomery_powering_ladder(ctx, m, e)
+        assert result == pow(m, e, n)
+
+    def test_agrees_with_square_multiply(self):
+        ctx = MontgomeryContext(197)
+        for e in (1, 2, 7, 0xBEEF):
+            r1, _ = montgomery_modexp(ctx, 55, e)
+            r2, _ = montgomery_powering_ladder(ctx, 55, e)
+            assert r1 == r2
+
+
+class TestRegularity:
+    def test_fixed_rhythm(self):
+        """Exactly two ops per exponent bit, kinds independent of values."""
+        ctx = MontgomeryContext(197)
+        for e in (0b10000, 0b11111, 0b10101):
+            _, tr = montgomery_powering_ladder(ctx, 5, e)
+            kinds = [op.kind for op in tr.operations]
+            assert kinds[0] == "pre" and kinds[-1] == "post"
+            loop = kinds[1:-1]
+            assert len(loop) == 2 * e.bit_length()
+            assert loop[::2] == ["ladder-mul"] * e.bit_length()
+            assert loop[1::2] == ["ladder-sq"] * e.bit_length()
+
+    def test_op_count_leaks_only_bit_length(self):
+        """Two exponents of equal bit length produce identical op-kind
+        sequences (the SPA-hardening property); square-and-multiply does
+        not."""
+        ctx = MontgomeryContext(197)
+        _, t1 = montgomery_powering_ladder(ctx, 5, 0b10001)
+        _, t2 = montgomery_powering_ladder(ctx, 5, 0b11111)
+        assert [o.kind for o in t1.operations] == [o.kind for o in t2.operations]
+        _, s1 = montgomery_modexp(ctx, 5, 0b10001)
+        _, s2 = montgomery_modexp(ctx, 5, 0b11111)
+        assert [o.kind for o in s1.operations] != [o.kind for o in s2.operations]
+
+    def test_cost_overhead(self):
+        """~2 ops/bit vs ~1.5 for balanced square-and-multiply."""
+        ctx = MontgomeryContext((1 << 63) | 13)
+        e = 0x5555555555555555
+        _, lad = montgomery_powering_ladder(ctx, 7, e)
+        _, sqm = montgomery_modexp(ctx, 7, e)
+        assert lad.total_multiplications > sqm.total_multiplications
+        ratio = lad.total_multiplications / sqm.total_multiplications
+        assert 1.2 <= ratio <= 1.45
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        ctx = MontgomeryContext(11)
+        with pytest.raises(ParameterError):
+            montgomery_powering_ladder(ctx, 11, 3)
+        with pytest.raises(ParameterError):
+            montgomery_powering_ladder(ctx, 3, 0)

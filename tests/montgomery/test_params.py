@@ -1,0 +1,106 @@
+"""Unit tests for MontgomeryContext (paper parameter choices)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParameterError
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import odd_modulus
+
+
+class TestConstruction:
+    def test_rejects_even(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(10)
+
+    def test_rejects_one(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(1)
+
+    def test_rejects_l_too_small(self):
+        with pytest.raises(ParameterError):
+            MontgomeryContext(0b10101, l=3)
+
+    def test_default_l_is_bit_length(self):
+        assert MontgomeryContext(0b1011).l == 4
+
+    def test_wider_l_allowed(self):
+        ctx = MontgomeryContext(0b1011, l=8)
+        assert ctx.l == 8
+        assert ctx.r_exponent == 10
+
+
+class TestPaperParameters:
+    """The paper's specific choices: R = 2^(l+2), N' = 1 for radix 2."""
+
+    def test_r_exponent_is_l_plus_2(self):
+        ctx = MontgomeryContext(0xC5)  # 197, l = 8
+        assert ctx.r_exponent == 10
+        assert ctx.R == 1 << 10
+
+    def test_n_prime_is_one_for_radix2(self):
+        # Section 3: n_0 = 1 for odd N implies N' = 1 — this is why the
+        # rightmost cell needs no multiplier.
+        for n in (3, 197, 65537 * 3):
+            assert MontgomeryContext(n).n_prime == 1
+
+    def test_iterations_l_plus_2(self):
+        assert MontgomeryContext(0xC5).iterations == 10
+
+    @given(odd_modulus(2, 128))
+    def test_walter_bound_always_satisfied(self, n):
+        ctx = MontgomeryContext(n)
+        assert ctx.satisfies_walter_bound()
+        assert ctx.R > 4 * n
+
+    @given(odd_modulus(2, 128))
+    def test_r_is_minimal_power_of_two_granularity(self, n):
+        # R/2 = 2^(l+1) <= 4N (since N >= 2^(l-1)), so l+2 is the least
+        # exponent giving R > 4N for every modulus of this bit length.
+        ctx = MontgomeryContext(n)
+        assert (ctx.R >> 1) <= 4 * n or n.bit_length() < ctx.l
+
+
+class TestDerivedConstants:
+    def test_r2_mod_n(self):
+        ctx = MontgomeryContext(197)
+        assert ctx.r2_mod_n == (ctx.R * ctx.R) % 197
+
+    def test_r_inverse(self):
+        ctx = MontgomeryContext(197)
+        assert (ctx.R * ctx.r_inverse) % 197 == 1
+
+    def test_montgomery_representation_roundtrip(self):
+        ctx = MontgomeryContext(197)
+        for v in range(0, 197, 13):
+            assert ctx.from_montgomery(ctx.to_montgomery(v)) == v
+
+    def test_operand_bound(self):
+        assert MontgomeryContext(11).operand_bound == 22
+
+    def test_check_operand(self):
+        ctx = MontgomeryContext(11)
+        ctx.check_operand("x", 21)
+        with pytest.raises(ParameterError):
+            ctx.check_operand("x", 22)
+        with pytest.raises(ParameterError):
+            ctx.check_operand("x", -1)
+
+
+class TestWordBase:
+    def test_radix_16_params(self):
+        ctx = MontgomeryContext(197, word_bits=4)
+        assert ctx.r_exponent % 4 == 0
+        assert ctx.R > 4 * 197
+        assert (ctx.modulus * -ctx.n_prime) % 16 == (-1) % 16 or ctx.n_prime == (
+            -pow(197, -1, 16)
+        ) % 16
+
+    def test_n_prime_property(self):
+        # N * N' = -1 mod 2^alpha.
+        for alpha in (1, 2, 4, 8, 16):
+            ctx = MontgomeryContext(197, word_bits=alpha)
+            assert (197 * ctx.n_prime) % (1 << alpha) == ((1 << alpha) - 1) % (
+                1 << alpha
+            )

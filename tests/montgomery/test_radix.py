@@ -1,0 +1,87 @@
+"""Tests for the word-based (high-radix) Montgomery variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.montgomery.radix import (
+    WordMontgomeryParams,
+    iterations_high_radix,
+    mont_mul_cios,
+    mont_mul_fios,
+    mont_mul_sos,
+)
+
+from tests.conftest import odd_modulus
+
+
+ALPHAS = (1, 2, 4, 8, 16, 32)
+
+
+class TestParams:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ParameterError):
+            WordMontgomeryParams(10, 8)
+
+    def test_word_structure(self):
+        p = WordMontgomeryParams(0xC5, 4)
+        assert p.num_words == 2
+        assert p.R == 1 << 8
+        assert (0xC5 * p.n_prime) % 16 == 15
+
+    def test_n_words_little_endian(self):
+        p = WordMontgomeryParams(0x1A3, 4)
+        assert p.n_words == [0x3, 0xA, 0x1]
+
+
+class TestVariantsAgree:
+    @given(odd_modulus(2, 80), st.integers(0, 1 << 96), st.integers(0, 1 << 96))
+    @settings(max_examples=120)
+    def test_sos_cios_fios_equal(self, n, xr, yr):
+        x, y = xr % n, yr % n
+        for alpha in (4, 8, 16):
+            p = WordMontgomeryParams(n, alpha)
+            ref = (x * y * p.r_inverse) % n
+            assert mont_mul_sos(p, x, y) == ref
+            assert mont_mul_cios(p, x, y) == ref
+            assert mont_mul_fios(p, x, y) == ref
+
+    def test_alpha_one_matches_radix2(self):
+        from repro.montgomery.algorithms import montgomery_with_subtraction
+        from repro.montgomery.params import MontgomeryContext
+
+        n = 197
+        p = WordMontgomeryParams(n, 1)
+        ctx = MontgomeryContext(n)
+        for x, y in [(0, 0), (1, 1), (100, 150), (196, 196)]:
+            assert mont_mul_cios(p, x, y) == montgomery_with_subtraction(ctx, x, y)
+
+    def test_input_validation(self):
+        p = WordMontgomeryParams(197, 8)
+        with pytest.raises(ParameterError):
+            mont_mul_cios(p, 197, 1)
+        with pytest.raises(ParameterError):
+            mont_mul_sos(p, 1, -1)
+
+
+class TestIterationCount:
+    def test_paper_formula(self):
+        """ceil((n+2)/alpha) — Section 2, citing Batina-Muurling."""
+        assert iterations_high_radix(1024, 1) == 1026
+        assert iterations_high_radix(1024, 4) == 257
+        assert iterations_high_radix(1024, 16) == 65
+
+    def test_monotone_in_alpha(self):
+        prev = None
+        for alpha in ALPHAS:
+            it = iterations_high_radix(512, alpha)
+            if prev is not None:
+                assert it <= prev
+            prev = it
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            iterations_high_radix(0, 4)
+        with pytest.raises(ParameterError):
+            iterations_high_radix(64, 0)

@@ -1,0 +1,77 @@
+"""Property-based tests of the ECC layer (hypothesis, toy curve)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.curves import TOY_CURVE
+from repro.ecc.point import AffinePoint
+from repro.ecc.scalarmul import (
+    montgomery_ladder,
+    naf_scalar_multiply,
+    non_adjacent_form,
+    scalar_multiply,
+)
+
+G = AffinePoint.generator(TOY_CURVE)
+scalars = st.integers(0, 500)
+
+
+def _xy(p: AffinePoint):
+    return None if p.is_infinity else (p.x, p.y)
+
+
+class TestScalarMultiplicationProperties:
+    @given(scalars)
+    @settings(max_examples=60, deadline=None)
+    def test_ladders_agree(self, k):
+        a = scalar_multiply(G, k).point
+        b = montgomery_ladder(G, k).point
+        c = naf_scalar_multiply(G, k).point
+        assert _xy(a) == _xy(b) == _xy(c)
+
+    @given(scalars)
+    @settings(max_examples=60, deadline=None)
+    def test_order_periodicity(self, k):
+        """[k]G == [k mod ord(G)]G."""
+        a = scalar_multiply(G, k).point
+        b = scalar_multiply(G, k % TOY_CURVE.order).point
+        assert _xy(a) == _xy(b)
+
+    @given(scalars, scalars)
+    @settings(max_examples=50, deadline=None)
+    def test_distributivity(self, j, k):
+        """[j+k]G == [j]G + [k]G."""
+        lhs = scalar_multiply(G, j + k).point
+        rhs = (
+            scalar_multiply(G, j).point.to_jacobian()
+            + scalar_multiply(G, k).point.to_jacobian()
+        ).to_affine()
+        assert _xy(lhs) == _xy(rhs)
+
+    @given(scalars)
+    @settings(max_examples=40, deadline=None)
+    def test_results_on_curve(self, k):
+        p = scalar_multiply(G, k).point
+        if not p.is_infinity:
+            assert TOY_CURVE.contains(p.x, p.y)
+
+
+class TestNAFProperties:
+    @given(st.integers(0, 1 << 64), st.integers(2, 6))
+    @settings(max_examples=150)
+    def test_reconstruction(self, k, w):
+        digits = non_adjacent_form(k, w)
+        assert sum(d << i for i, d in enumerate(digits)) == k
+
+    @given(st.integers(0, 1 << 64), st.integers(2, 6))
+    @settings(max_examples=150)
+    def test_digit_bounds(self, k, w):
+        for d in non_adjacent_form(k, w):
+            assert d == 0 or (d % 2 == 1 and abs(d) < (1 << (w - 1)))
+
+    @given(st.integers(0, 1 << 64))
+    @settings(max_examples=100)
+    def test_width2_no_adjacent_nonzeros(self, k):
+        digits = non_adjacent_form(k, 2)
+        for a, b in zip(digits, digits[1:]):
+            assert not (a != 0 and b != 0)

@@ -1,0 +1,79 @@
+"""Property-based tests of the GF(2^m) field laws (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.montgomery.gf2 import (
+    AES_POLY,
+    GF2MontgomeryContext,
+    clmul,
+    poly_mod,
+)
+
+CTX = GF2MontgomeryContext(AES_POLY)
+elements = st.integers(0, (1 << CTX.m) - 1)
+
+
+def fmul(a: int, b: int) -> int:
+    return CTX.field_multiply(a, b)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    @settings(max_examples=150)
+    def test_commutativity(self, a, b):
+        assert fmul(a, b) == fmul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100)
+    def test_associativity(self, a, b, c):
+        assert fmul(fmul(a, b), c) == fmul(a, fmul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100)
+    def test_distributivity_over_xor(self, a, b, c):
+        assert fmul(a, b ^ c) == fmul(a, b) ^ fmul(a, c)
+
+    @given(elements)
+    @settings(max_examples=60)
+    def test_multiplicative_identity(self, a):
+        assert fmul(a, 1) == a
+
+    @given(elements)
+    @settings(max_examples=60)
+    def test_zero_annihilates(self, a):
+        assert fmul(a, 0) == 0
+
+    @given(elements.filter(lambda a: a != 0))
+    @settings(max_examples=80)
+    def test_inverses(self, a):
+        assert fmul(a, CTX.field_inverse(a)) == 1
+
+    @given(elements)
+    @settings(max_examples=80)
+    def test_frobenius_is_additive(self, a):
+        """x → x² is a field homomorphism in characteristic 2 — the fact
+        τNAF scalar multiplication exploits."""
+        b = 0x5B
+        lhs = fmul(a ^ b, a ^ b)
+        rhs = fmul(a, a) ^ fmul(b, b)
+        assert lhs == rhs
+
+
+class TestMontgomeryRepresentation:
+    @given(elements, elements)
+    @settings(max_examples=120)
+    def test_domain_product_congruence(self, a, b):
+        t = CTX.multiply(a, b)
+        assert t == poly_mod(clmul(clmul(a, b), CTX.r_inverse), CTX.modulus)
+
+    @given(elements)
+    @settings(max_examples=80)
+    def test_enter_leave_roundtrip(self, a):
+        assert CTX.from_montgomery(CTX.to_montgomery(a)) == a
+
+    @given(elements, elements)
+    @settings(max_examples=80)
+    def test_no_window_growth(self, a, b):
+        """Unlike GF(p), outputs never exceed the field degree."""
+        assert CTX.multiply(a, b).bit_length() <= CTX.m

@@ -1,0 +1,122 @@
+"""Property-based tests of the core Montgomery invariants (hypothesis).
+
+These are the load-bearing mathematical facts the whole system rests on;
+each is stated as a universally-quantified property over random parameter
+sets rather than examples.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.montgomery.algorithms import (
+    montgomery_no_subtraction,
+    montgomery_reduce,
+    montgomery_trace,
+    montgomery_with_subtraction,
+)
+from repro.montgomery.params import MontgomeryContext
+
+from tests.conftest import context_and_operands, odd_modulus
+
+
+class TestDefiningProperties:
+    @given(context_and_operands())
+    @settings(max_examples=300)
+    def test_output_is_xy_rinv_mod_n(self, cxy):
+        ctx, x, y = cxy
+        t = montgomery_no_subtraction(ctx, x, y)
+        assert (t * ctx.R) % ctx.modulus == (x * y) % ctx.modulus
+
+    @given(context_and_operands())
+    @settings(max_examples=300)
+    def test_window_invariant(self, cxy):
+        """[0, 2N) is closed under Mont — Walter's theorem, instantiated."""
+        ctx, x, y = cxy
+        assert 0 <= montgomery_no_subtraction(ctx, x, y) < 2 * ctx.modulus
+
+    @given(context_and_operands())
+    @settings(max_examples=100)
+    def test_commutativity(self, cxy):
+        ctx, x, y = cxy
+        assert montgomery_no_subtraction(ctx, x, y) == montgomery_no_subtraction(
+            ctx, y, x
+        )
+
+    @given(context_and_operands())
+    @settings(max_examples=100)
+    def test_identity_element_is_r(self, cxy):
+        """Mont(x, R mod N) ≡ x (mod N): R is the domain's 1."""
+        ctx, x, _ = cxy
+        t = montgomery_no_subtraction(ctx, x, ctx.r_mod_n % (2 * ctx.modulus))
+        assert t % ctx.modulus == x % ctx.modulus
+
+    @given(context_and_operands())
+    @settings(max_examples=100)
+    def test_zero_annihilates(self, cxy):
+        ctx, x, _ = cxy
+        assert montgomery_no_subtraction(ctx, x, 0) == 0
+
+
+class TestChaining:
+    @given(context_and_operands(), st.integers(1, 6))
+    @settings(max_examples=80)
+    def test_window_closed_under_iteration(self, cxy, depth):
+        """Feeding outputs back as inputs `depth` times never escapes the
+        window and tracks the expected congruence — the exponentiator's
+        whole operating principle."""
+        ctx, x, y = cxy
+        n = ctx.modulus
+        t = x
+        expected = x % n
+        r_inv = ctx.r_inverse
+        for _ in range(depth):
+            t = montgomery_no_subtraction(ctx, t, y)
+            expected = (expected * y * r_inv) % n
+            assert 0 <= t < 2 * n
+        assert t % n == expected
+
+
+class TestAlgorithmRelations:
+    @given(context_and_operands())
+    @settings(max_examples=150)
+    def test_alg1_alg2_congruent(self, cxy):
+        """Algorithm 1 (R1 = 2^l, reduced output) and Algorithm 2
+        (R = 2^(l+2)) differ by exactly a factor 4 in the domain."""
+        ctx, x, y = cxy
+        n = ctx.modulus
+        xr, yr = x % n, y % n
+        a1 = montgomery_with_subtraction(ctx, xr, yr)
+        a2 = montgomery_no_subtraction(ctx, xr, yr)
+        # a1 = xy·2^-l, a2 = xy·2^-(l+2)  =>  a1 ≡ 4·a2 (mod N).
+        assert a1 % n == (4 * a2) % n
+
+    @given(context_and_operands())
+    @settings(max_examples=100)
+    def test_trace_consistent_with_result(self, cxy):
+        ctx, x, y = cxy
+        t, steps = montgomery_trace(ctx, x, y)
+        assert steps[-1].t_after == t
+        assert len(steps) == ctx.l + 2
+
+    @given(context_and_operands())
+    @settings(max_examples=100)
+    def test_m_bits_force_even_sums(self, cxy):
+        """m_i is precisely the parity fix: T + x_i·y + m_i·N is even."""
+        ctx, x, y = cxy
+        _, steps = montgomery_trace(ctx, x, y)
+        t_prev = 0
+        for s in steps:
+            assert (t_prev + s.x_digit * y + s.m_digit * ctx.modulus) % 2 == 0
+            t_prev = s.t_after
+
+
+class TestReduction:
+    @given(context_and_operands())
+    @settings(max_examples=150)
+    def test_reduce_idempotent_representation(self, cxy):
+        """enter -> reduce round-trips every residue."""
+        ctx, x, _ = cxy
+        n = ctx.modulus
+        v = x % n
+        entered = montgomery_no_subtraction(ctx, v, ctx.r2_mod_n)
+        assert montgomery_reduce(ctx, entered) == v

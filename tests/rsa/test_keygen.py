@@ -1,0 +1,58 @@
+"""Tests for RSA key generation (paper Section 4.5 conventions)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rsa.keygen import generate_keypair
+from repro.rsa.primes import is_probable_prime
+
+
+class TestGenerateKeypair:
+    def test_structure(self):
+        key = generate_keypair(64, random.Random(1))
+        assert key.modulus == key.p * key.q
+        assert key.modulus.bit_length() == 64
+        assert is_probable_prime(key.p) and is_probable_prime(key.q)
+        assert key.p != key.q
+
+    def test_carmichael_convention(self):
+        """E·D ≡ 1 mod lcm(p-1, q-1) — exactly the paper's statement."""
+        key = generate_keypair(48, random.Random(2))
+        lam = math.lcm(key.p - 1, key.q - 1)
+        assert (key.public_exponent * key.private_exponent) % lam == 1
+        assert key.carmichael == lam
+
+    def test_modulus_is_odd(self):
+        key = generate_keypair(32, random.Random(3))
+        assert key.modulus % 2 == 1
+
+    def test_crt_constants(self):
+        key = generate_keypair(48, random.Random(4))
+        assert key.d_p == key.private_exponent % (key.p - 1)
+        assert key.d_q == key.private_exponent % (key.q - 1)
+        assert (key.q_inv * key.q) % key.p == 1
+        assert key.p > key.q
+
+    def test_roundtrip_property(self):
+        key = generate_keypair(40, random.Random(5))
+        for m in (0, 1, 2, 12345 % key.modulus, key.modulus - 1):
+            assert pow(pow(m, key.public_exponent, key.modulus),
+                       key.private_exponent, key.modulus) == m
+
+    def test_custom_public_exponent(self):
+        key = generate_keypair(40, random.Random(6), public_exponent=17)
+        assert key.public_exponent == 17
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            generate_keypair(4, random.Random(0))
+        with pytest.raises(ParameterError):
+            generate_keypair(64, random.Random(0), public_exponent=4)
+
+    def test_deterministic(self):
+        k1 = generate_keypair(48, random.Random(9))
+        k2 = generate_keypair(48, random.Random(9))
+        assert k1 == k2

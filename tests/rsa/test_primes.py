@@ -1,0 +1,78 @@
+"""Tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rsa.primes import SMALL_PRIMES, generate_prime, is_probable_prime
+
+
+KNOWN_PRIMES = [2, 3, 5, 97, 197, 65537, (1 << 61) - 1, 2**127 - 1]
+KNOWN_COMPOSITES = [
+    1,
+    0,
+    4,
+    1001,
+    65535,
+    561,  # Carmichael
+    41041,  # Carmichael
+    (1 << 61) - 3,
+    3215031751,  # strong pseudoprime to bases 2,3,5,7
+]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not is_probable_prime(c)
+
+    def test_negative(self):
+        assert not is_probable_prime(-7)
+
+    def test_agrees_with_sieve_below_10000(self):
+        sieve = [True] * 10000
+        sieve[0] = sieve[1] = False
+        for i in range(2, 100):
+            if sieve[i]:
+                for j in range(i * i, 10000, i):
+                    sieve[j] = False
+        for n in range(10000):
+            assert is_probable_prime(n) == sieve[n], n
+
+    def test_large_prime_random_witness_path(self):
+        # Above the deterministic limit: exercise the random-witness branch.
+        p = 2**521 - 1  # Mersenne prime
+        assert is_probable_prime(p, rounds=10, rng=random.Random(0))
+        assert not is_probable_prime(p + 2, rounds=10, rng=random.Random(0))
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ParameterError):
+            is_probable_prime("97")
+
+
+class TestGeneratePrime:
+    def test_exact_bits_and_primality(self):
+        rng = random.Random(11)
+        for bits in (8, 16, 48):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(24, random.Random(5)) == generate_prime(
+            24, random.Random(5)
+        )
+
+    def test_too_few_bits(self):
+        with pytest.raises(ParameterError):
+            generate_prime(1, random.Random(0))
+
+    def test_small_primes_table(self):
+        assert SMALL_PRIMES[0] == 2
+        assert 997 in SMALL_PRIMES
+        assert all(is_probable_prime(p) for p in SMALL_PRIMES[:20])

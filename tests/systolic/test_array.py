@@ -1,0 +1,173 @@
+"""The RTL array model vs the golden Algorithm 2 — the core equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, SimulationError
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.array import ARRAY_MODES, SystolicArrayRTL
+
+
+def _modulus(bits: int, body: int) -> int:
+    top = 1 << (bits - 1)
+    return top | ((body % max(top >> 1, 1)) << 1) | 1
+
+
+mod_xy = st.builds(
+    lambda bits, body, fx, fy: (_modulus(bits, body), fx, fy),
+    bits=st.integers(2, 24),
+    body=st.integers(min_value=0),
+    fx=st.integers(min_value=0),
+    fy=st.integers(min_value=0),
+)
+
+
+class TestCorrectedMode:
+    @given(mod_xy)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_golden(self, nxy):
+        n, fx, fy = nxy
+        x, y = fx % (2 * n), fy % (2 * n)
+        ctx = MontgomeryContext(n)
+        arr = SystolicArrayRTL(n.bit_length(), mode="corrected")
+        res = arr.run_multiplication(x, y, n)
+        assert res.value == montgomery_no_subtraction(ctx, x, y)
+
+    def test_latency_3l_plus_5(self):
+        for l in (2, 5, 16):
+            n = (1 << (l - 1)) | 1 if l > 1 else 3
+            arr = SystolicArrayRTL(l, mode="corrected")
+            res = arr.run_multiplication(1, 1, n)
+            assert res.total_cycles == 3 * l + 5
+            assert res.datapath_cycles == 3 * l + 4
+
+    def test_worst_case_corner_large_modulus(self):
+        """The operand corner that breaks paper mode: N near 2^l."""
+        n = (1 << 16) - 1  # all-ones modulus, N/2^l maximal
+        ctx = MontgomeryContext(n)
+        arr = SystolicArrayRTL(16, mode="corrected")
+        res = arr.run_multiplication(2 * n - 1, 2 * n - 1, n)
+        assert res.value == montgomery_no_subtraction(ctx, 2 * n - 1, 2 * n - 1)
+
+    def test_reusable_across_operand_sets(self):
+        """One array instance, many multiplications, no state leakage."""
+        rng = random.Random(5)
+        arr = SystolicArrayRTL(12)
+        for _ in range(10):
+            n = _modulus(12, rng.getrandbits(16))
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            ctx = MontgomeryContext(n)
+            assert arr.run_multiplication(x, y, n).value == montgomery_no_subtraction(
+                ctx, x, y
+            )
+
+
+class TestPaperMode:
+    def test_correct_when_modulus_small_enough(self):
+        """N <= (2/3)·2^l keeps intermediate sums inside the printed array."""
+        rng = random.Random(9)
+        checked = 0
+        for _ in range(80):
+            l = rng.choice([4, 8, 12, 16])
+            n = _modulus(l, rng.getrandbits(24))
+            if 3 * n > 1 << (l + 1):
+                continue
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            ctx = MontgomeryContext(n)
+            arr = SystolicArrayRTL(l, mode="paper")
+            assert arr.run_multiplication(x, y, n).value == montgomery_no_subtraction(
+                ctx, x, y
+            )
+            checked += 1
+        assert checked > 10
+
+    def test_latency_3l_plus_4(self):
+        l = 8
+        arr = SystolicArrayRTL(l, mode="paper")
+        res = arr.run_multiplication(1, 1, 0x81)
+        assert res.total_cycles == 3 * l + 4
+
+    def test_overflow_detected_on_known_case(self):
+        """The reproduction finding: the printed array loses a carry."""
+        l, n, x, y = 31, 2094037023, 2652540660, 2813059522
+        arr = SystolicArrayRTL(l, mode="paper")
+        with pytest.raises(SimulationError, match="lost a carry"):
+            arr.run_multiplication(x, y, n)
+
+    def test_overflow_or_correct_never_silent(self):
+        """Paper mode must never return a wrong value silently."""
+        rng = random.Random(31)
+        mismatches = overflows = 0
+        for _ in range(120):
+            l = rng.choice([4, 6, 8, 10])
+            n = _modulus(l, rng.getrandbits(16))
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            ctx = MontgomeryContext(n)
+            arr = SystolicArrayRTL(l, mode="paper")
+            try:
+                got = arr.run_multiplication(x, y, n).value
+            except SimulationError:
+                overflows += 1
+                continue
+            if got != montgomery_no_subtraction(ctx, x, y):
+                mismatches += 1
+        assert mismatches == 0
+        assert overflows > 0, "the sweep should hit some overflow cases"
+
+
+class TestValidation:
+    def test_l_minimum(self):
+        with pytest.raises(ParameterError):
+            SystolicArrayRTL(1)
+
+    def test_bad_mode(self):
+        with pytest.raises(ParameterError):
+            SystolicArrayRTL(8, mode="bogus")
+        assert set(ARRAY_MODES) == {"corrected", "paper"}
+
+    def test_operand_window_enforced(self):
+        arr = SystolicArrayRTL(8)
+        with pytest.raises(ParameterError):
+            arr.run_multiplication(2 * 197, 1, 197)
+        with pytest.raises(ParameterError):
+            arr.run_multiplication(1, 1, 196)  # even modulus
+        with pytest.raises(ParameterError):
+            arr.run_multiplication(1, 1, 1 << 9)  # too wide
+
+    def test_probe_called_every_cycle(self):
+        calls = []
+        arr = SystolicArrayRTL(4, probe=lambda a: calls.append(a.cycle))
+        arr.run_multiplication(3, 5, 11)
+        assert len(calls) == arr.datapath_cycles
+
+
+class TestMicroarchitecture:
+    def test_phase_alternates(self):
+        arr = SystolicArrayRTL(4)
+        arr.load(1, 1, 11)
+        phases = []
+        for _ in range(4):
+            phases.append(arr.phase)
+            arr.step()
+        assert phases == ["MUL1", "MUL2", "MUL1", "MUL2"]
+
+    def test_x_register_drains_to_zero(self):
+        arr = SystolicArrayRTL(4)
+        arr.load(0b10110 % 22, 3, 11)
+        for _ in range(arr.datapath_cycles):
+            arr.step()
+        assert arr.x_shift == 0, "MSB zero-fill guarantees x_{l+1} = 0"
+
+    def test_result_register_stable_after_capture(self):
+        """Extra clocking beyond the datapath must not corrupt RESULT."""
+        arr = SystolicArrayRTL(6)
+        n = 43
+        ctx = MontgomeryContext(n)
+        res = arr.run_multiplication(17, 29, n)
+        for _ in range(20):
+            arr.step()
+        assert arr.result_value() == res.value == montgomery_no_subtraction(ctx, 17, 29)

@@ -1,0 +1,115 @@
+"""Gate-level array ≡ RTL array ≡ golden algorithm (small l)."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hdl.census import census
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.array import SystolicArrayRTL
+from repro.systolic.array_netlist import GateLevelArray, build_array
+
+
+def _modulus(rng: random.Random, l: int) -> int:
+    return (rng.getrandbits(l - 1) | (1 << (l - 1))) | 1
+
+
+class TestGateVsGolden:
+    @pytest.mark.parametrize("l", [2, 3, 5, 8])
+    def test_corrected_random_operands(self, l):
+        rng = random.Random(100 + l)
+        arr = GateLevelArray(l, "corrected")
+        for _ in range(8):
+            n = _modulus(rng, l)
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            ctx = MontgomeryContext(n)
+            assert arr.run_multiplication(x, y, n).value == montgomery_no_subtraction(
+                ctx, x, y
+            )
+
+    @pytest.mark.parametrize("l", [3, 6, 9])
+    def test_paper_mode_on_safe_moduli(self, l):
+        rng = random.Random(200 + l)
+        arr = GateLevelArray(l, "paper")
+        checked = 0
+        for _ in range(30):
+            n = _modulus(rng, l)
+            if 3 * n > 1 << (l + 1):
+                continue
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            ctx = MontgomeryContext(n)
+            assert arr.run_multiplication(x, y, n).value == montgomery_no_subtraction(
+                ctx, x, y
+            )
+            checked += 1
+        assert checked >= 3
+
+
+class TestGateVsRTL:
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    def test_cycle_by_cycle_t_registers(self, mode):
+        """The two models are the same machine: identical T registers at
+        every clock, not just identical results."""
+        l, n, x, y = 6, 37, 51, 40  # 3n < 2^(l+1): safe for paper mode too
+        rtl = SystolicArrayRTL(l, mode=mode)
+        gate = GateLevelArray(l, mode)
+        rtl.load(x, y, n)
+        sim, ports = gate.sim, gate.ports
+        sim.reset()
+        sim.poke(ports.y, y)
+        sim.poke(ports.n, n)
+        for tau in range(rtl.datapath_cycles):
+            sim.poke(ports.x0, (x >> (tau // 2)) & 1)
+            sim.settle()
+            sim.clock()
+            rtl.step()
+            gate_t = sim.peek(ports.core.t_regs)
+            rtl_t = sum(int(b) << i for i, b in enumerate(rtl.t_reg[1:]))
+            assert gate_t == rtl_t, f"T registers diverge at cycle {tau}"
+
+    def test_latency_match(self):
+        for mode in ("corrected", "paper"):
+            assert (
+                GateLevelArray(5, mode).datapath_cycles
+                == SystolicArrayRTL(5, mode=mode).datapath_cycles
+            )
+
+
+class TestStructure:
+    def test_netlist_validates(self):
+        for mode in ("corrected", "paper"):
+            ports = build_array(6, mode)
+            ports.circuit.validate()
+            assert not ports.circuit.undriven_wires()
+
+    def test_ff_count_near_4l(self):
+        """Paper Section 4.3: the array holds 4l flip-flops.  Ours adds
+        one phase toggle; the corrected mode ~4 more."""
+        l = 16
+        paper = build_array(l, "paper").circuit
+        ffs = census(paper).flip_flops
+        assert abs(ffs - 4 * l) <= 2
+
+    def test_corrected_adds_constant_overhead(self):
+        l = 16
+        c_paper = census(build_array(l, "paper").circuit)
+        c_corr = census(build_array(l, "corrected").circuit)
+        assert 0 < c_corr.flip_flops - c_paper.flip_flops <= 4
+        assert 0 < c_corr.total_gates - c_paper.total_gates <= 12
+
+    def test_gate_count_linear_in_l(self):
+        g16 = census(build_array(16, "paper").circuit).total_gates
+        g32 = census(build_array(32, "paper").circuit).total_gates
+        g64 = census(build_array(64, "paper").circuit).total_gates
+        assert (g64 - g32) == (g32 - g16) * 2 or abs((g64 - g32) - 2 * (g32 - g16)) <= 4
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            build_array(1)
+        with pytest.raises(ParameterError):
+            build_array(8, "nope")
+        arr = GateLevelArray(4)
+        with pytest.raises(ParameterError):
+            arr.run_multiplication(100, 1, 11)

@@ -1,0 +1,87 @@
+"""Exhaustive tests of the behavioral cell equations (Eqs. 4-9)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.systolic.cells import (
+    first_bit_cell,
+    leftmost_cell,
+    regular_cell,
+    rightmost_cell,
+)
+
+
+BITS = (0, 1)
+
+
+class TestRegularCell:
+    def test_eq4_exhaustive(self):
+        """Eq. (4): 4c1 + 2c0 + t = t_in + x·y + m·n + 2·c1_in + c0_in."""
+        for t_in, x, y, m, n, c0i, c1i in itertools.product(BITS, repeat=7):
+            out = regular_cell(t_in, x, y, m, n, c0i, c1i)
+            total = t_in + x * y + m * n + 2 * c1i + c0i
+            assert 4 * out.c1 + 2 * out.c0 + out.t == total
+
+    def test_max_sum_is_six(self):
+        out = regular_cell(1, 1, 1, 1, 1, 1, 1)
+        assert (out.t, out.c0, out.c1) == (0, 1, 1)  # 6 = 0b110
+
+    def test_bit_validation(self):
+        with pytest.raises(ParameterError):
+            regular_cell(2, 0, 0, 0, 0, 0, 0)
+
+
+class TestRightmostCell:
+    def test_eq5_m_generation(self):
+        """m = t_in XOR x·y0 (Eq. 5) — the quotient digit, N' = 1."""
+        for t_in, x, y0 in itertools.product(BITS, repeat=3):
+            out = rightmost_cell(t_in, x, y0)
+            assert out.m == t_in ^ (x & y0)
+
+    def test_eq7_carry(self):
+        """c0 = t_in OR x·y0 (Eq. 7)."""
+        for t_in, x, y0 in itertools.product(BITS, repeat=3):
+            out = rightmost_cell(t_in, x, y0)
+            assert out.c0 == (t_in | (x & y0))
+
+    def test_eq6_sum_bit_always_zero(self):
+        """2c0 + t = t_in + x·y0 + m with t = 0 — m is chosen to cancel."""
+        for t_in, x, y0 in itertools.product(BITS, repeat=3):
+            out = rightmost_cell(t_in, x, y0)
+            assert 2 * out.c0 == t_in + (x & y0) + out.m
+
+
+class TestFirstBitCell:
+    def test_eq8_exhaustive(self):
+        for t_in, x, y1, m, n1, c0i in itertools.product(BITS, repeat=6):
+            out = first_bit_cell(t_in, x, y1, m, n1, c0i)
+            total = t_in + x * y1 + m * n1 + c0i
+            assert 4 * out.c1 + 2 * out.c0 + out.t == total
+
+    def test_c1_reachable(self):
+        assert first_bit_cell(1, 1, 1, 1, 1, 1).c1 == 1
+
+
+class TestLeftmostCell:
+    def test_eq9_on_safe_inputs(self):
+        for t_in, x, yl, c0i, c1i in itertools.product(BITS, repeat=5):
+            total = t_in + x * yl + 2 * c1i + c0i
+            if total >= 4:
+                continue
+            out = leftmost_cell(t_in, x, yl, c0i, c1i)
+            assert 2 * out.t_next + out.t == total
+
+    def test_overflow_detected(self):
+        """The reproduction finding: sum = 4 cannot be represented."""
+        with pytest.raises(SimulationError, match="overflow"):
+            leftmost_cell(1, 1, 1, 1, 1)
+        with pytest.raises(SimulationError):
+            leftmost_cell(0, 1, 1, 1, 1)  # 1 + 2 + 1 = 4
+
+    def test_overflow_check_can_be_disabled(self):
+        """check=False reproduces the printed (lossy) XOR behaviour."""
+        out = leftmost_cell(1, 1, 1, 1, 1, check=False)
+        # 5 = 0b101 -> XOR silently drops the weight-4 carry: t_next=0, t=1.
+        assert (out.t, out.t_next) == (1, 0)

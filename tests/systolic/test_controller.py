@@ -1,0 +1,79 @@
+"""Tests for the Fig. 4 ASM controller."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.systolic.controller import MMMController, State
+
+
+class TestStateSequence:
+    def test_idle_until_start(self):
+        c = MMMController(4)
+        for _ in range(3):
+            sig = c.tick()
+            assert sig.state is State.IDLE
+            assert not sig.done
+
+    def test_full_sequence_small_l(self):
+        """IDLE -> (MUL1 MUL2)* -> OUT -> IDLE, with the Fig. 4 strobes."""
+        l = 4
+        c = MMMController(l, datapath_cycles=3 * l + 3)
+        c.start()
+        load = c.tick()
+        assert load.state is State.IDLE and load.load_registers
+        states = []
+        for _ in range(3 * l + 3):
+            sig = c.tick()
+            states.append(sig.state)
+            assert sig.clock_array
+            assert sig.shift_x == (sig.state is State.MUL2)
+            assert sig.latch_m_pipe == (sig.state is State.MUL1)
+        assert states[0] is State.MUL1
+        for a, b in zip(states, states[1:]):
+            assert {a, b} == {State.MUL1, State.MUL2}, "strict alternation"
+        out = c.tick()
+        assert out.state is State.OUT and out.done
+        assert c.tick().state is State.IDLE
+
+    def test_counter_counts_mul_cycles(self):
+        c = MMMController(4, datapath_cycles=15)
+        c.start()
+        c.tick()
+        for expect in range(15):
+            assert c.counter == expect
+            c.tick()
+        assert c.state is State.OUT
+
+
+class TestProtocol:
+    def test_start_outside_idle_rejected(self):
+        c = MMMController(4)
+        c.start()
+        c.tick()  # load
+        with pytest.raises(ProtocolError):
+            c.start()
+
+    def test_state_log_records_everything(self):
+        c = MMMController(2, datapath_cycles=9)
+        c.start()
+        for _ in range(11):
+            c.tick()
+        log = c.state_log
+        assert log[0] is State.IDLE
+        assert log.count(State.OUT) == 1
+        assert log.count(State.MUL1) + log.count(State.MUL2) == 9
+
+
+class TestCountEnd:
+    def test_comparator_value(self):
+        c = MMMController(8)  # default: paper datapath 3l+3
+        assert c.count_end_value == 3 * 8 + 2
+
+    def test_count_end_property(self):
+        c = MMMController(2, datapath_cycles=3)
+        c.start()
+        c.tick()
+        assert not c.count_end
+        c.tick()
+        c.tick()
+        assert c.count_end  # counter == 2 == datapath-1

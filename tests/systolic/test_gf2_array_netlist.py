@@ -1,0 +1,68 @@
+"""Tests for the gate-level GF(2^m) array."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hdl.census import census
+from repro.montgomery.gf2 import AES_POLY, GF2MontgomeryContext
+from repro.systolic.gf2_array import Gf2ArraySystolic
+from repro.systolic.gf2_array_netlist import GateLevelGf2Array, build_gf2_array
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("poly", [0b111, 0b1011, 0b10011, AES_POLY])
+    def test_gate_matches_golden(self, poly):
+        ctx = GF2MontgomeryContext(poly)
+        g = GateLevelGf2Array(ctx)
+        rng = random.Random(poly)
+        for _ in range(15):
+            a, b = rng.getrandbits(ctx.m), rng.getrandbits(ctx.m)
+            assert g.multiply(a, b).value == ctx.multiply(a, b)
+
+    def test_gate_matches_rtl_latency(self):
+        ctx = GF2MontgomeryContext(AES_POLY)
+        gate = GateLevelGf2Array(ctx)
+        rtl = Gf2ArraySystolic(ctx)
+        assert gate.datapath_cycles == rtl.datapath_cycles
+        r1 = gate.multiply(0x57, 0x83)
+        r2 = rtl.multiply(0x57, 0x83)
+        assert r1.value == r2.value
+        assert r1.total_cycles == r2.total_cycles
+
+    def test_element_validation(self):
+        ctx = GF2MontgomeryContext(AES_POLY)
+        with pytest.raises(ParameterError):
+            GateLevelGf2Array(ctx).multiply(0x100, 1)
+
+    def test_minimum_degree(self):
+        with pytest.raises(ParameterError):
+            build_gf2_array(1)
+
+
+class TestDualFieldCensus:
+    def test_carry_free_array_much_smaller(self):
+        """At equal width the GF(2^m) array is ~1/3 the logic of GF(p)."""
+        from repro.systolic.array_netlist import build_array
+
+        m = 32
+        gfp = census(build_array(m, "paper").circuit)
+        gf2 = census(build_gf2_array(m).circuit)
+        assert gf2.total_gates * 2 < gfp.total_gates
+        assert gf2.by_kind.get("or", 0) == 0, "no carries => no OR gates"
+        assert gf2.flip_flops < gfp.flip_flops
+
+    def test_cell_inventory_2and_2xor(self):
+        """Interior cells: exactly 2 AND + 2 XOR each (plus the pipes)."""
+        m = 16
+        cen = census(build_gf2_array(m).circuit)
+        # cells 1..m-1: 2 AND + 2 XOR; cell 0: 1 AND + 1 XOR; cell m: 1 AND.
+        assert cen.by_kind.get("and", 0) == 2 * (m - 1) + 1 + 1
+        assert cen.by_kind.get("xor", 0) == 2 * (m - 1) + 1
+
+    def test_ff_inventory_no_carry_registers(self):
+        """T(m) + pipes(2·⌈m/2⌉-ish) + phase ≈ 2m + 1 — half of GF(p)'s 4l."""
+        m = 16
+        cen = census(build_gf2_array(m).circuit)
+        assert abs(cen.flip_flops - (2 * m + 1)) <= 2

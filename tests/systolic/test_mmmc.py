@@ -1,0 +1,87 @@
+"""Tests for the behavioral MMMC (Fig. 3): controller + datapath."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.systolic.controller import State
+from repro.systolic.mmmc import MMMC
+
+
+class TestMultiplication:
+    def test_result_and_latency_corrected(self):
+        ctx = MontgomeryContext(197)
+        mmmc = MMMC(ctx.l)
+        run = mmmc.multiply(300, 150, 197)
+        assert run.result == montgomery_no_subtraction(ctx, 300, 150)
+        assert run.cycles == 3 * ctx.l + 5
+
+    def test_result_and_latency_paper(self):
+        # N = 139: 3N < 2^(l+1) so paper mode is safe here.
+        ctx = MontgomeryContext(139)
+        mmmc = MMMC(ctx.l, mode="paper")
+        run = mmmc.multiply(100, 200, 139)
+        assert run.result == montgomery_no_subtraction(ctx, 100, 200)
+        assert run.cycles == 3 * ctx.l + 4
+
+    def test_state_sequence_shape(self):
+        ctx = MontgomeryContext(11)
+        run = MMMC(ctx.l).multiply(3, 5, 11)
+        seq = run.state_sequence
+        assert seq[0] is State.IDLE  # the load cycle
+        assert seq[-1] is State.OUT
+        muls = [s for s in seq if s in (State.MUL1, State.MUL2)]
+        assert len(muls) == 3 * ctx.l + 4  # corrected datapath
+
+    def test_many_backtoback_multiplications(self):
+        rng = random.Random(17)
+        n = 211
+        ctx = MontgomeryContext(n)
+        mmmc = MMMC(ctx.l)
+        for _ in range(8):
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            run = mmmc.multiply(x, y, n)
+            assert run.result == montgomery_no_subtraction(ctx, x, y)
+        assert mmmc.multiplications == 8
+        assert mmmc.total_cycles == 8 * (3 * ctx.l + 5)
+
+    def test_different_moduli_same_circuit(self):
+        mmmc = MMMC(8)
+        for n in (131, 197, 255):
+            ctx = MontgomeryContext(n)
+            run = mmmc.multiply(n + 3, 2 * n - 1, n)
+            assert run.result == montgomery_no_subtraction(ctx, n + 3, 2 * n - 1)
+
+
+class TestProtocol:
+    def test_start_while_busy_rejected(self):
+        mmmc = MMMC(4)
+        mmmc.start(1, 1, 11)
+        mmmc.step()
+        mmmc.step()
+        with pytest.raises(ProtocolError):
+            mmmc.start(2, 2, 11)
+
+    def test_stepwise_done_timing(self):
+        """DONE rises exactly at the OUT cycle, not before."""
+        l = 4
+        mmmc = MMMC(l)
+        mmmc.start(3, 5, 11)
+        steps_until_done = 0
+        while not mmmc.done:
+            mmmc.step()
+            steps_until_done += 1
+            assert steps_until_done < 100
+        # load + datapath(3l+4) + OUT = 3l+6 step() calls.
+        assert steps_until_done == 3 * l + 6
+        # but the charged cycles exclude the IDLE/load cycle:
+        assert mmmc._cycles_this_run == 3 * l + 5
+
+    def test_run_to_done_guard(self):
+        mmmc = MMMC(4)
+        mmmc.start(1, 1, 11)
+        with pytest.raises(ProtocolError):
+            mmmc.run_to_done(max_cycles=3)

@@ -1,0 +1,79 @@
+"""Tests for the 2i+j wavefront schedule."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.systolic.schedule import WavefrontSchedule
+
+
+class TestBasics:
+    def test_sizes(self):
+        s = WavefrontSchedule(8)
+        assert s.num_cells == 9
+        assert s.num_rows == 10
+
+    def test_l_too_small(self):
+        with pytest.raises(ParameterError):
+            WavefrontSchedule(1)
+
+    def test_compute_cycle(self):
+        s = WavefrontSchedule(8)
+        assert s.compute_cycle(0, 0) == 0
+        assert s.compute_cycle(3, 5) == 11
+        assert s.compute_cycle(9, 8) == 26  # last digit: 2(l+1)+l = 3l+2
+
+    def test_bounds_checked(self):
+        s = WavefrontSchedule(4)
+        with pytest.raises(ParameterError):
+            s.compute_cycle(6, 0)
+        with pytest.raises(ParameterError):
+            s.compute_cycle(0, 5)
+
+
+class TestTiming:
+    def test_last_compute_cycle_3l_plus_2(self):
+        for l in (2, 8, 32, 100):
+            assert WavefrontSchedule(l).last_compute_cycle == 3 * l + 2
+
+    def test_datapath_cycles_3l_plus_3(self):
+        for l in (2, 8, 32):
+            assert WavefrontSchedule(l).datapath_cycles == 3 * l + 3
+
+    def test_result_bit_ready_diagonal(self):
+        s = WavefrontSchedule(8)
+        # bit b finalized at 2(l+1) + b + 1.
+        assert s.result_bit_ready(0) == 19
+        assert s.result_bit_ready(8) == 27
+        with pytest.raises(ParameterError):
+            s.result_bit_ready(9)
+
+
+class TestActivity:
+    def test_parity(self):
+        s = WavefrontSchedule(8)
+        assert s.active_row(10, 4) == 3
+        assert s.active_row(11, 4) is None  # wrong parity
+
+    def test_out_of_window(self):
+        s = WavefrontSchedule(8)
+        assert s.active_row(0, 2) is None  # row would be negative
+        assert s.active_row(100, 0) is None  # row past l+1
+
+    def test_each_digit_computed_exactly_once(self):
+        s = WavefrontSchedule(5)
+        seen = set()
+        for act in s:
+            key = (act.row, act.cell)
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == s.num_rows * s.num_cells
+
+    def test_occupancy_peaks_near_half(self):
+        """The two-cycle issue interval caps utilization at ~50%."""
+        s = WavefrontSchedule(32)
+        peak = max(s.occupancy(c) for c in range(s.datapath_cycles))
+        assert 0.45 <= peak <= 0.55
+
+    def test_x_consumption(self):
+        s = WavefrontSchedule(4)
+        assert s.x_consumption_schedule() == [(0, 0), (2, 1), (4, 2), (6, 3), (8, 4), (10, 5)]

@@ -1,0 +1,116 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.bits import (
+    bit_array_to_int,
+    bit_length_words,
+    bits_to_int,
+    hamming_weight,
+    int_to_bit_array,
+    int_to_bits,
+    iter_bits_lsb_first,
+    iter_bits_msb_first,
+)
+
+
+class TestIntToBits:
+    def test_basic(self):
+        assert int_to_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_full_width(self):
+        assert int_to_bits(15, 4) == [1, 1, 1, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ParameterError):
+            int_to_bits(0, -1)
+
+
+class TestBitsToInt:
+    def test_basic(self):
+        assert bits_to_int([0, 1, 1, 0]) == 6
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ParameterError):
+            bits_to_int([0, 2])
+
+    @given(st.integers(min_value=0, max_value=1 << 200), st.integers(0, 30))
+    def test_roundtrip(self, value, extra):
+        width = value.bit_length() + extra
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+
+class TestBitArrays:
+    def test_array_roundtrip(self):
+        arr = int_to_bit_array(0b1011, 6)
+        assert arr.dtype == np.uint8
+        assert list(arr) == [1, 1, 0, 1, 0, 0]
+        assert bit_array_to_int(arr) == 0b1011
+
+    @given(st.integers(min_value=0, max_value=1 << 300))
+    def test_wide_values_exact(self, value):
+        width = max(value.bit_length(), 1)
+        assert bit_array_to_int(int_to_bit_array(value, width)) == value
+
+
+class TestIterators:
+    def test_lsb_first(self):
+        assert list(iter_bits_lsb_first(6)) == [0, 1, 1]
+
+    def test_msb_first(self):
+        assert list(iter_bits_msb_first(6)) == [1, 1, 0]
+
+    def test_zero_yields_nothing(self):
+        assert list(iter_bits_lsb_first(0)) == []
+        assert list(iter_bits_msb_first(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            list(iter_bits_lsb_first(-1))
+        with pytest.raises(ParameterError):
+            list(iter_bits_msb_first(-1))
+
+    @given(st.integers(min_value=0, max_value=1 << 128))
+    def test_iterators_agree(self, v):
+        assert list(iter_bits_msb_first(v)) == list(reversed(list(iter_bits_lsb_first(v))))
+
+
+class TestHammingWeight:
+    @pytest.mark.parametrize("v,w", [(0, 0), (1, 1), (0b1011, 3), ((1 << 64) - 1, 64)])
+    def test_known(self, v, w):
+        assert hamming_weight(v) == w
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            hamming_weight(-3)
+
+
+class TestBitLengthWords:
+    @pytest.mark.parametrize(
+        "bits,word,expect", [(0, 8, 0), (1, 8, 1), (8, 8, 1), (9, 8, 2), (1026, 32, 33)]
+    )
+    def test_ceiling(self, bits, word, expect):
+        assert bit_length_words(bits, word) == expect
+
+    def test_bad_args(self):
+        with pytest.raises(ParameterError):
+            bit_length_words(8, 0)
+        with pytest.raises(ParameterError):
+            bit_length_words(-1, 8)

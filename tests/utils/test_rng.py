@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.rng import (
+    operand_batch,
+    random_odd_modulus,
+    random_operand_pair,
+    random_residue,
+)
+
+
+class TestRandomOddModulus:
+    def test_exact_bit_length_and_oddness(self):
+        rng = random.Random(1)
+        for bits in range(2, 40):
+            n = random_odd_modulus(bits, rng)
+            assert n.bit_length() == bits
+            assert n % 2 == 1
+
+    def test_one_bit_rejected(self):
+        with pytest.raises(ParameterError):
+            random_odd_modulus(1, random.Random(0))
+
+
+class TestRandomResidue:
+    def test_window(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert 0 <= random_residue(11, rng) < 11
+            assert 0 <= random_residue(11, rng, doubled=True) < 22
+
+    def test_doubled_window_actually_used(self):
+        rng = random.Random(3)
+        assert any(random_residue(11, rng, doubled=True) >= 11 for _ in range(200))
+
+
+class TestOperandBatch:
+    def test_deterministic(self):
+        assert operand_batch(16, 5, seed=9) == operand_batch(16, 5, seed=9)
+
+    def test_seed_changes_output(self):
+        assert operand_batch(16, 5, seed=1) != operand_batch(16, 5, seed=2)
+
+    def test_shapes(self):
+        batch = operand_batch(12, 7, seed=0, doubled=True)
+        assert len(batch) == 7
+        for n, x, y in batch:
+            assert n.bit_length() == 12 and n % 2 == 1
+            assert 0 <= x < 2 * n and 0 <= y < 2 * n
+
+    def test_count_positive(self):
+        with pytest.raises(ParameterError):
+            operand_batch(12, 0)
+
+
+class TestRandomOperandPair:
+    def test_pair_in_window(self):
+        rng = random.Random(5)
+        n, x, y = random_operand_pair(20, rng, doubled=True)
+        assert n.bit_length() == 20
+        assert 0 <= x < 2 * n and 0 <= y < 2 * n

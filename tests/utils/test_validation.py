@@ -1,0 +1,69 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_int,
+    ensure_nonnegative,
+    ensure_odd,
+    ensure_positive,
+)
+
+
+class TestEnsureInt:
+    def test_accepts_int(self):
+        assert ensure_int("x", 5) == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(ParameterError, match="x must be an int"):
+            ensure_int("x", True)
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None, [1]])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(ParameterError):
+            ensure_int("x", bad)
+
+
+class TestEnsureNonnegative:
+    def test_accepts_zero(self):
+        assert ensure_nonnegative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError, match=">= 0"):
+            ensure_nonnegative("x", -1)
+
+
+class TestEnsurePositive:
+    def test_accepts_one(self):
+        assert ensure_positive("x", 1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ParameterError, match="> 0"):
+            ensure_positive("x", 0)
+
+
+class TestEnsureOdd:
+    def test_accepts_odd(self):
+        assert ensure_odd("n", 7) == 7
+
+    def test_rejects_even(self):
+        with pytest.raises(ParameterError, match="odd"):
+            ensure_odd("n", 8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            ensure_odd("n", -3)
+
+
+class TestEnsureInRange:
+    def test_half_open(self):
+        assert ensure_in_range("x", 0, 0, 4) == 0
+        assert ensure_in_range("x", 3, 0, 4) == 3
+        with pytest.raises(ParameterError):
+            ensure_in_range("x", 4, 0, 4)
+
+    def test_message_names_argument(self):
+        with pytest.raises(ParameterError, match="operand"):
+            ensure_in_range("operand", 9, 0, 4)
