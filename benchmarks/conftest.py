@@ -11,21 +11,50 @@ does two things with it:
 
 Wall-clock timings of the simulators themselves go through
 pytest-benchmark's ``benchmark`` fixture.
+
+Every benchmark additionally runs under an observability session (see
+:mod:`repro.observability`): the autouse ``benchmark_metrics`` fixture
+installs a fresh metrics registry around the test and, if the workload
+recorded anything, writes the snapshot to
+``results/metrics/<test_name>.json`` next to the ``results/*.txt``
+artifacts — a machine-readable record of where the cycles went.
 """
 
 from __future__ import annotations
 
 import os
+import re
 
 import pytest
 
+from repro.observability import MetricsRegistry, observe
+
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+METRICS_DIR = os.path.join(RESULTS_DIR, "metrics")
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(autouse=True)
+def benchmark_metrics(request):
+    """Per-benchmark metrics JSON, written beside the ``results/*.txt``.
+
+    Yields the live registry so a benchmark can also assert on counters
+    directly (``benchmark_metrics.counter("mmmc.multiplications")...``).
+    """
+    registry = MetricsRegistry()
+    with observe(metrics=registry):
+        yield registry
+    snap = registry.snapshot()
+    if not any(snap.values()):
+        return  # the workload never touched an instrumented path
+    os.makedirs(METRICS_DIR, exist_ok=True)
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    registry.write_json(os.path.join(METRICS_DIR, f"{name}.json"))
 
 
 @pytest.fixture

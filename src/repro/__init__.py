@@ -45,6 +45,11 @@ from repro.montgomery import (
     montgomery_trace,
     montgomery_modexp,
 )
+from repro.observability import (
+    MetricsRegistry,
+    SpanTracer,
+    observe,
+)
 from repro.systolic import (
     SystolicArrayRTL,
     MMMC,
@@ -68,6 +73,9 @@ __all__ = [
     "montgomery_with_subtraction",
     "montgomery_trace",
     "montgomery_modexp",
+    "MetricsRegistry",
+    "SpanTracer",
+    "observe",
     "SystolicArrayRTL",
     "MMMC",
     "ModularExponentiator",

@@ -1,13 +1,19 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or just ``repro``).
 
 Commands
 --------
 ``tables``      regenerate Tables 1 and 2 (model vs paper)
 ``multiply``    one Montgomery multiplication through a chosen model
 ``exponentiate``one modular exponentiation with cycle accounting
+``observe``     run an instrumented workload, print the metrics snapshot
 ``experiments`` list the experiment registry
 ``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
 ``fault``       run a fault-injection campaign on the array
+
+``multiply``, ``exponentiate`` and ``observe`` accept the observability
+flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
+``chrome://tracing``), ``--trace-detail op|state|cycle``, ``--metrics``
+(print a snapshot) and ``--metrics-out path.json``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,61 @@ from typing import List, Optional
 from repro.analysis.tables import render_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` flag group."""
+    grp = parser.add_argument_group("observability")
+    grp.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON timeline (open in Perfetto)",
+    )
+    grp.add_argument(
+        "--trace-detail",
+        choices=("op", "state", "cycle"),
+        default="state",
+        help="span granularity for --trace (default: state segments)",
+    )
+    grp.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print a metrics snapshot after the run",
+    )
+    grp.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot as JSON",
+    )
+
+
+def _observation(args):
+    """Build (registry, tracer) from the flags; either may be ``None``."""
+    from repro.observability import MetricsRegistry, SpanTracer
+
+    registry = (
+        MetricsRegistry() if (args.metrics or args.metrics_out) else None
+    )
+    tracer = SpanTracer(detail=args.trace_detail) if args.trace else None
+    return registry, tracer
+
+
+def _finish_observation(args, registry, tracer, out) -> None:
+    """Export whatever the flags asked for, after the observed run."""
+    if tracer is not None:
+        tracer.write(args.trace)
+        out.write(
+            f"[trace: {len(tracer.events)} events over {tracer.clock.now} "
+            f"cycles written to {args.trace} — open at https://ui.perfetto.dev]\n"
+        )
+    if registry is not None:
+        if args.metrics_out:
+            registry.write_json(args.metrics_out)
+            out.write(f"[metrics written to {args.metrics_out}]\n")
+        if args.metrics:
+            out.write(registry.render_text() + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,12 +107,40 @@ def build_parser() -> argparse.ArgumentParser:
         default="corrected",
         help="array architecture (see DESIGN.md findings)",
     )
+    _add_observability_flags(mul)
 
     ex = sub.add_parser("exponentiate", help="modular exponentiation")
     ex.add_argument("base", type=lambda s: int(s, 0))
     ex.add_argument("exponent", type=lambda s: int(s, 0))
     ex.add_argument("modulus", type=lambda s: int(s, 0))
     ex.add_argument("--engine", choices=("golden", "rtl"), default="golden")
+    _add_observability_flags(ex)
+
+    obs = sub.add_parser(
+        "observe",
+        help="run an instrumented workload and print the metrics snapshot",
+    )
+    obs.add_argument("--l", type=int, default=8, help="operand bit length")
+    obs.add_argument(
+        "--exponent",
+        type=lambda s: int(s, 0),
+        default=None,
+        help="exponent (default: random l-bit, seeded)",
+    )
+    obs.add_argument("--engine", choices=("golden", "rtl"), default="rtl")
+    obs.add_argument("--arch", choices=("corrected", "paper"), default="corrected")
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument(
+        "--gate",
+        action="store_true",
+        help="also run one gate-level multiplication (populates hdl.* metrics)",
+    )
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="print the snapshot as JSON instead of text",
+    )
+    _add_observability_flags(obs)
 
     sub.add_parser("experiments", help="list the experiment registry")
 
@@ -109,47 +198,104 @@ def _cmd_tables(out) -> int:
 def _cmd_multiply(args, out) -> int:
     from repro.montgomery.algorithms import montgomery_no_subtraction
     from repro.montgomery.params import MontgomeryContext
+    from repro.observability import observe
 
     ctx = MontgomeryContext(args.modulus)
     golden = montgomery_no_subtraction(ctx, args.x, args.y)
-    if args.model == "golden":
-        result, cycles = golden, None
-    elif args.model == "rtl":
-        from repro.systolic.array import SystolicArrayRTL
+    registry, tracer = _observation(args)
+    with observe(metrics=registry, tracer=tracer):
+        if args.model == "golden":
+            result, cycles = golden, None
+        elif args.model == "rtl":
+            from repro.systolic.array import SystolicArrayRTL
 
-        r = SystolicArrayRTL(ctx.l, mode=args.arch).run_multiplication(
-            args.x, args.y, args.modulus
-        )
-        result, cycles = r.value, r.total_cycles
-    elif args.model == "mmmc":
-        from repro.systolic.mmmc import MMMC
+            r = SystolicArrayRTL(ctx.l, mode=args.arch).run_multiplication(
+                args.x, args.y, args.modulus
+            )
+            result, cycles = r.value, r.total_cycles
+        elif args.model == "mmmc":
+            from repro.systolic.mmmc import MMMC
 
-        r = MMMC(ctx.l, mode=args.arch).multiply(args.x, args.y, args.modulus)
-        result, cycles = r.result, r.cycles
-    else:
-        from repro.systolic.mmmc_netlist import GateLevelMMMC
+            r = MMMC(ctx.l, mode=args.arch).multiply(args.x, args.y, args.modulus)
+            result, cycles = r.result, r.cycles
+        else:
+            from repro.systolic.mmmc_netlist import GateLevelMMMC
 
-        r = GateLevelMMMC(ctx.l, args.arch).multiply(args.x, args.y, args.modulus)
-        result, cycles = r.result, r.cycles
+            r = GateLevelMMMC(ctx.l, args.arch).multiply(args.x, args.y, args.modulus)
+            result, cycles = r.result, r.cycles
     out.write(f"Mont({args.x}, {args.y}) mod {args.modulus} = {result}\n")
     out.write(f"  = x*y*2^-{ctx.r_exponent} mod N;  golden agrees: {result == golden}\n")
     if cycles is not None:
         out.write(f"  cycles: {cycles} (paper formula 3l+4 = {3 * ctx.l + 4})\n")
+    _finish_observation(args, registry, tracer, out)
     return 0 if result == golden else 1
 
 
 def _cmd_exponentiate(args, out) -> int:
     from repro.montgomery.params import MontgomeryContext
+    from repro.observability import observe
     from repro.systolic.exponentiator import ModularExponentiator
 
     ctx = MontgomeryContext(args.modulus)
     exp = ModularExponentiator(ctx, engine=args.engine)
-    run = exp.exponentiate(args.base % args.modulus, args.exponent)
+    registry, tracer = _observation(args)
+    with observe(metrics=registry, tracer=tracer):
+        run = exp.exponentiate(args.base % args.modulus, args.exponent)
     out.write(f"{args.base}^{args.exponent} mod {args.modulus} = {run.result}\n")
     out.write(
         f"  {run.num_multiplications} multiplications, {run.cycles} cycles "
         f"(engine: {args.engine})\n"
     )
+    _finish_observation(args, registry, tracer, out)
+    return 0
+
+
+def _cmd_observe(args, out) -> int:
+    import random
+
+    from repro.montgomery.params import MontgomeryContext
+    from repro.observability import observe
+    from repro.systolic.exponentiator import ModularExponentiator
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(args.seed)
+    n = random_odd_modulus(args.l, rng)
+    ctx = MontgomeryContext(n)
+    message = rng.randrange(ctx.modulus)
+    exponent = (
+        args.exponent
+        if args.exponent is not None
+        else rng.randrange(1 << (args.l - 1), 1 << args.l)
+    )
+    registry, tracer = _observation(args)
+    if registry is None:  # `observe` always collects metrics
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+    with observe(metrics=registry, tracer=tracer):
+        exp = ModularExponentiator(ctx, engine=args.engine, mode=args.arch)
+        run = exp.exponentiate(message, exponent)
+        if args.gate:
+            from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+            GateLevelMMMC(ctx.l, args.arch).multiply(
+                message, message, ctx.modulus
+            )
+    out.write(
+        f"observed: {message}^{exponent} mod {n} = {run.result}  "
+        f"({run.num_multiplications} multiplications, {run.cycles} cycles, "
+        f"engine={args.engine}, arch={args.arch})\n\n"
+    )
+    out.write((registry.to_json() if args.json else registry.render_text()) + "\n")
+    if tracer is not None:
+        tracer.write(args.trace)
+        out.write(
+            f"[trace: {len(tracer.events)} events over {tracer.clock.now} "
+            f"cycles written to {args.trace} — open at https://ui.perfetto.dev]\n"
+        )
+    if args.metrics_out:
+        registry.write_json(args.metrics_out)
+        out.write(f"[metrics written to {args.metrics_out}]\n")
     return 0
 
 
@@ -230,6 +376,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_multiply(args, out)
     if args.command == "exponentiate":
         return _cmd_exponentiate(args, out)
+    if args.command == "observe":
+        return _cmd_observe(args, out)
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "census":

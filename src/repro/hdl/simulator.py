@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence
 from repro.errors import HardwareModelError, SimulationError
 from repro.hdl.gates import GateKind, GATE_EVAL
 from repro.hdl.netlist import Circuit, Wire
+from repro.observability import OBS
 
 __all__ = ["Simulator"]
 
@@ -130,6 +131,9 @@ class Simulator:
                 vals[g.output] = fn(vals[g.inputs[0]])
             else:
                 vals[g.output] = fn(vals[g.inputs[0]], vals[g.inputs[1]])
+        if OBS.enabled:
+            OBS.count("hdl.gate_evals", len(self._order))
+            OBS.record("hdl.gates_per_cycle", len(self._order))
 
     def clock(self) -> None:
         """Capture every DFF (phase 2).  Captures are simultaneous.
@@ -149,6 +153,9 @@ class Simulator:
         for q, v in captures:
             vals[q] = v
         self.cycle += 1
+        if OBS.enabled:
+            OBS.count("hdl.cycles")
+            OBS.count("hdl.dff_captures", len(captures))
 
     def step(self) -> None:
         """One full clock cycle: settle, then capture."""

@@ -1,0 +1,44 @@
+"""Observability layer: metrics registry, span tracer, global hook point.
+
+Three pieces, designed to be used together but separable:
+
+* :class:`MetricsRegistry` (:mod:`repro.observability.metrics`) —
+  counters / gauges / histograms with labels and JSON snapshots;
+* :class:`SpanTracer` (:mod:`repro.observability.trace`) — a nested-span
+  timeline over a simulated-cycle clock, exported as Chrome trace-event
+  JSON for Perfetto / ``chrome://tracing``;
+* :data:`OBS` + :func:`observe` (:mod:`repro.observability.observer`) —
+  the process-wide hook point the instrumented simulators report through,
+  a no-op unless a session is installed.
+
+See ``docs/OBSERVABILITY.md`` for the hook-point inventory and a guided
+tour, and ``examples/trace_exponentiation.py`` for an end-to-end run.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.observer import OBS, Observer, observe
+from repro.observability.trace import (
+    CycleClock,
+    SpanTracer,
+    TRACE_DETAILS,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "Observer",
+    "observe",
+    "CycleClock",
+    "SpanTracer",
+    "TRACE_DETAILS",
+    "validate_chrome_trace",
+]

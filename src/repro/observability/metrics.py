@@ -1,0 +1,279 @@
+"""Process-wide metrics registry: counters, gauges, histograms with labels.
+
+The registry is the *accounting* half of the observability layer (the
+:mod:`repro.observability.trace` span tracer is the *timeline* half).  It
+follows the Prometheus data model in miniature:
+
+* :class:`Counter` — monotonically increasing totals (cycles per
+  controller state, multiplications issued, gate evaluations);
+* :class:`Gauge` — last-written values (array length, logic depth);
+* :class:`Histogram` — distributions (cycles per multiplication, gates
+  evaluated per settle phase), bucketed by powers of two because every
+  quantity we measure is a count.
+
+Each metric carries free-form labels supplied at observation time
+(``registry.counter("controller.state_cycles").inc(state="MUL1")``); one
+metric object holds one time series per distinct label set.  The whole
+registry snapshots to a plain dict (and therefore JSON) so benchmarks can
+drop a machine-readable record next to their ``results/*.txt`` artifacts.
+
+CPython's GIL makes the bare ``+=`` updates atomic enough for the
+single-threaded simulators instrumented here; no locks are taken on the
+hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds: powers of two spanning one cycle
+#: up to ~1M cycles (an l=512 exponentiation); values above fall into +Inf.
+DEFAULT_BUCKETS: Tuple[int, ...] = tuple(2 ** k for k in range(0, 21))
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/help/series plumbing for the three metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelKey, Any] = {}
+
+    def _labelled_rows(self) -> Iterable[Tuple[LabelKey, Any]]:
+        return sorted(self._series.items())
+
+
+class Counter(_Metric):
+    """Monotonically increasing total, one value per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> int:
+        """Sum over every label set (the un-labelled grand total)."""
+        return sum(self._series.values())
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": v} for key, v in self._labelled_rows()
+        ]
+
+
+class Gauge(_Metric):
+    """Last-written value, one per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[_label_key(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._series.get(_label_key(labels))
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": v} for key, v in self._labelled_rows()
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        # one slot per finite bound, plus the +Inf overflow slot
+        self.bucket_counts = [0] * (num_buckets + 1)
+
+
+class Histogram(_Metric):
+    """Distribution of observed values over fixed buckets.
+
+    ``buckets`` are inclusive upper bounds in increasing order; a value
+    lands in the first bucket whose bound is >= the value, or in the
+    implicit ``+Inf`` bucket past the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[int, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram buckets must strictly increase: {buckets}")
+        self.buckets = tuple(buckets)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        if series.min is None or value < series.min:
+            series.min = value
+        if series.max is None or value > series.max:
+            series.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                return
+        series.bucket_counts[-1] += 1
+
+    def series(self, **labels: Any) -> Optional[_HistogramSeries]:
+        return self._series.get(_label_key(labels))
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        rows = []
+        for key, s in self._labelled_rows():
+            buckets = {
+                str(bound): c
+                for bound, c in zip(self.buckets, s.bucket_counts)
+                if c
+            }
+            if s.bucket_counts[-1]:
+                buckets["+Inf"] = s.bucket_counts[-1]
+            rows.append(
+                {
+                    "labels": dict(key),
+                    "count": s.count,
+                    "sum": s.sum,
+                    "min": s.min,
+                    "max": s.max,
+                    "buckets": buckets,
+                }
+            )
+        return rows
+
+
+_KIND_CLASSES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric in one observation session.
+
+    Accessors are idempotent: ``registry.counter("x")`` returns the same
+    object every call, creating it on first use — so instrumentation sites
+    never need set-up code.  Asking for an existing name with a different
+    kind raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Tuple[int, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh session)."""
+        self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as a JSON-serializable dict."""
+        out: Dict[str, Any] = {"counters": [], "gauges": [], "histograms": []}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            for row in m.snapshot():
+                out[m.kind + "s"].append({"name": name, "help": m.help, **row})
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def render_text(self) -> str:
+        """Human-readable snapshot for ``repro observe`` / ``--metrics``."""
+        snap = self.snapshot()
+        lines: List[str] = []
+
+        def fmt_labels(labels: Dict[str, str]) -> str:
+            if not labels:
+                return ""
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            return "{" + inner + "}"
+
+        if snap["counters"]:
+            lines.append("counters:")
+            for row in snap["counters"]:
+                lines.append(
+                    f"  {row['name']}{fmt_labels(row['labels'])} = {row['value']}"
+                )
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for row in snap["gauges"]:
+                lines.append(
+                    f"  {row['name']}{fmt_labels(row['labels'])} = {row['value']}"
+                )
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for row in snap["histograms"]:
+                mean = row["sum"] / row["count"] if row["count"] else 0.0
+                lines.append(
+                    f"  {row['name']}{fmt_labels(row['labels'])}: "
+                    f"count={row['count']} sum={row['sum']} "
+                    f"min={row['min']} mean={mean:g} max={row['max']}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

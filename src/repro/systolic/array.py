@@ -59,6 +59,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.errors import ParameterError, SimulationError
+from repro.observability import OBS
 from repro.utils.bits import bit_array_to_int, int_to_bit_array
 
 __all__ = ["SystolicArrayRTL", "MultiplicationResult", "ARRAY_MODES"]
@@ -158,6 +159,9 @@ class SystolicArrayRTL:
         self.m_pipe[:] = 0
         self.result_reg[:] = 0
         self.cycle = 0
+        if OBS.enabled:
+            OBS.count("array.loads")
+            OBS.gauge("array.cells", self.top_cell + 1)
 
     @property
     def phase(self) -> str:
@@ -283,6 +287,10 @@ class SystolicArrayRTL:
                 self.result_reg[tau - first] = t[tau - first + 1]
 
         self.cycle += 1
+        if OBS.enabled:
+            OBS.count("array.cycles")
+            if OBS.trace_cycles:
+                OBS.instant("array.cycle", cat="array", cycle=self.cycle)
         if self.probe is not None:
             self.probe(self)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ProtocolError
+from repro.observability import OBS
 from repro.utils.validation import ensure_positive
 
 __all__ = ["State", "ControlSignals", "MMMController"]
@@ -89,6 +90,8 @@ class MMMController:
         """Emit this cycle's control signals, then take the ASM transition."""
         st = self.state
         self.state_log.append(st)
+        if OBS.enabled:
+            OBS.count("controller.state_cycles", state=st.name)
         if st is State.IDLE:
             sig = ControlSignals(
                 state=st,

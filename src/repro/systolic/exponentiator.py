@@ -25,6 +25,7 @@ from typing import List, Tuple
 from repro.errors import ParameterError
 from repro.montgomery.algorithms import montgomery_no_subtraction
 from repro.montgomery.params import MontgomeryContext
+from repro.observability import OBS
 from repro.systolic.mmmc import MMMC
 from repro.systolic.timing import (
     exponentiation_cycles_measured_model,
@@ -74,6 +75,9 @@ class ModularExponentiator:
     # ------------------------------------------------------------------
     def _mont(self, kind: str, x: int, y: int, run: ExponentiationRun) -> int:
         n = self.ctx.modulus
+        observed = OBS.enabled
+        if observed:
+            OBS.begin(kind, cat="exponentiator")
         if self.mmmc is not None:
             rec = self.mmmc.multiply(x, y, n)
             value, cost = rec.result, rec.cycles
@@ -84,6 +88,14 @@ class ModularExponentiator:
                 if self.mode == "corrected"
                 else mmm_cycles(self.ctx.l)
             )
+            if observed:
+                # The golden engine skips the RTL, so the trace clock
+                # advances by the modelled cost in one jump.
+                OBS.tick(cost)
+        if observed:
+            OBS.end(cycles=cost)
+            OBS.count("exponentiator.operations", kind=kind)
+            OBS.record("exponentiator.operation_cycles", cost, kind=kind)
         run.cycles += cost
         run.operations.append((kind, cost))
         return value
@@ -104,6 +116,14 @@ class ModularExponentiator:
         if exponent <= 0:
             raise ParameterError(f"exponent must be >= 1, got {exponent}")
         run = ExponentiationRun(result=0, cycles=0)
+        if OBS.enabled:
+            OBS.begin(
+                "exponentiate",
+                cat="exponentiator",
+                l=ctx.l,
+                engine=self.engine,
+                exponent_bits=exponent.bit_length(),
+            )
         # Pre-processing: into the Montgomery domain.
         m_bar = self._mont("pre", message, ctx.r2_mod_n, run)
         a = m_bar
@@ -116,6 +136,10 @@ class ModularExponentiator:
         a = self._mont("post", a, 1, run)
         run.result = a % ctx.modulus
         self.cycles += run.cycles
+        if OBS.enabled:
+            OBS.end(cycles=run.cycles, multiplications=run.num_multiplications)
+            OBS.count("exponentiator.exponentiations")
+            OBS.record("exponentiator.exponentiation_cycles", run.cycles)
         # Cross-check the measurement against the closed-form model.
         expected = exponentiation_cycles_measured_model(
             ctx.l, exponent, mode=self.mode
@@ -157,10 +181,22 @@ class ModularExponentiator:
         else:
             raise ParameterError(f"unknown method {method!r}")
         run = ExponentiationRun(result=0, cycles=0)
+        if OBS.enabled:
+            OBS.begin(
+                "exponentiate_windowed",
+                cat="exponentiator",
+                l=self.ctx.l,
+                method=method,
+                window=window,
+            )
 
         def hook(ctx: MontgomeryContext, x: int, y: int) -> int:
             return self._mont("window-op", x, y, run)
 
         run.result = execute_schedule(self.ctx, sched, message, mont=hook)
         self.cycles += run.cycles
+        if OBS.enabled:
+            OBS.end(cycles=run.cycles, multiplications=run.num_multiplications)
+            OBS.count("exponentiator.exponentiations")
+            OBS.record("exponentiator.exponentiation_cycles", run.cycles)
         return run

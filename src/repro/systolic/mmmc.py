@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ProtocolError
+from repro.observability import OBS
 from repro.systolic.array import SystolicArrayRTL
 from repro.systolic.controller import MMMController, State
 from repro.systolic.timing import mmm_cycles
@@ -75,6 +76,8 @@ class MMMC:
         self.done = False
         self.result = None
         self._cycles_this_run = 0
+        if OBS.enabled:
+            OBS.begin("mmm", cat="mmmc", l=self.l, mode=self.mode)
 
     def step(self) -> None:
         """Advance one clock cycle of the whole circuit."""
@@ -93,6 +96,19 @@ class MMMC:
         if sig.state is not State.IDLE:
             self._cycles_this_run += 1
             self.total_cycles += 1
+            if OBS.enabled:
+                OBS.tick()
+                if OBS.trace_states:
+                    OBS.complete(
+                        f"state:{sig.state.name}",
+                        OBS.now - 1,
+                        1,
+                        cat="controller",
+                    )
+        if sig.done and OBS.enabled:
+            OBS.count("mmmc.multiplications")
+            OBS.record("mmmc.multiplication_cycles", self._cycles_this_run)
+            OBS.end(cycles=self._cycles_this_run)
 
     def run_to_done(self, max_cycles: Optional[int] = None) -> MMMCRun:
         """Clock the circuit until DONE rises; returns the run record.

@@ -11,10 +11,24 @@ import sys
 
 import pytest
 
-EXAMPLES = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
-    "examples",
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 )
+EXAMPLES = os.path.join(REPO_ROOT, "examples")
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _env():
+    """Subprocess environment with ``src`` on PYTHONPATH.
+
+    The examples import ``repro`` without installing it; the test runner
+    may itself be using an installed copy or a PYTHONPATH entry, so the
+    child gets ``src`` prepended to whatever is already there.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+    return env
 
 
 def _run(script, *args, timeout=180):
@@ -24,6 +38,7 @@ def _run(script, *args, timeout=180):
         text=True,
         timeout=timeout,
         cwd=os.environ.get("TMPDIR", "/tmp"),
+        env=_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
@@ -57,6 +72,19 @@ class TestExamples:
     def test_spa_attack_demo(self):
         out = _run("spa_attack_demo.py")
         assert "exact match with d: True" in out
+
+    def test_trace_exponentiation(self, tmp_path):
+        import json
+
+        trace = str(tmp_path / "trace.json")
+        out = _run("trace_exponentiation.py", trace, "8")
+        assert "span totals agree with measured cycles" in out
+        assert "perfetto" in out.lower()
+        with open(trace) as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+        assert any(e.get("name") == "exponentiate" for e in events)
+        assert any(e.get("name", "").startswith("state:") for e in events)
 
     def test_export_verilog_small(self, tmp_path):
         target = str(tmp_path / "m.v")

@@ -1,0 +1,131 @@
+"""CLI observability flags, including the end-to-end acceptance check:
+
+``python -m repro exponentiate … --trace out.json`` writes a valid
+Chrome trace-event JSON whose span cycle totals agree with the
+exponentiator's measured cycle counters.
+"""
+
+import io
+import json
+import os
+import re
+import subprocess
+import sys
+
+from repro.cli import main
+from repro.observability import validate_chrome_trace
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestObserveCommand:
+    def test_prints_snapshot_with_state_counters(self):
+        code, out = _cli("observe", "--l", "8", "--seed", "1")
+        assert code == 0
+        assert "controller.state_cycles{state=MUL1}" in out
+        assert "exponentiator.operations{kind=square}" in out
+
+    def test_json_snapshot_and_metrics_out(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        code, out = _cli("observe", "--l", "8", "--json", "--metrics-out", path)
+        assert code == 0
+        doc = json.loads(open(path).read())
+        names = {row["name"] for row in doc["counters"]}
+        assert "mmmc.multiplications" in names
+        # stdout carries the same snapshot as JSON
+        assert '"mmmc.multiplications"' in out
+
+    def test_gate_flag_populates_hdl_metrics(self):
+        code, out = _cli("observe", "--l", "6", "--gate")
+        assert code == 0
+        assert "hdl.gate_evals" in out
+
+    def test_observe_can_trace(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        code, out = _cli("observe", "--l", "8", "--trace", path)
+        assert code == 0
+        doc = json.loads(open(path).read())
+        assert validate_chrome_trace(doc) == []
+
+
+class TestMultiplyFlags:
+    def test_multiply_trace_and_metrics(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        code, out = _cli(
+            "multiply", "300", "150", "197",
+            "--model", "mmmc", "--arch", "paper",
+            "--trace", path, "--metrics",
+        )
+        assert code == 0
+        assert "controller.state_cycles" in out
+        doc = json.loads(open(path).read())
+        assert validate_chrome_trace(doc) == []
+        (mmm,) = [e for e in doc["traceEvents"] if e.get("name") == "mmm"]
+        assert mmm["dur"] == 3 * 8 + 4
+
+    def test_golden_model_yields_empty_metrics(self):
+        code, out = _cli(
+            "multiply", "300", "150", "197", "--model", "golden", "--metrics"
+        )
+        assert code == 0
+        assert "(no metrics recorded)" in out
+
+
+class TestExponentiateTraceEndToEnd:
+    def _check_trace_against_cycles(self, trace_doc, cycles):
+        assert validate_chrome_trace(trace_doc) == []
+        spans = [e for e in trace_doc["traceEvents"] if e["ph"] == "X"]
+        exp_total = sum(e["dur"] for e in spans if e["name"] == "exponentiate")
+        mmm_total = sum(e["dur"] for e in spans if e["name"] == "mmm")
+        op_total = sum(
+            e["dur"]
+            for e in spans
+            if e["name"] in ("pre", "square", "multiply", "post")
+        )
+        assert exp_total == cycles
+        assert mmm_total == cycles
+        assert op_total == cycles
+
+    def test_in_process(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        code, out = _cli(
+            "exponentiate", "100", "11", "197",
+            "--engine", "rtl", "--trace", path, "--metrics",
+        )
+        assert code == 0
+        cycles = int(re.search(r"(\d+) cycles", out).group(1))
+        self._check_trace_against_cycles(json.loads(open(path).read()), cycles)
+
+    def test_subprocess_python_m_repro(self, tmp_path):
+        """The acceptance criterion, verbatim: ``python -m repro …``."""
+        path = str(tmp_path / "out.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "exponentiate",
+                "100", "43", "197", "--engine", "rtl", "--trace", path,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+            cwd=str(tmp_path),
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        cycles = int(re.search(r"(\d+) cycles", proc.stdout).group(1))
+        # exponent 43 = 0b101011: 5 squares + 3 multiplies + pre + post
+        # at 3l+5 = 29 cycles each (corrected array).
+        assert cycles == 10 * 29
+        self._check_trace_against_cycles(json.loads(open(path).read()), cycles)

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("ops")
+        assert c.value() == 0
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("state_cycles")
+        c.inc(3, state="MUL1")
+        c.inc(2, state="MUL2")
+        assert c.value(state="MUL1") == 3
+        assert c.value(state="MUL2") == 2
+        assert c.value(state="OUT") == 0
+        assert c.total() == 5
+
+    def test_label_order_is_canonical(self):
+        c = Counter("x")
+        c.inc(1, a="1", b="2")
+        c.inc(1, b="2", a="1")
+        assert c.value(a="1", b="2") == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_snapshot_rows(self):
+        c = Counter("x")
+        c.inc(7, state="OUT")
+        assert c.snapshot() == [{"labels": {"state": "OUT"}, "value": 7}]
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(9)
+        assert g.value() == 9
+
+    def test_unset_is_none(self):
+        assert Gauge("depth").value(l=8) is None
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        h = Histogram("cycles")
+        for v in (28, 28, 29):
+            h.observe(v)
+        s = h.series()
+        assert (s.count, s.sum, s.min, s.max) == (3, 85, 28, 29)
+
+    def test_bucketing_first_bound_gte(self):
+        h = Histogram("v", buckets=(1, 4, 16))
+        h.observe(1)   # <= 1
+        h.observe(3)   # <= 4
+        h.observe(16)  # <= 16
+        h.observe(17)  # +Inf
+        row = h.snapshot()[0]
+        assert row["buckets"] == {"1": 1, "4": 1, "16": 1, "+Inf": 1}
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("v", buckets=(4, 2))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg and len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2, state="MUL1")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(28)
+        doc = json.loads(reg.to_json())
+        assert doc["counters"][0]["name"] == "c"
+        assert doc["counters"][0]["labels"] == {"state": "MUL1"}
+        assert doc["gauges"][0]["value"] == 1.5
+        assert doc["histograms"][0]["count"] == 1
+
+    def test_write_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = tmp_path / "m.json"
+        reg.write_json(str(path))
+        assert json.loads(path.read_text())["counters"][0]["value"] == 1
+
+    def test_render_text_lists_every_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3, state="OUT")
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(5)
+        text = reg.render_text()
+        assert "c{state=OUT} = 3" in text
+        assert "g = 2" in text
+        assert "count=1 sum=5" in text
+
+    def test_render_text_empty(self):
+        assert "no metrics" in MetricsRegistry().render_text()
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert len(reg) == 0
