@@ -6,6 +6,9 @@ Commands
 ``multiply``    one Montgomery multiplication through a chosen model
 ``exponentiate``one modular exponentiation with cycle accounting
 ``observe``     run an instrumented workload, print the metrics snapshot
+``serve``       long-running JSON-lines modexp service loop (stdin→stdout)
+``batch``       file-in/file-out batch modexp run over the serving engine
+``backends``    list the registered serving backends and capabilities
 ``experiments`` list the experiment registry
 ``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
 ``fault``       run a fault-injection campaign on the array
@@ -142,6 +145,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(obs)
 
+    def _add_serving_flags(parser: argparse.ArgumentParser) -> None:
+        grp = parser.add_argument_group("serving")
+        grp.add_argument(
+            "--backend",
+            default="integer",
+            help="serving backend name (see `repro backends`; default: integer)",
+        )
+        grp.add_argument("--workers", type=int, default=1, help="worker count")
+        grp.add_argument(
+            "--worker-kind",
+            choices=("auto", "process", "thread", "inline"),
+            default="auto",
+            help="worker pool kind (auto: processes when the backend allows)",
+        )
+        grp.add_argument(
+            "--max-batch",
+            type=int,
+            default=32,
+            help="coalescing chunk size / serve-loop flush threshold",
+        )
+        grp.add_argument(
+            "--queue-limit",
+            type=int,
+            default=None,
+            help="bounded in-flight window (default: 4 x workers)",
+        )
+        grp.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="default per-request timeout in seconds",
+        )
+
+    srv = sub.add_parser(
+        "serve",
+        help="JSON-lines modexp service: one request per stdin line, "
+        "one result per stdout line (blank line = flush)",
+    )
+    _add_serving_flags(srv)
+    _add_observability_flags(srv)
+
+    bat = sub.add_parser(
+        "batch",
+        help="batch modexp run: JSON-lines workload in, JSON-lines results out",
+    )
+    bat.add_argument("input", help="workload path, or '-' for stdin")
+    bat.add_argument(
+        "--out",
+        default=None,
+        help="results path (default: stdout; summary then goes to stderr)",
+    )
+    _add_serving_flags(bat)
+    _add_observability_flags(bat)
+
+    sub.add_parser(
+        "backends", help="list registered serving backends and capabilities"
+    )
+
     sub.add_parser("experiments", help="list the experiment registry")
 
     cen = sub.add_parser("census", help="census + Virtex-E mapping of the MMMC")
@@ -197,10 +258,10 @@ def _cmd_tables(out) -> int:
 
 def _cmd_multiply(args, out) -> int:
     from repro.montgomery.algorithms import montgomery_no_subtraction
-    from repro.montgomery.params import MontgomeryContext
+    from repro.montgomery.params import precompute_montgomery_constants
     from repro.observability import observe
 
-    ctx = MontgomeryContext(args.modulus)
+    ctx = precompute_montgomery_constants(args.modulus)
     golden = montgomery_no_subtraction(ctx, args.x, args.y)
     registry, tracer = _observation(args)
     with observe(metrics=registry, tracer=tracer):
@@ -232,12 +293,11 @@ def _cmd_multiply(args, out) -> int:
 
 
 def _cmd_exponentiate(args, out) -> int:
-    from repro.montgomery.params import MontgomeryContext
     from repro.observability import observe
     from repro.systolic.exponentiator import ModularExponentiator
 
-    ctx = MontgomeryContext(args.modulus)
-    exp = ModularExponentiator(ctx, engine=args.engine)
+    exp = ModularExponentiator.for_modulus(args.modulus, engine=args.engine)
+    ctx = exp.ctx
     registry, tracer = _observation(args)
     with observe(metrics=registry, tracer=tracer):
         run = exp.exponentiate(args.base % args.modulus, args.exponent)
@@ -253,14 +313,14 @@ def _cmd_exponentiate(args, out) -> int:
 def _cmd_observe(args, out) -> int:
     import random
 
-    from repro.montgomery.params import MontgomeryContext
+    from repro.montgomery.params import precompute_montgomery_constants
     from repro.observability import observe
     from repro.systolic.exponentiator import ModularExponentiator
     from repro.utils.rng import random_odd_modulus
 
     rng = random.Random(args.seed)
     n = random_odd_modulus(args.l, rng)
-    ctx = MontgomeryContext(n)
+    ctx = precompute_montgomery_constants(n)
     message = rng.randrange(ctx.modulus)
     exponent = (
         args.exponent
@@ -296,6 +356,98 @@ def _cmd_observe(args, out) -> int:
     if args.metrics_out:
         registry.write_json(args.metrics_out)
         out.write(f"[metrics written to {args.metrics_out}]\n")
+    return 0
+
+
+def _make_service(args):
+    from repro.serving import ModExpService
+
+    return ModExpService(
+        backend=args.backend,
+        workers=args.workers,
+        worker_kind=args.worker_kind,
+        queue_limit=args.queue_limit,
+        max_batch=args.max_batch,
+        default_timeout=args.timeout,
+    )
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.observability import observe
+
+    registry, tracer = _observation(args)
+    with observe(metrics=registry, tracer=tracer):
+        with _make_service(args) as service:
+            stats = service.serve(sys.stdin, out)
+    sys.stderr.write(
+        f"[serve: {stats['served']} served, {stats['ok']} ok, "
+        f"{stats['failed']} failed, {stats['rejected']} rejected, "
+        f"{stats['parse_errors']} parse errors]\n"
+    )
+    _finish_observation(args, registry, tracer, sys.stderr)
+    return 0
+
+
+def _cmd_batch(args, out) -> int:
+    import contextlib
+
+    from repro.observability import observe
+    from repro.serving import ModExpResult, read_requests
+    from repro.serving.wire import result_to_json
+
+    registry, tracer = _observation(args)
+
+    with contextlib.ExitStack() as stack:
+        if args.input == "-":
+            in_lines = sys.stdin
+        else:
+            in_lines = stack.enter_context(open(args.input))
+        if args.out:
+            results_out = stack.enter_context(open(args.out, "w"))
+            summary_out = out
+        else:
+            results_out = out
+            summary_out = sys.stderr
+
+        # Parse the whole workload first, keeping line positions so the
+        # output stays aligned with the input even across bad lines.
+        items = list(read_requests(in_lines))
+        requests = [item for _, item in items if not isinstance(item, Exception)]
+
+        with observe(metrics=registry, tracer=tracer):
+            with _make_service(args) as service:
+                processed = iter(service.process(requests))
+
+        ok = failed = 0
+        for _, item in items:
+            if isinstance(item, Exception):
+                result = ModExpResult.failure(
+                    getattr(item, "request_id", ""), item
+                )
+            else:
+                result = next(processed)
+            results_out.write(result_to_json(result) + "\n")
+            ok, failed = ok + result.ok, failed + (not result.ok)
+
+    summary_out.write(
+        f"[batch: {ok + failed} requests, {ok} ok, {failed} failed, "
+        f"backend={args.backend}, workers={args.workers}]\n"
+    )
+    _finish_observation(args, registry, tracer, summary_out)
+    return 0 if failed == 0 else 1
+
+
+def _cmd_backends(out) -> int:
+    from repro.serving import default_registry
+
+    out.write(
+        render_table(
+            ["backend", "max bits", "cycles", "simulator", "workers", "needs p,q", "description"],
+            default_registry().capability_rows(),
+            title="Registered serving backends",
+        )
+        + "\n"
+    )
     return 0
 
 
@@ -378,6 +530,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_exponentiate(args, out)
     if args.command == "observe":
         return _cmd_observe(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "batch":
+        return _cmd_batch(args, out)
+    if args.command == "backends":
+        return _cmd_backends(out)
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "census":

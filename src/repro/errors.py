@@ -12,6 +12,9 @@ subclasses partition failures by subsystem:
   architecture guarantees (e.g. the leftmost-cell XOR saw both inputs high).
 * :class:`ProtocolError` — misuse of a circuit's handshake (reading RESULT
   before DONE, starting a multiplication while one is in flight).
+* :class:`ServingError` — failures of the serving layer
+  (:mod:`repro.serving`): a saturated bounded queue (:class:`QueueFull`)
+  or a malformed JSON-lines request (:class:`WireFormatError`).
 """
 
 from __future__ import annotations
@@ -22,6 +25,9 @@ __all__ = [
     "HardwareModelError",
     "SimulationError",
     "ProtocolError",
+    "ServingError",
+    "QueueFull",
+    "WireFormatError",
 ]
 
 
@@ -43,3 +49,20 @@ class SimulationError(ReproError):
 
 class ProtocolError(ReproError):
     """A circuit's control handshake was used incorrectly."""
+
+
+class ServingError(ReproError):
+    """Base class for failures raised by the :mod:`repro.serving` layer."""
+
+
+class QueueFull(ServingError):
+    """A bounded serving queue rejected a submission (backpressure).
+
+    Raised instead of letting the queue grow without bound; callers
+    (and the JSON-lines wire) surface the rejection to the client so it
+    can retry with backoff.
+    """
+
+
+class WireFormatError(ServingError, ValueError):
+    """A JSON-lines request could not be parsed into a ModExpRequest."""

@@ -13,7 +13,12 @@ This package implements the arithmetic the paper's hardware realizes:
 * :mod:`repro.montgomery.radix` — word-based (radix-2^α) variants.
 """
 
-from repro.montgomery.params import MontgomeryContext
+from repro.montgomery.params import (
+    MontgomeryContext,
+    montgomery_cache_clear,
+    montgomery_cache_info,
+    precompute_montgomery_constants,
+)
 from repro.montgomery.algorithms import (
     montgomery_with_subtraction,
     montgomery_no_subtraction,
@@ -33,6 +38,9 @@ from repro.montgomery.windowed import windowed_modexp
 
 __all__ = [
     "MontgomeryContext",
+    "precompute_montgomery_constants",
+    "montgomery_cache_clear",
+    "montgomery_cache_info",
     "MontgomeryDomain",
     "montgomery_with_subtraction",
     "montgomery_no_subtraction",

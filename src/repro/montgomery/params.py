@@ -14,11 +14,17 @@ constants every layer of the stack needs (``N' = -N^{-1} mod 2^α``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import ParameterError
 from repro.utils.validation import ensure_odd, ensure_positive
 
-__all__ = ["MontgomeryContext"]
+__all__ = [
+    "MontgomeryContext",
+    "precompute_montgomery_constants",
+    "montgomery_cache_clear",
+    "montgomery_cache_info",
+]
 
 
 @dataclass(frozen=True)
@@ -134,3 +140,49 @@ class MontgomeryContext:
             f"MontgomeryContext(modulus={self.modulus}, l={self.l}, "
             f"word_bits={self.word_bits}, R=2^{self.r_exponent})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared pre-computation cache
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=1024)
+def _build_context(modulus: int, l: int, word_bits: int) -> MontgomeryContext:
+    return MontgomeryContext(modulus, l, word_bits)
+
+
+def precompute_montgomery_constants(
+    modulus: int, l: int = 0, word_bits: int = 1
+) -> MontgomeryContext:
+    """Return the cached :class:`MontgomeryContext` for ``(modulus, l)``.
+
+    The derived constants (``R``, ``R² mod N``, ``N'``) involve a modular
+    squaring and a modular inversion, so sharing them matters anywhere
+    many operations hit the same modulus: the exponentiator, the RSA
+    cipher, and especially the batch scheduler in :mod:`repro.serving`,
+    which coalesces same-modulus requests exactly so this function runs
+    once per batch instead of once per request.
+
+    Cache misses (i.e. actual pre-computations) increment the
+    ``montgomery.precompute`` counter when observation is enabled; hits
+    increment ``montgomery.precompute_cache_hits``.
+    """
+    from repro.observability import OBS
+
+    before = _build_context.cache_info().misses
+    ctx = _build_context(modulus, l, word_bits)
+    if OBS.enabled:
+        if _build_context.cache_info().misses != before:
+            OBS.count("montgomery.precompute")
+        else:
+            OBS.count("montgomery.precompute_cache_hits")
+    return ctx
+
+
+def montgomery_cache_clear() -> None:
+    """Drop every cached parameter set (tests / benchmarks start fresh)."""
+    _build_context.cache_clear()
+
+
+def montgomery_cache_info():
+    """``functools.lru_cache`` statistics for the shared constant cache."""
+    return _build_context.cache_info()

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.errors import ParameterError
-from repro.montgomery.params import MontgomeryContext
+from repro.montgomery.params import precompute_montgomery_constants
 from repro.rsa.keygen import RSAKeyPair
 from repro.systolic.exponentiator import ModularExponentiator
 
@@ -55,9 +55,13 @@ class RSACipher:
     def __init__(self, key: RSAKeyPair, engine: Literal["rtl", "golden"] = "golden"):
         self.key = key
         self.engine = engine
-        self._exp = ModularExponentiator(MontgomeryContext(key.modulus), engine)
-        self._exp_p = ModularExponentiator(MontgomeryContext(key.p), engine)
-        self._exp_q = ModularExponentiator(MontgomeryContext(key.q), engine)
+        # The cached constants are shared with every other consumer of the
+        # same modulus (notably the serving layer's batch scheduler).
+        self._exp = ModularExponentiator(
+            precompute_montgomery_constants(key.modulus), engine
+        )
+        self._exp_p = ModularExponentiator(precompute_montgomery_constants(key.p), engine)
+        self._exp_q = ModularExponentiator(precompute_montgomery_constants(key.q), engine)
 
     # ------------------------------------------------------------------
     def _check_message(self, m: int) -> int:

@@ -1,0 +1,60 @@
+"""Serving engine: backends, batch scheduling, workers, backpressure.
+
+The paper's systolic array is a *throughput* design — one result per
+``3l+4`` cycles once the pipeline fills — and this package is its
+software-system counterpart: a serving layer that turns the repository's
+single-shot engines into a multi-worker modular-exponentiation service.
+
+* :mod:`repro.serving.request` — :class:`ModExpRequest` /
+  :class:`ModExpResult`, the unit of work and its uniform outcome.
+* :mod:`repro.serving.backends` — the :class:`ModExpBackend` protocol,
+  capability declarations, cost models and the registry wrapping every
+  engine in the repo (integer fast path, CRT-RSA, systolic RTL,
+  gate-level netlist, high-radix, Tenca–Koç scalable).
+* :mod:`repro.serving.scheduler` — per-modulus batch coalescing (one
+  Montgomery pre-computation per batch) and deadline/cost dispatch
+  ordering.
+* :mod:`repro.serving.pool` — the bounded worker pool (process workers
+  for big-int backends, thread workers for the simulators) with explicit
+  ``QueueFull`` backpressure.
+* :mod:`repro.serving.service` — the :class:`ModExpService` facade the
+  CLI commands ``repro serve`` / ``repro batch`` drive.
+* :mod:`repro.serving.wire` — the JSON-lines request/result format.
+"""
+
+from repro.serving.backends import (
+    BackendCapabilities,
+    BackendRegistry,
+    BackendResult,
+    ModExpBackend,
+    default_registry,
+)
+from repro.serving.pool import WorkerPool
+from repro.serving.request import ModExpRequest, ModExpResult
+from repro.serving.scheduler import Batch, BatchScheduler, coalesce
+from repro.serving.service import ModExpService
+from repro.serving.wire import (
+    parse_request_line,
+    read_requests,
+    request_to_json,
+    result_to_json,
+)
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendRegistry",
+    "BackendResult",
+    "ModExpBackend",
+    "default_registry",
+    "WorkerPool",
+    "ModExpRequest",
+    "ModExpResult",
+    "Batch",
+    "BatchScheduler",
+    "coalesce",
+    "ModExpService",
+    "parse_request_line",
+    "read_requests",
+    "request_to_json",
+    "result_to_json",
+]

@@ -1,0 +1,479 @@
+"""The backend registry: every modexp engine behind one protocol.
+
+The repository grew five ways to compute ``base^exponent mod N`` — the
+pure-integer Algorithm 2 fast path, CRT-RSA, the cycle-accurate systolic
+RTL model, word-based high-radix software, and the Tenca–Koç word-serial
+model — plus the gate-level netlist twin.  The serving layer treats them
+as interchangeable :class:`ModExpBackend` implementations, each declaring
+:class:`BackendCapabilities` (operand-width ceiling, whether its cycle
+counts are measured or modelled, whether it is safe to ship to process
+workers) and a cost model the batch scheduler orders dispatch by.
+
+All backends receive the batch's pre-computed
+:class:`~repro.montgomery.params.MontgomeryContext`, so the Montgomery
+constants are derived once per distinct modulus per batch, never per
+request (see :mod:`repro.serving.scheduler`).
+
+The :func:`default_registry` registers everything under its canonical
+name; worker processes re-resolve backends by name through it, so only
+*custom* backends (tests, experiments) are restricted to thread/inline
+pools.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ParameterError
+from repro.montgomery.params import (
+    MontgomeryContext,
+    precompute_montgomery_constants,
+)
+from repro.serving.request import ModExpRequest
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendResult",
+    "ModExpBackend",
+    "BackendRegistry",
+    "default_registry",
+    "IntegerBackend",
+    "CRTBackend",
+    "RTLBackend",
+    "GateLevelBackend",
+    "HighRadixBackend",
+    "ScalableBackend",
+]
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can serve and how its costs should be read.
+
+    Attributes
+    ----------
+    description:
+        One-line summary for ``repro backends`` and the docs matrix.
+    max_bits:
+        Operand-width ceiling (``None`` = unbounded).  The simulators are
+        capped where a single exponentiation stays interactive.
+    cycle_accurate:
+        True when reported cycles are measured (RTL/gate) or proven equal
+        to measured (the golden accounting); False when modelled.
+    simulator:
+        True for backends that step a hardware model cycle by cycle.
+    process_safe:
+        True when the backend may run on process workers (resolvable by
+        name in a fresh interpreter, CPU-bound big-int work).  Simulators
+        stay on thread workers so their observability hooks keep feeding
+        the parent's metrics registry.
+    requires_factors:
+        True when requests must carry ``factors=(p, q)``.
+    """
+
+    description: str
+    max_bits: Optional[int] = None
+    cycle_accurate: bool = True
+    simulator: bool = False
+    process_safe: bool = True
+    requires_factors: bool = False
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Value plus the backend's cycle accounting for one request."""
+
+    value: int
+    cycles: Optional[int] = None
+
+
+class ModExpBackend(ABC):
+    """One modular-exponentiation engine behind the serving layer.
+
+    Subclasses set ``name`` and ``capabilities`` and implement
+    :meth:`estimate_cost` / :meth:`execute`.  ``execute`` may assume the
+    request passed :meth:`reject_reason` (the service checks before
+    dispatch).
+    """
+
+    name: str = ""
+    capabilities: BackendCapabilities
+
+    #: Rough wall-time per modelled cycle *relative to the integer
+    #: backend* — simulators pay orders of magnitude more per cycle, and
+    #: the scheduler's cost ordering should reflect wall time, not only
+    #: the hardware cycle count.
+    wall_weight: float = 1.0
+
+    def reject_reason(self, request: ModExpRequest) -> Optional[str]:
+        """Why this backend cannot serve ``request`` (``None`` = it can)."""
+        caps = self.capabilities
+        if caps.max_bits is not None and request.width > caps.max_bits:
+            return (
+                f"operand width {request.width} exceeds backend "
+                f"{self.name!r} limit of {caps.max_bits} bits"
+            )
+        if caps.requires_factors and request.factors is None:
+            return f"backend {self.name!r} needs factors=(p, q) on the request"
+        return None
+
+    def estimate_cost(self, request: ModExpRequest) -> float:
+        """Scheduler cost: modelled cycles weighted by wall-time factor."""
+        return self.model_cycles(request) * self.wall_weight
+
+    def model_cycles(self, request: ModExpRequest) -> float:
+        """Expected hardware cycles for one exponentiation.
+
+        Default model: square-and-multiply issues ``~1.5·t + 1``
+        multiplications for a ``t``-bit exponent (pre/post included), each
+        costing the corrected array latency.
+        """
+        from repro.systolic.timing import mmm_cycles_corrected
+
+        mults = 1.5 * request.exponent.bit_length() + 1
+        return mmm_cycles_corrected(request.width) * mults
+
+    @abstractmethod
+    def execute(
+        self, ctx: MontgomeryContext, request: ModExpRequest
+    ) -> BackendResult:
+        """Run the exponentiation with the batch's shared constants."""
+
+
+def _square_multiply(mont, ctx_r2: int, base: int, exponent: int) -> int:
+    """Algorithm 3 over an arbitrary Montgomery-multiply callable.
+
+    ``mont(x, y)`` must compute ``x·y·R⁻¹ mod N`` for whatever ``R`` the
+    backend uses; ``ctx_r2`` is ``R² mod N`` in the same convention.
+    """
+    m_bar = mont(base, ctx_r2)
+    a = m_bar
+    for i in reversed(range(exponent.bit_length() - 1)):
+        a = mont(a, a)
+        if (exponent >> i) & 1:
+            a = mont(a, m_bar)
+    return mont(a, 1)
+
+
+# ----------------------------------------------------------------------
+# Concrete backends
+# ----------------------------------------------------------------------
+class IntegerBackend(ModExpBackend):
+    """Pure-integer Algorithm 2 with the proven RTL cycle accounting.
+
+    The production fast path: big-int multiplications at any width, with
+    cycle counts the test suite proves identical to the measured RTL
+    model.  Process-safe and the default backend of ``repro serve``.
+    """
+
+    name = "integer"
+    capabilities = BackendCapabilities(
+        description="big-integer Algorithm 2, exact 3l+5 cycle accounting",
+        max_bits=None,
+        cycle_accurate=True,
+        simulator=False,
+        process_safe=True,
+    )
+
+    def execute(self, ctx, request):
+        from repro.systolic.exponentiator import ModularExponentiator
+
+        run = ModularExponentiator(ctx, engine="golden").exponentiate(
+            request.base, request.exponent
+        )
+        return BackendResult(run.result, run.cycles)
+
+
+class CRTBackend(ModExpBackend):
+    """CRT-RSA: two half-width exponentiations plus Garner recombination.
+
+    Requires ``factors=(p, q)`` with p, q prime (the standard RSA private
+    operation).  Roughly 4× cheaper in cycle-weighted work because the
+    half-width multiplier runs ``3(l/2)+5``-cycle multiplications over
+    half-length exponents.
+    """
+
+    name = "crt-rsa"
+    capabilities = BackendCapabilities(
+        description="two half-width golden exponentiations + Garner",
+        max_bits=None,
+        cycle_accurate=True,
+        simulator=False,
+        process_safe=True,
+        requires_factors=True,
+    )
+
+    def model_cycles(self, request):
+        from repro.systolic.timing import mmm_cycles_corrected
+
+        half = max(request.width // 2, 2)
+        mults = 1.5 * half + 1  # exponent reduced mod (p-1): ~half-length
+        return 2 * mmm_cycles_corrected(half) * mults
+
+    def execute(self, ctx, request):
+        from repro.systolic.exponentiator import ModularExponentiator
+
+        p, q = request.factors
+        c, d = request.base, request.exponent
+        cycles = 0
+
+        def half(prime: int) -> int:
+            nonlocal cycles
+            d_half = d % (prime - 1)
+            residue = c % prime
+            if d_half == 0:
+                # x^0 = 1 for invertible x, 0 for x = 0 — no cycles spent.
+                return 1 % prime if residue else 0
+            exp = ModularExponentiator(
+                precompute_montgomery_constants(prime), engine="golden"
+            )
+            run = exp.exponentiate(residue, d_half)
+            cycles += run.cycles
+            return run.result
+
+        m_p, m_q = half(p), half(q)
+        q_inv = pow(q, -1, p)
+        h = (q_inv * (m_p - m_q)) % p
+        return BackendResult(m_q + h * q, cycles)
+
+
+class RTLBackend(ModExpBackend):
+    """Cycle-accurate systolic array RTL model (the paper's datapath)."""
+
+    name = "rtl"
+    capabilities = BackendCapabilities(
+        description="cycle-accurate behavioral MMMC + controller",
+        max_bits=64,
+        cycle_accurate=True,
+        simulator=True,
+        process_safe=False,
+    )
+    wall_weight = 200.0
+
+    def execute(self, ctx, request):
+        from repro.systolic.exponentiator import ModularExponentiator
+
+        run = ModularExponentiator(ctx, engine="rtl").exponentiate(
+            request.base, request.exponent
+        )
+        return BackendResult(run.result, run.cycles)
+
+
+class GateLevelBackend(ModExpBackend):
+    """Gate-level netlist simulation of the MMMC, one mult at a time.
+
+    The slowest, most faithful tier — every AND gate of every cell is
+    evaluated — so the width ceiling is tiny.  The per-``l`` netlist is
+    built once and reused across requests.
+    """
+
+    name = "gate"
+    capabilities = BackendCapabilities(
+        description="gate-level MMMC netlist co-simulation",
+        max_bits=10,
+        cycle_accurate=True,
+        simulator=True,
+        process_safe=False,
+    )
+    wall_weight = 20000.0
+
+    def __init__(self) -> None:
+        import threading
+
+        self._instances: Dict[int, object] = {}
+        # The cached netlist simulator is stateful; thread workers must
+        # not interleave multiplications on one instance.
+        self._lock = threading.Lock()
+
+    def _mmmc(self, l: int):
+        inst = self._instances.get(l)
+        if inst is None:
+            from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+            inst = self._instances[l] = GateLevelMMMC(l)
+        return inst
+
+    def execute(self, ctx, request):
+        n = ctx.modulus
+        cycles = 0
+        with self._lock:
+            gate = self._mmmc(ctx.l)
+
+            def mont(x: int, y: int) -> int:
+                nonlocal cycles
+                rec = gate.multiply(x, y, n)
+                cycles += rec.cycles
+                return rec.result
+
+            value = _square_multiply(
+                mont, ctx.r2_mod_n, request.base, request.exponent
+            )
+        return BackendResult(value % n, cycles)
+
+
+class HighRadixBackend(ModExpBackend):
+    """Word-based (radix-2^α) CIOS software baseline.
+
+    Functional arithmetic from :mod:`repro.montgomery.radix`; cycles come
+    from the :class:`~repro.baselines.highradix.HighRadixModel` latency
+    model (modelled, not measured — ``cycle_accurate=False``).
+    """
+
+    name = "highradix"
+    capabilities = BackendCapabilities(
+        description="word-based CIOS Montgomery, modelled cycles",
+        max_bits=None,
+        cycle_accurate=False,
+        simulator=False,
+        process_safe=True,
+    )
+
+    def __init__(self, word_bits: int = 16) -> None:
+        if word_bits < 1:
+            raise ParameterError(f"word_bits must be >= 1, got {word_bits}")
+        self.word_bits = word_bits
+
+    def model_cycles(self, request):
+        from repro.baselines.highradix import HighRadixModel
+
+        model = HighRadixModel(max(request.width, 2), self.word_bits)
+        mults = 1.5 * request.exponent.bit_length() + 1
+        return model.mmm_cycles * mults
+
+    def execute(self, ctx, request):
+        from repro.baselines.highradix import HighRadixModel
+        from repro.montgomery.radix import WordMontgomeryParams, mont_mul_cios
+
+        n = ctx.modulus
+        params = WordMontgomeryParams(n, self.word_bits)
+        r2 = (params.R * params.R) % n
+        mults = 0
+
+        def mont(x: int, y: int) -> int:
+            nonlocal mults
+            mults += 1
+            return mont_mul_cios(params, x, y)
+
+        value = _square_multiply(mont, r2, request.base, request.exponent)
+        cycles = HighRadixModel(ctx.l, self.word_bits).mmm_cycles * mults
+        return BackendResult(value % n, cycles)
+
+
+class ScalableBackend(ModExpBackend):
+    """Tenca–Koç word-serial scalable unit (paper ref [26]).
+
+    Functional word-serial kernel with the published first-order latency
+    model for a ``stages``-PE pipeline.
+    """
+
+    name = "scalable"
+    capabilities = BackendCapabilities(
+        description="word-serial Tenca–Koç kernel, modelled pipeline cycles",
+        max_bits=None,
+        cycle_accurate=False,
+        simulator=False,
+        process_safe=True,
+    )
+
+    def __init__(self, word: int = 8, stages: int = 4) -> None:
+        if word < 1 or stages < 1:
+            raise ParameterError("word and stages must be >= 1")
+        self.word = word
+        self.stages = stages
+
+    def model_cycles(self, request):
+        from repro.baselines.scalable import scalable_mmm_cycles
+
+        mults = 1.5 * request.exponent.bit_length() + 1
+        return scalable_mmm_cycles(request.width, self.word, self.stages) * mults
+
+    def execute(self, ctx, request):
+        from repro.baselines.scalable import scalable_mmm_cycles, scalable_montgomery
+
+        n = ctx.modulus
+        # The scalable kernel uses the classical R₁ = 2^l convention with
+        # operands in [0, N), unlike the array's R = 2^(l+2) / [0, 2N).
+        r1 = (1 << ctx.l) % n
+        r2 = (r1 * r1) % n
+        mults = 0
+
+        def mont(x: int, y: int) -> int:
+            nonlocal mults
+            mults += 1
+            return scalable_montgomery(ctx, x, y, self.word)
+
+        value = _square_multiply(mont, r2, request.base, request.exponent)
+        cycles = scalable_mmm_cycles(ctx.l, self.word, self.stages) * mults
+        return BackendResult(value % n, cycles)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class BackendRegistry:
+    """Name → backend mapping with a capability matrix for docs/CLI."""
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, ModExpBackend] = {}
+
+    def register(self, backend: ModExpBackend, *, replace: bool = False) -> None:
+        if not backend.name:
+            raise ParameterError("backend must declare a non-empty name")
+        if backend.name in self._backends and not replace:
+            raise ParameterError(f"backend {backend.name!r} already registered")
+        self._backends[backend.name] = backend
+
+    def get(self, name: str) -> ModExpBackend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ParameterError(
+                f"unknown backend {name!r}; registered: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._backends)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __len__(self) -> int:
+        return len(self._backends)
+
+    def __iter__(self) -> Iterator[ModExpBackend]:
+        return iter(self._backends[n] for n in self.names())
+
+    def capability_rows(self) -> List[List[object]]:
+        """Rows for ``repro backends`` / the docs capability matrix."""
+        rows = []
+        for b in self:
+            caps = b.capabilities
+            rows.append(
+                [
+                    b.name,
+                    "∞" if caps.max_bits is None else caps.max_bits,
+                    "measured" if caps.cycle_accurate else "modelled",
+                    "yes" if caps.simulator else "no",
+                    "process" if caps.process_safe else "thread",
+                    "yes" if caps.requires_factors else "no",
+                    caps.description,
+                ]
+            )
+        return rows
+
+
+def default_registry() -> BackendRegistry:
+    """A fresh registry holding every built-in backend."""
+    reg = BackendRegistry()
+    for backend in (
+        IntegerBackend(),
+        CRTBackend(),
+        RTLBackend(),
+        GateLevelBackend(),
+        HighRadixBackend(),
+        ScalableBackend(),
+    ):
+        reg.register(backend)
+    return reg

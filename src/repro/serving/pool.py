@@ -1,0 +1,140 @@
+"""Bounded worker pool over :mod:`concurrent.futures`.
+
+Three worker kinds cover the backend spectrum:
+
+* ``"process"`` — :class:`~concurrent.futures.ProcessPoolExecutor`, for
+  the CPU-bound big-integer backends (the GIL would serialize them on
+  threads).  Task functions must be module-level picklables.
+* ``"thread"`` — :class:`~concurrent.futures.ThreadPoolExecutor`, for
+  the simulators: they stay in-process so their ``OBS`` hook sites keep
+  feeding the parent's metrics registry, and the GIL cost is acceptable
+  because simulator throughput is bounded by Python bytecode anyway.
+* ``"inline"`` — synchronous execution on the caller's thread, the
+  deterministic mode tests and sequential baselines use.
+
+The pool's defining feature is the **bounded in-flight window**: at most
+``queue_limit`` submitted-but-unfinished tasks.  A submission past the
+bound raises :class:`~repro.errors.QueueFull` immediately — backpressure
+is explicit and the queue can never grow without bound or deadlock the
+submitter.  Callers that prefer flow control over rejection block on
+:meth:`wait_for_capacity` between attempts.
+
+The in-flight depth is exported as the ``serving.queue_depth`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.errors import ParameterError, QueueFull
+from repro.observability import OBS
+
+__all__ = ["WorkerPool"]
+
+_KINDS = ("process", "thread", "inline")
+
+
+class WorkerPool:
+    """Bounded dispatch front-end over an executor.
+
+    Parameters
+    ----------
+    workers:
+        Executor size (ignored for ``"inline"``).
+    kind:
+        ``"process"``, ``"thread"`` or ``"inline"``.
+    queue_limit:
+        Maximum in-flight (submitted, not yet done) tasks; defaults to
+        ``4 × workers``.  ``submit`` raises :class:`QueueFull` beyond it.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        kind: str = "thread",
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ParameterError(f"unknown worker kind {kind!r}; one of {_KINDS}")
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self.kind = kind
+        self.workers = workers
+        self.queue_limit = queue_limit if queue_limit is not None else 4 * workers
+        if self.queue_limit < 1:
+            raise ParameterError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        self._inflight = 0
+        self._capacity = threading.Condition()
+        self._closed = False
+        if kind == "process":
+            self._executor: Optional[Any] = ProcessPoolExecutor(max_workers=workers)
+        elif kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+        else:
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Current in-flight task count (the queue-depth gauge value)."""
+        return self._inflight
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Dispatch ``fn(*args, **kwargs)``; reject when the window is full."""
+        if self._closed:
+            raise QueueFull("worker pool is shut down")
+        with self._capacity:
+            if self._inflight >= self.queue_limit:
+                raise QueueFull(
+                    f"worker queue full ({self._inflight}/{self.queue_limit} "
+                    f"in flight); retry later"
+                )
+            self._inflight += 1
+            if OBS.enabled:
+                OBS.gauge("serving.queue_depth", self._inflight)
+        if self._executor is None:
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # surfaced via future.exception()
+                future.set_exception(exc)
+            self._release(future)
+            return future
+        try:
+            future = self._executor.submit(fn, *args, **kwargs)
+        except BaseException:
+            self._release(None)
+            raise
+        future.add_done_callback(self._release)
+        return future
+
+    def _release(self, _future: Optional[Future]) -> None:
+        with self._capacity:
+            self._inflight -= 1
+            if OBS.enabled:
+                OBS.gauge("serving.queue_depth", self._inflight)
+            self._capacity.notify_all()
+
+    def wait_for_capacity(self, timeout: Optional[float] = None) -> bool:
+        """Block until a submission would be admitted (or ``timeout``)."""
+        with self._capacity:
+            return self._capacity.wait_for(
+                lambda: self._inflight < self.queue_limit, timeout=timeout
+            )
+
+    # ------------------------------------------------------------------
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

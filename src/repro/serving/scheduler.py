@@ -1,0 +1,177 @@
+"""Batch scheduler: coalesce by modulus, dispatch by deadline and cost.
+
+Montgomery exponentiation pays a fixed pre-computation per modulus —
+``R``, ``R² mod N`` and ``N'`` (a modular squaring plus an inversion).
+A naive service repeats it for every request; the scheduler instead
+groups pending requests by ``(modulus, l)`` into :class:`Batch` objects,
+derives the constants **once per batch** through the shared
+:func:`~repro.montgomery.params.precompute_montgomery_constants` cache,
+and attaches the resulting context to the batch so workers never touch
+the cache at all.
+
+Dispatch order is earliest-deadline-first, ties broken by estimated
+backend cost (cheap batches first, so a long simulation batch cannot
+convoy short integer batches with equal urgency).
+
+Metrics (when observation is enabled):
+
+* ``serving.batches`` — batches formed;
+* ``serving.batch_size`` — histogram of requests per batch;
+* ``serving.coalesced_precomputes`` — one per distinct ``(modulus, l)``
+  per coalescing round, i.e. the number of pre-computations actually
+  needed (compare with ``serving.requests`` to see the savings);
+* ``serving.scheduler_depth`` — pending-queue gauge;
+* ``serving.requests{status=rejected}`` — bounded-queue rejections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueueFull
+from repro.montgomery.params import (
+    MontgomeryContext,
+    precompute_montgomery_constants,
+)
+from repro.observability import OBS
+from repro.serving.backends import ModExpBackend
+from repro.serving.request import ModExpRequest
+
+__all__ = ["Batch", "coalesce", "BatchScheduler"]
+
+
+@dataclass
+class Batch:
+    """Requests sharing one modulus (hence one set of constants).
+
+    ``context`` is the pre-computed parameter set every request in the
+    batch reuses; ``estimated_cost`` is the backend's cost estimate
+    summed over the batch (the dispatch tie-breaker).
+    """
+
+    index: int
+    modulus: int
+    l: int
+    context: MontgomeryContext
+    requests: List[ModExpRequest] = field(default_factory=list)
+    estimated_cost: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def deadline(self) -> float:
+        """Earliest deadline in the batch (``inf`` when none set)."""
+        deadlines = [r.deadline for r in self.requests if r.deadline is not None]
+        return min(deadlines) if deadlines else math.inf
+
+
+def coalesce(
+    requests: Sequence[ModExpRequest],
+    backend: ModExpBackend,
+    *,
+    max_batch: int = 0,
+    start_index: int = 0,
+) -> List[Batch]:
+    """Group ``requests`` into per-modulus batches, dispatch-ordered.
+
+    One Montgomery pre-computation happens here per distinct
+    ``(modulus, l)`` key, regardless of how many requests share it.
+    Groups larger than ``max_batch`` (when positive) are split into
+    chunks, which still share the single pre-computed context.  Returned
+    batches are sorted by ``(deadline, estimated_cost)`` and re-indexed
+    from ``start_index``.
+    """
+    groups: Dict[Tuple[int, int], List[ModExpRequest]] = {}
+    for request in requests:
+        groups.setdefault(request.coalesce_key, []).append(request)
+
+    batches: List[Batch] = []
+    for (modulus, l), members in groups.items():
+        context = precompute_montgomery_constants(modulus, l)
+        if OBS.enabled:
+            OBS.count("serving.coalesced_precomputes")
+        chunk = max_batch if max_batch > 0 else len(members)
+        for lo in range(0, len(members), chunk):
+            part = members[lo : lo + chunk]
+            batches.append(
+                Batch(
+                    index=0,  # assigned after sorting
+                    modulus=modulus,
+                    l=l,
+                    context=context,
+                    requests=part,
+                    estimated_cost=sum(backend.estimate_cost(r) for r in part),
+                )
+            )
+
+    batches.sort(key=lambda b: (b.deadline, b.estimated_cost))
+    for offset, batch in enumerate(batches):
+        batch.index = start_index + offset
+        if OBS.enabled:
+            OBS.count("serving.batches")
+            OBS.record("serving.batch_size", batch.size)
+    return batches
+
+
+class BatchScheduler:
+    """Bounded staging queue that drains into coalesced batches.
+
+    ``submit`` applies admission control: once ``max_pending`` requests
+    are staged, further submissions raise
+    :class:`~repro.errors.QueueFull` instead of growing the queue — the
+    serving loop turns that into an explicit rejection on the wire.
+    ``take_batches`` drains everything staged so far.
+    """
+
+    def __init__(
+        self,
+        backend: ModExpBackend,
+        *,
+        max_pending: int = 1024,
+        max_batch: int = 64,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.backend = backend
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self._pending: List[ModExpRequest] = []
+        self._next_index = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def submit(self, request: ModExpRequest) -> None:
+        """Stage one request; raise :class:`QueueFull` past the bound."""
+        if len(self._pending) >= self.max_pending:
+            if OBS.enabled:
+                OBS.count(
+                    "serving.requests", status="rejected", backend=self.backend.name
+                )
+            raise QueueFull(
+                f"scheduler queue full ({self.max_pending} pending); retry later"
+            )
+        self._pending.append(request)
+        if OBS.enabled:
+            OBS.gauge("serving.scheduler_depth", len(self._pending))
+
+    def take_batches(self) -> List[Batch]:
+        """Drain the staged requests into dispatch-ordered batches."""
+        if not self._pending:
+            return []
+        staged, self._pending = self._pending, []
+        if OBS.enabled:
+            OBS.gauge("serving.scheduler_depth", 0)
+        batches = coalesce(
+            staged,
+            self.backend,
+            max_batch=self.max_batch,
+            start_index=self._next_index,
+        )
+        self._next_index += len(batches)
+        return batches

@@ -1,0 +1,388 @@
+"""The modexp serving engine: registry + scheduler + worker pool.
+
+:class:`ModExpService` is the facade every entry point uses — the
+``repro serve`` JSON-lines loop, ``repro batch`` file runs, the example
+scripts and the benchmarks.  Lifecycle of one request:
+
+1. **validate** — the backend's capability check turns unservable
+   requests into immediate failure results;
+2. **coalesce** — the batch scheduler groups requests by modulus so the
+   Montgomery constants are pre-computed once per batch;
+3. **dispatch** — each request becomes one bounded-pool task carrying
+   the batch's shared context; saturation either blocks the submitter
+   (``on_full="wait"``, batch mode) or rejects with ``QueueFull``
+   (``on_full="reject"``, the serving loop);
+4. **collect** — futures are harvested in dispatch order with the
+   per-request timeout enforced; every outcome (value, timeout, backend
+   failure, rejection) becomes a :class:`ModExpResult` and the results
+   come back in input order.
+
+Instrumentation goes through the PR-1 observability layer: wrap calls in
+:func:`repro.observability.observe` and the registry fills with
+``serving.requests{status=,backend=}`` counters, per-backend
+``serving.request_cycles`` / ``serving.request_wall_us`` histograms,
+``serving.batch_size`` histograms and the ``serving.queue_depth`` gauge.
+Process workers run with observation disabled (they are separate
+interpreters); their latency and cycle numbers travel back in the result
+payload and are recorded parent-side, so snapshots stay complete.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from repro.errors import ParameterError, QueueFull, WireFormatError
+from repro.montgomery.params import MontgomeryContext
+from repro.observability import OBS
+from repro.serving.backends import (
+    BackendRegistry,
+    ModExpBackend,
+    default_registry,
+)
+from repro.serving.pool import WorkerPool
+from repro.serving.request import ModExpRequest, ModExpResult
+from repro.serving.scheduler import Batch, coalesce
+from repro.serving.wire import parse_request_line, result_to_json
+
+__all__ = ["ModExpService"]
+
+
+_WORKER_REGISTRY: Optional[BackendRegistry] = None
+
+
+def _worker_registry() -> BackendRegistry:
+    """Per-process registry for tasks that arrive as backend *names*."""
+    global _WORKER_REGISTRY
+    if _WORKER_REGISTRY is None:
+        _WORKER_REGISTRY = default_registry()
+    return _WORKER_REGISTRY
+
+
+def _run_request(
+    backend_spec: Any, ctx: MontgomeryContext, request: ModExpRequest
+) -> Tuple[int, Optional[int], float]:
+    """Pool task: execute one request, measuring wall time in the worker.
+
+    ``backend_spec`` is the backend object for thread/inline pools and
+    the backend *name* for process pools (objects with simulator state
+    should not be pickled; names re-resolve in the worker interpreter).
+    """
+    backend = (
+        _worker_registry().get(backend_spec)
+        if isinstance(backend_spec, str)
+        else backend_spec
+    )
+    t0 = time.perf_counter()
+    result = backend.execute(ctx, request)
+    wall_us = (time.perf_counter() - t0) * 1e6
+    return result.value, result.cycles, wall_us
+
+
+class _Entry:
+    """One dispatched (or immediately resolved) request in flight."""
+
+    __slots__ = ("request", "input_index", "batch_index", "future", "result", "submitted_at")
+
+    def __init__(self, request: ModExpRequest, input_index: int) -> None:
+        self.request = request
+        self.input_index = input_index
+        self.batch_index: Optional[int] = None
+        self.future: Optional[Future] = None
+        self.result: Optional[ModExpResult] = None
+        self.submitted_at: float = 0.0
+
+
+class ModExpService:
+    """Multi-worker modular-exponentiation service with backpressure.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (resolved in ``registry``) or a backend instance.
+    registry:
+        Backend registry; defaults to :func:`default_registry`.
+    workers:
+        Worker count.
+    worker_kind:
+        ``"process"`` / ``"thread"`` / ``"inline"`` / ``"auto"``.  Auto
+        picks processes for process-safe backends with ``workers > 1``,
+        threads otherwise.
+    queue_limit:
+        Bounded in-flight window of the pool (default ``4 × workers``).
+    max_batch:
+        Coalescing chunk size and the serve loop's flush threshold.
+    default_timeout:
+        Per-request timeout in seconds applied when a request carries
+        none (``None`` = wait forever).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Any = "integer",
+        registry: Optional[BackendRegistry] = None,
+        workers: int = 1,
+        worker_kind: str = "auto",
+        queue_limit: Optional[int] = None,
+        max_batch: int = 32,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.backend: ModExpBackend = (
+            self.registry.get(backend) if isinstance(backend, str) else backend
+        )
+        caps = self.backend.capabilities
+        if worker_kind in ("auto", None):
+            worker_kind = (
+                "process" if (caps.process_safe and workers > 1) else "thread"
+            )
+        if worker_kind == "process":
+            if not caps.process_safe:
+                raise ParameterError(
+                    f"backend {self.backend.name!r} is not process-safe; "
+                    f"use worker_kind='thread'"
+                )
+            if self.backend.name not in default_registry():
+                raise ParameterError(
+                    "process workers resolve backends by name from the default "
+                    f"registry, which has no {self.backend.name!r}; "
+                    "use worker_kind='thread' for custom backends"
+                )
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self.default_timeout = default_timeout
+        self.pool = WorkerPool(
+            workers=workers, kind=worker_kind, queue_limit=queue_limit
+        )
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _backend_spec(self) -> Any:
+        return self.backend.name if self.pool.kind == "process" else self.backend
+
+    def _dispatch(
+        self, batches: List[Batch], entries_by_id: Dict[int, Deque[_Entry]], *, on_full: str
+    ) -> List[_Entry]:
+        """Submit every batch request; returns entries in dispatch order."""
+        spec = self._backend_spec()
+        dispatched: List[_Entry] = []
+        for batch in batches:
+            for request in batch.requests:
+                entry = entries_by_id[id(request)].popleft()
+                entry.batch_index = batch.index
+                dispatched.append(entry)
+                while True:
+                    try:
+                        entry.submitted_at = time.monotonic()
+                        entry.future = self.pool.submit(
+                            _run_request, spec, batch.context, request
+                        )
+                        if OBS.enabled:
+                            OBS.count(
+                                "serving.requests",
+                                status="accepted",
+                                backend=self.backend.name,
+                            )
+                        break
+                    except QueueFull as exc:
+                        if on_full == "reject":
+                            entry.result = ModExpResult.failure(
+                                request.request_id,
+                                exc,
+                                backend=self.backend.name,
+                                batch_index=batch.index,
+                            )
+                            if OBS.enabled:
+                                OBS.count(
+                                    "serving.requests",
+                                    status="rejected",
+                                    backend=self.backend.name,
+                                )
+                            break
+                        self.pool.wait_for_capacity(timeout=0.5)
+        return dispatched
+
+    def _collect(self, entry: _Entry) -> ModExpResult:
+        """Resolve one entry, enforcing its timeout from submission time."""
+        if entry.result is not None:  # rejected or pre-resolved
+            return entry.result
+        request, future = entry.request, entry.future
+        assert future is not None
+        timeout = request.timeout if request.timeout is not None else self.default_timeout
+        remaining: Optional[float] = None
+        if timeout is not None:
+            remaining = max(0.0, entry.submitted_at + timeout - time.monotonic())
+        name = self.backend.name
+        try:
+            value, cycles, wall_us = future.result(timeout=remaining)
+        except FuturesTimeout:
+            future.cancel()
+            if OBS.enabled:
+                OBS.count("serving.requests", status="timeout", backend=name)
+            return ModExpResult.failure(
+                request.request_id,
+                TimeoutError(f"request exceeded {timeout}s"),
+                backend=name,
+                batch_index=entry.batch_index,
+            )
+        except BaseException as exc:
+            if OBS.enabled:
+                OBS.count("serving.requests", status="failed", backend=name)
+            return ModExpResult.failure(
+                request.request_id, exc, backend=name, batch_index=entry.batch_index
+            )
+        if OBS.enabled:
+            OBS.count("serving.requests", status="completed", backend=name)
+            if cycles is not None:
+                OBS.record("serving.request_cycles", cycles, backend=name)
+            OBS.record("serving.request_wall_us", wall_us, backend=name)
+        return ModExpResult.success(
+            request,
+            value,
+            backend=name,
+            cycles=cycles,
+            wall_us=wall_us,
+            batch_index=entry.batch_index,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def process(
+        self, requests: Iterable[ModExpRequest], *, on_full: str = "wait"
+    ) -> List[ModExpResult]:
+        """Serve a workload; results come back in input order.
+
+        ``on_full="wait"`` (batch mode) applies flow control against the
+        bounded pool — nothing is rejected, the submitter blocks.
+        ``on_full="reject"`` (serving mode) turns saturation into
+        ``QueueFull`` failure results.
+        """
+        if on_full not in ("wait", "reject"):
+            raise ParameterError(f"on_full must be 'wait' or 'reject', got {on_full!r}")
+        ordered = list(requests)
+        results: List[Optional[ModExpResult]] = [None] * len(ordered)
+
+        # Capability screen: unservable requests resolve immediately.
+        servable: List[ModExpRequest] = []
+        entries_by_id: Dict[int, Deque[_Entry]] = {}
+        for index, request in enumerate(ordered):
+            reason = self.backend.reject_reason(request)
+            if reason is not None:
+                if OBS.enabled:
+                    OBS.count(
+                        "serving.requests",
+                        status="unsupported",
+                        backend=self.backend.name,
+                    )
+                results[index] = ModExpResult.failure(
+                    request.request_id,
+                    ParameterError(reason),
+                    backend=self.backend.name,
+                )
+                continue
+            servable.append(request)
+            entries_by_id.setdefault(id(request), deque()).append(
+                _Entry(request, index)
+            )
+
+        batches = coalesce(
+            servable,
+            self.backend,
+            max_batch=self.max_batch,
+            start_index=self._batch_counter,
+        )
+        self._batch_counter += len(batches)
+        dispatched = self._dispatch(batches, entries_by_id, on_full=on_full)
+        for entry in dispatched:
+            results[entry.input_index] = self._collect(entry)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def serve(
+        self,
+        in_stream: Iterable[str],
+        out_stream: TextIO,
+        *,
+        on_full: str = "reject",
+    ) -> Dict[str, int]:
+        """JSON-lines service loop: one request per line, one result per line.
+
+        Requests buffer until ``max_batch`` are pending, a blank line
+        arrives (an explicit flush marker), or the stream ends; each
+        flush coalesces and dispatches the chunk and writes its results
+        in input order.  Malformed lines produce an error result line
+        immediately.  Returns counters: served / ok / failed / rejected /
+        parse_errors.
+        """
+        stats = {"served": 0, "ok": 0, "failed": 0, "rejected": 0, "parse_errors": 0}
+        buffer: List[ModExpRequest] = []
+
+        def emit(result: ModExpResult) -> None:
+            out_stream.write(result_to_json(result) + "\n")
+            stats["served"] += 1
+            if result.ok:
+                stats["ok"] += 1
+            elif result.error_type == "QueueFull":
+                stats["rejected"] += 1
+            else:
+                stats["failed"] += 1
+
+        def flush() -> None:
+            if not buffer:
+                return
+            chunk, buffer[:] = list(buffer), []
+            for result in self.process(chunk, on_full=on_full):
+                emit(result)
+            _flush_stream(out_stream)
+
+        for line in in_stream:
+            stripped = line.strip()
+            if not stripped:
+                flush()
+                continue
+            try:
+                request = parse_request_line(stripped)
+            except WireFormatError as exc:
+                stats["parse_errors"] += 1
+                if OBS.enabled:
+                    OBS.count(
+                        "serving.requests",
+                        status="malformed",
+                        backend=self.backend.name,
+                    )
+                emit(
+                    ModExpResult.failure(
+                        getattr(exc, "request_id", ""), exc, backend=self.backend.name
+                    )
+                )
+                _flush_stream(out_stream)
+                continue
+            buffer.append(request)
+            if len(buffer) >= self.max_batch:
+                flush()
+        flush()
+        return stats
+
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True) -> None:
+        self.pool.shutdown(wait=wait, cancel_pending=True)
+
+    def __enter__(self) -> "ModExpService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _flush_stream(stream: TextIO) -> None:
+    flush = getattr(stream, "flush", None)
+    if flush is not None:
+        flush()

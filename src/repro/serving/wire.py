@@ -1,0 +1,204 @@
+"""JSON-lines wire format of the modexp service.
+
+One request per line, one result per line, UTF-8, newline-delimited —
+the format both ``repro serve`` (streaming over stdin/stdout) and
+``repro batch`` (file in, file out) speak.
+
+Request line fields
+-------------------
+``base``, ``exponent``, ``modulus``
+    Required.  Integers, or strings parsed with base auto-detection
+    (``"0x..."`` hex works — RSA-sized operands don't fit JSON numbers
+    losslessly in every tool chain).
+``id``
+    Optional correlation id (string or integer; echoed back verbatim).
+``l``
+    Optional circuit width in bits.
+``p``, ``q``
+    Optional factors of the modulus for the CRT backend.
+``timeout``
+    Optional per-request wall-clock limit in seconds.
+``deadline``
+    Optional urgency key (earliest dispatches first).
+
+Result line fields
+------------------
+``id``, ``ok`` always; ``value`` (as a string when ≥ 2⁵³, so JavaScript
+consumers cannot silently lose precision), ``cycles``, ``wall_us``,
+``batch`` and ``backend`` on success; ``error`` / ``error_type`` on
+failure.  A rejected request (backpressure) is ``ok: false`` with
+``error_type: "QueueFull"``.
+
+A blank input line is a **flush marker**: the serve loop dispatches its
+buffered batch immediately instead of waiting for ``max_batch`` lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ParameterError, WireFormatError
+from repro.serving.request import ModExpRequest, ModExpResult
+
+__all__ = [
+    "parse_request_line",
+    "request_to_json",
+    "result_to_dict",
+    "result_to_json",
+    "read_requests",
+]
+
+#: Integers at or above 2^53 are emitted as strings on the wire.
+_JSON_SAFE_INT = 1 << 53
+
+
+def _wire_error(message: str, request_id: str = "") -> WireFormatError:
+    exc = WireFormatError(message)
+    exc.request_id = request_id  # type: ignore[attr-defined]
+    return exc
+
+
+def _to_int(value: Any, field: str, request_id: str) -> int:
+    if isinstance(value, bool):
+        raise _wire_error(f"field {field!r} must be an integer", request_id)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value, 0)
+        except ValueError:
+            raise _wire_error(
+                f"field {field!r} is not a parseable integer: {value!r}", request_id
+            ) from None
+    raise _wire_error(
+        f"field {field!r} must be an integer or integer string, "
+        f"got {type(value).__name__}",
+        request_id,
+    )
+
+
+def parse_request_line(line: str) -> ModExpRequest:
+    """Parse one JSON request line into a :class:`ModExpRequest`.
+
+    Raises :class:`~repro.errors.WireFormatError` on malformed input;
+    when an ``id`` was recoverable it is attached to the exception as
+    ``request_id`` so the error response can still correlate.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise _wire_error(f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise _wire_error(f"request line must be a JSON object, got {type(obj).__name__}")
+
+    raw_id = obj.get("id", "")
+    request_id = str(raw_id) if raw_id is not None else ""
+
+    unknown = set(obj) - {
+        "id", "base", "exponent", "modulus", "l", "p", "q", "timeout", "deadline",
+    }
+    if unknown:
+        raise _wire_error(
+            f"unknown request fields: {', '.join(sorted(unknown))}", request_id
+        )
+    for field in ("base", "exponent", "modulus"):
+        if field not in obj:
+            raise _wire_error(f"missing required field {field!r}", request_id)
+
+    factors: Optional[Tuple[int, int]] = None
+    if ("p" in obj) != ("q" in obj):
+        raise _wire_error("factors p and q must be given together", request_id)
+    if "p" in obj:
+        factors = (
+            _to_int(obj["p"], "p", request_id),
+            _to_int(obj["q"], "q", request_id),
+        )
+
+    def _number(field: str) -> Optional[float]:
+        if field not in obj or obj[field] is None:
+            return None
+        value = obj[field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise _wire_error(f"field {field!r} must be a number", request_id)
+        return float(value)
+
+    try:
+        return ModExpRequest(
+            base=_to_int(obj["base"], "base", request_id),
+            exponent=_to_int(obj["exponent"], "exponent", request_id),
+            modulus=_to_int(obj["modulus"], "modulus", request_id),
+            request_id=request_id,
+            l=_to_int(obj.get("l", 0), "l", request_id),
+            factors=factors,
+            timeout=_number("timeout"),
+            deadline=_number("deadline"),
+        )
+    except ParameterError as exc:
+        raise _wire_error(str(exc), request_id) from None
+
+
+def _wire_int(value: int) -> Union[int, str]:
+    return value if abs(value) < _JSON_SAFE_INT else str(value)
+
+
+def request_to_json(request: ModExpRequest) -> str:
+    """Serialize a request back to its wire form (workload generators)."""
+    obj: Dict[str, Any] = {
+        "base": _wire_int(request.base),
+        "exponent": _wire_int(request.exponent),
+        "modulus": _wire_int(request.modulus),
+    }
+    if request.request_id:
+        obj["id"] = request.request_id
+    if request.l:
+        obj["l"] = request.l
+    if request.factors is not None:
+        obj["p"], obj["q"] = map(_wire_int, request.factors)
+    if request.timeout is not None:
+        obj["timeout"] = request.timeout
+    if request.deadline is not None:
+        obj["deadline"] = request.deadline
+    return json.dumps(obj, sort_keys=True)
+
+
+def result_to_dict(result: ModExpResult) -> Dict[str, Any]:
+    obj: Dict[str, Any] = {"id": result.request_id, "ok": result.ok}
+    if result.ok:
+        assert result.value is not None
+        obj["value"] = _wire_int(result.value)
+        if result.cycles is not None:
+            obj["cycles"] = result.cycles
+        if result.wall_us is not None:
+            obj["wall_us"] = round(result.wall_us, 1)
+    else:
+        obj["error"] = result.error
+        obj["error_type"] = result.error_type
+    if result.backend:
+        obj["backend"] = result.backend
+    if result.batch_index is not None:
+        obj["batch"] = result.batch_index
+    return obj
+
+
+def result_to_json(result: ModExpResult) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def read_requests(
+    lines: Iterable[str],
+) -> Iterator[Tuple[int, Union[ModExpRequest, WireFormatError]]]:
+    """Parse a JSON-lines workload, yielding ``(line_number, item)``.
+
+    Blank lines are skipped (they are flush markers, meaningless in a
+    file); malformed lines yield the :class:`WireFormatError` instead of
+    a request so ``repro batch`` can keep input/output line alignment.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            yield lineno, parse_request_line(stripped)
+        except WireFormatError as exc:
+            yield lineno, exc

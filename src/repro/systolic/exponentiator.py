@@ -72,6 +72,27 @@ class ModularExponentiator:
         self.mmmc = MMMC(ctx.l, mode=mode) if engine == "rtl" else None
         self.cycles = 0
 
+    @classmethod
+    def for_modulus(
+        cls,
+        modulus: int,
+        *,
+        engine: str = "golden",
+        mode: str = "corrected",
+        l: int = 0,
+    ) -> "ModularExponentiator":
+        """Exponentiator over the shared cached parameter set for ``modulus``.
+
+        Goes through
+        :func:`~repro.montgomery.params.precompute_montgomery_constants`,
+        so repeated constructions for the same modulus (the serving layer's
+        per-batch workers, the RSA cipher's three exponentiators) reuse one
+        pre-computation of ``R² mod N`` and ``N'``.
+        """
+        from repro.montgomery.params import precompute_montgomery_constants
+
+        return cls(precompute_montgomery_constants(modulus, l), engine, mode=mode)
+
     # ------------------------------------------------------------------
     def _mont(self, kind: str, x: int, y: int, run: ExponentiationRun) -> int:
         n = self.ctx.modulus

@@ -1,0 +1,70 @@
+"""The shared Montgomery-constant cache (satellite of the serving PR)."""
+
+from __future__ import annotations
+
+from repro.montgomery.params import (
+    MontgomeryContext,
+    montgomery_cache_clear,
+    montgomery_cache_info,
+    precompute_montgomery_constants,
+)
+from repro.observability import MetricsRegistry, observe
+
+N = (1 << 63) + 29  # odd 64-bit
+
+
+class TestPrecomputeCache:
+    def test_returns_equivalent_context(self):
+        ctx = precompute_montgomery_constants(N)
+        direct = MontgomeryContext(N)
+        assert ctx.modulus == direct.modulus
+        assert ctx.l == direct.l
+        assert ctx.r_mod_n == direct.r_mod_n
+        assert ctx.r2_mod_n == direct.r2_mod_n
+        assert ctx.n_prime == direct.n_prime
+
+    def test_repeat_calls_hit_the_cache(self):
+        montgomery_cache_clear()
+        first = precompute_montgomery_constants(N)
+        before = montgomery_cache_info().misses
+        second = precompute_montgomery_constants(N)
+        assert second is first
+        assert montgomery_cache_info().misses == before
+        assert montgomery_cache_info().hits >= 1
+
+    def test_distinct_width_is_a_distinct_entry(self):
+        montgomery_cache_clear()
+        narrow = precompute_montgomery_constants(251)
+        wide = precompute_montgomery_constants(251, 16)
+        assert narrow is not wide
+        assert (narrow.l, wide.l) == (251 .bit_length(), 16)
+        assert montgomery_cache_info().misses == 2
+
+    def test_miss_and_hit_counters(self):
+        montgomery_cache_clear()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            precompute_montgomery_constants(N)
+            precompute_montgomery_constants(N)
+            precompute_montgomery_constants(N)
+        assert registry.counter("montgomery.precompute").total() == 1
+        assert registry.counter("montgomery.precompute_cache_hits").total() == 2
+
+    def test_exponentiator_and_rsa_share_the_cache(self):
+        import random
+
+        from repro.rsa.cipher import RSACipher
+        from repro.rsa.keygen import generate_keypair
+        from repro.systolic.exponentiator import ModularExponentiator
+
+        montgomery_cache_clear()
+        exp = ModularExponentiator.for_modulus(N)
+        assert exp.ctx is precompute_montgomery_constants(N)
+
+        key = generate_keypair(64, random.Random(7))
+        RSACipher(key)  # builds contexts for N, p and q
+        # A later consumer of the same moduli pays nothing.
+        before = montgomery_cache_info().misses
+        for modulus in (key.modulus, key.p, key.q):
+            precompute_montgomery_constants(modulus)
+        assert montgomery_cache_info().misses == before

@@ -1,0 +1,1 @@
+"""Tests for the serving engine (backends, scheduler, pool, service, wire)."""

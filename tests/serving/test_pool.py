@@ -1,0 +1,99 @@
+"""Worker pool: bounded window, rejection, no deadlock, all kinds."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError, QueueFull
+from repro.observability import MetricsRegistry, observe
+from repro.serving.pool import WorkerPool
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestBasics:
+    @pytest.mark.parametrize("kind", ["inline", "thread", "process"])
+    def test_submit_returns_result(self, kind):
+        with WorkerPool(workers=2, kind=kind) as pool:
+            assert pool.submit(_add, 2, 3).result(timeout=30) == 5
+
+    def test_inline_runs_on_caller_thread(self):
+        with WorkerPool(kind="inline") as pool:
+            ident = pool.submit(threading.get_ident).result()
+        assert ident == threading.get_ident()
+
+    def test_exceptions_surface_via_future(self):
+        with WorkerPool(kind="inline") as pool:
+            future = pool.submit(int, "not a number")
+        assert isinstance(future.exception(), ValueError)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            WorkerPool(kind="fiber")
+        with pytest.raises(ParameterError):
+            WorkerPool(workers=0)
+        with pytest.raises(ParameterError):
+            WorkerPool(queue_limit=0)
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_not_deadlocks(self):
+        """The acceptance regression: a full bounded queue raises QueueFull
+        immediately; it never blocks the submitter."""
+        release = threading.Event()
+        pool = WorkerPool(workers=1, kind="thread", queue_limit=2)
+        try:
+            first = pool.submit(release.wait, 30)  # occupies the worker
+            second = pool.submit(release.wait, 30)  # sits in the queue
+            assert pool.depth == 2
+            t0 = time.monotonic()
+            with pytest.raises(QueueFull, match="2/2"):
+                pool.submit(release.wait, 30)
+            # Rejection must be immediate (no hidden blocking path).
+            assert time.monotonic() - t0 < 1.0
+            release.set()
+            assert first.result(timeout=30) and second.result(timeout=30)
+            assert pool.wait_for_capacity(timeout=30)
+            assert pool.submit(_add, 1, 1).result(timeout=30) == 2
+        finally:
+            release.set()
+            pool.shutdown()
+
+    def test_queue_depth_gauge_tracks_inflight(self):
+        registry = MetricsRegistry()
+        release = threading.Event()
+        with observe(metrics=registry):
+            pool = WorkerPool(workers=1, kind="thread", queue_limit=4)
+            try:
+                futures = [pool.submit(release.wait, 30) for _ in range(3)]
+                assert registry.gauge("serving.queue_depth").value() == 3
+                release.set()
+                for f in futures:
+                    f.result(timeout=30)
+                # Done-callbacks may lag result() by an instant; poll down.
+                deadline = time.monotonic() + 30
+                while pool.depth and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert pool.depth == 0
+            finally:
+                release.set()
+                pool.shutdown()
+        assert registry.gauge("serving.queue_depth").value() == 0
+
+    def test_submit_after_shutdown_rejects(self):
+        pool = WorkerPool(kind="thread")
+        pool.shutdown()
+        with pytest.raises(QueueFull, match="shut down"):
+            pool.submit(_add, 1, 2)
+
+    def test_default_queue_limit_scales_with_workers(self):
+        pool = WorkerPool(workers=3, kind="inline")
+        try:
+            assert pool.queue_limit == 12
+        finally:
+            pool.shutdown()

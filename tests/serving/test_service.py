@@ -1,0 +1,282 @@
+"""End-to-end service semantics: correctness, timeouts, backpressure, metrics."""
+
+from __future__ import annotations
+
+import io
+import random
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.montgomery.params import montgomery_cache_clear
+from repro.observability import MetricsRegistry, observe
+from repro.serving.backends import (
+    BackendCapabilities,
+    BackendRegistry,
+    BackendResult,
+    ModExpBackend,
+)
+from repro.serving.request import ModExpRequest
+from repro.serving.service import ModExpService
+from repro.utils.rng import random_odd_modulus
+
+
+def _workload(count: int, distinct_moduli: int, bits: int = 48, seed: int = 0):
+    rng = random.Random(seed)
+    moduli = [random_odd_modulus(bits, rng) for _ in range(distinct_moduli)]
+    return [
+        ModExpRequest(
+            rng.randrange(moduli[i % distinct_moduli]),
+            rng.randrange(1, moduli[i % distinct_moduli]),
+            moduli[i % distinct_moduli],
+            request_id=f"r{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class SleepBackend(ModExpBackend):
+    """Test backend: configurable latency, correct answers."""
+
+    name = "sleepy"
+    capabilities = BackendCapabilities(
+        description="test-only slow backend", process_safe=False
+    )
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def model_cycles(self, request):
+        return 1.0
+
+    def execute(self, ctx, request):
+        time.sleep(self.delay)
+        return BackendResult(request.expected(), 1)
+
+
+def _sleepy_registry(delay: float) -> BackendRegistry:
+    registry = BackendRegistry()
+    registry.register(SleepBackend(delay))
+    return registry
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("kind", ["inline", "thread", "process"])
+    def test_results_match_pow_in_input_order(self, kind):
+        requests = _workload(12, 3)
+        with ModExpService(backend="integer", workers=2, worker_kind=kind) as svc:
+            results = svc.process(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            assert result.ok, result
+            assert result.request_id == request.request_id
+            assert result.value == request.expected()
+            assert result.backend == "integer"
+            assert result.cycles and result.cycles > 0
+
+    def test_duplicate_request_objects_allowed(self):
+        request = _workload(1, 1)[0]
+        with ModExpService(worker_kind="inline") as svc:
+            results = svc.process([request, request, request])
+        assert all(r.ok and r.value == request.expected() for r in results)
+
+    def test_unsupported_request_fails_without_dispatch(self):
+        requests = _workload(2, 2, bits=20)
+        with ModExpService(backend="rtl", workers=1, worker_kind="thread") as svc:
+            wide = ModExpRequest(2, 3, (1 << 96) + 61)  # over rtl's 64-bit cap
+            results = svc.process([requests[0], wide, requests[1]])
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].error_type == "ParameterError"
+
+    def test_batch_indices_reported(self):
+        requests = _workload(8, 2)
+        with ModExpService(worker_kind="inline") as svc:
+            results = svc.process(requests)
+        assert {r.batch_index for r in results} == {0, 1}
+
+    def test_process_pool_requires_registered_name(self):
+        with pytest.raises(ParameterError, match="not process-safe"):
+            ModExpService(backend="gate", workers=2, worker_kind="process")
+
+        class _Portable(SleepBackend):
+            name = "portable"
+            capabilities = BackendCapabilities(
+                description="process-safe but unregistered", process_safe=True
+            )
+
+        registry = BackendRegistry()
+        registry.register(_Portable(0.0))
+        with pytest.raises(ParameterError, match="default registry"):
+            ModExpService(
+                backend="portable",
+                registry=registry,
+                workers=2,
+                worker_kind="process",
+            )
+
+
+class TestTimeouts:
+    def test_per_request_timeout_surfaces_timeout_error(self):
+        requests = _workload(2, 1, bits=16, seed=3)
+        slow = ModExpRequest(
+            requests[0].base,
+            requests[0].exponent,
+            requests[0].modulus,
+            request_id="slow",
+            timeout=0.05,
+        )
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with ModExpService(
+                backend=SleepBackend(0.4),
+                registry=_sleepy_registry(0.4),
+                workers=1,
+                worker_kind="thread",
+            ) as svc:
+                results = svc.process([slow])
+        assert not results[0].ok
+        assert results[0].error_type == "TimeoutError"
+        assert (
+            registry.counter("serving.requests").value(
+                status="timeout", backend="sleepy"
+            )
+            == 1
+        )
+
+    def test_default_timeout_applies_when_request_has_none(self):
+        request = _workload(1, 1, bits=16, seed=4)[0]
+        with ModExpService(
+            backend=SleepBackend(0.4),
+            registry=_sleepy_registry(0.4),
+            workers=1,
+            worker_kind="thread",
+            default_timeout=0.05,
+        ) as svc:
+            results = svc.process([request])
+        assert results[0].error_type == "TimeoutError"
+
+    def test_no_timeout_waits_for_completion(self):
+        request = _workload(1, 1, bits=16, seed=5)[0]
+        with ModExpService(
+            backend=SleepBackend(0.1),
+            registry=_sleepy_registry(0.1),
+            workers=1,
+            worker_kind="thread",
+        ) as svc:
+            results = svc.process([request])
+        assert results[0].ok and results[0].value == request.expected()
+
+
+class TestBackpressure:
+    def test_saturated_service_rejects_rather_than_deadlocks(self):
+        """Acceptance regression: queue_limit saturation yields QueueFull
+        results and the call completes promptly."""
+        requests = _workload(8, 1, bits=16, seed=6)
+        registry = MetricsRegistry()
+        t0 = time.monotonic()
+        with observe(metrics=registry):
+            with ModExpService(
+                backend=SleepBackend(0.15),
+                registry=_sleepy_registry(0.15),
+                workers=1,
+                worker_kind="thread",
+                queue_limit=2,
+                max_batch=16,
+            ) as svc:
+                results = svc.process(requests, on_full="reject")
+        elapsed = time.monotonic() - t0
+        rejected = [r for r in results if r.error_type == "QueueFull"]
+        completed = [r for r in results if r.ok]
+        assert len(rejected) == 6 and len(completed) == 2
+        # 2 sleeps' worth of work, not 8: rejection was immediate.
+        assert elapsed < 2.0
+        counters = registry.counter("serving.requests")
+        assert counters.value(status="accepted", backend="sleepy") == 2
+        assert counters.value(status="rejected", backend="sleepy") == 6
+        assert counters.value(status="completed", backend="sleepy") == 2
+
+    def test_wait_mode_completes_everything(self):
+        requests = _workload(6, 2, bits=16, seed=7)
+        with ModExpService(
+            backend=SleepBackend(0.02),
+            registry=_sleepy_registry(0.02),
+            workers=2,
+            worker_kind="thread",
+            queue_limit=2,
+        ) as svc:
+            results = svc.process(requests, on_full="wait")
+        assert all(r.ok for r in results)
+
+    def test_bad_on_full_value_rejected(self):
+        with ModExpService(worker_kind="inline") as svc:
+            with pytest.raises(ParameterError, match="on_full"):
+                svc.process([], on_full="drop")
+
+
+class TestMetrics:
+    def test_counters_reflect_accepted_and_completed(self):
+        montgomery_cache_clear()
+        requests = _workload(9, 3, seed=8)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with ModExpService(worker_kind="inline") as svc:
+                svc.process(requests)
+        counters = registry.counter("serving.requests")
+        assert counters.value(status="accepted", backend="integer") == 9
+        assert counters.value(status="completed", backend="integer") == 9
+        # One precompute per distinct modulus; 3 batches of 3.
+        assert registry.counter("montgomery.precompute").total() == 3
+        assert registry.counter("serving.batches").total() == 3
+        hist = registry.histogram("serving.batch_size").series()
+        assert hist.count == 3 and hist.sum == 9
+        assert registry.histogram("serving.request_cycles").series(
+            backend="integer"
+        ).count == 9
+        assert registry.histogram("serving.request_wall_us").series(
+            backend="integer"
+        ).count == 9
+
+
+class TestServeLoop:
+    def test_json_lines_roundtrip_with_flush_marker(self):
+        from repro.serving.wire import request_to_json
+
+        requests = _workload(5, 2, seed=9)
+        lines = [request_to_json(r) + "\n" for r in requests]
+        lines.insert(2, "\n")  # flush marker mid-stream
+        out = io.StringIO()
+        with ModExpService(worker_kind="inline", max_batch=100) as svc:
+            stats = svc.serve(iter(lines), out)
+        assert stats == {
+            "served": 5, "ok": 5, "failed": 0, "rejected": 0, "parse_errors": 0,
+        }
+        import json
+
+        payloads = [json.loads(line) for line in out.getvalue().splitlines()]
+        by_id = {p["id"]: p for p in payloads}
+        for request in requests:
+            value = by_id[request.request_id]["value"]
+            value = int(value) if isinstance(value, str) else value
+            assert value == request.expected()
+
+    def test_malformed_line_answers_immediately_and_loop_continues(self):
+        from repro.serving.wire import request_to_json
+
+        good = _workload(2, 1, seed=10)
+        lines = [
+            request_to_json(good[0]) + "\n",
+            '{"nope": 1}\n',
+            request_to_json(good[1]) + "\n",
+        ]
+        out = io.StringIO()
+        with ModExpService(worker_kind="inline", max_batch=1) as svc:
+            stats = svc.serve(iter(lines), out)
+        assert stats["served"] == 3
+        assert stats["parse_errors"] == 1 and stats["ok"] == 2
+        import json
+
+        payloads = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [p["ok"] for p in payloads] == [True, False, True]
+        assert payloads[1]["error_type"] == "WireFormatError"

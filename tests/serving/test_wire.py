@@ -1,0 +1,149 @@
+"""JSON-lines wire format: parsing, serialization, alignment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WireFormatError
+from repro.serving.request import ModExpRequest, ModExpResult
+from repro.serving.wire import (
+    parse_request_line,
+    read_requests,
+    request_to_json,
+    result_to_dict,
+    result_to_json,
+)
+
+
+class TestParse:
+    def test_minimal_request(self):
+        request = parse_request_line('{"base": 4, "exponent": 13, "modulus": 497}')
+        assert (request.base, request.exponent, request.modulus) == (4, 13, 497)
+        assert request.request_id == ""
+
+    def test_all_fields(self):
+        line = json.dumps(
+            {
+                "id": "job-1",
+                "base": 2,
+                "exponent": 7,
+                "modulus": 15,
+                "p": 3,
+                "q": 5,
+                "l": 8,
+                "timeout": 1.5,
+                "deadline": 9,
+            }
+        )
+        request = parse_request_line(line)
+        assert request.request_id == "job-1"
+        assert request.factors == (3, 5)
+        assert request.l == 8
+        assert request.timeout == 1.5
+        assert request.deadline == 9.0
+
+    def test_hex_string_operands(self):
+        request = parse_request_line(
+            '{"base": "0x10", "exponent": "3", "modulus": "0xFFEF"}'
+        )
+        assert (request.base, request.exponent, request.modulus) == (16, 3, 0xFFEF)
+
+    def test_big_int_string_operands_roundtrip(self):
+        n = (1 << 255) + 95  # far beyond 2^53
+        original = ModExpRequest(12345, 65537, n, request_id="big")
+        request = parse_request_line(request_to_json(original))
+        assert request == original
+        # On the wire the modulus travelled as a string.
+        assert isinstance(json.loads(request_to_json(original))["modulus"], str)
+
+    def test_integer_id_echoed_as_string(self):
+        request = parse_request_line('{"id": 7, "base": 2, "exponent": 3, "modulus": 9}')
+        assert request.request_id == "7"
+
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("not json at all", "invalid JSON"),
+            ("[1, 2, 3]", "JSON object"),
+            ('{"base": 2, "exponent": 3}', "modulus"),
+            ('{"base": 2, "exponent": 3, "modulus": 9, "bogus": 1}', "bogus"),
+            ('{"base": true, "exponent": 3, "modulus": 9}', "base"),
+            ('{"base": "xyz", "exponent": 3, "modulus": 9}', "parseable"),
+            ('{"base": 2, "exponent": 3, "modulus": 9, "p": 3}', "together"),
+            ('{"base": 2, "exponent": 3, "modulus": 9, "timeout": "soon"}', "number"),
+            ('{"base": 2, "exponent": 3, "modulus": 8}', "odd"),
+        ],
+    )
+    def test_malformed_lines_raise_wire_format_error(self, line, fragment):
+        with pytest.raises(WireFormatError, match=fragment):
+            parse_request_line(line)
+
+    def test_recoverable_id_attached_to_error(self):
+        with pytest.raises(WireFormatError) as excinfo:
+            parse_request_line('{"id": "r9", "base": 2, "exponent": 3, "modulus": 8}')
+        assert excinfo.value.request_id == "r9"
+
+
+class TestResultSerialization:
+    def test_success_result_fields(self):
+        request = ModExpRequest(4, 13, 497, request_id="ok-1")
+        result = ModExpResult.success(
+            request, request.expected(), backend="integer", cycles=1234,
+            wall_us=56.789, batch_index=2,
+        )
+        obj = result_to_dict(result)
+        assert obj == {
+            "id": "ok-1",
+            "ok": True,
+            "value": request.expected(),
+            "cycles": 1234,
+            "wall_us": 56.8,
+            "backend": "integer",
+            "batch": 2,
+        }
+
+    def test_large_value_stringified(self):
+        n = (1 << 127) + 1
+        request = ModExpRequest(3, 5, n, request_id="w")
+        result = ModExpResult.success(
+            request, (1 << 100) + 7, backend="integer", cycles=None, wall_us=None,
+            batch_index=None,
+        )
+        obj = result_to_dict(result)
+        assert obj["value"] == str((1 << 100) + 7)
+        assert "cycles" not in obj and "wall_us" not in obj and "batch" not in obj
+
+    def test_failure_result_fields(self):
+        result = ModExpResult.failure("bad-1", ValueError("boom"), backend="rtl")
+        obj = json.loads(result_to_json(result))
+        assert obj["ok"] is False
+        assert obj["error"] == "boom"
+        assert obj["error_type"] == "ValueError"
+        assert obj["backend"] == "rtl"
+
+
+class TestReadRequests:
+    def test_line_numbers_and_blank_skipping(self):
+        lines = [
+            '{"base": 2, "exponent": 3, "modulus": 9}\n',
+            "\n",
+            "garbage\n",
+            '{"base": 3, "exponent": 5, "modulus": 11}\n',
+        ]
+        items = list(read_requests(lines))
+        assert [lineno for lineno, _ in items] == [1, 3, 4]
+        assert isinstance(items[0][1], ModExpRequest)
+        assert isinstance(items[1][1], WireFormatError)
+        assert isinstance(items[2][1], ModExpRequest)
+
+    def test_roundtrip_workload(self):
+        requests = [
+            ModExpRequest(2, 3, 9, request_id="a"),
+            ModExpRequest(3, 65537, (1 << 64) + 13, request_id="b", timeout=2.0),
+            ModExpRequest(5, 7, 77, request_id="c", factors=(7, 11), l=8),
+        ]
+        lines = [request_to_json(r) + "\n" for r in requests]
+        parsed = [item for _, item in read_requests(lines)]
+        assert parsed == requests
