@@ -109,3 +109,55 @@ def test_accepted_counter_covers_every_request(benchmark_metrics):
     counters = benchmark_metrics.counter("serving.requests")
     assert counters.value(status="accepted", backend="integer") == 40
     assert counters.value(status="completed", backend="integer") == 40
+
+
+BASELINE_REQUESTS = 32
+BASELINE_MODULI = 4
+
+
+def test_serving_baseline_snapshot(benchmark_metrics):
+    """Deterministic metrics snapshot behind the ``obs diff`` CI gate.
+
+    Inline execution on a seeded workload: every cycle-derived series in
+    the snapshot is machine-independent (the worker label is always
+    ``main``, the batch layout is fixed, the integer backend's cycle
+    model is pure arithmetic).  The snapshot lands in
+    ``results/metrics/serving_baseline.json``; CI diffs it against the
+    committed copy in ``benchmarks/baselines/serving.json`` — only the
+    wall-clock series vary per machine, and the gate ignores those.
+    """
+    montgomery_cache_clear()
+    rng = random.Random("serving-baseline")
+    moduli = [random_odd_modulus(96, rng) for _ in range(BASELINE_MODULI)]
+    requests = [
+        ModExpRequest(
+            rng.randrange(moduli[i % BASELINE_MODULI]),
+            rng.randrange(1, moduli[i % BASELINE_MODULI]),
+            moduli[i % BASELINE_MODULI],
+            request_id=f"b{i}",
+        )
+        for i in range(BASELINE_REQUESTS)
+    ]
+    with ModExpService(
+        backend="integer", workers=1, worker_kind="inline", max_batch=16
+    ) as service:
+        results = service.process(requests)
+    assert all(r.ok for r in results)
+    for request, result in zip(requests, results):
+        assert result.value == request.expected()
+
+    # The latency series must exist — this is the regression test for the
+    # process-boundary blind spot (metrics recorded but never surfaced).
+    cycles = benchmark_metrics.histogram("serving.request_cycles").aggregate(
+        backend="integer"
+    )
+    assert cycles is not None and cycles.count == BASELINE_REQUESTS
+    assert benchmark_metrics.counter("serving.slo_checks").total() == BASELINE_REQUESTS
+
+    metrics_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results", "metrics"
+    )
+    os.makedirs(metrics_dir, exist_ok=True)
+    benchmark_metrics.write_json(
+        os.path.join(metrics_dir, "serving_baseline.json")
+    )

@@ -48,7 +48,7 @@ def main(count: int = 60, distinct: int = 4) -> None:
     completed = registry.counter("serving.requests").value(
         status="completed", backend="integer"
     )
-    cycles = registry.histogram("serving.request_cycles").series(backend="integer")
+    cycles = registry.histogram("serving.request_cycles").aggregate(backend="integer")
     print("what the batch scheduler bought:")
     print(f"  Montgomery pre-computations : {precomputes}  (naive: {count})")
     print(f"  batches dispatched          : {batches}")

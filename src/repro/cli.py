@@ -12,11 +12,18 @@ Commands
 ``experiments`` list the experiment registry
 ``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
 ``fault``       run a fault-injection campaign on the array
+``obs``         observability utilities (``obs diff``: snapshot vs baseline)
 
 ``multiply``, ``exponentiate`` and ``observe`` accept the observability
 flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
 ``chrome://tracing``), ``--trace-detail op|state|cycle``, ``--metrics``
-(print a snapshot) and ``--metrics-out path.json``.
+(print a snapshot), ``--metrics-out path`` and ``--format json|prom``
+(snapshot format: registry JSON or Prometheus text exposition).
+
+``serve`` additionally takes ``--http-port`` (run the ``/metrics`` +
+``/healthz`` scrape endpoint next to the loop), ``--stats-interval``
+(periodic stats line on stderr) and the SLO flags ``--slo-margin`` /
+``--slo-mode`` / ``--slo-budget`` / ``--no-slo`` shared with ``batch``.
 """
 
 from __future__ import annotations
@@ -54,7 +61,14 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out",
         metavar="PATH",
         default=None,
-        help="write the metrics snapshot as JSON",
+        help="write the metrics snapshot (format per --format)",
+    )
+    grp.add_argument(
+        "--format",
+        dest="metrics_format",
+        choices=("json", "prom"),
+        default="json",
+        help="snapshot format: registry JSON or Prometheus text exposition",
     )
 
 
@@ -69,6 +83,17 @@ def _observation(args):
     return registry, tracer
 
 
+def _write_metrics(args, registry, out) -> None:
+    """Write the registry to ``--metrics-out`` in the ``--format`` shape."""
+    if args.metrics_format == "prom":
+        registry.write_prometheus(args.metrics_out)
+    else:
+        registry.write_json(args.metrics_out)
+    out.write(
+        f"[metrics written to {args.metrics_out} ({args.metrics_format})]\n"
+    )
+
+
 def _finish_observation(args, registry, tracer, out) -> None:
     """Export whatever the flags asked for, after the observed run."""
     if tracer is not None:
@@ -79,10 +104,12 @@ def _finish_observation(args, registry, tracer, out) -> None:
         )
     if registry is not None:
         if args.metrics_out:
-            registry.write_json(args.metrics_out)
-            out.write(f"[metrics written to {args.metrics_out}]\n")
+            _write_metrics(args, registry, out)
         if args.metrics:
-            out.write(registry.render_text() + "\n")
+            if args.metrics_format == "prom":
+                out.write(registry.to_prometheus())
+            else:
+                out.write(registry.render_text() + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,6 +204,30 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="default per-request timeout in seconds",
         )
+        slo = parser.add_argument_group("latency SLO (cycle budget)")
+        slo.add_argument(
+            "--slo-margin",
+            type=float,
+            default=1.0,
+            help="multiplier on the Eq. (10) cycle budget (default: 1.0)",
+        )
+        slo.add_argument(
+            "--slo-mode",
+            choices=("corrected", "paper"),
+            default="corrected",
+            help="per-multiplication cost: corrected 3l+5 or paper 3l+4",
+        )
+        slo.add_argument(
+            "--slo-budget",
+            type=int,
+            default=None,
+            help="absolute cycle budget per request (bypasses the formula)",
+        )
+        slo.add_argument(
+            "--no-slo",
+            action="store_true",
+            help="disable SLO tracking",
+        )
 
     srv = sub.add_parser(
         "serve",
@@ -185,6 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_serving_flags(srv)
     _add_observability_flags(srv)
+    tel = srv.add_argument_group("telemetry endpoint")
+    tel.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="serve /metrics (Prometheus) and /healthz on this port (0 = pick)",
+    )
+    tel.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        help="bind address for --http-port (default: 127.0.0.1)",
+    )
+    tel.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        help="print a stats line to stderr every N seconds while serving",
+    )
 
     bat = sub.add_parser(
         "batch",
@@ -201,6 +270,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "backends", help="list registered serving backends and capabilities"
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities over metrics snapshots"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    diff = obs_sub.add_parser(
+        "diff",
+        help="regression-gate a metrics snapshot against a committed baseline",
+    )
+    diff.add_argument(
+        "current",
+        nargs="?",
+        default="benchmarks/results/metrics/serving_baseline.json",
+        help="snapshot to check (default: the benchmark run's output)",
+    )
+    diff.add_argument(
+        "--baseline",
+        required=True,
+        help="committed baseline snapshot (benchmarks/baselines/*.json)",
+    )
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed relative drift per series (0.15 = ±15%%; default 0.1)",
+    )
+    diff.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help="metric-name glob to skip (repeatable; default: '*wall*')",
     )
 
     sub.add_parser("experiments", help="list the experiment registry")
@@ -346,7 +448,12 @@ def _cmd_observe(args, out) -> int:
         f"({run.num_multiplications} multiplications, {run.cycles} cycles, "
         f"engine={args.engine}, arch={args.arch})\n\n"
     )
-    out.write((registry.to_json() if args.json else registry.render_text()) + "\n")
+    if args.metrics_format == "prom":
+        out.write(registry.to_prometheus())
+    elif args.json:
+        out.write(registry.to_json() + "\n")
+    else:
+        out.write(registry.render_text() + "\n")
     if tracer is not None:
         tracer.write(args.trace)
         out.write(
@@ -354,14 +461,22 @@ def _cmd_observe(args, out) -> int:
             f"cycles written to {args.trace} — open at https://ui.perfetto.dev]\n"
         )
     if args.metrics_out:
-        registry.write_json(args.metrics_out)
-        out.write(f"[metrics written to {args.metrics_out}]\n")
+        _write_metrics(args, registry, out)
     return 0
 
 
 def _make_service(args):
-    from repro.serving import ModExpService
+    from repro.serving import ModExpService, SLOPolicy
 
+    slo = (
+        None
+        if args.no_slo
+        else SLOPolicy(
+            margin=args.slo_margin,
+            mode=args.slo_mode,
+            fixed_budget=args.slo_budget,
+        )
+    )
     return ModExpService(
         backend=args.backend,
         workers=args.workers,
@@ -369,16 +484,60 @@ def _make_service(args):
         queue_limit=args.queue_limit,
         max_batch=args.max_batch,
         default_timeout=args.timeout,
+        slo=slo,
     )
 
 
 def _cmd_serve(args, out) -> int:
-    from repro.observability import observe
+    import contextlib
+    import threading
+
+    from repro.observability import MetricsRegistry, observe
 
     registry, tracer = _observation(args)
-    with observe(metrics=registry, tracer=tracer):
-        with _make_service(args) as service:
-            stats = service.serve(sys.stdin, out)
+    if registry is None and (
+        args.http_port is not None or args.stats_interval is not None
+    ):
+        # The scrape endpoint and the stats line read the live registry.
+        registry = MetricsRegistry()
+
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(observe(metrics=registry, tracer=tracer))
+        service = stack.enter_context(_make_service(args))
+
+        if args.http_port is not None:
+            from repro.serving import TelemetryServer
+
+            server = TelemetryServer(
+                registry,
+                host=args.http_host,
+                port=args.http_port,
+                health=lambda: {
+                    "backend": service.backend.name,
+                    "workers": service.pool.workers,
+                    "queue_depth": service.pool.depth,
+                },
+            )
+            stack.callback(server.stop)
+            server.start()
+            sys.stderr.write(
+                f"[telemetry: {server.url}/metrics and {server.url}/healthz]\n"
+            )
+
+        if args.stats_interval is not None:
+            stop_stats = threading.Event()
+            stack.callback(stop_stats.set)
+
+            def _stats_loop() -> None:
+                while not stop_stats.wait(args.stats_interval):
+                    sys.stderr.write(_stats_line(registry, service) + "\n")
+
+            threading.Thread(
+                target=_stats_loop, name="repro-serve-stats", daemon=True
+            ).start()
+
+        stats = service.serve(sys.stdin, out)
+
     sys.stderr.write(
         f"[serve: {stats['served']} served, {stats['ok']} ok, "
         f"{stats['failed']} failed, {stats['rejected']} rejected, "
@@ -386,6 +545,22 @@ def _cmd_serve(args, out) -> int:
     )
     _finish_observation(args, registry, tracer, sys.stderr)
     return 0
+
+
+def _stats_line(registry, service) -> str:
+    """One periodic stderr line summarizing the live registry."""
+    requests = registry.counter("serving.requests")
+    cycles = registry.histogram("serving.request_cycles")
+    p95 = cycles.percentile(95)
+    violations = registry.counter("serving.slo_violations").total()
+    return (
+        f"[stats: completed={requests.total(status='completed')} "
+        f"failed={requests.total(status='failed')} "
+        f"rejected={requests.total(status='rejected')} "
+        f"depth={service.pool.depth} "
+        f"p95_cycles={'-' if p95 is None else round(p95)} "
+        f"slo_violations={violations}]"
+    )
 
 
 def _cmd_batch(args, out) -> int:
@@ -435,6 +610,34 @@ def _cmd_batch(args, out) -> int:
     )
     _finish_observation(args, registry, tracer, summary_out)
     return 0 if failed == 0 else 1
+
+
+def _cmd_obs_diff(args, out) -> int:
+    from repro.observability import DEFAULT_IGNORE, diff_snapshots, load_snapshot
+
+    try:
+        baseline = load_snapshot(args.baseline)
+    except OSError as exc:
+        out.write(f"obs diff: cannot read baseline: {exc}\n")
+        return 2
+    try:
+        current = load_snapshot(args.current)
+    except OSError as exc:
+        out.write(f"obs diff: cannot read current snapshot: {exc}\n")
+        return 2
+    ignore = tuple(args.ignore) if args.ignore else DEFAULT_IGNORE
+    compared, problems = diff_snapshots(
+        baseline, current, tolerance=args.tolerance, ignore=ignore
+    )
+    for problem in problems:
+        out.write(f"  DRIFT  {problem}\n")
+    verdict = "FAIL" if problems else "OK"
+    out.write(
+        f"[obs diff: {verdict} — {compared} series compared against "
+        f"{args.baseline}, {len(problems)} violation(s) at "
+        f"±{args.tolerance:.0%}]\n"
+    )
+    return 1 if problems else 0
 
 
 def _cmd_backends(out) -> int:
@@ -536,6 +739,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_batch(args, out)
     if args.command == "backends":
         return _cmd_backends(out)
+    if args.command == "obs":
+        assert args.obs_command == "diff"
+        return _cmd_obs_diff(args, out)
     if args.command == "experiments":
         return _cmd_experiments(out)
     if args.command == "census":

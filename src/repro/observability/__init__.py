@@ -9,12 +9,29 @@ Three pieces, designed to be used together but separable:
   JSON for Perfetto / ``chrome://tracing``;
 * :data:`OBS` + :func:`observe` (:mod:`repro.observability.observer`) —
   the process-wide hook point the instrumented simulators report through,
-  a no-op unless a session is installed.
+  a no-op unless a session is installed;
+* :class:`TraceContext` / :class:`WorkerTelemetry`
+  (:mod:`repro.observability.context`) — request-scoped propagation of
+  the session across process boundaries, merged back via
+  :meth:`MetricsRegistry.merge` and :meth:`SpanTracer.adopt_span`;
+* :func:`diff_snapshots` (:mod:`repro.observability.baseline`) — the
+  snapshot-vs-baseline regression gate behind ``repro obs diff``.
 
 See ``docs/OBSERVABILITY.md`` for the hook-point inventory and a guided
 tour, and ``examples/trace_exponentiation.py`` for an end-to-end run.
 """
 
+from repro.observability.baseline import (
+    DEFAULT_IGNORE,
+    diff_snapshots,
+    load_snapshot,
+)
+from repro.observability.context import (
+    TraceContext,
+    WorkerTelemetry,
+    capture,
+    worker_label,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -24,6 +41,7 @@ from repro.observability.metrics import (
 from repro.observability.observer import OBS, Observer, observe
 from repro.observability.trace import (
     CycleClock,
+    REQUEST_SPAN,
     SpanTracer,
     TRACE_DETAILS,
     validate_chrome_trace,
@@ -40,5 +58,13 @@ __all__ = [
     "CycleClock",
     "SpanTracer",
     "TRACE_DETAILS",
+    "REQUEST_SPAN",
     "validate_chrome_trace",
+    "TraceContext",
+    "WorkerTelemetry",
+    "capture",
+    "worker_label",
+    "DEFAULT_IGNORE",
+    "diff_snapshots",
+    "load_snapshot",
 ]

@@ -1,0 +1,121 @@
+"""Metrics-snapshot regression gate: compare a run against a baseline.
+
+The paper's claims are cycle counts, and the registry snapshots produced
+by the benchmarks are deterministic in every cycle-derived series — so a
+committed snapshot (``benchmarks/baselines/*.json``) doubles as a
+regression oracle.  :func:`diff_snapshots` walks every series of the
+baseline and checks the current snapshot holds a matching series within
+a relative tolerance band; ``repro obs diff`` wraps it as a CI gate that
+exits non-zero on drift.
+
+Comparison rules:
+
+* **counters / gauges** — relative drift of the value;
+* **histograms** — relative drift of ``count``, ``sum`` and (when the
+  baseline recorded them) the ``p50`` / ``p95`` / ``p99`` estimates, so
+  both the volume and the *shape* of a latency distribution are gated;
+* a baseline series missing from the current snapshot is always a
+  failure; series only in the current snapshot are ignored (new
+  instrumentation must not fail old baselines);
+* metric names matching an ``ignore`` glob are skipped — wall-clock
+  series (``*wall*``) by default, since only simulated-cycle series are
+  machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from fnmatch import fnmatch
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_IGNORE", "diff_snapshots", "load_snapshot"]
+
+#: Wall-clock distributions vary per machine; the gate skips them unless
+#: the caller overrides the ignore list.
+DEFAULT_IGNORE: Tuple[str, ...] = ("*wall*",)
+
+_HISTOGRAM_FIELDS = ("count", "sum", "p50", "p95", "p99")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read a ``MetricsRegistry.write_json`` snapshot from disk."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _labels_repr(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _series_key(row: Dict[str, Any]) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    return (row["name"], tuple(sorted(row.get("labels", {}).items())))
+
+
+def _ignored(name: str, ignore: Sequence[str]) -> bool:
+    return any(fnmatch(name, pattern) for pattern in ignore)
+
+
+def _relative_drift(baseline: float, current: float) -> float:
+    """Signed relative drift of ``current`` from ``baseline``."""
+    if baseline == current:
+        return 0.0
+    denom = max(abs(baseline), 1e-12)
+    return (current - baseline) / denom
+
+
+def diff_snapshots(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    tolerance: float = 0.1,
+    ignore: Sequence[str] = DEFAULT_IGNORE,
+) -> Tuple[int, List[str]]:
+    """Check ``current`` against ``baseline`` within a tolerance band.
+
+    Returns ``(compared, problems)``: how many baseline series were
+    checked, and one human-readable line per violation (empty = pass).
+    ``tolerance`` is the allowed relative drift (0.15 = ±15%).
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    compared = 0
+    problems: List[str] = []
+
+    for kind in ("counters", "gauges", "histograms"):
+        current_rows = {
+            _series_key(row): row for row in current.get(kind, ())
+        }
+        for row in baseline.get(kind, ()):
+            name = row["name"]
+            if _ignored(name, ignore):
+                continue
+            key = _series_key(row)
+            where = f"{kind[:-1]} {name}{_labels_repr(row.get('labels', {}))}"
+            compared += 1
+            other = current_rows.get(key)
+            if other is None:
+                problems.append(f"{where}: present in baseline, missing in current")
+                continue
+            if kind == "histograms":
+                fields: Iterable[Tuple[str, Any]] = (
+                    (f, row.get(f)) for f in _HISTOGRAM_FIELDS
+                )
+            else:
+                fields = (("value", row["value"]),)
+            for field, base_value in fields:
+                if base_value is None:
+                    continue
+                cur_value = other.get(field)
+                if cur_value is None:
+                    problems.append(f"{where}: {field} missing in current")
+                    continue
+                drift = _relative_drift(base_value, cur_value)
+                if abs(drift) > tolerance:
+                    problems.append(
+                        f"{where}: {field} drifted {drift:+.1%} beyond "
+                        f"±{tolerance:.0%} (baseline {base_value:g}, "
+                        f"current {cur_value:g})"
+                    )
+    return compared, problems

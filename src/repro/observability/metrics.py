@@ -25,7 +25,8 @@ hot path.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -39,6 +40,29 @@ DEFAULT_BUCKETS: Tuple[int, ...] = tuple(2 ** k for k in range(0, 21))
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     """Canonical, hashable form of a label set (values stringified)."""
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    """Metric name in the Prometheus charset (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return "_" + cleaned if cleaned[:1].isdigit() else cleaned
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for k, v in sorted(labels.items()):
+        escaped = str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{re.sub(r"[^a-zA-Z0-9_]", "_", k)}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_num(value: Any) -> str:
+    """Render a sample value: integral floats drop the trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
 
 
 class _Metric:
@@ -71,9 +95,17 @@ class Counter(_Metric):
     def value(self, **labels: Any) -> int:
         return self._series.get(_label_key(labels), 0)
 
-    def total(self) -> int:
-        """Sum over every label set (the un-labelled grand total)."""
-        return sum(self._series.values())
+    def total(self, **labels: Any) -> int:
+        """Sum over every label set matching the given subset.
+
+        With no arguments this is the un-labelled grand total; with
+        labels it sums every series whose label set contains them
+        (``total(backend="integer")`` sums across workers).
+        """
+        if not labels:
+            return sum(self._series.values())
+        want = set(_label_key(labels))
+        return sum(v for k, v in self._series.items() if want <= set(k))
 
     def snapshot(self) -> List[Dict[str, Any]]:
         return [
@@ -151,6 +183,111 @@ class Histogram(_Metric):
     def series(self, **labels: Any) -> Optional[_HistogramSeries]:
         return self._series.get(_label_key(labels))
 
+    def aggregate(self, **labels: Any) -> Optional[_HistogramSeries]:
+        """Merged view of every series whose labels contain the given subset.
+
+        ``aggregate(backend="integer")`` folds the per-worker series of one
+        backend into a single distribution; ``aggregate()`` folds everything.
+        Returns ``None`` when nothing matches.
+        """
+        want = set(_label_key(labels))
+        merged: Optional[_HistogramSeries] = None
+        for key, s in self._series.items():
+            if not want <= set(key):
+                continue
+            if merged is None:
+                merged = _HistogramSeries(len(self.buckets))
+            merged.count += s.count
+            merged.sum += s.sum
+            if s.min is not None and (merged.min is None or s.min < merged.min):
+                merged.min = s.min
+            if s.max is not None and (merged.max is None or s.max > merged.max):
+                merged.max = s.max
+            for i, c in enumerate(s.bucket_counts):
+                merged.bucket_counts[i] += c
+        return merged
+
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
+        """Estimate the ``q``-th percentile (0–100) over matching series.
+
+        Classic bucketed estimation: find the bucket holding the rank-``q``
+        sample, interpolate linearly between its bounds, and clamp into the
+        observed ``[min, max]`` window (which makes single-valued series
+        exact).  A rank landing in the ``+Inf`` overflow bucket returns the
+        observed maximum.  Returns ``None`` for an empty/missing series.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        return self._series_percentile(self.aggregate(**labels), q)
+
+    def _series_percentile(
+        self, s: Optional[_HistogramSeries], q: float
+    ) -> Optional[float]:
+        if s is None or s.count == 0:
+            return None
+        if q == 0:
+            return s.min
+        rank = s.count * q / 100.0
+        cum = 0.0
+        lower = 0.0
+        for bound, c in zip(self.buckets, s.bucket_counts):
+            if c:
+                if cum + c >= rank:
+                    frac = (rank - cum) / c
+                    value = lower + frac * (bound - lower)
+                    if s.min is not None:
+                        value = max(value, s.min)
+                    if s.max is not None:
+                        value = min(value, s.max)
+                    return value
+                cum += c
+            lower = bound
+        return s.max  # the rank falls in the +Inf overflow bucket
+
+    def _percentiles(self, s: _HistogramSeries) -> Dict[str, Optional[float]]:
+        """The snapshot's p50/p95/p99 summary for one series."""
+        return {
+            "p50": self._series_percentile(s, 50),
+            "p95": self._series_percentile(s, 95),
+            "p99": self._series_percentile(s, 99),
+        }
+
+    def merge_snapshot_row(self, row: Dict[str, Any], **labels: Any) -> None:
+        """Fold one exported snapshot row into the series for ``labels``.
+
+        The inverse of :meth:`snapshot`: bucket counts land on the first
+        local bound >= the exported bound (exact when both sides use the
+        same bucket layout, which every registry in this codebase does).
+        """
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.count += row["count"]
+        series.sum += row["sum"]
+        for edge in ("min", "max"):
+            value = row.get(edge)
+            if value is None:
+                continue
+            current = getattr(series, edge)
+            if (
+                current is None
+                or (edge == "min" and value < current)
+                or (edge == "max" and value > current)
+            ):
+                setattr(series, edge, value)
+        for bound_str, count in row.get("buckets", {}).items():
+            if bound_str == "+Inf":
+                series.bucket_counts[-1] += count
+                continue
+            bound = float(bound_str)
+            for i, local in enumerate(self.buckets):
+                if bound <= local:
+                    series.bucket_counts[i] += count
+                    break
+            else:
+                series.bucket_counts[-1] += count
+
     def snapshot(self) -> List[Dict[str, Any]]:
         rows = []
         for key, s in self._labelled_rows():
@@ -168,6 +305,7 @@ class Histogram(_Metric):
                     "sum": s.sum,
                     "min": s.min,
                     "max": s.max,
+                    **self._percentiles(s),
                     "buckets": buckets,
                 }
             )
@@ -226,6 +364,38 @@ class MetricsRegistry:
         self._metrics.clear()
 
     # ------------------------------------------------------------------
+    # Merge (cross-process telemetry)
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        source: Union["MetricsRegistry", Dict[str, Any]],
+        **extra_labels: Any,
+    ) -> None:
+        """Fold another registry (or an exported snapshot dict) into this one.
+
+        The workhorse of cross-process telemetry: a worker process runs
+        under its own registry, ships ``registry.snapshot()`` back with the
+        result, and the parent merges it here with identifying labels
+        (``parent.merge(snapshot, worker="pid1234")``).  Counters add,
+        gauges last-write-win, histograms merge bucket-by-bucket; every
+        merged row gains ``extra_labels`` on top of its own.
+        """
+        snap = source.snapshot() if isinstance(source, MetricsRegistry) else source
+        for row in snap.get("counters", ()):
+            labels = {**row["labels"], **extra_labels}
+            self.counter(row["name"], row.get("help", "")).inc(
+                row["value"], **labels
+            )
+        for row in snap.get("gauges", ()):
+            labels = {**row["labels"], **extra_labels}
+            self.gauge(row["name"], row.get("help", "")).set(row["value"], **labels)
+        for row in snap.get("histograms", ()):
+            labels = {**row["labels"], **extra_labels}
+            self.histogram(row["name"], row.get("help", "")).merge_snapshot_row(
+                row, **labels
+            )
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -243,6 +413,45 @@ class MetricsRegistry:
     def write_json(self, path: str) -> None:
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Metric names are sanitised to the Prometheus charset (dots become
+        underscores), counters gain the conventional ``_total`` suffix, and
+        histograms expand to cumulative ``_bucket{le=...}`` series plus
+        ``_sum`` / ``_count`` — directly scrapeable from the ``/metrics``
+        endpoint ``repro serve --http-port`` exposes.
+        """
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            pname = _prom_name(name)
+            if m.kind == "counter":
+                pname += "_total"
+            if m.help:
+                lines.append(f"# HELP {pname} {m.help}")
+            lines.append(f"# TYPE {pname} {m.kind}")
+            if m.kind in ("counter", "gauge"):
+                for key, value in m._labelled_rows():
+                    lines.append(f"{pname}{_prom_labels(dict(key))} {_prom_num(value)}")
+            else:
+                for key, s in m._labelled_rows():
+                    labels = dict(key)
+                    cum = 0
+                    for bound, c in zip(m.buckets, s.bucket_counts):
+                        cum += c
+                        le = {**labels, "le": _prom_num(bound)}
+                        lines.append(f"{pname}_bucket{_prom_labels(le)} {cum}")
+                    le = {**labels, "le": "+Inf"}
+                    lines.append(f"{pname}_bucket{_prom_labels(le)} {s.count}")
+                    lines.append(f"{pname}_sum{_prom_labels(labels)} {_prom_num(s.sum)}")
+                    lines.append(f"{pname}_count{_prom_labels(labels)} {s.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_prometheus())
 
     def render_text(self) -> str:
         """Human-readable snapshot for ``repro observe`` / ``--metrics``."""
@@ -271,9 +480,15 @@ class MetricsRegistry:
             lines.append("histograms:")
             for row in snap["histograms"]:
                 mean = row["sum"] / row["count"] if row["count"] else 0.0
+                quantiles = " ".join(
+                    f"{q}={row[q]:g}"
+                    for q in ("p50", "p95", "p99")
+                    if row.get(q) is not None
+                )
                 lines.append(
                     f"  {row['name']}{fmt_labels(row['labels'])}: "
                     f"count={row['count']} sum={row['sum']} "
                     f"min={row['min']} mean={mean:g} max={row['max']}"
+                    + (f" {quantiles}" if quantiles else "")
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -19,6 +19,10 @@ single-shot engines into a multi-worker modular-exponentiation service.
   ``QueueFull`` backpressure.
 * :mod:`repro.serving.service` — the :class:`ModExpService` facade the
   CLI commands ``repro serve`` / ``repro batch`` drive.
+* :mod:`repro.serving.slo` — :class:`SLOPolicy`, the cycle-budget SLO
+  derived from the paper's ``3l+4`` / Eq. (10) formulas.
+* :mod:`repro.serving.http` — :class:`TelemetryServer`, the ``/metrics``
+  (Prometheus) + ``/healthz`` scrape endpoint ``repro serve`` can run.
 * :mod:`repro.serving.wire` — the JSON-lines request/result format.
 """
 
@@ -29,10 +33,12 @@ from repro.serving.backends import (
     ModExpBackend,
     default_registry,
 )
+from repro.serving.http import TelemetryServer
 from repro.serving.pool import WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
 from repro.serving.scheduler import Batch, BatchScheduler, coalesce
 from repro.serving.service import ModExpService
+from repro.serving.slo import SLOPolicy
 from repro.serving.wire import (
     parse_request_line,
     read_requests,
@@ -53,6 +59,8 @@ __all__ = [
     "BatchScheduler",
     "coalesce",
     "ModExpService",
+    "SLOPolicy",
+    "TelemetryServer",
     "parse_request_line",
     "read_requests",
     "request_to_json",

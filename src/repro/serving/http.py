@@ -1,0 +1,141 @@
+"""Scrape endpoint: ``/metrics`` (Prometheus) and ``/healthz`` (JSON).
+
+:class:`TelemetryServer` is a tiny stdlib-only HTTP sidecar the serving
+loop can run next to itself (``repro serve --http-port``): a daemon
+thread with a :class:`~http.server.ThreadingHTTPServer` exposing
+
+* ``GET /metrics`` — the live registry rendered in Prometheus text
+  exposition format (:meth:`MetricsRegistry.to_prometheus`);
+* ``GET /healthz`` — ``{"status": "ok", ...}`` JSON, extended with
+  whatever the owner's ``health`` callback reports (queue depth, served
+  counters, ...).
+
+Binding to port ``0`` picks a free port (exposed via :attr:`port` after
+:meth:`start`), which is what the tests use.  Request logging is
+silenced — a scrape every few seconds must not spam the serving loop's
+stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ThreadingHTTPServer"
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        owner: "TelemetryServer" = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(
+                200,
+                owner.registry.to_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path == "/healthz":
+            self._send(
+                200,
+                json.dumps(owner.health_payload()) + "\n",
+                "application/json",
+            )
+        else:
+            self._send(404, "not found: try /metrics or /healthz\n", "text/plain")
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes must not spam the serving loop's stderr
+
+
+class TelemetryServer:
+    """Background HTTP endpoint over a live :class:`MetricsRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The registry ``/metrics`` renders (scraped live, not a snapshot).
+    host / port:
+        Bind address; ``port=0`` lets the OS pick (read :attr:`port`
+        after :meth:`start`).
+    health:
+        Optional zero-arg callable returning extra ``/healthz`` fields.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        self.registry = registry
+        self._host = host
+        self._requested_port = port
+        self._health = health
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful once :meth:`start` has run)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def health_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"status": "ok"}
+        if self._health is not None:
+            payload.update(self._health())
+        return payload
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-telemetry-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ParameterError
+from repro.observability.context import TraceContext
 from repro.utils.validation import ensure_odd
 
 __all__ = ["ModExpRequest", "ModExpResult"]
@@ -53,6 +54,11 @@ class ModExpRequest:
     timeout:
         Optional per-request wall-clock limit in seconds, enforced by the
         service when collecting the request's future.
+    trace:
+        Optional :class:`~repro.observability.context.TraceContext`
+        attached by the service before dispatch; it travels with the
+        request into the worker so telemetry recorded there can be
+        shipped back and merged under the request's span.
     """
 
     base: int
@@ -63,6 +69,7 @@ class ModExpRequest:
     factors: Optional[Tuple[int, int]] = None
     deadline: Optional[float] = None
     timeout: Optional[float] = None
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         ensure_odd("modulus", self.modulus)

@@ -19,12 +19,23 @@ scripts and the benchmarks.  Lifecycle of one request:
 
 Instrumentation goes through the PR-1 observability layer: wrap calls in
 :func:`repro.observability.observe` and the registry fills with
-``serving.requests{status=,backend=}`` counters, per-backend
+``serving.requests{status=,backend=}`` counters, per-backend/per-worker
 ``serving.request_cycles`` / ``serving.request_wall_us`` histograms,
 ``serving.batch_size`` histograms and the ``serving.queue_depth`` gauge.
-Process workers run with observation disabled (they are separate
-interpreters); their latency and cycle numbers travel back in the result
-payload and are recorded parent-side, so snapshots stay complete.
+
+Telemetry survives the process boundary: each dispatched request carries
+a :class:`~repro.observability.context.TraceContext`, process workers
+open a fresh local observation session (:func:`capture`) and ship its
+snapshot back with the result, and the parent merges it into its own
+registry (``worker=`` labels) and re-parents the worker's spans under a
+``serving.request`` span per request.  Thread and inline workers share
+the parent's ``OBS`` singleton, so their hook sites already feed the
+registry in-process and only the worker label is added.
+
+Completed requests that report cycles are additionally checked against
+the :class:`~repro.serving.slo.SLOPolicy` cycle budget (the paper's
+Eq. (10) envelope), filling ``serving.slo_checks`` /
+``serving.slo_violations``.
 """
 
 from __future__ import annotations
@@ -33,11 +44,19 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import replace
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.errors import ParameterError, QueueFull, WireFormatError
 from repro.montgomery.params import MontgomeryContext
-from repro.observability import OBS
+from repro.observability import (
+    OBS,
+    REQUEST_SPAN,
+    TraceContext,
+    WorkerTelemetry,
+    capture,
+    worker_label,
+)
 from repro.serving.backends import (
     BackendRegistry,
     ModExpBackend,
@@ -46,6 +65,7 @@ from repro.serving.backends import (
 from repro.serving.pool import WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
 from repro.serving.scheduler import Batch, coalesce
+from repro.serving.slo import SLOPolicy
 from repro.serving.wire import parse_request_line, result_to_json
 
 __all__ = ["ModExpService"]
@@ -64,22 +84,36 @@ def _worker_registry() -> BackendRegistry:
 
 def _run_request(
     backend_spec: Any, ctx: MontgomeryContext, request: ModExpRequest
-) -> Tuple[int, Optional[int], float]:
+) -> Tuple[int, Optional[int], float, str, Optional[WorkerTelemetry]]:
     """Pool task: execute one request, measuring wall time in the worker.
 
     ``backend_spec`` is the backend object for thread/inline pools and
     the backend *name* for process pools (objects with simulator state
     should not be pickled; names re-resolve in the worker interpreter).
+
+    Returns ``(value, cycles, wall_us, worker, telemetry)``.  When the
+    request's :class:`TraceContext` asks for capture (process workers —
+    their ``OBS`` singleton is a separate interpreter's), the execution
+    runs under a fresh local observation session and its snapshot comes
+    back as the :class:`WorkerTelemetry`; otherwise telemetry is ``None``
+    and the hook sites fed the parent's registry directly.
     """
     backend = (
         _worker_registry().get(backend_spec)
         if isinstance(backend_spec, str)
         else backend_spec
     )
+    trace = request.trace
+    if trace is not None and trace.wants_capture:
+        with capture(trace) as telemetry:
+            t0 = time.perf_counter()
+            result = backend.execute(ctx, request)
+            wall_us = (time.perf_counter() - t0) * 1e6
+        return result.value, result.cycles, wall_us, telemetry.worker, telemetry
     t0 = time.perf_counter()
     result = backend.execute(ctx, request)
     wall_us = (time.perf_counter() - t0) * 1e6
-    return result.value, result.cycles, wall_us
+    return result.value, result.cycles, wall_us, worker_label(), None
 
 
 class _Entry:
@@ -118,6 +152,10 @@ class ModExpService:
     default_timeout:
         Per-request timeout in seconds applied when a request carries
         none (``None`` = wait forever).
+    slo:
+        Cycle-budget policy applied to every completed request that
+        reports cycles (default: the Eq. (10) envelope via
+        :class:`SLOPolicy`); ``None`` disables SLO tracking.
     """
 
     def __init__(
@@ -130,6 +168,7 @@ class ModExpService:
         queue_limit: Optional[int] = None,
         max_batch: int = 32,
         default_timeout: Optional[float] = None,
+        slo: Optional[SLOPolicy] = SLOPolicy(),
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.backend: ModExpBackend = (
@@ -159,7 +198,60 @@ class ModExpService:
         self.pool = WorkerPool(
             workers=workers, kind=worker_kind, queue_limit=queue_limit
         )
+        self.slo = slo
         self._batch_counter = 0
+        self._trace_seq = 0
+
+    # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _trace_context(self, request: ModExpRequest) -> TraceContext:
+        """Build the telemetry envelope one request travels with.
+
+        Capture flags only go up for process pools: a worker there is a
+        separate interpreter whose ``OBS`` hook sites would otherwise
+        record into a registry that dies with the task.  Thread/inline
+        workers share this process's session, so re-capturing would
+        double-count.
+        """
+        self._trace_seq += 1
+        request_id = request.request_id or f"req{self._trace_seq}"
+        want = self.pool.kind == "process" and OBS.enabled
+        tracer = OBS.tracer
+        return TraceContext(
+            request_id=request_id,
+            deadline=request.deadline,
+            collect_metrics=want and OBS.metrics is not None,
+            collect_spans=want and tracer is not None,
+            detail=tracer.detail if tracer is not None else "op",
+        )
+
+    def _merge_telemetry(self, entry: _Entry, telemetry: WorkerTelemetry) -> None:
+        """Fold one worker session into the parent registry/timeline."""
+        trace = entry.request.trace
+        request_id = trace.request_id if trace is not None else entry.request.request_id
+        parent_span = trace.parent_span if trace is not None else REQUEST_SPAN
+        if telemetry.metrics is not None and OBS.metrics is not None:
+            OBS.metrics.merge(telemetry.metrics, worker=telemetry.worker)
+        if telemetry.events and OBS.tracer is not None:
+            OBS.tracer.adopt_span(
+                parent_span,
+                telemetry.events,
+                telemetry.cycles,
+                worker=telemetry.worker,
+                request_id=request_id,
+                backend=self.backend.name,
+            )
+
+    def _check_slo(self, request: ModExpRequest, cycles: int, worker: str) -> None:
+        if self.slo is None:
+            return
+        budget = self.slo.cycle_budget(request)
+        OBS.count("serving.slo_checks", backend=self.backend.name)
+        if cycles > budget:
+            OBS.count(
+                "serving.slo_violations", backend=self.backend.name, worker=worker
+            )
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -221,7 +313,9 @@ class ModExpService:
             remaining = max(0.0, entry.submitted_at + timeout - time.monotonic())
         name = self.backend.name
         try:
-            value, cycles, wall_us = future.result(timeout=remaining)
+            value, cycles, wall_us, worker, telemetry = future.result(
+                timeout=remaining
+            )
         except FuturesTimeout:
             future.cancel()
             if OBS.enabled:
@@ -240,9 +334,16 @@ class ModExpService:
             )
         if OBS.enabled:
             OBS.count("serving.requests", status="completed", backend=name)
+            if telemetry is not None:
+                self._merge_telemetry(entry, telemetry)
             if cycles is not None:
-                OBS.record("serving.request_cycles", cycles, backend=name)
-            OBS.record("serving.request_wall_us", wall_us, backend=name)
+                OBS.record(
+                    "serving.request_cycles", cycles, backend=name, worker=worker
+                )
+                self._check_slo(request, cycles, worker)
+            OBS.record(
+                "serving.request_wall_us", wall_us, backend=name, worker=worker
+            )
         return ModExpResult.success(
             request,
             value,
@@ -288,6 +389,8 @@ class ModExpService:
                     backend=self.backend.name,
                 )
                 continue
+            if OBS.enabled and request.trace is None:
+                request = replace(request, trace=self._trace_context(request))
             servable.append(request)
             entries_by_id.setdefault(id(request), deque()).append(
                 _Entry(request, index)

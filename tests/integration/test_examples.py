@@ -96,3 +96,11 @@ class TestExamples:
     def test_ecc_point_multiplication(self):
         out = _run("ecc_point_multiplication.py", timeout=300)
         assert "shared secret x-coordinate agrees" in out
+
+    def test_slo_dashboard(self):
+        out = _run("slo_dashboard.py", timeout=300)
+        assert "Latency SLOs in simulated cycles" in out
+        # The analytic budget holds for every backend...
+        assert "0 violations — cycle-accurate backends satisfy" in out
+        # ...and the tightened margin actually fires.
+        assert "margin=0.6" in out and "0 violations — the budget" not in out

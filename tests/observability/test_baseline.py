@@ -1,0 +1,96 @@
+"""Unit tests for the snapshot-vs-baseline regression gate."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.baseline import (
+    DEFAULT_IGNORE,
+    diff_snapshots,
+    load_snapshot,
+)
+
+
+def _snapshot(cycles=28, count=4, wall=100.0):
+    reg = MetricsRegistry()
+    reg.counter("serving.requests").inc(count, backend="integer")
+    for _ in range(count):
+        reg.histogram("serving.request_cycles").observe(cycles, backend="integer")
+        reg.histogram("serving.request_wall_us").observe(wall, backend="integer")
+    reg.gauge("array.cells").set(10)
+    return reg.snapshot()
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_pass_at_zero_tolerance(self):
+        snap = _snapshot()
+        compared, problems = diff_snapshots(snap, snap, tolerance=0.0)
+        assert problems == []
+        assert compared > 0
+
+    def test_counter_drift_beyond_tolerance_fails(self):
+        compared, problems = diff_snapshots(
+            _snapshot(count=4), _snapshot(count=8), tolerance=0.5
+        )
+        assert any("serving.requests" in p and "drifted" in p for p in problems)
+
+    def test_drift_within_tolerance_passes(self):
+        _, problems = diff_snapshots(
+            _snapshot(count=100), _snapshot(count=105), tolerance=0.1
+        )
+        assert problems == []
+
+    def test_histogram_shape_drift_is_caught(self):
+        # Same count, different cycle values: sum and percentiles move.
+        _, problems = diff_snapshots(
+            _snapshot(cycles=28), _snapshot(cycles=56), tolerance=0.1
+        )
+        assert any("serving.request_cycles" in p for p in problems)
+        fields = {p.split(": ")[1].split(" ")[0] for p in problems}
+        assert "sum" in fields and "p50" in fields
+
+    def test_missing_baseline_series_fails(self):
+        baseline = _snapshot()
+        current = _snapshot()
+        current["counters"] = []
+        _, problems = diff_snapshots(baseline, current)
+        assert any("missing in current" in p for p in problems)
+
+    def test_extra_current_series_are_ignored(self):
+        baseline = _snapshot()
+        current = _snapshot()
+        reg = MetricsRegistry()
+        reg.counter("brand.new").inc(99)
+        current["counters"].extend(reg.snapshot()["counters"])
+        _, problems = diff_snapshots(baseline, current, tolerance=0.0)
+        assert problems == []
+
+    def test_wall_clock_series_ignored_by_default(self):
+        _, problems = diff_snapshots(
+            _snapshot(wall=100.0), _snapshot(wall=9999.0), tolerance=0.0
+        )
+        assert problems == []
+        assert "*wall*" in DEFAULT_IGNORE
+
+    def test_custom_ignore_globs(self):
+        _, problems = diff_snapshots(
+            _snapshot(count=1),
+            _snapshot(count=50),
+            tolerance=0.0,
+            ignore=("serving.*", "*wall*"),
+        )
+        assert not any("serving" in p for p in problems)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            diff_snapshots(_snapshot(), _snapshot(), tolerance=-0.1)
+
+
+class TestLoadSnapshot:
+    def test_roundtrip_through_disk(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        path = tmp_path / "snap.json"
+        reg.write_json(str(path))
+        snap = load_snapshot(str(path))
+        _, problems = diff_snapshots(snap, reg.snapshot(), tolerance=0.0)
+        assert problems == []

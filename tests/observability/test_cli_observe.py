@@ -129,3 +129,83 @@ class TestExponentiateTraceEndToEnd:
         # at 3l+5 = 29 cycles each (corrected array).
         assert cycles == 10 * 29
         self._check_trace_against_cycles(json.loads(open(path).read()), cycles)
+
+
+class TestMetricsFormatFlag:
+    def test_observe_prom_format_prints_exposition_text(self):
+        code, out = _cli("observe", "--l", "8", "--format", "prom")
+        assert code == 0
+        assert "# TYPE controller_state_cycles_total counter" in out
+        assert 'controller_state_cycles_total{state="MUL1"}' in out
+
+    def test_observe_metrics_out_prom(self, tmp_path):
+        path = str(tmp_path / "m.prom")
+        code, out = _cli(
+            "observe", "--l", "8", "--format", "prom", "--metrics-out", path
+        )
+        assert code == 0
+        text = open(path).read()
+        assert "exponentiator_operations_total" in text
+        assert "(prom)" in out
+
+    def test_exponentiate_metrics_out_respects_format(self, tmp_path):
+        prom = str(tmp_path / "m.prom")
+        code, _ = _cli(
+            "exponentiate", "5", "11", "197",
+            "--metrics-out", prom, "--format", "prom",
+        )
+        assert code == 0
+        assert "# TYPE" in open(prom).read()
+        jsn = str(tmp_path / "m.json")
+        code, _ = _cli("exponentiate", "5", "11", "197", "--metrics-out", jsn)
+        assert code == 0
+        assert json.load(open(jsn))["counters"]
+
+
+class TestObsDiffCommand:
+    def _write_snapshot(self, tmp_path, name, count):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("serving.requests").inc(count, backend="integer")
+        path = str(tmp_path / name)
+        reg.write_json(path)
+        return path
+
+    def test_identical_snapshots_exit_zero(self, tmp_path):
+        base = self._write_snapshot(tmp_path, "base.json", 10)
+        code, out = _cli("obs", "diff", base, "--baseline", base)
+        assert code == 0
+        assert "OK" in out
+
+    def test_drift_beyond_tolerance_exits_nonzero(self, tmp_path):
+        base = self._write_snapshot(tmp_path, "base.json", 10)
+        cur = self._write_snapshot(tmp_path, "cur.json", 30)
+        code, out = _cli(
+            "obs", "diff", cur, "--baseline", base, "--tolerance", "0.15"
+        )
+        assert code == 1
+        assert "DRIFT" in out and "FAIL" in out
+
+    def test_ignore_glob_suppresses_drift(self, tmp_path):
+        base = self._write_snapshot(tmp_path, "base.json", 10)
+        cur = self._write_snapshot(tmp_path, "cur.json", 30)
+        code, out = _cli(
+            "obs", "diff", cur, "--baseline", base, "--ignore", "serving.*"
+        )
+        assert code == 0
+
+    def test_missing_baseline_file_exits_two(self, tmp_path):
+        cur = self._write_snapshot(tmp_path, "cur.json", 10)
+        code, out = _cli(
+            "obs", "diff", cur, "--baseline", str(tmp_path / "nope.json")
+        )
+        assert code == 2
+        assert "cannot read baseline" in out
+
+    def test_committed_baseline_matches_itself(self):
+        baseline = os.path.join(REPO_ROOT, "benchmarks", "baselines", "serving.json")
+        code, out = _cli(
+            "obs", "diff", baseline, "--baseline", baseline, "--tolerance", "0"
+        )
+        assert code == 0, out

@@ -126,3 +126,161 @@ class TestMetricsRegistry:
         reg.counter("c").inc()
         reg.reset()
         assert len(reg) == 0
+
+
+class TestPercentiles:
+    def _uniform_1_to_100(self):
+        h = Histogram("lat", buckets=tuple(range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(v)
+        return h
+
+    def test_known_uniform_distribution_is_exact(self):
+        h = self._uniform_1_to_100()
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+
+    def test_p0_is_min_p100_is_max(self):
+        h = self._uniform_1_to_100()
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100.0
+
+    def test_single_value_series_is_exact_via_clamping(self):
+        h = Histogram("lat")
+        for _ in range(7):
+            h.observe(28)
+        assert h.percentile(50) == 28
+        assert h.percentile(99) == 28
+
+    def test_overflow_bucket_returns_observed_max(self):
+        h = Histogram("lat", buckets=(10,))
+        h.observe(5)
+        h.observe(12345)
+        assert h.percentile(99) == 12345
+
+    def test_empty_or_missing_series_is_none(self):
+        h = Histogram("lat")
+        assert h.percentile(95) is None
+        h.observe(1, backend="a")
+        assert h.percentile(95, backend="b") is None
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_label_subset_aggregates_across_workers(self):
+        h = Histogram("lat", buckets=tuple(range(10, 101, 10)))
+        for v in range(1, 51):
+            h.observe(v, backend="integer", worker="pid1")
+        for v in range(51, 101):
+            h.observe(v, backend="integer", worker="pid2")
+        # Neither exact series holds the full distribution...
+        assert h.series(backend="integer") is None
+        # ...but the subset aggregate does.
+        agg = h.aggregate(backend="integer")
+        assert agg.count == 100 and agg.min == 1 and agg.max == 100
+        assert h.percentile(50, backend="integer") == 50.0
+
+    def test_snapshot_rows_carry_percentiles(self):
+        h = self._uniform_1_to_100()
+        row = h.snapshot()[0]
+        assert row["p50"] == 50.0 and row["p95"] == 95.0 and row["p99"] == 99.0
+
+
+class TestCounterTotalSubset:
+    def test_subset_total_sums_matching_series(self):
+        c = Counter("reqs")
+        c.inc(3, backend="a", worker="w1")
+        c.inc(4, backend="a", worker="w2")
+        c.inc(9, backend="b", worker="w1")
+        assert c.total(backend="a") == 7
+        assert c.total(worker="w1") == 12
+        assert c.total() == 16
+        assert c.total(backend="c") == 0
+
+
+class TestMerge:
+    def _worker_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(5, kind="square")
+        reg.gauge("depth").set(3)
+        for v in (10, 20, 30):
+            reg.histogram("lat").observe(v)
+        return reg
+
+    def test_merge_adds_extra_labels_everywhere(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_registry(), worker="pid7")
+        assert parent.counter("ops").value(kind="square", worker="pid7") == 5
+        assert parent.gauge("depth").value(worker="pid7") == 3
+        s = parent.histogram("lat").series(worker="pid7")
+        assert s.count == 3 and s.sum == 60 and s.min == 10 and s.max == 30
+
+    def test_merge_accepts_snapshot_dict(self):
+        snap = self._worker_registry().snapshot()
+        parent = MetricsRegistry()
+        parent.merge(snap, worker="pid8")
+        assert parent.counter("ops").total() == 5
+
+    def test_merging_two_workers_keeps_series_separate(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_registry(), worker="pid1")
+        parent.merge(self._worker_registry(), worker="pid2")
+        assert parent.counter("ops").total(kind="square") == 10
+        assert parent.histogram("lat").aggregate().count == 6
+        assert parent.histogram("lat").series(worker="pid1").count == 3
+
+    def test_repeated_merge_into_same_labels_accumulates(self):
+        parent = MetricsRegistry()
+        parent.merge(self._worker_registry(), worker="pid1")
+        parent.merge(self._worker_registry(), worker="pid1")
+        s = parent.histogram("lat").series(worker="pid1")
+        assert s.count == 6 and s.sum == 120
+
+
+class TestPrometheusExport:
+    def test_counter_gets_total_suffix_and_sanitised_name(self):
+        reg = MetricsRegistry()
+        reg.counter("serving.requests", "requests seen").inc(
+            2, backend="integer"
+        )
+        text = reg.to_prometheus()
+        assert "# HELP serving_requests_total requests seen" in text
+        assert "# TYPE serving_requests_total counter" in text
+        assert 'serving_requests_total{backend="integer"} 2' in text
+
+    def test_gauge_renders_plain(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue.depth").set(4)
+        assert "# TYPE queue_depth gauge\nqueue_depth 4" in reg.to_prometheus()
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10, 20))
+        for v in (5, 15, 99):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{le="10"} 1' in text
+        assert 'lat_bucket{le="20"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 119" in text
+        assert "lat_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, path='a"b\\c')
+        assert r'path="a\"b\\c"' in reg.to_prometheus()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        path = tmp_path / "m.prom"
+        reg.write_prometheus(str(path))
+        assert "c_total 1" in path.read_text()

@@ -231,11 +231,16 @@ class TestMetrics:
         assert registry.counter("serving.batches").total() == 3
         hist = registry.histogram("serving.batch_size").series()
         assert hist.count == 3 and hist.sum == 9
-        assert registry.histogram("serving.request_cycles").series(
+        # Latency series now carry a worker label too; aggregate() folds
+        # every worker's series for the backend together.
+        assert registry.histogram("serving.request_cycles").aggregate(
             backend="integer"
         ).count == 9
-        assert registry.histogram("serving.request_wall_us").series(
+        assert registry.histogram("serving.request_wall_us").aggregate(
             backend="integer"
+        ).count == 9
+        assert registry.histogram("serving.request_cycles").series(
+            backend="integer", worker="main"
         ).count == 9
 
 

@@ -1,0 +1,102 @@
+"""SLO policy: cycle budgets from the paper's formulas, and enforcement."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.observability import MetricsRegistry, observe
+from repro.serving import ModExpRequest, ModExpService, SLOPolicy
+from repro.systolic.timing import mmm_cycles, mmm_cycles_corrected
+
+
+def _request(bits=16, exponent=65537, l=0):
+    modulus = (1 << (bits - 1)) | 0xB  # odd, exactly `bits` wide
+    return ModExpRequest(base=7, exponent=exponent, modulus=modulus, l=l)
+
+
+class TestSLOPolicyBudget:
+    def test_corrected_mode_formula(self):
+        # l=16, e=65537 (17 bits): 2*17 mults x (3*16+5) cycles each.
+        request = _request(bits=16, exponent=65537)
+        assert SLOPolicy().cycle_budget(request) == 34 * mmm_cycles_corrected(16)
+        assert SLOPolicy().cycle_budget(request) == 34 * 53
+
+    def test_paper_mode_uses_3l_plus_4(self):
+        request = _request(bits=16, exponent=65537)
+        assert SLOPolicy(mode="paper").cycle_budget(request) == 34 * mmm_cycles(16)
+        assert SLOPolicy(mode="paper").cycle_budget(request) == 34 * 52
+
+    def test_explicit_width_overrides_modulus_bits(self):
+        request = _request(bits=16, exponent=3, l=64)
+        assert SLOPolicy().cycle_budget(request) == 4 * mmm_cycles_corrected(64)
+
+    def test_exponent_one_still_costs_one_bit(self):
+        # bitlen(1) == 1, and the max(..., 1) guard keeps the budget > 0.
+        request = _request(bits=8, exponent=1)
+        assert SLOPolicy().cycle_budget(request) == 2 * mmm_cycles_corrected(8)
+
+    def test_margin_scales_and_rounds_up(self):
+        request = _request(bits=16, exponent=65537)
+        base = SLOPolicy().cycle_budget(request)
+        assert SLOPolicy(margin=2.0).cycle_budget(request) == 2 * base
+        tight = SLOPolicy(margin=0.5).cycle_budget(request)
+        assert tight == -(-base // 2)  # ceil division
+
+    def test_fixed_budget_bypasses_formula(self):
+        policy = SLOPolicy(fixed_budget=123)
+        assert policy.cycle_budget(_request(bits=16, exponent=65537)) == 123
+        assert policy.cycle_budget(_request(bits=8, exponent=1)) == 123
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            SLOPolicy(mode="optimistic")
+        with pytest.raises(ParameterError):
+            SLOPolicy(margin=0)
+        with pytest.raises(ParameterError):
+            SLOPolicy(margin=-1.0)
+        with pytest.raises(ParameterError):
+            SLOPolicy(fixed_budget=0)
+
+
+class TestServiceEnforcement:
+    def _serve(self, slo, n=8):
+        registry = MetricsRegistry()
+        requests = [
+            ModExpRequest(base=3 + i, exponent=65537, modulus=0xC5AF)
+            for i in range(n)
+        ]
+        with ModExpService(backend="integer", workers=1, slo=slo) as svc:
+            with observe(metrics=registry):
+                results = svc.process(requests)
+        assert all(r.ok for r in results)
+        return registry
+
+    def test_impossible_budget_flags_every_request(self):
+        registry = self._serve(SLOPolicy(fixed_budget=1))
+        assert registry.counter("serving.slo_checks").total() == 8
+        violations = registry.counter("serving.slo_violations")
+        assert violations.total(backend="integer") == 8
+
+    def test_analytic_budget_never_fires_on_cycle_accurate_backend(self):
+        registry = self._serve(SLOPolicy(margin=1.0))
+        assert registry.counter("serving.slo_checks").total() == 8
+        assert registry.counter("serving.slo_violations").total() == 0
+
+    def test_huge_fixed_budget_never_fires(self):
+        registry = self._serve(SLOPolicy(fixed_budget=10**9))
+        assert registry.counter("serving.slo_violations").total() == 0
+
+    def test_slo_none_disables_checks(self):
+        registry = self._serve(None)
+        assert registry.counter("serving.slo_checks").total() == 0
+        assert registry.counter("serving.slo_violations").total() == 0
+        # Telemetry itself is unaffected by the disabled policy.
+        hist = registry.histogram("serving.request_cycles")
+        assert hist.aggregate(backend="integer").count == 8
+
+    def test_violation_counter_carries_worker_label(self):
+        registry = self._serve(SLOPolicy(fixed_budget=1))
+        rows = [
+            dict(key)
+            for key, _ in registry.counter("serving.slo_violations")._labelled_rows()
+        ]
+        assert rows and all("worker" in row and "backend" in row for row in rows)

@@ -1,0 +1,172 @@
+"""End-to-end request telemetry across the process boundary.
+
+The acceptance scenario of the telemetry PR: a 20-request batch on the
+``"process"`` pool must leave the *parent* registry with one
+``serving.request_cycles`` sample per request labelled by backend and
+worker, the worker-side ``exponentiator.*`` series merged in with
+``worker`` labels, and an exported Perfetto trace whose worker spans
+nest inside their ``serving.request`` spans.
+"""
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    REQUEST_SPAN,
+    SpanTracer,
+    TraceContext,
+    observe,
+    validate_chrome_trace,
+    worker_label,
+)
+from repro.serving import ModExpRequest, ModExpService
+
+N_REQUESTS = 20
+MODULUS = 0xC5AF  # 16-bit odd
+
+
+def _workload(n=N_REQUESTS):
+    return [
+        ModExpRequest(
+            base=3 + i, exponent=65537, modulus=MODULUS, request_id=f"r{i}"
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_run():
+    """One observed 20-request process-pool batch, shared by the class."""
+    registry, tracer = MetricsRegistry(), SpanTracer()
+    requests = _workload()
+    with ModExpService(backend="integer", workers=2, worker_kind="process") as svc:
+        with observe(metrics=registry, tracer=tracer):
+            results = svc.process(requests)
+    return requests, results, registry, tracer
+
+
+class TestProcessPoolAcceptance:
+    def test_results_are_correct(self, process_run):
+        requests, results, _, _ = process_run
+        assert len(results) == N_REQUESTS
+        for request, result in zip(requests, results):
+            assert result.ok and result.value == request.expected()
+
+    def test_one_cycle_sample_per_request_with_worker_labels(self, process_run):
+        _, _, registry, _ = process_run
+        hist = registry.histogram("serving.request_cycles")
+        agg = hist.aggregate(backend="integer")
+        # The satellite regression check: the latency series is NOT empty
+        # after a process-pool batch (the pre-telemetry blind spot).
+        assert agg is not None and agg.count == N_REQUESTS
+        workers = {
+            dict(key).get("worker")
+            for key, _ in hist._labelled_rows()
+        }
+        assert workers and all(w and w.startswith("pid") for w in workers)
+
+    def test_worker_metrics_merged_with_worker_labels(self, process_run):
+        _, _, registry, _ = process_run
+        ops = registry.counter("exponentiator.operations")
+        assert ops.total() > 0
+        labelled = [dict(key) for key, _ in ops._labelled_rows()]
+        assert labelled and all(
+            row.get("worker", "").startswith("pid") for row in labelled
+        )
+        assert registry.counter("exponentiator.exponentiations").total() == N_REQUESTS
+
+    def test_trace_has_nested_request_spans(self, process_run):
+        _, _, _, tracer = process_run
+        doc = tracer.to_dict()
+        assert validate_chrome_trace(doc) == []
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        request_spans = [e for e in spans if e["name"] == REQUEST_SPAN]
+        assert len(request_spans) == N_REQUESTS
+        assert {e["args"]["request_id"] for e in request_spans} == {
+            f"r{i}" for i in range(N_REQUESTS)
+        }
+        worker_spans = [
+            e
+            for e in spans
+            if e["name"] != REQUEST_SPAN and "worker" in e.get("args", {})
+        ]
+        assert worker_spans  # the merged sessions actually carried spans
+
+    def test_wall_us_series_also_per_worker(self, process_run):
+        _, _, registry, _ = process_run
+        agg = registry.histogram("serving.request_wall_us").aggregate(
+            backend="integer"
+        )
+        assert agg is not None and agg.count == N_REQUESTS
+
+
+class TestWorkerLabelsByPoolKind:
+    def _run(self, kind, workers):
+        registry = MetricsRegistry()
+        with ModExpService(
+            backend="integer", workers=workers, worker_kind=kind
+        ) as svc:
+            with observe(metrics=registry):
+                results = svc.process(_workload(6))
+        assert all(r.ok for r in results)
+        hist = registry.histogram("serving.request_cycles")
+        return {dict(key).get("worker") for key, _ in hist._labelled_rows()}
+
+    def test_inline_worker_is_main(self):
+        assert self._run("inline", 1) == {"main"}
+
+    def test_thread_workers_use_thread_names(self):
+        workers = self._run("thread", 2)
+        assert workers and all(w.startswith("repro-serve") for w in workers)
+
+
+class TestTraceContextAttachment:
+    def test_anonymous_requests_get_generated_ids(self):
+        registry, tracer = MetricsRegistry(), SpanTracer()
+        request = ModExpRequest(base=5, exponent=3, modulus=97)
+        with ModExpService(backend="integer", workers=2, worker_kind="process") as svc:
+            with observe(metrics=registry, tracer=tracer):
+                svc.process([request])
+        spans = [
+            e
+            for e in tracer.to_dict()["traceEvents"]
+            if e.get("ph") == "X" and e["name"] == REQUEST_SPAN
+        ]
+        assert spans and spans[0]["args"]["request_id"].startswith("req")
+
+    def test_no_capture_flags_outside_process_pools(self):
+        registry = MetricsRegistry()
+        captured = []
+        with ModExpService(backend="integer", workers=1, worker_kind="inline") as svc:
+            with observe(metrics=registry):
+                original = svc._trace_context(_workload(1)[0])
+                captured.append(original)
+        ctx = captured[0]
+        assert not ctx.collect_metrics and not ctx.collect_spans
+        assert not ctx.wants_capture
+
+    def test_caller_supplied_trace_is_respected(self):
+        registry, tracer = MetricsRegistry(), SpanTracer()
+        mine = TraceContext(request_id="custom-id")
+        request = ModExpRequest(base=5, exponent=3, modulus=97, trace=mine)
+        with ModExpService(backend="integer", workers=1, worker_kind="inline") as svc:
+            with observe(metrics=registry, tracer=tracer):
+                results = svc.process([request])
+        assert results[0].ok
+        # No replacement happened: capture flags stayed off as supplied.
+        assert request.trace is mine
+
+    def test_worker_label_in_parent_process_is_main(self):
+        assert worker_label() == "main"
+
+
+class TestDisabledObservability:
+    def test_process_pool_works_without_a_session(self):
+        with ModExpService(backend="integer", workers=2, worker_kind="process") as svc:
+            results = svc.process(_workload(4))
+        assert all(r.ok for r in results)
+
+    def test_requests_carry_no_trace_when_disabled(self):
+        with ModExpService(backend="integer", workers=1, worker_kind="inline") as svc:
+            results = svc.process(_workload(2))
+        assert all(r.ok for r in results)
