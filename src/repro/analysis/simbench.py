@@ -1,0 +1,199 @@
+"""Simulation-engine throughput measurement (PR 4's perf claim).
+
+One measurement core shared by ``repro bench-sim`` and
+``benchmarks/bench_compiled_sim.py``: time the gate-level MMMC through
+the interpreted simulator, the compiled single-lane kernel, and the
+compiled K-lane bit-sliced sweep, all on identical netlists and seeded
+operands, and report per-multiplication latency, MMM/s and gate-evals/s
+for each engine.
+
+Every timed engine first runs one untimed warmup multiplication (the
+compiled path additionally reports its one-off netlist-build + codegen
+cost separately), then the best of ``repeat`` runs is kept — these are
+microbenchmarks of a deterministic simulator, so min is the right
+estimator.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["SimBenchResult", "measure_engines", "result_rows"]
+
+
+@dataclass
+class SimBenchResult:
+    """Engine comparison at one operand width."""
+
+    l: int
+    gates: int
+    dffs: int
+    cycles_per_mult: int
+    lanes: int
+    repeat: int
+    #: per-multiplication wall milliseconds, keyed by engine name
+    #: ("interpreted", "compiled", "compiled+lanes" = amortized per lane)
+    ms_per_mult: Dict[str, float] = field(default_factory=dict)
+    #: one-off cost of building + compiling the netlist twin, seconds
+    compile_s: Optional[float] = None
+    #: wall milliseconds of one whole K-lane batch
+    lane_batch_ms: Optional[float] = None
+
+    def speedup(self, engine: str) -> Optional[float]:
+        """Throughput multiple of ``engine`` over the interpreted baseline."""
+        base = self.ms_per_mult.get("interpreted")
+        other = self.ms_per_mult.get(engine)
+        if not base or not other:
+            return None
+        return base / other
+
+    def gate_evals_per_s(self, engine: str) -> Optional[float]:
+        """Gate evaluations per second (lanes count as parallel evals)."""
+        ms = self.ms_per_mult.get(engine)
+        if not ms:
+            return None
+        return self.gates * self.cycles_per_mult / (ms / 1e3)
+
+    def mmm_per_s(self, engine: str) -> Optional[float]:
+        ms = self.ms_per_mult.get(engine)
+        return None if not ms else 1e3 / ms
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SimBenchResult":
+        """Rebuild a result from :meth:`as_json` output (derived fields —
+        speedups, rates — are recomputed, not trusted)."""
+        return cls(
+            l=int(data["l"]),
+            gates=int(data["gates"]),
+            dffs=int(data["dffs"]),
+            cycles_per_mult=int(data["cycles_per_mult"]),
+            lanes=int(data["lanes"]),
+            repeat=int(data["repeat"]),
+            ms_per_mult={k: float(v) for k, v in data["ms_per_mult"].items()},
+            compile_s=data.get("compile_s"),
+            lane_batch_ms=data.get("lane_batch_ms"),
+        )
+
+    def as_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "l": self.l,
+            "gates": self.gates,
+            "dffs": self.dffs,
+            "cycles_per_mult": self.cycles_per_mult,
+            "lanes": self.lanes,
+            "repeat": self.repeat,
+            "compile_s": self.compile_s,
+            "lane_batch_ms": self.lane_batch_ms,
+            "ms_per_mult": dict(self.ms_per_mult),
+            "speedups": {
+                name: self.speedup(name)
+                for name in self.ms_per_mult
+                if name != "interpreted" and self.speedup(name) is not None
+            },
+            "gate_evals_per_s": {
+                name: self.gate_evals_per_s(name) for name in self.ms_per_mult
+            },
+        }
+        return out
+
+
+def _operands(l: int, count: int, seed: object):
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(seed)
+    n = random_odd_modulus(l, rng)
+    return n, [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+def _best_of(repeat: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_engines(
+    l: int,
+    *,
+    lanes: int = 64,
+    repeat: int = 3,
+    engines: Sequence[str] = ("interpreted", "compiled"),
+    seed: object = "simbench",
+) -> SimBenchResult:
+    """Compare simulator engines on the full MMMC netlist at width ``l``.
+
+    ``engines`` picks the scalar engines to time; the ``lanes``-wide
+    bit-sliced sweep is additionally timed whenever ``"compiled"`` is
+    selected and ``lanes > 1``.  Identical seeded operands drive every
+    engine, and the results are cross-checked against each other and the
+    cycle formula as they are produced.
+    """
+    from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+    n, ops = _operands(l, max(lanes, 2), seed)
+    x0, y0 = ops[0]
+
+    result = SimBenchResult(
+        l=l, gates=0, dffs=0, cycles_per_mult=0, lanes=lanes, repeat=repeat
+    )
+    values: Dict[str, int] = {}
+
+    for engine in engines:
+        t0 = time.perf_counter()
+        sim = GateLevelMMMC(l, simulator=engine)
+        build_s = time.perf_counter() - t0
+        circuit = sim.ports.circuit
+        result.gates = len(circuit.gates)
+        result.dffs = len(circuit.dffs)
+        if engine == "compiled":
+            result.compile_s = build_s
+        rec = sim.multiply(x0, y0, n)  # warmup (and the correctness probe)
+        values[engine] = rec.result
+        result.cycles_per_mult = rec.cycles
+        result.ms_per_mult[engine] = (
+            _best_of(repeat, lambda: sim.multiply(x0, y0, n)) * 1e3
+        )
+
+    if "compiled" in engines and lanes > 1:
+        vec = GateLevelMMMC(l, simulator="compiled", lanes=lanes)
+        xs = [x for x, _ in ops[:lanes]]
+        ys = [y for _, y in ops[:lanes]]
+        ns = [n] * lanes
+        runs = vec.multiply_lanes(xs, ys, ns)  # warmup + correctness probe
+        scalar = values.get("compiled")
+        if scalar is not None and runs[0].result != scalar:
+            raise AssertionError(
+                f"lane 0 disagrees with scalar compiled run at l={l}"
+            )
+        batch_s = _best_of(repeat, lambda: vec.multiply_lanes(xs, ys, ns))
+        result.lane_batch_ms = batch_s * 1e3
+        result.ms_per_mult["compiled+lanes"] = batch_s * 1e3 / lanes
+
+    if len(values) > 1 and len(set(values.values())) != 1:
+        raise AssertionError(f"engines disagree at l={l}: {values}")
+    return result
+
+
+def result_rows(result: SimBenchResult) -> List[List[object]]:
+    """Table rows (engine, ms/MMM, MMM/s, gate-evals/s, speedup)."""
+    rows: List[List[object]] = []
+    for engine in ("interpreted", "compiled", "compiled+lanes"):
+        if engine not in result.ms_per_mult:
+            continue
+        speedup = result.speedup(engine)
+        rows.append(
+            [
+                engine if engine != "compiled+lanes"
+                else f"compiled, {result.lanes} lanes",
+                round(result.ms_per_mult[engine], 4),
+                round(result.mmm_per_s(engine), 1),
+                f"{result.gate_evals_per_s(engine):.3g}",
+                "-" if speedup is None else f"{speedup:.1f}x",
+            ]
+        )
+    return rows

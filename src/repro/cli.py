@@ -13,6 +13,7 @@ Commands
 ``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
 ``fault``       run a fault-injection campaign on the array
 ``obs``         observability utilities (``obs diff``: snapshot vs baseline)
+``bench-sim``   compare netlist simulator engines (interpreted/compiled/lanes)
 
 ``multiply``, ``exponentiate`` and ``observe`` accept the observability
 flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
@@ -29,6 +30,7 @@ flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -137,13 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="corrected",
         help="array architecture (see DESIGN.md findings)",
     )
+    mul.add_argument(
+        "--engine",
+        choices=("compiled", "interpreted"),
+        default="compiled",
+        help="netlist simulator engine (used by --model gate)",
+    )
     _add_observability_flags(mul)
 
     ex = sub.add_parser("exponentiate", help="modular exponentiation")
     ex.add_argument("base", type=lambda s: int(s, 0))
     ex.add_argument("exponent", type=lambda s: int(s, 0))
     ex.add_argument("modulus", type=lambda s: int(s, 0))
-    ex.add_argument("--engine", choices=("golden", "rtl"), default="golden")
+    ex.add_argument(
+        "--engine",
+        choices=("golden", "rtl", "gate"),
+        default="golden",
+        help="golden big-int, behavioral RTL, or compiled gate-level netlist",
+    )
     _add_observability_flags(ex)
 
     obs = sub.add_parser(
@@ -157,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exponent (default: random l-bit, seeded)",
     )
-    obs.add_argument("--engine", choices=("golden", "rtl"), default="rtl")
+    obs.add_argument("--engine", choices=("golden", "rtl", "gate"), default="rtl")
     obs.add_argument("--arch", choices=("corrected", "paper"), default="corrected")
     obs.add_argument("--seed", type=int, default=0)
     obs.add_argument(
@@ -324,6 +337,37 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("l", type=int)
     ver.add_argument("--arch", choices=("corrected", "paper"), default="corrected")
     ver.add_argument("--out", default=None)
+
+    bs = sub.add_parser(
+        "bench-sim",
+        help="compare the netlist simulator engines (interpreted vs "
+        "compiled vs compiled+lanes) on the full MMMC",
+    )
+    bs.add_argument("--l", type=int, default=64, help="operand bit length")
+    bs.add_argument(
+        "--lanes",
+        type=int,
+        default=64,
+        help="bit-sliced lane count for the batched run (0 = skip)",
+    )
+    bs.add_argument(
+        "--engine",
+        choices=("interpreted", "compiled", "both"),
+        default="both",
+        help="which scalar engines to time",
+    )
+    bs.add_argument(
+        "--repeat", type=int, default=3, help="timed runs per engine (min kept)"
+    )
+    bs.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="PATH",
+        help="also write the measurement as JSON ('-' = stdout instead of "
+        "the table); benchmarks/bench_compiled_sim.py runs the timing "
+        "through this in a clean interpreter",
+    )
     return p
 
 
@@ -384,7 +428,9 @@ def _cmd_multiply(args, out) -> int:
         else:
             from repro.systolic.mmmc_netlist import GateLevelMMMC
 
-            r = GateLevelMMMC(ctx.l, args.arch).multiply(args.x, args.y, args.modulus)
+            r = GateLevelMMMC(ctx.l, args.arch, simulator=args.engine).multiply(
+                args.x, args.y, args.modulus
+            )
             result, cycles = r.result, r.cycles
     out.write(f"Mont({args.x}, {args.y}) mod {args.modulus} = {result}\n")
     out.write(f"  = x*y*2^-{ctx.r_exponent} mod N;  golden agrees: {result == golden}\n")
@@ -721,6 +767,42 @@ def _cmd_fault(args, out) -> int:
     return 0
 
 
+def _cmd_bench_sim(args, out) -> int:
+    from repro.analysis.simbench import measure_engines, result_rows
+
+    engines = (
+        ("interpreted", "compiled") if args.engine == "both" else (args.engine,)
+    )
+    result = measure_engines(
+        args.l, lanes=args.lanes, repeat=args.repeat, engines=engines
+    )
+    if args.json_out == "-":
+        json.dump(result.as_json(), out)
+        out.write("\n")
+        return 0
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(result.as_json(), fh, indent=2, sort_keys=True)
+    out.write(
+        render_table(
+            ["engine", "ms/MMM", "MMM/s", "gate-evals/s", "speedup"],
+            result_rows(result),
+            title=(
+                f"MMMC netlist simulation, l={args.l} "
+                f"({result.gates} gates, {result.dffs} DFFs, "
+                f"{result.cycles_per_mult} cycles/MMM)"
+            ),
+        )
+        + "\n"
+    )
+    if result.compile_s is not None:
+        out.write(
+            f"[one-off netlist build + kernel codegen: {result.compile_s:.3f}s"
+            " (amortized by the structural-key cache)]\n"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -748,6 +830,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_census(args, out)
     if args.command == "fault":
         return _cmd_fault(args, out)
+    if args.command == "bench-sim":
+        return _cmd_bench_sim(args, out)
     if args.command == "report":
         from repro.analysis.report import generate_report
 

@@ -11,7 +11,13 @@ formula of Section 4.3, and technology-mapped by :mod:`repro.fpga`.
 
 from repro.hdl.netlist import Circuit, Wire
 from repro.hdl.gates import GateKind
-from repro.hdl.simulator import Simulator
+from repro.hdl.simulator import Simulator, levelize
+from repro.hdl.compiled import (
+    CompiledSimulator,
+    compile_kernel,
+    pack_lanes,
+    unpack_lanes,
+)
 from repro.hdl.registers import (
     register,
     shift_register_right,
@@ -26,6 +32,11 @@ __all__ = [
     "Wire",
     "GateKind",
     "Simulator",
+    "CompiledSimulator",
+    "compile_kernel",
+    "pack_lanes",
+    "unpack_lanes",
+    "levelize",
     "register",
     "shift_register_right",
     "counter",

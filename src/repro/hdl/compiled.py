@@ -1,0 +1,847 @@
+"""Codegen'd bit-sliced simulation engine.
+
+The interpreted :class:`~repro.hdl.simulator.Simulator` walks the levelized
+gate list one dict/list access at a time, every cycle.  This module compiles
+a :class:`~repro.hdl.netlist.Circuit` **once** into flat Python functions —
+a combinational *settle* kernel, a flip-flop *clock* kernel and a fused
+full-cycle *step* kernel — and then evaluates cycles by calling them, which
+removes all per-gate interpreter dispatch:
+
+* **Codegen.**  The combinational cloud is emitted in topological order as
+  straight-line assignments over local variables.  Wires driven by
+  ``const0``/``const1`` are folded at compile time, and single-fanout gates
+  (NOT/AND/XOR chains — the bulk of the paper's half/full adders) are
+  collapsed into their consumer's expression, so a full adder becomes one
+  line of Python instead of five closure calls.
+
+* **Register state in closure cells.**  The kernels are emitted as closures
+  of a per-simulator factory.  Flip-flop Qs that nothing outside the kernel
+  observes (not a primary output, not watched) live as closure variables —
+  ``LOAD_DEREF``/``STORE_DEREF`` instead of a list subscript per read and
+  write — and capture writes are topologically ordered so only genuine
+  register cycles (FSM feedback, counters) need a pre-edge temporary.
+
+* **Bit-sliced lanes.**  Every wire value is an arbitrary-width Python int
+  holding K independent simulations, one per bit (``mask = (1 << K) - 1``).
+  ``a & b`` then evaluates K AND gates at once, and ``NOT a`` becomes
+  ``mask ^ a``.  The generated kernels take the mask at bind time, so the
+  **same** compiled kernel source serves any lane count.
+
+* **Kernel cache.**  Compiled kernels are cached in a small LRU keyed by
+  :meth:`Circuit.structural_key` (plus the watch signature), so the
+  exponentiator's ~2l multiplications at one ``l`` — and every serving batch
+  at the same width — compile exactly once.
+
+Because gates that are folded or inlined never hit the value array — and
+unobserved registers never leave their closure cells — reading an arbitrary
+internal wire requires declaring it up front via ``watch`` (``watch="all"``
+materializes every gate output and register; the differential tests use
+this to compare engines wire-for-wire).  Primary inputs, primary outputs
+and watched wires are always readable.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.hdl.gates import GateKind
+from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.simulator import levelize
+from repro.observability import OBS
+
+__all__ = [
+    "CompiledKernel",
+    "CompiledSimulator",
+    "compile_kernel",
+    "pack_lanes",
+    "unpack_lanes",
+    "kernel_cache_info",
+    "clear_kernel_cache",
+]
+
+# Expressions deeper than this (or longer than _MAX_INLINE_CHARS) are cut
+# at a local variable even if single-fanout, to keep the generated source
+# readable and the CPython compiler happy.
+_MAX_INLINE_DEPTH = 24
+_MAX_INLINE_CHARS = 640
+_KERNEL_CACHE_MAX = 128
+
+_CONST0 = 0  # wire index of const0 in every Circuit
+_CONST1 = 1  # wire index of const1
+
+_IND = "        "  # body indent of the factory's inner functions
+
+
+class _Expr(NamedTuple):
+    """A wire's compile-time value: expression text + inlining bookkeeping."""
+
+    text: str
+    depth: int
+    atomic: bool  # single token; needs no parentheses when embedded
+
+
+def _paren(e: _Expr) -> str:
+    return e.text if e.atomic else f"({e.text})"
+
+
+def _not_expr(a: _Expr) -> _Expr:
+    if a.text == "0":
+        return _Expr("m", 0, True)
+    if a.text == "m":
+        return _Expr("0", 0, True)
+    return _Expr(f"m ^ {_paren(a)}", a.depth + 1, False)
+
+
+def _and_expr(a: _Expr, b: _Expr) -> _Expr:
+    if a.text == "0" or b.text == "0":
+        return _Expr("0", 0, True)
+    if a.text == "m":
+        return b
+    if b.text == "m":
+        return a
+    return _Expr(f"{_paren(a)} & {_paren(b)}", 1 + max(a.depth, b.depth), False)
+
+
+def _or_expr(a: _Expr, b: _Expr) -> _Expr:
+    if a.text == "m" or b.text == "m":
+        return _Expr("m", 0, True)
+    if a.text == "0":
+        return b
+    if b.text == "0":
+        return a
+    return _Expr(f"{_paren(a)} | {_paren(b)}", 1 + max(a.depth, b.depth), False)
+
+
+def _xor_expr(a: _Expr, b: _Expr) -> _Expr:
+    if a.text == "0":
+        return b
+    if b.text == "0":
+        return a
+    if a.text == "m":
+        return _not_expr(b)
+    if b.text == "m":
+        return _not_expr(a)
+    return _Expr(f"{_paren(a)} ^ {_paren(b)}", 1 + max(a.depth, b.depth), False)
+
+
+def _gate_expr(kind: GateKind, a: _Expr, b: Optional[_Expr]) -> _Expr:
+    if kind is GateKind.AND:
+        return _and_expr(a, b)
+    if kind is GateKind.OR:
+        return _or_expr(a, b)
+    if kind is GateKind.XOR:
+        return _xor_expr(a, b)
+    if kind is GateKind.NAND:
+        return _not_expr(_and_expr(a, b))
+    if kind is GateKind.NOR:
+        return _not_expr(_or_expr(a, b))
+    if kind is GateKind.XNOR:
+        return _not_expr(_xor_expr(a, b))
+    if kind is GateKind.NOT:
+        return _not_expr(a)
+    if kind is GateKind.BUF:
+        return a
+    raise SimulationError(f"cannot compile gate kind {kind!r}")  # pragma: no cover
+
+
+class CompiledKernel:
+    """One compiled netlist: the exec'd kernel factory + metadata.
+
+    The factory binds a value array and lane mask, returning the
+    ``(settle, clock, step, load, flush)`` closures for one simulator
+    instance; hidden-register state lives in the closure, so one kernel
+    serves every structurally-identical :class:`Circuit` (the cache relies
+    on this) while instances stay independent.
+    """
+
+    __slots__ = (
+        "key",
+        "name",
+        "factory",
+        "src",
+        "readable",
+        "hidden",
+        "num_gates",
+        "num_wires",
+    )
+
+    def __init__(
+        self,
+        key: Tuple[str, object],
+        name: str,
+        factory,
+        src: str,
+        readable: FrozenSet[int],
+        hidden: FrozenSet[int],
+        num_gates: int,
+        num_wires: int,
+    ) -> None:
+        self.key = key
+        self.name = name
+        self.factory = factory
+        self.src = src
+        self.readable = readable
+        self.hidden = hidden
+        self.num_gates = num_gates
+        self.num_wires = num_wires
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledKernel({self.name!r}, gates={self.num_gates}, "
+            f"{len(self.src.splitlines())} lines, hidden={len(self.hidden)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Codegen
+# ----------------------------------------------------------------------
+def _settle_body(
+    circuit: Circuit,
+    materialize: FrozenSet[int],
+    hidden: FrozenSet[int],
+    extra_fanout: Optional[Dict[int, int]] = None,
+) -> Tuple[List[str], Dict[int, _Expr]]:
+    """Emit the combinational cloud; return (lines, wire -> expression map).
+
+    ``materialize`` lists the gate-output wire indices that must land in the
+    value array ``v``; all other gate outputs live as locals or are inlined
+    away.  Register Qs in ``hidden`` are read as closure cells (``q<i>``)
+    rather than ``v`` subscripts.  ``extra_fanout`` adds consumer counts
+    beyond gate inputs (the fused step kernel counts flip-flop reads here so
+    a wire feeding several registers becomes a shared local instead of a
+    re-evaluated expression).
+    """
+    order = levelize(circuit)
+    gates = circuit.gates
+    fanout: Dict[int, int] = dict(extra_fanout) if extra_fanout else {}
+    for g in gates:
+        for w in g.inputs:
+            fanout[w] = fanout.get(w, 0) + 1
+
+    expr: Dict[int, _Expr] = {
+        _CONST0: _Expr("0", 0, True),
+        _CONST1: _Expr("m", 0, True),
+    }
+
+    def wire_expr(w: int) -> _Expr:
+        e = expr.get(w)
+        if e is None:  # primary input / DFF q
+            if w in hidden:
+                return _Expr(f"q{w}", 0, True)
+            return _Expr(f"v[{w}]", 0, True)
+        return e
+
+    lines: List[str] = []
+    for gi in order:
+        g = gates[gi]
+        a = wire_expr(g.inputs[0])
+        b = wire_expr(g.inputs[1]) if len(g.inputs) > 1 else None
+        e = _gate_expr(g.kind, a, b)
+        out = g.output
+        mat = out in materialize
+        if e.text in ("0", "m"):
+            # Constant-folded: consumers embed the literal; only emit a
+            # store if something outside the cloud reads this wire.
+            if mat:
+                lines.append(f"{_IND}v[{out}] = {e.text}")
+            expr[out] = e
+            continue
+        uses = fanout.get(out, 0)
+        if (
+            not mat
+            and uses <= 1
+            and e.depth < _MAX_INLINE_DEPTH
+            and len(e.text) < _MAX_INLINE_CHARS
+        ):
+            expr[out] = e  # inline into the single consumer
+        elif mat and uses == 0:
+            lines.append(f"{_IND}v[{out}] = {e.text}")
+            expr[out] = _Expr(f"v[{out}]", 0, True)
+        else:
+            lines.append(f"{_IND}w{out} = {e.text}")
+            if mat:
+                lines.append(f"{_IND}v[{out}] = w{out}")
+            expr[out] = _Expr(f"w{out}", 0, True)
+    return lines, expr
+
+
+def _dff_specs(circuit: Circuit) -> List[Tuple[int, Optional[int], Optional[int], Optional[int]]]:
+    """Fold constant enables/clears out of the DFF list.
+
+    Returns ``(q, d, enable, clear)`` tuples with ``None`` meaning "always
+    enabled" / "never cleared"; registers that can never change (enable tied
+    to const0, no clear) are dropped entirely.
+    """
+    specs: List[Tuple[int, Optional[int], Optional[int], Optional[int]]] = []
+    for f in circuit.dffs:
+        en: Optional[int] = f.enable
+        clr: Optional[int] = f.clear
+        if en == _CONST1:
+            en = None  # always enabled
+        if clr == _CONST0:
+            clr = None  # never cleared
+        if clr == _CONST1:
+            specs.append((f.q, None, None, _CONST1))  # held clear
+            continue
+        if en == _CONST0:
+            if clr is None:
+                continue  # never captures, never clears: q holds
+            specs.append((f.q, None, _CONST0, clr))
+            continue
+        specs.append((f.q, f.d, en, clr))
+    return specs
+
+
+def _capture_blocks(specs, ref, qtok) -> List[Tuple[int, List[str]]]:
+    """Build the per-register capture blocks (one small line group each).
+
+    ``clear`` dominates ``enable`` (the Virtex SR pin semantics the
+    netlists rely on); per-lane masks keep both strobes independent across
+    lanes.  The enable mux uses the xor form — one operation and two loads
+    cheaper than the and/or mux::
+
+        q' = q ^ ((q ^ d) & e)            then  & (m ^ c)  if cleared
+
+    Strobed registers are emitted behind a runtime guard: when the enable
+    (and clear) lane word is all-zero the register holds, so the whole mux
+    — including any D expression inlined into it — is skipped.  Operand
+    registers thus cost one truth test outside their load cycle, and the
+    array's phase-alternating T/C registers skip every other cycle; lanes
+    stay independent because a partially-set strobe word takes the masked
+    path, which is a per-lane no-op wherever the strobe bit is 0.
+    """
+
+    def tok(e: _Expr, q: int, prefix: str, lines: List[str]) -> str:
+        # Guard tests evaluate the strobe once; hoist non-atomic strobes.
+        if e.atomic:
+            return e.text
+        lines.append(f"{_IND}{prefix}{q} = {e.text}")
+        return f"{prefix}{q}"
+
+    blocks: List[Tuple[int, List[str]]] = []
+    for q, d, en, clr in specs:
+        own = qtok(q)
+        lines: List[str] = []
+        if d is None and clr == _CONST1:
+            lines.append(f"{_IND}{own} = 0")
+        elif d is None and en == _CONST0:
+            c = tok(ref(clr), q, "c", lines)
+            lines.append(f"{_IND}if {c}:")
+            lines.append(f"{_IND}    {own} = {own} & (m ^ {c})")
+        elif en is None and clr is None:
+            lines.append(f"{_IND}{own} = {_paren(ref(d))}")
+        elif clr is None:
+            e = tok(ref(en), q, "e", lines)
+            lines.append(f"{_IND}if {e}:")
+            lines.append(f"{_IND}    {own} = {own} ^ (({own} ^ {_paren(ref(d))}) & {e})")
+        elif en is None:
+            c = tok(ref(clr), q, "c", lines)
+            dd = tok(ref(d), q, "d", lines)
+            lines.append(f"{_IND}{own} = {dd} & (m ^ {c}) if {c} else {dd}")
+        else:
+            e = tok(ref(en), q, "e", lines)
+            c = tok(ref(clr), q, "c", lines)
+            dd = _paren(ref(d))
+            lines.append(f"{_IND}if {c}:")
+            lines.append(f"{_IND}    {own} = ({own} ^ (({own} ^ {dd}) & {e})) & (m ^ {c})")
+            lines.append(f"{_IND}elif {e}:")
+            lines.append(f"{_IND}    {own} = {own} ^ (({own} ^ {dd}) & {e})")
+        blocks.append((q, lines))
+    return blocks
+
+
+_VTOK_RE = re.compile(r"v\[(\d+)\]")
+_QTOK_RE = re.compile(r"\bq(\d+)\b")
+
+
+def _order_writes(
+    blocks: List[Tuple[int, List[str]]],
+    qtok,
+) -> Tuple[List[str], List[str]]:
+    """Order capture blocks so reads observe pre-edge values.
+
+    All flip-flops capture simultaneously, but the writes execute one at a
+    time; a write must therefore run before any register it *reads* is
+    overwritten.  Topologically ordering the writes handles every register
+    chain (shift registers, pipelines, the token chain) with zero
+    temporaries; only genuine cycles — FSM feedback, counter increments —
+    fall back to latching the pre-edge value in an ``r<i>`` local emitted
+    before the writes.  Q-references are found textually (``v[i]`` /
+    ``q<i>`` tokens), so reads buried in inlined subexpressions count too.
+    """
+    targets = {q for q, _ in blocks}
+    tq = [q for q, _ in blocks]
+    texts = [list(lines) for _, lines in blocks]
+    reads: List[set] = []
+    for i, lines in enumerate(texts):
+        joined = "\n".join(lines)
+        rd = {int(mm.group(1)) for mm in _VTOK_RE.finditer(joined)}
+        rd |= {int(mm.group(1)) for mm in _QTOK_RE.finditer(joined)}
+        # Own-q reads are safe in place: the RHS evaluates before the store.
+        reads.append({w for w in rd if w in targets and w != tq[i]})
+    readers_of: Dict[int, set] = {q: set() for q in targets}
+    for i, rd in enumerate(reads):
+        for w in rd:
+            readers_of[w].add(i)
+
+    pending = set(range(len(blocks)))
+    pre_lines: List[str] = []
+    out_lines: List[str] = []
+    while pending:
+        ready = sorted(i for i in pending if not (readers_of[tq[i]] & pending))
+        if ready:
+            for i in ready:
+                pending.discard(i)
+                out_lines.extend(texts[i])
+            continue
+        # Every pending write sits on a register cycle: break the first one
+        # by latching its pre-edge value and rewriting the pending readers.
+        i = min(pending)
+        qt = tq[i]
+        name = f"r{qt}"
+        pre_lines.append(f"{_IND}{name} = {qtok(qt)}")
+        pat_v = re.compile(r"v\[%d\]" % qt)
+        pat_q = re.compile(r"\bq%d\b" % qt)
+
+        def repoint(line: str) -> str:
+            # Rewrite reads only — assignment targets keep storing to the
+            # real register; guard lines (`if e:`) have no target.
+            lhs, sep, rhs = line.partition(" = ")
+            if not sep:
+                return pat_q.sub(name, pat_v.sub(name, line))
+            return lhs + sep + pat_q.sub(name, pat_v.sub(name, rhs))
+
+        for j in pending:
+            if qt in reads[j] or qt == tq[j]:
+                texts[j] = [repoint(ln) for ln in texts[j]]
+                reads[j].discard(qt)
+        readers_of[qt] = set()
+    return pre_lines, out_lines
+
+
+def _nonlocal_lines(names: List[str]) -> List[str]:
+    lines = []
+    for i in range(0, len(names), 16):
+        lines.append(f"{_IND}nonlocal " + ", ".join(names[i : i + 16]))
+    return lines
+
+
+def _emit_factory(
+    circuit: Circuit,
+    mat_split: FrozenSet[int],
+    mat_fused: FrozenSet[int],
+    hidden: FrozenSet[int],
+) -> str:
+    """Generate the kernel-factory source.
+
+    The factory takes the value array and lane mask and returns five
+    closures: the split ``settle``/``clock`` phase pair, the fused ``step``
+    (one full cycle, register inputs consumed straight from the
+    combinational cloud's locals without a value-array round trip), and
+    ``load``/``flush`` to move hidden-register state between the closure
+    cells and the value array (reset, pokes of internal state).
+    """
+    q_wires = frozenset(f.q for f in circuit.dffs)
+
+    def qtok(w: int) -> str:
+        return f"q{w}" if w in hidden else f"v[{w}]"
+
+    specs = _dff_specs(circuit)
+
+    # Fused-step fanout: strobes appear in the guard test and in the mux,
+    # so giving them a count of 2 forces shared-gate enables into settle
+    # locals instead of re-evaluated inline expressions.
+    uses: Dict[int, int] = {}
+    for _, d, en, clr in specs:
+        for w, times in ((d, 1), (en, 2), (clr, 2)):
+            if w is not None and w not in (_CONST0, _CONST1):
+                uses[w] = uses.get(w, 0) + times
+
+    settle_split, _ = _settle_body(circuit, mat_split, hidden)
+    settle_fused, expr = _settle_body(circuit, mat_fused, hidden, extra_fanout=uses)
+
+    def ref_split(w: int) -> _Expr:
+        if w == _CONST0:
+            return _Expr("0", 0, True)
+        if w == _CONST1:
+            return _Expr("m", 0, True)
+        if w in q_wires:
+            return _Expr(qtok(w), 0, True)
+        return _Expr(f"v[{w}]", 0, True)  # materialized by mat_split
+
+    def ref_fused(w: int) -> _Expr:
+        e = expr.get(w)
+        if e is not None:
+            return e
+        if w in hidden:
+            return _Expr(f"q{w}", 0, True)
+        return _Expr(f"v[{w}]", 0, True)
+
+    clock_pre, clock_out = _order_writes(_capture_blocks(specs, ref_split, qtok), qtok)
+    step_pre, step_out = _order_writes(_capture_blocks(specs, ref_fused, qtok), qtok)
+
+    hid_sorted = sorted(hidden)
+    hid_names = [f"q{w}" for w in hid_sorted]
+    written_hidden = sorted({q for q, _, _, _ in specs if q in hidden})
+    wh_names = [f"q{w}" for w in written_hidden]
+
+    lines: List[str] = ["def __kernel_factory(v, m):"]
+    for w in hid_sorted:
+        lines.append(f"    q{w} = v[{w}]")
+
+    lines.append("    def __load():")
+    if hid_sorted:
+        lines += _nonlocal_lines(hid_names)
+        lines += [f"{_IND}q{w} = v[{w}]" for w in hid_sorted]
+    else:
+        lines.append(f"{_IND}pass")
+
+    lines.append("    def __flush():")
+    if hid_sorted:
+        lines += [f"{_IND}v[{w}] = q{w}" for w in hid_sorted]
+    else:
+        lines.append(f"{_IND}pass")
+
+    lines.append("    def __settle():")
+    lines += settle_split or [f"{_IND}pass"]
+
+    lines.append("    def __clock():")
+    clock_body = clock_pre + clock_out
+    if clock_body:
+        lines += _nonlocal_lines(wh_names)
+        lines += clock_body
+    else:
+        lines.append(f"{_IND}pass")
+
+    lines.append("    def __step():")
+    step_body = settle_fused + step_pre + step_out
+    if step_body:
+        lines += _nonlocal_lines(wh_names)
+        lines += step_body
+    else:
+        lines.append(f"{_IND}pass")
+
+    lines.append("    return __settle, __clock, __step, __load, __flush")
+    return "\n".join(lines) + "\n"
+
+
+def _wire_index(w: Union[Wire, int]) -> int:
+    return w.index if isinstance(w, Wire) else int(w)
+
+
+def _compile(circuit: Circuit, key: Tuple[str, object]) -> CompiledKernel:
+    wkey = key[1]
+    gate_outputs = frozenset(g.output for g in circuit.gates)
+    q_wires = frozenset(f.q for f in circuit.dffs)
+    if wkey == "all":
+        mat_fused = gate_outputs
+        mat_split = gate_outputs
+        hidden: FrozenSet[int] = frozenset()
+    else:
+        # The fused step kernel consumes register inputs as locals, so only
+        # primary outputs and watched wires must reach the value array; the
+        # split settle/clock pair additionally materializes every
+        # D/enable/clear source (the clock kernel reads them from v).
+        # Registers nobody outside observes stay in closure cells.
+        want = set(wkey)
+        want.update(circuit.outputs.values())
+        mat_fused = frozenset(want & gate_outputs)
+        hidden = frozenset(q_wires - want)
+        for f in circuit.dffs:
+            want.add(f.d)
+            if f.enable is not None:
+                want.add(f.enable)
+            if f.clear is not None:
+                want.add(f.clear)
+        mat_split = frozenset(want & gate_outputs)
+
+    src = _emit_factory(circuit, mat_split, mat_fused, hidden)
+    ns: Dict[str, object] = {}
+    exec(compile(src, f"<compiled:{circuit.name}>", "exec"), ns)
+    # Peekability is advertised for the fused kernel (the fast path); the
+    # split kernels materialize strictly more combinational wires.
+    readable = frozenset(range(circuit.num_wires)) - (gate_outputs - mat_fused) - hidden
+    return CompiledKernel(
+        key=key,
+        name=circuit.name,
+        factory=ns["__kernel_factory"],
+        src=src,
+        readable=readable,
+        hidden=hidden,
+        num_gates=len(circuit.gates),
+        num_wires=circuit.num_wires,
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel cache
+# ----------------------------------------------------------------------
+_CACHE_LOCK = threading.Lock()
+_KERNEL_CACHE: "OrderedDict[Tuple[str, object], CompiledKernel]" = OrderedDict()
+
+
+def compile_kernel(circuit: Circuit, watch: object = ()) -> CompiledKernel:
+    """Fetch (or build) the compiled kernel for ``circuit``.
+
+    ``watch`` is either the string ``"all"`` or an iterable of wires/indices
+    that must stay peekable after each settle.  The cache key is
+    ``(circuit.structural_key(), watch signature)`` — the lane count is
+    deliberately *not* part of the key, since kernels take the lane mask at
+    bind time.
+    """
+    circuit.validate()
+    if watch == "all":
+        wkey: object = "all"
+    else:
+        wkey = frozenset(_wire_index(w) for w in watch)  # type: ignore[union-attr]
+    key = (circuit.structural_key(), wkey)
+    with _CACHE_LOCK:
+        kern = _KERNEL_CACHE.get(key)
+        if kern is not None:
+            _KERNEL_CACHE.move_to_end(key)
+            if OBS.enabled:
+                OBS.count("hdl.compile_cache_hits")
+            return kern
+        if OBS.enabled:
+            OBS.count("hdl.compile_cache_misses")
+        kern = _compile(circuit, key)
+        _KERNEL_CACHE[key] = kern
+        while len(_KERNEL_CACHE) > _KERNEL_CACHE_MAX:
+            _KERNEL_CACHE.popitem(last=False)
+        return kern
+
+
+def kernel_cache_info() -> Dict[str, int]:
+    """Current kernel-cache occupancy (for tests and diagnostics)."""
+    with _CACHE_LOCK:
+        return {"size": len(_KERNEL_CACHE), "max_size": _KERNEL_CACHE_MAX}
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached kernel (tests use this to force recompiles)."""
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Lane packing helpers
+# ----------------------------------------------------------------------
+def pack_lanes(values: Sequence[int], width: int) -> List[int]:
+    """Bit-slice per-lane integers into per-wire lane words.
+
+    ``values[k]`` is lane k's little-endian bus value; the result's entry
+    ``i`` holds bit ``i`` of every lane, lane k in bit position k —
+    exactly the layout a ``width``-wide bus of packed wires uses.
+    """
+    words = [0] * width
+    for k, val in enumerate(values):
+        if val < 0 or (width < val.bit_length()):
+            raise SimulationError(
+                f"lane {k} value {val} does not fit bus of width {width}"
+            )
+        i = 0
+        while val:
+            if val & 1:
+                words[i] |= 1 << k
+            val >>= 1
+            i += 1
+    return words
+
+
+def unpack_lanes(words: Sequence[int], lanes: int) -> List[int]:
+    """Inverse of :func:`pack_lanes`: recover each lane's integer value."""
+    out = []
+    for k in range(lanes):
+        acc = 0
+        for i, w in enumerate(words):
+            if (w >> k) & 1:
+                acc |= 1 << i
+        out.append(acc)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Simulator facade
+# ----------------------------------------------------------------------
+class CompiledSimulator:
+    """Drop-in :class:`~repro.hdl.simulator.Simulator` twin over compiled kernels.
+
+    Parameters
+    ----------
+    circuit:
+        Netlist to simulate (validated + levelized at compile time).
+    lanes:
+        Number of independent simulations packed into each wire value.
+        ``poke``/``peek`` keep the single-simulation interface (pokes
+        broadcast to all lanes; peeks read lane 0 by default);
+        ``poke_lanes``/``peek_lanes`` address lanes individually.
+    watch:
+        Extra wires to keep peekable (see :func:`compile_kernel`).
+    """
+
+    def __init__(self, circuit: Circuit, lanes: int = 1, watch: object = ()) -> None:
+        if lanes < 1:
+            raise SimulationError(f"lanes must be >= 1, got {lanes}")
+        self.circuit = circuit
+        self.lanes = lanes
+        self.mask = (1 << lanes) - 1
+        self.kernel = compile_kernel(circuit, watch=watch)
+        self.values: List[int] = [0] * circuit.num_wires
+        self.values[_CONST1] = self.mask
+        # Bind this instance's value array and mask; hidden-register state
+        # lives in the returned closures, so instances never share state
+        # even though they share the cached kernel.
+        (
+            self._settle_k,
+            self._clock_k,
+            self._step_k,
+            self._load,
+            self._flush,
+        ) = self.kernel.factory(self.values, self.mask)
+        self._hidden = self.kernel.hidden
+        self.cycle = 0
+
+    # -- value access ---------------------------------------------------
+    def _check_readable(self, index: int) -> None:
+        if index not in self.kernel.readable:
+            raise SimulationError(
+                f"wire {self.circuit.wire_names[index]!r} is folded away by the "
+                "compiled kernel (inlined gate or unobserved register); pass it "
+                "in watch=[...] (or watch='all') to keep it peekable"
+            )
+
+    def poke(self, wire_or_bus, value: int) -> None:
+        """Drive an input with one value, broadcast to every lane."""
+        m = self.mask
+        vals = self.values
+        if isinstance(wire_or_bus, Wire):
+            if value not in (0, 1):
+                raise SimulationError(f"single wire takes 0/1, got {value}")
+            idx = wire_or_bus.index
+            if idx in self._hidden:
+                self._flush()
+                vals[idx] = m if value else 0
+                self._load()
+            else:
+                vals[idx] = m if value else 0
+            return
+        bus: Sequence[Wire] = wire_or_bus
+        if value < 0 or value >> len(bus):
+            raise SimulationError(f"value {value} does not fit bus of width {len(bus)}")
+        hid = bool(self._hidden) and not self._hidden.isdisjoint(w.index for w in bus)
+        if hid:
+            self._flush()
+        for i, w in enumerate(bus):
+            vals[w.index] = m if (value >> i) & 1 else 0
+        if hid:
+            self._load()
+
+    def poke_lanes(self, wire_or_bus, lane_values: Sequence[int]) -> None:
+        """Drive an input with one value per lane."""
+        if len(lane_values) != self.lanes:
+            raise SimulationError(
+                f"expected {self.lanes} lane values, got {len(lane_values)}"
+            )
+        vals = self.values
+        if isinstance(wire_or_bus, Wire):
+            word = 0
+            for k, v in enumerate(lane_values):
+                if v not in (0, 1):
+                    raise SimulationError(f"lane {k}: single wire takes 0/1, got {v}")
+                if v:
+                    word |= 1 << k
+            idx = wire_or_bus.index
+            if idx in self._hidden:
+                self._flush()
+                vals[idx] = word
+                self._load()
+            else:
+                vals[idx] = word
+            return
+        bus: Sequence[Wire] = wire_or_bus
+        hid = bool(self._hidden) and not self._hidden.isdisjoint(w.index for w in bus)
+        if hid:
+            self._flush()
+        for w, word in zip(bus, pack_lanes(lane_values, len(bus))):
+            vals[w.index] = word
+        if hid:
+            self._load()
+
+    def peek(self, wire_or_bus, lane: int = 0) -> int:
+        """Read one lane (default lane 0) of a wire or little-endian bus."""
+        if not (0 <= lane < self.lanes):
+            raise SimulationError(f"lane {lane} out of range [0, {self.lanes})")
+        vals = self.values
+        if isinstance(wire_or_bus, Wire):
+            self._check_readable(wire_or_bus.index)
+            return (vals[wire_or_bus.index] >> lane) & 1
+        acc = 0
+        for i, w in enumerate(wire_or_bus):
+            self._check_readable(w.index)
+            acc |= ((vals[w.index] >> lane) & 1) << i
+        return acc
+
+    def peek_lanes(self, wire_or_bus) -> List[int]:
+        """Read every lane of a wire or bus as a list of integers."""
+        vals = self.values
+        if isinstance(wire_or_bus, Wire):
+            self._check_readable(wire_or_bus.index)
+            word = vals[wire_or_bus.index]
+            return [(word >> k) & 1 for k in range(self.lanes)]
+        words = []
+        for w in wire_or_bus:
+            self._check_readable(w.index)
+            words.append(vals[w.index])
+        return unpack_lanes(words, self.lanes)
+
+    # -- phases ---------------------------------------------------------
+    def settle(self) -> None:
+        """Propagate through the compiled combinational cloud (phase 1)."""
+        self._settle_k()
+        if OBS.enabled:
+            OBS.count("hdl.gate_evals", self.kernel.num_gates)
+            OBS.record("hdl.gates_per_cycle", self.kernel.num_gates)
+
+    def clock(self) -> None:
+        """Capture every DFF via the compiled clock kernel (phase 2)."""
+        self._clock_k()
+        self.cycle += 1
+        if OBS.enabled:
+            OBS.count("hdl.cycles")
+            OBS.count("hdl.compiled_cycles")
+
+    def step(self) -> None:
+        """One full clock cycle through the fused settle+capture kernel.
+
+        Equivalent to ``settle(); clock()`` but register inputs never
+        round-trip through the value array.  After ``step()`` the value
+        array holds this cycle's settled combinational values (pre-edge)
+        and the freshly captured observable register values — the same
+        observable state the split phases leave behind.
+        """
+        self._step_k()
+        self.cycle += 1
+        if OBS.enabled:
+            OBS.count("hdl.gate_evals", self.kernel.num_gates)
+            OBS.record("hdl.gates_per_cycle", self.kernel.num_gates)
+            OBS.count("hdl.cycles")
+            OBS.count("hdl.compiled_cycles")
+
+    def reset(self) -> None:
+        """Synchronous reset: load every DFF's reset value; rewind the clock."""
+        m = self.mask
+        for f in self.circuit.dffs:
+            self.values[f.q] = m if f.reset_value else 0
+        if self._hidden:
+            self._load()
+        self.cycle = 0
+        self.settle()
+
+    def run(self, cycles: int) -> None:
+        """Advance ``cycles`` full clock cycles."""
+        for _ in range(cycles):
+            self.step()

@@ -13,6 +13,7 @@ same convention as :mod:`repro.utils.bits`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -215,6 +216,33 @@ class Circuit:
                 f"circuit {self.name!r} has undriven wires: {missing[:10]}"
                 + ("..." if len(missing) > 10 else "")
             )
+
+    def structural_key(self) -> str:
+        """Stable digest of the netlist *structure* (not the wire names).
+
+        Two circuits with identical gate/flip-flop wiring and identical
+        input/output index maps share a key, so the compiled-kernel cache
+        (:mod:`repro.hdl.compiled`) recognizes a re-elaborated netlist —
+        the exponentiator's ~2l multiplications at one ``l``, or every
+        serving batch at the same width — and compiles it exactly once.
+        The digest is memoized; appending wires, gates or flip-flops
+        invalidates the memo.
+        """
+        shape = (self.num_wires, len(self.gates), len(self.dffs))
+        cached = getattr(self, "_structural_key", None)
+        if cached is not None and cached[0] == shape:
+            return cached[1]
+        h = hashlib.sha256()
+        h.update(repr(shape).encode())
+        for g in self.gates:
+            h.update(f"g{g.kind.value}{g.inputs}{g.output};".encode())
+        for f in self.dffs:
+            h.update(f"f{f.d},{f.q},{f.enable},{f.reset_value},{f.clear};".encode())
+        h.update(repr(sorted(self.inputs.values())).encode())
+        h.update(repr(sorted(self.outputs.values())).encode())
+        key = h.hexdigest()
+        self._structural_key = (shape, key)
+        return key
 
     def stats(self) -> Dict[str, int]:
         """Quick size summary: wires, gates, flip-flops."""

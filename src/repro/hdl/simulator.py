@@ -15,14 +15,53 @@ model uses to find the critical path.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import HardwareModelError, SimulationError
 from repro.hdl.gates import GateKind, GATE_EVAL
 from repro.hdl.netlist import Circuit, Wire
 from repro.observability import OBS
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "levelize"]
+
+
+def levelize(circuit: Circuit) -> List[int]:
+    """Topologically order a circuit's gate indices (combinational order).
+
+    Shared by the interpreted :class:`Simulator` and the codegen engine in
+    :mod:`repro.hdl.compiled`.  A combinational cycle raises
+    :class:`~repro.errors.HardwareModelError` naming the stuck wires.
+    """
+    producers: Dict[int, int] = {}  # wire -> gate index
+    for gi, g in enumerate(circuit.gates):
+        producers[g.output] = gi
+    indegree = [0] * len(circuit.gates)
+    dependents: Dict[int, List[int]] = {gi: [] for gi in range(len(circuit.gates))}
+    for gi, g in enumerate(circuit.gates):
+        for w in g.inputs:
+            src = producers.get(w)
+            if src is not None:
+                indegree[gi] += 1
+                dependents[src].append(gi)
+    ready = deque(gi for gi, d in enumerate(indegree) if d == 0)
+    order: List[int] = []
+    while ready:
+        gi = ready.popleft()
+        order.append(gi)
+        for dep in dependents[gi]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                ready.append(dep)
+    if len(order) != len(circuit.gates):
+        stuck = [
+            circuit.wire_names[circuit.gates[gi].output]
+            for gi, d in enumerate(indegree)
+            if d > 0
+        ]
+        raise HardwareModelError(
+            f"combinational loop through: {stuck[:8]}" + ("..." if len(stuck) > 8 else "")
+        )
+    return order
 
 
 class Simulator:
@@ -41,42 +80,27 @@ class Simulator:
         self.circuit = circuit
         self.values: List[int] = [0] * circuit.num_wires
         self.values[circuit.const1.index] = 1
-        self._order = self._levelize()
+        self._order = levelize(circuit)
         self.cycle = 0
         # Gate logic depth (1 = directly fed by registers/inputs/constants).
         self.gate_depth: Dict[int, int] = {}
         self._compute_depths()
-
-    # ------------------------------------------------------------------
-    def _levelize(self) -> List[int]:
-        """Topologically order gate indices; detect combinational loops."""
-        c = self.circuit
-        producers: Dict[int, int] = {}  # wire -> gate index
-        for gi, g in enumerate(c.gates):
-            producers[g.output] = gi
-        indegree = [0] * len(c.gates)
-        dependents: Dict[int, List[int]] = {gi: [] for gi in range(len(c.gates))}
-        for gi, g in enumerate(c.gates):
-            for w in g.inputs:
-                src = producers.get(w)
-                if src is not None:
-                    indegree[gi] += 1
-                    dependents[src].append(gi)
-        ready = deque(gi for gi, d in enumerate(indegree) if d == 0)
-        order: List[int] = []
-        while ready:
-            gi = ready.popleft()
-            order.append(gi)
-            for dep in dependents[gi]:
-                indegree[dep] -= 1
-                if indegree[dep] == 0:
-                    ready.append(dep)
-        if len(order) != len(c.gates):
-            stuck = [c.wire_names[c.gates[gi].output] for gi, d in enumerate(indegree) if d > 0]
-            raise HardwareModelError(
-                f"combinational loop through: {stuck[:8]}" + ("..." if len(stuck) > 8 else "")
+        # Per-cycle evaluation plan, prebuilt once: (eval_fn, a_index,
+        # b_index_or_None, output_index) per gate in topological order, so
+        # settle() runs without per-gate dict lookups or attribute chasing.
+        self._plan: Tuple[Tuple[object, int, Optional[int], int], ...] = tuple(
+            (
+                GATE_EVAL[g.kind],
+                g.inputs[0],
+                g.inputs[1] if len(g.inputs) > 1 else None,
+                g.output,
             )
-        return order
+            for g in (circuit.gates[gi] for gi in self._order)
+        )
+        # DFF capture plan: (d, q, enable_or_None, clear_or_None).
+        self._dff_plan: Tuple[Tuple[int, int, Optional[int], Optional[int]], ...] = tuple(
+            (f.d, f.q, f.enable, f.clear) for f in circuit.dffs
+        )
 
     def _compute_depths(self) -> None:
         c = self.circuit
@@ -123,17 +147,14 @@ class Simulator:
     def settle(self) -> None:
         """Propagate through all combinational gates (phase 1)."""
         vals = self.values
-        gates = self.circuit.gates
-        for gi in self._order:
-            g = gates[gi]
-            fn = GATE_EVAL[g.kind]
-            if g.kind in (GateKind.NOT, GateKind.BUF):
-                vals[g.output] = fn(vals[g.inputs[0]])
+        for fn, a, b, out in self._plan:
+            if b is None:
+                vals[out] = fn(vals[a])
             else:
-                vals[g.output] = fn(vals[g.inputs[0]], vals[g.inputs[1]])
+                vals[out] = fn(vals[a], vals[b])
         if OBS.enabled:
-            OBS.count("hdl.gate_evals", len(self._order))
-            OBS.record("hdl.gates_per_cycle", len(self._order))
+            OBS.count("hdl.gate_evals", len(self._plan))
+            OBS.record("hdl.gates_per_cycle", len(self._plan))
 
     def clock(self) -> None:
         """Capture every DFF (phase 2).  Captures are simultaneous.
@@ -143,13 +164,13 @@ class Simulator:
         """
         vals = self.values
         captures = []
-        for f in self.circuit.dffs:
-            if f.clear is not None and vals[f.clear]:
-                captures.append((f.q, 0))
+        for d, q, en, clr in self._dff_plan:
+            if clr is not None and vals[clr]:
+                captures.append((q, 0))
                 continue
-            if f.enable is not None and not vals[f.enable]:
+            if en is not None and not vals[en]:
                 continue
-            captures.append((f.q, vals[f.d]))
+            captures.append((q, vals[d]))
         for q, v in captures:
             vals[q] = v
         self.cycle += 1

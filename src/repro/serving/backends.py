@@ -71,6 +71,12 @@ class BackendCapabilities:
         the parent's metrics registry.
     requires_factors:
         True when requests must carry ``factors=(p, q)``.
+    lanes:
+        Bit-sliced lane width (``1`` = scalar only).  When greater than 1
+        the service hands :meth:`ModExpBackend.execute_many` whole groups
+        of same-modulus, same-exponent requests, which the backend packs
+        as bit-slices of one netlist sweep (see
+        :meth:`~repro.systolic.mmmc_netlist.GateLevelMMMC.multiply_lanes`).
     """
 
     description: str
@@ -79,6 +85,7 @@ class BackendCapabilities:
     simulator: bool = False
     process_safe: bool = True
     requires_factors: bool = False
+    lanes: int = 1
 
 
 @dataclass(frozen=True)
@@ -140,6 +147,19 @@ class ModExpBackend(ABC):
         self, ctx: MontgomeryContext, request: ModExpRequest
     ) -> BackendResult:
         """Run the exponentiation with the batch's shared constants."""
+
+    def execute_many(
+        self, ctx: MontgomeryContext, requests: List[ModExpRequest]
+    ) -> List[BackendResult]:
+        """Run several requests sharing ``ctx``; results in input order.
+
+        The service calls this (instead of per-request :meth:`execute`
+        tasks) for backends declaring ``capabilities.lanes > 1``, passing
+        same-modulus groups from one coalesced batch.  The default runs
+        them sequentially; lane-capable backends override it to pack
+        same-exponent requests into one bit-sliced sweep.
+        """
+        return [self.execute(ctx, request) for request in requests]
 
 
 def _square_multiply(mont, ctx_r2: int, base: int, exponent: int) -> int:
@@ -239,61 +259,185 @@ class CRTBackend(ModExpBackend):
         return BackendResult(m_q + h * q, cycles)
 
 
-class RTLBackend(ModExpBackend):
-    """Cycle-accurate systolic array RTL model (the paper's datapath)."""
+class _NetlistBackend(ModExpBackend):
+    """Shared machinery of the two netlist-simulation backends.
 
-    name = "rtl"
-    capabilities = BackendCapabilities(
-        description="cycle-accurate behavioral MMMC + controller",
-        max_bits=64,
-        cycle_accurate=True,
-        simulator=True,
-        process_safe=False,
-    )
-    wall_weight = 200.0
-
-    def execute(self, ctx, request):
-        from repro.systolic.exponentiator import ModularExponentiator
-
-        run = ModularExponentiator(ctx, engine="rtl").exponentiate(
-            request.base, request.exponent
-        )
-        return BackendResult(run.result, run.cycles)
-
-
-class GateLevelBackend(ModExpBackend):
-    """Gate-level netlist simulation of the MMMC, one mult at a time.
-
-    The slowest, most faithful tier — every AND gate of every cell is
-    evaluated — so the width ceiling is tiny.  The per-``l`` netlist is
-    built once and reused across requests.
+    Each operand width gets one elaborated :class:`GateLevelMMMC`, reused
+    across requests — a scalar instance for :meth:`execute` and a K-lane
+    instance for the bit-sliced :meth:`execute_many` path.  Both run the
+    compiled kernel engine and share one codegen'd kernel through the
+    structural-key cache (lane count is bound per simulator, not per
+    kernel).  The simulators are stateful, so a lock keeps thread workers
+    from interleaving multiplications on one instance.
     """
 
-    name = "gate"
-    capabilities = BackendCapabilities(
-        description="gate-level MMMC netlist co-simulation",
-        max_bits=10,
-        cycle_accurate=True,
-        simulator=True,
-        process_safe=False,
-    )
-    wall_weight = 20000.0
+    #: netlist simulator engine for the cached instances
+    simulator = "compiled"
 
     def __init__(self) -> None:
         import threading
 
-        self._instances: Dict[int, object] = {}
-        # The cached netlist simulator is stateful; thread workers must
-        # not interleave multiplications on one instance.
+        self._scalar: Dict[int, object] = {}
+        self._vector: Dict[int, object] = {}
         self._lock = threading.Lock()
 
-    def _mmmc(self, l: int):
-        inst = self._instances.get(l)
+    def _mmmc(self, l: int, lanes: int = 1):
+        cache = self._scalar if lanes <= 1 else self._vector
+        inst = cache.get(l)
         if inst is None:
             from repro.systolic.mmmc_netlist import GateLevelMMMC
 
-            inst = self._instances[l] = GateLevelMMMC(l)
+            inst = cache[l] = GateLevelMMMC(
+                l, simulator=self.simulator, lanes=max(lanes, 1)
+            )
         return inst
+
+    def _execute_lanes(
+        self, ctx: MontgomeryContext, requests: List[ModExpRequest]
+    ) -> List[BackendResult]:
+        """One square-and-multiply schedule, K bases as bit-sliced lanes.
+
+        Caller holds ``self._lock`` and guarantees every request shares
+        ``ctx`` and the exponent (the lanes advance in lock-step, so the
+        multiplication schedule must be common).
+        """
+        n = ctx.modulus
+        exponent = requests[0].exponent
+        gate = self._mmmc(ctx.l, self.capabilities.lanes)
+        k = len(requests)
+        ns = [n] * k
+        cycles = 0
+
+        def mont(xs: List[int], ys: List[int]) -> List[int]:
+            nonlocal cycles
+            runs = gate.multiply_lanes(xs, ys, ns)
+            cycles += runs[0].cycles  # lock-step: every lane pays the same
+            return [r.result for r in runs]
+
+        m_bar = mont([r.base for r in requests], [ctx.r2_mod_n] * k)
+        a = m_bar
+        for i in reversed(range(exponent.bit_length() - 1)):
+            a = mont(a, a)
+            if (exponent >> i) & 1:
+                a = mont(a, m_bar)
+        a = mont(a, [1] * k)
+        return [BackendResult(v % n, cycles) for v in a]
+
+    def execute_many(self, ctx, requests):
+        lanes = max(self.capabilities.lanes, 1)
+        results: List[Optional[BackendResult]] = [None] * len(requests)
+        groups: Dict[int, List[int]] = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(request.exponent, []).append(i)
+        for members in groups.values():
+            for lo in range(0, len(members), lanes):
+                chunk = members[lo : lo + lanes]
+                if len(chunk) == 1:
+                    results[chunk[0]] = self.execute(ctx, requests[chunk[0]])
+                else:
+                    with self._lock:
+                        outs = self._execute_lanes(
+                            ctx, [requests[i] for i in chunk]
+                        )
+                    for i, out in zip(chunk, outs):
+                        results[i] = out
+        return results
+
+
+class RTLBackend(_NetlistBackend):
+    """Cycle-accurate systolic MMMC model (the paper's datapath).
+
+    Runs the full exponentiator protocol — pre/scan/post with the
+    measured-vs-model cycle cross-check — over the gate-level netlist
+    twin on compiled kernels by default (``engine="gate"``), which the
+    equivalence suite proves cycle- and bit-identical to the behavioral
+    model.  ``engine="rtl"`` falls back to the behavioral
+    :class:`~repro.systolic.mmmc.MMMC` (needed e.g. for controller state
+    traces, which the netlist twin does not log).
+    """
+
+    name = "rtl"
+    capabilities = BackendCapabilities(
+        description="cycle-accurate MMMC on compiled gate-level kernels",
+        max_bits=64,
+        cycle_accurate=True,
+        simulator=True,
+        process_safe=False,
+        lanes=64,
+    )
+    wall_weight = 200.0
+
+    def __init__(self, engine: str = "gate") -> None:
+        from dataclasses import replace
+
+        super().__init__()
+        if engine not in ("gate", "rtl"):
+            raise ParameterError(f"unknown rtl-backend engine {engine!r}")
+        self.engine = engine
+        if engine == "rtl":
+            # Behavioral fallback: no netlist, no lane packing.
+            self.capabilities = replace(
+                self.capabilities,
+                description="cycle-accurate behavioral MMMC + controller",
+                lanes=1,
+            )
+
+    def _multiplier(self, l: int):
+        if self.engine == "gate":
+            return self._mmmc(l)
+        inst = self._scalar.get(l)
+        if inst is None:
+            from repro.systolic.mmmc import MMMC
+
+            inst = self._scalar[l] = MMMC(l)
+        return inst
+
+    def execute(self, ctx, request):
+        from repro.systolic.exponentiator import ModularExponentiator
+
+        with self._lock:
+            run = ModularExponentiator(
+                ctx, engine=self.engine, multiplier=self._multiplier(ctx.l)
+            ).exponentiate(request.base, request.exponent)
+        return BackendResult(run.result, run.cycles)
+
+
+class GateLevelBackend(_NetlistBackend):
+    """Gate-level netlist simulation of the MMMC, every gate evaluated.
+
+    The most faithful tier — every AND gate of every cell is evaluated —
+    so the width ceiling stays tiny even though the compiled kernel
+    engine (the default) recovers most of the interpreter overhead.
+    ``simulator="interpreted"`` is the pre-codegen path, kept for
+    differential debugging.
+    """
+
+    name = "gate"
+    capabilities = BackendCapabilities(
+        description="gate-level MMMC netlist co-simulation, compiled kernels",
+        max_bits=10,
+        cycle_accurate=True,
+        simulator=True,
+        process_safe=False,
+        lanes=64,
+    )
+    # Compiled kernels brought the per-cycle wall cost down ~7x from the
+    # interpreted simulator's 20000x; still far above the big-int paths.
+    wall_weight = 3000.0
+
+    def __init__(self, simulator: str = "compiled") -> None:
+        from dataclasses import replace
+
+        super().__init__()
+        self.simulator = simulator
+        if simulator != "compiled":
+            # Lane packing is a compiled-kernel feature.
+            self.capabilities = replace(
+                self.capabilities,
+                description="gate-level MMMC netlist co-simulation, interpreted",
+                lanes=1,
+            )
+            self.wall_weight = 20000.0
 
     def execute(self, ctx, request):
         n = ctx.modulus

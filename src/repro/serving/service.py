@@ -116,10 +116,48 @@ def _run_request(
     return result.value, result.cycles, wall_us, worker_label(), None
 
 
+def _run_request_group(
+    backend_spec: Any, ctx: MontgomeryContext, requests: List[ModExpRequest]
+) -> Tuple[List[int], List[Optional[int]], float, str, None]:
+    """Pool task: one same-modulus, same-exponent lane group in one sweep.
+
+    Lane groups form only for thread/inline pools (lane-capable backends
+    are simulators, which are not process-safe), so the backend's hook
+    sites feed the parent's ``OBS`` registry directly and no capture
+    session is needed.  Returns ``(values, cycles_per_request,
+    wall_us_for_the_group, worker, None)``; the collector divides the
+    group wall time across its requests.
+    """
+    backend = (
+        _worker_registry().get(backend_spec)
+        if isinstance(backend_spec, str)
+        else backend_spec
+    )
+    t0 = time.perf_counter()
+    results = backend.execute_many(ctx, list(requests))
+    wall_us = (time.perf_counter() - t0) * 1e6
+    return (
+        [r.value for r in results],
+        [r.cycles for r in results],
+        wall_us,
+        worker_label(),
+        None,
+    )
+
+
 class _Entry:
     """One dispatched (or immediately resolved) request in flight."""
 
-    __slots__ = ("request", "input_index", "batch_index", "future", "result", "submitted_at")
+    __slots__ = (
+        "request",
+        "input_index",
+        "batch_index",
+        "future",
+        "result",
+        "submitted_at",
+        "group_pos",
+        "group_size",
+    )
 
     def __init__(self, request: ModExpRequest, input_index: int) -> None:
         self.request = request
@@ -128,6 +166,8 @@ class _Entry:
         self.future: Optional[Future] = None
         self.result: Optional[ModExpResult] = None
         self.submitted_at: float = 0.0
+        self.group_pos: Optional[int] = None  # position in a lane group
+        self.group_size: int = 1
 
 
 class ModExpService:
@@ -259,46 +299,104 @@ class ModExpService:
     def _backend_spec(self) -> Any:
         return self.backend.name if self.pool.kind == "process" else self.backend
 
+    @staticmethod
+    def _lane_groups(entries: List[_Entry], lanes: int) -> List[List[_Entry]]:
+        """Partition one batch's entries into lane-packable groups.
+
+        Lane packing needs a shared square-and-multiply schedule, so only
+        requests with identical exponents share a group; groups are capped
+        at the backend's lane width.  Order within a group follows batch
+        order.
+        """
+        by_exponent: Dict[int, List[_Entry]] = {}
+        for entry in entries:
+            by_exponent.setdefault(entry.request.exponent, []).append(entry)
+        groups: List[List[_Entry]] = []
+        for members in by_exponent.values():
+            for lo in range(0, len(members), lanes):
+                groups.append(members[lo : lo + lanes])
+        return groups
+
+    def _submit_group(
+        self, spec: Any, batch: Batch, group: List[_Entry], *, on_full: str
+    ) -> None:
+        """Submit one pool task for ``group`` (one request, or a lane pack)."""
+        while True:
+            try:
+                now = time.monotonic()
+                if len(group) == 1:
+                    entry = group[0]
+                    entry.submitted_at = now
+                    entry.future = self.pool.submit(
+                        _run_request, spec, batch.context, entry.request
+                    )
+                else:
+                    future = self.pool.submit(
+                        _run_request_group,
+                        spec,
+                        batch.context,
+                        [e.request for e in group],
+                    )
+                    for pos, entry in enumerate(group):
+                        entry.submitted_at = now
+                        entry.future = future
+                        entry.group_pos = pos
+                        entry.group_size = len(group)
+                if OBS.enabled:
+                    OBS.count(
+                        "serving.requests",
+                        len(group),
+                        status="accepted",
+                        backend=self.backend.name,
+                    )
+                return
+            except QueueFull as exc:
+                if on_full == "reject":
+                    for entry in group:
+                        entry.result = ModExpResult.failure(
+                            entry.request.request_id,
+                            exc,
+                            backend=self.backend.name,
+                            batch_index=batch.index,
+                        )
+                    if OBS.enabled:
+                        OBS.count(
+                            "serving.requests",
+                            len(group),
+                            status="rejected",
+                            backend=self.backend.name,
+                        )
+                    return
+                self.pool.wait_for_capacity(timeout=0.5)
+
     def _dispatch(
         self, batches: List[Batch], entries_by_id: Dict[int, Deque[_Entry]], *, on_full: str
     ) -> List[_Entry]:
-        """Submit every batch request; returns entries in dispatch order."""
+        """Submit every batch request; returns entries in dispatch order.
+
+        Backends declaring ``capabilities.lanes > 1`` get same-exponent
+        requests of a batch submitted as *one* task running the backend's
+        bit-sliced :meth:`execute_many`; everything else dispatches one
+        task per request, exactly as before.  Lane grouping is skipped on
+        process pools (no lane-capable backend is process-safe, but a
+        custom registry could claim otherwise).
+        """
         spec = self._backend_spec()
+        lanes = self.backend.capabilities.lanes
+        lane_packing = lanes > 1 and self.pool.kind != "process"
         dispatched: List[_Entry] = []
         for batch in batches:
-            for request in batch.requests:
-                entry = entries_by_id[id(request)].popleft()
+            entries = [entries_by_id[id(r)].popleft() for r in batch.requests]
+            for entry in entries:
                 entry.batch_index = batch.index
-                dispatched.append(entry)
-                while True:
-                    try:
-                        entry.submitted_at = time.monotonic()
-                        entry.future = self.pool.submit(
-                            _run_request, spec, batch.context, request
-                        )
-                        if OBS.enabled:
-                            OBS.count(
-                                "serving.requests",
-                                status="accepted",
-                                backend=self.backend.name,
-                            )
-                        break
-                    except QueueFull as exc:
-                        if on_full == "reject":
-                            entry.result = ModExpResult.failure(
-                                request.request_id,
-                                exc,
-                                backend=self.backend.name,
-                                batch_index=batch.index,
-                            )
-                            if OBS.enabled:
-                                OBS.count(
-                                    "serving.requests",
-                                    status="rejected",
-                                    backend=self.backend.name,
-                                )
-                            break
-                        self.pool.wait_for_capacity(timeout=0.5)
+            dispatched.extend(entries)
+            groups = (
+                self._lane_groups(entries, lanes)
+                if lane_packing
+                else [[entry] for entry in entries]
+            )
+            for group in groups:
+                self._submit_group(spec, batch, group, on_full=on_full)
         return dispatched
 
     def _collect(self, entry: _Entry) -> ModExpResult:
@@ -313,9 +411,16 @@ class ModExpService:
             remaining = max(0.0, entry.submitted_at + timeout - time.monotonic())
         name = self.backend.name
         try:
-            value, cycles, wall_us, worker, telemetry = future.result(
-                timeout=remaining
-            )
+            payload = future.result(timeout=remaining)
+            if entry.group_pos is None:
+                value, cycles, wall_us, worker, telemetry = payload
+            else:
+                # Lane-group task: unpack this request's slice; wall time
+                # is amortized evenly over the group it shared a sweep with.
+                values, cycles_list, group_wall_us, worker, telemetry = payload
+                value = values[entry.group_pos]
+                cycles = cycles_list[entry.group_pos]
+                wall_us = group_wall_us / entry.group_size
         except FuturesTimeout:
             future.cancel()
             if OBS.enabled:

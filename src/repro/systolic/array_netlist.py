@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SimulationError
+from repro.hdl.compiled import CompiledSimulator
 from repro.hdl.netlist import Circuit, Wire
 from repro.hdl.registers import _drive
 from repro.hdl.simulator import Simulator
@@ -37,7 +38,34 @@ from repro.systolic.cell_netlists import (
 )
 from repro.utils.bits import bits_to_int
 
-__all__ = ["ArrayCore", "ArrayPorts", "elaborate_array", "build_array", "GateLevelArray"]
+__all__ = [
+    "ArrayCore",
+    "ArrayPorts",
+    "elaborate_array",
+    "build_array",
+    "GateLevelArray",
+    "SIMULATOR_ENGINES",
+    "make_simulator",
+]
+
+SIMULATOR_ENGINES = ("interpreted", "compiled")
+
+
+def make_simulator(circuit: Circuit, engine: str, *, lanes: int = 1, watch=()):
+    """Build the requested simulation engine over ``circuit``.
+
+    ``"interpreted"`` returns the classic :class:`~repro.hdl.Simulator`
+    (every wire peekable, required for waveform capture); ``"compiled"``
+    returns a :class:`~repro.hdl.CompiledSimulator` with ``watch`` wires
+    kept peekable.  ``lanes > 1`` requires the compiled engine.
+    """
+    if engine not in SIMULATOR_ENGINES:
+        raise ParameterError(f"simulator must be one of {SIMULATOR_ENGINES}, got {engine!r}")
+    if engine == "compiled":
+        return CompiledSimulator(circuit, lanes=lanes, watch=watch)
+    if lanes != 1:
+        raise ParameterError("lane-packed simulation requires simulator='compiled'")
+    return Simulator(circuit)
 
 
 @dataclass
@@ -50,10 +78,41 @@ class ArrayCore:
     t_comb: List[Wire]  # combinational t outputs of cells 1..top_cell
     t_next_comb: Wire  # combinational top bit of the row sum
     m0: Wire  # combinational m output of the rightmost cell
+    # Overflow taps: the topmost cell's adder carry and the C1 register it
+    # is XORed with.  Both high means the row sum needs a bit the XOR
+    # cannot produce — the exact condition the behavioral model raises
+    # SimulationError on (lost carry in paper mode, impossible-range
+    # violation in corrected mode).  Taps on existing wires; no extra gates.
+    overflow_carry: Wire
+    overflow_c1: Wire
 
     @property
     def top_cell(self) -> int:
         return self.l + 1 if self.mode == "corrected" else self.l
+
+    def overflow_message(self, cycle: int) -> str:
+        if self.mode == "paper":
+            return (
+                f"paper-mode leftmost cell lost a carry at cycle {cycle}: "
+                "row sum needs bit l+2 (intermediate T >= 2^(l+1)); the "
+                "printed Fig. 2 array computes this operand set incorrectly"
+            )
+        return (
+            f"corrected-mode top cell overflow at cycle {cycle}: "
+            "S_i >= 2^(l+3) should be mathematically impossible"
+        )
+
+    def productive(self, cycle: int) -> bool:
+        """True when the topmost cell computes a real row at ``cycle``.
+
+        Mirrors ``SystolicArrayRTL._productive`` so netlist wrappers gate
+        the overflow taps on the same cycles as the behavioral model.
+        """
+        cell = self.top_cell
+        if (cycle - cell) % 2:
+            return False
+        row = (cycle - cell) // 2
+        return 0 <= row <= self.l + 1
 
 
 def elaborate_array(
@@ -173,6 +232,7 @@ def elaborate_array(
         )
         t_comb.append(left.t)
         t_next = left.t_next
+        overflow_carry, overflow_c1 = left.carry, C1(l - 1)
     else:
         nom = build_no_modulus_cell(
             c, T(l + 1), x_l, y[l], c0_q[l - 1], C1(l - 1), name=f"{name}.cell{l}"
@@ -183,6 +243,7 @@ def elaborate_array(
         top = build_top_cell(c, T(l + 2), c0_q[l], C1(l), name=f"{name}.cell{l + 1}")
         t_comb.append(top.t)
         t_next = top.t_next
+        overflow_carry, overflow_c1 = top.carry, C1(l)
 
     # ------------------------------------------------------------------
     # Close the register input placeholders.
@@ -202,7 +263,14 @@ def elaborate_array(
         _drive(c, x_d[k], x_q[k - 1])
 
     return ArrayCore(
-        l=l, mode=mode, t_regs=t_q, t_comb=t_comb, t_next_comb=t_next, m0=right.m
+        l=l,
+        mode=mode,
+        t_regs=t_q,
+        t_comb=t_comb,
+        t_next_comb=t_next,
+        m0=right.m,
+        overflow_carry=overflow_carry,
+        overflow_c1=overflow_c1,
     )
 
 
@@ -257,9 +325,15 @@ class GateLevelArray:
     small ``l`` with randomized operands.
     """
 
-    def __init__(self, l: int, mode: str = "corrected") -> None:
+    def __init__(self, l: int, mode: str = "corrected", simulator: str = "interpreted") -> None:
         self.ports = build_array(l, mode=mode)
-        self.sim = Simulator(self.ports.circuit)
+        core = self.ports.core
+        # Everything run_multiplication peeks must stay materialized when
+        # the codegen engine folds the combinational cloud (the overflow C1
+        # register would otherwise live in a closure cell).
+        watch = tuple(core.t_comb) + (core.t_next_comb, core.overflow_carry, core.overflow_c1)
+        self.sim = make_simulator(self.ports.circuit, simulator, watch=watch)
+        self.simulator = simulator
         self.l = l
         self.mode = mode
 
@@ -284,14 +358,20 @@ class GateLevelArray:
         last_b = l if self.mode == "corrected" else l - 1
         for tau in range(self.datapath_cycles):
             sim.poke(self.ports.x0, (x >> (tau // 2)) & 1)
-            sim.settle()
+            # Pre-edge C1 register read, then the fused cycle; combinational
+            # taps below reflect this cycle's settle (pre-edge values).
+            c1 = sim.peek(core.overflow_c1) if core.productive(tau) else 0
+            sim.step()
+            # Overflow taps: carry AND C1 at the topmost cell is the same
+            # row-sum >= 4 condition the behavioral model raises on.
+            if c1 and sim.peek(core.overflow_carry):
+                raise SimulationError(core.overflow_message(tau))
             # Diagonal capture from the combinational outputs (what the
             # per-bit-enabled datapath T register of Fig. 3 latches).
             if first <= tau <= first + last_b:
                 result_bits[tau - first] = sim.peek(core.t_comb[tau - first])
             if self.mode == "paper" and tau == 3 * l + 2:
                 result_bits[l] = sim.peek(core.t_next_comb)
-            sim.clock()
         return MultiplicationResult(
             value=bits_to_int(result_bits),
             datapath_cycles=self.datapath_cycles,

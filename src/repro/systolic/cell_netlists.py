@@ -65,6 +65,11 @@ class FirstBitCellWires(NamedTuple):
 class LeftmostCellWires(NamedTuple):
     t: Wire
     t_next: Wire
+    # Adder carry feeding the t_next XOR.  Not a new gate — a tap on the
+    # existing FA/HA carry so simulation wrappers can detect the lost-carry
+    # overflow (carry AND c1_in is exactly the ``row sum >= 4`` condition
+    # the behavioral model raises on) without perturbing the gate census.
+    carry: Wire
 
 
 def build_regular_cell(
@@ -151,7 +156,7 @@ def build_leftmost_cell(
     xy = c.and_(x, yl, name=f"{name}.xy")
     t, carry = full_adder(c, t_in, xy, c0_in, name=f"{name}.fa")
     t_next = c.xor(carry, c1_in, name=f"{name}.tnext")
-    return LeftmostCellWires(t=t, t_next=t_next)
+    return LeftmostCellWires(t=t, t_next=t_next, carry=carry)
 
 
 # ----------------------------------------------------------------------
@@ -195,4 +200,4 @@ def build_top_cell(
     """
     t, carry = half_adder(c, t_in, c0_in, name=f"{name}.ha")
     t_next = c.xor(carry, c1_in, name=f"{name}.tnext")
-    return LeftmostCellWires(t=t, t_next=t_next)
+    return LeftmostCellWires(t=t, t_next=t_next, carry=carry)

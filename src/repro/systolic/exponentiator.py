@@ -5,6 +5,10 @@ multiplications to an engine:
 
 * ``engine="rtl"`` — every multiplication runs through the cycle-accurate
   :class:`~repro.systolic.mmmc.MMMC`; total cycles are measured.
+* ``engine="gate"`` — every multiplication runs through the gate-level
+  netlist twin (:class:`~repro.systolic.mmmc_netlist.GateLevelMMMC`) on
+  the compiled kernel engine; cycles are measured at the netlist level
+  and provably equal the behavioral RTL count.
 * ``engine="golden"`` — multiplications use the big-integer Algorithm 2
   while cycle accounting uses the RTL cost (``3l+4`` per operation, which
   the test suite proves identical to the measured RTL count).  This makes
@@ -57,19 +61,44 @@ class ModularExponentiator:
     ctx:
         Montgomery parameter context (fixes N, l, R = 2^(l+2), R² mod N).
     engine:
-        ``"rtl"`` (cycle-accurate hardware model) or ``"golden"``
+        ``"rtl"`` (cycle-accurate behavioral hardware model), ``"gate"``
+        (gate-level netlist twin on compiled kernels) or ``"golden"``
         (big-integer arithmetic with the RTL cycle accounting).
+    multiplier:
+        Optional pre-built hardware multiplier (a behavioral ``MMMC`` or a
+        ``GateLevelMMMC``) to use instead of constructing one.  Lets the
+        serving backends reuse one elaborated netlist across requests; it
+        must match ``ctx.l`` and ``mode``.  Only valid with a hardware
+        engine (``"rtl"`` / ``"gate"``).
     """
 
     def __init__(
-        self, ctx: MontgomeryContext, engine: str = "rtl", *, mode: str = "corrected"
+        self,
+        ctx: MontgomeryContext,
+        engine: str = "rtl",
+        *,
+        mode: str = "corrected",
+        multiplier=None,
     ) -> None:
-        if engine not in ("rtl", "golden"):
+        if engine not in ("rtl", "gate", "golden"):
             raise ParameterError(f"unknown engine {engine!r}")
         self.ctx = ctx
         self.engine = engine
         self.mode = mode
-        self.mmmc = MMMC(ctx.l, mode=mode) if engine == "rtl" else None
+        if engine == "golden":
+            if multiplier is not None:
+                raise ParameterError(
+                    "multiplier= requires a hardware engine ('rtl' or 'gate')"
+                )
+            self.mmmc = None
+        elif multiplier is not None:
+            self.mmmc = multiplier
+        elif engine == "gate":
+            from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+            self.mmmc = GateLevelMMMC(ctx.l, mode=mode, simulator="compiled")
+        else:
+            self.mmmc = MMMC(ctx.l, mode=mode)
         self.cycles = 0
 
     @classmethod

@@ -29,12 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, SimulationError
 from repro.hdl.netlist import Circuit, Wire
 from repro.hdl.registers import _drive, counter, equality_comparator, mux2, register, shift_register_right
-from repro.hdl.simulator import Simulator
+from repro.observability import OBS
 from repro.systolic.array import ARRAY_MODES
-from repro.systolic.array_netlist import ArrayCore, elaborate_array
+from repro.systolic.array_netlist import ArrayCore, elaborate_array, make_simulator
 from repro.systolic.mmmc import MMMCRun
 from repro.utils.bits import bits_to_int
 
@@ -182,21 +182,60 @@ class GateLevelMMMC:
     tests (gate MMMC ≡ behavioral MMMC ≡ golden) and the waveform example.
     """
 
-    def __init__(self, l: int, mode: str = "corrected") -> None:
+    def __init__(
+        self,
+        l: int,
+        mode: str = "corrected",
+        simulator: str = "interpreted",
+        lanes: int = 1,
+    ) -> None:
         self.ports = build_mmmc(l, mode=mode)
-        self.sim = Simulator(self.ports.circuit)
+        core = self.ports.core
+        # multiply() observes the overflow carry tap (combinational), the
+        # controller state bits and the overflow C1 register; watching them
+        # keeps them in the value array while every other register stays in
+        # the compiled kernel's closure cells.
+        s0, s1 = self.ports.state
+        self.sim = make_simulator(
+            self.ports.circuit,
+            simulator,
+            lanes=lanes,
+            watch=(core.overflow_carry, core.overflow_c1, s0, s1),
+        )
+        self._s0_i, self._s1_i = s0.index, s1.index
+        self._c1_i = core.overflow_c1.index
+        self._carry_i = core.overflow_carry.index
+        self._done_i = self.ports.done.index
+        self.simulator = simulator
+        self.lanes = lanes
         self.l = l
         self.mode = mode
         self.sim.reset()
 
-    def multiply(self, x: int, y: int, n: int) -> MMMCRun:
-        """Run one multiplication; cycles counted from first MUL to DONE."""
-        p, sim = self.ports, self.sim
+    def _validate(self, x: int, y: int, n: int) -> None:
         if n.bit_length() > self.l or n % 2 == 0 or n < 3:
             raise ParameterError(f"bad modulus {n} for l={self.l}")
         for nm, v in (("x", x), ("y", y)):
             if not 0 <= v < 2 * n:
                 raise ParameterError(f"{nm}={v} outside [0, 2N) for N={n}")
+
+    def _in_mul(self) -> bool:
+        # Direct value-array read (both engines expose .values and keep the
+        # watched state bits there); MUL1=01 / MUL2=10 means s0 XOR s1.
+        vals = self.sim.values
+        return bool((vals[self._s0_i] ^ vals[self._s1_i]) & 1)
+
+    def multiply(self, x: int, y: int, n: int) -> MMMCRun:
+        """Run one multiplication; cycles counted from first MUL to DONE."""
+        p, sim, core = self.ports, self.sim, self.ports.core
+        self._validate(x, y, n)
+        observed = OBS.enabled
+        if observed:
+            # Mirror the behavioral MMMC's span shape so traces captured
+            # through either engine nest identically under the exponentiator.
+            OBS.begin(
+                "mmm", cat="mmmc", l=self.l, mode=self.mode, engine=self.simulator
+            )
         sim.poke(p.x_in, x)
         sim.poke(p.y_in, y)
         sim.poke(p.n_in, n)
@@ -204,16 +243,121 @@ class GateLevelMMMC:
         sim.step()  # the IDLE/load cycle (not charged, as in the behavioral MMMC)
         sim.poke(p.start, 0)
         cycles = 0
+        mul_cycles = 0  # mirrors the behavioral array's cycle index
         limit = 4 * self.l + 16
+        vals = sim.values
+        s0_i, s1_i, c1_i = self._s0_i, self._s1_i, self._c1_i
+        step = sim.step
         while cycles < limit:
-            sim.settle()
-            done = sim.peek(p.done)
-            sim.clock()
+            # Pre-edge register reads (state, overflow C1) happen before the
+            # fused step; combinational taps (carry, DONE) are settled from
+            # those same pre-edge values and stay valid after it.
+            in_mul = (vals[s0_i] ^ vals[s1_i]) & 1
+            c1 = (vals[c1_i] & 1) if in_mul else 0
+            step()
+            if (
+                c1
+                and core.productive(mul_cycles)
+                and vals[self._carry_i] & 1
+            ):
+                sim.reset()  # leave the instance reusable after the raise
+                raise SimulationError(core.overflow_message(mul_cycles))
+            done = vals[self._done_i] & 1
             cycles += 1
+            if in_mul:
+                mul_cycles += 1
+            if observed:
+                OBS.tick()
             if done:
+                if observed:
+                    OBS.count("mmmc.multiplications")
+                    OBS.record("mmmc.multiplication_cycles", cycles)
+                    OBS.end(cycles=cycles)
                 return MMMCRun(
                     result=bits_to_int([sim.peek(w) for w in p.result]),
                     cycles=cycles,
                     state_sequence=[],
                 )
+        raise ParameterError(f"DONE did not rise within {limit} cycles")
+
+    def multiply_lanes(self, xs, ys, ns) -> List[MMMCRun]:
+        """Run up to ``lanes`` multiplications in one bit-sliced sweep.
+
+        The controller is data-independent, so every lane shares the same
+        START/MUL/DONE schedule; each wire carries the K lanes as bits of
+        one int and the compiled kernels evaluate them simultaneously.
+        Short batches are padded by replicating the last operand set (the
+        padding lanes' results are discarded).
+        """
+        if self.lanes < 2 or self.simulator != "compiled":
+            raise ParameterError(
+                "multiply_lanes requires GateLevelMMMC(..., simulator='compiled', lanes=K)"
+            )
+        if not (0 < len(xs) <= self.lanes) or not (len(xs) == len(ys) == len(ns)):
+            raise ParameterError(
+                f"batch of {len(xs)}/{len(ys)}/{len(ns)} operands does not fit "
+                f"{self.lanes} lanes"
+            )
+        for x, y, n in zip(xs, ys, ns):
+            self._validate(x, y, n)
+        used = len(xs)
+        pad = self.lanes - used
+        xs = list(xs) + [xs[-1]] * pad
+        ys = list(ys) + [ys[-1]] * pad
+        ns = list(ns) + [ns[-1]] * pad
+        p, sim, core = self.ports, self.sim, self.ports.core
+        observed = OBS.enabled
+        if observed:
+            OBS.count("hdl.lanes_packed", used)
+            # One span covers the whole sweep: K multiplications advance in
+            # lock-step, so the trace shows one "mmm" segment with a lanes=
+            # attribute rather than K overlapping copies.
+            OBS.begin(
+                "mmm",
+                cat="mmmc",
+                l=self.l,
+                mode=self.mode,
+                engine=self.simulator,
+                lanes=used,
+            )
+        sim.poke_lanes(p.x_in, xs)
+        sim.poke_lanes(p.y_in, ys)
+        sim.poke_lanes(p.n_in, ns)
+        sim.poke(p.start, 1)  # broadcast: every lane starts together
+        sim.step()
+        sim.poke(p.start, 0)
+        cycles = 0
+        mul_cycles = 0
+        limit = 4 * self.l + 16
+        vals = sim.values
+        carry_i, c1_i = core.overflow_carry.index, core.overflow_c1.index
+        while cycles < limit:
+            in_mul = self._in_mul()
+            c1_word = vals[c1_i] if in_mul else 0  # pre-edge C1 lanes
+            sim.step()
+            if in_mul and c1_word and core.productive(mul_cycles):
+                over = vals[carry_i] & c1_word
+                if over:
+                    bad = [k for k in range(used) if (over >> k) & 1]
+                    if bad:
+                        sim.reset()  # leave the instance reusable after the raise
+                        raise SimulationError(
+                            f"lanes {bad}: " + core.overflow_message(mul_cycles)
+                        )
+            done = sim.peek(p.done)
+            cycles += 1
+            if in_mul:
+                mul_cycles += 1
+            if observed:
+                OBS.tick()
+            if done:
+                results = sim.peek_lanes(p.result)
+                if observed:
+                    OBS.count("mmmc.multiplications", used)
+                    OBS.record("mmmc.multiplication_cycles", cycles)
+                    OBS.end(cycles=cycles)
+                return [
+                    MMMCRun(result=results[k], cycles=cycles, state_sequence=[])
+                    for k in range(used)
+                ]
         raise ParameterError(f"DONE did not rise within {limit} cycles")

@@ -1,0 +1,317 @@
+"""Differential equivalence: the compiled engine vs the interpreted simulator.
+
+The compiled engine (:mod:`repro.hdl.compiled`) must be observationally
+identical to the interpreted :class:`~repro.hdl.simulator.Simulator` —
+wire for wire, cycle for cycle, including the paper-mode overflow raise.
+This suite checks that on random fuzz circuits, on each of the paper's
+Fig. 1 cells (exhaustive truth tables), and end-to-end on the full MMMC,
+plus the kernel-cache accounting the serving layer relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hdl.compiled import (
+    CompiledSimulator,
+    clear_kernel_cache,
+    compile_kernel,
+    kernel_cache_info,
+)
+from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.simulator import Simulator
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import MontgomeryContext
+from repro.observability import MetricsRegistry, observe
+from repro.systolic.cell_netlists import (
+    build_first_bit_cell,
+    build_leftmost_cell,
+    build_regular_cell,
+    build_rightmost_cell,
+)
+from repro.systolic.mmmc import MMMC
+from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+from tests.fpga.test_techmap_fuzz import random_circuit
+
+# A known paper-mode carry-loss triple (see bench_overflow_finding.py).
+OVERFLOW = dict(l=31, n=2094037023, x=2652540660, y=2813059522)
+
+
+def _modulus(rng: random.Random, l: int) -> int:
+    return (rng.getrandbits(l - 1) | (1 << (l - 1))) | 1
+
+
+def _compare_state(circuit, interp, comp, lane=0):
+    """Every gate output and register must agree (watch='all' keeps them
+    all peekable on the compiled side)."""
+    for gate in circuit.gates:
+        w = Wire(circuit, gate.output)
+        assert interp.peek(w) == comp.peek(w, lane), (
+            f"gate {circuit.wire_names[gate.output]!r} diverged"
+        )
+    for ff in circuit.dffs:
+        w = Wire(circuit, ff.q)
+        assert interp.peek(w) == comp.peek(w, lane), (
+            f"register {circuit.wire_names[ff.q]!r} diverged"
+        )
+
+
+def assert_engines_equivalent(circuit, *, cycles, seed):
+    interp = Simulator(circuit)
+    comp = CompiledSimulator(circuit, watch="all")
+    interp.reset()
+    comp.reset()
+    _compare_state(circuit, interp, comp)
+    rng = random.Random(seed)
+    inputs = [Wire(circuit, idx) for idx in circuit.inputs.values()]
+    for _ in range(cycles):
+        for w in inputs:
+            bit = rng.getrandbits(1)
+            interp.poke(w, bit)
+            comp.poke(w, bit)
+        interp.step()
+        comp.step()
+        _compare_state(circuit, interp, comp)
+
+
+class TestFuzzDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_circuits_match_wire_for_wire(self, seed):
+        c = random_circuit(seed, n_inputs=5, n_gates=40, n_ffs=4)
+        assert_engines_equivalent(c, cycles=30, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_larger_circuits(self, seed):
+        c = random_circuit(7000 + seed, n_inputs=8, n_gates=150, n_ffs=10)
+        assert_engines_equivalent(c, cycles=15, seed=seed)
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=15, deadline=None)
+    def test_hypothesis_driven(self, seed):
+        c = random_circuit(seed, n_inputs=4, n_gates=25, n_ffs=3)
+        assert_engines_equivalent(c, cycles=10, seed=seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lanes_match_independent_interpreted_runs(self, seed):
+        """K packed lanes == K separate interpreted simulations."""
+        lanes = 8
+        c = random_circuit(8000 + seed, n_inputs=5, n_gates=60, n_ffs=6)
+        interps = [Simulator(c) for _ in range(lanes)]
+        comp = CompiledSimulator(c, lanes=lanes, watch="all")
+        for sim in interps:
+            sim.reset()
+        comp.reset()
+        rngs = [random.Random(seed * 1000 + k) for k in range(lanes)]
+        inputs = [Wire(c, idx) for idx in c.inputs.values()]
+        for _ in range(20):
+            for w in inputs:
+                bits = [rng.getrandbits(1) for rng in rngs]
+                for sim, bit in zip(interps, bits):
+                    sim.poke(w, bit)
+                comp.poke_lanes(w, bits)
+            for sim in interps:
+                sim.step()
+            comp.step()
+            for lane, sim in enumerate(interps):
+                _compare_state(c, sim, comp, lane=lane)
+
+
+class TestCellTruthTables:
+    """Exhaustive input sweeps of the four Fig. 1 cells, both engines."""
+
+    @staticmethod
+    def _sweep(build):
+        c = Circuit("cell")
+        ins, outs = build(c)
+        for name, w in outs.items():
+            c.mark_output(name, w)
+        interp = Simulator(c)
+        comp = CompiledSimulator(c, watch="all")
+        for pattern in range(1 << len(ins)):
+            for i, w in enumerate(ins):
+                bit = (pattern >> i) & 1
+                interp.poke(w, bit)
+                comp.poke(w, bit)
+            interp.settle()
+            comp.settle()
+            for name, w in outs.items():
+                assert interp.peek(w) == comp.peek(w), (
+                    f"{name} diverged on input pattern {pattern:0{len(ins)}b}"
+                )
+
+    def test_regular_cell(self):
+        def build(c):
+            ins = [c.add_input(nm) for nm in ("t", "x", "y", "m", "n", "c0", "c1")]
+            cell = build_regular_cell(c, *ins)
+            return ins, {"t": cell.t, "c0": cell.c0, "c1": cell.c1}
+
+        self._sweep(build)
+
+    def test_rightmost_cell(self):
+        def build(c):
+            ins = [c.add_input(nm) for nm in ("t", "x", "y0")]
+            cell = build_rightmost_cell(c, *ins)
+            return ins, {"m": cell.m, "c0": cell.c0}
+
+        self._sweep(build)
+
+    def test_first_bit_cell(self):
+        def build(c):
+            ins = [c.add_input(nm) for nm in ("t", "x", "y1", "m", "n1", "c0")]
+            cell = build_first_bit_cell(c, *ins)
+            return ins, {"t": cell.t, "c0": cell.c0, "c1": cell.c1}
+
+        self._sweep(build)
+
+    def test_leftmost_cell(self):
+        def build(c):
+            ins = [c.add_input(nm) for nm in ("t", "x", "yl", "c0", "c1")]
+            cell = build_leftmost_cell(c, *ins)
+            return ins, {"t": cell.t, "t_next": cell.t_next}
+
+        self._sweep(build)
+
+
+class TestMMMCEndToEnd:
+    @pytest.mark.parametrize("l", [2, 4, 8])
+    def test_compiled_mmmc_matches_golden(self, l):
+        rng = random.Random(40 + l)
+        g = GateLevelMMMC(l, simulator="compiled")
+        for _ in range(5):
+            n = _modulus(rng, l)
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            run = g.multiply(x, y, n)
+            assert run.result == montgomery_no_subtraction(MontgomeryContext(n), x, y)
+            assert run.cycles == 3 * l + 5
+
+    def test_compiled_matches_interpreted_runs(self):
+        l = 8
+        rng = random.Random(99)
+        comp = GateLevelMMMC(l, simulator="compiled")
+        interp = GateLevelMMMC(l, simulator="interpreted")
+        for _ in range(4):
+            n = _modulus(rng, l)
+            x, y = rng.randrange(2 * n), rng.randrange(2 * n)
+            rc, ri = comp.multiply(x, y, n), interp.multiply(x, y, n)
+            assert rc.result == ri.result
+            assert rc.cycles == ri.cycles
+
+    def test_lanes_end_to_end(self):
+        l, lanes = 8, 4
+        rng = random.Random(17)
+        n = _modulus(rng, l)
+        ctx = MontgomeryContext(n)
+        xs = [rng.randrange(2 * n) for _ in range(lanes)]
+        ys = [rng.randrange(2 * n) for _ in range(lanes)]
+        g = GateLevelMMMC(l, simulator="compiled", lanes=lanes)
+        runs = g.multiply_lanes(xs, ys, [n] * lanes)
+        assert len(runs) == lanes
+        for run, x, y in zip(runs, xs, ys):
+            assert run.result == montgomery_no_subtraction(ctx, x, y)
+            assert run.cycles == 3 * l + 5
+
+    def test_short_batch_is_padded(self):
+        l = 8
+        rng = random.Random(18)
+        n = _modulus(rng, l)
+        ctx = MontgomeryContext(n)
+        g = GateLevelMMMC(l, simulator="compiled", lanes=4)
+        runs = g.multiply_lanes([3, 5], [7, 11], [n, n])
+        assert len(runs) == 2
+        for run, x, y in zip(runs, (3, 5), (7, 11)):
+            assert run.result == montgomery_no_subtraction(ctx, x, y)
+
+    def test_paper_mode_overflow_raises_identically(self):
+        """The lost-carry raise must not depend on the engine: same
+        exception type, same message (= same detection cycle), and the
+        instance stays reusable afterwards."""
+        l, n, x, y = OVERFLOW["l"], OVERFLOW["n"], OVERFLOW["x"], OVERFLOW["y"]
+        messages = {}
+        for simulator in ("compiled", "interpreted"):
+            g = GateLevelMMMC(l, "paper", simulator=simulator)
+            with pytest.raises(SimulationError) as exc:
+                g.multiply(x, y, n)
+            messages[simulator] = str(exc.value)
+            # A safe operand set still computes on the same instance.
+            run = g.multiply(1, 1, n)
+            assert run.cycles == 3 * l + 4
+        assert messages["compiled"] == messages["interpreted"]
+        with pytest.raises(SimulationError):
+            MMMC(l, mode="paper").multiply(x, y, n)
+
+    def test_paper_mode_overflow_raises_in_lane_batch(self):
+        l, n, x, y = OVERFLOW["l"], OVERFLOW["n"], OVERFLOW["x"], OVERFLOW["y"]
+        g = GateLevelMMMC(l, "paper", simulator="compiled", lanes=2)
+        with pytest.raises(SimulationError):
+            g.multiply_lanes([1, x], [1, y], [n, n])
+
+
+class TestKernelCache:
+    def test_structural_sharing_and_counters(self):
+        clear_kernel_cache()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            a = random_circuit(123, n_inputs=4, n_gates=30, n_ffs=3)
+            compile_kernel(a)
+            compile_kernel(a)  # same object: hit
+            # Same seed rebuilds a structurally identical circuit: hit.
+            compile_kernel(random_circuit(123, n_inputs=4, n_gates=30, n_ffs=3))
+            # A different watch signature is a different kernel: miss.
+            compile_kernel(a, watch="all")
+        assert registry.counter("hdl.compile_cache_misses").total() == 2
+        assert registry.counter("hdl.compile_cache_hits").total() == 2
+        assert kernel_cache_info()["size"] == 2
+
+    def test_lane_count_not_part_of_cache_key(self):
+        clear_kernel_cache()
+        c = random_circuit(321, n_inputs=4, n_gates=30, n_ffs=3)
+        scalar = CompiledSimulator(c)
+        vector = CompiledSimulator(c, lanes=64)
+        assert scalar.kernel is vector.kernel
+        assert kernel_cache_info()["size"] == 1
+
+    def test_instances_do_not_share_state(self):
+        c = Circuit("tff")
+        en = c.add_input("en")
+        d = c.new_wire("d")
+        q = c.dff(d, name="t", enable=en)
+        from repro.hdl.registers import _drive
+
+        _drive(c, d, c.not_(q, name="nq"))
+        c.mark_output("q", q)
+        a = CompiledSimulator(c)
+        b = CompiledSimulator(c)
+        a.reset()
+        b.reset()
+        a.poke(en, 1)
+        b.poke(en, 0)
+        a.step()
+        b.step()
+        assert a.peek(q) == 1
+        assert b.peek(q) == 0
+
+
+class TestFoldedWires:
+    def test_peeking_an_inlined_wire_needs_watch(self):
+        c = Circuit("fold")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        inner = c.not_(a, name="inner")  # single fanout: inlined
+        out = c.and_(inner, b, name="out")
+        c.mark_output("out", out)
+        sim = CompiledSimulator(c)
+        sim.poke(a, 0)
+        sim.poke(b, 1)
+        sim.settle()
+        assert sim.peek(out) == 1
+        with pytest.raises(SimulationError, match="folded away"):
+            sim.peek(inner)
+        watched = CompiledSimulator(c, watch=[inner])
+        watched.poke(a, 0)
+        watched.poke(b, 1)
+        watched.settle()
+        assert watched.peek(inner) == 1

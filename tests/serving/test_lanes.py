@@ -1,0 +1,151 @@
+"""Bit-sliced lane batching through the serving layer.
+
+Coalesced batches of same-modulus, same-exponent requests ride one
+64-lane compiled simulator sweep instead of 64 scalar simulations; mixed
+exponents and short batches degrade gracefully to scalar dispatch.  The
+wire format, result ordering and SLO inputs must be indistinguishable
+from scalar execution.
+"""
+
+import random
+
+import pytest
+
+from repro.montgomery.params import precompute_montgomery_constants
+from repro.observability import MetricsRegistry, observe
+from repro.serving import ModExpRequest, ModExpService
+from repro.serving.backends import GateLevelBackend, RTLBackend
+from repro.utils.rng import random_odd_modulus
+
+
+def _requests(rng, n, count, exponent=None):
+    return [
+        ModExpRequest(
+            rng.randrange(n),
+            exponent if exponent is not None else rng.randrange(1, n),
+            n,
+            request_id=f"r{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestBackendLanes:
+    def test_rtl_defaults_to_compiled_gate_twin(self):
+        backend = RTLBackend()
+        assert backend.engine == "gate"
+        assert backend.capabilities.lanes == 64
+        assert "compiled" in backend.capabilities.description
+
+    def test_rtl_behavioral_fallback_is_scalar(self):
+        backend = RTLBackend(engine="rtl")
+        assert backend.capabilities.lanes == 1
+        assert "behavioral" in backend.capabilities.description
+
+    def test_gate_interpreted_fallback_is_scalar(self):
+        backend = GateLevelBackend(simulator="interpreted")
+        assert backend.capabilities.lanes == 1
+        assert backend.wall_weight > GateLevelBackend().wall_weight
+
+    def test_execute_many_groups_by_exponent(self):
+        """3+2 requests with two exponents: the 3-group runs as lanes,
+        the 2-group runs as lanes, results come back in input order."""
+        rng = random.Random("lanes-group")
+        n = random_odd_modulus(9, rng)
+        ctx = precompute_montgomery_constants(n)
+        reqs = _requests(rng, n, 3, exponent=19)
+        reqs += _requests(rng, n, 2, exponent=23)
+        backend = GateLevelBackend()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            results = backend.execute_many(ctx, reqs)
+        assert len(results) == len(reqs)
+        for req, res in zip(reqs, results):
+            assert res.value == pow(req.base, req.exponent, n)
+            assert res.cycles is not None and res.cycles > 0
+        assert registry.counter("hdl.lanes_packed").total() > 0
+
+    def test_execute_many_singletons_take_the_scalar_path(self):
+        rng = random.Random("lanes-single")
+        n = random_odd_modulus(9, rng)
+        ctx = precompute_montgomery_constants(n)
+        reqs = _requests(rng, n, 3)  # three distinct random exponents
+        backend = GateLevelBackend()
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            results = backend.execute_many(ctx, reqs)
+        for req, res in zip(reqs, results):
+            assert res.value == pow(req.base, req.exponent, n)
+        assert registry.counter("hdl.lanes_packed").total() == 0
+
+    def test_lane_group_cycles_match_scalar_execution(self):
+        """SLO semantics: a laned request reports the same cycle count
+        the scalar path would have charged it."""
+        rng = random.Random("lanes-cycles")
+        n = random_odd_modulus(9, rng)
+        ctx = precompute_montgomery_constants(n)
+        reqs = _requests(rng, n, 4, exponent=21)
+        backend = GateLevelBackend()
+        grouped = backend.execute_many(ctx, reqs)
+        scalar = [backend.execute(ctx, r) for r in reqs]
+        assert [g.value for g in grouped] == [s.value for s in scalar]
+        assert [g.cycles for g in grouped] == [s.cycles for s in scalar]
+
+
+class TestServiceLaneDispatch:
+    def test_same_exponent_batch_packs_lanes(self):
+        rng = random.Random("svc-lanes")
+        n = random_odd_modulus(10, rng)
+        reqs = _requests(rng, n, 16, exponent=257)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with ModExpService(backend="gate", max_batch=16) as svc:
+                results = svc.process(reqs)
+        for req, res in zip(reqs, results):
+            assert res.ok, res
+            assert res.value == pow(req.base, req.exponent, n)
+            assert res.cycles is not None
+            assert res.wall_us is not None and res.wall_us > 0
+        assert registry.counter("hdl.lanes_packed").total() >= 16
+        accepted = registry.counter("serving.requests").total(status="accepted")
+        completed = registry.counter("serving.requests").total(status="completed")
+        assert accepted == completed == 16
+
+    def test_mixed_exponents_still_correct(self):
+        rng = random.Random("svc-mixed")
+        n = random_odd_modulus(10, rng)
+        reqs = _requests(rng, n, 6, exponent=91)
+        reqs += _requests(rng, n, 5)
+        rng.shuffle(reqs)
+        with ModExpService(backend="gate", max_batch=8, workers=2) as svc:
+            results = svc.process(reqs)
+        for req, res in zip(reqs, results):
+            assert res.ok, res
+            assert res.value == pow(req.base, req.exponent, n)
+
+    def test_rtl_backend_lanes_through_service(self):
+        rng = random.Random("svc-rtl")
+        n = random_odd_modulus(12, rng)
+        reqs = _requests(rng, n, 8, exponent=65)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            with ModExpService(backend="rtl", max_batch=8) as svc:
+                results = svc.process(reqs)
+        for req, res in zip(reqs, results):
+            assert res.ok, res
+            assert res.value == pow(req.base, req.exponent, n)
+        assert registry.counter("hdl.lanes_packed").total() >= 8
+
+    def test_scalar_backend_never_groups(self):
+        rng = random.Random("svc-scalar")
+        n = random_odd_modulus(8, rng)
+        reqs = _requests(rng, n, 4, exponent=9)
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            backend = GateLevelBackend(simulator="interpreted")
+            with ModExpService(backend=backend, max_batch=4) as svc:
+                results = svc.process(reqs)
+        for req, res in zip(reqs, results):
+            assert res.ok, res
+            assert res.value == pow(req.base, req.exponent, n)
+        assert registry.counter("hdl.lanes_packed").total() == 0
