@@ -1,0 +1,111 @@
+"""Fault-recovery latency: what self-healing costs the tail.
+
+A seeded chaos workload (injected exceptions + silent bit flips) runs
+through the inline service with full verification and retries.  Each
+request is timed individually end to end; the deterministic fault plan
+says which requests drew a fault, so the sample splits exactly into
+clean requests and recovered ones.  The benchmark reports p50/p95/p99
+for both populations and the recovery overhead — the price of turning
+a corrupted or failed execution into a correct answer.
+
+Shape assertions: every result is correct (the whole point), recovered
+requests exist in the expected proportion, and recovery costs more than
+a clean pass (it re-executes the work) but not absurdly more (no
+pathological retry spiral) — wall-clock bounds are kept generous for
+starved CI boxes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import render_table
+from repro.robustness import ChaosConfig, RetryPolicy, VerifyPolicy
+from repro.robustness.chaos import FaultPlan
+from repro.serving import ModExpRequest, ModExpService
+
+REQUESTS = 300
+N = 0xC96F4F3C6D21E1F1A9F5A8B7 | 1  # 96-bit odd modulus
+CHAOS = ChaosConfig(seed=21, exception_rate=0.15, bitflip_rate=0.10)
+
+
+def _percentile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _row(label: str, samples_us: list) -> list:
+    return [
+        label,
+        len(samples_us),
+        round(_percentile(samples_us, 0.50), 1),
+        round(_percentile(samples_us, 0.95), 1),
+        round(_percentile(samples_us, 0.99), 1),
+    ]
+
+
+def test_recovery_latency_percentiles(save_table, benchmark_metrics):
+    requests = [
+        ModExpRequest(3 + i, 65537, N, request_id=f"b{i}")
+        for i in range(REQUESTS)
+    ]
+    plan = FaultPlan(CHAOS)
+    faulted_ids = {
+        r.request_id
+        for r in requests
+        if plan.decide(r.request_id, 0, allow_kill=False)
+    }
+
+    clean_us: list = []
+    recovered_us: list = []
+    with ModExpService(
+        backend="integer",
+        workers=1,
+        worker_kind="inline",
+        chaos=CHAOS,
+        verify=VerifyPolicy(mode="full"),
+        retry=RetryPolicy(max_attempts=5, backoff_s=0.0),
+    ) as service:
+        for i, request in enumerate(requests):
+            t0 = time.perf_counter()
+            (result,) = service.process([request])
+            elapsed_us = (time.perf_counter() - t0) * 1e6
+            assert result.ok and result.value == pow(3 + i, 65537, N)
+            bucket = (
+                recovered_us if request.request_id in faulted_ids else clean_us
+            )
+            bucket.append(elapsed_us)
+
+    # The 25% aggregate fault rate must actually have materialized.
+    assert len(recovered_us) >= REQUESTS * 0.15
+    assert len(clean_us) >= REQUESTS * 0.6
+
+    overhead = _percentile(recovered_us, 0.5) / _percentile(clean_us, 0.5)
+    save_table(
+        "fault_recovery",
+        render_table(
+            ["population", "requests", "p50 us", "p95 us", "p99 us"],
+            [
+                _row("clean", clean_us),
+                _row("recovered (fault injected)", recovered_us),
+                ["p50 recovery overhead", "-", f"{overhead:.2f}x", "-", "-"],
+            ],
+            title=(
+                f"Fault-recovery latency: {REQUESTS} requests, "
+                f"{CHAOS.exception_rate:.0%} exceptions + "
+                f"{CHAOS.bitflip_rate:.0%} bit flips, full verification, "
+                "retries with zero backoff"
+            ),
+        ),
+    )
+
+    detected = benchmark_metrics.counter("serving.faults_detected").total()
+    retries = benchmark_metrics.counter("serving.retries").total()
+    assert detected >= 1  # bit flips were caught, not returned
+    assert retries >= len(recovered_us) * 0.9
+    # Recovery re-runs the exponentiation at least once, so its median
+    # should cost more than a clean pass; a spiral would blow far past
+    # the retry cap's worst case.
+    assert overhead > 1.0
+    assert overhead < 50.0

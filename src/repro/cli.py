@@ -11,8 +11,10 @@ Commands
 ``backends``    list the registered serving backends and capabilities
 ``experiments`` list the experiment registry
 ``census``      gate/FF census + Virtex-E mapping of the MMMC at a given l
-``fault``       run a fault-injection campaign on the array
-``obs``         observability utilities (``obs diff``: snapshot vs baseline)
+``fault``       run a fault-injection campaign (alias: ``fault-campaign``;
+                ``--engine rtl|gate|compiled`` picks the substrate)
+``obs``         observability utilities (``obs diff``: snapshot vs baseline
+                and/or ``--require`` constraint expressions)
 ``bench-sim``   compare netlist simulator engines (interpreted/compiled/lanes)
 
 ``multiply``, ``exponentiate`` and ``observe`` accept the observability
@@ -25,6 +27,15 @@ flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
 ``/healthz`` scrape endpoint next to the loop), ``--stats-interval``
 (periodic stats line on stderr) and the SLO flags ``--slo-margin`` /
 ``--slo-mode`` / ``--slo-budget`` / ``--no-slo`` shared with ``batch``.
+
+``serve`` and ``batch`` share the self-healing flags (docs/ROBUSTNESS.md):
+``--verify off|sampled|full`` + ``--verify-rate`` (online result
+verification), ``--retries`` + ``--retry-backoff``, ``--breaker`` +
+``--breaker-failures`` / ``--breaker-cooldown``, ``--failover``, and the
+chaos-drill switches ``--chaos`` / ``--chaos-seed`` /
+``--chaos-kill-rate`` / ``--chaos-exception-rate`` /
+``--chaos-latency-rate`` / ``--chaos-bitflip-rate`` /
+``--chaos-target-prefix``.
 """
 
 from __future__ import annotations
@@ -241,6 +252,82 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable SLO tracking",
         )
+        rob = parser.add_argument_group("robustness (see docs/ROBUSTNESS.md)")
+        rob.add_argument(
+            "--verify",
+            choices=("off", "sampled", "full"),
+            default="off",
+            help="online result verification policy (default: off)",
+        )
+        rob.add_argument(
+            "--verify-rate",
+            type=float,
+            default=0.1,
+            help="sampling rate for --verify sampled (default: 0.1)",
+        )
+        rob.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            help="max attempts per request (0/1 = fail on first error)",
+        )
+        rob.add_argument(
+            "--retry-backoff",
+            type=float,
+            default=0.01,
+            help="base backoff in seconds between attempts (default: 0.01)",
+        )
+        rob.add_argument(
+            "--breaker",
+            action="store_true",
+            help="enable per-backend circuit breakers",
+        )
+        rob.add_argument(
+            "--breaker-failures",
+            type=int,
+            default=5,
+            help="consecutive failures that trip a breaker (default: 5)",
+        )
+        rob.add_argument(
+            "--breaker-cooldown",
+            type=float,
+            default=5.0,
+            help="seconds an open breaker sheds traffic (default: 5.0)",
+        )
+        rob.add_argument(
+            "--failover",
+            action="store_true",
+            help="retry via the next-cheapest capable backend when the "
+            "primary's breaker is open",
+        )
+        cha = parser.add_argument_group("chaos injection (drills only)")
+        cha.add_argument(
+            "--chaos",
+            action="store_true",
+            help="enable the seeded fault-injection plan",
+        )
+        cha.add_argument("--chaos-seed", type=int, default=0)
+        cha.add_argument(
+            "--chaos-kill-rate",
+            type=float,
+            default=0.0,
+            help="per-request worker-kill probability (process pools only)",
+        )
+        cha.add_argument("--chaos-exception-rate", type=float, default=0.0)
+        cha.add_argument("--chaos-latency-rate", type=float, default=0.0)
+        cha.add_argument(
+            "--chaos-bitflip-rate",
+            type=float,
+            default=0.0,
+            help="per-request result/register bit-flip probability "
+            "(silent — only --verify catches it)",
+        )
+        cha.add_argument(
+            "--chaos-target-prefix",
+            default="",
+            help="request-id prefix that always faults on attempt 0 "
+            "(deterministic breaker storms)",
+        )
 
     srv = sub.add_parser(
         "serve",
@@ -301,8 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument(
         "--baseline",
-        required=True,
-        help="committed baseline snapshot (benchmarks/baselines/*.json)",
+        default=None,
+        help="committed baseline snapshot (benchmarks/baselines/*.json); "
+        "optional when --require constraints are given",
+    )
+    diff.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="EXPR",
+        help="constraint on the current snapshot, e.g. "
+        "'serving.faults_detected>0' or 'serving.silent_corruptions==0' "
+        "(repeatable; metric value summed over label series, absent = 0)",
     )
     diff.add_argument(
         "--tolerance",
@@ -324,10 +421,24 @@ def build_parser() -> argparse.ArgumentParser:
     cen.add_argument("l", type=int, help="operand bit length")
     cen.add_argument("--arch", choices=("corrected", "paper"), default="paper")
 
-    flt = sub.add_parser("fault", help="fault-injection campaign on the array")
+    flt = sub.add_parser(
+        "fault",
+        aliases=["fault-campaign"],
+        help="fault-injection campaign on the array",
+    )
     flt.add_argument("--l", type=int, default=12)
     flt.add_argument("--samples", type=int, default=200)
     flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--engine",
+        choices=("rtl", "gate", "compiled"),
+        default="rtl",
+        help="simulation substrate: behavioral RTL, interpreted netlist, "
+        "or the compiled bit-sliced engine",
+    )
+    flt.add_argument(
+        "--arch", choices=("corrected", "paper"), default="corrected"
+    )
 
     rep = sub.add_parser("report", help="generate a live reproduction report")
     rep.add_argument("--out", default=None, help="write markdown to this path")
@@ -512,6 +623,12 @@ def _cmd_observe(args, out) -> int:
 
 
 def _make_service(args):
+    from repro.robustness import (
+        BreakerConfig,
+        ChaosConfig,
+        RetryPolicy,
+        VerifyPolicy,
+    )
     from repro.serving import ModExpService, SLOPolicy
 
     slo = (
@@ -523,6 +640,36 @@ def _make_service(args):
             fixed_budget=args.slo_budget,
         )
     )
+    verify = (
+        VerifyPolicy(mode=args.verify, sample_rate=args.verify_rate)
+        if args.verify != "off"
+        else None
+    )
+    chaos = (
+        ChaosConfig(
+            seed=args.chaos_seed,
+            worker_kill_rate=args.chaos_kill_rate,
+            exception_rate=args.chaos_exception_rate,
+            latency_rate=args.chaos_latency_rate,
+            bitflip_rate=args.chaos_bitflip_rate,
+            target_prefix=args.chaos_target_prefix,
+        )
+        if args.chaos
+        else None
+    )
+    retry = (
+        RetryPolicy(max_attempts=args.retries, backoff_s=args.retry_backoff)
+        if args.retries > 1
+        else None
+    )
+    breaker = (
+        BreakerConfig(
+            failure_threshold=args.breaker_failures,
+            cooldown_s=args.breaker_cooldown,
+        )
+        if (args.breaker or args.failover)
+        else None
+    )
     return ModExpService(
         backend=args.backend,
         workers=args.workers,
@@ -531,6 +678,11 @@ def _make_service(args):
         max_batch=args.max_batch,
         default_timeout=args.timeout,
         slo=slo,
+        verify=verify,
+        chaos=chaos,
+        retry=retry,
+        breaker=breaker,
+        failover=args.failover,
     )
 
 
@@ -659,31 +811,56 @@ def _cmd_batch(args, out) -> int:
 
 
 def _cmd_obs_diff(args, out) -> int:
-    from repro.observability import DEFAULT_IGNORE, diff_snapshots, load_snapshot
+    from repro.observability import (
+        DEFAULT_IGNORE,
+        check_requirements,
+        diff_snapshots,
+        load_snapshot,
+    )
 
-    try:
-        baseline = load_snapshot(args.baseline)
-    except OSError as exc:
-        out.write(f"obs diff: cannot read baseline: {exc}\n")
+    if args.baseline is None and not args.require:
+        out.write("obs diff: need --baseline and/or --require\n")
         return 2
     try:
         current = load_snapshot(args.current)
     except OSError as exc:
         out.write(f"obs diff: cannot read current snapshot: {exc}\n")
         return 2
-    ignore = tuple(args.ignore) if args.ignore else DEFAULT_IGNORE
-    compared, problems = diff_snapshots(
-        baseline, current, tolerance=args.tolerance, ignore=ignore
-    )
-    for problem in problems:
-        out.write(f"  DRIFT  {problem}\n")
-    verdict = "FAIL" if problems else "OK"
+
+    compared = 0
+    problems: List[str] = []
+    if args.baseline is not None:
+        try:
+            baseline = load_snapshot(args.baseline)
+        except OSError as exc:
+            out.write(f"obs diff: cannot read baseline: {exc}\n")
+            return 2
+        ignore = tuple(args.ignore) if args.ignore else DEFAULT_IGNORE
+        compared, problems = diff_snapshots(
+            baseline, current, tolerance=args.tolerance, ignore=ignore
+        )
+        for problem in problems:
+            out.write(f"  DRIFT  {problem}\n")
+
+    required: List[str] = []
+    if args.require:
+        try:
+            required = check_requirements(current, args.require)
+        except ValueError as exc:
+            out.write(f"obs diff: {exc}\n")
+            return 2
+        for problem in required:
+            out.write(f"  REQUIRE  {problem}\n")
+
+    failures = len(problems) + len(required)
+    verdict = "FAIL" if failures else "OK"
+    against = args.baseline if args.baseline else "(requirements only)"
     out.write(
         f"[obs diff: {verdict} — {compared} series compared against "
-        f"{args.baseline}, {len(problems)} violation(s) at "
-        f"±{args.tolerance:.0%}]\n"
+        f"{against}, {len(args.require or ())} requirement(s) checked, "
+        f"{failures} violation(s)]\n"
     )
-    return 1 if problems else 0
+    return 1 if failures else 0
 
 
 def _cmd_backends(out) -> int:
@@ -751,16 +928,33 @@ def _cmd_fault(args, out) -> int:
     rng = random.Random(args.seed)
     n = random_odd_modulus(args.l, rng)
     x, y = rng.randrange(2 * n), rng.randrange(2 * n)
-    outs = fault_campaign(args.l, x, y, n, samples=args.samples, seed=args.seed)
+    outs = fault_campaign(
+        args.l,
+        x,
+        y,
+        n,
+        samples=args.samples,
+        seed=args.seed,
+        mode=args.arch,
+        engine=args.engine,
+    )
     summary = campaign_summary(outs)
     out.write(
         render_table(
-            ["register", "injections", "corruption rate"],
+            ["register", "injections", "corruption rate", "detection rate"],
             [
-                [reg, int(v["injections"]), round(v["corruption_rate"], 3)]
+                [
+                    reg,
+                    int(v["injections"]),
+                    round(v["corruption_rate"], 3),
+                    round(v["detection_rate"], 3),
+                ]
                 for reg, v in summary.items()
             ],
-            title=f"Fault campaign: l={args.l}, {args.samples} single-bit flips",
+            title=(
+                f"Fault campaign: l={args.l}, {args.samples} single-bit "
+                f"flips, engine={args.engine}"
+            ),
         )
         + "\n"
     )
@@ -828,7 +1022,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_experiments(out)
     if args.command == "census":
         return _cmd_census(args, out)
-    if args.command == "fault":
+    if args.command in ("fault", "fault-campaign"):
         return _cmd_fault(args, out)
     if args.command == "bench-sim":
         return _cmd_bench_sim(args, out)

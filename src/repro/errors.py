@@ -13,8 +13,10 @@ subclasses partition failures by subsystem:
 * :class:`ProtocolError` — misuse of a circuit's handshake (reading RESULT
   before DONE, starting a multiplication while one is in flight).
 * :class:`ServingError` — failures of the serving layer
-  (:mod:`repro.serving`): a saturated bounded queue (:class:`QueueFull`)
-  or a malformed JSON-lines request (:class:`WireFormatError`).
+  (:mod:`repro.serving`): a saturated bounded queue (:class:`QueueFull`),
+  a malformed JSON-lines request (:class:`WireFormatError`), a response
+  that failed online verification (:class:`FaultDetected`) or a failure
+  deliberately injected by the chaos layer (:class:`InjectedFault`).
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ __all__ = [
     "ServingError",
     "QueueFull",
     "WireFormatError",
+    "FaultDetected",
+    "InjectedFault",
 ]
 
 
@@ -66,3 +70,27 @@ class QueueFull(ServingError):
 
 class WireFormatError(ServingError, ValueError):
     """A JSON-lines request could not be parsed into a ModExpRequest."""
+
+
+class FaultDetected(ServingError):
+    """A backend response failed an online verification check.
+
+    Raised by :class:`repro.robustness.verify.ResultVerifier` (and the
+    MMM-level Walter-bound invariant checks) when a returned value is
+    inconsistent with ``base^exponent mod N``.  ``check`` names the
+    specific check that fired (``"range"``, ``"residue"``,
+    ``"walter-bound"``, ...), so the ``serving.faults_detected`` counter
+    can be labelled by detection mechanism.
+    """
+
+    def __init__(self, message: str, *, check: str = "unknown") -> None:
+        super().__init__(message)
+        self.check = check
+
+
+class InjectedFault(ServingError):
+    """A failure deliberately injected by the chaos middleware.
+
+    Distinct from real backend failures so tests and dashboards can tell
+    "the chaos plan fired" from "something actually broke".
+    """

@@ -798,6 +798,32 @@ class CompiledSimulator:
             words.append(vals[w.index])
         return unpack_lanes(words, self.lanes)
 
+    def flip(self, wire: Wire, lanes: Optional[Sequence[int]] = None) -> None:
+        """Invert a wire's value (single-event-upset injection).
+
+        ``lanes`` selects which packed simulations are hit (default: all
+        of them).  Works on hidden registers too — their closure-cell
+        state is flushed to the value array, XORed, and loaded back —
+        so fault campaigns can target any DFF without a ``watch`` set.
+        """
+        if lanes is None:
+            xor = self.mask
+        else:
+            xor = 0
+            for k in lanes:
+                if not (0 <= k < self.lanes):
+                    raise SimulationError(
+                        f"lane {k} out of range [0, {self.lanes})"
+                    )
+                xor |= 1 << k
+        idx = wire.index
+        if idx in self._hidden:
+            self._flush()
+            self.values[idx] ^= xor
+            self._load()
+        else:
+            self.values[idx] ^= xor
+
     # -- phases ---------------------------------------------------------
     def settle(self) -> None:
         """Propagate through the compiled combinational cloud (phase 1)."""

@@ -141,6 +141,16 @@ class Simulator:
             acc |= self.values[w.index] << i
         return acc
 
+    def flip(self, wire: Wire) -> None:
+        """Invert one wire's current value (single-event-upset injection).
+
+        Meaningful on register Qs between clock edges: the flipped value
+        propagates through the next ``settle`` exactly as a particle
+        strike on the flip-flop would.  Used by the fault-injection
+        campaigns in :mod:`repro.analysis.fault` and the chaos layer.
+        """
+        self.values[wire.index] ^= 1
+
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------

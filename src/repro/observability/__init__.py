@@ -23,6 +23,7 @@ tour, and ``examples/trace_exponentiation.py`` for an end-to-end run.
 
 from repro.observability.baseline import (
     DEFAULT_IGNORE,
+    check_requirements,
     diff_snapshots,
     load_snapshot,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "capture",
     "worker_label",
     "DEFAULT_IGNORE",
+    "check_requirements",
     "diff_snapshots",
     "load_snapshot",
 ]

@@ -28,7 +28,12 @@ import json
 from fnmatch import fnmatch
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["DEFAULT_IGNORE", "diff_snapshots", "load_snapshot"]
+__all__ = [
+    "DEFAULT_IGNORE",
+    "check_requirements",
+    "diff_snapshots",
+    "load_snapshot",
+]
 
 #: Wall-clock distributions vary per machine; the gate skips them unless
 #: the caller overrides the ignore list.
@@ -119,3 +124,77 @@ def diff_snapshots(
                         f"current {cur_value:g})"
                     )
     return compared, problems
+
+
+_REQUIREMENT_OPS = (">=", "<=", "==", "!=", ">", "<")
+
+
+def _metric_total(snapshot: Dict[str, Any], name: str) -> Tuple[float, bool]:
+    """Sum a metric over all its label series.  Returns ``(total, found)``.
+
+    Counters and gauges contribute their value; histograms contribute
+    their observation count.  A metric absent from the snapshot counts
+    as 0.0 / not-found — the caller decides whether absence is failure.
+    """
+    total = 0.0
+    found = False
+    for kind in ("counters", "gauges"):
+        for row in snapshot.get(kind, ()):
+            if row["name"] == name:
+                total += row["value"]
+                found = True
+    for row in snapshot.get("histograms", ()):
+        if row["name"] == name:
+            total += row.get("count", 0)
+            found = True
+    return total, found
+
+
+def check_requirements(
+    snapshot: Dict[str, Any], requirements: Sequence[str]
+) -> List[str]:
+    """Assert constraint expressions against a metrics snapshot.
+
+    Each requirement is ``"<metric><op><number>"`` with ``op`` one of
+    ``> >= < <= == !=``, e.g. ``"serving.faults_detected>0"`` or
+    ``"serving.silent_corruptions==0"``.  The metric's value is the sum
+    over all label series (histograms contribute their count).  A metric
+    missing from the snapshot evaluates as 0 — so ``name==0`` passes
+    when the metric was never emitted, while ``name>0`` fails — exactly
+    the semantics a chaos drill's gate wants.
+
+    Returns one human-readable line per violated requirement.
+    """
+    problems: List[str] = []
+    for expr in requirements:
+        stripped = expr.strip()
+        for op in _REQUIREMENT_OPS:
+            if op in stripped:
+                name, _, rhs = stripped.partition(op)
+                name = name.strip()
+                try:
+                    bound = float(rhs)
+                except ValueError:
+                    raise ValueError(
+                        f"requirement {expr!r}: right-hand side {rhs!r} "
+                        "is not a number"
+                    ) from None
+                break
+        else:
+            raise ValueError(
+                f"requirement {expr!r} has no comparison operator "
+                f"(one of {', '.join(_REQUIREMENT_OPS)})"
+            )
+        value, found = _metric_total(snapshot, name)
+        ok = {
+            ">": value > bound,
+            ">=": value >= bound,
+            "<": value < bound,
+            "<=": value <= bound,
+            "==": value == bound,
+            "!=": value != bound,
+        }[op]
+        if not ok:
+            detail = f"{value:g}" if found else "absent (treated as 0)"
+            problems.append(f"requirement {stripped!r} violated: {name} = {detail}")
+    return problems

@@ -1,0 +1,59 @@
+"""Online fault tolerance for the serving stack.
+
+The paper removes the Montgomery final subtraction with Walter's
+``R = 2^(l+2) > 4N`` bound precisely because conditional corrections are
+a fault and side-channel hazard; this package is the runtime counterpart
+of that dependability concern.  It threads four mechanisms through the
+serving path:
+
+* :mod:`repro.robustness.verify` — :class:`VerifyPolicy` /
+  :class:`ResultVerifier`: online result verification (range invariant,
+  extended-modulus recompute with a small-prime residue witness) run on
+  completed responses; detected corruption raises
+  :class:`~repro.errors.FaultDetected`.
+* :mod:`repro.robustness.chaos` — :class:`ChaosConfig` /
+  :class:`FaultPlan`: a deterministic, seeded fault injector (worker
+  kills, backend exceptions, artificial latency, register/result bit
+  flips) so every recovery path below is testable rather than
+  theoretical.
+* :mod:`repro.robustness.retry` — :class:`RetryPolicy` /
+  :class:`RetryBudget`: per-request retries with exponential backoff,
+  seeded jitter and a service-wide retry budget.
+* :mod:`repro.robustness.breaker` — :class:`CircuitBreaker` /
+  :class:`BreakerBoard`: per-backend closed/open/half-open breakers fed
+  by consecutive failures and SLO violations, driving failover to the
+  next-cheapest capable backend.
+
+:class:`~repro.serving.service.ModExpService` accepts all four as
+constructor parameters; ``repro serve --chaos`` / ``--verify`` /
+``--retries`` expose them on the CLI.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.robustness.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.robustness.chaos import ChaosConfig, FaultDecision, FaultPlan
+from repro.robustness.retry import RetryBudget, RetryPolicy
+from repro.robustness.verify import (
+    ResultVerifier,
+    VerifyPolicy,
+    residue_witness,
+    walter_bound_ok,
+)
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ChaosConfig",
+    "FaultDecision",
+    "FaultPlan",
+    "RetryBudget",
+    "RetryPolicy",
+    "ResultVerifier",
+    "VerifyPolicy",
+    "residue_witness",
+    "walter_bound_ok",
+]

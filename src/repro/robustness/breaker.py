@@ -1,0 +1,208 @@
+"""Per-backend circuit breakers with failover support.
+
+A sick backend (a wedged simulator cache, a worker pool that keeps
+dying) should not be offered every request just so each can time out
+individually.  The classic three-state breaker:
+
+* **closed** — traffic flows; consecutive failures and SLO violations
+  are counted (any success resets both counts).
+* **open** — after ``failure_threshold`` consecutive failures (or
+  ``slo_violation_threshold`` consecutive SLO breaches) the breaker
+  trips; ``allow()`` returns ``False`` until ``cooldown_s`` elapses, and
+  the router fails requests over to the next-cheapest capable backend.
+* **half-open** — after cooldown, up to ``half_open_probes`` requests
+  are let through; one failure re-opens, ``half_open_probes`` successes
+  re-close.
+
+State is exported continuously as the gauge ``serving.breaker_state``
+(0 = closed, 1 = open, 2 = half-open, labelled by backend) and each edge
+increments ``serving.breaker_transitions{backend=,to=}``, so a Perfetto
+or Prometheus view shows trip and recovery as steps.
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+and drills can step time instead of sleeping through cooldowns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ParameterError
+from repro.observability import OBS
+
+__all__ = ["BREAKER_STATES", "BreakerConfig", "CircuitBreaker", "BreakerBoard"]
+
+BREAKER_STATES = ("closed", "open", "half_open")
+_STATE_CODE = {"closed": 0, "open": 1, "half_open": 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/recovery thresholds shared by all breakers on a board."""
+
+    failure_threshold: int = 5
+    slo_violation_threshold: int = 10
+    cooldown_s: float = 5.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ParameterError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.slo_violation_threshold < 1:
+            raise ParameterError(
+                "slo_violation_threshold must be >= 1, got "
+                f"{self.slo_violation_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise ParameterError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.half_open_probes < 1:
+            raise ParameterError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker for one backend."""
+
+    def __init__(
+        self,
+        backend: str,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backend = backend
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._consecutive_slo_violations = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._half_open_successes = 0
+        OBS.gauge("serving.breaker_state", 0, backend=backend)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _transition_locked(self, to: str) -> None:
+        if to == self._state:
+            return
+        self._state = to
+        OBS.gauge("serving.breaker_state", _STATE_CODE[to], backend=self.backend)
+        OBS.count("serving.breaker_transitions", backend=self.backend, to=to)
+        if to == "open":
+            self._opened_at = self._clock()
+            self._half_open_inflight = 0
+            self._half_open_successes = 0
+        elif to == "half_open":
+            self._half_open_inflight = 0
+            self._half_open_successes = 0
+        elif to == "closed":
+            self._consecutive_failures = 0
+            self._consecutive_slo_violations = 0
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.config.cooldown_s
+        ):
+            self._transition_locked("half_open")
+
+    def allow(self) -> bool:
+        """May a request be routed to this backend right now?
+
+        In half-open state this also *claims* a probe slot, so callers
+        must follow every allowed request with ``record_success`` or
+        ``record_failure``.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                return False
+            if self._half_open_inflight >= self.config.half_open_probes:
+                return False
+            self._half_open_inflight += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            # Primary-path traffic is not gated by allow(), so a success
+            # can arrive while the breaker still reads "open" after its
+            # cooldown; promote it first so the success counts as a probe.
+            self._maybe_half_open_locked()
+            self._consecutive_failures = 0
+            self._consecutive_slo_violations = 0
+            if self._state == "half_open":
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.config.half_open_probes:
+                    self._transition_locked("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == "half_open":
+                self._transition_locked("open")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == "closed"
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._transition_locked("open")
+
+    def record_slo_violation(self) -> None:
+        """A request *succeeded* but blew its latency/cycle budget.
+
+        Tracked separately from hard failures: a backend that always
+        answers, slowly, should eventually be benched too.
+        """
+        with self._lock:
+            self._consecutive_slo_violations += 1
+            if (
+                self._state == "closed"
+                and self._consecutive_slo_violations
+                >= self.config.slo_violation_threshold
+            ):
+                self._transition_locked("open")
+
+
+class BreakerBoard:
+    """Lazily-created breaker per backend name, one shared config/clock."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(backend, self.config, clock=self._clock)
+                self._breakers[backend] = breaker
+            return breaker
+
+    def allow(self, backend: str) -> bool:
+        return self.get(backend).allow()
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: b.state for name, b in breakers.items()}

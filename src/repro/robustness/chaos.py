@@ -1,0 +1,184 @@
+"""Deterministic chaos middleware for the serving stack.
+
+Recovery code that has never seen a failure is decorative.  This module
+makes failures a reproducible input: a :class:`ChaosConfig` (a frozen,
+picklable value object that travels to process workers) seeds a
+:class:`FaultPlan`, and the plan decides — purely from
+``(seed, request_id, attempt)`` — whether a given execution attempt is
+killed, poisoned with an exception, delayed, or has a bit flipped in its
+result or in a gate-level register.  Same seed, same drill, same story
+in the Perfetto trace.
+
+Fault kinds, drawn first-match-wins in this order:
+
+* ``kill`` — the worker process calls ``os._exit`` mid-request,
+  breaking the ProcessPoolExecutor; exercises respawn + requeue.
+  Only honoured when the caller passes ``allow_kill=True`` (process
+  pools); in thread/inline pools a kill would take the service down,
+  so the plan degrades it to an exception.
+* ``exception`` — raises :class:`~repro.errors.InjectedFault`;
+  exercises retry, breaker accounting, failover.
+* ``latency`` — sleeps ``latency_s``; exercises timeouts, SLO
+  violations, and the pool's slot-release-on-timeout path.
+* ``bitflip`` — XORs one bit into the backend's result (or, for
+  netlist backends, flips a real register DFF mid-multiplication via
+  :meth:`GateLevelMMMC.schedule_fault`); exercises online verification.
+  A bitflip is *silent* by construction — recovery must come from
+  :mod:`repro.robustness.verify`, not from an exception.
+
+``attempt`` is part of the RNG key so a request that was killed on
+attempt 0 is not deterministically killed again on its retry — rates
+compose per attempt, like real hardware.
+
+``target_prefix`` marks "storm" requests: any request whose id starts
+with the prefix always draws an injected exception on attempt 0 (and
+only attempt 0, so retries still succeed).  Drills use it to open a
+circuit breaker on demand with a burst of consecutive failures, which
+random sub-10% rates would essentially never produce.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InjectedFault, ParameterError
+from repro.observability import OBS
+
+__all__ = ["FAULT_KINDS", "ChaosConfig", "FaultDecision", "FaultPlan"]
+
+FAULT_KINDS = ("kill", "exception", "latency", "bitflip")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault-injection rates.  Frozen and picklable by design —
+    the same object is hashed into worker-side plans.
+
+    Rates are independent per-attempt probabilities in ``[0, 1]``;
+    at most one fault fires per attempt (first match in
+    :data:`FAULT_KINDS` order wins).
+    """
+
+    seed: int = 0
+    worker_kill_rate: float = 0.0
+    exception_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.05
+    bitflip_rate: float = 0.0
+    register_faults: bool = True
+    target_prefix: str = ""
+
+    def __post_init__(self) -> None:
+        for name in ("worker_kill_rate", "exception_rate", "latency_rate", "bitflip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ParameterError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency_s < 0:
+            raise ParameterError(f"latency_s must be >= 0, got {self.latency_s}")
+        total = (
+            self.worker_kill_rate
+            + self.exception_rate
+            + self.latency_rate
+            + self.bitflip_rate
+        )
+        if total > 1.0:
+            # The decision is one uniform draw against cumulative
+            # thresholds; rates summing past 1 would silently truncate
+            # the later kinds.
+            raise ParameterError(f"fault rates sum to {total}, must be <= 1")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.worker_kill_rate
+            or self.exception_rate
+            or self.latency_rate
+            or self.bitflip_rate
+            or self.target_prefix
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan chose for one ``(request, attempt)``.
+
+    ``kind`` is one of :data:`FAULT_KINDS` or ``None`` (no fault).
+    ``bit`` is the bit index to flip for ``bitflip`` decisions; the
+    executor reduces it modulo the width of whatever it is flipping.
+    """
+
+    kind: Optional[str] = None
+    bit: int = 0
+
+    def __bool__(self) -> bool:
+        return self.kind is not None
+
+
+class FaultPlan:
+    """Pure function of ``(config, request_id, attempt)`` → decision."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+
+    def decide(self, request_id: str, attempt: int = 0, *, allow_kill: bool = True) -> FaultDecision:
+        cfg = self.config
+        if not cfg.active:
+            return FaultDecision()
+        if cfg.target_prefix and str(request_id).startswith(cfg.target_prefix):
+            # Storm request: guaranteed failure on the first attempt so a
+            # burst of them opens a breaker; retries run clean.
+            return FaultDecision(kind="exception") if attempt == 0 else FaultDecision()
+        rng = random.Random(f"chaos|{cfg.seed}|{request_id}|{attempt}")
+        draw = rng.random()
+        threshold = cfg.worker_kill_rate
+        if draw < threshold:
+            if allow_kill:
+                return FaultDecision(kind="kill")
+            return FaultDecision(kind="exception")
+        threshold += cfg.exception_rate
+        if draw < threshold:
+            return FaultDecision(kind="exception")
+        threshold += cfg.latency_rate
+        if draw < threshold:
+            return FaultDecision(kind="latency")
+        threshold += cfg.bitflip_rate
+        if draw < threshold:
+            return FaultDecision(kind="bitflip", bit=rng.getrandbits(16))
+        return FaultDecision()
+
+    def apply_pre(self, decision: FaultDecision, request_id: str) -> None:
+        """Execute the pre-backend side of ``decision`` (kill / exception /
+        latency).  Bitflips are applied by the backend executor because
+        they need the result or a live simulator.
+        """
+        if not decision:
+            return
+        if decision.kind == "kill":
+            OBS.count("chaos.injected", kind="kill")
+            # Flush nothing, skip atexit/finally: this models a hard
+            # worker crash (OOM-kill, segfault), not a clean exit.
+            os._exit(17)
+        if decision.kind == "exception":
+            OBS.count("chaos.injected", kind="exception")
+            raise InjectedFault(f"chaos: injected backend exception for {request_id}")
+        if decision.kind == "latency":
+            OBS.count("chaos.injected", kind="latency")
+            time.sleep(self.config.latency_s)
+
+    def corrupt_result(self, decision: FaultDecision, value: int, modulus: int) -> int:
+        """Apply a ``bitflip`` decision to a finished integer result.
+
+        Used by backends with no register-level hook (integer, CRT): the
+        flip lands in one of the result's ``modulus``-width bits, which
+        may push the value outside ``[0, N)`` — exactly like an upset in
+        an output register after the final reduction.
+        """
+        if decision.kind != "bitflip":
+            return value
+        OBS.count("chaos.injected", kind="bitflip")
+        width = max(modulus.bit_length(), 1)
+        return value ^ (1 << (decision.bit % width))

@@ -1,0 +1,93 @@
+"""Retry policy with exponential backoff, seeded jitter, and a budget.
+
+Retries amplify load exactly when the system is least able to absorb it,
+so two guard rails are built in:
+
+* **Backoff with jitter** — attempt ``k`` sleeps
+  ``backoff_s * multiplier**k * uniform(1 - jitter, 1 + jitter)``.
+  The jitter RNG is seeded per ``(seed, request_id, attempt)`` so a
+  chaos drill replays with identical timing structure.
+* **Retry budget** — a service-wide token pool
+  (:class:`RetryBudget`); when more than ``budget`` retries are already
+  outstanding the request fails fast instead of joining a retry storm.
+  Tokens are released when the retried attempt settles, so the budget
+  bounds *concurrent* retries, not the lifetime total.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed request, and how patiently.
+
+    ``max_attempts`` counts total tries, so ``max_attempts=3`` means one
+    initial attempt plus up to two retries; ``1`` disables retries.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ParameterError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.multiplier < 1.0:
+            raise ParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ParameterError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, request_id: str, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based) of a request."""
+        if attempt < 1 or self.backoff_s == 0:
+            return 0.0
+        base = self.backoff_s * self.multiplier ** (attempt - 1)
+        if self.jitter == 0:
+            return base
+        rng = random.Random(f"retry|{self.seed}|{request_id}|{attempt}")
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+class RetryBudget:
+    """Bounded pool of concurrently outstanding retries (thread-safe)."""
+
+    def __init__(self, tokens: int = 32) -> None:
+        if tokens < 0:
+            raise ParameterError(f"tokens must be >= 0, got {tokens}")
+        self.tokens = tokens
+        self._lock = threading.Lock()
+        self._outstanding = 0
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    def try_acquire(self) -> bool:
+        """Claim a retry token; ``False`` means fail fast, do not retry."""
+        with self._lock:
+            if self._outstanding >= self.tokens:
+                return False
+            self._outstanding += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._outstanding > 0:
+                self._outstanding -= 1

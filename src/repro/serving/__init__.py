@@ -24,8 +24,20 @@ single-shot engines into a multi-worker modular-exponentiation service.
 * :mod:`repro.serving.http` — :class:`TelemetryServer`, the ``/metrics``
   (Prometheus) + ``/healthz`` scrape endpoint ``repro serve`` can run.
 * :mod:`repro.serving.wire` — the JSON-lines request/result format.
+
+Self-healing (PR 5) lives in :mod:`repro.robustness` and threads through
+:class:`ModExpService`: online result verification, seeded chaos fault
+injection, retry with backoff, per-backend circuit breakers with
+failover, and worker-crash recovery.  The policy types are re-exported
+here for convenience.
 """
 
+from repro.robustness import (
+    BreakerConfig,
+    ChaosConfig,
+    RetryPolicy,
+    VerifyPolicy,
+)
 from repro.serving.backends import (
     BackendCapabilities,
     BackendRegistry,
@@ -65,4 +77,8 @@ __all__ = [
     "read_requests",
     "request_to_json",
     "result_to_json",
+    "BreakerConfig",
+    "ChaosConfig",
+    "RetryPolicy",
+    "VerifyPolicy",
 ]

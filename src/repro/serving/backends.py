@@ -26,11 +26,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from repro.errors import ParameterError
+from repro.errors import FaultDetected, ParameterError
 from repro.montgomery.params import (
     MontgomeryContext,
     precompute_montgomery_constants,
 )
+from repro.robustness.verify import walter_bound_ok
 from repro.serving.request import ModExpRequest
 
 __all__ = [
@@ -162,19 +163,37 @@ class ModExpBackend(ABC):
         return [self.execute(ctx, request) for request in requests]
 
 
-def _square_multiply(mont, ctx_r2: int, base: int, exponent: int) -> int:
+def _square_multiply(
+    mont, ctx_r2: int, base: int, exponent: int, n: Optional[int] = None
+) -> int:
     """Algorithm 3 over an arbitrary Montgomery-multiply callable.
 
     ``mont(x, y)`` must compute ``x·y·R⁻¹ mod N`` for whatever ``R`` the
     backend uses; ``ctx_r2`` is ``R² mod N`` in the same convention.
+    When ``n`` is given, every intermediate product is checked against
+    Walter's ``T < 2N`` bound — the invariant the paper's ``R > 4N``
+    choice guarantees — so a register upset that pushes a product out of
+    range fails loudly (:class:`~repro.errors.FaultDetected`) in the
+    worker instead of propagating into a silently wrong result.
     """
-    m_bar = mont(base, ctx_r2)
+
+    def step(x: int, y: int) -> int:
+        t = mont(x, y)
+        if n is not None and not walter_bound_ok(t, n):
+            raise FaultDetected(
+                f"Montgomery product {t} outside [0, {2 * n}) — Walter "
+                "T < 2N invariant violated mid-exponentiation",
+                check="walter-bound",
+            )
+        return t
+
+    m_bar = step(base, ctx_r2)
     a = m_bar
     for i in reversed(range(exponent.bit_length() - 1)):
-        a = mont(a, a)
+        a = step(a, a)
         if (exponent >> i) & 1:
-            a = mont(a, m_bar)
-    return mont(a, 1)
+            a = step(a, m_bar)
+    return step(a, 1)
 
 
 # ----------------------------------------------------------------------
@@ -312,6 +331,13 @@ class _NetlistBackend(ModExpBackend):
             nonlocal cycles
             runs = gate.multiply_lanes(xs, ys, ns)
             cycles += runs[0].cycles  # lock-step: every lane pays the same
+            for k, r in enumerate(runs):
+                if not walter_bound_ok(r.result, n):
+                    raise FaultDetected(
+                        f"lane {k}: Montgomery product {r.result} outside "
+                        f"[0, {2 * n}) — Walter T < 2N invariant violated",
+                        check="walter-bound",
+                    )
             return [r.result for r in runs]
 
         m_bar = mont([r.base for r in requests], [ctx.r2_mod_n] * k)
@@ -322,6 +348,52 @@ class _NetlistBackend(ModExpBackend):
                 a = mont(a, m_bar)
         a = mont(a, [1] * k)
         return [BackendResult(v % n, cycles) for v in a]
+
+    def execute_with_register_fault(self, ctx, request, rng):
+        """Chaos hook: one seeded register bit flip mid-exponentiation.
+
+        Runs the request on the width's scalar netlist instance with a
+        single-event upset scheduled into one randomly chosen
+        multiplication (register class, bit and cycle drawn from
+        ``rng``).  The flip may be masked (shadow-phase state), detected
+        in-worker by the Walter-bound check, or surface as a silently
+        wrong value for the service verifier to catch — the same three
+        outcomes a real SEU has.
+        """
+        from repro.analysis.fault import REGISTER_CLASSES, FaultSite
+
+        n = ctx.modulus
+        l = ctx.l
+        reg_class = rng.choice(REGISTER_CLASSES)
+        cycles = 0
+        mults = 0
+        with self._lock:
+            gate = self._mmmc(l)
+            widths = {r: len(ws) for r, ws in gate.fault_sites().items()}
+            site = FaultSite(
+                cycle=rng.randrange(3 * l + 4),
+                register=reg_class,
+                index=rng.randrange(widths[reg_class]),
+            )
+            # Total mont calls of the square-and-multiply schedule below:
+            # conversion + squarings + multiplies + de-conversion.
+            e = request.exponent
+            total = 1 + (e.bit_length() - 1) + (bin(e).count("1") - 1) + 1
+            target = rng.randrange(total)
+
+            def mont(x: int, y: int) -> int:
+                nonlocal cycles, mults
+                if mults == target:
+                    gate.schedule_fault(site)
+                mults += 1
+                rec = gate.multiply(x, y, n)
+                cycles += rec.cycles
+                return rec.result
+
+            value = _square_multiply(
+                mont, ctx.r2_mod_n, request.base, request.exponent, n=n
+            )
+        return BackendResult(value % n, cycles)
 
     def execute_many(self, ctx, requests):
         lanes = max(self.capabilities.lanes, 1)
@@ -452,7 +524,7 @@ class GateLevelBackend(_NetlistBackend):
                 return rec.result
 
             value = _square_multiply(
-                mont, ctx.r2_mod_n, request.base, request.exponent
+                mont, ctx.r2_mod_n, request.base, request.exponent, n=n
             )
         return BackendResult(value % n, cycles)
 
@@ -500,7 +572,7 @@ class HighRadixBackend(ModExpBackend):
             mults += 1
             return mont_mul_cios(params, x, y)
 
-        value = _square_multiply(mont, r2, request.base, request.exponent)
+        value = _square_multiply(mont, r2, request.base, request.exponent, n=n)
         cycles = HighRadixModel(ctx.l, self.word_bits).mmm_cycles * mults
         return BackendResult(value % n, cycles)
 
@@ -548,7 +620,7 @@ class ScalableBackend(ModExpBackend):
             mults += 1
             return scalable_montgomery(ctx, x, y, self.word)
 
-        value = _square_multiply(mont, r2, request.base, request.exponent)
+        value = _square_multiply(mont, r2, request.base, request.exponent, n=n)
         cycles = scalable_mmm_cycles(ctx.l, self.word, self.stages) * mults
         return BackendResult(value % n, cycles)
 

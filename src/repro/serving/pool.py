@@ -19,13 +19,27 @@ is explicit and the queue can never grow without bound or deadlock the
 submitter.  Callers that prefer flow control over rejection block on
 :meth:`wait_for_capacity` between attempts.
 
+Slot accounting is **idempotent per future**: a slot is released exactly
+once whether the future completes, is cancelled, or is explicitly
+abandoned by the caller via :meth:`abandon` (the collector does this for
+requests that exceed their deadline while still running — without it a
+handful of stuck tasks would pin their slots forever and saturate the
+window permanently).  A broken process executor (a worker died holding
+tasks) is detected on submission and replaced via :meth:`respawn`, which
+increments ``serving.worker_restarts``.
+
 The in-flight depth is exported as the ``serving.queue_depth`` gauge.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Optional
 
 from repro.errors import ParameterError, QueueFull
@@ -69,6 +83,8 @@ class WorkerPool:
         self._inflight = 0
         self._capacity = threading.Condition()
         self._closed = False
+        self._exec_lock = threading.Lock()  # serializes respawn/shutdown
+        self.restarts = 0
         if kind == "process":
             self._executor: Optional[Any] = ProcessPoolExecutor(max_workers=workers)
         elif kind == "thread":
@@ -107,18 +123,92 @@ class WorkerPool:
             return future
         try:
             future = self._executor.submit(fn, *args, **kwargs)
+        except BrokenExecutor:
+            # A worker process died (chaos kill, OOM, segfault) and broke
+            # the executor.  Replace it and retry the submission once; a
+            # second failure releases the slot and propagates.
+            if self.kind != "process" or self._closed:
+                self._cancel_reservation()
+                raise
+            self.respawn()
+            try:
+                future = self._executor.submit(fn, *args, **kwargs)
+            except BaseException:
+                self._cancel_reservation()
+                raise
         except BaseException:
-            self._release(None)
+            self._cancel_reservation()
             raise
         future.add_done_callback(self._release)
         return future
 
-    def _release(self, _future: Optional[Future]) -> None:
+    def _release(self, future: Future) -> None:
+        """Release ``future``'s slot — exactly once, however often called.
+
+        Runs as the done callback *and* from :meth:`abandon`; the
+        per-future flag (checked under the capacity lock) makes the two
+        paths race-free, so a slot can never be double-freed (which
+        would corrupt the window) nor leaked (which would deadlock it).
+        """
+        with self._capacity:
+            if getattr(future, "_repro_released", False):
+                return
+            future._repro_released = True
+            self._inflight -= 1
+            if OBS.enabled:
+                OBS.gauge("serving.queue_depth", self._inflight)
+            self._capacity.notify_all()
+
+    def _cancel_reservation(self) -> None:
+        """Back out a slot reserved for a submission that never happened."""
         with self._capacity:
             self._inflight -= 1
             if OBS.enabled:
                 OBS.gauge("serving.queue_depth", self._inflight)
             self._capacity.notify_all()
+
+    def abandon(self, future: Future) -> bool:
+        """Give up on a still-running task: free its slot immediately.
+
+        The collector calls this for requests that blew their deadline —
+        ``future.cancel()`` alone is not enough, because a task already
+        *executing* cannot be cancelled and would otherwise hold its
+        in-flight slot until it finishes (possibly never, if wedged).
+        Returns ``True`` if this call released the slot.  The underlying
+        task may still run to completion; its done callback then finds
+        the slot already released and does nothing.
+        """
+        future.cancel()  # removes it from the executor queue if not started
+        with self._capacity:
+            if getattr(future, "_repro_released", False):
+                return False
+            future._repro_released = True
+            self._inflight -= 1
+            if OBS.enabled:
+                OBS.gauge("serving.queue_depth", self._inflight)
+                OBS.count("serving.abandoned")
+            self._capacity.notify_all()
+            return True
+
+    def respawn(self) -> None:
+        """Replace a broken process executor with a fresh one.
+
+        In-flight futures of the dead executor have already completed
+        exceptionally (BrokenProcessPool), so their done callbacks have
+        released their slots; only the executor object needs replacing.
+        No-op for thread/inline pools, which cannot break this way.
+        """
+        if self.kind != "process":
+            return
+        with self._exec_lock:
+            old, self._executor = self._executor, ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+            self.restarts += 1
+            if OBS.enabled:
+                OBS.count("serving.worker_restarts")
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
 
     def wait_for_capacity(self, timeout: Optional[float] = None) -> bool:
         """Block until a submission would be admitted (or ``timeout``)."""
@@ -130,8 +220,10 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
         self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+        with self._exec_lock:
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "WorkerPool":
         return self

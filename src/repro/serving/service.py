@@ -36,18 +36,38 @@ Completed requests that report cycles are additionally checked against
 the :class:`~repro.serving.slo.SLOPolicy` cycle budget (the paper's
 Eq. (10) envelope), filling ``serving.slo_checks`` /
 ``serving.slo_violations``.
+
+**Self-healing** (PR 5) threads the :mod:`repro.robustness` layer
+through the same lifecycle: completed values pass through the
+:class:`~repro.robustness.verify.ResultVerifier` (corruption becomes a
+:class:`~repro.errors.FaultDetected` failure and increments
+``serving.faults_detected``); failures are retried with backoff under a
+:class:`~repro.robustness.retry.RetryPolicy` and service-wide budget;
+per-backend :class:`~repro.robustness.breaker.CircuitBreaker`\\ s trip on
+consecutive failures or SLO violations and (with ``failover=True``)
+route retries to the next-cheapest capable backend; a broken process
+pool is respawned and its in-flight requests requeued exactly once; and
+a seeded :class:`~repro.robustness.chaos.ChaosConfig` injects worker
+kills, exceptions, latency and register/result bit flips so every one of
+those paths is exercised deterministically in tests and drills.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import BrokenExecutor, Future
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import replace
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
-from repro.errors import ParameterError, QueueFull, WireFormatError
+from repro.errors import (
+    FaultDetected,
+    ParameterError,
+    QueueFull,
+    WireFormatError,
+)
 from repro.montgomery.params import MontgomeryContext
 from repro.observability import (
     OBS,
@@ -57,6 +77,10 @@ from repro.observability import (
     capture,
     worker_label,
 )
+from repro.robustness.breaker import BreakerBoard, BreakerConfig
+from repro.robustness.chaos import ChaosConfig, FaultPlan
+from repro.robustness.retry import RetryBudget, RetryPolicy
+from repro.robustness.verify import ResultVerifier, VerifyPolicy
 from repro.serving.backends import (
     BackendRegistry,
     ModExpBackend,
@@ -82,14 +106,63 @@ def _worker_registry() -> BackendRegistry:
     return _WORKER_REGISTRY
 
 
+def _execute_with_chaos(
+    backend: ModExpBackend,
+    ctx: MontgomeryContext,
+    request: ModExpRequest,
+    chaos: Optional[ChaosConfig],
+    attempt: int,
+    allow_kill: bool,
+):
+    """Run one backend execution under the (possibly inactive) fault plan.
+
+    Kill / exception / latency faults fire before the backend runs; a
+    ``bitflip`` decision lands either as a real register upset inside the
+    netlist simulator (backends exposing ``execute_with_register_fault``)
+    or as a post-hoc XOR into the result — silent either way, by design:
+    only the verification layer can catch it.
+    """
+    if chaos is None or not chaos.active:
+        return backend.execute(ctx, request)
+    plan = FaultPlan(chaos)
+    decision = plan.decide(request.request_id, attempt, allow_kill=allow_kill)
+    plan.apply_pre(decision, request.request_id)  # may raise / exit / sleep
+    if (
+        decision.kind == "bitflip"
+        and chaos.register_faults
+        and hasattr(backend, "execute_with_register_fault")
+    ):
+        rng = random.Random(
+            f"chaos-reg|{chaos.seed}|{request.request_id}|{attempt}"
+        )
+        if OBS.enabled:
+            OBS.count("chaos.injected", kind="register-flip")
+        return backend.execute_with_register_fault(ctx, request, rng)
+    result = backend.execute(ctx, request)
+    if decision.kind == "bitflip":
+        corrupted = plan.corrupt_result(
+            decision, result.value, request.modulus
+        )
+        result = type(result)(corrupted, result.cycles)
+    return result
+
+
 def _run_request(
-    backend_spec: Any, ctx: MontgomeryContext, request: ModExpRequest
+    backend_spec: Any,
+    ctx: MontgomeryContext,
+    request: ModExpRequest,
+    chaos: Optional[ChaosConfig] = None,
+    attempt: int = 0,
+    allow_kill: bool = False,
 ) -> Tuple[int, Optional[int], float, str, Optional[WorkerTelemetry]]:
     """Pool task: execute one request, measuring wall time in the worker.
 
     ``backend_spec`` is the backend object for thread/inline pools and
     the backend *name* for process pools (objects with simulator state
     should not be pickled; names re-resolve in the worker interpreter).
+    ``chaos``/``attempt``/``allow_kill`` drive the fault plan — the
+    config is a frozen picklable value, so process workers replay the
+    same deterministic decisions as inline retries.
 
     Returns ``(value, cycles, wall_us, worker, telemetry)``.  When the
     request's :class:`TraceContext` asks for capture (process workers —
@@ -107,11 +180,13 @@ def _run_request(
     if trace is not None and trace.wants_capture:
         with capture(trace) as telemetry:
             t0 = time.perf_counter()
-            result = backend.execute(ctx, request)
+            result = _execute_with_chaos(
+                backend, ctx, request, chaos, attempt, allow_kill
+            )
             wall_us = (time.perf_counter() - t0) * 1e6
         return result.value, result.cycles, wall_us, telemetry.worker, telemetry
     t0 = time.perf_counter()
-    result = backend.execute(ctx, request)
+    result = _execute_with_chaos(backend, ctx, request, chaos, attempt, allow_kill)
     wall_us = (time.perf_counter() - t0) * 1e6
     return result.value, result.cycles, wall_us, worker_label(), None
 
@@ -157,6 +232,8 @@ class _Entry:
         "submitted_at",
         "group_pos",
         "group_size",
+        "context",
+        "requeued",
     )
 
     def __init__(self, request: ModExpRequest, input_index: int) -> None:
@@ -168,6 +245,8 @@ class _Entry:
         self.submitted_at: float = 0.0
         self.group_pos: Optional[int] = None  # position in a lane group
         self.group_size: int = 1
+        self.context: Optional[MontgomeryContext] = None  # batch's shared ctx
+        self.requeued: bool = False  # already requeued after a broken pool
 
 
 class ModExpService:
@@ -196,6 +275,30 @@ class ModExpService:
         Cycle-budget policy applied to every completed request that
         reports cycles (default: the Eq. (10) envelope via
         :class:`SLOPolicy`); ``None`` disables SLO tracking.
+    verify:
+        :class:`~repro.robustness.verify.VerifyPolicy` for online result
+        verification (``None`` = off).  Corrupted values become
+        :class:`~repro.errors.FaultDetected` failures (and retry, when
+        retries are on).
+    chaos:
+        :class:`~repro.robustness.chaos.ChaosConfig` fault-injection
+        plan (``None`` = no injection).  Worker kills are only honoured
+        on process pools; lane packing is disabled while chaos is active
+        so every request gets its own fault decision.
+    retry:
+        :class:`~repro.robustness.retry.RetryPolicy` (``None`` = fail
+        on first error).  Retries run inline on the collector thread —
+        never through a possibly-sick pool — and are always verified
+        when verification is enabled.
+    retry_budget:
+        Service-wide cap on concurrently outstanding retries.
+    breaker:
+        :class:`~repro.robustness.breaker.BreakerConfig` enabling
+        per-backend circuit breakers (``None`` = no breakers).
+    failover:
+        When True, retries may be routed to the next-cheapest capable
+        backend from the registry when the primary's breaker is open
+        (or simply as an alternate opinion after a failure).
     """
 
     def __init__(
@@ -209,6 +312,12 @@ class ModExpService:
         max_batch: int = 32,
         default_timeout: Optional[float] = None,
         slo: Optional[SLOPolicy] = SLOPolicy(),
+        verify: Optional[VerifyPolicy] = None,
+        chaos: Optional[ChaosConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_budget: int = 32,
+        breaker: Optional[BreakerConfig] = None,
+        failover: bool = False,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.backend: ModExpBackend = (
@@ -239,6 +348,15 @@ class ModExpService:
             workers=workers, kind=worker_kind, queue_limit=queue_limit
         )
         self.slo = slo
+        self.verify_policy = verify if (verify is not None and verify.enabled) else None
+        self._verifier = (
+            ResultVerifier(self.verify_policy) if self.verify_policy else None
+        )
+        self.chaos = chaos if (chaos is not None and chaos.active) else None
+        self.retry = retry
+        self._retry_budget = RetryBudget(retry_budget)
+        self.breakers = BreakerBoard(breaker) if breaker is not None else None
+        self.failover = failover
         self._batch_counter = 0
         self._trace_seq = 0
 
@@ -283,15 +401,21 @@ class ModExpService:
                 backend=self.backend.name,
             )
 
-    def _check_slo(self, request: ModExpRequest, cycles: int, worker: str) -> None:
+    def _check_slo(
+        self, request: ModExpRequest, cycles: int, worker: str, backend_name: str
+    ) -> None:
         if self.slo is None:
             return
         budget = self.slo.cycle_budget(request)
-        OBS.count("serving.slo_checks", backend=self.backend.name)
+        if OBS.enabled:
+            OBS.count("serving.slo_checks", backend=backend_name)
         if cycles > budget:
-            OBS.count(
-                "serving.slo_violations", backend=self.backend.name, worker=worker
-            )
+            if OBS.enabled:
+                OBS.count(
+                    "serving.slo_violations", backend=backend_name, worker=worker
+                )
+            if self.breakers is not None:
+                self.breakers.get(backend_name).record_slo_violation()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -328,7 +452,13 @@ class ModExpService:
                     entry = group[0]
                     entry.submitted_at = now
                     entry.future = self.pool.submit(
-                        _run_request, spec, batch.context, entry.request
+                        _run_request,
+                        spec,
+                        batch.context,
+                        entry.request,
+                        self.chaos,
+                        0,
+                        self.pool.kind == "process",
                     )
                 else:
                     future = self.pool.submit(
@@ -383,12 +513,18 @@ class ModExpService:
         """
         spec = self._backend_spec()
         lanes = self.backend.capabilities.lanes
-        lane_packing = lanes > 1 and self.pool.kind != "process"
+        # Lane packing is suspended under chaos: each request must get its
+        # own per-request fault decision, which a shared lock-step sweep
+        # cannot honour.
+        lane_packing = (
+            lanes > 1 and self.pool.kind != "process" and self.chaos is None
+        )
         dispatched: List[_Entry] = []
         for batch in batches:
             entries = [entries_by_id[id(r)].popleft() for r in batch.requests]
             for entry in entries:
                 entry.batch_index = batch.index
+                entry.context = batch.context
             dispatched.extend(entries)
             groups = (
                 self._lane_groups(entries, lanes)
@@ -399,17 +535,25 @@ class ModExpService:
                 self._submit_group(spec, batch, group, on_full=on_full)
         return dispatched
 
-    def _collect(self, entry: _Entry) -> ModExpResult:
-        """Resolve one entry, enforcing its timeout from submission time."""
-        if entry.result is not None:  # rejected or pre-resolved
-            return entry.result
+    # ------------------------------------------------------------------
+    # Collection, verification, recovery
+    # ------------------------------------------------------------------
+    def _await_future(self, entry: _Entry) -> Tuple[str, Any]:
+        """Harvest one dispatched future.
+
+        Returns ``("ok", payload_tuple)``, ``("timeout", exc)`` or
+        ``("error", exc)``.  On timeout the future's pool slot is
+        *abandoned*, not merely cancelled: a task already executing
+        cannot be cancelled and would otherwise pin its in-flight slot
+        until (if ever) it finishes — enough stuck tasks would saturate
+        the bounded window permanently.
+        """
         request, future = entry.request, entry.future
         assert future is not None
         timeout = request.timeout if request.timeout is not None else self.default_timeout
         remaining: Optional[float] = None
         if timeout is not None:
             remaining = max(0.0, entry.submitted_at + timeout - time.monotonic())
-        name = self.backend.name
         try:
             payload = future.result(timeout=remaining)
             if entry.group_pos is None:
@@ -421,42 +565,242 @@ class ModExpService:
                 value = values[entry.group_pos]
                 cycles = cycles_list[entry.group_pos]
                 wall_us = group_wall_us / entry.group_size
+            return "ok", (value, cycles, wall_us, worker, telemetry)
         except FuturesTimeout:
-            future.cancel()
-            if OBS.enabled:
-                OBS.count("serving.requests", status="timeout", backend=name)
-            return ModExpResult.failure(
-                request.request_id,
-                TimeoutError(f"request exceeded {timeout}s"),
-                backend=name,
-                batch_index=entry.batch_index,
+            self.pool.abandon(future)
+            return "timeout", TimeoutError(f"request exceeded {timeout}s")
+        except BaseException as exc:
+            return "error", exc
+
+    def _rid(self, entry: _Entry) -> str:
+        request = entry.request
+        if request.request_id:
+            return request.request_id
+        if request.trace is not None:
+            return request.trace.request_id
+        return f"idx{entry.input_index}"
+
+    def _verify_value(
+        self, entry: _Entry, value: int, attempt: int, backend_name: str
+    ) -> Optional[FaultDetected]:
+        """Run the verification policy over one completed value."""
+        if self._verifier is None:
+            return None
+        if not self.verify_policy.should_verify(self._rid(entry), attempt):
+            return None
+        if OBS.enabled:
+            OBS.count("serving.verified", backend=backend_name)
+        try:
+            self._verifier.check(entry.request, value)
+        except FaultDetected as exc:
+            return exc
+        return None
+
+    def _note_failure(self, exc: BaseException, backend_name: str) -> None:
+        """Account one failed execution: detection metrics + breaker."""
+        if isinstance(exc, FaultDetected) and OBS.enabled:
+            OBS.count(
+                "serving.faults_detected", check=exc.check, backend=backend_name
+            )
+        if self.breakers is not None:
+            self.breakers.get(backend_name).record_failure()
+
+    def _note_success(self, backend_name: str) -> None:
+        if self.breakers is not None:
+            self.breakers.get(backend_name).record_success()
+
+    def _route(self, request: ModExpRequest) -> Optional[ModExpBackend]:
+        """Pick the backend for a retry attempt, breaker- and cost-aware.
+
+        The primary backend keeps priority while its breaker admits
+        traffic.  With ``failover=True`` the alternates are the registry
+        backends that can serve the request, ordered by
+        :meth:`~repro.serving.backends.ModExpBackend.estimate_cost`
+        (cheapest first).  ``None`` means no backend is currently
+        willing — the caller fails the request without burning budget.
+        Breaker ``allow()`` is only consulted in priority order, so
+        half-open probe slots are never claimed for backends that are
+        not actually used.
+        """
+        primary = self.backend
+        candidates: List[ModExpBackend] = [primary]
+        if self.failover:
+            alternates = [
+                b
+                for b in self.registry
+                if b.name != primary.name and b.reject_reason(request) is None
+            ]
+            alternates.sort(key=lambda b: b.estimate_cost(request))
+            candidates.extend(alternates)
+        for candidate in candidates:
+            if self.breakers is None or self.breakers.allow(candidate.name):
+                return candidate
+        return None
+
+    def _requeue_after_break(self, entry: _Entry) -> Tuple[str, Any]:
+        """A worker process died under this request: resubmit exactly once.
+
+        The pool replaces its broken executor on the next submission
+        (``respawn``); the request is requeued with a bumped attempt
+        index so a deterministic chaos kill does not simply re-fire.
+        """
+        entry.requeued = True
+        if OBS.enabled:
+            OBS.count("serving.requeued", backend=self.backend.name)
+        try:
+            entry.submitted_at = time.monotonic()
+            entry.future = self.pool.submit(
+                _run_request,
+                self._backend_spec(),
+                entry.context,
+                entry.request,
+                self.chaos,
+                1,  # attempt index for the chaos RNG key
+                self.pool.kind == "process",
             )
         except BaseException as exc:
-            if OBS.enabled:
-                OBS.count("serving.requests", status="failed", backend=name)
-            return ModExpResult.failure(
-                request.request_id, exc, backend=name, batch_index=entry.batch_index
+            return "error", exc
+        return self._await_future(entry)
+
+    def _collect(self, entry: _Entry) -> ModExpResult:
+        """Resolve one entry: harvest, verify, and recover as configured.
+
+        The recovery ladder, in order: (1) a request whose worker
+        process died is requeued once through the respawned pool;
+        (2) completed values run through the verification policy —
+        detected corruption becomes a failure; (3) failures consume the
+        retry policy, re-executing inline on this thread (optionally
+        failing over to another backend when the primary's breaker is
+        open), with every retried value verified.  Whatever survives is
+        the result.
+        """
+        if entry.result is not None:  # rejected or pre-resolved
+            return entry.result
+        request = entry.request
+        primary = self.backend.name
+        used = primary
+        attempt = 0
+        status, payload = self._await_future(entry)
+
+        if (
+            status == "error"
+            and isinstance(payload, BrokenExecutor)
+            and not entry.requeued
+            and self.pool.kind == "process"
+        ):
+            attempt = 1
+            status, payload = self._requeue_after_break(entry)
+
+        if status == "ok":
+            value = payload[0]
+            fault = self._verify_value(entry, value, attempt, used)
+            if fault is not None:
+                status, payload = "error", fault
+            else:
+                self._note_success(used)
+        if status in ("error", "timeout"):
+            self._note_failure(payload, used)
+            status, payload, used, attempt = self._retry_loop(
+                entry, status, payload, attempt
             )
+
+        if status != "ok":
+            terminal = "timeout" if status == "timeout" else "failed"
+            if OBS.enabled:
+                OBS.count("serving.requests", status=terminal, backend=used)
+            return ModExpResult.failure(
+                request.request_id,
+                payload,
+                backend=used,
+                batch_index=entry.batch_index,
+            )
+
+        value, cycles, wall_us, worker, telemetry = payload
         if OBS.enabled:
-            OBS.count("serving.requests", status="completed", backend=name)
+            OBS.count("serving.requests", status="completed", backend=used)
             if telemetry is not None:
                 self._merge_telemetry(entry, telemetry)
             if cycles is not None:
                 OBS.record(
-                    "serving.request_cycles", cycles, backend=name, worker=worker
+                    "serving.request_cycles", cycles, backend=used, worker=worker
                 )
-                self._check_slo(request, cycles, worker)
             OBS.record(
-                "serving.request_wall_us", wall_us, backend=name, worker=worker
+                "serving.request_wall_us", wall_us, backend=used, worker=worker
             )
+        if cycles is not None:
+            self._check_slo(request, cycles, worker, used)
         return ModExpResult.success(
             request,
             value,
-            backend=name,
+            backend=used,
             cycles=cycles,
             wall_us=wall_us,
             batch_index=entry.batch_index,
         )
+
+    def _retry_loop(
+        self, entry: _Entry, status: str, payload: Any, attempt: int
+    ) -> Tuple[str, Any, str, int]:
+        """Re-execute a failed request under the retry policy.
+
+        Retries run inline on the collector thread — deliberately not
+        through the pool, whose workers may be the thing that is sick —
+        with ``allow_kill=False`` (an injected kill inline would take
+        down the service itself; the plan degrades it to an exception).
+        Returns ``(status, payload, backend_used, attempt)``.
+        """
+        primary = self.backend.name
+        used = primary
+        policy = self.retry
+        if policy is None or isinstance(payload, ParameterError):
+            return status, payload, used, attempt
+        request = entry.request
+        rid = self._rid(entry)
+        # Inline execution must not re-enter telemetry capture (that is
+        # for process workers); strip the trace envelope for retries.
+        inline_request = (
+            replace(request, trace=None) if request.trace is not None else request
+        )
+        while attempt + 1 < policy.max_attempts and status != "ok":
+            if not self._retry_budget.try_acquire():
+                if OBS.enabled:
+                    OBS.count("serving.retry_budget_exhausted")
+                break
+            try:
+                attempt += 1
+                target = self._route(request)
+                if target is None:
+                    if OBS.enabled:
+                        OBS.count("serving.no_backend_available")
+                    break
+                delay = policy.backoff(rid, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                if OBS.enabled:
+                    OBS.count("serving.retries", backend=target.name)
+                ctx = entry.context
+                assert ctx is not None
+                try:
+                    payload = _run_request(
+                        target, ctx, inline_request, self.chaos, attempt, False
+                    )
+                except BaseException as exc:
+                    status, payload = "error", exc
+                    self._note_failure(exc, target.name)
+                    continue
+                fault = self._verify_value(entry, payload[0], attempt, target.name)
+                if fault is not None:
+                    status, payload = "error", fault
+                    self._note_failure(fault, target.name)
+                    continue
+                status = "ok"
+                used = target.name
+                self._note_success(used)
+                if used != primary and OBS.enabled:
+                    OBS.count("serving.failovers", **{"from": primary, "to": used})
+            finally:
+                self._retry_budget.release()
+        return status, payload, used, attempt
 
     # ------------------------------------------------------------------
     # Public API
@@ -494,6 +838,13 @@ class ModExpService:
                     backend=self.backend.name,
                 )
                 continue
+            if not request.request_id and (
+                self.chaos is not None or self._verifier is not None
+            ):
+                # Chaos decisions and verification sampling key their RNGs
+                # on the request id; give anonymous requests a stable one.
+                self._trace_seq += 1
+                request = replace(request, request_id=f"req{self._trace_seq}")
             if OBS.enabled and request.trace is None:
                 request = replace(request, trace=self._trace_context(request))
             servable.append(request)

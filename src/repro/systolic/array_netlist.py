@@ -78,6 +78,12 @@ class ArrayCore:
     t_comb: List[Wire]  # combinational t outputs of cells 1..top_cell
     t_next_comb: Wire  # combinational top bit of the row sum
     m0: Wire  # combinational m output of the rightmost cell
+    # Remaining state registers, exposed for fault-injection campaigns
+    # (every DFF of the core is reachable through one of these lists).
+    c0_regs: List[Wire]  # C0[0..top_cell-1]
+    c1_regs: List[Wire]  # C1[1..top_cell-1], index 0 -> C1(1)
+    x_pipe_regs: List[Wire]  # two-cycle x pipeline latches
+    m_pipe_regs: List[Wire]  # two-cycle m pipeline latches
     # Overflow taps: the topmost cell's adder carry and the C1 register it
     # is XORed with.  Both high means the row sum needs a bit the XOR
     # cannot produce — the exact condition the behavioral model raises
@@ -269,6 +275,10 @@ def elaborate_array(
         t_comb=t_comb,
         t_next_comb=t_next,
         m0=right.m,
+        c0_regs=c0_q,
+        c1_regs=c1_q,
+        x_pipe_regs=x_q,
+        m_pipe_regs=m_q,
         overflow_carry=overflow_carry,
         overflow_c1=overflow_c1,
     )

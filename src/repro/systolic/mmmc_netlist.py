@@ -57,6 +57,7 @@ class MMMCPorts:
     state: List[Wire]  # [s0, s1]
     counter: List[Wire]
     core: ArrayCore
+    x_shift: List[Wire]  # the l+1-bit X shift register (fault-site access)
 
 
 # State encoding: IDLE=00, MUL1=01, MUL2=10, OUT=11 (s1 s0).
@@ -171,6 +172,7 @@ def build_mmmc(l: int, mode: str = "corrected", name: str = "mmmc") -> MMMCPorts
         state=[s0, s1],
         counter=ctr,
         core=core,
+        x_shift=x_q,
     )
 
 
@@ -210,7 +212,74 @@ class GateLevelMMMC:
         self.lanes = lanes
         self.l = l
         self.mode = mode
+        # One-shot scheduled fault: (cycle, wire, lane_or_None), consumed
+        # by the next multiply/multiply_lanes.  See schedule_fault().
+        self._pending_fault = None
         self.sim.reset()
+
+    # ------------------------------------------------------------------
+    # Fault injection (single-event-upset campaigns, chaos middleware)
+    # ------------------------------------------------------------------
+    def fault_sites(self) -> dict:
+        """Map register-class name -> list of DFF output wires.
+
+        The classes mirror ``repro.analysis.fault.REGISTER_CLASSES`` so a
+        :class:`~repro.analysis.fault.FaultSite` addresses the same
+        architectural state in the behavioral RTL and in this netlist:
+        ``t``/``c0``/``c1`` array state, the two pipelines, the RESULT
+        register and the X shift register.  Every datapath DFF of the
+        MMMC is reachable through exactly one of these lists.
+        """
+        core, p = self.ports.core, self.ports
+        return {
+            "t": list(core.t_regs),
+            "c0": list(core.c0_regs),
+            "c1": list(core.c1_regs),
+            "x_pipe": list(core.x_pipe_regs),
+            "m_pipe": list(core.m_pipe_regs),
+            "result": list(p.result),
+            "x_shift": list(p.x_shift),
+        }
+
+    def schedule_fault(self, site, lane: int = None) -> None:
+        """Arm a one-shot bit flip for the next multiplication.
+
+        ``site`` is a :class:`~repro.analysis.fault.FaultSite` (duck-typed:
+        ``cycle``/``register``/``index``).  The flip is applied to the
+        register's Q immediately after clock edge number ``site.cycle``
+        (0-based, counted from the first post-load cycle), modeling a
+        particle strike on the stored bit; the corrupted value propagates
+        on the following settle.  ``lane`` restricts the flip to one
+        packed lane (compiled engine); ``None`` hits all lanes.
+        """
+        sites = self.fault_sites()
+        regs = sites.get(site.register)
+        if regs is None:
+            raise ParameterError(
+                f"unknown register class {site.register!r}; one of {sorted(sites)}"
+            )
+        if not 0 <= site.index < len(regs):
+            raise ParameterError(
+                f"register index {site.index} out of range for "
+                f"{site.register!r} (width {len(regs)})"
+            )
+        if site.cycle < 0:
+            raise ParameterError(f"fault cycle must be >= 0, got {site.cycle}")
+        if lane is not None and not (0 <= lane < self.lanes):
+            raise ParameterError(f"lane {lane} out of range [0, {self.lanes})")
+        self._pending_fault = (site.cycle, regs[site.index], lane)
+
+    def _take_pending_fault(self):
+        pending, self._pending_fault = self._pending_fault, None
+        return pending
+
+    def _apply_fault(self, wire, lane) -> None:
+        if self.simulator == "compiled":
+            self.sim.flip(wire, lanes=None if lane is None else [lane])
+        else:
+            self.sim.flip(wire)
+        if OBS.enabled:
+            OBS.count("mmmc.faults_injected")
 
     def _validate(self, x: int, y: int, n: int) -> None:
         if n.bit_length() > self.l or n % 2 == 0 or n < 3:
@@ -248,6 +317,7 @@ class GateLevelMMMC:
         vals = sim.values
         s0_i, s1_i, c1_i = self._s0_i, self._s1_i, self._c1_i
         step = sim.step
+        pending = self._take_pending_fault()
         while cycles < limit:
             # Pre-edge register reads (state, overflow C1) happen before the
             # fused step; combinational taps (carry, DONE) are settled from
@@ -255,6 +325,9 @@ class GateLevelMMMC:
             in_mul = (vals[s0_i] ^ vals[s1_i]) & 1
             c1 = (vals[c1_i] & 1) if in_mul else 0
             step()
+            if pending is not None and cycles == pending[0]:
+                self._apply_fault(pending[1], pending[2])
+                pending = None
             if (
                 c1
                 and core.productive(mul_cycles)
@@ -331,10 +404,14 @@ class GateLevelMMMC:
         limit = 4 * self.l + 16
         vals = sim.values
         carry_i, c1_i = core.overflow_carry.index, core.overflow_c1.index
+        pending = self._take_pending_fault()
         while cycles < limit:
             in_mul = self._in_mul()
             c1_word = vals[c1_i] if in_mul else 0  # pre-edge C1 lanes
             sim.step()
+            if pending is not None and cycles == pending[0]:
+                self._apply_fault(pending[1], pending[2])
+                pending = None
             if in_mul and c1_word and core.productive(mul_cycles):
                 over = vals[carry_i] & c1_word
                 if over:

@@ -97,3 +97,65 @@ class TestCampaign:
         a = fault_campaign(L, X, Y, N, samples=30, seed=5)
         b = fault_campaign(L, X, Y, N, samples=30, seed=5)
         assert [(o.site, o.corrupted) for o in a] == [(o.site, o.corrupted) for o in b]
+
+
+class TestGateLevelEngines:
+    """The same FaultSite addressing through the real netlist: the
+    interpreted and compiled engines must agree bit-for-bit with each
+    other on every injected fault's outcome."""
+
+    def test_gate_campaign_runs_and_reuses_one_netlist(self):
+        outs = fault_campaign(L, X, Y, N, samples=20, seed=4, engine="gate")
+        assert len(outs) == 20
+        s = campaign_summary(outs)
+        assert 0.0 <= s["ALL"]["corruption_rate"] <= 1.0
+
+    def test_compiled_and_interpreted_agree_exactly(self):
+        a = fault_campaign(L, X, Y, N, samples=25, seed=6, engine="gate")
+        b = fault_campaign(L, X, Y, N, samples=25, seed=6, engine="compiled")
+        assert [(o.site, o.observed, o.detected) for o in a] == [
+            (o.site, o.observed, o.detected) for o in b
+        ]
+
+    def test_gate_fault_corrupts_known_live_site(self):
+        out = inject_fault(
+            L, X, Y, N, FaultSite(cycle=3 * L + 3, register="result", index=0),
+            engine="gate",
+        )
+        assert out.corrupted
+
+    def test_gate_instance_recovers_after_fault(self):
+        """An injected fault must not contaminate later multiplications
+        on the same (reused) netlist instance."""
+        from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+        mmmc = GateLevelMMMC(L, mode="corrected", simulator="interpreted")
+        site = FaultSite(cycle=5, register="t", index=2)
+        faulty = inject_fault(L, X, Y, N, site, engine="gate", _mmmc=mmmc)
+        clean = mmmc.multiply(X, Y, N).result
+        assert clean == faulty.fault_free
+
+    def test_gate_cycle_window_validated(self):
+        with pytest.raises(ParameterError):
+            inject_fault(
+                L, X, Y, N, FaultSite(cycle=3 * L + 6, register="t", index=0),
+                engine="gate",
+            )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ParameterError):
+            inject_fault(
+                L, X, Y, N, FaultSite(cycle=0, register="t", index=0),
+                engine="fpga",
+            )
+        with pytest.raises(ParameterError):
+            fault_campaign(L, X, Y, N, samples=1, engine="fpga")
+
+    def test_rtl_and_gate_rates_comparable(self):
+        """Both substrates model the same microarchitecture; their random
+        corruption rates land in the same broad band."""
+        rtl = campaign_summary(fault_campaign(L, X, Y, N, samples=120, seed=8))
+        gate = campaign_summary(
+            fault_campaign(L, X, Y, N, samples=120, seed=8, engine="gate")
+        )
+        assert abs(rtl["ALL"]["corruption_rate"] - gate["ALL"]["corruption_rate"]) < 0.25

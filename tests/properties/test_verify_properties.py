@@ -1,0 +1,77 @@
+"""Property tests pinning the result verifier's false-negative rate to 0.
+
+The verifier's comparison against the extended-modulus recompute is
+exact, so *any* wrong value — bit flip, arithmetic slip, off-by-N — must
+be rejected, for every request and every corruption.  Hypothesis states
+that universally; a single silent acceptance of a wrong value fails the
+suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import FaultDetected
+from repro.robustness.verify import ResultVerifier, VerifyPolicy
+from tests.conftest import odd_modulus
+
+
+class _Req:
+    """Duck-typed stand-in for ModExpRequest (verify only reads these)."""
+
+    def __init__(self, base, exponent, modulus, request_id):
+        self.base = base
+        self.exponent = exponent
+        self.modulus = modulus
+        self.request_id = request_id
+
+
+def verifier(seed=0):
+    return ResultVerifier(VerifyPolicy(mode="full", seed=seed))
+
+
+@st.composite
+def request_and_truth(draw):
+    n = draw(odd_modulus(min_bits=4, max_bits=96))
+    base = draw(st.integers(min_value=0, max_value=n - 1))
+    exponent = draw(st.integers(min_value=1, max_value=1 << 20))
+    rid = f"p{draw(st.integers(min_value=0, max_value=10_000))}"
+    return _Req(base, exponent, n, rid), pow(base, exponent, n)
+
+
+class TestZeroFalseNegatives:
+    @given(request_and_truth(), st.integers(min_value=0, max_value=127))
+    @settings(max_examples=300)
+    def test_single_bit_flips_never_pass(self, rt, bit):
+        """False-negative rate on single-bit corruptions is exactly 0."""
+        req, truth = rt
+        corrupted = truth ^ (1 << (bit % max(req.modulus.bit_length(), 1)))
+        if corrupted == truth:
+            return
+        with pytest.raises(FaultDetected):
+            verifier().check(req, corrupted)
+
+    @given(request_and_truth(), st.integers())
+    @settings(max_examples=300)
+    def test_arbitrary_wrong_values_never_pass(self, rt, wrong):
+        req, truth = rt
+        if wrong == truth:
+            return
+        with pytest.raises(FaultDetected):
+            verifier().check(req, wrong)
+
+    @given(request_and_truth(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200)
+    def test_off_by_multiples_of_n_never_pass(self, rt, k):
+        """The classic reduction bug: right residue class, wrong value."""
+        req, truth = rt
+        with pytest.raises(FaultDetected):
+            verifier().check(req, truth + k * req.modulus)
+
+    @given(request_and_truth(), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=200)
+    def test_true_values_always_pass(self, rt, seed):
+        """No false positives either, for any witness-prime seed."""
+        req, truth = rt
+        verifier(seed=seed).check(req, truth)  # must not raise

@@ -1,0 +1,130 @@
+"""Circuit-breaker state machine with an injected clock."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.robustness.breaker import BreakerBoard, BreakerConfig, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+def make(clock, **kw):
+    defaults = dict(failure_threshold=3, cooldown_s=10.0, half_open_probes=2)
+    defaults.update(kw)
+    return CircuitBreaker("b", BreakerConfig(**defaults), clock=clock)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        brk = make(clock)
+        assert brk.state == "closed" and brk.allow()
+
+    def test_opens_on_consecutive_failures(self, clock):
+        brk = make(clock)
+        for _ in range(3):
+            brk.record_failure()
+        assert brk.state == "open" and not brk.allow()
+
+    def test_success_resets_the_failure_count(self, clock):
+        brk = make(clock)
+        for _ in range(10):
+            brk.record_failure()
+            brk.record_failure()
+            brk.record_success()
+        assert brk.state == "closed"
+
+    def test_cooldown_moves_to_half_open(self, clock):
+        brk = make(clock)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 9.9
+        assert brk.state == "open"
+        clock.now = 10.0
+        assert brk.state == "half_open"
+
+    def test_half_open_admits_only_the_probe_quota(self, clock):
+        brk = make(clock, half_open_probes=2)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 11.0
+        assert brk.allow() and brk.allow()
+        assert not brk.allow()  # third probe rejected
+
+    def test_probe_successes_close(self, clock):
+        brk = make(clock, half_open_probes=2)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 11.0
+        assert brk.allow()
+        brk.record_success()
+        assert brk.state == "half_open"
+        assert brk.allow()
+        brk.record_success()
+        assert brk.state == "closed"
+
+    def test_probe_failure_reopens(self, clock):
+        brk = make(clock)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 11.0
+        assert brk.allow()
+        brk.record_failure()
+        assert brk.state == "open"
+        assert not brk.allow()  # fresh cooldown from the re-open
+
+    def test_success_after_cooldown_counts_as_probe(self, clock):
+        """Primary-path traffic is not gated by allow(); a success landing
+        on an open breaker past its cooldown must still drive recovery."""
+        brk = make(clock, half_open_probes=1)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 11.0
+        brk.record_success()
+        assert brk.state == "closed"
+
+    def test_slo_violations_trip_separately(self, clock):
+        brk = make(clock, slo_violation_threshold=2)
+        brk.record_slo_violation()
+        assert brk.state == "closed"
+        brk.record_slo_violation()
+        assert brk.state == "open"
+
+
+class TestBoard:
+    def test_lazily_creates_per_backend(self, clock):
+        board = BreakerBoard(BreakerConfig(), clock=clock)
+        assert board.allow("x") and board.allow("y")
+        assert board.get("x") is board.get("x")
+        assert set(board.states()) == {"x", "y"}
+
+    def test_backends_are_independent(self, clock):
+        board = BreakerBoard(BreakerConfig(failure_threshold=1), clock=clock)
+        board.get("sick").record_failure()
+        assert not board.allow("sick")
+        assert board.allow("healthy")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(failure_threshold=0),
+            dict(slo_violation_threshold=0),
+            dict(cooldown_s=-1.0),
+            dict(half_open_probes=0),
+        ],
+    )
+    def test_rejects(self, kw):
+        with pytest.raises(ParameterError):
+            BreakerConfig(**kw)

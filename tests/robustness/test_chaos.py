@@ -1,0 +1,81 @@
+"""The seeded chaos plan: determinism, rates, and kill degradation."""
+
+import pytest
+
+from repro.errors import InjectedFault, ParameterError
+from repro.robustness.chaos import ChaosConfig, FaultDecision, FaultPlan
+
+
+class TestConfig:
+    def test_inactive_by_default(self):
+        assert not ChaosConfig().active
+
+    def test_any_rate_activates(self):
+        assert ChaosConfig(bitflip_rate=0.01).active
+        assert ChaosConfig(target_prefix="storm").active
+
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ParameterError):
+            ChaosConfig(bitflip_rate=1.5)
+        with pytest.raises(ParameterError):
+            ChaosConfig(worker_kill_rate=-0.1)
+
+    def test_rate_sum_capped(self):
+        with pytest.raises(ParameterError):
+            ChaosConfig(worker_kill_rate=0.6, bitflip_rate=0.6)
+
+
+class TestDecide:
+    def test_deterministic_per_request_and_attempt(self):
+        plan = FaultPlan(ChaosConfig(seed=4, bitflip_rate=0.5))
+        a = [plan.decide(f"r{i}", 0) for i in range(50)]
+        b = [plan.decide(f"r{i}", 0) for i in range(50)]
+        assert a == b
+
+    def test_attempts_draw_independently(self):
+        plan = FaultPlan(ChaosConfig(seed=4, bitflip_rate=0.5))
+        kinds = {plan.decide("r1", a).kind for a in range(30)}
+        assert None in kinds and "bitflip" in kinds
+
+    def test_aggregate_rate_matches_config(self):
+        plan = FaultPlan(ChaosConfig(seed=0, exception_rate=0.2))
+        hits = sum(bool(plan.decide(f"r{i}", 0)) for i in range(2000))
+        assert 0.15 < hits / 2000 < 0.25
+
+    def test_kill_degrades_to_exception_without_permission(self):
+        plan = FaultPlan(ChaosConfig(seed=0, worker_kill_rate=1.0))
+        assert plan.decide("x", 0, allow_kill=True).kind == "kill"
+        assert plan.decide("x", 0, allow_kill=False).kind == "exception"
+
+    def test_target_prefix_faults_first_attempt_only(self):
+        plan = FaultPlan(ChaosConfig(seed=0, target_prefix="storm"))
+        assert plan.decide("storm7", 0).kind == "exception"
+        assert plan.decide("storm7", 1).kind is None
+        assert plan.decide("normal", 0).kind is None
+
+    def test_inactive_plan_never_faults(self):
+        plan = FaultPlan(ChaosConfig())
+        assert not any(plan.decide(f"r{i}", 0) for i in range(100))
+
+
+class TestApply:
+    def test_exception_decision_raises_injected_fault(self):
+        plan = FaultPlan(ChaosConfig(seed=0, exception_rate=1.0))
+        with pytest.raises(InjectedFault):
+            plan.apply_pre(FaultDecision(kind="exception"), "r0")
+
+    def test_none_decision_is_a_noop(self):
+        FaultPlan(ChaosConfig(seed=0, exception_rate=1.0)).apply_pre(
+            FaultDecision(), "r0"
+        )
+
+    def test_corrupt_result_flips_one_in_range_bit(self):
+        plan = FaultPlan(ChaosConfig(seed=0, bitflip_rate=1.0))
+        n = 197
+        for bit in (0, 5, 300):
+            corrupted = plan.corrupt_result(
+                FaultDecision(kind="bitflip", bit=bit), 42, n
+            )
+            assert corrupted != 42
+            assert bin(corrupted ^ 42).count("1") == 1
+            assert (corrupted ^ 42).bit_length() <= n.bit_length()

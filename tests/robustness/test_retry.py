@@ -1,0 +1,67 @@
+"""Retry backoff determinism and the service-wide retry budget."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.robustness.retry import RetryBudget, RetryPolicy
+
+
+class TestBackoff:
+    def test_deterministic_per_request_attempt(self):
+        p = RetryPolicy(max_attempts=4, backoff_s=0.1, seed=9)
+        assert p.backoff("r1", 2) == p.backoff("r1", 2)
+        assert p.backoff("r1", 2) != p.backoff("r2", 2)
+
+    def test_exponential_growth_within_jitter_band(self):
+        p = RetryPolicy(max_attempts=5, backoff_s=0.1, multiplier=2.0, jitter=0.25)
+        for attempt in (1, 2, 3):
+            nominal = 0.1 * 2.0 ** (attempt - 1)
+            delay = p.backoff("r", attempt)
+            assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_zero_base_means_no_sleep(self):
+        p = RetryPolicy(max_attempts=3, backoff_s=0.0)
+        assert p.backoff("r", 1) == 0.0
+
+    def test_attempt_zero_never_waits(self):
+        assert RetryPolicy().backoff("r", 0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestBudget:
+    def test_bounds_concurrent_retries(self):
+        b = RetryBudget(2)
+        assert b.try_acquire() and b.try_acquire()
+        assert not b.try_acquire()
+        b.release()
+        assert b.try_acquire()
+
+    def test_outstanding_tracks(self):
+        b = RetryBudget(4)
+        b.try_acquire()
+        b.try_acquire()
+        assert b.outstanding == 2
+        b.release()
+        assert b.outstanding == 1
+
+    def test_thread_safe_under_contention(self):
+        b = RetryBudget(50)
+        acquired = []
+
+        def worker():
+            got = sum(b.try_acquire() for _ in range(10))
+            acquired.append(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(acquired) == 50  # exactly the budget, no over-grant

@@ -1,0 +1,99 @@
+"""Online result verification: the residue witness and the Walter bound."""
+
+import pytest
+
+from repro.errors import FaultDetected, ParameterError
+from repro.robustness.verify import (
+    ResultVerifier,
+    VerifyPolicy,
+    residue_witness,
+    walter_bound_ok,
+)
+from repro.serving.request import ModExpRequest
+
+N = 0xC96F4F3C6D21E1F1A9F5A8B7 | 1
+
+
+def _req(base=7, exponent=65537, rid="r0"):
+    return ModExpRequest(base=base, exponent=exponent, modulus=N, request_id=rid)
+
+
+class TestWalterBound:
+    def test_accepts_the_open_interval(self):
+        assert walter_bound_ok(0, 197)
+        assert walter_bound_ok(2 * 197 - 1, 197)
+
+    def test_rejects_outside(self):
+        assert not walter_bound_ok(-1, 197)
+        assert not walter_bound_ok(2 * 197, 197)
+
+
+class TestResidueWitness:
+    def test_matches_direct_computation(self):
+        r = 1009  # prime
+        for base, e in ((7, 65537), (123456, 3), (r * 5, 17)):
+            assert residue_witness(base, e, r) == pow(base, e, r)
+
+    def test_base_divisible_by_witness(self):
+        assert residue_witness(2018, 5, 1009) == 0
+
+
+class TestVerifyPolicy:
+    def test_off_by_default(self):
+        assert not VerifyPolicy().enabled
+
+    def test_full_always_verifies(self):
+        p = VerifyPolicy(mode="full")
+        assert all(p.should_verify(f"r{i}") for i in range(20))
+
+    def test_sampled_rate_is_roughly_honoured_and_deterministic(self):
+        p = VerifyPolicy(mode="sampled", sample_rate=0.3, seed=1)
+        picks = [p.should_verify(f"r{i}") for i in range(1000)]
+        again = [p.should_verify(f"r{i}") for i in range(1000)]
+        assert picks == again
+        assert 0.2 < sum(picks) / len(picks) < 0.4
+
+    def test_retried_attempts_always_verify(self):
+        p = VerifyPolicy(mode="sampled", sample_rate=0.0)
+        assert not p.should_verify("r0", attempt=0)
+        assert p.should_verify("r0", attempt=1)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ParameterError):
+            VerifyPolicy(mode="always")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            VerifyPolicy(mode="sampled", sample_rate=1.5)
+
+
+class TestResultVerifier:
+    def test_accepts_the_true_value(self):
+        v = ResultVerifier(VerifyPolicy(mode="full"))
+        req = _req()
+        v.check(req, pow(req.base, req.exponent, N))  # no raise
+
+    def test_rejects_out_of_range(self):
+        v = ResultVerifier(VerifyPolicy(mode="full"))
+        with pytest.raises(FaultDetected) as e:
+            v.check(_req(), N + 1)
+        assert e.value.check == "range"
+
+    @pytest.mark.parametrize("bit", [0, 1, 17, 50, 90])
+    def test_rejects_every_single_bit_flip(self, bit):
+        req = _req()
+        good = pow(req.base, req.exponent, N)
+        bad = good ^ (1 << bit)
+        if not 0 <= bad < N:
+            pytest.skip("flip left the range; caught by the range check")
+        with pytest.raises(FaultDetected) as e:
+            ResultVerifier(VerifyPolicy(mode="full")).check(req, bad)
+        assert e.value.check == "residue"
+
+    def test_witness_choice_is_deterministic_per_request(self):
+        v = ResultVerifier(VerifyPolicy(mode="full", seed=3))
+        req = _req(rid="stable")
+        good = pow(req.base, req.exponent, N)
+        # Same request id -> same witness -> same (accepting) verdict.
+        v.check(req, good)
+        v.check(req, good)
