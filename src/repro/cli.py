@@ -16,6 +16,9 @@ Commands
 ``obs``         observability utilities (``obs diff``: snapshot vs baseline
                 and/or ``--require`` constraint expressions)
 ``bench-sim``   compare netlist simulator engines (interpreted/compiled/lanes)
+``profile``     profiled workload → unified utilization attribution report
+                (array occupancy vs the 2i+j model, lane fill, queue wait)
+``top``         terminal live-stats view over a running /metrics endpoint
 
 ``multiply``, ``exponentiate`` and ``observe`` accept the observability
 flags ``--trace out.json`` (Chrome trace-event timeline for Perfetto /
@@ -479,6 +482,64 @@ def build_parser() -> argparse.ArgumentParser:
         "the table); benchmarks/bench_compiled_sim.py runs the timing "
         "through this in a clean interpreter",
     )
+
+    prof = sub.add_parser(
+        "profile",
+        help="run a profiled workload and emit the unified utilization "
+        "attribution report (occupancy, lane fill, phase/queue breakdown)",
+    )
+    prof.add_argument(
+        "--l", type=int, default=64, help="bit length of the occupancy stage"
+    )
+    prof.add_argument(
+        "--arch", choices=("corrected", "paper"), default="corrected"
+    )
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument(
+        "--requests",
+        type=int,
+        default=48,
+        help="serving-stage request count over the gate backend; the mix "
+        "repeats 6 distinct (modulus, exponent) pairs, so 48 requests "
+        "yield lane groups of 8 (0 = skip the serving stage)",
+    )
+    prof.add_argument(
+        "--out", default=None, help="also write the report to this path"
+    )
+    prof.add_argument(
+        "--csv",
+        default=None,
+        help="write the array occupancy matrix as CSV to this path",
+    )
+    _add_observability_flags(prof)
+
+    top = sub.add_parser(
+        "top",
+        help="terminal live-stats view over a /metrics endpoint "
+        "(see `repro serve --http-port`)",
+    )
+    top.add_argument(
+        "url",
+        help="telemetry endpoint base URL or /metrics URL, "
+        "e.g. http://127.0.0.1:9100",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds (default: 2.0)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="number of refreshes before exiting (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --count 1)",
+    )
     return p
 
 
@@ -823,7 +884,9 @@ def _cmd_obs_diff(args, out) -> int:
         return 2
     try:
         current = load_snapshot(args.current)
-    except OSError as exc:
+    except (OSError, ValueError) as exc:
+        # ValueError covers json.JSONDecodeError: a corrupt snapshot is a
+        # one-line failure, not a traceback.
         out.write(f"obs diff: cannot read current snapshot: {exc}\n")
         return 2
 
@@ -832,7 +895,7 @@ def _cmd_obs_diff(args, out) -> int:
     if args.baseline is not None:
         try:
             baseline = load_snapshot(args.baseline)
-        except OSError as exc:
+        except (OSError, ValueError) as exc:
             out.write(f"obs diff: cannot read baseline: {exc}\n")
             return 2
         ignore = tuple(args.ignore) if args.ignore else DEFAULT_IGNORE
@@ -997,6 +1060,219 @@ def _cmd_bench_sim(args, out) -> int:
     return 0
 
 
+def _profile_serving_stage(args, rng) -> None:
+    """The serving leg of ``repro profile``: mixed traffic over the gate backend.
+
+    Three moduli x two exponents at l=10 (the gate backend's width
+    ceiling) so coalescing, lane grouping and lane fill are all exercised
+    with a deliberately imperfect mix; verification is sampled so the
+    verify-overhead attribution has data.
+    """
+    from repro.robustness import VerifyPolicy
+    from repro.serving import ModExpRequest, ModExpService
+    from repro.utils.rng import random_odd_modulus
+
+    moduli = [random_odd_modulus(10, rng) for _ in range(3)]
+    exponents = [rng.randrange(3, 1 << 8) for _ in range(2)]
+    requests = []
+    for i in range(args.requests):
+        n = moduli[i % len(moduli)]
+        requests.append(
+            ModExpRequest(
+                base=rng.randrange(1, n),
+                exponent=exponents[i % len(exponents)],
+                modulus=n,
+                request_id=f"profile-{i}",
+            )
+        )
+    with ModExpService(
+        backend="gate",
+        workers=2,
+        verify=VerifyPolicy(mode="sampled", sample_rate=0.5),
+    ) as service:
+        service.process(requests)
+
+
+def _cmd_profile(args, out) -> int:
+    import random
+
+    from repro.montgomery.params import precompute_montgomery_constants
+    from repro.observability import (
+        MetricsRegistry,
+        OccupancyRecorder,
+        export_utilization_gauges,
+        observe,
+        render_report,
+    )
+    from repro.systolic.exponentiator import ModularExponentiator
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(args.seed)
+    registry, tracer = _observation(args)
+    if registry is None:  # `profile` always collects metrics
+        registry = MetricsRegistry()
+    occupancy = OccupancyRecorder()
+
+    # Stage 1: cycle-accurate array occupancy — one RTL exponentiation at
+    # the requested l with a short seeded exponent (a handful of MMM waves).
+    n = random_odd_modulus(args.l, rng)
+    ctx = precompute_montgomery_constants(n)
+    message = rng.randrange(ctx.modulus)
+    exponent = rng.randrange(1 << 4, 1 << 5)
+    with observe(metrics=registry, tracer=tracer, occupancy=occupancy):
+        ModularExponentiator(ctx, engine="rtl", mode=args.arch).exponentiate(
+            message, exponent
+        )
+        # Stage 2: serving utilization — lane fill, queue wait, verify.
+        if args.requests > 0:
+            _profile_serving_stage(args, rng)
+
+    export_utilization_gauges(registry, occupancy)
+    report = render_report(registry, occupancy, l=args.l, mode=args.arch)
+    out.write(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        out.write(f"[report written to {args.out}]\n")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(occupancy.to_csv("array"))
+        out.write(f"[occupancy CSV written to {args.csv}]\n")
+    _finish_observation(args, registry, tracer, out)
+    return 0
+
+
+def _render_top_frame(url: str, text: str) -> str:
+    """One dashboard frame over a scraped Prometheus exposition."""
+    from repro.observability.metrics import parse_prometheus_text
+
+    metrics = parse_prometheus_text(text)
+
+    def total(name: str, **labels) -> float:
+        entry = metrics.get(name)
+        if not entry:
+            return 0.0
+        return sum(
+            v
+            for lb, v in entry["samples"]
+            if all(lb.get(k) == str(w) for k, w in labels.items())
+        )
+
+    def mean(base: str):
+        count = total(base + "_count")
+        return (total(base + "_sum") / count) if count else None
+
+    def pctl(base: str, q: float):
+        """Percentile from the cumulative ``_bucket`` series (merged)."""
+        entry = metrics.get(base + "_bucket")
+        if not entry:
+            return None
+        cum: dict = {}
+        for lb, v in entry["samples"]:
+            le = lb.get("le")
+            if le is None:
+                continue
+            bound = float("inf") if le == "+Inf" else float(le)
+            cum[bound] = cum.get(bound, 0.0) + v
+        bounds = sorted(cum)
+        if not bounds or cum[bounds[-1]] <= 0:
+            return None
+        rank = cum[bounds[-1]] * q / 100.0
+        lower = 0.0
+        prev = 0.0
+        for bound in bounds:
+            if cum[bound] >= rank:
+                if bound == float("inf"):
+                    return lower
+                span = cum[bound] - prev
+                frac = (rank - prev) / span if span else 1.0
+                return lower + frac * (bound - lower)
+            prev = cum[bound]
+            lower = bound if bound != float("inf") else lower
+        return bounds[-1]
+
+    def fmt(value, digits: int = 0) -> str:
+        return "-" if value is None else f"{value:.{digits}f}"
+
+    lines = [f"repro top — {url}"]
+    lines.append(
+        "requests   completed={:.0f} failed={:.0f} rejected={:.0f} "
+        "timeout={:.0f}".format(
+            total("serving_requests_total", status="completed"),
+            total("serving_requests_total", status="failed"),
+            total("serving_requests_total", status="rejected"),
+            total("serving_requests_total", status="timeout"),
+        )
+    )
+    lines.append(
+        "queue      depth={:.0f} scheduler={:.0f} wait_p50={} us".format(
+            total("serving_queue_depth"),
+            total("serving_scheduler_depth"),
+            fmt(pctl("serving_queue_wait_us", 50)),
+        )
+    )
+    lines.append(
+        "cycles     mean={} p95={} per request".format(
+            fmt(mean("serving_request_cycles")),
+            fmt(pctl("serving_request_cycles", 95)),
+        )
+    )
+    lines.append(
+        "lane fill  mean={} p50={} of 64 (wasted lane-cycles={:.0f})".format(
+            fmt(mean("hdl_lane_fill"), 1),
+            fmt(pctl("hdl_lane_fill", 50)),
+            total("hdl_wasted_lane_cycles_total"),
+        )
+    )
+    idle = total("hdl_idle_fraction")
+    lines.append(
+        "slo        violations={:.0f}   array idle={}".format(
+            total("serving_slo_violations_total"),
+            f"{idle:.1%}" if idle else "-",
+        )
+    )
+    busy = metrics.get("serving_worker_busy_us_total")
+    if busy:
+        per_worker: dict = {}
+        for lb, v in busy["samples"]:
+            worker = lb.get("worker", "?")
+            per_worker[worker] = per_worker.get(worker, 0.0) + v
+        parts = " ".join(
+            f"{w}={per_worker[w] / 1000:.0f}ms" for w in sorted(per_worker)
+        )
+        lines.append(f"workers    busy: {parts}")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_top(args, out) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    if not url.endswith("/metrics"):
+        url += "/metrics"
+    count = 1 if args.once else args.count
+    frames = 0
+    try:
+        while True:
+            try:
+                with urllib.request.urlopen(url, timeout=5.0) as resp:
+                    text = resp.read().decode("utf-8", "replace")
+            except (urllib.error.URLError, OSError) as exc:
+                out.write(f"repro top: cannot scrape {url}: {exc}\n")
+                return 1
+            frames += 1
+            if frames > 1:
+                out.write("\x1b[2J\x1b[H")  # clear screen between frames
+            out.write(_render_top_frame(url, text))
+            if count and frames >= count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -1026,6 +1302,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_fault(args, out)
     if args.command == "bench-sim":
         return _cmd_bench_sim(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "top":
+        return _cmd_top(args, out)
     if args.command == "report":
         from repro.analysis.report import generate_report
 

@@ -704,6 +704,10 @@ class CompiledSimulator:
         ) = self.kernel.factory(self.values, self.mask)
         self._hidden = self.kernel.hidden
         self.cycle = 0
+        # Lanes carrying live work this sweep (lane-fill accounting); the
+        # batch driver (GateLevelMMMC.multiply_lanes) narrows it while a
+        # padded sweep is in flight.
+        self.active_lanes = lanes
 
     # -- value access ---------------------------------------------------
     def _check_readable(self, index: int) -> None:
@@ -839,6 +843,8 @@ class CompiledSimulator:
         if OBS.enabled:
             OBS.count("hdl.cycles")
             OBS.count("hdl.compiled_cycles")
+            if self.lanes > 1 and OBS.occupancy is not None:
+                OBS.occupancy.activity("hdl.lanes", self.active_lanes, self.lanes)
 
     def step(self) -> None:
         """One full clock cycle through the fused settle+capture kernel.
@@ -856,6 +862,8 @@ class CompiledSimulator:
             OBS.record("hdl.gates_per_cycle", self.kernel.num_gates)
             OBS.count("hdl.cycles")
             OBS.count("hdl.compiled_cycles")
+            if self.lanes > 1 and OBS.occupancy is not None:
+                OBS.occupancy.activity("hdl.lanes", self.active_lanes, self.lanes)
 
     def reset(self) -> None:
         """Synchronous reset: load every DFF's reset value; rewind the clock."""

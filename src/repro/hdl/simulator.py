@@ -187,6 +187,12 @@ class Simulator:
         if OBS.enabled:
             OBS.count("hdl.cycles")
             OBS.count("hdl.dff_captures", len(captures))
+            if OBS.occupancy is not None:
+                # Enable-gated capture fraction: how much of the register
+                # file actually latched new state this cycle.
+                OBS.occupancy.activity(
+                    "hdl.dff_captures", len(captures), len(self._dff_plan)
+                )
 
     def step(self) -> None:
         """One full clock cycle: settle, then capture."""

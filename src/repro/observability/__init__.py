@@ -15,7 +15,13 @@ Three pieces, designed to be used together but separable:
   the session across process boundaries, merged back via
   :meth:`MetricsRegistry.merge` and :meth:`SpanTracer.adopt_span`;
 * :func:`diff_snapshots` (:mod:`repro.observability.baseline`) — the
-  snapshot-vs-baseline regression gate behind ``repro obs diff``.
+  snapshot-vs-baseline regression gate behind ``repro obs diff``;
+* :class:`OccupancyRecorder` + the analytic ``2i+j`` model
+  (:mod:`repro.observability.occupancy`) — per-cell busy/idle sampling
+  for the systolic array and lane-fill accounting for the bit-sliced
+  engines;
+* the utilization profiler (:mod:`repro.observability.profiler`) —
+  phase/occupancy/queue attribution behind ``repro profile``.
 
 See ``docs/OBSERVABILITY.md`` for the hook-point inventory and a guided
 tour, and ``examples/trace_exponentiation.py`` for an end-to-end run.
@@ -40,6 +46,17 @@ from repro.observability.metrics import (
     MetricsRegistry,
 )
 from repro.observability.observer import OBS, Observer, observe
+from repro.observability.occupancy import (
+    OccupancyRecorder,
+    analytic_idle_fraction,
+    schedule_busy_mask,
+)
+from repro.observability.profiler import (
+    attribute_cycles,
+    attribute_serving,
+    export_utilization_gauges,
+    render_report,
+)
 from repro.observability.trace import (
     CycleClock,
     REQUEST_SPAN,
@@ -56,6 +73,13 @@ __all__ = [
     "OBS",
     "Observer",
     "observe",
+    "OccupancyRecorder",
+    "analytic_idle_fraction",
+    "schedule_busy_mask",
+    "attribute_cycles",
+    "attribute_serving",
+    "export_utilization_gauges",
+    "render_report",
     "CycleClock",
     "SpanTracer",
     "TRACE_DETAILS",

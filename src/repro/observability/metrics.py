@@ -28,7 +28,13 @@ import json
 import re
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -453,6 +459,10 @@ class MetricsRegistry:
         with open(path, "w") as fh:
             fh.write(self.to_prometheus())
 
+    @staticmethod
+    def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+        return parse_prometheus_text(text)
+
     def render_text(self) -> str:
         """Human-readable snapshot for ``repro observe`` / ``--metrics``."""
         snap = self.snapshot()
@@ -492,3 +502,63 @@ class MetricsRegistry:
                     + (f" {quantiles}" if quantiles else "")
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing (the scrape side of `repro top`)
+# ----------------------------------------------------------------------
+_PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
+)
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse Prometheus text exposition (0.0.4) into a plain dict.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus`, used by
+    ``repro top`` to read a live ``/metrics`` endpoint.  Returns
+    ``{sample_name: {"type": kind, "samples": [(labels_dict, value), ...]}}``
+    where ``sample_name`` is the exposition name as written (counters keep
+    their ``_total`` suffix; histograms appear as separate ``_bucket`` /
+    ``_sum`` / ``_count`` entries).  Unparseable lines are skipped — a
+    scraper must tolerate exposition it does not fully understand.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip()
+            continue
+        m = _PROM_SAMPLE.match(line)
+        if m is None:
+            continue
+        name, labelstr, raw = m.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        labels: Dict[str, str] = {}
+        if labelstr:
+            for lm in _PROM_LABEL.finditer(labelstr):
+                labels[lm.group(1)] = (
+                    lm.group(2)
+                    .replace(r"\"", '"')
+                    .replace(r"\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        entry = out.setdefault(
+            name, {"type": types.get(base, types.get(name, "untyped")), "samples": []}
+        )
+        entry["samples"].append((labels, value))
+    return out

@@ -33,6 +33,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.occupancy import OccupancyRecorder
 from repro.observability.trace import CycleClock, SpanTracer
 
 __all__ = ["Observer", "OBS", "observe"]
@@ -47,11 +48,20 @@ class Observer:
     nothing beyond the flag test.
     """
 
-    __slots__ = ("enabled", "trace_states", "trace_cycles", "metrics", "tracer", "clock")
+    __slots__ = (
+        "enabled",
+        "trace_states",
+        "trace_cycles",
+        "metrics",
+        "tracer",
+        "occupancy",
+        "clock",
+    )
 
     def __init__(self) -> None:
         self.metrics: Optional[MetricsRegistry] = None
         self.tracer: Optional[SpanTracer] = None
+        self.occupancy: Optional["OccupancyRecorder"] = None
         self.clock = CycleClock()
         self.enabled = False
         # Pre-computed detail flags so hook sites test one attribute.
@@ -65,12 +75,16 @@ class Observer:
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        occupancy: Optional["OccupancyRecorder"] = None,
     ) -> None:
         """Install backends; the tracer's clock becomes the session clock."""
         self.metrics = metrics
         self.tracer = tracer
+        self.occupancy = occupancy
         self.clock = tracer.clock if tracer is not None else CycleClock()
-        self.enabled = metrics is not None or tracer is not None
+        self.enabled = (
+            metrics is not None or tracer is not None or occupancy is not None
+        )
         self.trace_states = tracer is not None and tracer.detail in ("state", "cycle")
         self.trace_cycles = tracer is not None and tracer.detail == "cycle"
 
@@ -154,14 +168,15 @@ OBS = Observer()
 def observe(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[SpanTracer] = None,
+    occupancy: Optional[OccupancyRecorder] = None,
 ) -> Iterator[Observer]:
-    """Install ``metrics``/``tracer`` on :data:`OBS` for the with-block.
+    """Install ``metrics``/``tracer``/``occupancy`` on :data:`OBS` for the with-block.
 
     The previous installation (usually: nothing) is restored on exit, so
     sessions nest and exceptions cannot leave instrumentation enabled.
     """
-    prev = (OBS.metrics, OBS.tracer)
-    OBS.install(metrics, tracer)
+    prev = (OBS.metrics, OBS.tracer, OBS.occupancy)
+    OBS.install(metrics, tracer, occupancy)
     try:
         yield OBS
     finally:

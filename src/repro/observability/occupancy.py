@@ -1,0 +1,304 @@
+"""Per-cell occupancy recording and the analytic ``2i+j`` pipeline model.
+
+The paper's schedule computes digit ``t_{i,j}`` in cell ``j`` at cycle
+``2i + j``: each cell works every *other* cycle, and the wavefront needs
+``2(l+2)`` cycles to drain past the last row, so a lone multiplication
+leaves roughly two thirds of the array idle.  This module makes that waste
+measurable.  It has two halves:
+
+* the **analytic model** — closed-form busy masks and idle fractions
+  derived directly from the schedule (:func:`schedule_busy_mask`,
+  :func:`analytic_idle_fraction`), independent of any simulator;
+* the **recorder** — :class:`OccupancyRecorder`, installed on the global
+  :data:`~repro.observability.observer.OBS` next to the metrics registry
+  and span tracer.  Hook sites in the systolic array and the gate-level
+  engines sample a busy bitmask per simulated cycle (``occ.sample``) or an
+  aggregate busy/total pair (``occ.activity``); the recorder accumulates
+  per-cell busy counts, keeps a bounded window of raw masks for the
+  heatmap, and renders ASCII/CSV reports.
+
+Sampling is off by default: the hook sites live inside the existing
+``if OBS.enabled`` guards and additionally test ``OBS.occupancy is not
+None``, so uninstrumented simulation pays nothing and metrics-only
+sessions pay one extra ``None`` test per cycle.
+
+The RTL array samples its *own* productivity predicate (the same parity
+gating its overflow checks use), while the validation tests compare the
+integrated measurement against this module's closed forms — a real
+cross-check of the schedule, not a tautology.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "schedule_busy_mask",
+    "analytic_busy_cycles_per_cell",
+    "analytic_cells",
+    "analytic_datapath_cycles",
+    "analytic_idle_fraction",
+    "OccupancyRecorder",
+]
+
+#: Density ramp for the ASCII heatmap, blank (always idle) to '@' (always busy).
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+# ----------------------------------------------------------------------
+# Analytic 2i+j model
+# ----------------------------------------------------------------------
+def _top_cell(l: int, mode: str) -> int:
+    if mode == "corrected":
+        return l + 1
+    if mode == "paper":
+        return l
+    raise ValueError(f"mode must be 'corrected' or 'paper', got {mode!r}")
+
+
+def schedule_busy_mask(cycle: int, l: int, top_cell: Optional[int] = None) -> int:
+    """Bitmask of cells productive at ``cycle`` under the ``2i+j`` schedule.
+
+    Bit ``j`` is set iff cell ``j`` computes a real digit this cycle:
+    ``(cycle - j)`` even and the row index ``(cycle - j) / 2`` within
+    ``[0, l+1]``.  ``top_cell`` is the highest cell position (``l+1``
+    corrected, ``l`` paper; defaults to corrected).
+
+    The productive cells form a contiguous same-parity run, so the mask is
+    built in closed form: ``n`` alternating bits (``0b0101...01``, i.e.
+    ``(4^n - 1)/3``) shifted to the run's base.
+    """
+    if top_cell is None:
+        top_cell = l + 1
+    lo = cycle - 2 * (l + 1)
+    if lo < 0:
+        lo = 0
+    hi = top_cell if top_cell < cycle else cycle
+    if (cycle - lo) & 1:
+        lo += 1
+    if hi < lo:
+        return 0
+    n = ((hi - lo) >> 1) + 1
+    return ((1 << (2 * n)) - 1) // 3 << lo
+
+
+def analytic_busy_cycles_per_cell(l: int) -> int:
+    """Busy cycles per cell over one multiplication: one per row = ``l + 2``."""
+    return l + 2
+
+
+def analytic_cells(l: int, mode: str = "corrected") -> int:
+    """Number of physical cell positions: ``l+2`` corrected, ``l+1`` paper."""
+    return _top_cell(l, mode) + 1
+
+
+def analytic_datapath_cycles(l: int, mode: str = "corrected") -> int:
+    """Array cycles for one multiplication: ``3l+4`` corrected, ``3l+3`` paper.
+
+    Matches ``SystolicArrayRTL.datapath_cycles`` (``2(l+1) + top_cell + 1``).
+    """
+    return 2 * (l + 1) + _top_cell(l, mode) + 1
+
+
+def analytic_idle_fraction(l: int, mode: str = "corrected") -> float:
+    """Idle fraction of the array over one lone multiplication.
+
+    Every cell is busy exactly ``l+2`` of the ``3l+4`` (corrected) or
+    ``3l+3`` (paper) datapath cycles, so the idle fraction is
+    ``1 - (l+2)/(3l+4)`` — approaching 2/3 as ``l`` grows.  This is the
+    figure the ROADMAP's MMM-interleaving work wants to reclaim.
+    """
+    return 1.0 - analytic_busy_cycles_per_cell(l) / analytic_datapath_cycles(l, mode)
+
+
+# ----------------------------------------------------------------------
+# Recorder
+# ----------------------------------------------------------------------
+class _SampledTrack:
+    """Per-cell busy/idle samples for one source (e.g. the RTL array)."""
+
+    __slots__ = ("num_cells", "cycles", "busy_cell_cycles", "cell_busy", "masks", "dropped_masks")
+
+    def __init__(self, num_cells: int) -> None:
+        self.num_cells = num_cells
+        self.cycles = 0
+        self.busy_cell_cycles = 0
+        self.cell_busy: List[int] = [0] * num_cells
+        self.masks: List[int] = []
+        self.dropped_masks = 0
+
+
+class _ActivityTrack:
+    """Aggregate busy/total accounting for sources without per-cell detail."""
+
+    __slots__ = ("samples", "busy", "total")
+
+    def __init__(self) -> None:
+        self.samples = 0
+        self.busy = 0
+        self.total = 0
+
+
+class OccupancyRecorder:
+    """Accumulates busy/idle state per simulated cycle, per source.
+
+    Two recording shapes:
+
+    * :meth:`sample` — a busy *bitmask* over ``num_cells`` units for one
+      cycle (the systolic array's cells, sampled by the RTL and gate-level
+      hook sites).  Feeds the occupancy matrix, per-cell busy counts and
+      the heatmap.
+    * :meth:`activity` — an aggregate ``busy / total`` pair for one cycle
+      or one event (compiled-engine lane fill, interpreted-engine DFF
+      capture fraction) where per-unit identity is not meaningful.
+
+    ``max_mask_cycles`` bounds the raw masks retained for the heatmap;
+    counts keep accumulating past the cap (``dropped_masks`` records how
+    many cycles fell off), so idle fractions stay exact on long runs.
+    """
+
+    def __init__(self, max_mask_cycles: int = 16384) -> None:
+        self.max_mask_cycles = max_mask_cycles
+        self._sampled: Dict[str, _SampledTrack] = {}
+        self._activity: Dict[str, _ActivityTrack] = {}
+
+    # -- recording (hot path) -------------------------------------------
+    def sample(self, source: str, cycle: int, mask: int, num_cells: int) -> int:
+        """Record one cycle's busy bitmask; returns the busy-cell count."""
+        tr = self._sampled.get(source)
+        if tr is None:
+            tr = self._sampled[source] = _SampledTrack(num_cells)
+        elif num_cells > tr.num_cells:
+            tr.cell_busy.extend([0] * (num_cells - tr.num_cells))
+            tr.num_cells = num_cells
+        busy = mask.bit_count()
+        tr.cycles += 1
+        tr.busy_cell_cycles += busy
+        if len(tr.masks) < self.max_mask_cycles:
+            tr.masks.append(mask)
+        else:
+            tr.dropped_masks += 1
+        cell_busy = tr.cell_busy
+        while mask:
+            low = mask & -mask
+            cell_busy[low.bit_length() - 1] += 1
+            mask ^= low
+        return busy
+
+    def activity(self, source: str, busy: int, total: int) -> None:
+        """Record one aggregate busy/total observation for ``source``."""
+        tr = self._activity.get(source)
+        if tr is None:
+            tr = self._activity[source] = _ActivityTrack()
+        tr.samples += 1
+        tr.busy += busy
+        tr.total += total
+
+    # -- queries --------------------------------------------------------
+    def sources(self) -> List[str]:
+        return sorted(set(self._sampled) | set(self._activity))
+
+    def _busy_total(self, source: str) -> Optional[tuple]:
+        s = self._sampled.get(source)
+        if s is not None and s.cycles:
+            return (s.busy_cell_cycles, s.cycles * s.num_cells)
+        a = self._activity.get(source)
+        if a is not None and a.total:
+            return (a.busy, a.total)
+        return None
+
+    def busy_fraction(self, source: str) -> Optional[float]:
+        bt = self._busy_total(source)
+        return bt[0] / bt[1] if bt else None
+
+    def idle_fraction(self, source: str) -> Optional[float]:
+        f = self.busy_fraction(source)
+        return None if f is None else 1.0 - f
+
+    def cycles(self, source: str) -> int:
+        s = self._sampled.get(source)
+        return s.cycles if s is not None else 0
+
+    def matrix(self, source: str) -> List[List[int]]:
+        """Occupancy matrix from the retained masks: ``[cell][cycle]`` ∈ {0,1}.
+
+        Row 0 is cell 0 (the rightmost, ``m``-generating cell); columns are
+        the sampled cycles in order (capped at ``max_mask_cycles``).
+        """
+        s = self._sampled.get(source)
+        if s is None:
+            return []
+        return [
+            [(m >> j) & 1 for m in s.masks] for j in range(s.num_cells)
+        ]
+
+    # -- rendering ------------------------------------------------------
+    def heatmap(self, source: str, width: int = 72) -> str:
+        """ASCII heatmap: one row per cell (top cell first), time left→right.
+
+        Cycles are folded into at most ``width`` buckets; each glyph encodes
+        the cell's busy fraction within its bucket on the ramp
+        ``' .:-=+*#%@'`` (blank = always idle, ``@`` = always busy).
+        """
+        s = self._sampled.get(source)
+        if s is None or not s.masks:
+            return f"(no occupancy samples for {source!r})"
+        ncyc = len(s.masks)
+        buckets = min(width, ncyc)
+        lines = [
+            f"occupancy heatmap [{source}]: {s.num_cells} cells x {ncyc} cycles"
+            + (f" (+{s.dropped_masks} not shown)" if s.dropped_masks else ""),
+        ]
+        bounds = [(b * ncyc) // buckets for b in range(buckets + 1)]
+        for j in range(s.num_cells - 1, -1, -1):
+            row = []
+            for b in range(buckets):
+                lo, hi = bounds[b], bounds[b + 1]
+                busy = sum((s.masks[c] >> j) & 1 for c in range(lo, hi))
+                frac = busy / (hi - lo) if hi > lo else 0.0
+                row.append(_HEAT_CHARS[min(int(frac * len(_HEAT_CHARS)), len(_HEAT_CHARS) - 1)])
+            lines.append(f"cell {j:4d} |{''.join(row)}|")
+        busy_frac = self.busy_fraction(source) or 0.0
+        lines.append(
+            f"busy {busy_frac:.1%} / idle {1 - busy_frac:.1%} "
+            f"({s.busy_cell_cycles}/{s.cycles * s.num_cells} cell-cycles)"
+        )
+        return "\n".join(lines)
+
+    def to_csv(self, source: str) -> str:
+        """Retained occupancy matrix as CSV: header ``cycle,cell0,...``."""
+        s = self._sampled.get(source)
+        if s is None:
+            return ""
+        out = io.StringIO()
+        out.write("cycle," + ",".join(f"cell{j}" for j in range(s.num_cells)) + "\n")
+        for c, m in enumerate(s.masks):
+            out.write(str(c) + "," + ",".join(str((m >> j) & 1) for j in range(s.num_cells)) + "\n")
+        return out.getvalue()
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-source accounting, JSON-shaped (the profiler report's input)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, s in self._sampled.items():
+            total = s.cycles * s.num_cells
+            out[name] = {
+                "kind": "sampled",
+                "cells": s.num_cells,
+                "cycles": s.cycles,
+                "busy_cell_cycles": s.busy_cell_cycles,
+                "total_cell_cycles": total,
+                "busy_fraction": s.busy_cell_cycles / total if total else None,
+                "idle_fraction": 1.0 - s.busy_cell_cycles / total if total else None,
+                "cell_busy": list(s.cell_busy),
+            }
+        for name, a in self._activity.items():
+            out[name] = {
+                "kind": "activity",
+                "samples": a.samples,
+                "busy": a.busy,
+                "total": a.total,
+                "busy_fraction": a.busy / a.total if a.total else None,
+                "idle_fraction": 1.0 - a.busy / a.total if a.total else None,
+            }
+        return out

@@ -94,6 +94,9 @@ def coalesce(
         context = precompute_montgomery_constants(modulus, l)
         if OBS.enabled:
             OBS.count("serving.coalesced_precomputes")
+            # Pre-chunk group size: how much sharing each distinct
+            # (modulus, l) key actually yields on this traffic mix.
+            OBS.record("serving.coalesce_group_size", len(members))
         chunk = max_batch if max_batch > 0 else len(members)
         for lo in range(0, len(members), chunk):
             part = members[lo : lo + chunk]

@@ -532,6 +532,16 @@ class ModExpService:
                 else [[entry] for entry in entries]
             )
             for group in groups:
+                if OBS.enabled:
+                    OBS.count(
+                        "serving.lane_groups",
+                        packed="yes" if len(group) > 1 else "no",
+                    )
+                    OBS.record(
+                        "serving.lane_group_size",
+                        len(group),
+                        backend=self.backend.name,
+                    )
                 self._submit_group(spec, batch, group, on_full=on_full)
         return dispatched
 
@@ -565,6 +575,16 @@ class ModExpService:
                 value = values[entry.group_pos]
                 cycles = cycles_list[entry.group_pos]
                 wall_us = group_wall_us / entry.group_size
+            if OBS.enabled:
+                # Time from submission to harvest minus the execution wall
+                # time = time the task sat in the pool's queue (plus any
+                # harvest skew, hence the clamp).
+                wait_us = (time.monotonic() - entry.submitted_at) * 1e6 - wall_us
+                OBS.record(
+                    "serving.queue_wait_us",
+                    wait_us if wait_us > 0 else 0.0,
+                    backend=self.backend.name,
+                )
             return "ok", (value, cycles, wall_us, worker, telemetry)
         except FuturesTimeout:
             self.pool.abandon(future)
@@ -590,10 +610,18 @@ class ModExpService:
             return None
         if OBS.enabled:
             OBS.count("serving.verified", backend=backend_name)
+        started = time.perf_counter()
         try:
             self._verifier.check(entry.request, value)
         except FaultDetected as exc:
             return exc
+        finally:
+            if OBS.enabled:
+                OBS.record(
+                    "serving.verify_wall_us",
+                    (time.perf_counter() - started) * 1e6,
+                    backend=backend_name,
+                )
         return None
 
     def _note_failure(self, exc: BaseException, backend_name: str) -> None:
@@ -727,6 +755,9 @@ class ModExpService:
             OBS.record(
                 "serving.request_wall_us", wall_us, backend=used, worker=worker
             )
+            # Per-worker busy accounting: summing each worker's execution
+            # wall time gives its busy timeline share of the run.
+            OBS.count("serving.worker_busy_us", int(wall_us), worker=worker)
         if cycles is not None:
             self._check_slo(request, cycles, worker, used)
         return ModExpResult.success(

@@ -289,6 +289,15 @@ class SystolicArrayRTL:
         self.cycle += 1
         if OBS.enabled:
             OBS.count("array.cycles")
+            occ = OBS.occupancy
+            if occ is not None:
+                # Sample the cycle just executed (tau): which cells computed
+                # a real row, per the same parity gating the overflow checks
+                # use.  Validated against the analytic 2i+j closed form.
+                busy = occ.sample(
+                    "array", tau, self.busy_mask(tau), self.top_cell + 1
+                )
+                OBS.counter_event("occupancy.array", busy, cat="array")
             if OBS.trace_cycles:
                 OBS.instant("array.cycle", cat="array", cycle=self.cycle)
         if self.probe is not None:
@@ -300,6 +309,20 @@ class SystolicArrayRTL:
             return False
         row = (self.cycle - cell) // 2
         return 0 <= row <= self.l + 1
+
+    def busy_mask(self, cycle: Optional[int] = None) -> int:
+        """Bitmask of productive cells at ``cycle`` (default: current cycle).
+
+        Bit ``j`` set iff cell ``j`` computes a real row: same predicate as
+        :meth:`_productive`, evaluated for every cell position.
+        """
+        if cycle is None:
+            cycle = self.cycle
+        mask = 0
+        for j in range(self.top_cell + 1):
+            if (cycle - j) % 2 == 0 and 0 <= (cycle - j) // 2 <= self.l + 1:
+                mask |= 1 << j
+        return mask
 
     # ------------------------------------------------------------------
     # Whole multiplications

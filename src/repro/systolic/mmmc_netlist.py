@@ -33,6 +33,7 @@ from repro.errors import ParameterError, SimulationError
 from repro.hdl.netlist import Circuit, Wire
 from repro.hdl.registers import _drive, counter, equality_comparator, mux2, register, shift_register_right
 from repro.observability import OBS
+from repro.observability.occupancy import schedule_busy_mask
 from repro.systolic.array import ARRAY_MODES
 from repro.systolic.array_netlist import ArrayCore, elaborate_array, make_simulator
 from repro.systolic.mmmc import MMMCRun
@@ -212,6 +213,7 @@ class GateLevelMMMC:
         self.lanes = lanes
         self.l = l
         self.mode = mode
+        self._top_cell = l + 1 if mode == "corrected" else l
         # One-shot scheduled fault: (cycle, wire, lane_or_None), consumed
         # by the next multiply/multiply_lanes.  See schedule_fault().
         self._pending_fault = None
@@ -294,6 +296,24 @@ class GateLevelMMMC:
         vals = self.sim.values
         return bool((vals[self._s0_i] ^ vals[self._s1_i]) & 1)
 
+    def _sample_occupancy(self, mul_cycle: int) -> None:
+        """Record array occupancy for one executed MUL cycle.
+
+        The MUL-cycle stream is *measured* from the gate-level controller
+        state bits; each cycle expands to its productive-cell mask via the
+        ``2i+j`` schedule the datapath enables implement.
+        """
+        occ = OBS.occupancy
+        if occ is None:
+            return
+        busy = occ.sample(
+            "gate",
+            mul_cycle,
+            schedule_busy_mask(mul_cycle, self.l, self._top_cell),
+            self._top_cell + 1,
+        )
+        OBS.counter_event("occupancy.gate", busy, cat="mmmc")
+
     def multiply(self, x: int, y: int, n: int) -> MMMCRun:
         """Run one multiplication; cycles counted from first MUL to DONE."""
         p, sim, core = self.ports, self.sim, self.ports.core
@@ -338,6 +358,8 @@ class GateLevelMMMC:
             done = vals[self._done_i] & 1
             cycles += 1
             if in_mul:
+                if observed:
+                    self._sample_occupancy(mul_cycles)
                 mul_cycles += 1
             if observed:
                 OBS.tick()
@@ -382,6 +404,8 @@ class GateLevelMMMC:
         observed = OBS.enabled
         if observed:
             OBS.count("hdl.lanes_packed", used)
+            OBS.record("hdl.lane_fill", used, lanes=self.lanes)
+            OBS.counter_event("occupancy.lanes", used, cat="mmmc")
             # One span covers the whole sweep: K multiplications advance in
             # lock-step, so the trace shows one "mmm" segment with a lanes=
             # attribute rather than K overlapping copies.
@@ -396,6 +420,7 @@ class GateLevelMMMC:
         sim.poke_lanes(p.x_in, xs)
         sim.poke_lanes(p.y_in, ys)
         sim.poke_lanes(p.n_in, ns)
+        sim.active_lanes = used  # lane-fill accounting in the compiled engine
         sim.poke(p.start, 1)  # broadcast: every lane starts together
         sim.step()
         sim.poke(p.start, 0)
@@ -418,23 +443,29 @@ class GateLevelMMMC:
                     bad = [k for k in range(used) if (over >> k) & 1]
                     if bad:
                         sim.reset()  # leave the instance reusable after the raise
+                        sim.active_lanes = self.lanes
                         raise SimulationError(
                             f"lanes {bad}: " + core.overflow_message(mul_cycles)
                         )
             done = sim.peek(p.done)
             cycles += 1
             if in_mul:
+                if observed:
+                    self._sample_occupancy(mul_cycles)
                 mul_cycles += 1
             if observed:
                 OBS.tick()
             if done:
                 results = sim.peek_lanes(p.result)
+                sim.active_lanes = self.lanes
                 if observed:
                     OBS.count("mmmc.multiplications", used)
+                    OBS.count("hdl.wasted_lane_cycles", pad * cycles)
                     OBS.record("mmmc.multiplication_cycles", cycles)
                     OBS.end(cycles=cycles)
                 return [
                     MMMCRun(result=results[k], cycles=cycles, state_sequence=[])
                     for k in range(used)
                 ]
+        sim.active_lanes = self.lanes
         raise ParameterError(f"DONE did not rise within {limit} cycles")

@@ -203,6 +203,39 @@ class TestObsDiffCommand:
         assert code == 2
         assert "cannot read baseline" in out
 
+    def test_corrupt_baseline_is_one_line_no_traceback(self, tmp_path):
+        cur = self._write_snapshot(tmp_path, "cur.json", 10)
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{not json")
+        code, out = _cli("obs", "diff", cur, "--baseline", str(bad))
+        assert code == 2
+        assert "cannot read baseline" in out
+        assert "Traceback" not in out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_corrupt_current_snapshot_exits_two(self, tmp_path):
+        base = self._write_snapshot(tmp_path, "base.json", 10)
+        bad = tmp_path / "corrupt.json"
+        bad.write_text('["truncated"')
+        code, out = _cli("obs", "diff", str(bad), "--baseline", base)
+        assert code == 2
+        assert "cannot read current snapshot" in out
+        assert "Traceback" not in out
+
+    def test_corrupt_baseline_in_subprocess_has_no_traceback(self, tmp_path):
+        # End-to-end: the interpreter must exit 2 cleanly, not crash.
+        cur = self._write_snapshot(tmp_path, "cur.json", 10)
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{not json")
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "obs", "diff", cur,
+             "--baseline", str(bad)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr + proc.stdout
+
     def test_committed_baseline_matches_itself(self):
         baseline = os.path.join(REPO_ROOT, "benchmarks", "baselines", "serving.json")
         code, out = _cli(

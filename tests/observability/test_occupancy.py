@@ -1,0 +1,237 @@
+"""Per-cell occupancy: the ``2i+j`` model vs what the simulators measure.
+
+Two independent derivations of "is cell ``j`` busy at cycle ``tau``"
+must agree: :func:`schedule_busy_mask` (closed-form arithmetic in
+``occupancy.py``) and :meth:`SystolicArrayRTL.busy_mask` (each cell's
+own productivity predicate, looped).  On top of that, the integrated
+idle fraction over a full multiplication must land on the analytic
+``1 - (l+2)/(3l+4)`` for the RTL array *and* for the gate-level
+netlist's controller-derived MUL-cycle stream — and recording all of it
+must not perturb the simulation results.
+"""
+
+import random
+
+import pytest
+
+from repro.observability import (
+    OBS,
+    MetricsRegistry,
+    OccupancyRecorder,
+    SpanTracer,
+    analytic_idle_fraction,
+    observe,
+    schedule_busy_mask,
+    validate_chrome_trace,
+)
+from repro.observability.occupancy import (
+    analytic_busy_cycles_per_cell,
+    analytic_cells,
+    analytic_datapath_cycles,
+)
+from repro.systolic.array import SystolicArrayRTL
+from repro.systolic.mmmc_netlist import GateLevelMMMC
+from repro.utils.rng import random_odd_modulus
+
+
+def _operands(l, seed=0):
+    rng = random.Random(seed)
+    n = random_odd_modulus(l, rng)
+    return n, rng.randrange(n), rng.randrange(n)
+
+
+class TestScheduleBusyMask:
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    @pytest.mark.parametrize("l", [2, 3, 8, 16])
+    def test_closed_form_agrees_with_rtl_predicate(self, l, mode):
+        array = SystolicArrayRTL(l, mode=mode)
+        for cycle in range(analytic_datapath_cycles(l, mode) + 4):
+            assert array.busy_mask(cycle) == schedule_busy_mask(
+                cycle, l, array.top_cell
+            ), (l, mode, cycle)
+
+    def test_empty_before_start_and_after_drain(self):
+        assert schedule_busy_mask(-1, 8) == 0
+        drained = analytic_datapath_cycles(8, "corrected")
+        assert schedule_busy_mask(drained + 10, 8) == 0
+
+    def test_each_cell_busy_exactly_l_plus_2_cycles(self):
+        l = 8
+        per_cell = [0] * analytic_cells(l, "corrected")
+        for cycle in range(analytic_datapath_cycles(l, "corrected")):
+            mask = schedule_busy_mask(cycle, l)
+            for j in range(len(per_cell)):
+                per_cell[j] += (mask >> j) & 1
+        assert per_cell == [analytic_busy_cycles_per_cell(l)] * len(per_cell)
+
+    def test_wavefront_marches_one_cell_per_cycle(self):
+        # Cell j's first busy cycle is exactly j: the 2i+j diagonal.
+        for j in range(10):
+            first = next(
+                c for c in range(64) if (schedule_busy_mask(c, 8) >> j) & 1
+            )
+            assert first == j
+
+
+class TestAnalyticModel:
+    def test_idle_fraction_l64(self):
+        # The headline number: the array idles ~2/3 of the time.
+        assert analytic_idle_fraction(64, "corrected") == 1 - 66 / 196
+        assert analytic_idle_fraction(64, "paper") == 1 - 66 / 195
+
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    def test_datapath_cycles_match_mmm_formula(self, mode):
+        # 2(l+1) + top_cell + 1 == 3l+4 (corrected) / 3l+3 (paper).
+        for l in (4, 8, 64):
+            expect = 3 * l + 4 if mode == "corrected" else 3 * l + 3
+            assert analytic_datapath_cycles(l, mode) == expect
+
+
+class TestOccupancyRecorder:
+    def test_sample_accounts_mask_bits(self):
+        occ = OccupancyRecorder()
+        assert occ.sample("s", 0, 0b1011, 4) == 3
+        assert occ.sample("s", 1, 0b0100, 4) == 1
+        assert occ.busy_fraction("s") == 4 / 8
+        assert occ.idle_fraction("s") == 1 - 4 / 8
+        assert occ.cycles("s") == 2
+
+    def test_matrix_rows_are_cells(self):
+        occ = OccupancyRecorder()
+        occ.sample("s", 0, 0b01, 2)
+        occ.sample("s", 1, 0b10, 2)
+        assert occ.matrix("s") == [[1, 0], [0, 1]]
+
+    def test_activity_source(self):
+        occ = OccupancyRecorder()
+        occ.activity("lanes", 8, 64)
+        occ.activity("lanes", 8, 64)
+        assert occ.idle_fraction("lanes") == 1 - 16 / 128
+
+    def test_mask_cap_drops_detail_not_totals(self):
+        occ = OccupancyRecorder(max_mask_cycles=4)
+        for cycle in range(10):
+            occ.sample("s", cycle, 0b1, 1)
+        assert occ.cycles("s") == 10
+        assert occ.busy_fraction("s") == 1.0
+        assert len(occ.matrix("s")[0]) == 4  # detail capped, totals exact
+
+    def test_unknown_source_is_none(self):
+        occ = OccupancyRecorder()
+        assert occ.idle_fraction("nope") is None
+        assert occ.cycles("nope") == 0
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        occ = OccupancyRecorder()
+        occ.sample("s", 0, 0b11, 2)
+        occ.activity("lanes", 1, 4)
+        json.dumps(occ.summary())
+
+
+class TestMeasuredVsAnalytic:
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    def test_rtl_array_idle_fraction_is_exact(self, mode):
+        l = 16
+        n, x, y = _operands(l)
+        occ = OccupancyRecorder()
+        with observe(metrics=MetricsRegistry(), occupancy=occ):
+            SystolicArrayRTL(l, mode=mode).run_multiplication(x, y, n)
+        assert occ.idle_fraction("array") == pytest.approx(
+            analytic_idle_fraction(l, mode), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("mode", ["corrected", "paper"])
+    def test_gate_engine_idle_fraction_within_tolerance(self, mode):
+        l = 8
+        n, x, y = _operands(l)
+        occ = OccupancyRecorder()
+        with observe(metrics=MetricsRegistry(), occupancy=occ):
+            GateLevelMMMC(l, mode=mode).multiply(x, y, n)
+        assert occ.idle_fraction("gate") == pytest.approx(
+            analytic_idle_fraction(l, mode), abs=0.02
+        )
+
+    def test_matrix_rows_match_per_cell_model(self):
+        l = 8
+        n, x, y = _operands(l)
+        occ = OccupancyRecorder()
+        with observe(metrics=MetricsRegistry(), occupancy=occ):
+            SystolicArrayRTL(l).run_multiplication(x, y, n)
+        matrix = occ.matrix("array")
+        assert len(matrix) == analytic_cells(l, "corrected")
+        for row in matrix:
+            assert sum(row) == analytic_busy_cycles_per_cell(l)
+
+
+class TestRenderings:
+    def _recorded(self):
+        l = 8
+        n, x, y = _operands(l)
+        occ = OccupancyRecorder()
+        with observe(metrics=MetricsRegistry(), occupancy=occ):
+            SystolicArrayRTL(l).run_multiplication(x, y, n)
+        return occ
+
+    def test_heatmap_shape(self):
+        occ = self._recorded()
+        text = occ.heatmap("array")
+        lines = text.splitlines()
+        assert "occupancy heatmap [array]" in lines[0]
+        cell_rows = [ln for ln in lines if ln.startswith("cell")]
+        assert len(cell_rows) == 10  # top_cell+1 at l=8 corrected
+        assert cell_rows[0].startswith("cell    9")  # top cell first
+        assert "idle 64.3%" in lines[-1]
+
+    def test_csv_matrix(self):
+        occ = self._recorded()
+        rows = occ.to_csv("array").strip().splitlines()
+        # cycle-major: one row per sampled cycle, one column per cell
+        assert rows[0] == "cycle," + ",".join(f"cell{j}" for j in range(10))
+        assert len(rows) == 1 + occ.cycles("array")
+        for row in rows[1:]:
+            assert set(row.split(",")[1:]) <= {"0", "1"}
+
+
+class TestInstrumentationContract:
+    def test_disabled_run_identical_and_untouched(self):
+        l = 8
+        n, x, y = _operands(l)
+        baseline = SystolicArrayRTL(l).run_multiplication(x, y, n)
+        occ = OccupancyRecorder()
+        with observe(metrics=MetricsRegistry(), occupancy=occ):
+            observed = SystolicArrayRTL(l).run_multiplication(x, y, n)
+        after = SystolicArrayRTL(l).run_multiplication(x, y, n)
+        assert baseline == observed == after
+        assert not OBS.enabled
+        assert occ.cycles("array") > 0
+
+    def test_metrics_only_session_records_no_occupancy(self):
+        # occupancy hooks are additionally gated on OBS.occupancy.
+        l = 8
+        n, x, y = _operands(l)
+        with observe(metrics=MetricsRegistry()):
+            SystolicArrayRTL(l).run_multiplication(x, y, n)
+            assert OBS.occupancy is None
+
+    def test_occupancy_only_session_enables_observer(self):
+        occ = OccupancyRecorder()
+        with observe(occupancy=occ):
+            assert OBS.enabled
+            assert OBS.occupancy is occ
+        assert not OBS.enabled
+
+    def test_counter_tracks_are_valid_trace_events(self):
+        l = 8
+        n, x, y = _operands(l)
+        occ = OccupancyRecorder()
+        tracer = SpanTracer()
+        with observe(metrics=MetricsRegistry(), tracer=tracer, occupancy=occ):
+            GateLevelMMMC(l).multiply(x, y, n)
+        doc = tracer.to_dict()
+        assert validate_chrome_trace(doc) == []
+        tracks = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "C"
+        }
+        assert "occupancy.gate" in tracks
