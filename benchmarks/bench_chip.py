@@ -1,0 +1,153 @@
+"""Multi-array chip claims, measured: interleaved idle and chip throughput.
+
+Two claims from the chip PR, gated against ``baselines/chip.json``:
+
+1. **Wave interleaving recovers the 2i+j slack.**  A lone multiplication
+   keeps each cell busy only ``l+2`` of ``3l+4`` cycles (~66% idle at
+   l=64, the utilization profiler's headline).  Two parity-offset waves
+   through the same lattice must measure idle ``<= interleaved_idle_max``
+   (0.40) at l=64 — and within ``idle_model_tolerance`` of the analytic
+   greedy-schedule model, while every result stays bit-identical to a
+   sequential single-array run.
+
+2. **The tiled chip multiplies throughput.**  A 2-tile x 2-wave chip
+   retiring a batch must beat one sequential array by at least
+   ``chip_speedup_floor`` (1.5x).  Cycles are the unit — at equal clock
+   the cycle ratio *is* the MMM/s ratio — and the analytic steady-state
+   model predicts 4x, so the floor has slack for drain edges.
+
+The measured gauges (``chip.interleaved_idle_fraction``,
+``chip.throughput_speedup``) land in
+``results/metrics/chip_baseline.json``; CI re-checks the same floors from
+the snapshot via ``repro obs diff --require``, so the gate holds even for
+runs that skip pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+from repro.analysis.tables import render_table
+from repro.chip import ChipModel, InterleavedArray, MMMOp
+from repro.chip.schedule import (
+    datapath_cycles,
+    interleaved_idle_model,
+    speedup_model,
+)
+from repro.montgomery.algorithms import montgomery_no_subtraction
+from repro.montgomery.params import precompute_montgomery_constants
+from repro.observability import OccupancyRecorder, observe
+from repro.utils.rng import random_odd_modulus
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines", "chip.json"
+)
+METRICS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "metrics"
+)
+
+
+def _floors() -> dict:
+    with open(BASELINE) as fh:
+        return json.load(fh)
+
+
+def _workload(l: int, count: int):
+    rng = random.Random("bench-chip")
+    n = random_odd_modulus(l, rng)
+    ctx = precompute_montgomery_constants(n)
+    ops = [
+        MMMOp(rng.randrange(n), rng.randrange(n), n, tag=i)
+        for i in range(count)
+    ]
+    golden = {op.tag: montgomery_no_subtraction(ctx, op.x, op.y) for op in ops}
+    return ops, golden
+
+
+def test_interleaved_idle_and_chip_throughput(save_table, benchmark_metrics):
+    floors = _floors()
+    l = floors["l"]
+    waves = floors["interleaved_waves"]
+    per_mmm = datapath_cycles(l) + 1  # T_MMM = 3l+5 on the corrected array
+
+    # Claim 1: W-wave interleave — differential + measured idle.
+    ops, golden = _workload(l, 4)
+    occ = OccupancyRecorder()
+    arr = InterleavedArray(l, waves=waves)
+    with observe(metrics=benchmark_metrics, occupancy=occ):
+        outcomes = arr.run(ops)
+    assert len(outcomes) == len(ops)
+    for o in outcomes:
+        assert o.value == golden[o.op.tag], (
+            f"interleaved result diverged from sequential at tag {o.op.tag}"
+        )
+    idle = occ.idle_fraction("interleaved")
+    model = interleaved_idle_model(len(ops), l, waves=waves)
+    assert abs(idle - model) <= floors["idle_model_tolerance"], (
+        f"measured interleaved idle {idle:.4f} deviates from the greedy "
+        f"model {model:.4f}"
+    )
+    assert idle <= floors["interleaved_idle_max"], (
+        f"W={waves} interleaved idle {idle:.4f} above the "
+        f"{floors['interleaved_idle_max']} ceiling"
+    )
+
+    # Claim 2: the tiled chip vs one sequential array.
+    tiles, cwaves = floors["chip_tiles"], floors["chip_waves"]
+    ops8, golden8 = _workload(l, 8)
+    chip_occ = OccupancyRecorder()
+    chip = ChipModel(l, tiles=tiles, waves=cwaves)
+    with observe(metrics=benchmark_metrics, occupancy=chip_occ):
+        chip_out = chip.run(ops8)
+    assert len(chip_out) == len(ops8)
+    for o in chip_out:
+        assert o.value == golden8[o.op.tag]
+    sequential = len(ops8) * per_mmm
+    speedup = sequential / chip.cycle
+    assert speedup >= floors["chip_speedup_floor"], (
+        f"{tiles}x{cwaves} chip speedup {speedup:.2f}x below the "
+        f"{floors['chip_speedup_floor']}x floor"
+    )
+
+    # Export the gated figures as gauges and pin the snapshot CI re-checks.
+    benchmark_metrics.gauge("chip.interleaved_idle_fraction").set(idle)
+    benchmark_metrics.gauge("chip.throughput_speedup").set(speedup)
+    os.makedirs(METRICS_DIR, exist_ok=True)
+    benchmark_metrics.write_json(os.path.join(METRICS_DIR, "chip_baseline.json"))
+
+    lone_idle = interleaved_idle_model(1, l, waves=1)
+    save_table(
+        "chip_throughput",
+        render_table(
+            ["figure", "measured", "model/floor"],
+            [
+                [
+                    "single-array idle (W=1)",
+                    f"{lone_idle:.1%}",
+                    "1-(l+2)/(3l+4)",
+                ],
+                [
+                    f"interleaved idle (W={waves})",
+                    f"{idle:.1%}",
+                    f"model {model:.1%}, gate <= {floors['interleaved_idle_max']:.0%}",
+                ],
+                [
+                    f"chip makespan ({tiles}x{cwaves}, {len(ops8)} MMMs)",
+                    f"{chip.cycle} cycles",
+                    f"sequential {sequential} cycles",
+                ],
+                [
+                    "chip MMM/s vs single array",
+                    f"{speedup:.2f}x",
+                    f"steady-state {speedup_model(l, tiles=tiles, waves=cwaves):.1f}x, "
+                    f"floor {floors['chip_speedup_floor']}x",
+                ],
+            ],
+            title=(
+                f"Multi-array chip at l={l} (cycle ratios = MMM/s ratios "
+                "at equal clock)"
+            ),
+        ),
+    )

@@ -7,9 +7,13 @@ distinct modulus per round — the batch scheduler's coalescing — and
 four process workers beat the sequential baseline on the same workload.
 
 The coalescing assertions are machine-independent and always run.  The
->=2x parallel-throughput assertion needs real cores; on starved CI boxes
-(``os.cpu_count() < 4``) the speedup is still measured and reported but
-only sanity-bounded, since four processes on one core cannot beat one.
+>=2x parallel-throughput assertion needs real cores, and the core count
+that matters is the *available* one (:func:`os.sched_getaffinity` — CI
+containers routinely pin fewer cores than ``os.cpu_count`` reports).  On
+a single available core the 4-process comparison is skipped outright:
+four processes on one core cannot beat one, so a "0.94x speedup" row
+would only misread as a regression.  The results table says so
+explicitly instead of publishing the misleading number.
 """
 
 from __future__ import annotations
@@ -25,6 +29,14 @@ from repro.utils.rng import random_odd_modulus
 
 REQUESTS = 200
 MODULI = 8  # four 128-bit + four 192-bit
+
+
+def _available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted platforms
+        return os.cpu_count() or 1
 
 
 def _workload() -> list:
@@ -68,35 +80,46 @@ def test_parallel_throughput_and_coalescing(save_table, benchmark_metrics):
     sizes = benchmark_metrics.histogram("serving.batch_size").series()
     assert sizes.count == MODULI and sizes.sum == REQUESTS
 
-    par_s = _run(4, "process", requests)
-    # Second round coalesces again but the constants cache already holds
-    # every modulus: no new pre-computation work anywhere.
-    assert coalesced.total() == 2 * MODULI
-    assert precompute.total() == MODULI
-
-    cores = os.cpu_count() or 1
-    speedup = seq_s / par_s
+    cores = _available_cores()
+    rows = [
+        ["sequential (1 worker)", round(seq_s, 3), round(REQUESTS / seq_s, 1)],
+    ]
+    if cores >= 2:
+        par_s = _run(4, "process", requests)
+        # Second round coalesces again but the constants cache already
+        # holds every modulus: no new pre-computation work anywhere.
+        assert coalesced.total() == 2 * MODULI
+        assert precompute.total() == MODULI
+        speedup = seq_s / par_s
+        rows += [
+            ["4 process workers", round(par_s, 3), round(REQUESTS / par_s, 1)],
+            ["speedup", "-", round(speedup, 2)],
+        ]
+    else:
+        rows.append(
+            [
+                "4 process workers",
+                "skipped",
+                f"only {cores} core available",
+            ]
+        )
     save_table(
         "serving_throughput",
         render_table(
             ["configuration", "wall s", "req/s"],
-            [
-                ["sequential (1 worker)", round(seq_s, 3), round(REQUESTS / seq_s, 1)],
-                ["4 process workers", round(par_s, 3), round(REQUESTS / par_s, 1)],
-                ["speedup", "-", round(speedup, 2)],
-            ],
+            rows,
             title=(
                 f"Serving engine: {REQUESTS} requests, {MODULI} moduli "
-                f"(128/192-bit), integer backend, {cores} cores"
+                f"(128/192-bit), integer backend, {cores} available cores"
             ),
         ),
     )
     if cores >= 4:
         # Generous margin below the ideal 4x: pool + pickling overhead.
         assert speedup >= 2.0, f"expected >=2x with 4 workers, got {speedup:.2f}x"
-    else:
-        # One oversubscribed core: just require the parallel path to not
-        # be pathologically slower than sequential.
+    elif cores >= 2:
+        # Oversubscribed: just require the parallel path to not be
+        # pathologically slower than sequential.
         assert speedup >= 0.25, f"parallel path degenerate: {speedup:.2f}x"
 
 

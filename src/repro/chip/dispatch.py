@@ -1,0 +1,72 @@
+"""Tile dispatch policies: which tile's input FIFO gets the next op.
+
+A dispatcher only proposes an *order* of tiles to try; the chip walks the
+order and enqueues into the first tile whose input FIFO accepts, so every
+policy inherits the same backpressure behaviour (an op no tile can take
+goes to the chip's backlog, never dropped).
+
+* ``round-robin`` — rotate a pointer one tile per dispatched op; fair and
+  stateless with respect to load, the hardware-cheapest policy.
+* ``least-depth`` — sort tiles by queued + in-flight work; adapts to
+  skewed service times (e.g. one tile hogged by long waves) at the cost
+  of depth comparators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chip.chip import ChipModel
+
+__all__ = ["Dispatcher", "RoundRobinDispatcher", "LeastDepthDispatcher", "make_dispatcher"]
+
+
+class Dispatcher:
+    """Policy interface: :meth:`order` is called once per dispatched op."""
+
+    name = "abstract"
+
+    def order(self, chip: "ChipModel") -> List[int]:
+        raise NotImplementedError
+
+
+class RoundRobinDispatcher(Dispatcher):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def order(self, chip: "ChipModel") -> List[int]:
+        n = len(chip.tiles)
+        start = self._next % n
+        self._next = (start + 1) % n
+        return [(start + i) % n for i in range(n)]
+
+
+class LeastDepthDispatcher(Dispatcher):
+    name = "least-depth"
+
+    def order(self, chip: "ChipModel") -> List[int]:
+        return sorted(
+            range(len(chip.tiles)),
+            key=lambda t: (chip.tiles[t].queue_depth, t),
+        )
+
+
+_POLICIES = {
+    RoundRobinDispatcher.name: RoundRobinDispatcher,
+    LeastDepthDispatcher.name: LeastDepthDispatcher,
+}
+
+
+def make_dispatcher(policy: str) -> Dispatcher:
+    """Instantiate a policy by name (``round-robin`` or ``least-depth``)."""
+    try:
+        return _POLICIES[policy]()
+    except KeyError:
+        raise ParameterError(
+            f"unknown dispatch policy {policy!r}; one of {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,78 @@
+"""A bounded FIFO with non-blocking push/pop, the tile queue primitive.
+
+Hardware FIFOs do not grow and do not block the clock: a full queue
+simply refuses the write strobe and the producer must hold its data.
+:class:`BoundedFIFO` models exactly that — :meth:`push` returns ``False``
+when full (the dispatcher's backpressure signal), :meth:`pop` returns
+``None`` when empty — and keeps lifetime counters so FIFO pressure is
+observable (``pushed``/``popped``/``rejected``, high-water depth).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from repro.errors import ParameterError
+
+__all__ = ["BoundedFIFO"]
+
+T = TypeVar("T")
+
+
+class BoundedFIFO(Generic[T]):
+    """First-in first-out queue with a hard capacity."""
+
+    __slots__ = ("capacity", "_items", "pushed", "popped", "rejected", "high_water")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ParameterError(f"FIFO capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.rejected = 0
+        self.high_water = 0
+
+    def push(self, item: T) -> bool:
+        """Enqueue ``item``; ``False`` (and no side effect) when full."""
+        if len(self._items) >= self.capacity:
+            self.rejected += 1
+            return False
+        self._items.append(item)
+        self.pushed += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Dequeue the oldest item, or ``None`` when empty."""
+        if not self._items:
+            return None
+        self.popped += 1
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        """The oldest item without removing it, or ``None`` when empty."""
+        return self._items[0] if self._items else None
+
+    def drain(self) -> List[T]:
+        """Pop everything, oldest first."""
+        out = list(self._items)
+        self.popped += len(out)
+        self._items.clear()
+        return out
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BoundedFIFO({len(self._items)}/{self.capacity})"

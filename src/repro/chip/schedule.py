@@ -1,0 +1,243 @@
+"""Wave-issue scheduling math for the interleaved array and the chip.
+
+The ``2i+j`` schedule keeps each cell of a lone multiplication busy only
+``l+2`` of the ``3l+4`` datapath cycles (``3l+3`` paper mode) — the
+~66% idle fraction PR 6's profiler measures.  The slack is *structured*:
+cell ``j`` computes a real digit only on cycles of parity ``j mod 2``,
+and the productive rows of one multiplication occupy a sliding window of
+at most ``l+2`` same-parity cells.  Two consequences, both proven by the
+mask-disjointness check in :mod:`repro.chip.interleave`:
+
+* a second operand stream started on the **opposite clock parity** uses a
+  register lattice disjoint from the first, at any offset;
+* a second stream on the **same parity** is disjoint as soon as its start
+  lags by ``2(l+2)`` cycles — the wavefront of the older stream has then
+  moved past every cell the younger one can reach.
+
+This module holds the closed forms and the greedy issue governor that
+both the cycle-accurate :class:`~repro.chip.interleave.InterleavedArray`
+and the serving cost model share, so the model and the measurement can be
+cross-checked cycle for cycle.
+
+Wave slots
+----------
+``waves`` slots are parity-bound: slot ``w`` may only start on cycles of
+parity ``w mod 2`` (with a single slot the constraint is vacuous — the
+array is sequential).  An issue on parity ``p`` blocks further issues on
+``p`` for :func:`issue_interval` cycles; a slot is freed when its
+multiplication drains after :func:`datapath_cycles`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "datapath_cycles",
+    "issue_interval",
+    "issue_schedule",
+    "makespan_cycles",
+    "interleaved_idle_model",
+    "steady_state_idle_fraction",
+    "steady_state_issue_rate",
+    "chip_makespan_cycles",
+    "completion_estimate_cycles",
+    "speedup_model",
+]
+
+_MODES = ("corrected", "paper")
+
+
+def _check(l: int, waves: int, mode: str) -> None:
+    if l < 2:
+        raise ParameterError(f"interleaving needs l >= 2, got {l}")
+    if waves < 1:
+        raise ParameterError(f"waves must be >= 1, got {waves}")
+    if mode not in _MODES:
+        raise ParameterError(f"mode must be one of {_MODES}, got {mode!r}")
+
+
+def datapath_cycles(l: int, mode: str = "corrected") -> int:
+    """Array cycles one multiplication holds its wave slot: 3l+4 / 3l+3."""
+    top_cell = l + 1 if mode == "corrected" else l
+    return 2 * (l + 1) + top_cell + 1
+
+
+def issue_interval(l: int) -> int:
+    """Minimum start distance between two same-parity waves: ``2(l+2)``.
+
+    Rows ``0..l+1`` of a multiplication reach cell ``j`` at cycles
+    ``j, j+2, ..., j+2(l+1)``.  Two same-parity streams offset by
+    ``Δ = 2(l+2)`` want cell ``j`` at row sets ``{j+2i}`` and
+    ``{j+Δ+2i}`` whose closest approach is ``Δ - 2(l+1) = 2 > 0`` — the
+    minimal safe spacing, and it is exact: ``Δ - 2`` collides.
+    """
+    return 2 * (l + 2)
+
+
+def issue_schedule(
+    count: int, l: int, waves: int = 2, mode: str = "corrected"
+) -> List[int]:
+    """Start cycles the greedy wave governor gives ``count`` back-to-back ops.
+
+    Mirrors :class:`~repro.chip.interleave.InterleavedArray` exactly: each
+    op takes the earliest cycle at which some slot is free, the cycle
+    parity matches the slot parity (``waves >= 2``), and the last start on
+    that parity is at least :func:`issue_interval` cycles old.  The
+    interleave tests pin the simulated issue stream to this list.
+    """
+    _check(l, waves, mode)
+    if count < 0:
+        raise ParameterError(f"count must be >= 0, got {count}")
+    d = datapath_cycles(l, mode)
+    interval = issue_interval(l)
+    slot_free = [0] * waves
+    last_start: List[Optional[int]] = [None, None]  # per parity
+    starts: List[int] = []
+    for _ in range(count):
+        best: Optional[int] = None
+        best_slot = 0
+        for w in range(waves):
+            at = slot_free[w]
+            if waves >= 2:
+                p = w % 2
+                if last_start[p] is not None:
+                    at = max(at, last_start[p] + interval)
+                if at % 2 != p:
+                    at += 1
+            if best is None or at < best:
+                best, best_slot = at, w
+        assert best is not None
+        starts.append(best)
+        slot_free[best_slot] = best + d
+        if waves >= 2:
+            last_start[best_slot % 2] = best
+    return starts
+
+
+def makespan_cycles(
+    count: int, l: int, waves: int = 2, mode: str = "corrected"
+) -> int:
+    """Cycles from first issue to last drain for ``count`` back-to-back ops."""
+    starts = issue_schedule(count, l, waves, mode)
+    if not starts:
+        return 0
+    return starts[-1] + datapath_cycles(l, mode)
+
+
+def interleaved_idle_model(
+    count: int, l: int, waves: int = 2, mode: str = "corrected"
+) -> float:
+    """Predicted idle fraction of a ``count``-op interleaved run.
+
+    Every cell is busy exactly ``l+2`` cycles per multiplication, so over
+    the greedy makespan the idle fraction is
+    ``1 - count*(l+2)/makespan`` — the number the occupancy recorder must
+    reproduce from the simulated masks.  At ``waves=1`` and ``count=1``
+    this is :func:`~repro.observability.occupancy.analytic_idle_fraction`.
+    """
+    span = makespan_cycles(count, l, waves, mode)
+    if span == 0:
+        return 0.0
+    return 1.0 - count * (l + 2) / span
+
+
+def steady_state_issue_rate(
+    l: int, waves: int = 2, mode: str = "corrected"
+) -> float:
+    """Sustained multiplications per cycle of a ``waves``-slot array.
+
+    Parity ``p`` owns ``n_p`` slots (``ceil(W/2)`` even, ``floor(W/2)``
+    odd); it can sustain ``min(n_p / datapath, 1 / interval)`` starts per
+    cycle — slot recycling bound vs. same-parity spacing bound.  With a
+    single wave the array is sequential: ``1 / datapath``.
+    """
+    _check(l, waves, mode)
+    d = datapath_cycles(l, mode)
+    if waves == 1:
+        return 1.0 / d
+    interval = issue_interval(l)
+    rate = 0.0
+    for p in (0, 1):
+        n_p = (waves + (1 - p)) // 2
+        if n_p:
+            rate += min(n_p / d, 1.0 / interval)
+    return rate
+
+
+def steady_state_idle_fraction(
+    l: int, waves: int = 2, mode: str = "corrected"
+) -> float:
+    """Idle fraction of a saturated ``waves``-slot array.
+
+    ``1 - rate*(l+2)``, floored at zero: each sustained multiplication
+    keeps every cell busy ``l+2`` cycles.  At ``waves=1`` this is the
+    profiler's ``1-(l+2)/(3l+4)``; at ``waves=2`` it halves to
+    ``1-2(l+2)/(3l+4)`` (~33% at l=64); by ``waves=4`` the spacing bound
+    saturates the array and idle reaches 0.
+    """
+    busy = steady_state_issue_rate(l, waves, mode) * (l + 2)
+    return max(0.0, 1.0 - busy)
+
+
+def chip_makespan_cycles(
+    count: int,
+    l: int,
+    *,
+    tiles: int = 1,
+    waves: int = 2,
+    mode: str = "corrected",
+) -> int:
+    """Estimated chip cycles to retire ``count`` independent MMMs.
+
+    Balanced dispatch puts ``ceil(count/tiles)`` ops on the fullest tile;
+    the chip finishes when that tile drains.  An estimate, not a bound:
+    skewed FIFO depths or a cold dispatcher can add slack, which is why
+    the chip benchmark measures the real makespan against this figure.
+    """
+    if tiles < 1:
+        raise ParameterError(f"tiles must be >= 1, got {tiles}")
+    if count <= 0:
+        return 0
+    per_tile = -(-count // tiles)
+    return makespan_cycles(per_tile, l, waves, mode)
+
+
+def completion_estimate_cycles(
+    mult_counts: Sequence[int],
+    l: int,
+    *,
+    tiles: int = 1,
+    waves: int = 2,
+    mode: str = "corrected",
+) -> int:
+    """Tile-occupancy-aware completion estimate for a group of modexps.
+
+    ``mult_counts`` holds each request's multiplication count (squares +
+    multiplies + pre/post).  The chip is throughput-bound by the makespan
+    of the pooled multiplications spread over its tiles, but latency-bound
+    by the longest *dependent* chain — one exponentiation cannot overlap
+    its own squarings, so no amount of tiling beats
+    ``max(mult_counts) * (datapath+1)``.  The estimate is the larger of
+    the two; it replaces the flat ``mults * (3l+4)`` per-op formula in
+    chip-aware SLO budgets.
+    """
+    counts = [c for c in mult_counts if c > 0]
+    if not counts:
+        return 0
+    per_op = datapath_cycles(l, mode) + 1  # + OUT cycle, the paper's T_MMM
+    chain_bound = max(counts) * per_op
+    pooled = chip_makespan_cycles(
+        sum(counts), l, tiles=tiles, waves=waves, mode=mode
+    )
+    return max(chain_bound, pooled)
+
+
+def speedup_model(
+    l: int, *, tiles: int = 1, waves: int = 2, mode: str = "corrected"
+) -> float:
+    """Steady-state throughput of the chip relative to one plain array."""
+    single = 1.0 / datapath_cycles(l, mode)
+    return tiles * steady_state_issue_rate(l, waves, mode) / single

@@ -17,7 +17,12 @@ Commands
                 and/or ``--require`` constraint expressions)
 ``bench-sim``   compare netlist simulator engines (interpreted/compiled/lanes)
 ``profile``     profiled workload → unified utilization attribution report
-                (array occupancy vs the 2i+j model, lane fill, queue wait)
+                (array occupancy vs the 2i+j model, lane fill, queue wait;
+                ``--chip-ops N`` adds a chip stage with per-tile tracks)
+``chip``        run an MMM workload through the multi-array chip model
+                (wave-interleaved tiles, FIFO queues, dispatch policies)
+``loadgen``     seeded workload generator → JSON-lines for ``repro batch``
+                (Zipf keyring traffic, mixed exponents, open-loop bursts)
 ``top``         terminal live-stats view over a running /metrics endpoint
 
 ``multiply``, ``exponentiate`` and ``observe`` accept the observability
@@ -511,7 +516,114 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the array occupancy matrix as CSV to this path",
     )
+    chp = prof.add_argument_group("chip stage (multi-array model)")
+    chp.add_argument(
+        "--chip-ops",
+        type=int,
+        default=0,
+        help="run N multiplications through the chip model so the report "
+        "gains the chip-health section (0 = skip the stage)",
+    )
+    chp.add_argument(
+        "--chip-tiles", type=int, default=2, help="tiles on the modelled chip"
+    )
+    chp.add_argument(
+        "--chip-waves", type=int, default=2, help="interleaved waves per tile"
+    )
+    chp.add_argument(
+        "--chip-l",
+        type=int,
+        default=16,
+        help="operand bit length of the chip stage (kept small: the stage "
+        "steps tiles x waves RTL arrays cycle by cycle)",
+    )
     _add_observability_flags(prof)
+
+    chip = sub.add_parser(
+        "chip",
+        help="run an MMM workload through the multi-array chip model and "
+        "compare against a sequential single array",
+    )
+    chip.add_argument("--l", type=int, default=32, help="operand bit length")
+    chip.add_argument(
+        "--ops", type=int, default=24, help="number of multiplications"
+    )
+    chip.add_argument("--tiles", type=int, default=2)
+    chip.add_argument(
+        "--waves", type=int, default=2, help="interleaved waves per tile array"
+    )
+    chip.add_argument(
+        "--fifo-depth", type=int, default=8, help="per-tile FIFO capacity"
+    )
+    chip.add_argument(
+        "--dispatch",
+        choices=("round-robin", "least-depth"),
+        default="round-robin",
+        help="tile dispatch policy",
+    )
+    chip.add_argument(
+        "--engine",
+        choices=("rtl", "gate"),
+        default="rtl",
+        help="per-tile array substrate (gate caps l at 10)",
+    )
+    chip.add_argument(
+        "--arch", choices=("corrected", "paper"), default="corrected"
+    )
+    chip.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(chip)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="seeded workload generator: JSON-lines requests for "
+        "`repro batch` / `repro serve` (Zipf keyring, bursty arrivals)",
+    )
+    lg.add_argument(
+        "--out",
+        default="-",
+        help="output path for the JSON-lines workload ('-' = stdout)",
+    )
+    lg.add_argument("--requests", type=int, default=200)
+    lg.add_argument("--keys", type=int, default=8, help="keyring size")
+    lg.add_argument(
+        "--bits",
+        default="16,24,32",
+        help="comma-separated modulus widths, cycled over the keyring",
+    )
+    lg.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew over key ranks (0 = uniform)",
+    )
+    lg.add_argument(
+        "--exponent-bits",
+        default="8,16",
+        help="comma-separated exponent sizes for the random-exponent share",
+    )
+    lg.add_argument(
+        "--f4-share",
+        type=float,
+        default=0.0,
+        help="fraction of requests using the RSA exponent 65537",
+    )
+    lg.add_argument(
+        "--rate", type=float, default=200.0, help="arrivals per second"
+    )
+    lg.add_argument(
+        "--burst-factor",
+        type=float,
+        default=1.0,
+        help="rate multiplier inside burst windows (1.0 = no bursts)",
+    )
+    lg.add_argument("--burst-every", type=float, default=1.0)
+    lg.add_argument("--burst-len", type=float, default=0.25)
+    lg.add_argument("--seed", default="workload", help="workload seed string")
+    lg.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the keyring popularity table (stderr when --out is '-')",
+    )
 
     top = sub.add_parser(
         "top",
@@ -1093,6 +1205,32 @@ def _profile_serving_stage(args, rng) -> None:
         service.process(requests)
 
 
+def _profile_chip_stage(args, rng) -> None:
+    """The chip leg of ``repro profile``: tiles x waves over seeded MMM ops.
+
+    Runs under the ambient observe() context, so the chip model's
+    ``chip.tile{i}`` / ``chip.tiles`` occupancy tracks and the
+    ``chip.waves`` / ``chip.fifo_depth`` histograms land in the same
+    registry the report reads — the chip-health section appears exactly
+    when this stage ran.
+    """
+    from repro.chip import ChipModel, MMMOp
+    from repro.utils.rng import random_odd_modulus
+
+    n = random_odd_modulus(args.chip_l, rng)
+    ops = [
+        MMMOp(rng.randrange(n), rng.randrange(n), n, tag=i)
+        for i in range(args.chip_ops)
+    ]
+    chipm = ChipModel(
+        args.chip_l,
+        tiles=args.chip_tiles,
+        waves=args.chip_waves,
+        mode=args.arch,
+    )
+    chipm.run(ops)
+
+
 def _cmd_profile(args, out) -> int:
     import random
 
@@ -1126,6 +1264,10 @@ def _cmd_profile(args, out) -> int:
         # Stage 2: serving utilization — lane fill, queue wait, verify.
         if args.requests > 0:
             _profile_serving_stage(args, rng)
+        # Stage 3 (opt-in): multi-array chip — per-tile busy tracks,
+        # FIFO depths, waves in flight.
+        if args.chip_ops > 0:
+            _profile_chip_stage(args, rng)
 
     export_utilization_gauges(registry, occupancy)
     report = render_report(registry, occupancy, l=args.l, mode=args.arch)
@@ -1139,6 +1281,141 @@ def _cmd_profile(args, out) -> int:
             fh.write(occupancy.to_csv("array"))
         out.write(f"[occupancy CSV written to {args.csv}]\n")
     _finish_observation(args, registry, tracer, out)
+    return 0
+
+
+def _cmd_chip(args, out) -> int:
+    import random
+
+    from repro.chip import (
+        ChipModel,
+        MMMOp,
+        datapath_cycles,
+        interleaved_idle_model,
+        steady_state_idle_fraction,
+    )
+    from repro.montgomery.algorithms import montgomery_no_subtraction
+    from repro.montgomery.params import precompute_montgomery_constants
+    from repro.observability import MetricsRegistry, OccupancyRecorder, observe
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(args.seed)
+    n = random_odd_modulus(args.l, rng)
+    ctx = precompute_montgomery_constants(n)
+    ops = [
+        MMMOp(rng.randrange(n), rng.randrange(n), n, tag=i)
+        for i in range(args.ops)
+    ]
+    golden = {
+        op.tag: montgomery_no_subtraction(ctx, op.x, op.y) for op in ops
+    }
+
+    registry, tracer = _observation(args)
+    if registry is None:
+        registry = MetricsRegistry()
+    occupancy = OccupancyRecorder()
+    chipm = ChipModel(
+        args.l,
+        tiles=args.tiles,
+        waves=args.waves,
+        mode=args.arch,
+        engine=args.engine,
+        fifo_depth=args.fifo_depth,
+        dispatcher=args.dispatch,
+    )
+    with observe(metrics=registry, tracer=tracer, occupancy=occupancy):
+        outcomes = chipm.run(ops)
+
+    wrong = sum(1 for o in outcomes if o.value != golden[o.op.tag])
+    makespan = chipm.cycle
+    # One array retiring the same ops back to back: D+1 cycles each.
+    seq = args.ops * (datapath_cycles(args.l, args.arch) + 1)
+    tile_idles = [
+        occupancy.idle_fraction(f"chip.tile{i}") for i in range(args.tiles)
+    ]
+    measured = [x for x in tile_idles if x is not None]
+    rows = [
+        ["operations", args.ops],
+        ["tiles x waves", f"{args.tiles} x {args.waves}"],
+        ["dispatch", args.dispatch],
+        ["chip makespan (cycles)", makespan],
+        ["sequential 1-array (cycles)", seq],
+        ["speedup", f"{seq / makespan:.2f}x" if makespan else "-"],
+        [
+            "array idle (measured)",
+            f"{sum(measured) / len(measured):.1%}" if measured else "-",
+        ],
+        [
+            "array idle (W-wave model)",
+            f"{interleaved_idle_model(-(-args.ops // args.tiles), args.l, waves=args.waves, mode=args.arch):.1%}",
+        ],
+        [
+            "array idle (steady state)",
+            f"{steady_state_idle_fraction(args.l, waves=args.waves, mode=args.arch):.1%}",
+        ],
+        ["results verified", f"{len(outcomes) - wrong}/{len(outcomes)}"],
+    ]
+    out.write(
+        render_table(
+            ["figure", "value"],
+            rows,
+            title=(
+                f"Chip model: l={args.l}, engine={args.engine}, "
+                f"arch={args.arch}"
+            ),
+        )
+        + "\n\n"
+    )
+    out.write(occupancy.heatmap("chip.tiles", unit="tile") + "\n")
+    _finish_observation(args, registry, tracer, out)
+    return 0 if wrong == 0 and len(outcomes) == args.ops else 1
+
+
+def _cmd_loadgen(args, out) -> int:
+    import contextlib
+
+    from repro.serving.wire import request_to_json
+    from repro.serving.workload import WorkloadConfig, generate_workload
+
+    def _int_tuple(text: str):
+        return tuple(int(part) for part in text.split(",") if part.strip())
+
+    config = WorkloadConfig(
+        requests=args.requests,
+        keys=args.keys,
+        bits=_int_tuple(args.bits),
+        zipf_s=args.zipf_s,
+        exponent_bits=_int_tuple(args.exponent_bits),
+        f4_share=args.f4_share,
+        rate=args.rate,
+        burst_factor=args.burst_factor,
+        burst_every=args.burst_every,
+        burst_len=args.burst_len,
+    )
+    workload = generate_workload(config, seed=args.seed)
+    with contextlib.ExitStack() as stack:
+        if args.out == "-":
+            lines_out, info_out = out, sys.stderr
+        else:
+            lines_out = stack.enter_context(open(args.out, "w"))
+            info_out = out
+        for request in workload.requests:
+            lines_out.write(request_to_json(request) + "\n")
+        if args.summary:
+            info_out.write(
+                render_table(
+                    ["rank", "bits", "requests", "share"],
+                    workload.summary_rows(),
+                    title=f"Keyring popularity (seed={args.seed!r})",
+                )
+                + "\n"
+            )
+        span = workload.arrivals[-1] if workload.arrivals else 0.0
+        info_out.write(
+            f"[loadgen: {len(workload.requests)} requests over "
+            f"{span:.3f}s simulated arrivals, {config.keys} keys, "
+            f"seed={args.seed!r}]\n"
+        )
     return 0
 
 
@@ -1231,6 +1508,18 @@ def _render_top_frame(url: str, text: str) -> str:
             f"{idle:.1%}" if idle else "-",
         )
     )
+    tile_busy = total("chip_tile_busy_fraction")
+    if metrics.get("chip_tile_busy_fraction"):
+        waves = total("chip_waves_in_flight")
+        fifo = (
+            fmt(total("chip_fifo_depth_p95"), 1)
+            if metrics.get("chip_fifo_depth_p95")
+            else "-"
+        )
+        lines.append(
+            "chip       tile busy={:.1%} waves in flight={:.2f} "
+            "fifo p95={}".format(tile_busy, waves, fifo)
+        )
     busy = metrics.get("serving_worker_busy_us_total")
     if busy:
         per_worker: dict = {}
@@ -1304,6 +1593,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_bench_sim(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
+    if args.command == "chip":
+        return _cmd_chip(args, out)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args, out)
     if args.command == "top":
         return _cmd_top(args, out)
     if args.command == "report":

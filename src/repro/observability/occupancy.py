@@ -220,6 +220,19 @@ class OccupancyRecorder:
         s = self._sampled.get(source)
         return s.cycles if s is not None else 0
 
+    def cell_busy_fractions(self, source: str) -> List[float]:
+        """Per-unit busy fraction of a sampled track, unit 0 first.
+
+        For the array sources each entry is one cell; for the chip's
+        ``chip.tiles`` track (one bit per tile per chip cycle) each entry
+        is one tile's busy fraction — the per-tile utilization figure the
+        profiler exports as ``chip.tile_busy`` gauges.
+        """
+        s = self._sampled.get(source)
+        if s is None or not s.cycles:
+            return []
+        return [b / s.cycles for b in s.cell_busy]
+
     def matrix(self, source: str) -> List[List[int]]:
         """Occupancy matrix from the retained masks: ``[cell][cycle]`` ∈ {0,1}.
 
@@ -234,12 +247,15 @@ class OccupancyRecorder:
         ]
 
     # -- rendering ------------------------------------------------------
-    def heatmap(self, source: str, width: int = 72) -> str:
+    def heatmap(self, source: str, width: int = 72, unit: str = "cell") -> str:
         """ASCII heatmap: one row per cell (top cell first), time left→right.
 
         Cycles are folded into at most ``width`` buckets; each glyph encodes
         the cell's busy fraction within its bucket on the ramp
         ``' .:-=+*#%@'`` (blank = always idle, ``@`` = always busy).
+        ``unit`` renames the row label — the chip profiler renders its
+        tile-busy track (one bit per tile per cycle) through the same
+        folding with ``unit="tile"``.
         """
         s = self._sampled.get(source)
         if s is None or not s.masks:
@@ -247,7 +263,7 @@ class OccupancyRecorder:
         ncyc = len(s.masks)
         buckets = min(width, ncyc)
         lines = [
-            f"occupancy heatmap [{source}]: {s.num_cells} cells x {ncyc} cycles"
+            f"occupancy heatmap [{source}]: {s.num_cells} {unit}s x {ncyc} cycles"
             + (f" (+{s.dropped_masks} not shown)" if s.dropped_masks else ""),
         ]
         bounds = [(b * ncyc) // buckets for b in range(buckets + 1)]
@@ -258,7 +274,7 @@ class OccupancyRecorder:
                 busy = sum((s.masks[c] >> j) & 1 for c in range(lo, hi))
                 frac = busy / (hi - lo) if hi > lo else 0.0
                 row.append(_HEAT_CHARS[min(int(frac * len(_HEAT_CHARS)), len(_HEAT_CHARS) - 1)])
-            lines.append(f"cell {j:4d} |{''.join(row)}|")
+            lines.append(f"{unit} {j:4d} |{''.join(row)}|")
         busy_frac = self.busy_fraction(source) or 0.0
         lines.append(
             f"busy {busy_frac:.1%} / idle {1 - busy_frac:.1%} "

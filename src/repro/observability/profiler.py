@@ -15,10 +15,11 @@ filled in, it answers three questions in one report:
   verification overhead, with per-worker busy totals.
 
 :func:`export_utilization_gauges` additionally folds the headline numbers
-into plain gauges (``hdl.idle_fraction``, ``serving.lane_fill_p50``, ...)
-so snapshot files carry them and ``repro obs diff --require`` can gate
-floors on them — the requirements engine sums counter/gauge values but
-cannot evaluate histogram percentiles.
+into plain gauges (``hdl.idle_fraction``, ``serving.lane_fill_p50``, and
+the chip-health trio ``chip.tile_busy_fraction`` / ``chip.fifo_depth_p95``
+/ ``chip.waves_in_flight``) so snapshot files carry them and ``repro obs
+diff --require`` can gate floors on them — the requirements engine sums
+counter/gauge values but cannot evaluate histogram percentiles.
 
 ``repro profile`` wires a workload to this module; see ``docs/OBSERVABILITY.md``.
 """
@@ -145,6 +146,26 @@ def export_utilization_gauges(
                 registry.gauge("hdl.occupancy_idle_fraction").set(
                     idle, source=source
                 )
+        # Chip health: the chip.tiles track carries one busy bit per tile
+        # per chip cycle, so its per-"cell" busy fractions are per-tile
+        # utilization.  Exported flat for `repro top` and CI floors.
+        tile_fracs = occupancy.cell_busy_fractions("chip.tiles")
+        if tile_fracs:
+            registry.gauge("chip.tile_busy_fraction").set(
+                sum(tile_fracs) / len(tile_fracs)
+            )
+            for i, frac in enumerate(tile_fracs):
+                registry.gauge("chip.tile_busy").set(frac, tile=str(i))
+    fifo_p95 = _hist_percentile(registry, "chip.fifo_depth", 95)
+    if fifo_p95 is not None:
+        registry.gauge("chip.fifo_depth_p95").set(fifo_p95)
+    waves = (
+        registry.histogram("chip.waves").aggregate()
+        if "chip.waves" in registry
+        else None
+    )
+    if waves is not None and waves.count:
+        registry.gauge("chip.waves_in_flight").set(waves.sum / waves.count)
     p50 = _hist_percentile(registry, "hdl.lane_fill", 50)
     if p50 is not None:
         registry.gauge("serving.lane_fill_p50").set(p50)
@@ -219,6 +240,33 @@ def render_report(
             f"p50={p50:g} min={agg.min:g} max={agg.max:g} "
             f"wasted_lane_cycles={int(wasted)}"
         )
+
+    tile_fracs = (
+        occupancy.cell_busy_fractions("chip.tiles") if occupancy is not None else []
+    )
+    if tile_fracs:
+        lines.append("")
+        lines.append("chip health:")
+        mean_busy = sum(tile_fracs) / len(tile_fracs)
+        lines.append(
+            f"  tiles={len(tile_fracs)} busy mean {mean_busy:6.1%}  "
+            + "  ".join(f"tile{i}={f:.1%}" for i, f in enumerate(tile_fracs))
+        )
+        waves = (
+            registry.histogram("chip.waves").aggregate()
+            if "chip.waves" in registry
+            else None
+        )
+        if waves is not None and waves.count:
+            lines.append(
+                f"  waves in flight: mean {waves.sum / waves.count:.2f} "
+                f"max {waves.max:g}"
+            )
+        fifo_p95 = _hist_percentile(registry, "chip.fifo_depth", 95)
+        if fifo_p95 is not None:
+            lines.append(f"  fifo depth p95: {fifo_p95:.1f}")
+        lines.append("")
+        lines.append(occupancy.heatmap("chip.tiles", width=width, unit="tile"))
 
     serving = attribute_serving(registry)
     if serving["total_us"]:

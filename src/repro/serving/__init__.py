@@ -24,6 +24,8 @@ single-shot engines into a multi-worker modular-exponentiation service.
 * :mod:`repro.serving.http` — :class:`TelemetryServer`, the ``/metrics``
   (Prometheus) + ``/healthz`` scrape endpoint ``repro serve`` can run.
 * :mod:`repro.serving.wire` — the JSON-lines request/result format.
+* :mod:`repro.serving.workload` — seeded workload generator (Zipf keyring
+  traffic, mixed exponents, open-loop bursts) behind ``repro loadgen``.
 
 Self-healing (PR 5) lives in :mod:`repro.robustness` and threads through
 :class:`ModExpService`: online result verification, seeded chaos fault
@@ -57,6 +59,7 @@ from repro.serving.wire import (
     request_to_json,
     result_to_json,
 )
+from repro.serving.workload import Workload, WorkloadConfig, generate_workload
 
 __all__ = [
     "BackendCapabilities",
@@ -77,6 +80,9 @@ __all__ = [
     "read_requests",
     "request_to_json",
     "result_to_json",
+    "Workload",
+    "WorkloadConfig",
+    "generate_workload",
     "BreakerConfig",
     "ChaosConfig",
     "RetryPolicy",

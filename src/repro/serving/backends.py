@@ -78,6 +78,12 @@ class BackendCapabilities:
         of same-modulus, same-exponent requests, which the backend packs
         as bit-slices of one netlist sweep (see
         :meth:`~repro.systolic.mmmc_netlist.GateLevelMMMC.multiply_lanes`).
+    mixed_exponent_lanes:
+        True when ``execute_many`` groups need *not* share an exponent.
+        Bit-sliced sweeps advance every lane in lock-step, so they demand
+        a common square-and-multiply schedule; the chip backend instead
+        interleaves independent multiplication chains, so the service may
+        pack any same-modulus requests of one batch into a group.
     """
 
     description: str
@@ -87,6 +93,7 @@ class BackendCapabilities:
     process_safe: bool = True
     requires_factors: bool = False
     lanes: int = 1
+    mixed_exponent_lanes: bool = False
 
 
 @dataclass(frozen=True)
@@ -682,6 +689,10 @@ class BackendRegistry:
 
 def default_registry() -> BackendRegistry:
     """A fresh registry holding every built-in backend."""
+    # Imported here, not at module top: repro.chip.backend subclasses
+    # ModExpBackend from this module, so a top-level import would cycle.
+    from repro.chip.backend import ChipBackend
+
     reg = BackendRegistry()
     for backend in (
         IntegerBackend(),
@@ -690,6 +701,7 @@ def default_registry() -> BackendRegistry:
         GateLevelBackend(),
         HighRadixBackend(),
         ScalableBackend(),
+        ChipBackend(),
     ):
         reg.register(backend)
     return reg

@@ -424,17 +424,23 @@ class ModExpService:
         return self.backend.name if self.pool.kind == "process" else self.backend
 
     @staticmethod
-    def _lane_groups(entries: List[_Entry], lanes: int) -> List[List[_Entry]]:
+    def _lane_groups(
+        entries: List[_Entry], lanes: int, *, mixed: bool = False
+    ) -> List[List[_Entry]]:
         """Partition one batch's entries into lane-packable groups.
 
-        Lane packing needs a shared square-and-multiply schedule, so only
-        requests with identical exponents share a group; groups are capped
-        at the backend's lane width.  Order within a group follows batch
-        order.
+        Bit-sliced lane packing needs a shared square-and-multiply
+        schedule, so only requests with identical exponents share a
+        group; groups are capped at the backend's lane width.  Backends
+        declaring ``capabilities.mixed_exponent_lanes`` (the chip, which
+        interleaves independent chains instead of lock-stepping lanes)
+        group the whole batch regardless of exponent.  Order within a
+        group follows batch order.
         """
-        by_exponent: Dict[int, List[_Entry]] = {}
+        by_exponent: Dict[Optional[int], List[_Entry]] = {}
         for entry in entries:
-            by_exponent.setdefault(entry.request.exponent, []).append(entry)
+            key = None if mixed else entry.request.exponent
+            by_exponent.setdefault(key, []).append(entry)
         groups: List[List[_Entry]] = []
         for members in by_exponent.values():
             for lo in range(0, len(members), lanes):
@@ -527,7 +533,11 @@ class ModExpService:
                 entry.context = batch.context
             dispatched.extend(entries)
             groups = (
-                self._lane_groups(entries, lanes)
+                self._lane_groups(
+                    entries,
+                    lanes,
+                    mixed=self.backend.capabilities.mixed_exponent_lanes,
+                )
                 if lane_packing
                 else [[entry] for entry in entries]
             )

@@ -1,0 +1,1 @@
+"""Tests for the multi-array chip subsystem (repro.chip)."""

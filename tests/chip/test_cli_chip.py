@@ -1,0 +1,99 @@
+"""CLI entry points: ``repro chip``, ``repro loadgen``, profile chip stage."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+
+
+class TestChipCommand:
+    def test_chip_run_verifies_and_reports(self):
+        out = io.StringIO()
+        assert main(["chip", "--l", "8", "--ops", "6"], out=out) == 0
+        text = out.getvalue()
+        assert "results verified" in text and "6/6" in text
+        assert "speedup" in text
+        assert "occupancy heatmap [chip.tiles]" in text
+
+    def test_chip_least_depth_policy(self):
+        out = io.StringIO()
+        assert (
+            main(
+                ["chip", "--l", "8", "--ops", "4", "--dispatch", "least-depth"],
+                out=out,
+            )
+            == 0
+        )
+        assert "least-depth" in out.getvalue()
+
+
+class TestLoadgenCommand:
+    def test_loadgen_emits_parseable_jsonl(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "wl.jsonl"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--requests",
+                    "12",
+                    "--keys",
+                    "3",
+                    "--bits",
+                    "12",
+                    "--summary",
+                    "--out",
+                    str(path),
+                ],
+                out=out,
+            )
+            == 0
+        )
+        lines = path.read_text().splitlines()
+        assert len(lines) == 12
+        for line in lines:
+            obj = json.loads(line)
+            assert obj["modulus"] % 2 == 1 and "deadline" in obj
+        info = out.getvalue()
+        assert "Keyring popularity" in info and "12 requests" in info
+
+    def test_loadgen_deterministic_per_seed(self, tmp_path):
+        a, b = io.StringIO(), io.StringIO()
+        argv = ["loadgen", "--requests", "5", "--seed", "x"]
+        assert main(argv, out=a) == 0
+        assert main(argv, out=b) == 0
+        assert a.getvalue() == b.getvalue()
+
+
+class TestProfileChipStage:
+    def test_profile_gains_chip_health_section(self):
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "profile",
+                    "--l",
+                    "8",
+                    "--requests",
+                    "0",
+                    "--chip-ops",
+                    "4",
+                    "--chip-l",
+                    "8",
+                ],
+                out=out,
+            )
+            == 0
+        )
+        text = out.getvalue()
+        assert "chip health:" in text
+        assert "occupancy heatmap [chip.tiles]" in text
+        # The array stage is untouched: its heatmap and model check remain.
+        assert "occupancy heatmap [array]" in text
+
+    def test_profile_without_chip_ops_has_no_chip_section(self):
+        out = io.StringIO()
+        assert main(["profile", "--l", "8", "--requests", "0"], out=out) == 0
+        assert "chip health:" not in out.getvalue()

@@ -1,0 +1,51 @@
+"""BoundedFIFO: hardware-queue semantics and pressure counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip.fifo import BoundedFIFO
+from repro.errors import ParameterError
+
+
+class TestBoundedFIFO:
+    def test_capacity_screen(self):
+        with pytest.raises(ParameterError):
+            BoundedFIFO(0)
+
+    def test_fifo_order(self):
+        q = BoundedFIFO(4)
+        for i in range(4):
+            assert q.push(i)
+        assert [q.pop() for _ in range(4)] == [0, 1, 2, 3]
+        assert q.pop() is None
+
+    def test_full_refuses_without_side_effect(self):
+        q = BoundedFIFO(2)
+        assert q.push("a") and q.push("b")
+        assert q.full
+        assert not q.push("c")
+        assert len(q) == 2 and q.peek() == "a"
+        assert q.rejected == 1 and q.pushed == 2
+
+    def test_peek_does_not_consume(self):
+        q = BoundedFIFO(2)
+        q.push(7)
+        assert q.peek() == 7 and len(q) == 1
+        assert q.pop() == 7 and q.peek() is None
+
+    def test_drain_empties_oldest_first(self):
+        q = BoundedFIFO(3)
+        for i in range(3):
+            q.push(i)
+        assert q.drain() == [0, 1, 2]
+        assert not q and q.popped == 3
+
+    def test_high_water_tracks_peak(self):
+        q = BoundedFIFO(8)
+        for i in range(5):
+            q.push(i)
+        for _ in range(5):
+            q.pop()
+        q.push(9)
+        assert q.high_water == 5

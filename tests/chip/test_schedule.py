@@ -1,0 +1,135 @@
+"""The wave-issue scheduling math: governor properties and closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip.schedule import (
+    chip_makespan_cycles,
+    completion_estimate_cycles,
+    datapath_cycles,
+    interleaved_idle_model,
+    issue_interval,
+    issue_schedule,
+    makespan_cycles,
+    speedup_model,
+    steady_state_idle_fraction,
+    steady_state_issue_rate,
+)
+from repro.errors import ParameterError
+from repro.observability.occupancy import analytic_idle_fraction
+from repro.systolic.timing import mmm_cycles, mmm_cycles_corrected
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("l", [2, 8, 16, 64])
+    def test_datapath_matches_timing_module(self, l):
+        # T_MMM = datapath + 1 OUT cycle: 3l+5 corrected, 3l+4 paper.
+        assert datapath_cycles(l, "corrected") + 1 == mmm_cycles_corrected(l)
+        assert datapath_cycles(l, "paper") + 1 == mmm_cycles(l)
+
+    def test_issue_interval_is_2l_plus_4(self):
+        assert issue_interval(16) == 36
+        assert issue_interval(64) == 132
+
+    def test_parameter_screen(self):
+        with pytest.raises(ParameterError):
+            issue_schedule(3, 1)
+        with pytest.raises(ParameterError):
+            issue_schedule(3, 16, waves=0)
+        with pytest.raises(ParameterError):
+            issue_schedule(-1, 16)
+        with pytest.raises(ParameterError):
+            issue_schedule(3, 16, mode="bogus")
+        with pytest.raises(ParameterError):
+            chip_makespan_cycles(4, 16, tiles=0)
+
+
+class TestIssueSchedule:
+    def test_single_wave_is_sequential(self):
+        d = datapath_cycles(16)
+        assert issue_schedule(3, 16, waves=1) == [0, d, 2 * d]
+
+    @pytest.mark.parametrize("waves", [2, 3, 4])
+    @pytest.mark.parametrize("l", [8, 16, 64])
+    def test_governor_invariants(self, l, waves):
+        starts = issue_schedule(12, l, waves=waves)
+        assert starts == sorted(starts)
+        # Same-parity starts are spaced by at least the issue interval.
+        for parity in (0, 1):
+            on_p = [s for s in starts if s % 2 == parity]
+            assert all(
+                b - a >= issue_interval(l) for a, b in zip(on_p, on_p[1:])
+            )
+        # Never more than `waves` ops holding slots at once.
+        d = datapath_cycles(l)
+        for s in starts:
+            overlapping = sum(1 for t in starts if t <= s < t + d)
+            assert overlapping <= waves
+
+    def test_two_waves_alternate_parity_at_start(self):
+        starts = issue_schedule(2, 16, waves=2)
+        assert starts[0] == 0 and starts[1] == 1
+
+    def test_makespan_is_last_start_plus_datapath(self):
+        starts = issue_schedule(5, 16, waves=2)
+        assert makespan_cycles(5, 16, waves=2) == starts[-1] + datapath_cycles(16)
+        assert makespan_cycles(0, 16) == 0
+
+
+class TestIdleModels:
+    def test_one_op_one_wave_matches_profiler_model(self):
+        for l in (8, 16, 64):
+            assert interleaved_idle_model(1, l, waves=1) == pytest.approx(
+                analytic_idle_fraction(l, "corrected"), abs=1e-3
+            )
+
+    def test_interleaving_cuts_idle(self):
+        lone = interleaved_idle_model(8, 64, waves=1)
+        duo = interleaved_idle_model(8, 64, waves=2)
+        quad = interleaved_idle_model(8, 64, waves=4)
+        assert duo < lone and quad < duo
+
+    def test_steady_state_w2_headline(self):
+        # The PR's CI gate: W=2 at l=64 sustains idle well under 0.40.
+        assert steady_state_idle_fraction(64, waves=2) <= 0.40
+        # And W=1 is the profiler's ~66%.
+        assert steady_state_idle_fraction(64, waves=1) == pytest.approx(
+            analytic_idle_fraction(64, "corrected"), abs=1e-3
+        )
+
+    def test_steady_state_rate_monotone_in_waves(self):
+        rates = [steady_state_issue_rate(64, waves=w) for w in (1, 2, 3, 4)]
+        assert rates == sorted(rates)
+        # The parity-spacing bound caps the rate at 2/interval.
+        assert steady_state_issue_rate(64, waves=8) <= 2 / issue_interval(64)
+
+
+class TestChipEstimates:
+    def test_chip_makespan_splits_over_tiles(self):
+        whole = chip_makespan_cycles(8, 16, tiles=1, waves=2)
+        split = chip_makespan_cycles(8, 16, tiles=2, waves=2)
+        assert split < whole
+        assert chip_makespan_cycles(0, 16, tiles=2) == 0
+
+    def test_completion_estimate_chain_bound(self):
+        # One huge chain dominates: tiling cannot shrink a dependent chain.
+        per_op = datapath_cycles(16) + 1
+        est = completion_estimate_cycles([40, 1, 1], 16, tiles=4, waves=4)
+        assert est == 40 * per_op
+
+    def test_completion_estimate_pooled_bound(self):
+        # Many equal chains: the pooled makespan dominates on one tile.
+        est1 = completion_estimate_cycles([4] * 12, 16, tiles=1, waves=1)
+        est2 = completion_estimate_cycles([4] * 12, 16, tiles=2, waves=2)
+        assert est2 < est1
+        assert completion_estimate_cycles([], 16) == 0
+        assert completion_estimate_cycles([0, 0], 16) == 0
+
+    def test_speedup_model_headline(self):
+        # 2 tiles x 2 waves: >= 1.5x a single plain array (the CI floor);
+        # the analytic value is 4.0 at l=64.
+        gain = speedup_model(64, tiles=2, waves=2)
+        assert gain >= 1.5
+        assert gain == pytest.approx(4.0, abs=0.01)
+        assert speedup_model(64, tiles=1, waves=1) == pytest.approx(1.0)

@@ -152,6 +152,39 @@ class TestExportUtilizationGauges:
         export_utilization_gauges(reg, OccupancyRecorder())
         assert "hdl.idle_fraction" not in reg
         assert "serving.lane_fill_p50" not in reg
+        assert "chip.tile_busy_fraction" not in reg
+        assert "chip.fifo_depth_p95" not in reg
+        assert "chip.waves_in_flight" not in reg
+
+    def test_chip_health_trio(self):
+        reg = MetricsRegistry()
+        occ = OccupancyRecorder()
+        # chip.tiles: one busy bit per tile; tile0 busy 2/2, tile1 1/2.
+        occ.sample("chip.tiles", 0, 0b11, 2)
+        occ.sample("chip.tiles", 1, 0b01, 2)
+        for depth in (0, 1, 1, 2):
+            reg.histogram("chip.fifo_depth").observe(depth, tile="0", dir="in")
+        for waves in (2, 4, 4, 2):
+            reg.histogram("chip.waves").observe(waves)
+        export_utilization_gauges(reg, occ)
+        snap = reg.snapshot()
+        gauges = {
+            (g["name"], tuple(sorted(g["labels"].items()))): g["value"]
+            for g in snap["gauges"]
+        }
+        assert gauges[("chip.tile_busy_fraction", ())] == 0.75
+        assert gauges[("chip.tile_busy", (("tile", "0"),))] == 1.0
+        assert gauges[("chip.tile_busy", (("tile", "1"),))] == 0.5
+        assert gauges[("chip.waves_in_flight", ())] == 3.0
+        assert ("chip.fifo_depth_p95", ()) in gauges
+        # The CI gate shape: requirements over the exported gauges.
+        assert (
+            check_requirements(
+                snap,
+                ["chip.tile_busy_fraction>=0.5", "chip.waves_in_flight>=2"],
+            )
+            == []
+        )
 
 
 class TestRenderReport:
@@ -175,6 +208,22 @@ class TestRenderReport:
         report = render_report(MetricsRegistry())
         assert report.startswith("=== utilization profile ===")
         assert "cycles by phase" not in report
+        assert "chip health:" not in report
+
+    def test_chip_health_section(self):
+        reg = MetricsRegistry()
+        occ = OccupancyRecorder()
+        occ.sample("chip.tiles", 0, 0b11, 2)
+        occ.sample("chip.tiles", 1, 0b01, 2)
+        reg.histogram("chip.waves").observe(3)
+        reg.histogram("chip.fifo_depth").observe(1, tile="0", dir="in")
+        report = render_report(reg, occ, heatmap_source=None)
+        assert "chip health:" in report
+        assert "tiles=2" in report and "tile0=100.0%" in report
+        assert "waves in flight" in report
+        assert "fifo depth p95" in report
+        assert "occupancy heatmap [chip.tiles]" in report
+        assert "2 tiles" in report
 
 
 class TestPrometheusExposition:

@@ -27,6 +27,7 @@ class TestRegistry:
     def test_default_registry_has_all_engines(self):
         reg = default_registry()
         assert reg.names() == [
+            "chip",
             "crt-rsa",
             "gate",
             "highradix",

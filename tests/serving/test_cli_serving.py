@@ -124,5 +124,13 @@ class TestBackendsCommand:
         out = io.StringIO()
         assert main(["backends"], out=out) == 0
         text = out.getvalue()
-        for name in ("integer", "crt-rsa", "rtl", "gate", "highradix", "scalable"):
+        for name in (
+            "integer",
+            "crt-rsa",
+            "rtl",
+            "gate",
+            "highradix",
+            "scalable",
+            "chip",
+        ):
             assert name in text

@@ -22,10 +22,26 @@ from repro.utils.rng import random_odd_modulus
 REGISTRY = default_registry()
 
 #: vectors per backend; simulators get few (they step every cycle).
-VECTORS = {"integer": 6, "crt-rsa": 4, "highradix": 6, "scalable": 4, "rtl": 3, "gate": 2}
+VECTORS = {
+    "integer": 6,
+    "crt-rsa": 4,
+    "highradix": 6,
+    "scalable": 4,
+    "rtl": 3,
+    "gate": 2,
+    "chip": 2,
+}
 
 #: modulus bit length per backend (simulators stay tiny).
-BITS = {"integer": 96, "crt-rsa": 48, "highradix": 80, "scalable": 56, "rtl": 12, "gate": 7}
+BITS = {
+    "integer": 96,
+    "crt-rsa": 48,
+    "highradix": 80,
+    "scalable": 56,
+    "rtl": 12,
+    "gate": 7,
+    "chip": 10,
+}
 
 
 def _vectors(name: str) -> list:

@@ -1,0 +1,119 @@
+"""Seeded workload generator: determinism, skew, bursts, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.wire import parse_request_line, request_to_json
+from repro.serving.workload import WorkloadConfig, generate_workload
+
+
+def _cfg(**kw) -> WorkloadConfig:
+    base = dict(requests=120, keys=5, bits=(12, 16), zipf_s=1.2)
+    base.update(kw)
+    return WorkloadConfig(**base)
+
+
+class TestConfigScreen:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"requests": -1},
+            {"keys": 0},
+            {"bits": ()},
+            {"bits": (3,)},
+            {"zipf_s": -0.1},
+            {"exponent_bits": ()},
+            {"f4_share": 1.5},
+            {"rate": 0.0},
+            {"burst_factor": 0.5},
+            {"burst_every": 0.0},
+            {"burst_len": 2.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kw):
+        with pytest.raises(ParameterError):
+            _cfg(**kw)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_workload(_cfg(), seed="t")
+        b = generate_workload(_cfg(), seed="t")
+        assert [r.__dict__ for r in a.requests] == [
+            r.__dict__ for r in b.requests
+        ]
+        assert a.keyring == b.keyring and a.arrivals == b.arrivals
+
+    def test_different_seed_different_trace(self):
+        a = generate_workload(_cfg(), seed="t1")
+        b = generate_workload(_cfg(), seed="t2")
+        assert a.keyring != b.keyring
+
+    def test_key_k_stable_under_other_knobs(self):
+        # Key derivation is per-(seed, rank, bits): changing the request
+        # count or skew must not reshuffle the keyring.
+        a = generate_workload(_cfg(requests=10), seed="t")
+        b = generate_workload(_cfg(requests=500, zipf_s=0.1), seed="t")
+        assert a.keyring == b.keyring
+
+
+class TestShape:
+    def test_zipf_rank_zero_is_hottest(self):
+        w = generate_workload(_cfg(requests=400), seed="skew")
+        hist = w.key_histogram()
+        counts = [hist[n] for n in w.keyring]
+        assert counts[0] == max(counts)
+        assert counts[0] > 2 * counts[-1]
+
+    def test_modulus_widths_cycle_over_bits(self):
+        w = generate_workload(_cfg(), seed="widths")
+        widths = [n.bit_length() for n in w.keyring]
+        assert widths == [12, 16, 12, 16, 12]
+
+    def test_f4_share(self):
+        w = generate_workload(_cfg(requests=400, f4_share=0.5), seed="f4")
+        share = sum(1 for r in w.requests if r.exponent == 65537) / 400
+        assert 0.4 < share < 0.6
+        none = generate_workload(_cfg(f4_share=0.0), seed="f4")
+        assert all(r.exponent != 65537 or r.exponent.bit_length() in (8, 16)
+                   for r in none.requests)
+
+    def test_exponent_sizes_come_from_config(self):
+        w = generate_workload(_cfg(exponent_bits=(6,)), seed="e")
+        assert all(r.exponent.bit_length() == 6 for r in w.requests)
+
+    def test_arrivals_monotone_and_in_deadline(self):
+        w = generate_workload(_cfg(), seed="arr")
+        assert all(b > a for a, b in zip(w.arrivals, w.arrivals[1:]))
+        assert [r.deadline for r in w.requests] == w.arrivals
+
+    def test_bursts_compress_interarrivals(self):
+        calm = generate_workload(_cfg(requests=600), seed="b")
+        bursty = generate_workload(
+            _cfg(requests=600, burst_factor=8.0, burst_every=0.5, burst_len=0.25),
+            seed="b",
+        )
+        # Same request count arrives in less simulated time under bursts.
+        assert bursty.arrivals[-1] < calm.arrivals[-1]
+
+
+class TestWireCompat:
+    def test_round_trip_through_wire_format(self):
+        w = generate_workload(_cfg(requests=10), seed="wire")
+        for req in w.requests:
+            back = parse_request_line(request_to_json(req))
+            assert (back.base, back.exponent, back.modulus) == (
+                req.base,
+                req.exponent,
+                req.modulus,
+            )
+            assert back.request_id == req.request_id
+            assert back.deadline == req.deadline
+
+    def test_summary_rows_cover_keyring(self):
+        w = generate_workload(_cfg(requests=50), seed="sum")
+        rows = w.summary_rows()
+        assert len(rows) == 5
+        assert sum(row[2] for row in rows) == 50
