@@ -16,13 +16,20 @@ Two phases against :class:`repro.serving.ModExpService`:
    after the cooldown, clean traffic drives it half-open → closed,
    demonstrating shed-and-recover.
 
+3. **Black box** — register-level SEUs through the gate-level backend
+   with the flight recorder armed: chaos flips real DFBs mid-
+   multiplication, every strike freezes a black-box window, and the
+   post-mortem bundles (VCD + JSON context) land in ``argv[2]``
+   (default ``chaos_dumps``) for CI to upload as artifacts.
+
 The final metrics snapshot goes to the path given as ``argv[1]``
 (default ``chaos_metrics.json``) for ``repro obs diff --require`` gates:
 
-    python examples/chaos_drill.py out.json
+    python examples/chaos_drill.py out.json dumps/
     python -m repro obs diff out.json \
         --require 'serving.faults_detected>0' \
-        --require 'serving.silent_corruptions==0'
+        --require 'serving.silent_corruptions==0' \
+        --require 'hdl.flightrec_dumps>0'
 """
 
 import sys
@@ -124,19 +131,67 @@ def breaker_storm() -> None:
         raise SystemExit("drill FAILED: breaker did not trip and recover")
 
 
+def black_box(dump_dir: str) -> None:
+    """Phase 3: register SEUs leave replayable post-mortem bundles."""
+    from repro.observability.flightrec import PostMortemBundle, find_bundles
+
+    n = 1021  # the gate backend runs real netlists; keep l small
+    requests = [
+        ModExpRequest(3 + i, 17, n, request_id=f"r{i}") for i in range(50)
+    ]
+    with ModExpService(
+        backend="gate",
+        workers=1,
+        worker_kind="inline",
+        chaos=ChaosConfig(
+            seed=0,  # draws bit-flips on r4/r13/r25; retries run clean
+            bitflip_rate=0.05,
+            register_faults=True,
+            flightrec_dir=dump_dir,
+        ),
+        verify=VerifyPolicy(mode="full"),
+        retry=RetryPolicy(max_attempts=5, backoff_s=0.0),
+    ) as service:
+        results = service.process(requests)
+
+    wrong = [
+        (i, r) for i, r in enumerate(results)
+        if not r.ok or r.value != pow(3 + i, 17, n)
+    ]
+    bundles = find_bundles(dump_dir)
+    print(
+        f"phase 3 — black box: {len(requests)} requests through the "
+        f"gate-level netlist, {len(bundles)} post-mortem bundle(s) -> "
+        f"{dump_dir}"
+    )
+    if wrong or not bundles:
+        raise SystemExit(
+            f"drill FAILED: {len(wrong)} bad results, {len(bundles)} bundles"
+        )
+    newest = PostMortemBundle.load(bundles[-1])
+    print(
+        f"  newest: req {newest.meta.get('request_id')} — "
+        f"{newest.meta.get('cause')} at cycle {newest.meta.get('trigger_cycle')}"
+    )
+
+
 def main() -> None:
     metrics_out = sys.argv[1] if len(sys.argv) > 1 else "chaos_metrics.json"
+    dump_dir = sys.argv[2] if len(sys.argv) > 2 else "chaos_dumps"
     registry = MetricsRegistry()
     with observe(metrics=registry):
         chaos_batch()
         breaker_storm()
+        black_box(dump_dir)
     registry.write_json(metrics_out)
     detected = registry.counter("serving.faults_detected").total()
     retries = registry.counter("serving.retries").total()
     restarts = registry.counter("serving.worker_restarts").total()
+    dumps = registry.counter("hdl.flightrec_dumps").total()
     print(
         f"drill PASSED: {detected} corruption(s) detected, {retries} "
-        f"retries, {restarts} worker restart(s); metrics -> {metrics_out}"
+        f"retries, {restarts} worker restart(s), {dumps} flight-recorder "
+        f"dump(s); metrics -> {metrics_out}"
     )
 
 

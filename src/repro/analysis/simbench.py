@@ -41,6 +41,10 @@ class SimBenchResult:
     compile_s: Optional[float] = None
     #: wall milliseconds of one whole K-lane batch
     lane_batch_ms: Optional[float] = None
+    #: the same K-lane batch with the flight recorder armed, milliseconds
+    flightrec_batch_ms: Optional[float] = None
+    #: relative capture cost of the armed recorder on the lane batch, %
+    flightrec_overhead_pct: Optional[float] = None
 
     def speedup(self, engine: str) -> Optional[float]:
         """Throughput multiple of ``engine`` over the interpreted baseline."""
@@ -75,6 +79,8 @@ class SimBenchResult:
             ms_per_mult={k: float(v) for k, v in data["ms_per_mult"].items()},
             compile_s=data.get("compile_s"),
             lane_batch_ms=data.get("lane_batch_ms"),
+            flightrec_batch_ms=data.get("flightrec_batch_ms"),
+            flightrec_overhead_pct=data.get("flightrec_overhead_pct"),
         )
 
     def as_json(self) -> Dict[str, object]:
@@ -87,6 +93,8 @@ class SimBenchResult:
             "repeat": self.repeat,
             "compile_s": self.compile_s,
             "lane_batch_ms": self.lane_batch_ms,
+            "flightrec_batch_ms": self.flightrec_batch_ms,
+            "flightrec_overhead_pct": self.flightrec_overhead_pct,
             "ms_per_mult": dict(self.ms_per_mult),
             "speedups": {
                 name: self.speedup(name)
@@ -124,6 +132,7 @@ def measure_engines(
     repeat: int = 3,
     engines: Sequence[str] = ("interpreted", "compiled"),
     seed: object = "simbench",
+    flightrec: bool = False,
 ) -> SimBenchResult:
     """Compare simulator engines on the full MMMC netlist at width ``l``.
 
@@ -132,6 +141,11 @@ def measure_engines(
     selected and ``lanes > 1``.  Identical seeded operands drive every
     engine, and the results are cross-checked against each other and the
     cycle formula as they are produced.
+
+    ``flightrec=True`` re-times the lane batch with an armed (but never
+    triggered) flight-recorder hub — the black box samples every probe
+    every cycle — and reports the capture cost as
+    ``flightrec_overhead_pct`` relative to the disarmed batch.
     """
     from repro.systolic.mmmc_netlist import GateLevelMMMC
 
@@ -173,6 +187,28 @@ def measure_engines(
         batch_s = _best_of(repeat, lambda: vec.multiply_lanes(xs, ys, ns))
         result.lane_batch_ms = batch_s * 1e3
         result.ms_per_mult["compiled+lanes"] = batch_s * 1e3 / lanes
+
+        if flightrec:
+            from repro.observability.flightrec import FlightRecorderHub, armed
+
+            # No dump dir and no triggers: the recorder runs its hot path
+            # (one capture + ring append per cycle) but never freezes, so
+            # this isolates the per-cycle sampling cost.
+            # ring_stride=4 mirrors the serving black-box config
+            # (ChaosConfig.flightrec_stride): decimated pre-trigger
+            # ring, dense post-trigger window.
+            hub = FlightRecorderHub(
+                dump_dir=None, fire_on_fault=True, ring_stride=4
+            )
+            with armed(hub):
+                vec.multiply_lanes(xs, ys, ns)  # warmup with taps live
+                armed_s = _best_of(
+                    repeat, lambda: vec.multiply_lanes(xs, ys, ns)
+                )
+            result.flightrec_batch_ms = armed_s * 1e3
+            result.flightrec_overhead_pct = (
+                (armed_s - batch_s) / batch_s * 100.0
+            )
 
     if len(values) > 1 and len(set(values.values())) != 1:
         raise AssertionError(f"engines disagree at l={l}: {values}")

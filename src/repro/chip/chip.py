@@ -27,6 +27,7 @@ from collections import deque
 from typing import Deque, Iterable, List, Optional, Union
 
 from repro.errors import ParameterError, SimulationError
+from repro.hdl.probes import ProbeSet
 from repro.observability import OBS
 from repro.chip.dispatch import Dispatcher, make_dispatcher
 from repro.chip.interleave import MMMOp, WaveOutcome
@@ -73,6 +74,9 @@ class ChipModel:
         self.cycle = 0
         self.submitted = 0
         self.retired = 0
+        # Flight-recorder state: (hub, per-tile recorders, chip black box),
+        # built lazily on the first step with an armed OBS.flightrec hub.
+        self._flightrec = None
 
     # ------------------------------------------------------------------
     # Work intake / results
@@ -115,6 +119,74 @@ class ChipModel:
         return out
 
     # ------------------------------------------------------------------
+    # Flight recorder (per-tile black boxes + chip-level fan-in)
+    # ------------------------------------------------------------------
+    def _flightrec_setup(self):
+        """Build per-tile recorders + the chip black box when a hub is armed.
+
+        Each tile gets its own bounded recorder over its health signals
+        (FIFO depths, stage register, in-flight waves); the chip-level box
+        samples the aggregate (busy-tile mask, waves, backlog).  Any tile
+        trigger fans in: it freezes the chip box too, so a post-mortem
+        shows both the offending tile's window and the chip-wide picture
+        around the same cycle.
+        """
+        hub = OBS.flightrec
+        if hub is None or not hub.armed:
+            self._flightrec = None
+            return None
+        if self._flightrec is not None and self._flightrec[0] is hub:
+            return self._flightrec
+        tile_recs = []
+        for i, tile in enumerate(self.tiles):
+            ps = ProbeSet.from_values(tile.probe_layout())
+            tile_recs.append(
+                hub.new_recorder(
+                    ps.names,
+                    ps.widths,
+                    ps.decode,
+                    meta={"scope": f"tile{i}", "tile": i, "l": self.l, "engine": self.engine},
+                )
+            )
+        chip_ps = ProbeSet.from_values(
+            [("tiles", len(self.tiles)), ("waves", 8), ("backlog", 16)]
+        )
+        chip_rec = hub.new_recorder(
+            chip_ps.names,
+            chip_ps.widths,
+            chip_ps.decode,
+            meta={"scope": "chip", "tiles": len(self.tiles), "l": self.l, "engine": self.engine},
+        )
+        self._flightrec = (hub, tile_recs, chip_rec)
+        return self._flightrec
+
+    def notify_fault(self, tile_index: int, cause: str) -> None:
+        """Route a fault event into the tile's recorder (and fan in)."""
+        fr = self._flightrec_setup()
+        if fr is None:
+            return
+        _, tile_recs, chip_rec = fr
+        rec = tile_recs[tile_index] if 0 <= tile_index < len(tile_recs) else None
+        if rec is not None:
+            rec.notify_fault(self.cycle, cause)
+        if chip_rec is not None:
+            chip_rec.notify_fault(self.cycle, f"tile{tile_index}: {cause}")
+
+    def flightrec_flush(self):
+        """Emit every triggered recorder's bundle; returns the paths."""
+        fr = self._flightrec
+        if fr is None:
+            return []
+        hub, tile_recs, chip_rec = fr
+        paths = []
+        for rec in list(tile_recs) + [chip_rec]:
+            path = hub.emit(rec, cycles=self.cycle)
+            if path is not None:
+                paths.append(path)
+        self._flightrec = None
+        return paths
+
+    # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -126,6 +198,28 @@ class ChipModel:
             tile.step()
             if tile.array.last_step_active:
                 mask |= 1 << i
+        fr = self._flightrec_setup()
+        if fr is not None:
+            _, tile_recs, chip_rec = fr
+            fired = None
+            for i, tile in enumerate(self.tiles):
+                rec = tile_recs[i]
+                if rec is not None:
+                    if rec.wants_sample(self.cycle):
+                        rec.sample(self.cycle, tile.probe_values())
+                    if rec.triggered and fired is None:
+                        fired = (i, rec.cause)
+            if chip_rec is not None:
+                if chip_rec.wants_sample(self.cycle):
+                    chip_rec.sample(
+                        self.cycle, (mask, self.waves_in_flight, len(self.backlog))
+                    )
+                if fired is not None and not chip_rec.triggered:
+                    # Trigger fan-in: the first tile trigger freezes the
+                    # chip-level black box at the same shared-clock cycle.
+                    chip_rec.notify_fault(
+                        self.cycle, f"tile{fired[0]} trigger: {fired[1]}"
+                    )
         if OBS.enabled:
             occ = OBS.occupancy
             if occ is not None:
@@ -159,11 +253,13 @@ class ChipModel:
             self.step()
             out.extend(self.collect())
             if self.cycle > limit:
+                self.flightrec_flush()
                 raise SimulationError(
                     f"chip did not drain within {limit} cycles: "
                     f"{len(self.backlog)} backlogged, "
                     f"{self.waves_in_flight} waves in flight"
                 )
+        self.flightrec_flush()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -107,6 +107,36 @@ class Tile:
             if self._stage or not self.out_fifo.push(stamped):
                 self._stage.append(stamped)
 
+    # ------------------------------------------------------------------
+    # Flight-recorder probes
+    # ------------------------------------------------------------------
+    def probe_layout(self):
+        """``(name, bit_width)`` pairs describing :meth:`probe_values`.
+
+        The chip-level flight recorder samples these per shared-clock
+        cycle: FIFO depths, the backpressure stage register, in-flight
+        waves and the busy flag — the tile-health signals a logic analyzer
+        on the dispatch fabric would watch.
+        """
+        depth_bits = max(self.in_fifo.capacity.bit_length(), 1)
+        return [
+            ("in_fifo", depth_bits),
+            ("out_fifo", depth_bits),
+            ("stage", depth_bits),
+            ("inflight", max(self.array.waves.bit_length(), 1)),
+            ("busy", 1),
+        ]
+
+    def probe_values(self):
+        """One flat per-cycle sample of the tile's health signals."""
+        return (
+            len(self.in_fifo),
+            len(self.out_fifo),
+            len(self._stage),
+            self.array.in_flight,
+            1 if self.busy else 0,
+        )
+
     def drain_results(self) -> List[WaveOutcome]:
         """Consumer entry point: pop every result, in retirement order.
 

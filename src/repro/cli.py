@@ -487,6 +487,19 @@ def build_parser() -> argparse.ArgumentParser:
         "the table); benchmarks/bench_compiled_sim.py runs the timing "
         "through this in a clean interpreter",
     )
+    bs.add_argument(
+        "--flightrec",
+        action="store_true",
+        help="also time the lane batch with an armed flight-recorder "
+        "black box and report the capture overhead",
+    )
+    bs.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot (hdl.flightrec_overhead_pct gauge "
+        "etc.) for `repro obs diff --require` gating",
+    )
 
     prof = sub.add_parser(
         "profile",
@@ -651,6 +664,102 @@ def build_parser() -> argparse.ArgumentParser:
         "--once",
         action="store_true",
         help="render a single frame and exit (same as --count 1)",
+    )
+    top.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="one-shot mode: scrape once and print the dashboard stats "
+        "as a JSON object (implies --once; for scripts and CI)",
+    )
+
+    prb = sub.add_parser(
+        "probe",
+        help="triggered logic-analyzer run: arm the flight recorder over "
+        "one multiplication and dump the capture window",
+    )
+    prb.add_argument("--l", type=int, default=8, help="operand bit length")
+    prb.add_argument(
+        "--engine",
+        choices=("interpreted", "compiled", "rtl"),
+        default="interpreted",
+        help="simulation substrate carrying the probes",
+    )
+    prb.add_argument(
+        "--arch", choices=("corrected", "paper"), default="corrected"
+    )
+    prb.add_argument("--x", type=int, default=None, help="operand X (seeded if omitted)")
+    prb.add_argument("--y", type=int, default=None, help="operand Y (seeded if omitted)")
+    prb.add_argument("--n", type=int, default=None, help="odd modulus (seeded if omitted)")
+    prb.add_argument("--seed", type=int, default=0)
+    prb.add_argument(
+        "--trigger",
+        action="append",
+        default=None,
+        metavar="EXPR",
+        help="trigger expression: 'fault', 'cycle==12', 'cycle in 8:20', "
+        "'done==1', 't changed' (repeatable; default: 'done==1', which "
+        "freezes the window at the end of the run)",
+    )
+    prb.add_argument(
+        "--pre", type=int, default=64, help="pre-trigger window, cycles"
+    )
+    prb.add_argument(
+        "--post", type=int, default=8, help="post-trigger window, cycles"
+    )
+    prb.add_argument(
+        "--flip",
+        default=None,
+        metavar="REG:INDEX@CYCLE",
+        help="inject an SEU, e.g. 't:3@11' flips T register bit 3 after "
+        "cycle 11's edge (netlist engines only); faults fire the "
+        "recorder, so combine with --trigger fault or rely on the default "
+        "fire-on-fault behavior",
+    )
+    prb.add_argument(
+        "--vcd", default=None, metavar="PATH", help="write the window as VCD"
+    )
+    prb.add_argument(
+        "--dump-dir",
+        default=None,
+        metavar="DIR",
+        help="also emit a full post-mortem bundle into this directory",
+    )
+    prb.add_argument(
+        "--signals",
+        default=None,
+        help="comma-separated signal subset for the ASCII diagram",
+    )
+
+    pm = sub.add_parser(
+        "postmortem",
+        help="inspect a flight-recorder post-mortem bundle (meta, trigger, "
+        "capture window)",
+    )
+    pm.add_argument(
+        "path",
+        help="bundle directory (or its meta.json), or a dump directory "
+        "to search with --request-id / latest",
+    )
+    pm.add_argument(
+        "--request-id",
+        default=None,
+        help="pick the newest bundle for this request id when PATH is a "
+        "dump directory",
+    )
+    pm.add_argument(
+        "--signals",
+        default=None,
+        help="comma-separated signal subset for the waveform diagram",
+    )
+    pm.add_argument(
+        "--vcd", default=None, metavar="PATH", help="re-export the window VCD"
+    )
+    pm.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="print the bundle metadata as JSON instead of the report",
     )
     return p
 
@@ -1143,8 +1252,26 @@ def _cmd_bench_sim(args, out) -> int:
         ("interpreted", "compiled") if args.engine == "both" else (args.engine,)
     )
     result = measure_engines(
-        args.l, lanes=args.lanes, repeat=args.repeat, engines=engines
+        args.l,
+        lanes=args.lanes,
+        repeat=args.repeat,
+        engines=engines,
+        flightrec=args.flightrec,
     )
+    if args.metrics_out:
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        if result.lane_batch_ms is not None:
+            registry.gauge("hdl.lane_batch_ms").set(result.lane_batch_ms)
+        if result.flightrec_overhead_pct is not None:
+            registry.gauge("hdl.flightrec_overhead_pct").set(
+                result.flightrec_overhead_pct
+            )
+            registry.gauge("hdl.flightrec_batch_ms").set(
+                result.flightrec_batch_ms
+            )
+        registry.write_json(args.metrics_out)
     if args.json_out == "-":
         json.dump(result.as_json(), out)
         out.write("\n")
@@ -1168,6 +1295,13 @@ def _cmd_bench_sim(args, out) -> int:
         out.write(
             f"[one-off netlist build + kernel codegen: {result.compile_s:.3f}s"
             " (amortized by the structural-key cache)]\n"
+        )
+    if result.flightrec_overhead_pct is not None:
+        out.write(
+            f"[flight recorder armed on the {result.lanes}-lane batch: "
+            f"{result.flightrec_batch_ms:.3f} ms vs "
+            f"{result.lane_batch_ms:.3f} ms disarmed = "
+            f"{result.flightrec_overhead_pct:+.2f}% capture overhead]\n"
         )
     return 0
 
@@ -1419,6 +1553,99 @@ def _cmd_loadgen(args, out) -> int:
     return 0
 
 
+def _mx_total(metrics, name: str, **labels) -> float:
+    """Sum a scraped metric over its label series (with label filters)."""
+    entry = metrics.get(name)
+    if not entry:
+        return 0.0
+    return sum(
+        v
+        for lb, v in entry["samples"]
+        if all(lb.get(k) == str(w) for k, w in labels.items())
+    )
+
+
+def _mx_mean(metrics, base: str):
+    count = _mx_total(metrics, base + "_count")
+    return (_mx_total(metrics, base + "_sum") / count) if count else None
+
+
+def _mx_pctl(metrics, base: str, q: float):
+    """Percentile from the cumulative ``_bucket`` series (merged)."""
+    entry = metrics.get(base + "_bucket")
+    if not entry:
+        return None
+    cum: dict = {}
+    for lb, v in entry["samples"]:
+        le = lb.get("le")
+        if le is None:
+            continue
+        bound = float("inf") if le == "+Inf" else float(le)
+        cum[bound] = cum.get(bound, 0.0) + v
+    bounds = sorted(cum)
+    if not bounds or cum[bounds[-1]] <= 0:
+        return None
+    rank = cum[bounds[-1]] * q / 100.0
+    lower = 0.0
+    prev = 0.0
+    for bound in bounds:
+        if cum[bound] >= rank:
+            if bound == float("inf"):
+                return lower
+            span = cum[bound] - prev
+            frac = (rank - prev) / span if span else 1.0
+            return lower + frac * (bound - lower)
+        prev = cum[bound]
+        lower = bound if bound != float("inf") else lower
+    return bounds[-1]
+
+
+def _top_summary(metrics) -> dict:
+    """The ``repro top`` dashboard stats as one JSON-friendly object."""
+    per_worker: dict = {}
+    busy = metrics.get("serving_worker_busy_us_total")
+    if busy:
+        for lb, v in busy["samples"]:
+            worker = lb.get("worker", "?")
+            per_worker[worker] = per_worker.get(worker, 0.0) + v
+    summary = {
+        "requests": {
+            status: _mx_total(metrics, "serving_requests_total", status=status)
+            for status in ("completed", "failed", "rejected", "timeout")
+        },
+        "queue": {
+            "depth": _mx_total(metrics, "serving_queue_depth"),
+            "scheduler": _mx_total(metrics, "serving_scheduler_depth"),
+            "wait_p50_us": _mx_pctl(metrics, "serving_queue_wait_us", 50),
+        },
+        "cycles": {
+            "mean": _mx_mean(metrics, "serving_request_cycles"),
+            "p95": _mx_pctl(metrics, "serving_request_cycles", 95),
+        },
+        "lane_fill": {
+            "mean": _mx_mean(metrics, "hdl_lane_fill"),
+            "p50": _mx_pctl(metrics, "hdl_lane_fill", 50),
+            "wasted_lane_cycles": _mx_total(
+                metrics, "hdl_wasted_lane_cycles_total"
+            ),
+        },
+        "slo_violations": _mx_total(metrics, "serving_slo_violations_total"),
+        "array_idle_fraction": _mx_total(metrics, "hdl_idle_fraction"),
+        "faults": {
+            "detected": _mx_total(metrics, "serving_faults_detected_total"),
+            "flightrec_dumps": _mx_total(metrics, "hdl_flightrec_dumps_total"),
+        },
+        "worker_busy_us": per_worker,
+    }
+    if metrics.get("chip_tile_busy_fraction"):
+        summary["chip"] = {
+            "tile_busy_fraction": _mx_total(metrics, "chip_tile_busy_fraction"),
+            "waves_in_flight": _mx_total(metrics, "chip_waves_in_flight"),
+            "fifo_depth_p95": _mx_total(metrics, "chip_fifo_depth_p95"),
+        }
+    return summary
+
+
 def _render_top_frame(url: str, text: str) -> str:
     """One dashboard frame over a scraped Prometheus exposition."""
     from repro.observability.metrics import parse_prometheus_text
@@ -1426,47 +1653,13 @@ def _render_top_frame(url: str, text: str) -> str:
     metrics = parse_prometheus_text(text)
 
     def total(name: str, **labels) -> float:
-        entry = metrics.get(name)
-        if not entry:
-            return 0.0
-        return sum(
-            v
-            for lb, v in entry["samples"]
-            if all(lb.get(k) == str(w) for k, w in labels.items())
-        )
+        return _mx_total(metrics, name, **labels)
 
     def mean(base: str):
-        count = total(base + "_count")
-        return (total(base + "_sum") / count) if count else None
+        return _mx_mean(metrics, base)
 
     def pctl(base: str, q: float):
-        """Percentile from the cumulative ``_bucket`` series (merged)."""
-        entry = metrics.get(base + "_bucket")
-        if not entry:
-            return None
-        cum: dict = {}
-        for lb, v in entry["samples"]:
-            le = lb.get("le")
-            if le is None:
-                continue
-            bound = float("inf") if le == "+Inf" else float(le)
-            cum[bound] = cum.get(bound, 0.0) + v
-        bounds = sorted(cum)
-        if not bounds or cum[bounds[-1]] <= 0:
-            return None
-        rank = cum[bounds[-1]] * q / 100.0
-        lower = 0.0
-        prev = 0.0
-        for bound in bounds:
-            if cum[bound] >= rank:
-                if bound == float("inf"):
-                    return lower
-                span = cum[bound] - prev
-                frac = (rank - prev) / span if span else 1.0
-                return lower + frac * (bound - lower)
-            prev = cum[bound]
-            lower = bound if bound != float("inf") else lower
-        return bounds[-1]
+        return _mx_pctl(metrics, base, q)
 
     def fmt(value, digits: int = 0) -> str:
         return "-" if value is None else f"{value:.{digits}f}"
@@ -1541,7 +1734,7 @@ def _cmd_top(args, out) -> int:
     url = args.url.rstrip("/")
     if not url.endswith("/metrics"):
         url += "/metrics"
-    count = 1 if args.once else args.count
+    count = 1 if (args.once or args.json_out) else args.count
     frames = 0
     try:
         while True:
@@ -1552,6 +1745,14 @@ def _cmd_top(args, out) -> int:
                 out.write(f"repro top: cannot scrape {url}: {exc}\n")
                 return 1
             frames += 1
+            if args.json_out:
+                from repro.observability.metrics import parse_prometheus_text
+
+                summary = _top_summary(parse_prometheus_text(text))
+                summary["url"] = url
+                json.dump(summary, out, indent=2, sort_keys=True)
+                out.write("\n")
+                return 0
             if frames > 1:
                 out.write("\x1b[2J\x1b[H")  # clear screen between frames
             out.write(_render_top_frame(url, text))
@@ -1560,6 +1761,148 @@ def _cmd_top(args, out) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+
+
+def _parse_flip(spec: str):
+    """Parse ``REG:INDEX@CYCLE`` into a FaultSite."""
+    from repro.analysis.fault import FaultSite
+
+    try:
+        reg_part, cycle_txt = spec.rsplit("@", 1)
+        reg, index_txt = reg_part.split(":", 1)
+        return FaultSite(
+            cycle=int(cycle_txt), register=reg.strip(), index=int(index_txt)
+        )
+    except ValueError:
+        raise ValueError(
+            f"--flip wants REG:INDEX@CYCLE (e.g. 't:3@11'), got {spec!r}"
+        ) from None
+
+
+def _cmd_probe(args, out) -> int:
+    import random
+
+    from repro.observability.flightrec import FlightRecorderHub, armed
+    from repro.utils.rng import random_odd_modulus
+
+    rng = random.Random(args.seed)
+    n = args.n if args.n is not None else random_odd_modulus(args.l, rng)
+    x = args.x if args.x is not None else rng.randrange(n)
+    y = args.y if args.y is not None else rng.randrange(n)
+    triggers = list(args.trigger or ["done==1"])
+    signals = args.signals.split(",") if args.signals else None
+
+    flip = None
+    if args.flip is not None:
+        try:
+            flip = _parse_flip(args.flip)
+        except ValueError as exc:
+            out.write(f"repro probe: {exc}\n")
+            return 2
+        if args.engine == "rtl":
+            out.write(
+                "repro probe: --flip needs a netlist engine "
+                "(interpreted or compiled)\n"
+            )
+            return 2
+
+    hub = FlightRecorderHub(
+        dump_dir=args.dump_dir,
+        pre=args.pre,
+        post=args.post,
+        triggers=triggers,
+        fire_on_fault=True,
+    )
+    if args.engine == "rtl":
+        # The behavioral array: attach a recorder over its register file
+        # directly (``done`` is not in the RTL probe set — trigger on
+        # ``cycle``/register signals instead, or the run-end flush).
+        from repro.hdl.probes import ProbeSet
+        from repro.systolic.array import SystolicArrayRTL
+
+        arr = SystolicArrayRTL(args.l, mode=args.arch)
+        ps = ProbeSet.from_values(arr.probe_layout())
+        rec = hub.new_recorder(
+            ps.names, ps.widths, ps.decode,
+            meta={"l": args.l, "mode": args.arch, "engine": "rtl"},
+        )
+        arr.attach_flight_recorder(rec)
+        run = arr.run_multiplication(x, y, n)
+        result, cycles = run.value, run.total_cycles
+        if not rec.triggered:
+            # No trigger fired: freeze whatever the ring holds so the
+            # window is still inspectable (a plain logic-analyzer stop).
+            rec.notify_fault(arr.cycle - 1, "probe run ended (no trigger)")
+        hub.emit(rec, cycles=cycles)
+    else:
+        from repro.systolic.mmmc_netlist import GateLevelMMMC
+
+        with armed(hub):
+            sim = GateLevelMMMC(args.l, mode=args.arch, simulator=args.engine)
+            if flip is not None:
+                sim.schedule_fault(flip)
+            rec_run = sim.multiply(x, y, n)
+        result, cycles = rec_run.result, rec_run.cycles
+        if hub.last_bundle is None:
+            out.write(
+                f"probe: trigger {triggers!r} never fired over {cycles} "
+                f"cycles (result {result})\n"
+            )
+            return 1
+
+    bundle = hub.last_bundle
+    window = bundle.window
+    out.write(
+        f"probe: l={args.l} engine={args.engine} x={x} y={y} n={n} "
+        f"-> result {result} in {cycles} cycles\n"
+    )
+    out.write(
+        f"trigger: {window.cause!r} at cycle {window.trigger_cycle} "
+        f"(window {window.cycles[0]}..{window.cycles[-1]}, "
+        f"{len(window.cycles)} samples)\n\n"
+    )
+    out.write(window.ascii_diagram(signals) + "\n")
+    if args.vcd:
+        with open(args.vcd, "w") as fh:
+            fh.write(window.to_vcd())
+        out.write(f"[window VCD written to {args.vcd}]\n")
+    if bundle.path:
+        out.write(f"[post-mortem bundle: {bundle.path}]\n")
+    return 0
+
+
+def _cmd_postmortem(args, out) -> int:
+    import os
+
+    from repro.observability.flightrec import PostMortemBundle, find_bundles
+
+    path = args.path
+    if os.path.isdir(path) and not os.path.exists(
+        os.path.join(path, PostMortemBundle.META_FILE)
+    ):
+        # A dump directory: pick by request id, or the newest bundle.
+        found = find_bundles(path, args.request_id)
+        if not found:
+            what = f"request {args.request_id!r}" if args.request_id else "any bundle"
+            out.write(f"repro postmortem: no bundle for {what} in {path}\n")
+            return 1
+        path = found[-1]
+    try:
+        bundle = PostMortemBundle.load(path)
+    except (OSError, ValueError, KeyError) as exc:
+        out.write(f"repro postmortem: cannot load bundle at {path}: {exc}\n")
+        return 2
+    if args.json_out:
+        json.dump(bundle.meta, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        signals = args.signals.split(",") if args.signals else None
+        out.write(bundle.render(signals) + "\n")
+    if args.vcd:
+        with open(args.vcd, "w") as fh:
+            fh.write(bundle.window.to_vcd())
+        out.write(f"[window VCD written to {args.vcd}]\n")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -1599,6 +1942,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_loadgen(args, out)
     if args.command == "top":
         return _cmd_top(args, out)
+    if args.command == "probe":
+        return _cmd_probe(args, out)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args, out)
     if args.command == "report":
         from repro.analysis.report import generate_report
 

@@ -81,11 +81,19 @@ class FaultDetected(ServingError):
     specific check that fired (``"range"``, ``"residue"``,
     ``"walter-bound"``, ...), so the ``serving.faults_detected`` counter
     can be labelled by detection mechanism.
+
+    ``bundle_path``, when set by the serving layer, points at the
+    flight-recorder post-mortem bundle captured for the faulting
+    execution (see :mod:`repro.observability.flightrec`) — the
+    signal-level evidence that goes with this detection.
     """
 
-    def __init__(self, message: str, *, check: str = "unknown") -> None:
+    def __init__(
+        self, message: str, *, check: str = "unknown", bundle_path: str | None = None
+    ) -> None:
         super().__init__(message)
         self.check = check
+        self.bundle_path = bundle_path
 
 
 class InjectedFault(ServingError):

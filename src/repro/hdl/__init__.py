@@ -25,7 +25,8 @@ from repro.hdl.registers import (
     equality_comparator,
 )
 from repro.hdl.census import GateCensus, census
-from repro.hdl.waveform import WaveformRecorder
+from repro.hdl.probes import ProbeSet, make_sampler, mmmc_probe_set
+from repro.hdl.waveform import ParsedVCD, WaveformRecorder, parse_vcd, vcd_id
 
 __all__ = [
     "Circuit",
@@ -43,5 +44,11 @@ __all__ = [
     "equality_comparator",
     "GateCensus",
     "census",
+    "ProbeSet",
+    "make_sampler",
+    "mmmc_probe_set",
+    "ParsedVCD",
     "WaveformRecorder",
+    "parse_vcd",
+    "vcd_id",
 ]

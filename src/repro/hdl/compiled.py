@@ -165,18 +165,20 @@ class CompiledKernel:
         "src",
         "readable",
         "hidden",
+        "probes",
         "num_gates",
         "num_wires",
     )
 
     def __init__(
         self,
-        key: Tuple[str, object],
+        key: Tuple[str, object, Tuple[int, ...]],
         name: str,
         factory,
         src: str,
         readable: FrozenSet[int],
         hidden: FrozenSet[int],
+        probes: Tuple[int, ...],
         num_gates: int,
         num_wires: int,
     ) -> None:
@@ -186,6 +188,7 @@ class CompiledKernel:
         self.src = src
         self.readable = readable
         self.hidden = hidden
+        self.probes = probes
         self.num_gates = num_gates
         self.num_wires = num_wires
 
@@ -435,15 +438,20 @@ def _emit_factory(
     mat_split: FrozenSet[int],
     mat_fused: FrozenSet[int],
     hidden: FrozenSet[int],
+    probes: Tuple[int, ...] = (),
 ) -> str:
     """Generate the kernel-factory source.
 
-    The factory takes the value array and lane mask and returns five
+    The factory takes the value array and lane mask and returns six
     closures: the split ``settle``/``clock`` phase pair, the fused ``step``
     (one full cycle, register inputs consumed straight from the
-    combinational cloud's locals without a value-array round trip), and
+    combinational cloud's locals without a value-array round trip),
     ``load``/``flush`` to move hidden-register state between the closure
-    cells and the value array (reset, pokes of internal state).
+    cells and the value array (reset, pokes of internal state), and
+    ``capture`` — the flight-recorder tap, returning the probed wires'
+    current lane words as one flat tuple.  Hidden register Qs are read
+    straight from their closure cells, so probing costs no materialization
+    and nothing when ``capture`` is never called.
     """
     q_wires = frozenset(f.q for f in circuit.dffs)
 
@@ -525,7 +533,14 @@ def _emit_factory(
     else:
         lines.append(f"{_IND}pass")
 
-    lines.append("    return __settle, __clock, __step, __load, __flush")
+    lines.append("    def __capture():")
+    if probes:
+        toks = ", ".join(qtok(w) for w in probes)
+        lines.append(f"{_IND}return ({toks},)")
+    else:
+        lines.append(f"{_IND}return ()")
+
+    lines.append("    return __settle, __clock, __step, __load, __flush, __capture")
     return "\n".join(lines) + "\n"
 
 
@@ -533,8 +548,9 @@ def _wire_index(w: Union[Wire, int]) -> int:
     return w.index if isinstance(w, Wire) else int(w)
 
 
-def _compile(circuit: Circuit, key: Tuple[str, object]) -> CompiledKernel:
+def _compile(circuit: Circuit, key: Tuple[str, object, Tuple[int, ...]]) -> CompiledKernel:
     wkey = key[1]
+    probes = key[2]
     gate_outputs = frozenset(g.output for g in circuit.gates)
     q_wires = frozenset(f.q for f in circuit.dffs)
     if wkey == "all":
@@ -549,6 +565,10 @@ def _compile(circuit: Circuit, key: Tuple[str, object]) -> CompiledKernel:
         # Registers nobody outside observes stay in closure cells.
         want = set(wkey)
         want.update(circuit.outputs.values())
+        # Probed combinational wires must land in v for __capture to read;
+        # probed register Qs stay hidden (the capture closure reads their
+        # closure cells directly), so probing never changes register layout.
+        want.update(set(probes) - q_wires)
         mat_fused = frozenset(want & gate_outputs)
         hidden = frozenset(q_wires - want)
         for f in circuit.dffs:
@@ -559,7 +579,7 @@ def _compile(circuit: Circuit, key: Tuple[str, object]) -> CompiledKernel:
                 want.add(f.clear)
         mat_split = frozenset(want & gate_outputs)
 
-    src = _emit_factory(circuit, mat_split, mat_fused, hidden)
+    src = _emit_factory(circuit, mat_split, mat_fused, hidden, probes)
     ns: Dict[str, object] = {}
     exec(compile(src, f"<compiled:{circuit.name}>", "exec"), ns)
     # Peekability is advertised for the fused kernel (the fast path); the
@@ -572,6 +592,7 @@ def _compile(circuit: Circuit, key: Tuple[str, object]) -> CompiledKernel:
         src=src,
         readable=readable,
         hidden=hidden,
+        probes=probes,
         num_gates=len(circuit.gates),
         num_wires=circuit.num_wires,
     )
@@ -584,21 +605,26 @@ _CACHE_LOCK = threading.Lock()
 _KERNEL_CACHE: "OrderedDict[Tuple[str, object], CompiledKernel]" = OrderedDict()
 
 
-def compile_kernel(circuit: Circuit, watch: object = ()) -> CompiledKernel:
+def compile_kernel(
+    circuit: Circuit, watch: object = (), probes: Sequence[object] = ()
+) -> CompiledKernel:
     """Fetch (or build) the compiled kernel for ``circuit``.
 
     ``watch`` is either the string ``"all"`` or an iterable of wires/indices
-    that must stay peekable after each settle.  The cache key is
-    ``(circuit.structural_key(), watch signature)`` — the lane count is
-    deliberately *not* part of the key, since kernels take the lane mask at
-    bind time.
+    that must stay peekable after each settle.  ``probes`` is an *ordered*
+    sequence of wires/indices the kernel's ``capture`` closure returns each
+    time it is called (the flight-recorder tap).  The cache key is
+    ``(circuit.structural_key(), watch signature, probe signature)`` — the
+    lane count is deliberately *not* part of the key, since kernels take
+    the lane mask at bind time.
     """
     circuit.validate()
     if watch == "all":
         wkey: object = "all"
     else:
         wkey = frozenset(_wire_index(w) for w in watch)  # type: ignore[union-attr]
-    key = (circuit.structural_key(), wkey)
+    pkey = tuple(_wire_index(w) for w in probes)
+    key = (circuit.structural_key(), wkey, pkey)
     with _CACHE_LOCK:
         kern = _KERNEL_CACHE.get(key)
         if kern is not None:
@@ -681,15 +707,25 @@ class CompiledSimulator:
         ``poke_lanes``/``peek_lanes`` address lanes individually.
     watch:
         Extra wires to keep peekable (see :func:`compile_kernel`).
+    probes:
+        Ordered wires the codegenned ``capture()`` tap returns as lane
+        words — the flight-recorder hook (see :func:`compile_kernel`).
     """
 
-    def __init__(self, circuit: Circuit, lanes: int = 1, watch: object = ()) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        lanes: int = 1,
+        watch: object = (),
+        probes: Sequence[object] = (),
+    ) -> None:
         if lanes < 1:
             raise SimulationError(f"lanes must be >= 1, got {lanes}")
         self.circuit = circuit
         self.lanes = lanes
         self.mask = (1 << lanes) - 1
-        self.kernel = compile_kernel(circuit, watch=watch)
+        self.kernel = compile_kernel(circuit, watch=watch, probes=probes)
+        self.probe_wires: Tuple[int, ...] = self.kernel.probes
         self.values: List[int] = [0] * circuit.num_wires
         self.values[_CONST1] = self.mask
         # Bind this instance's value array and mask; hidden-register state
@@ -701,6 +737,7 @@ class CompiledSimulator:
             self._step_k,
             self._load,
             self._flush,
+            self.capture,
         ) = self.kernel.factory(self.values, self.mask)
         self._hidden = self.kernel.hidden
         self.cycle = 0

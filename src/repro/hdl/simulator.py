@@ -141,6 +141,18 @@ class Simulator:
             acc |= self.values[w.index] << i
         return acc
 
+    def sampler(self, wire_indices: Sequence[int]):
+        """Zero-argument tap returning the given wires' values as a tuple.
+
+        The flight recorder's peek-based probe path: the closure captures
+        the (in-place mutated) value array once, so sampling a cycle costs
+        one list read per probed wire and no attribute lookups.  Every wire
+        is peekable on the interpreted engine, so any index is a valid tap.
+        """
+        vals = self.values
+        idx = tuple(wire_indices)
+        return lambda: tuple(vals[i] for i in idx)
+
     def flip(self, wire: Wire) -> None:
         """Invert one wire's current value (single-event-upset injection).
 

@@ -8,9 +8,137 @@ pipeline, exercised by ``examples/waveform_trace.py``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["WaveformRecorder"]
+__all__ = ["WaveformRecorder", "parse_vcd", "vcd_id"]
+
+
+def vcd_id(index: int) -> str:
+    """Short VCD identifier code for the ``index``-th signal.
+
+    VCD id codes are strings over the printable ASCII range ``!``..``~``
+    (33..126, 94 symbols).  A single character only covers 94 signals, so
+    indices beyond that roll over to multi-character codes (``!!``, ``"!``,
+    ...) exactly like GTKWave's own writers do.
+    """
+    if index < 0:
+        raise ValueError(f"signal index must be >= 0, got {index}")
+    chars = []
+    index += 1  # bijective base-94: no leading-zero ambiguity
+    while index > 0:
+        index, rem = divmod(index - 1, 94)
+        chars.append(chr(33 + rem))
+    return "".join(chars)
+
+
+def parse_vcd(text: str) -> "ParsedVCD":
+    """Parse a VCD document back into per-signal value histories.
+
+    Inverse of :meth:`WaveformRecorder.to_vcd` (and of the flight
+    recorder's capture-window export), used by tests and the post-mortem
+    tooling to compare a dumped window against a clean re-run.  Handles
+    the subset this package emits — ``$var wire``, scalar ``0id``/``1id``
+    and vector ``b101 id`` changes, ``#time`` markers, ``$comment``
+    blocks — which is also the subset every VCD writer produces.
+    """
+    names: Dict[str, str] = {}  # id code -> signal name
+    widths: Dict[str, int] = {}
+    comments: List[str] = []
+    start_time: Optional[int] = None
+    end_time = 0
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+    now = 0
+    tokens = text.split("\n")
+    in_defs = True
+    i = 0
+    while i < len(tokens):
+        line = tokens[i].strip()
+        i += 1
+        if not line:
+            continue
+        if line.startswith("$comment"):
+            body = line[len("$comment"):]
+            while "$end" not in body and i < len(tokens):
+                body += "\n" + tokens[i]
+                i += 1
+            comments.append(body.replace("$end", "").strip())
+            continue
+        if in_defs:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <id> <name> $end
+                if len(parts) >= 5:
+                    widths[parts[4]] = int(parts[2])
+                    names[parts[3]] = parts[4]
+            elif line.startswith("$enddefinitions"):
+                in_defs = False
+            continue
+        if line.startswith("#"):
+            now = int(line[1:])
+            if start_time is None:
+                start_time = now
+            end_time = max(end_time, now)
+            continue
+        if line.startswith("b"):
+            value_txt, _, code = line[1:].partition(" ")
+            name = names.get(code.strip())
+            if name is not None:
+                changes.setdefault(name, []).append((now, int(value_txt, 2)))
+            continue
+        if line[0] in "01" and len(line) > 1:
+            name = names.get(line[1:])
+            if name is not None:
+                changes.setdefault(name, []).append((now, int(line[0])))
+    return ParsedVCD(
+        signals=list(names.values()),
+        widths=widths,
+        changes=changes,
+        start_time=start_time if start_time is not None else 0,
+        end_time=end_time,
+        comments=comments,
+    )
+
+
+class ParsedVCD:
+    """Decoded VCD content: value-change lists plus a sampled view."""
+
+    def __init__(
+        self,
+        signals: List[str],
+        widths: Dict[str, int],
+        changes: Dict[str, List[Tuple[int, int]]],
+        start_time: int,
+        end_time: int,
+        comments: List[str],
+    ) -> None:
+        self.signals = signals
+        self.widths = widths
+        self.changes = changes
+        self.start_time = start_time
+        self.end_time = end_time
+        self.comments = comments
+
+    def value_at(self, name: str, time: int) -> Optional[int]:
+        """The signal's value at ``time`` (last change at or before it)."""
+        value = None
+        for t, v in self.changes.get(name, []):
+            if t > time:
+                break
+            value = v
+        return value
+
+    def history(self, name: str) -> List[int]:
+        """Per-timestep values over ``[start_time, end_time)``."""
+        out: List[int] = []
+        value = 0
+        pending = list(self.changes.get(name, []))
+        j = 0
+        for t in range(self.start_time, self.end_time):
+            while j < len(pending) and pending[j][0] <= t:
+                value = pending[j][1]
+                j += 1
+            out.append(value)
+        return out
 
 
 class WaveformRecorder:
@@ -37,6 +165,25 @@ class WaveformRecorder:
         self._widths = dict(widths or {})
         self.samples: Dict[str, List[int]] = {name: [] for name in self._probes}
         self.cycles = 0
+
+    @classmethod
+    def from_history(
+        cls,
+        samples: Dict[str, List[int]],
+        widths: Dict[str, int] = None,
+    ) -> "WaveformRecorder":
+        """Build a recorder around already-collected per-signal histories.
+
+        Used by the flight recorder to reuse the VCD/ASCII renderers on a
+        frozen capture window without re-sampling anything.
+        """
+        rec = cls({name: (lambda: 0) for name in samples}, widths)
+        rec.samples = {name: list(vals) for name, vals in samples.items()}
+        lengths = {len(v) for v in rec.samples.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged signal histories: lengths {sorted(lengths)}")
+        rec.cycles = lengths.pop() if lengths else 0
+        return rec
 
     def width(self, name: str) -> int:
         return self._widths.get(name, 1)
@@ -92,9 +239,9 @@ class WaveformRecorder:
     def to_vcd(self, timescale: str = "1 ns") -> str:
         """Serialize the capture as a VCD document (GTKWave compatible)."""
         ids = {}
-        # VCD short identifiers: printable ASCII starting at '!'.
+        # VCD short identifiers: multi-char codes over printable ASCII.
         for i, name in enumerate(self._probes):
-            ids[name] = chr(33 + i)
+            ids[name] = vcd_id(i)
         out = [
             "$date repro waveform $end",
             "$version repro.hdl.waveform $end",

@@ -45,6 +45,15 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observability.flightrec import (
+    CaptureWindow,
+    FlightRecorder,
+    FlightRecorderHub,
+    PostMortemBundle,
+    TriggerSpec,
+    find_bundles,
+)
+from repro.observability.flightrec import armed as flightrec_armed
 from repro.observability.observer import OBS, Observer, observe
 from repro.observability.occupancy import (
     OccupancyRecorder,
@@ -73,6 +82,13 @@ __all__ = [
     "OBS",
     "Observer",
     "observe",
+    "CaptureWindow",
+    "FlightRecorder",
+    "FlightRecorderHub",
+    "PostMortemBundle",
+    "TriggerSpec",
+    "find_bundles",
+    "flightrec_armed",
     "OccupancyRecorder",
     "analytic_idle_fraction",
     "schedule_busy_mask",

@@ -1,0 +1,612 @@
+"""Flight recorder: triggered logic-analyzer capture with post-mortem dumps.
+
+The serving stack can detect that a run corrupted (Shamir/Fermat verify,
+Walter bound, chaos bit-flips) but — before this module — kept zero
+signal-level evidence of *where in the lattice or when*.  This is the
+embedded-logic-analyzer answer an FPGA engineer would reach for:
+
+* a :class:`FlightRecorder` is a bounded **black box**: a ring buffer of
+  the last ``pre`` cycles of probe samples, frozen when a trigger fires,
+  plus ``post`` cycles of continued capture around the trigger;
+* a :class:`TriggerSpec` arms it — a signal predicate (``t==0x1f``,
+  ``done changed``), a cycle condition (``cycle==41``, ``cycle in 30:50``)
+  or the ``fault`` event the SEU-injection path reports;
+* when the window completes, :class:`FlightRecorderHub` (installed on
+  ``OBS.flightrec``) emits a :class:`PostMortemBundle` — a VCD of the
+  capture window plus JSON context (request id, backend, seed, engine,
+  lane, trigger cause) — into a dump directory the serving layer and the
+  ``repro postmortem`` CLI can read back.
+
+Samples are whatever the probe layer produces (see
+:mod:`repro.hdl.probes`): flat tuples of 0/1 wire values (interpreted
+engine), of packed lane words (compiled engine — the recorder keeps the
+words and extracts the faulting lane only at emit time), or of
+already-assembled integers (behavioral RTL, chip model).  The hot path is
+one bounded-deque append per cycle; trigger predicates are only evaluated
+when a signal/cycle trigger is armed, and the ``fault`` path costs nothing
+until :meth:`FlightRecorder.notify_fault` is called.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.observability.observer import OBS
+
+__all__ = [
+    "TriggerSpec",
+    "FlightRecorder",
+    "CaptureWindow",
+    "PostMortemBundle",
+    "FlightRecorderHub",
+    "armed",
+    "find_bundles",
+]
+
+_CMP_OPS = ("==", "!=", ">=", "<=")
+
+
+class TriggerSpec:
+    """One parsed trigger expression.
+
+    Grammar (whitespace-insensitive)::
+
+        fault                     -- fires when a fault event is reported
+        cycle == N  | cycle >= N | cycle <= N
+        cycle in A:B              -- inclusive cycle range
+        <signal> == V | != V | >= V | <= V     (V decimal or 0x.. hex)
+        <signal> changed          -- value differs from previous cycle
+
+    ``check`` returns a human-readable cause string when the trigger fires
+    at this cycle, else ``None``.
+    """
+
+    __slots__ = ("kind", "text", "signal", "op", "value", "lo", "hi")
+
+    def __init__(self, kind: str, text: str, signal: str = None, op: str = None,
+                 value: int = None, lo: int = None, hi: int = None) -> None:
+        self.kind = kind  # "fault" | "cycle" | "signal"
+        self.text = text
+        self.signal = signal
+        self.op = op
+        self.value = value
+        self.lo = lo
+        self.hi = hi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TriggerSpec({self.text!r})"
+
+    @classmethod
+    def parse(cls, text: str) -> "TriggerSpec":
+        raw = " ".join(str(text).split())
+        compact = raw.replace(" ", "")
+        if compact == "fault":
+            return cls("fault", raw)
+        if compact.startswith("cycle"):
+            rest = compact[len("cycle"):]
+            if rest.startswith("in"):
+                span = rest[2:]
+                lo, sep, hi = span.partition(":")
+                if not sep:
+                    raise ParameterError(
+                        f"bad cycle range {raw!r}; expected 'cycle in A:B'"
+                    )
+                return cls("cycle", raw, lo=int(lo, 0), hi=int(hi, 0))
+            for op in _CMP_OPS:
+                if rest.startswith(op):
+                    return cls("cycle", raw, op=op, value=int(rest[len(op):], 0))
+            raise ParameterError(f"bad cycle trigger {raw!r}")
+        if compact.endswith("changed"):
+            sig = raw[: raw.rfind("changed")].strip()
+            if not sig:
+                raise ParameterError(f"bad trigger {raw!r}: missing signal name")
+            return cls("signal", raw, signal=sig, op="changed")
+        for op in _CMP_OPS:
+            if op in compact:
+                sig, _, val = compact.partition(op)
+                if not sig or not val:
+                    raise ParameterError(f"bad trigger {raw!r}")
+                return cls("signal", raw, signal=sig, op=op, value=int(val, 0))
+        raise ParameterError(
+            f"cannot parse trigger {raw!r}; expected 'fault', 'cycle<op>N', "
+            "'cycle in A:B', '<signal><op>V' or '<signal> changed'"
+        )
+
+    # ------------------------------------------------------------------
+    def _cmp(self, left: int) -> bool:
+        if self.op == "==":
+            return left == self.value
+        if self.op == "!=":
+            return left != self.value
+        if self.op == ">=":
+            return left >= self.value
+        return left <= self.value
+
+    def check(
+        self,
+        cycle: int,
+        values: Optional[Dict[str, int]],
+        prev: Optional[Dict[str, int]],
+    ) -> Optional[str]:
+        if self.kind == "cycle":
+            if self.op is None:
+                hit = self.lo <= cycle <= self.hi
+            else:
+                hit = self._cmp(cycle)
+            return f"{self.text} at cycle {cycle}" if hit else None
+        if self.kind == "signal":
+            if values is None or self.signal not in values:
+                return None
+            v = values[self.signal]
+            if self.op == "changed":
+                if prev is not None and prev.get(self.signal) != v:
+                    return f"{self.signal} changed to {v:#x} at cycle {cycle}"
+                return None
+            if self._cmp(v):
+                return f"{self.text} (value {v:#x}) at cycle {cycle}"
+            return None
+        return None  # "fault" triggers fire via notify_fault only
+
+
+class CaptureWindow:
+    """A frozen, decoded capture window around one trigger."""
+
+    def __init__(
+        self,
+        cycles: List[int],
+        signals: Dict[str, List[int]],
+        widths: Dict[str, int],
+        trigger_cycle: Optional[int],
+        cause: Optional[str],
+        lane: int = 0,
+    ) -> None:
+        self.cycles = list(cycles)
+        self.signals = {k: list(v) for k, v in signals.items()}
+        self.widths = dict(widths)
+        self.trigger_cycle = trigger_cycle
+        self.cause = cause
+        self.lane = lane
+
+    @property
+    def start_cycle(self) -> int:
+        return self.cycles[0] if self.cycles else 0
+
+    def value_at(self, name: str, cycle: int) -> Optional[int]:
+        try:
+            return self.signals[name][self.cycles.index(cycle)]
+        except (KeyError, ValueError):
+            return None
+
+    # -- rendering ------------------------------------------------------
+    def _recorder(self):
+        from repro.hdl.waveform import WaveformRecorder  # avoid import cycle
+
+        return WaveformRecorder.from_history(self.signals, self.widths)
+
+    def to_vcd(self, timescale: str = "1 ns") -> str:
+        """VCD of the window; times are window-relative (see ``$comment``)."""
+        vcd = self._recorder().to_vcd(timescale)
+        note = (
+            f"$comment flightrec window start_cycle={self.start_cycle} "
+            f"trigger_cycle={self.trigger_cycle} lane={self.lane} "
+            f"cause={json.dumps(self.cause or '')} $end"
+        )
+        head, sep, tail = vcd.partition("$enddefinitions $end")
+        return head + note + "\n" + sep + tail
+
+    def ascii_diagram(self, names: Sequence[str] = None) -> str:
+        body = self._recorder().ascii_diagram(names)
+        if self.trigger_cycle is None or self.trigger_cycle not in self.cycles:
+            return body
+        # A caret line marking the trigger column under the waveforms.
+        label_w = max((len(n) for n in (names or self.signals)), default=0) + 1
+        col = self.cycles.index(self.trigger_cycle)
+        marker = " " * (label_w + col) + "^ trigger"
+        return body + "\n" + marker
+
+    # -- (de)serialization ---------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "signals": self.signals,
+            "widths": self.widths,
+            "trigger_cycle": self.trigger_cycle,
+            "cause": self.cause,
+            "lane": self.lane,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CaptureWindow":
+        return cls(
+            cycles=d["cycles"],
+            signals=d["signals"],
+            widths=d["widths"],
+            trigger_cycle=d.get("trigger_cycle"),
+            cause=d.get("cause"),
+            lane=d.get("lane", 0),
+        )
+
+
+class FlightRecorder:
+    """Bounded black box over one run: pre/post-trigger sample windows.
+
+    Parameters
+    ----------
+    names / widths / decoder:
+        Probe layout: ``decoder(raw_sample, lane)`` must return a
+        ``{name: int}`` mapping (a :meth:`ProbeSet.decode <repro.hdl.\
+probes.ProbeSet.decode>` bound method, or equivalent).
+    pre / post:
+        Window sizes in cycles around the trigger.
+    triggers:
+        :class:`TriggerSpec` instances (or strings, parsed on the spot).
+    lane:
+        Lane used for signal-trigger evaluation and default decode.
+    fire_on_fault:
+        Fire on :meth:`notify_fault` even without an explicit ``fault``
+        trigger (the auto-arm path the chaos layer uses).
+    ring_stride:
+        Pre-trigger decimation: sample the ring every ``ring_stride``-th
+        cycle (so ``pre`` samples span ``pre * ring_stride`` cycles).
+        Capture turns dense the moment a trigger fires — the post window
+        and the trigger-cycle sample are always full rate — which is how
+        real flight recorders keep always-on cost low.  Ignored (forced
+        to 1) when signal or cycle triggers are armed: those must see
+        every cycle or they would fire late.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        widths: Dict[str, int],
+        decoder: Callable[[Sequence[int], int], Dict[str, int]],
+        pre: int = 48,
+        post: int = 16,
+        triggers: Sequence[object] = (),
+        lane: int = 0,
+        fire_on_fault: bool = True,
+        meta: Optional[dict] = None,
+        ring_stride: int = 1,
+    ) -> None:
+        if pre < 1 or post < 0:
+            raise ParameterError(f"window needs pre >= 1, post >= 0; got {pre}/{post}")
+        if ring_stride < 1:
+            raise ParameterError(f"ring_stride must be >= 1, got {ring_stride}")
+        self.names = tuple(names)
+        self.widths = dict(widths)
+        self._decode = decoder
+        self.pre = pre
+        self.post = post
+        self.lane = lane
+        self.fire_on_fault = fire_on_fault
+        self.meta = dict(meta or {})
+        specs = [t if isinstance(t, TriggerSpec) else TriggerSpec.parse(t) for t in triggers]
+        self._eval_triggers = [t for t in specs if t.kind != "fault"]
+        self._has_fault_trigger = any(t.kind == "fault" for t in specs)
+        self._needs_values = any(t.kind == "signal" for t in specs)
+        self._ring: deque = deque(maxlen=pre)
+        self._post: List[Tuple[int, Sequence[int]]] = []
+        self._prev_vals: Optional[Dict[str, int]] = None
+        # Signal/cycle triggers must evaluate every cycle; only pure
+        # fault-fired black boxes may decimate the pre-trigger ring.
+        self.ring_stride = 1 if self._eval_triggers else ring_stride
+        self.triggered = False
+        self.frozen = False
+        self.trigger_cycle: Optional[int] = None
+        self.cause: Optional[str] = None
+        self.samples_taken = 0
+
+    # ------------------------------------------------------------------
+    def wants_sample(self, cycle: int) -> bool:
+        """Should the runner bother capturing probes this cycle?
+
+        The per-cycle gate the hot loops check *before* paying for the
+        probe capture: ``False`` while frozen and on decimated pre-ring
+        cycles.  Always ``True`` from the trigger until the post window
+        fills, so the window around the trigger is full rate.
+        """
+        if self.frozen:
+            return False
+        if self.triggered or self.ring_stride == 1:
+            return True
+        return cycle % self.ring_stride == 0
+
+    def sample(self, cycle: int, raw: Sequence[int]) -> None:
+        """Record one cycle's probe sample (the per-cycle hot path)."""
+        if self.frozen:
+            return
+        self.samples_taken += 1
+        if self.triggered:
+            self._post.append((cycle, raw))
+            if len(self._post) >= self.post:
+                self.frozen = True
+            return
+        self._ring.append((cycle, raw))
+        if self._eval_triggers:
+            vals = self._decode(raw, self.lane) if self._needs_values else None
+            for t in self._eval_triggers:
+                cause = t.check(cycle, vals, self._prev_vals)
+                if cause is not None:
+                    self._fire(cycle, cause)
+                    break
+            if vals is not None:
+                self._prev_vals = vals
+
+    def notify_fault(self, cycle: int, cause: str, lane: Optional[int] = None) -> None:
+        """Report a fault event (SEU injection, detected corruption)."""
+        if self.frozen or self.triggered:
+            return
+        if not (self.fire_on_fault or self._has_fault_trigger):
+            return
+        if lane is not None:
+            self.lane = lane
+        self._fire(cycle, cause)
+
+    def _fire(self, cycle: int, cause: str) -> None:
+        self.triggered = True
+        self.trigger_cycle = cycle
+        self.cause = cause
+        if self.post == 0:
+            self.frozen = True
+
+    # ------------------------------------------------------------------
+    def window(self, lane: Optional[int] = None) -> CaptureWindow:
+        """Decode the captured window (one lane of it, for lane-word samples)."""
+        lane = self.lane if lane is None else lane
+        pairs = list(self._ring) + self._post
+        cycles = [c for c, _ in pairs]
+        hist: Dict[str, List[int]] = {n: [] for n in self.names}
+        for _, raw in pairs:
+            vals = self._decode(raw, lane)
+            for n in self.names:
+                hist[n].append(vals[n])
+        return CaptureWindow(
+            cycles, hist, self.widths, self.trigger_cycle, self.cause, lane
+        )
+
+
+class PostMortemBundle:
+    """One emitted dump: JSON context + the decoded capture window."""
+
+    META_FILE = "meta.json"
+    WINDOW_FILE = "window.json"
+    VCD_FILE = "capture.vcd"
+
+    def __init__(self, meta: dict, window: CaptureWindow) -> None:
+        self.meta = dict(meta)
+        self.window = window
+        self.path: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def write(self, directory: str) -> str:
+        """Write ``meta.json`` + ``window.json`` + ``capture.vcd`` into ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, self.META_FILE), "w") as fh:
+            json.dump(self.meta, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        with open(os.path.join(directory, self.WINDOW_FILE), "w") as fh:
+            json.dump(self.window.to_dict(), fh)
+            fh.write("\n")
+        with open(os.path.join(directory, self.VCD_FILE), "w") as fh:
+            fh.write(self.window.to_vcd())
+        self.path = directory
+        return directory
+
+    @classmethod
+    def load(cls, path: str) -> "PostMortemBundle":
+        """Load a bundle from its directory (or its ``meta.json`` path)."""
+        if os.path.isfile(path):
+            path = os.path.dirname(path)
+        with open(os.path.join(path, cls.META_FILE)) as fh:
+            meta = json.load(fh)
+        with open(os.path.join(path, cls.WINDOW_FILE)) as fh:
+            window = CaptureWindow.from_dict(json.load(fh))
+        bundle = cls(meta, window)
+        bundle.path = path
+        return bundle
+
+    # ------------------------------------------------------------------
+    def render(self, signals: Sequence[str] = None, width: int = 0) -> str:
+        """Human-readable post-mortem report (the ``repro postmortem`` view)."""
+        w = self.window
+        lines = ["== post-mortem bundle =="]
+        for key in sorted(self.meta):
+            lines.append(f"  {key:<16} {self.meta[key]}")
+        lines.append(
+            f"  window           cycles {w.start_cycle}..{w.cycles[-1] if w.cycles else '-'}"
+            f" ({len(w.cycles)} samples), lane {w.lane}"
+        )
+        if w.trigger_cycle is not None:
+            lines.append(f"  trigger          cycle {w.trigger_cycle}: {w.cause}")
+        lines.append("")
+        lines.append(w.ascii_diagram(signals))
+        return "\n".join(lines)
+
+
+def _bundle_dir_name(meta: dict, seq: int) -> str:
+    rid = meta.get("request_id", "none")
+    attempt = meta.get("attempt", 0)
+    # pid + per-hub sequence keep names unique across worker processes and
+    # across several emits in the same millisecond (chip fan-in dumps).
+    return (
+        f"pm-req{rid}-a{attempt}-p{os.getpid()}-s{seq:03d}"
+        f"-{int(time.time() * 1000) % 10**9:09d}"
+    )
+
+
+def find_bundles(dump_dir: str, request_id: object = None) -> List[str]:
+    """Bundle directories under ``dump_dir``, newest last.
+
+    ``request_id`` filters to one request's dumps — the cross-process
+    lookup the serving parent uses to attach a worker-written bundle to a
+    :class:`~repro.errors.FaultDetected`.
+    """
+    if not dump_dir or not os.path.isdir(dump_dir):
+        return []
+    prefix = None if request_id is None else f"pm-req{request_id}-a"
+    out = []
+    for name in sorted(os.listdir(dump_dir)):
+        full = os.path.join(dump_dir, name)
+        if not os.path.isfile(os.path.join(full, PostMortemBundle.META_FILE)):
+            continue
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        out.append(full)
+    return out
+
+
+class FlightRecorderHub:
+    """The ``OBS.flightrec`` slot: arming state, context and dump sink.
+
+    The hub owns everything that outlives a single run — the dump
+    directory, default window sizes, parsed trigger list, the serving
+    context (request id / backend / seed) and the emitted-bundle ledger.
+    Engines ask it for a fresh :class:`FlightRecorder` per run via
+    :meth:`new_recorder` (``None`` when disarmed — the only cost of a
+    disarmed hub) and hand the recorder back through :meth:`emit`.
+    """
+
+    def __init__(
+        self,
+        dump_dir: Optional[str] = None,
+        pre: int = 48,
+        post: int = 16,
+        triggers: Sequence[object] = (),
+        max_dumps: int = 32,
+        fire_on_fault: bool = True,
+        armed: bool = True,
+        ring_stride: int = 1,
+    ) -> None:
+        self.dump_dir = dump_dir
+        self.pre = pre
+        self.post = post
+        self.ring_stride = ring_stride
+        self.triggers = [
+            t if isinstance(t, TriggerSpec) else TriggerSpec.parse(t) for t in triggers
+        ]
+        self.max_dumps = max_dumps
+        self.fire_on_fault = fire_on_fault
+        self.armed = armed
+        self.context: Dict[str, object] = {}
+        self.dump_paths: List[str] = []
+        self.bundles: List[PostMortemBundle] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def set_context(self, **kw: object) -> None:
+        """Merge serving context (request_id, backend, seed, attempt, ...)."""
+        self.context.update({k: v for k, v in kw.items() if v is not None})
+
+    def clear_context(self) -> None:
+        self.context.clear()
+
+    # ------------------------------------------------------------------
+    def new_recorder(
+        self,
+        names: Sequence[str],
+        widths: Dict[str, int],
+        decoder: Callable[[Sequence[int], int], Dict[str, int]],
+        lane: int = 0,
+        meta: Optional[dict] = None,
+    ) -> Optional[FlightRecorder]:
+        """A fresh black box for one run, or ``None`` when disarmed."""
+        if not self.armed:
+            return None
+        return FlightRecorder(
+            names,
+            widths,
+            decoder,
+            pre=self.pre,
+            post=self.post,
+            triggers=self.triggers,
+            lane=lane,
+            fire_on_fault=self.fire_on_fault,
+            meta=meta,
+            ring_stride=self.ring_stride,
+        )
+
+    def emit(self, recorder: Optional[FlightRecorder], **extra: object) -> Optional[str]:
+        """Freeze + dump a triggered recorder; returns the bundle path.
+
+        Untriggered recorders are discarded (returns ``None``).  With no
+        ``dump_dir`` the bundle is kept in memory only (``self.bundles``)
+        — the CLI path.  Counts ``hdl.flightrec_dumps`` /
+        ``hdl.flightrec_samples`` on the installed metrics registry.
+        """
+        if recorder is None:
+            return None
+        if OBS.metrics is not None:
+            OBS.count("hdl.flightrec_samples", recorder.samples_taken)
+        if not recorder.triggered:
+            return None
+        meta = dict(self.context)
+        meta.update(recorder.meta)
+        meta.update({k: v for k, v in extra.items() if v is not None})
+        window = recorder.window()
+        meta.setdefault("trigger_cycle", window.trigger_cycle)
+        meta.setdefault("cause", window.cause)
+        meta.setdefault("lane", window.lane)
+        meta.setdefault("pre", self.pre)
+        meta.setdefault("post", self.post)
+        meta.setdefault("emitted_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        bundle = PostMortemBundle(meta, window)
+        if len(self.bundles) + self.dropped >= self.max_dumps:
+            self.dropped += 1
+            if OBS.metrics is not None:
+                OBS.count("hdl.flightrec_dumps_dropped")
+            return None
+        path = None
+        if self.dump_dir:
+            seq = len(self.bundles) + self.dropped
+            path = bundle.write(os.path.join(self.dump_dir, _bundle_dir_name(meta, seq)))
+            self.dump_paths.append(path)
+        self.bundles.append(bundle)
+        if OBS.metrics is not None:
+            OBS.count("hdl.flightrec_dumps")
+        return path
+
+    # ------------------------------------------------------------------
+    @property
+    def last_bundle(self) -> Optional[PostMortemBundle]:
+        return self.bundles[-1] if self.bundles else None
+
+    def find_bundle(self, request_id: object) -> Optional[str]:
+        """Newest bundle path for one request (in-memory, then on disk)."""
+        for b in reversed(self.bundles):
+            if str(b.meta.get("request_id")) == str(request_id) and b.path:
+                return b.path
+        found = find_bundles(self.dump_dir, request_id)
+        return found[-1] if found else None
+
+
+@contextmanager
+def armed(hub: Optional[FlightRecorderHub]):
+    """Install ``hub`` on ``OBS.flightrec`` for the duration of a block.
+
+    Unlike :func:`~repro.observability.observer.observe`, this leaves the
+    metrics/tracer/occupancy installation alone — it only swaps the
+    flight-recorder slot, so a serving worker can arm a black box around
+    one execution without tearing down the session's registry.  A ``None``
+    hub makes the block a no-op (the common disarmed path).
+    """
+    if hub is None:
+        yield None
+        return
+    prev = OBS.flightrec
+    OBS.flightrec = hub
+    try:
+        yield hub
+    finally:
+        OBS.flightrec = prev

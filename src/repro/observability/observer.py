@@ -55,6 +55,7 @@ class Observer:
         "metrics",
         "tracer",
         "occupancy",
+        "flightrec",
         "clock",
     )
 
@@ -62,6 +63,11 @@ class Observer:
         self.metrics: Optional[MetricsRegistry] = None
         self.tracer: Optional[SpanTracer] = None
         self.occupancy: Optional["OccupancyRecorder"] = None
+        # Flight-recorder hub (repro.observability.flightrec); typed loosely
+        # to keep this module import-light.  Deliberately *not* part of
+        # ``enabled``: the recorder hooks test ``OBS.flightrec`` directly,
+        # so arming a black box does not switch on the counting paths.
+        self.flightrec: Optional[Any] = None
         self.clock = CycleClock()
         self.enabled = False
         # Pre-computed detail flags so hook sites test one attribute.
@@ -76,11 +82,13 @@ class Observer:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
         occupancy: Optional["OccupancyRecorder"] = None,
+        flightrec: Optional[Any] = None,
     ) -> None:
         """Install backends; the tracer's clock becomes the session clock."""
         self.metrics = metrics
         self.tracer = tracer
         self.occupancy = occupancy
+        self.flightrec = flightrec
         self.clock = tracer.clock if tracer is not None else CycleClock()
         self.enabled = (
             metrics is not None or tracer is not None or occupancy is not None
@@ -169,14 +177,15 @@ def observe(
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[SpanTracer] = None,
     occupancy: Optional[OccupancyRecorder] = None,
+    flightrec: Optional[Any] = None,
 ) -> Iterator[Observer]:
-    """Install ``metrics``/``tracer``/``occupancy`` on :data:`OBS` for the with-block.
+    """Install ``metrics``/``tracer``/``occupancy``/``flightrec`` on :data:`OBS`.
 
     The previous installation (usually: nothing) is restored on exit, so
     sessions nest and exceptions cannot leave instrumentation enabled.
     """
-    prev = (OBS.metrics, OBS.tracer, OBS.occupancy)
-    OBS.install(metrics, tracer, occupancy)
+    prev = (OBS.metrics, OBS.tracer, OBS.occupancy, OBS.flightrec)
+    OBS.install(metrics, tracer, occupancy, flightrec)
     try:
         yield OBS
     finally:

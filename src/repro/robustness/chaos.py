@@ -71,6 +71,18 @@ class ChaosConfig:
     bitflip_rate: float = 0.0
     register_faults: bool = True
     target_prefix: str = ""
+    # Flight-recorder auto-arm: when set, chaos bit-flips (and retries of
+    # verify failures) run with an armed black box whose post-mortem
+    # bundles land in this directory.  Travels to workers like the rest
+    # of the config; the executor builds a process-local hub from it.
+    flightrec_dir: Optional[str] = None
+    flightrec_pre: int = 48
+    flightrec_post: int = 16
+    # Pre-trigger ring decimation: the black box samples every 4th cycle
+    # until a fault fires, then densely — keeps always-on capture under
+    # the serving overhead budget (the post-mortem window around the
+    # trigger is full rate either way).
+    flightrec_stride: int = 4
 
     def __post_init__(self) -> None:
         for name in ("worker_kill_rate", "exception_rate", "latency_rate", "bitflip_rate"):
@@ -90,6 +102,35 @@ class ChaosConfig:
             # thresholds; rates summing past 1 would silently truncate
             # the later kinds.
             raise ParameterError(f"fault rates sum to {total}, must be <= 1")
+        if self.flightrec_pre < 1 or self.flightrec_post < 0:
+            raise ParameterError(
+                f"flightrec window needs pre >= 1, post >= 0; got "
+                f"{self.flightrec_pre}/{self.flightrec_post}"
+            )
+        if self.flightrec_stride < 1:
+            raise ParameterError(
+                f"flightrec_stride must be >= 1, got {self.flightrec_stride}"
+            )
+
+    def make_flightrec_hub(self):
+        """A :class:`~repro.observability.flightrec.FlightRecorderHub` for
+        this config's dump directory, or ``None`` when recording is off.
+
+        Called executor-side (possibly in a process worker) right before a
+        run that should be captured; fault events fire the recorder, so no
+        explicit trigger list is needed.
+        """
+        if not self.flightrec_dir:
+            return None
+        from repro.observability.flightrec import FlightRecorderHub
+
+        return FlightRecorderHub(
+            dump_dir=self.flightrec_dir,
+            pre=self.flightrec_pre,
+            post=self.flightrec_post,
+            fire_on_fault=True,
+            ring_stride=self.flightrec_stride,
+        )
 
     @property
     def active(self) -> bool:

@@ -168,6 +168,11 @@ class ResultVerifier:
 
         ``request`` is any object with ``base``/``exponent``/``modulus``
         (duck-typed so the wire layer and tests can pass stand-ins).
+
+        The raised error leaves ``bundle_path`` unset; the serving layer
+        attaches the flight-recorder post-mortem bundle for the faulting
+        execution (when chaos recording is configured) before surfacing
+        the failure — see ``ModExpService._attach_bundle``.
         """
         n = request.modulus
         if not isinstance(value, int) or not 0 <= value < n:

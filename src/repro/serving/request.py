@@ -116,7 +116,9 @@ class ModExpResult:
     ``ok`` distinguishes the two shapes: success carries ``value`` (and
     usually ``cycles``/``wall_us``); failure carries ``error_type`` (the
     exception class name, e.g. ``"TimeoutError"`` or ``"QueueFull"``) and
-    a human-readable ``error`` message.
+    a human-readable ``error`` message.  When the failure came with a
+    flight-recorder post-mortem (a :class:`~repro.errors.FaultDetected`
+    with signal-level evidence), ``bundle_path`` points at the dump.
     """
 
     request_id: str
@@ -128,6 +130,7 @@ class ModExpResult:
     cycles: Optional[int] = None
     wall_us: Optional[float] = None
     batch_index: Optional[int] = field(default=None)
+    bundle_path: Optional[str] = None
 
     @classmethod
     def success(
@@ -166,4 +169,5 @@ class ModExpResult:
             error_type=type(exc).__name__,
             backend=backend,
             batch_index=batch_index,
+            bundle_path=getattr(exc, "bundle_path", None),
         )

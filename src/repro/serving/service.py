@@ -75,8 +75,10 @@ from repro.observability import (
     TraceContext,
     WorkerTelemetry,
     capture,
+    flightrec_armed,
     worker_label,
 )
+from repro.observability.flightrec import find_bundles
 from repro.robustness.breaker import BreakerBoard, BreakerConfig
 from repro.robustness.chaos import ChaosConfig, FaultPlan
 from repro.robustness.retry import RetryBudget, RetryPolicy
@@ -113,6 +115,7 @@ def _execute_with_chaos(
     chaos: Optional[ChaosConfig],
     attempt: int,
     allow_kill: bool,
+    arm_flightrec: bool = False,
 ):
     """Run one backend execution under the (possibly inactive) fault plan.
 
@@ -121,24 +124,44 @@ def _execute_with_chaos(
     netlist simulator (backends exposing ``execute_with_register_fault``)
     or as a post-hoc XOR into the result — silent either way, by design:
     only the verification layer can catch it.
+
+    When the config carries a ``flightrec_dir``, executions that inject a
+    register flip — and any execution with ``arm_flightrec=True`` (retries
+    of verify failures, where the corruption source is unknown) — run with
+    an armed flight-recorder hub: the SEU fires the black box and the
+    post-mortem bundle (VCD + request context) lands in the dump
+    directory, tagged with this request id so the parent can find it.
     """
     if chaos is None or not chaos.active:
         return backend.execute(ctx, request)
     plan = FaultPlan(chaos)
     decision = plan.decide(request.request_id, attempt, allow_kill=allow_kill)
     plan.apply_pre(decision, request.request_id)  # may raise / exit / sleep
-    if (
+    is_reg_flip = (
         decision.kind == "bitflip"
         and chaos.register_faults
         and hasattr(backend, "execute_with_register_fault")
-    ):
+    )
+    hub = None
+    if is_reg_flip or arm_flightrec:
+        hub = chaos.make_flightrec_hub()
+        if hub is not None:
+            hub.set_context(
+                request_id=request.request_id,
+                backend=getattr(backend, "name", type(backend).__name__),
+                seed=chaos.seed,
+                attempt=attempt,
+            )
+    if is_reg_flip:
         rng = random.Random(
             f"chaos-reg|{chaos.seed}|{request.request_id}|{attempt}"
         )
         if OBS.enabled:
             OBS.count("chaos.injected", kind="register-flip")
-        return backend.execute_with_register_fault(ctx, request, rng)
-    result = backend.execute(ctx, request)
+        with flightrec_armed(hub):
+            return backend.execute_with_register_fault(ctx, request, rng)
+    with flightrec_armed(hub):
+        result = backend.execute(ctx, request)
     if decision.kind == "bitflip":
         corrupted = plan.corrupt_result(
             decision, result.value, request.modulus
@@ -154,6 +177,7 @@ def _run_request(
     chaos: Optional[ChaosConfig] = None,
     attempt: int = 0,
     allow_kill: bool = False,
+    arm_flightrec: bool = False,
 ) -> Tuple[int, Optional[int], float, str, Optional[WorkerTelemetry]]:
     """Pool task: execute one request, measuring wall time in the worker.
 
@@ -181,12 +205,14 @@ def _run_request(
         with capture(trace) as telemetry:
             t0 = time.perf_counter()
             result = _execute_with_chaos(
-                backend, ctx, request, chaos, attempt, allow_kill
+                backend, ctx, request, chaos, attempt, allow_kill, arm_flightrec
             )
             wall_us = (time.perf_counter() - t0) * 1e6
         return result.value, result.cycles, wall_us, telemetry.worker, telemetry
     t0 = time.perf_counter()
-    result = _execute_with_chaos(backend, ctx, request, chaos, attempt, allow_kill)
+    result = _execute_with_chaos(
+        backend, ctx, request, chaos, attempt, allow_kill, arm_flightrec
+    )
     wall_us = (time.perf_counter() - t0) * 1e6
     return result.value, result.cycles, wall_us, worker_label(), None
 
@@ -624,6 +650,7 @@ class ModExpService:
         try:
             self._verifier.check(entry.request, value)
         except FaultDetected as exc:
+            self._attach_bundle(exc, entry)
             return exc
         finally:
             if OBS.enabled:
@@ -633,6 +660,23 @@ class ModExpService:
                     backend=backend_name,
                 )
         return None
+
+    def _attach_bundle(self, exc: FaultDetected, entry: _Entry) -> None:
+        """Point a detected fault at its flight-recorder bundle, if any.
+
+        The faulting execution may have run in a process worker — its
+        hub lives in another interpreter — so the handoff is the dump
+        directory on disk: the newest bundle tagged with this request id
+        becomes the error's ``bundle_path``.
+        """
+        chaos = self.chaos
+        if exc.bundle_path is not None or chaos is None or not chaos.flightrec_dir:
+            return
+        found = find_bundles(chaos.flightrec_dir, self._rid(entry))
+        if found:
+            exc.bundle_path = found[-1]
+            if OBS.enabled:
+                OBS.count("serving.flightrec_bundles_attached")
 
     def _note_failure(self, exc: BaseException, backend_name: str) -> None:
         """Account one failed execution: detection metrics + breaker."""
@@ -807,6 +851,7 @@ class ModExpService:
                 if OBS.enabled:
                     OBS.count("serving.retry_budget_exhausted")
                 break
+            retry_fault = isinstance(payload, FaultDetected)
             try:
                 attempt += 1
                 target = self._route(request)
@@ -822,8 +867,18 @@ class ModExpService:
                 ctx = entry.context
                 assert ctx is not None
                 try:
+                    # Retries of a detected fault run with the flight
+                    # recorder armed: if the corruption reproduces (a
+                    # deterministic register flip, a sick backend), the
+                    # black box captures signal-level evidence this time.
                     payload = _run_request(
-                        target, ctx, inline_request, self.chaos, attempt, False
+                        target,
+                        ctx,
+                        inline_request,
+                        self.chaos,
+                        attempt,
+                        False,
+                        arm_flightrec=retry_fault,
                     )
                 except BaseException as exc:
                     status, payload = "error", exc

@@ -174,6 +174,8 @@ def result_to_dict(result: ModExpResult) -> Dict[str, Any]:
     else:
         obj["error"] = result.error
         obj["error_type"] = result.error_type
+        if result.bundle_path:
+            obj["bundle_path"] = result.bundle_path
     if result.backend:
         obj["backend"] = result.backend
     if result.batch_index is not None:

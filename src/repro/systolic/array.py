@@ -350,5 +350,49 @@ class SystolicArrayRTL:
         """Current contents of the datapath result register, as an integer."""
         return bit_array_to_int(self.result_reg)
 
+    # ------------------------------------------------------------------
+    # Flight-recorder probes
+    # ------------------------------------------------------------------
+    def probe_layout(self):
+        """``(name, bit_width)`` pairs describing :meth:`probe_values`.
+
+        The names mirror the gate-level MMMC's probe set (same register
+        classes the fault campaigns target), so a flight-recorder window
+        captured on this model reads like one captured on the netlist.
+        """
+        return [
+            ("t", len(self.t_reg) - 1),
+            ("c0", len(self.c0_reg)),
+            ("c1", len(self.c1_reg) - 1),
+            ("x_pipe", len(self.x_pipe)),
+            ("m_pipe", len(self.m_pipe)),
+            ("x_shift", self.l + 1),
+            ("result", self.l + 1),
+        ]
+
+    def probe_values(self):
+        """One flat per-cycle sample of the register state (as integers)."""
+        return (
+            bit_array_to_int(self.t_reg[1:]),
+            bit_array_to_int(self.c0_reg),
+            bit_array_to_int(self.c1_reg[1:]),
+            bit_array_to_int(self.x_pipe),
+            bit_array_to_int(self.m_pipe),
+            self.x_shift,
+            bit_array_to_int(self.result_reg),
+        )
+
+    def attach_flight_recorder(self, recorder) -> None:
+        """Sample ``recorder`` (a duck-typed FlightRecorder) every cycle.
+
+        Installs a :attr:`probe` callback that feeds :meth:`probe_values`
+        into ``recorder.sample(cycle, values)`` after each :meth:`step`.
+        """
+        def _probe(model: "SystolicArrayRTL") -> None:
+            if recorder.wants_sample(model.cycle - 1):
+                recorder.sample(model.cycle - 1, model.probe_values())
+
+        self.probe = _probe
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SystolicArrayRTL(l={self.l}, mode={self.mode!r}, cycle={self.cycle})"

@@ -51,18 +51,21 @@ __all__ = [
 SIMULATOR_ENGINES = ("interpreted", "compiled")
 
 
-def make_simulator(circuit: Circuit, engine: str, *, lanes: int = 1, watch=()):
+def make_simulator(circuit: Circuit, engine: str, *, lanes: int = 1, watch=(), probes=()):
     """Build the requested simulation engine over ``circuit``.
 
     ``"interpreted"`` returns the classic :class:`~repro.hdl.Simulator`
     (every wire peekable, required for waveform capture); ``"compiled"``
     returns a :class:`~repro.hdl.CompiledSimulator` with ``watch`` wires
-    kept peekable.  ``lanes > 1`` requires the compiled engine.
+    kept peekable and ``probes`` wires reachable through the codegenned
+    flight-recorder tap (interpreted simulators can tap any wire, so the
+    argument is only consulted by the compiled engine).  ``lanes > 1``
+    requires the compiled engine.
     """
     if engine not in SIMULATOR_ENGINES:
         raise ParameterError(f"simulator must be one of {SIMULATOR_ENGINES}, got {engine!r}")
     if engine == "compiled":
-        return CompiledSimulator(circuit, lanes=lanes, watch=watch)
+        return CompiledSimulator(circuit, lanes=lanes, watch=watch, probes=probes)
     if lanes != 1:
         raise ParameterError("lane-packed simulation requires simulator='compiled'")
     return Simulator(circuit)

@@ -31,6 +31,7 @@ from typing import List
 
 from repro.errors import ParameterError, SimulationError
 from repro.hdl.netlist import Circuit, Wire
+from repro.hdl.probes import make_sampler, mmmc_probe_set
 from repro.hdl.registers import _drive, counter, equality_comparator, mux2, register, shift_register_right
 from repro.observability import OBS
 from repro.observability.occupancy import schedule_busy_mask
@@ -199,11 +200,18 @@ class GateLevelMMMC:
         # keeps them in the value array while every other register stays in
         # the compiled kernel's closure cells.
         s0, s1 = self.ports.state
+        # Standard flight-recorder probe layout: every fault-injectable
+        # register class plus controller/counter/DONE.  Compiling with the
+        # probe list codegens the capture tap into the kernel (hidden
+        # closure-cell registers stay hidden); it costs nothing until a
+        # recorder is armed and the tap is actually called.
+        self.probe_set = mmmc_probe_set(self.ports)
         self.sim = make_simulator(
             self.ports.circuit,
             simulator,
             lanes=lanes,
             watch=(core.overflow_carry, core.overflow_c1, s0, s1),
+            probes=self.probe_set.wire_indices,
         )
         self._s0_i, self._s1_i = s0.index, s1.index
         self._c1_i = core.overflow_c1.index
@@ -275,6 +283,33 @@ class GateLevelMMMC:
         pending, self._pending_fault = self._pending_fault, None
         return pending
 
+    def _arm_recorder(self, lane_hint: int = 0):
+        """(hub, recorder, sampler) when a flight recorder is armed, else Nones.
+
+        One ``OBS.flightrec`` load + truth test per multiplication when
+        disarmed — the recorder's entire disarmed cost.  The sampler is the
+        engine-appropriate tap: peek-based on the interpreted simulator,
+        the codegenned ``capture`` closure on the compiled one.
+        """
+        hub = OBS.flightrec
+        if hub is None or not hub.armed:
+            return None, None, None
+        rec = hub.new_recorder(
+            self.probe_set.names,
+            self.probe_set.widths,
+            self.probe_set.decode,
+            lane=lane_hint,
+            meta={"l": self.l, "mode": self.mode, "engine": self.simulator},
+        )
+        if rec is None:
+            return None, None, None
+        return hub, rec, make_sampler(self.sim, self.probe_set)
+
+    def _fault_cause(self, wire: Wire, lane) -> str:
+        name = self.ports.circuit.wire_names[wire.index]
+        where = "" if lane is None else f" lane {lane}"
+        return f"bit-flip on {name}{where}"
+
     def _apply_fault(self, wire, lane) -> None:
         if self.simulator == "compiled":
             self.sim.flip(wire, lanes=None if lane is None else [lane])
@@ -338,6 +373,11 @@ class GateLevelMMMC:
         s0_i, s1_i, c1_i = self._s0_i, self._s1_i, self._c1_i
         step = sim.step
         pending = self._take_pending_fault()
+        hub, rec, sampler = self._arm_recorder()
+        if rec is not None:
+            # Operands make the dump differentially re-runnable: a clean
+            # multiply(x, y, n) on the same engine replays the window.
+            rec.meta.update(x=x, y=y, n=n)
         while cycles < limit:
             # Pre-edge register reads (state, overflow C1) happen before the
             # fused step; combinational taps (carry, DONE) are settled from
@@ -347,12 +387,21 @@ class GateLevelMMMC:
             step()
             if pending is not None and cycles == pending[0]:
                 self._apply_fault(pending[1], pending[2])
+                if rec is not None:
+                    rec.notify_fault(
+                        cycles, self._fault_cause(pending[1], pending[2]), lane=0
+                    )
                 pending = None
+            if rec is not None and rec.wants_sample(cycles):
+                rec.sample(cycles, sampler())
             if (
                 c1
                 and core.productive(mul_cycles)
                 and vals[self._carry_i] & 1
             ):
+                if rec is not None:
+                    rec.notify_fault(cycles, core.overflow_message(mul_cycles))
+                    hub.emit(rec, cycles=cycles)
                 sim.reset()  # leave the instance reusable after the raise
                 raise SimulationError(core.overflow_message(mul_cycles))
             done = vals[self._done_i] & 1
@@ -364,6 +413,8 @@ class GateLevelMMMC:
             if observed:
                 OBS.tick()
             if done:
+                if rec is not None:
+                    hub.emit(rec, cycles=cycles)
                 if observed:
                     OBS.count("mmmc.multiplications")
                     OBS.record("mmmc.multiplication_cycles", cycles)
@@ -373,6 +424,8 @@ class GateLevelMMMC:
                     cycles=cycles,
                     state_sequence=[],
                 )
+        if rec is not None:
+            hub.emit(rec, cycles=cycles)
         raise ParameterError(f"DONE did not rise within {limit} cycles")
 
     def multiply_lanes(self, xs, ys, ns) -> List[MMMCRun]:
@@ -430,18 +483,40 @@ class GateLevelMMMC:
         vals = sim.values
         carry_i, c1_i = core.overflow_carry.index, core.overflow_c1.index
         pending = self._take_pending_fault()
+        # Decode/extraction follows the faulting lane when a fault is armed.
+        lane_hint = pending[2] if pending is not None and pending[2] is not None else 0
+        hub, rec, sampler = self._arm_recorder(lane_hint)
+        if rec is not None:
+            # Per-lane operands: replaying lane k cleanly is
+            # multiply(xs[k], ys[k], ns[k]) on a scalar instance.
+            rec.meta.update(xs=xs[:used], ys=ys[:used], ns=ns[:used])
         while cycles < limit:
             in_mul = self._in_mul()
             c1_word = vals[c1_i] if in_mul else 0  # pre-edge C1 lanes
             sim.step()
             if pending is not None and cycles == pending[0]:
                 self._apply_fault(pending[1], pending[2])
+                if rec is not None:
+                    rec.notify_fault(
+                        cycles,
+                        self._fault_cause(pending[1], pending[2]),
+                        lane=pending[2],
+                    )
                 pending = None
+            if rec is not None and rec.wants_sample(cycles):
+                rec.sample(cycles, sampler())
             if in_mul and c1_word and core.productive(mul_cycles):
                 over = vals[carry_i] & c1_word
                 if over:
                     bad = [k for k in range(used) if (over >> k) & 1]
                     if bad:
+                        if rec is not None:
+                            rec.notify_fault(
+                                cycles,
+                                f"lanes {bad}: " + core.overflow_message(mul_cycles),
+                                lane=bad[0],
+                            )
+                            hub.emit(rec, cycles=cycles, lanes=used)
                         sim.reset()  # leave the instance reusable after the raise
                         sim.active_lanes = self.lanes
                         raise SimulationError(
@@ -458,6 +533,8 @@ class GateLevelMMMC:
             if done:
                 results = sim.peek_lanes(p.result)
                 sim.active_lanes = self.lanes
+                if rec is not None:
+                    hub.emit(rec, cycles=cycles, lanes=used)
                 if observed:
                     OBS.count("mmmc.multiplications", used)
                     OBS.count("hdl.wasted_lane_cycles", pad * cycles)
@@ -468,4 +545,6 @@ class GateLevelMMMC:
                     for k in range(used)
                 ]
         sim.active_lanes = self.lanes
+        if rec is not None:
+            hub.emit(rec, cycles=cycles, lanes=used)
         raise ParameterError(f"DONE did not rise within {limit} cycles")

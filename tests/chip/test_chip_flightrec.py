@@ -1,0 +1,82 @@
+"""Per-tile flight recorders and chip-level trigger fan-in."""
+
+from __future__ import annotations
+
+import random
+
+from repro.chip.chip import ChipModel
+from repro.chip.interleave import MMMOp
+from repro.observability.flightrec import FlightRecorderHub, PostMortemBundle, armed
+
+
+def _ops(count, l=8, seed="chip-fr"):
+    rng = random.Random(seed)
+    n = (1 << (l - 1)) | rng.randrange(1 << (l - 1)) | 1
+    return [MMMOp(rng.randrange(n), rng.randrange(n), n, tag=i) for i in range(count)]
+
+
+class TestChipFlightRecorder:
+    def test_tile_fault_fans_into_chip_black_box(self, tmp_path):
+        chip = ChipModel(8, tiles=2, waves=2)
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=16, post=4)
+        with armed(hub):
+            for op in _ops(6):
+                chip.submit(op)
+            for _ in range(12):
+                chip.step()
+            chip.notify_fault(1, "injected: wedged output FIFO")
+            while chip.pending:
+                chip.step()
+                chip.collect()
+            paths = chip.flightrec_flush()
+        # the faulted tile's box AND the chip-level box both dump;
+        # untriggered tile recorders (tile 0) are discarded
+        assert len(paths) == 2
+        scopes = {}
+        for p in paths:
+            b = PostMortemBundle.load(p)
+            scopes[b.meta["scope"]] = b
+        assert set(scopes) == {"tile1", "chip"}
+        tile = scopes["tile1"]
+        assert tile.meta["cause"] == "injected: wedged output FIFO"
+        assert tile.meta["trigger_cycle"] == 12
+        assert set(tile.window.signals) == {
+            "in_fifo", "out_fifo", "stage", "inflight", "busy"
+        }
+        # fan-in: the chip box froze on the tile's trigger, same clock
+        chipb = scopes["chip"]
+        assert "tile1" in chipb.meta["cause"]
+        assert chipb.meta["trigger_cycle"] == 12
+        assert set(chipb.window.signals) == {"tiles", "waves", "backlog"}
+
+    def test_no_trigger_means_no_dumps(self, tmp_path):
+        chip = ChipModel(8, tiles=2, waves=2)
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=16, post=4)
+        with armed(hub):
+            outcomes = chip.run(_ops(4))
+        assert len(outcomes) == 4
+        assert chip.flightrec_flush() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disarmed_chip_records_nothing(self):
+        chip = ChipModel(8, tiles=1)
+        outcomes = chip.run(_ops(3))
+        assert len(outcomes) == 3
+        assert chip._flightrec is None
+
+    def test_overflow_timeout_flushes_recorders(self, tmp_path):
+        """The drain-timeout path emits whatever the boxes hold."""
+        import pytest
+
+        from repro.errors import SimulationError
+
+        chip = ChipModel(8, tiles=1, waves=1, fifo_depth=2)
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=16, post=0)
+        with armed(hub):
+            for op in _ops(3):
+                chip.submit(op)
+            chip.step()
+            chip.notify_fault(0, "pre-timeout fault")
+            with pytest.raises(SimulationError):
+                chip.run_until_drained(max_cycles=2)
+        assert len(hub.dump_paths) >= 1

@@ -1,6 +1,6 @@
 """Unit tests for the waveform recorder and VCD export."""
 
-from repro.hdl.waveform import WaveformRecorder
+from repro.hdl.waveform import WaveformRecorder, parse_vcd, vcd_id
 
 
 def _recorder():
@@ -80,3 +80,60 @@ class TestVcd:
         # one initial value change for clk, none after.
         clk_id = vcd.split("$var wire 1 ")[1][0]
         assert vcd.count(f"1{clk_id}") == 1
+
+
+class TestVcdIds:
+    def test_single_char_below_rollover(self):
+        assert vcd_id(0) == "!"
+        assert vcd_id(93) == "~"
+
+    def test_multi_char_past_94(self):
+        assert len(vcd_id(94)) == 2
+        # bijective: no two indices share a code
+        ids = [vcd_id(i) for i in range(500)]
+        assert len(set(ids)) == 500
+
+    def test_negative_index_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            vcd_id(-1)
+
+    def test_dump_with_more_than_94_signals(self):
+        """Regression: ids used to be chr(33+i) and collided (or walked
+        into unprintable codes) past 94 probes — a full MMMC probe list
+        plus per-cell taps crosses that line easily."""
+        n = 120
+        history = {f"sig{i:03d}": [i % 2, (i + 1) % 2] for i in range(n)}
+        rec = WaveformRecorder.from_history(history, {k: 1 for k in history})
+        vcd = rec.to_vcd()
+        assert vcd.count("$var wire 1 ") == n
+        # every id is unique and every signal round-trips with its values
+        parsed = parse_vcd(vcd)
+        assert len(parsed.signals) == n
+        for i in range(n):
+            assert parsed.history(f"sig{i:03d}") == [i % 2, (i + 1) % 2]
+
+
+class TestParseVcd:
+    def test_round_trip_scalars_and_vectors(self):
+        state, rec = _recorder()
+        values = [(0, 5), (1, 5), (0, 200), (1, 0)]
+        for clk, bus in values:
+            state["clk"], state["bus"] = clk, bus
+            rec.sample()
+        parsed = parse_vcd(rec.to_vcd())
+        assert parsed.widths == {"clk": 1, "bus": 8}
+        assert parsed.history("clk") == [v[0] for v in values]
+        assert parsed.history("bus") == [v[1] for v in values]
+        assert parsed.value_at("bus", 2) == 200
+
+    def test_comments_are_collected(self):
+        state, rec = _recorder()
+        rec.sample()
+        vcd = rec.to_vcd().replace(
+            "$enddefinitions $end",
+            "$comment flightrec window start_cycle=7 $end\n$enddefinitions $end",
+        )
+        parsed = parse_vcd(vcd)
+        assert any("start_cycle=7" in c for c in parsed.comments)

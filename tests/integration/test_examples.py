@@ -97,6 +97,14 @@ class TestExamples:
         out = _run("ecc_point_multiplication.py", timeout=300)
         assert "shared secret x-coordinate agrees" in out
 
+    def test_postmortem_bitflip(self, tmp_path):
+        out = _run("postmortem_bitflip.py", str(tmp_path))
+        assert "recovered exactly from the dump" in out
+        assert "^ trigger" in out
+        assert os.path.exists(os.path.join(str(tmp_path))) and os.listdir(
+            str(tmp_path)
+        )
+
     def test_slo_dashboard(self):
         out = _run("slo_dashboard.py", timeout=300)
         assert "Latency SLOs in simulated cycles" in out

@@ -1,0 +1,283 @@
+"""Unit tests for the flight recorder: triggers, ring windows, bundles."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.observability import MetricsRegistry, observe
+from repro.observability.flightrec import (
+    CaptureWindow,
+    FlightRecorder,
+    FlightRecorderHub,
+    PostMortemBundle,
+    TriggerSpec,
+    armed,
+    find_bundles,
+)
+from repro.observability.observer import OBS
+
+
+def _decoder(raw, lane):
+    """Probe layout for tests: raw = (a, b) integers, lane ignored."""
+    return {"a": raw[0], "b": raw[1]}
+
+
+def _lane_decoder(raw, lane):
+    """Lane-word layout: each probe word packs one bit per lane."""
+    return {"a": (raw[0] >> lane) & 1, "b": (raw[1] >> lane) & 1}
+
+
+def _recorder(**kw):
+    kw.setdefault("pre", 8)
+    kw.setdefault("post", 4)
+    return FlightRecorder(("a", "b"), {"a": 8, "b": 8}, _decoder, **kw)
+
+
+# ----------------------------------------------------------------------
+# TriggerSpec
+# ----------------------------------------------------------------------
+class TestTriggerSpec:
+    def test_fault(self):
+        t = TriggerSpec.parse("fault")
+        assert t.kind == "fault"
+        # fault triggers never fire from check(); only notify_fault does
+        assert t.check(5, {"a": 1}, None) is None
+
+    def test_cycle_eq(self):
+        t = TriggerSpec.parse("cycle == 41")
+        assert t.kind == "cycle"
+        assert t.check(40, None, None) is None
+        assert "41" in t.check(41, None, None)
+
+    def test_cycle_range(self):
+        t = TriggerSpec.parse("cycle in 30:50")
+        assert t.check(29, None, None) is None
+        assert t.check(30, None, None) is not None
+        assert t.check(50, None, None) is not None
+        assert t.check(51, None, None) is None
+
+    def test_signal_ops(self):
+        t = TriggerSpec.parse("a == 0x1f")
+        assert t.check(3, {"a": 30}, None) is None
+        assert t.check(3, {"a": 31}, None) is not None
+        ge = TriggerSpec.parse("b >= 10")
+        assert ge.check(0, {"b": 9}, None) is None
+        assert ge.check(0, {"b": 10}, None) is not None
+
+    def test_signal_changed(self):
+        t = TriggerSpec.parse("done changed")
+        assert t.check(0, {"done": 0}, None) is None  # no previous sample
+        assert t.check(1, {"done": 0}, {"done": 0}) is None
+        assert t.check(2, {"done": 1}, {"done": 0}) is not None
+
+    def test_unknown_signal_never_fires(self):
+        t = TriggerSpec.parse("ghost == 1")
+        assert t.check(0, {"a": 1}, None) is None
+
+    @pytest.mark.parametrize(
+        "bad", ["", "cycle", "cycle in 3", "== 4", "a ==", "cycle ~ 4"]
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParameterError):
+            TriggerSpec.parse(bad)
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder windows
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_is_bounded_to_pre(self):
+        rec = _recorder(pre=4, post=0, triggers=["cycle == 99"])
+        for c in range(20):
+            rec.sample(c, (c, 0))
+        assert not rec.triggered
+        # untriggered ring holds only the last `pre` cycles
+        w = rec.window()
+        assert w.cycles == [16, 17, 18, 19]
+
+    def test_trigger_freezes_after_post(self):
+        rec = _recorder(pre=4, post=3, triggers=["cycle == 10"])
+        for c in range(20):
+            if rec.wants_sample(c):
+                rec.sample(c, (c, c * 2))
+        assert rec.triggered and rec.frozen
+        w = rec.window()
+        # ring holds the trigger cycle + 3 before it, then 3 post samples
+        assert w.cycles == [7, 8, 9, 10, 11, 12, 13]
+        assert w.trigger_cycle == 10
+        assert w.value_at("b", 12) == 24
+        # frozen: further samples are refused
+        rec.sample(14, (0, 0))
+        assert rec.window().cycles[-1] == 13
+
+    def test_signal_trigger_decodes_and_fires(self):
+        rec = _recorder(triggers=["b == 6"])
+        for c in range(10):
+            rec.sample(c, (c, c * 2))
+        assert rec.triggered and rec.trigger_cycle == 3
+        assert "b" in rec.cause
+
+    def test_notify_fault_fires_without_trigger_list(self):
+        rec = _recorder(fire_on_fault=True)
+        for c in range(6):
+            rec.sample(c, (c, 0))
+        rec.notify_fault(5, "SEU on t[3]", lane=2)
+        assert rec.triggered and rec.cause == "SEU on t[3]"
+        assert rec.lane == 2
+
+    def test_notify_fault_respects_fire_on_fault_off(self):
+        rec = _recorder(fire_on_fault=False)
+        rec.sample(0, (0, 0))
+        rec.notify_fault(0, "ignored")
+        assert not rec.triggered
+
+    def test_ring_stride_decimates_until_trigger(self):
+        rec = _recorder(pre=4, post=2, ring_stride=4, fire_on_fault=True)
+        for c in range(20):
+            if rec.wants_sample(c):
+                rec.sample(c, (c, 0))
+            if c == 13:
+                rec.notify_fault(13, "boom")
+        w = rec.window()
+        # pre ring at stride 4, then dense from the trigger on
+        assert w.cycles == [0, 4, 8, 12, 14, 15]
+        assert rec.frozen
+
+    def test_signal_triggers_force_stride_one(self):
+        rec = _recorder(triggers=["b == 3"], ring_stride=8)
+        assert rec.ring_stride == 1
+        assert all(rec.wants_sample(c) for c in range(10))
+
+    def test_lane_extraction_at_window_time(self):
+        rec = FlightRecorder(
+            ("a", "b"), {"a": 1, "b": 1}, _lane_decoder, pre=4, post=0
+        )
+        # lane words: lane 0 always 0, lane 2 follows the cycle parity
+        for c in range(4):
+            rec.sample(c, ((c % 2) << 2, 0b100))
+        rec.notify_fault(3, "flip", lane=2)
+        assert rec.window().signals["a"] == [0, 1, 0, 1]
+        assert rec.window().signals["b"] == [1, 1, 1, 1]
+        assert rec.window(lane=0).signals["a"] == [0, 0, 0, 0]
+
+    def test_bad_window_params(self):
+        with pytest.raises(ParameterError):
+            _recorder(pre=0)
+        with pytest.raises(ParameterError):
+            _recorder(ring_stride=0)
+
+
+# ----------------------------------------------------------------------
+# Hub: emit, bundles, dump caps, arming
+# ----------------------------------------------------------------------
+class TestHub:
+    def _triggered_rec(self, hub, rid="r1"):
+        hub.set_context(request_id=rid, backend="gate", seed=7)
+        rec = hub.new_recorder(("a", "b"), {"a": 8, "b": 8}, _decoder)
+        for c in range(6):
+            rec.sample(c, (c, c))
+        rec.notify_fault(5, "bit-flip on t[1]")
+        for c in range(6, 6 + hub.post):
+            rec.sample(c, (c, c))
+        return rec
+
+    def test_untriggered_recorder_is_discarded(self, tmp_path):
+        hub = FlightRecorderHub(dump_dir=str(tmp_path))
+        rec = hub.new_recorder(("a", "b"), {"a": 8, "b": 8}, _decoder)
+        rec.sample(0, (1, 2))
+        assert hub.emit(rec) is None
+        assert hub.bundles == [] and list(tmp_path.iterdir()) == []
+
+    def test_emit_writes_bundle_and_meta(self, tmp_path):
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=8, post=2)
+        path = hub.emit(self._triggered_rec(hub), cycles=29)
+        assert path is not None and os.path.isdir(path)
+        bundle = PostMortemBundle.load(path)
+        assert bundle.meta["request_id"] == "r1"
+        assert bundle.meta["cause"] == "bit-flip on t[1]"
+        assert bundle.meta["trigger_cycle"] == 5
+        assert bundle.meta["cycles"] == 29
+        assert bundle.window.trigger_cycle == 5
+        vcd = open(os.path.join(path, PostMortemBundle.VCD_FILE)).read()
+        assert "flightrec window" in vcd
+
+    def test_in_memory_bundles_without_dump_dir(self):
+        hub = FlightRecorderHub(dump_dir=None, pre=8, post=2)
+        assert hub.emit(self._triggered_rec(hub)) is None  # no path...
+        assert hub.last_bundle is not None  # ...but kept in memory
+
+    def test_max_dumps_drops_excess(self, tmp_path):
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=8, post=2, max_dumps=2)
+        for i in range(4):
+            hub.emit(self._triggered_rec(hub, rid=f"r{i}"))
+        assert len(hub.bundles) == 2 and hub.dropped == 2
+
+    def test_find_bundles_filters_by_request(self, tmp_path):
+        hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=8, post=2)
+        hub.emit(self._triggered_rec(hub, rid="alpha"))
+        hub.set_context(request_id="beta")
+        hub.emit(self._triggered_rec(hub, rid="beta"))
+        assert len(find_bundles(str(tmp_path))) == 2
+        only = find_bundles(str(tmp_path), "alpha")
+        assert len(only) == 1 and "pm-reqalpha-" in only[0]
+        assert hub.find_bundle("beta") is not None
+
+    def test_disarmed_hub_hands_out_no_recorders(self):
+        hub = FlightRecorderHub(armed=False)
+        assert hub.new_recorder(("a",), {"a": 1}, _decoder) is None
+
+    def test_emit_counts_dump_metric(self, tmp_path):
+        registry = MetricsRegistry()
+        with observe(metrics=registry):
+            hub = FlightRecorderHub(dump_dir=str(tmp_path), pre=8, post=2)
+            hub.emit(self._triggered_rec(hub))
+        snap = {r["name"]: r["value"] for r in registry.snapshot()["counters"]}
+        assert snap.get("hdl.flightrec_dumps") == 1
+        assert snap.get("hdl.flightrec_samples", 0) > 0
+
+    def test_armed_context_swaps_only_flightrec_slot(self):
+        hub = FlightRecorderHub()
+        before = OBS.flightrec
+        with armed(hub) as h:
+            assert h is hub and OBS.flightrec is hub
+        assert OBS.flightrec is before
+        with armed(None) as h:  # disarmed path is a no-op
+            assert h is None and OBS.flightrec is before
+
+
+# ----------------------------------------------------------------------
+# CaptureWindow rendering / VCD round trip
+# ----------------------------------------------------------------------
+class TestCaptureWindow:
+    def _window(self):
+        return CaptureWindow(
+            cycles=[4, 5, 6, 7],
+            signals={"a": [0, 1, 1, 0], "b": [3, 3, 9, 9]},
+            widths={"a": 1, "b": 4},
+            trigger_cycle=6,
+            cause="b corrupted",
+            lane=2,
+        )
+
+    def test_vcd_carries_window_metadata(self):
+        from repro.hdl.waveform import parse_vcd
+
+        parsed = parse_vcd(self._window().to_vcd())
+        note = " ".join(parsed.comments)
+        assert "start_cycle=4" in note and "trigger_cycle=6" in note
+        assert "lane=2" in note
+        assert parsed.history("b") == [3, 3, 9, 9]
+
+    def test_ascii_marks_trigger_column(self):
+        art = self._window().ascii_diagram()
+        assert "^ trigger" in art
+
+    def test_dict_round_trip(self):
+        w = self._window()
+        again = CaptureWindow.from_dict(w.to_dict())
+        assert again.cycles == w.cycles
+        assert again.signals == w.signals
+        assert again.trigger_cycle == 6 and again.lane == 2

@@ -9,6 +9,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    parse_prometheus_text,
 )
 
 
@@ -284,3 +285,66 @@ class TestPrometheusExport:
         path = tmp_path / "m.prom"
         reg.write_prometheus(str(path))
         assert "c_total 1" in path.read_text()
+
+
+class TestParsePrometheusText:
+    """Scrape-side robustness: `repro top` must survive hostile exposition."""
+
+    def test_round_trip_of_own_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs").inc(3, backend="gate")
+        reg.gauge("depth").set(7)
+        parsed = parse_prometheus_text(reg.to_prometheus())
+        assert parsed["reqs_total"]["type"] == "counter"
+        assert parsed["reqs_total"]["samples"] == [({"backend": "gate"}, 3.0)]
+        assert parsed["depth"]["samples"] == [({}, 7.0)]
+
+    def test_truncated_help_and_type_lines_are_skipped(self):
+        text = "# HELP\n# TYPE\n# TYPE lonely\n# HELP x partial\nx 4\n"
+        parsed = parse_prometheus_text(text)
+        # the sample survives; the broken comment lines contribute nothing
+        assert parsed["x"]["samples"] == [({}, 4.0)]
+        assert parsed["x"]["type"] == "untyped"
+
+    def test_nan_and_inf_values(self):
+        import math
+
+        parsed = parse_prometheus_text("a NaN\nb +Inf\nc -Inf\n")
+        assert math.isnan(parsed["a"]["samples"][0][1])
+        assert parsed["b"]["samples"][0][1] == math.inf
+        assert parsed["c"]["samples"][0][1] == -math.inf
+
+    def test_non_numeric_value_is_skipped(self):
+        parsed = parse_prometheus_text("a 1\nb banana\n")
+        assert "b" not in parsed and "a" in parsed
+
+    def test_unescaped_quote_inside_label_value(self):
+        # 'say "hi"' written WITHOUT escaping — invalid exposition.  The
+        # parser must not crash or smear labels across samples.
+        text = 'm{msg="say "hi"",other="ok"} 1\nnext 2\n'
+        parsed = parse_prometheus_text(text)
+        assert parsed["next"]["samples"] == [({}, 2.0)]
+        if "m" in parsed:  # salvaged labels must at least be well-formed
+            for labels, _ in parsed["m"]["samples"]:
+                assert all(isinstance(v, str) for v in labels.values())
+
+    def test_escaped_label_values_unescape(self):
+        text = 'm{msg="line\\nbreak \\"q\\" back\\\\slash"} 1\n'
+        (labels, value), = parse_prometheus_text(text)["m"]["samples"]
+        assert labels["msg"] == 'line\nbreak "q" back\\slash'
+        assert value == 1.0
+
+    def test_garbage_lines_and_blank_lines(self):
+        text = "\n\n!!! not prometheus\n{} 3\nok 1 extra trailing\nok 5\n"
+        parsed = parse_prometheus_text(text)
+        assert parsed.keys() == {"ok"}
+        # `ok 1 extra trailing` has trailing junk -> skipped; `ok 5` kept
+        assert parsed["ok"]["samples"] == [({}, 5.0)]
+
+    def test_histogram_suffixes_inherit_base_type(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10,))
+        h.observe(5)
+        parsed = parse_prometheus_text(reg.to_prometheus())
+        for name in ("lat_bucket", "lat_sum", "lat_count"):
+            assert parsed[name]["type"] == "histogram"
