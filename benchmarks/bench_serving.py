@@ -18,6 +18,7 @@ explicitly instead of publishing the misleading number.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import time
@@ -81,6 +82,15 @@ def test_parallel_throughput_and_coalescing(save_table, benchmark_metrics):
     assert sizes.count == MODULI and sizes.sum == REQUESTS
 
     cores = _available_cores()
+    report = {
+        "requests": REQUESTS,
+        "moduli": MODULI,
+        "modulus_bits": [128, 192],
+        "cores_available": cores,
+        "sequential_s": round(seq_s, 4),
+        "sequential_rps": round(REQUESTS / seq_s, 1),
+        "parallel": None,
+    }
     rows = [
         ["sequential (1 worker)", round(seq_s, 3), round(REQUESTS / seq_s, 1)],
     ]
@@ -95,6 +105,13 @@ def test_parallel_throughput_and_coalescing(save_table, benchmark_metrics):
             ["4 process workers", round(par_s, 3), round(REQUESTS / par_s, 1)],
             ["speedup", "-", round(speedup, 2)],
         ]
+        report["parallel"] = {
+            "workers": 4,
+            "kind": "process",
+            "wall_s": round(par_s, 4),
+            "rps": round(REQUESTS / par_s, 1),
+            "speedup": round(speedup, 3),
+        }
     else:
         rows.append(
             [
@@ -103,6 +120,7 @@ def test_parallel_throughput_and_coalescing(save_table, benchmark_metrics):
                 f"only {cores} core available",
             ]
         )
+        report["parallel"] = {"skipped": f"only {cores} core available"}
     save_table(
         "serving_throughput",
         render_table(
@@ -114,6 +132,16 @@ def test_parallel_throughput_and_coalescing(save_table, benchmark_metrics):
             ),
         ),
     )
+    # JSON twin of the table: same figures machine-readable, with the
+    # detected core count so a scraped result is interpretable without
+    # knowing where it ran.
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results"
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "serving_throughput.json"), "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
     if cores >= 4:
         # Generous margin below the ideal 4x: pool + pickling overhead.
         assert speedup >= 2.0, f"expected >=2x with 4 workers, got {speedup:.2f}x"

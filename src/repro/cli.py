@@ -214,9 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
         grp.add_argument("--workers", type=int, default=1, help="worker count")
         grp.add_argument(
             "--worker-kind",
-            choices=("auto", "process", "thread", "inline"),
+            choices=("auto", "process", "thread", "inline", "shard"),
             default="auto",
-            help="worker pool kind (auto: processes when the backend allows)",
+            help="worker pool kind (auto: processes when the backend allows; "
+            "shard: modulus-homed warm workers over binary batch frames)",
         )
         grp.add_argument(
             "--max-batch",
@@ -1637,6 +1638,18 @@ def _top_summary(metrics) -> dict:
         },
         "worker_busy_us": per_worker,
     }
+    shards: dict = {}
+    for name, field in (
+        ("serving_shard_busy_fraction", "busy_fraction"),
+        ("serving_shard_queue_depth", "queue_depth"),
+        ("serving_shard_cache_hit_rate", "cache_hit_rate"),
+    ):
+        entry = metrics.get(name)
+        if entry:
+            for lb, v in entry["samples"]:
+                shards.setdefault(lb.get("shard", "?"), {})[field] = v
+    if shards:
+        summary["shards"] = {k: shards[k] for k in sorted(shards)}
     if metrics.get("chip_tile_busy_fraction"):
         summary["chip"] = {
             "tile_busy_fraction": _mx_total(metrics, "chip_tile_busy_fraction"),
@@ -1701,6 +1714,22 @@ def _render_top_frame(url: str, text: str) -> str:
             f"{idle:.1%}" if idle else "-",
         )
     )
+    busy_mx = metrics.get("serving_shard_busy_fraction")
+    if busy_mx:
+        parts = []
+        for lb, v in sorted(
+            busy_mx["samples"], key=lambda s: s[0].get("shard", "")
+        ):
+            sid = lb.get("shard", "?")
+            parts.append(
+                "s{} busy={:.0%} q={:.0f} hit={:.0%}".format(
+                    sid,
+                    v,
+                    total("serving_shard_queue_depth", shard=sid),
+                    total("serving_shard_cache_hit_rate", shard=sid),
+                )
+            )
+        lines.append("shards     " + "  ".join(parts))
     tile_busy = total("chip_tile_busy_fraction")
     if metrics.get("chip_tile_busy_fraction"):
         waves = total("chip_waves_in_flight")

@@ -30,6 +30,7 @@ __all__ = [
     "ServingError",
     "QueueFull",
     "WireFormatError",
+    "ShardFailure",
     "FaultDetected",
     "InjectedFault",
 ]
@@ -70,6 +71,18 @@ class QueueFull(ServingError):
 
 class WireFormatError(ServingError, ValueError):
     """A JSON-lines request could not be parsed into a ModExpRequest."""
+
+
+class ShardFailure(ServingError):
+    """A sharded batch could not be completed by its worker process.
+
+    Raised into a request's future when the shard owning its batch died
+    and the exactly-once requeue was already spent (the respawned shard
+    died again on the same batch), or when every shard in the map is
+    marked dead.  The serving layer's retry ladder treats it like any
+    other transient failure: the request re-executes inline under the
+    retry policy.
+    """
 
 
 class FaultDetected(ServingError):

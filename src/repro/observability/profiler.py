@@ -110,6 +110,19 @@ def attribute_serving(registry: MetricsRegistry) -> Dict[str, Any]:
         for row in registry.counter("serving.worker_busy_us").snapshot():
             worker = row["labels"].get("worker", "?")
             workers[worker] = workers.get(worker, 0.0) + row["value"]
+    # Sharded data plane: the pool exports one gauge sample per shard;
+    # folded into {shard: {field: value}} so the report (and `repro
+    # profile --json` consumers) see each shard's health individually.
+    shards: Dict[str, Dict[str, float]] = {}
+    for metric, field in (
+        ("serving.shard_busy_fraction", "busy_fraction"),
+        ("serving.shard_queue_depth", "queue_depth"),
+        ("serving.shard_cache_hit_rate", "cache_hit_rate"),
+    ):
+        if metric in registry:
+            for row in registry.gauge(metric).snapshot():
+                sid = row["labels"].get("shard", "?")
+                shards.setdefault(sid, {})[field] = row["value"]
     total = queue_wait + execution + verify
     return {
         "queue_wait_us": queue_wait,
@@ -118,6 +131,7 @@ def attribute_serving(registry: MetricsRegistry) -> Dict[str, Any]:
         "total_us": total,
         "queue_wait_p50_us": _hist_percentile(registry, "serving.queue_wait_us", 50),
         "workers": workers,
+        "shards": {sid: shards[sid] for sid in sorted(shards)},
     }
 
 
@@ -286,6 +300,19 @@ def render_report(
                 lines.append(
                     f"    {worker:<20} {serving['workers'][worker] / 1000:>10.2f} ms"
                 )
+    if serving["shards"]:
+        lines.append("")
+        lines.append("shards (modulus-homed data plane):")
+        for sid, row in serving["shards"].items():
+            lines.append(
+                "  shard{:<4} busy {:>6.1%}  queue {:>4.0f}  "
+                "cache hit {:>6.1%}".format(
+                    sid,
+                    row.get("busy_fraction", 0.0),
+                    row.get("queue_depth", 0.0),
+                    row.get("cache_hit_rate", 0.0),
+                )
+            )
 
     if occupancy is not None and heatmap_source is not None:
         if occupancy.cycles(heatmap_source):

@@ -16,14 +16,20 @@ single-shot engines into a multi-worker modular-exponentiation service.
   ordering.
 * :mod:`repro.serving.pool` — the bounded worker pool (process workers
   for big-int backends, thread workers for the simulators) with explicit
-  ``QueueFull`` backpressure.
+  ``QueueFull`` backpressure, and the shared :class:`SlotWindow`
+  in-flight accounting.
+* :mod:`repro.serving.shard` — the sharded data plane: consistent-hash
+  placement of ``(modulus, l)`` onto pre-forked warm workers, coalesced
+  batches crossing per-shard pipes as single binary frames, shard death
+  → respawn → exactly-once requeue.
 * :mod:`repro.serving.service` — the :class:`ModExpService` facade the
   CLI commands ``repro serve`` / ``repro batch`` drive.
 * :mod:`repro.serving.slo` — :class:`SLOPolicy`, the cycle-budget SLO
   derived from the paper's ``3l+4`` / Eq. (10) formulas.
 * :mod:`repro.serving.http` — :class:`TelemetryServer`, the ``/metrics``
   (Prometheus) + ``/healthz`` scrape endpoint ``repro serve`` can run.
-* :mod:`repro.serving.wire` — the JSON-lines request/result format.
+* :mod:`repro.serving.wire` — the JSON-lines request/result format and
+  the binary batch-frame format the shard plane speaks.
 * :mod:`repro.serving.workload` — seeded workload generator (Zipf keyring
   traffic, mixed exponents, open-loop bursts) behind ``repro loadgen``.
 
@@ -48,16 +54,23 @@ from repro.serving.backends import (
     default_registry,
 )
 from repro.serving.http import TelemetryServer
-from repro.serving.pool import WorkerPool
+from repro.serving.pool import SlotWindow, WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
-from repro.serving.scheduler import Batch, BatchScheduler, coalesce
+from repro.serving.scheduler import Batch, BatchScheduler, coalesce, lane_groups
 from repro.serving.service import ModExpService
+from repro.serving.shard import ShardMap, ShardPool, placement_key
 from repro.serving.slo import SLOPolicy
 from repro.serving.wire import (
+    decode_batch_frame,
+    decode_result_frame,
+    encode_batch_frame,
+    encode_result_frame,
     parse_request_line,
+    read_frame,
     read_requests,
     request_to_json,
     result_to_json,
+    write_frame,
 )
 from repro.serving.workload import Workload, WorkloadConfig, generate_workload
 
@@ -67,12 +80,17 @@ __all__ = [
     "BackendResult",
     "ModExpBackend",
     "default_registry",
+    "SlotWindow",
     "WorkerPool",
+    "ShardMap",
+    "ShardPool",
+    "placement_key",
     "ModExpRequest",
     "ModExpResult",
     "Batch",
     "BatchScheduler",
     "coalesce",
+    "lane_groups",
     "ModExpService",
     "SLOPolicy",
     "TelemetryServer",
@@ -80,6 +98,12 @@ __all__ = [
     "read_requests",
     "request_to_json",
     "result_to_json",
+    "encode_batch_frame",
+    "decode_batch_frame",
+    "encode_result_frame",
+    "decode_result_frame",
+    "write_frame",
+    "read_frame",
     "Workload",
     "WorkloadConfig",
     "generate_workload",

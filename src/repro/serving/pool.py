@@ -45,9 +45,97 @@ from typing import Any, Callable, Optional
 from repro.errors import ParameterError, QueueFull
 from repro.observability import OBS
 
-__all__ = ["WorkerPool"]
+__all__ = ["SlotWindow", "WorkerPool"]
 
 _KINDS = ("process", "thread", "inline")
+
+
+class SlotWindow:
+    """Bounded in-flight slot accounting, shared by the worker pools.
+
+    One instance tracks how many submitted-but-unfinished tasks a pool
+    has admitted.  :meth:`reserve` applies the bound (raising
+    :class:`~repro.errors.QueueFull` past it), :meth:`release` frees one
+    future's slot exactly once however many times it is called (done
+    callback, abandonment, shutdown may race), and :meth:`wait` blocks
+    callers that prefer flow control over rejection.  The current depth
+    is exported as the ``serving.queue_depth`` gauge on every change.
+
+    Both :class:`WorkerPool` (one slot per task) and the sharded pool
+    (one slot per request, reserved a batch at a time) delegate here so
+    the two data planes share one backpressure semantic.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ParameterError(f"queue_limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._inflight = 0
+        self._cond = threading.Condition()
+
+    @property
+    def depth(self) -> int:
+        return self._inflight
+
+    def _gauge(self) -> None:
+        if OBS.enabled:
+            OBS.gauge("serving.queue_depth", self._inflight)
+
+    def reserve(self, slots: int = 1, *, elastic: bool = False) -> None:
+        """Admit ``slots`` tasks or raise :class:`QueueFull`.
+
+        ``elastic`` admits an oversized reservation when the window is
+        empty — a batch larger than the whole window must not deadlock a
+        ``wait``-mode submitter that can never see enough free slots.
+        """
+        with self._cond:
+            over = self._inflight + slots > self.limit
+            if over and not (elastic and self._inflight == 0):
+                raise QueueFull(
+                    f"worker queue full ({self._inflight}/{self.limit} "
+                    f"in flight, {slots} requested); retry later"
+                )
+            self._inflight += slots
+            self._gauge()
+
+    def release(self, future: Future) -> bool:
+        """Release ``future``'s slot — exactly once, however often called.
+
+        Runs as the done callback *and* from explicit abandonment; the
+        per-future flag (checked under the lock) makes the paths
+        race-free, so a slot can never be double-freed (which would
+        corrupt the window) nor leaked (which would deadlock it).
+        Returns ``True`` if this call released the slot.
+        """
+        with self._cond:
+            if getattr(future, "_repro_released", False):
+                return False
+            future._repro_released = True
+            self._inflight -= 1
+            self._gauge()
+            self._cond.notify_all()
+            return True
+
+    def cancel_reservation(self, slots: int = 1) -> None:
+        """Back out slots reserved for a submission that never happened."""
+        with self._cond:
+            self._inflight -= slots
+            self._gauge()
+            self._cond.notify_all()
+
+    def wait(self, timeout: Optional[float] = None, *, slots: int = 1) -> bool:
+        """Block until ``slots`` tasks would be admitted (or ``timeout``).
+
+        The predicate mirrors :meth:`reserve` including its elastic
+        escape hatch (an empty window admits any size), so a waiter
+        holding an oversized batch cannot spin on a window that is
+        below the limit yet still too full for the whole batch.
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._inflight + slots <= self.limit or self._inflight == 0,
+                timeout=timeout,
+            )
 
 
 class WorkerPool:
@@ -78,10 +166,7 @@ class WorkerPool:
         self.kind = kind
         self.workers = workers
         self.queue_limit = queue_limit if queue_limit is not None else 4 * workers
-        if self.queue_limit < 1:
-            raise ParameterError(f"queue_limit must be >= 1, got {self.queue_limit}")
-        self._inflight = 0
-        self._capacity = threading.Condition()
+        self._window = SlotWindow(self.queue_limit)
         self._closed = False
         self._exec_lock = threading.Lock()  # serializes respawn/shutdown
         self.restarts = 0
@@ -98,21 +183,13 @@ class WorkerPool:
     @property
     def depth(self) -> int:
         """Current in-flight task count (the queue-depth gauge value)."""
-        return self._inflight
+        return self._window.depth
 
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         """Dispatch ``fn(*args, **kwargs)``; reject when the window is full."""
         if self._closed:
             raise QueueFull("worker pool is shut down")
-        with self._capacity:
-            if self._inflight >= self.queue_limit:
-                raise QueueFull(
-                    f"worker queue full ({self._inflight}/{self.queue_limit} "
-                    f"in flight); retry later"
-                )
-            self._inflight += 1
-            if OBS.enabled:
-                OBS.gauge("serving.queue_depth", self._inflight)
+        self._window.reserve()
         if self._executor is None:
             future: Future = Future()
             try:
@@ -128,44 +205,22 @@ class WorkerPool:
             # the executor.  Replace it and retry the submission once; a
             # second failure releases the slot and propagates.
             if self.kind != "process" or self._closed:
-                self._cancel_reservation()
+                self._window.cancel_reservation()
                 raise
             self.respawn()
             try:
                 future = self._executor.submit(fn, *args, **kwargs)
             except BaseException:
-                self._cancel_reservation()
+                self._window.cancel_reservation()
                 raise
         except BaseException:
-            self._cancel_reservation()
+            self._window.cancel_reservation()
             raise
         future.add_done_callback(self._release)
         return future
 
     def _release(self, future: Future) -> None:
-        """Release ``future``'s slot — exactly once, however often called.
-
-        Runs as the done callback *and* from :meth:`abandon`; the
-        per-future flag (checked under the capacity lock) makes the two
-        paths race-free, so a slot can never be double-freed (which
-        would corrupt the window) nor leaked (which would deadlock it).
-        """
-        with self._capacity:
-            if getattr(future, "_repro_released", False):
-                return
-            future._repro_released = True
-            self._inflight -= 1
-            if OBS.enabled:
-                OBS.gauge("serving.queue_depth", self._inflight)
-            self._capacity.notify_all()
-
-    def _cancel_reservation(self) -> None:
-        """Back out a slot reserved for a submission that never happened."""
-        with self._capacity:
-            self._inflight -= 1
-            if OBS.enabled:
-                OBS.gauge("serving.queue_depth", self._inflight)
-            self._capacity.notify_all()
+        self._window.release(future)
 
     def abandon(self, future: Future) -> bool:
         """Give up on a still-running task: free its slot immediately.
@@ -179,16 +234,11 @@ class WorkerPool:
         the slot already released and does nothing.
         """
         future.cancel()  # removes it from the executor queue if not started
-        with self._capacity:
-            if getattr(future, "_repro_released", False):
-                return False
-            future._repro_released = True
-            self._inflight -= 1
+        if self._window.release(future):
             if OBS.enabled:
-                OBS.gauge("serving.queue_depth", self._inflight)
                 OBS.count("serving.abandoned")
-            self._capacity.notify_all()
             return True
+        return False
 
     def respawn(self) -> None:
         """Replace a broken process executor with a fresh one.
@@ -210,12 +260,11 @@ class WorkerPool:
         if old is not None:
             old.shutdown(wait=False, cancel_futures=True)
 
-    def wait_for_capacity(self, timeout: Optional[float] = None) -> bool:
+    def wait_for_capacity(
+        self, timeout: Optional[float] = None, *, slots: int = 1
+    ) -> bool:
         """Block until a submission would be admitted (or ``timeout``)."""
-        with self._capacity:
-            return self._capacity.wait_for(
-                lambda: self._inflight < self.queue_limit, timeout=timeout
-            )
+        return self._window.wait(timeout, slots=slots)
 
     # ------------------------------------------------------------------
     def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:

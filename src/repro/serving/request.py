@@ -104,6 +104,19 @@ class ModExpRequest:
         """Requests sharing this key share one Montgomery pre-computation."""
         return (self.modulus, self.l)
 
+    @property
+    def shard_key(self) -> int:
+        """Stable placement key for the sharded data plane.
+
+        A digest of :attr:`coalesce_key`, so every request for one
+        ``(modulus, l)`` hashes to the same ring position and therefore
+        the same home shard — keeping that shard's compiled-kernel and
+        Montgomery-constant caches warm for its moduli.
+        """
+        from repro.serving.shard import placement_key
+
+        return placement_key(self.modulus, self.l)
+
     def expected(self) -> int:
         """Reference answer via CPython's ``pow`` (tests / verification)."""
         return pow(self.base, self.exponent, self.modulus)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import QueueFull
 from repro.montgomery.params import (
@@ -39,7 +39,41 @@ from repro.observability import OBS
 from repro.serving.backends import ModExpBackend
 from repro.serving.request import ModExpRequest
 
-__all__ = ["Batch", "coalesce", "BatchScheduler"]
+__all__ = ["Batch", "coalesce", "lane_groups", "BatchScheduler"]
+
+T = TypeVar("T")
+
+
+def lane_groups(
+    items: Sequence[T],
+    lanes: int,
+    *,
+    mixed: bool = False,
+    exponent_of: Callable[[T], Any] = lambda item: item.exponent,
+) -> List[List[T]]:
+    """Partition one batch's items into lane-packable groups.
+
+    Bit-sliced lane packing needs a shared square-and-multiply schedule,
+    so only requests with identical exponents share a group; groups are
+    capped at the backend's lane width.  Backends declaring
+    ``capabilities.mixed_exponent_lanes`` (the chip, which interleaves
+    independent chains instead of lock-stepping lanes) group the whole
+    batch regardless of exponent.  Order within a group follows batch
+    order.
+
+    Shared by the service's dispatcher (grouping in-flight ``_Entry``
+    objects via ``exponent_of``) and the shard worker loop (grouping
+    decoded :class:`ModExpRequest` objects directly).
+    """
+    by_exponent: Dict[Any, List[T]] = {}
+    for item in items:
+        key = None if mixed else exponent_of(item)
+        by_exponent.setdefault(key, []).append(item)
+    groups: List[List[T]] = []
+    for members in by_exponent.values():
+        for lo in range(0, len(members), lanes):
+            groups.append(members[lo : lo + lanes])
+    return groups
 
 
 @dataclass

@@ -90,7 +90,7 @@ from repro.serving.backends import (
 )
 from repro.serving.pool import WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
-from repro.serving.scheduler import Batch, coalesce
+from repro.serving.scheduler import Batch, coalesce, lane_groups
 from repro.serving.slo import SLOPolicy
 from repro.serving.wire import parse_request_line, result_to_json
 
@@ -287,9 +287,12 @@ class ModExpService:
     workers:
         Worker count.
     worker_kind:
-        ``"process"`` / ``"thread"`` / ``"inline"`` / ``"auto"``.  Auto
-        picks processes for process-safe backends with ``workers > 1``,
-        threads otherwise.
+        ``"process"`` / ``"thread"`` / ``"inline"`` / ``"shard"`` /
+        ``"auto"``.  Auto picks processes for process-safe backends with
+        ``workers > 1``, threads otherwise.  ``"shard"`` selects the
+        sharded data plane (:mod:`repro.serving.shard`): ``workers``
+        pre-forked warm processes, batches consistent-hashed by
+        ``(modulus, l)`` and shipped as single binary frames.
     queue_limit:
         Bounded in-flight window of the pool (default ``4 × workers``).
     max_batch:
@@ -366,19 +369,37 @@ class ModExpService:
                     f"registry, which has no {self.backend.name!r}; "
                     "use worker_kind='thread' for custom backends"
                 )
+        if worker_kind == "shard" and self.backend.name not in default_registry():
+            raise ParameterError(
+                "shard workers resolve backends by name from the default "
+                f"registry, which has no {self.backend.name!r}; "
+                "use worker_kind='thread' for custom backends"
+            )
         if max_batch < 1:
             raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
         self.max_batch = max_batch
         self.default_timeout = default_timeout
-        self.pool = WorkerPool(
-            workers=workers, kind=worker_kind, queue_limit=queue_limit
-        )
+        # The chaos plan must exist before the pool: shard workers take
+        # it at fork time.
+        self.chaos = chaos if (chaos is not None and chaos.active) else None
+        if worker_kind == "shard":
+            from repro.serving.shard import ShardPool
+
+            self.pool: Any = ShardPool(
+                shards=workers,
+                backend=self.backend.name,
+                queue_limit=queue_limit,
+                chaos=self.chaos,
+            )
+        else:
+            self.pool = WorkerPool(
+                workers=workers, kind=worker_kind, queue_limit=queue_limit
+            )
         self.slo = slo
         self.verify_policy = verify if (verify is not None and verify.enabled) else None
         self._verifier = (
             ResultVerifier(self.verify_policy) if self.verify_policy else None
         )
-        self.chaos = chaos if (chaos is not None and chaos.active) else None
         self.retry = retry
         self._retry_budget = RetryBudget(retry_budget)
         self.breakers = BreakerBoard(breaker) if breaker is not None else None
@@ -453,25 +474,14 @@ class ModExpService:
     def _lane_groups(
         entries: List[_Entry], lanes: int, *, mixed: bool = False
     ) -> List[List[_Entry]]:
-        """Partition one batch's entries into lane-packable groups.
+        """Lane-packable groups of in-flight entries.
 
-        Bit-sliced lane packing needs a shared square-and-multiply
-        schedule, so only requests with identical exponents share a
-        group; groups are capped at the backend's lane width.  Backends
-        declaring ``capabilities.mixed_exponent_lanes`` (the chip, which
-        interleaves independent chains instead of lock-stepping lanes)
-        group the whole batch regardless of exponent.  Order within a
-        group follows batch order.
+        Delegates to :func:`repro.serving.scheduler.lane_groups`, the
+        grouping rule shared with the shard worker loop.
         """
-        by_exponent: Dict[Optional[int], List[_Entry]] = {}
-        for entry in entries:
-            key = None if mixed else entry.request.exponent
-            by_exponent.setdefault(key, []).append(entry)
-        groups: List[List[_Entry]] = []
-        for members in by_exponent.values():
-            for lo in range(0, len(members), lanes):
-                groups.append(members[lo : lo + lanes])
-        return groups
+        return lane_groups(
+            entries, lanes, mixed=mixed, exponent_of=lambda e: e.request.exponent
+        )
 
     def _submit_group(
         self, spec: Any, batch: Batch, group: List[_Entry], *, on_full: str
@@ -542,7 +552,13 @@ class ModExpService:
         task per request, exactly as before.  Lane grouping is skipped on
         process pools (no lane-capable backend is process-safe, but a
         custom registry could claim otherwise).
+
+        Shard pools take a different path entirely: each batch ships to
+        its home shard as one binary frame (lane grouping then happens
+        inside the warm worker).
         """
+        if self.pool.kind == "shard":
+            return self._dispatch_shard(batches, entries_by_id, on_full=on_full)
         spec = self._backend_spec()
         lanes = self.backend.capabilities.lanes
         # Lane packing is suspended under chaos: each request must get its
@@ -579,6 +595,70 @@ class ModExpService:
                         backend=self.backend.name,
                     )
                 self._submit_group(spec, batch, group, on_full=on_full)
+        return dispatched
+
+    def _dispatch_shard(
+        self,
+        batches: List[Batch],
+        entries_by_id: Dict[int, Deque[_Entry]],
+        *,
+        on_full: str,
+    ) -> List[_Entry]:
+        """Ship each coalesced batch to its home shard as one frame.
+
+        One :meth:`~repro.serving.shard.ShardPool.submit_batch` call per
+        batch returns one future per request; the collector harvests
+        them exactly like single-task futures (``group_pos`` stays
+        ``None`` — the payload is already per-request).  Backpressure is
+        batch-granular: a batch that does not fit the window is rejected
+        or waited out whole.
+        """
+        dispatched: List[_Entry] = []
+        for batch in batches:
+            entries = [entries_by_id[id(r)].popleft() for r in batch.requests]
+            for entry in entries:
+                entry.batch_index = batch.index
+                entry.context = batch.context
+            dispatched.extend(entries)
+            while True:
+                try:
+                    now = time.monotonic()
+                    futures = self.pool.submit_batch(batch.requests)
+                    for entry, future in zip(entries, futures):
+                        entry.submitted_at = now
+                        entry.future = future
+                    if OBS.enabled:
+                        OBS.count(
+                            "serving.requests",
+                            len(entries),
+                            status="accepted",
+                            backend=self.backend.name,
+                        )
+                    break
+                except QueueFull as exc:
+                    if on_full == "reject":
+                        for entry in entries:
+                            entry.result = ModExpResult.failure(
+                                entry.request.request_id,
+                                exc,
+                                backend=self.backend.name,
+                                batch_index=batch.index,
+                            )
+                        if OBS.enabled:
+                            OBS.count(
+                                "serving.requests",
+                                len(entries),
+                                status="rejected",
+                                backend=self.backend.name,
+                            )
+                        break
+                    # Wait for the whole batch's worth of slots, not just
+                    # one — a below-limit-but-too-full window would
+                    # otherwise bounce the waiter straight back into
+                    # QueueFull in a hot loop.
+                    self.pool.wait_for_capacity(
+                        timeout=0.5, slots=len(batch.requests)
+                    )
         return dispatched
 
     # ------------------------------------------------------------------

@@ -1,0 +1,831 @@
+"""Sharded serving data plane: warm, modulus-homed worker processes.
+
+The process-pool data plane pays for its generality twice per request:
+the task function and its arguments are pickled through a
+``ProcessPoolExecutor``, and whichever worker happens to pick the task
+up starts with cold caches — the compiled-kernel LRU and the
+``precompute_montgomery_constants()`` table are per-process, so a
+request's modulus is as likely as not to land on a worker that has
+never seen it.  ``benchmarks/results/serving_throughput.txt`` recorded
+the verdict: four process workers ran *slower* than sequential.
+
+This module replaces that plane with three pieces:
+
+* :class:`ShardMap` — a consistent-hash ring that assigns every
+  ``(modulus, l)`` key a **home shard**.  Same key, same shard, every
+  time — so each shard's caches stay hot for its home moduli, the way
+  the quad-core RSA processor in the related work gives each core its
+  own key material.  Virtual nodes smooth the key distribution; dead
+  shards are skipped on the ring (their key ranges reassign to the next
+  alive shard) and reclaim their ranges when respawned.
+* the **batch frame** wire (see :mod:`repro.serving.wire`) — one
+  coalesced batch travels to its shard as one length-prefixed binary
+  message over a duplex pipe, big-int operands as raw bytes; the shard
+  answers with one result frame carrying every outcome plus a metrics
+  snapshot for the whole batch.  No pickling, no per-request IPC.
+* :class:`ShardPool` — the dispatcher.  It exposes the same surface the
+  service uses on :class:`~repro.serving.pool.WorkerPool` (``depth``,
+  ``abandon``, ``wait_for_capacity``, ``shutdown``, the shared
+  :class:`~repro.serving.pool.SlotWindow` backpressure), plus
+  :meth:`~ShardPool.submit_batch`, which reserves one slot per request,
+  ships the frame, and returns one future per request resolving to the
+  same ``(value, cycles, wall_us, worker, telemetry)`` payload the
+  pool tasks produce — so the service's collector, verifier, retry
+  ladder and SLO accounting work unchanged.
+
+**Failure semantics.**  A shard death (chaos kill, OOM, crash) surfaces
+as EOF on its pipe.  The reader thread marks the shard dead on the ring,
+respawns a fresh worker (counting ``serving.worker_restarts``), marks it
+alive again, and requeues every batch the dead worker held — exactly
+once, with the attempt index bumped so a deterministic chaos kill does
+not simply re-fire.  A batch whose requeue *also* dies fails its futures
+with :class:`~repro.errors.ShardFailure`, handing the requests to the
+service's inline retry ladder.  A worker sends its result frame only
+after finishing the whole batch, and the pipe delivers buffered frames
+before EOF, so a batch is never both answered and requeued.
+
+**Telemetry.**  Each worker wraps every batch in a fresh local
+observation session and ships the registry snapshot home in the result
+frame; the parent merges it with ``shard=N`` / ``worker=shardN`` labels.
+The per-shard ``montgomery.precompute`` / ``montgomery.precompute_cache_hits``
+counters that fall out are the homing proof: a warm shard serves its
+home moduli from cache.  The pool additionally maintains
+``serving.shard_queue_depth``, ``serving.shard_busy_fraction`` and
+``serving.shard_cache_hit_rate`` gauges per shard for the dashboards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import multiprocessing
+import threading
+import time
+from contextlib import nullcontext
+from concurrent.futures import Future, InvalidStateError
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    FaultDetected,
+    InjectedFault,
+    ParameterError,
+    QueueFull,
+    ServingError,
+    ShardFailure,
+    WireFormatError,
+)
+from repro.montgomery.params import precompute_montgomery_constants
+from repro.observability import OBS, MetricsRegistry, observe
+from repro.robustness.chaos import ChaosConfig
+from repro.serving.pool import SlotWindow
+from repro.serving.request import ModExpRequest
+from repro.serving.scheduler import lane_groups
+from repro.serving.wire import (
+    decode_batch_frame,
+    decode_result_frame,
+    encode_batch_frame,
+    encode_result_frame,
+)
+
+__all__ = ["placement_key", "ShardMap", "ShardPool", "RemoteWorkerError"]
+
+#: Virtual nodes per shard on the consistent-hash ring.  More vnodes
+#: smooth the key distribution at the cost of ring size; 64 keeps an
+#: 8-moduli workload within one request of perfectly balanced on 4 shards.
+DEFAULT_VNODES = 64
+
+
+def placement_key(modulus: int, l: int = 0) -> int:
+    """Stable 64-bit ring position for one ``(modulus, l)`` key."""
+    digest = hashlib.blake2b(
+        f"{modulus}|{l}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """Consistent-hash ring mapping placement keys to shard indices.
+
+    Each shard owns :data:`DEFAULT_VNODES` pseudo-random ring positions;
+    a key belongs to the first position at or after its own (wrapping).
+    :meth:`owner` walks past positions of dead shards, so marking a
+    shard dead reassigns exactly its key ranges — every other key keeps
+    its home — and marking it alive again returns them.
+    """
+
+    def __init__(self, shards: int, *, vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ParameterError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        self._alive = [True] * shards
+        ring: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                point = int.from_bytes(
+                    hashlib.blake2b(
+                        f"shard{shard}/vnode{vnode}".encode("ascii"),
+                        digest_size=8,
+                    ).digest(),
+                    "big",
+                )
+                ring.append((point, shard))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+
+    @property
+    def alive(self) -> Tuple[bool, ...]:
+        return tuple(self._alive)
+
+    def mark_dead(self, shard: int) -> None:
+        self._alive[shard] = False
+
+    def mark_alive(self, shard: int) -> None:
+        self._alive[shard] = True
+
+    def home(self, key: int) -> int:
+        """The key's home shard, ignoring liveness (stable per key)."""
+        start = bisect.bisect_right(self._points, key) % len(self._ring)
+        return self._ring[start][1]
+
+    def owner(self, key: int) -> int:
+        """The alive shard currently owning ``key``.
+
+        The home shard while it lives; the next alive shard clockwise on
+        the ring while it is dead.  Raises :class:`ShardFailure` when
+        every shard is dead.
+        """
+        start = bisect.bisect_right(self._points, key) % len(self._ring)
+        for offset in range(len(self._ring)):
+            shard = self._ring[(start + offset) % len(self._ring)][1]
+            if self._alive[shard]:
+                return shard
+        raise ShardFailure("every shard in the map is marked dead")
+
+    def assignments(self, keys: Sequence[int]) -> Dict[int, int]:
+        """Convenience: ``{key: owner}`` for a set of placement keys."""
+        return {key: self.owner(key) for key in keys}
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _error_row(request_id: str, exc: BaseException) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "error_type": type(exc).__name__,
+        "check": str(getattr(exc, "check", "")),
+        "error": str(exc) or type(exc).__name__,
+    }
+
+
+def _shard_worker_main(
+    conn: Any, shard_index: int, backend_name: str, chaos: Optional[ChaosConfig]
+) -> None:
+    """Persistent shard worker loop: decode frame → execute batch → reply.
+
+    Runs in a forked child.  The backend is resolved by name **once** —
+    its compiled-kernel caches, and the process-wide Montgomery constant
+    cache, then live for the worker's whole life; that persistence is the
+    entire point of homing moduli onto shards.  Each batch executes under
+    a fresh local observation session whose snapshot travels back in the
+    result frame (telemetry per batch, not per request).
+
+    An empty frame is the shutdown pill.  Any unexpected error (a frame
+    this worker cannot decode, a closed pipe) ends the loop; the parent
+    treats worker exit as a death and requeues whatever was in flight.
+    """
+    from repro.serving.service import _execute_with_chaos, _worker_registry
+
+    backend = _worker_registry().get(backend_name)
+    caps = backend.capabilities
+    chaos = chaos if (chaos is not None and chaos.active) else None
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        if not data:  # shutdown pill
+            return
+        batch_id, attempt, want_telemetry, requests = decode_batch_frame(data)
+        # Metrics capture is opt-in per batch (frame flag, set when the
+        # parent runs under an observation session): the engines' hook
+        # sites on the multiply/exponentiate hot path are not free, and
+        # an un-instrumented serving run must not pay for a snapshot
+        # nobody will read.
+        registry = MetricsRegistry() if want_telemetry else None
+        results: List[Dict[str, Any]] = []
+        started = time.perf_counter()
+        with observe(metrics=registry) if registry is not None else nullcontext():
+            ctx = precompute_montgomery_constants(
+                requests[0].modulus, requests[0].l
+            )
+            # Lane packing is suspended under chaos, exactly as in the
+            # parent's dispatcher: every request needs its own fault
+            # decision, which a lock-step sweep cannot honour.
+            if caps.lanes > 1 and chaos is None:
+                groups = lane_groups(
+                    requests, caps.lanes, mixed=caps.mixed_exponent_lanes
+                )
+            else:
+                groups = [[request] for request in requests]
+            for group in groups:
+                if OBS.enabled:
+                    OBS.count(
+                        "serving.lane_groups",
+                        packed="yes" if len(group) > 1 else "no",
+                    )
+                    OBS.record(
+                        "serving.lane_group_size", len(group), backend=backend_name
+                    )
+                if len(group) == 1:
+                    request = group[0]
+                    t0 = time.perf_counter()
+                    try:
+                        out = _execute_with_chaos(
+                            backend, ctx, request, chaos, attempt, True
+                        )
+                    except BaseException as exc:
+                        results.append(_error_row(request.request_id, exc))
+                        continue
+                    wall_us = (time.perf_counter() - t0) * 1e6
+                    row: Dict[str, Any] = {
+                        "id": request.request_id,
+                        "value": out.value,
+                        "wall_us": wall_us,
+                    }
+                    if out.cycles is not None:
+                        row["cycles"] = out.cycles
+                    results.append(row)
+                else:
+                    t0 = time.perf_counter()
+                    try:
+                        outs = backend.execute_many(ctx, list(group))
+                    except BaseException as exc:
+                        results.extend(
+                            _error_row(r.request_id, exc) for r in group
+                        )
+                        continue
+                    # Wall time is amortized evenly over the lane sweep.
+                    wall_us = (time.perf_counter() - t0) * 1e6 / len(group)
+                    for request, out in zip(group, outs):
+                        row = {
+                            "id": request.request_id,
+                            "value": out.value,
+                            "wall_us": wall_us,
+                        }
+                        if out.cycles is not None:
+                            row["cycles"] = out.cycles
+                        results.append(row)
+        batch_wall_us = (time.perf_counter() - started) * 1e6
+        frame = encode_result_frame(
+            batch_id,
+            results,
+            batch_wall_us=batch_wall_us,
+            telemetry=registry.snapshot() if registry is not None else None,
+        )
+        try:
+            conn.send_bytes(frame)
+        except (OSError, ValueError, BrokenPipeError):
+            return
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+class RemoteWorkerError(ServingError):
+    """An unrecognised exception type crossed the shard wire.
+
+    The original class name travels in the message; known serving-layer
+    types are rebuilt as themselves instead.
+    """
+
+
+def _rebuild_error(row: Dict[str, Any]) -> BaseException:
+    """Reconstruct a worker-side failure from its wire encoding."""
+    name = row.get("error_type", "RuntimeError")
+    message = row.get("error", "")
+    if name == "FaultDetected":
+        return FaultDetected(message, check=row.get("check") or "unknown")
+    known: Dict[str, Any] = {
+        "QueueFull": QueueFull,
+        "WireFormatError": WireFormatError,
+        "ParameterError": ParameterError,
+        "InjectedFault": InjectedFault,
+        "ShardFailure": ShardFailure,
+        "TimeoutError": TimeoutError,
+    }
+    cls = known.get(name)
+    if cls is not None:
+        return cls(message)
+    return RemoteWorkerError(f"{name}: {message}")
+
+
+class _PendingBatch:
+    """One batch frame in flight to a shard."""
+
+    __slots__ = ("batch_id", "requests", "futures", "by_id", "attempt", "requeued")
+
+    def __init__(
+        self,
+        batch_id: int,
+        requests: List[ModExpRequest],
+        futures: List[Future],
+        attempt: int,
+    ) -> None:
+        self.batch_id = batch_id
+        self.requests = requests
+        self.futures = futures
+        self.by_id = {r.request_id: f for r, f in zip(requests, futures)}
+        self.attempt = attempt
+        self.requeued = attempt > 0
+
+
+class _Shard:
+    """Parent-side handle for one worker process + its pipe and reader."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "conn",
+        "send_lock",
+        "lock",
+        "pending",
+        "dead",
+        "reader",
+        "busy_us",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def __init__(self, index: int, process: Any, conn: Any) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.send_lock = threading.Lock()
+        self.lock = threading.Lock()
+        self.pending: Dict[int, _PendingBatch] = {}
+        self.dead = False
+        self.reader: Optional[threading.Thread] = None
+        self.busy_us = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def label(self) -> str:
+        return f"shard{self.index}"
+
+    def depth(self) -> int:
+        with self.lock:
+            return sum(len(p.futures) for p in self.pending.values())
+
+
+def _mp_context():
+    """Fork when the platform has it (fast starts, inherited imports);
+    spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ShardPool:
+    """Front-end dispatcher over N pre-forked, modulus-homed workers.
+
+    Presents the :class:`~repro.serving.pool.WorkerPool` surface the
+    service relies on (``kind``/``workers``/``depth``/``restarts``,
+    ``abandon``/``wait_for_capacity``/``shutdown``) with batch-frame
+    dispatch instead of per-task submission.  One slot of the shared
+    :class:`SlotWindow` is reserved per *request*; a batch larger than
+    the whole window is admitted when the window is empty so ``wait``
+    mode can never deadlock.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (also exposed as ``workers``).
+    backend:
+        Backend *name*, resolved from the default registry inside each
+        worker — backend objects never cross the process boundary.
+    queue_limit:
+        Bounded in-flight window in requests (default ``32 × shards``,
+        sized for whole batches rather than single tasks).
+    chaos:
+        Fault plan forwarded to every worker at spawn time.
+    vnodes:
+        Ring positions per shard for the :class:`ShardMap`.
+    """
+
+    kind = "shard"
+
+    def __init__(
+        self,
+        *,
+        shards: int,
+        backend: str,
+        queue_limit: Optional[int] = None,
+        chaos: Optional[ChaosConfig] = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        self.workers = shards
+        self.backend_name = backend
+        self.chaos = chaos
+        self.queue_limit = queue_limit if queue_limit is not None else 32 * shards
+        self._window = SlotWindow(self.queue_limit)
+        self.map = ShardMap(shards, vnodes=vnodes)
+        self.restarts = 0
+        self._closed = False
+        self._mp = _mp_context()
+        self._batch_seq = itertools.count(1)
+        self._started_at = time.monotonic()
+        self._lifecycle = threading.Lock()  # serializes respawn/shutdown
+        self._shards: List[_Shard] = [self._spawn(i) for i in range(shards)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> _Shard:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_shard_worker_main,
+            args=(child_conn, index, self.backend_name, self.chaos),
+            name=f"repro-shard{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        shard = _Shard(index, process, parent_conn)
+        reader = threading.Thread(
+            target=self._reader, args=(shard,), name=f"shard{index}-reader", daemon=True
+        )
+        shard.reader = reader
+        reader.start()
+        return shard
+
+    @property
+    def depth(self) -> int:
+        """Total in-flight request count across every shard."""
+        return self._window.depth
+
+    @property
+    def shard_pids(self) -> List[int]:
+        """Worker PIDs by shard index (drills kill these directly)."""
+        return [shard.process.pid for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def submit_batch(self, requests: Sequence[ModExpRequest]) -> List[Future]:
+        """Ship one coalesced batch to its home shard as a single frame.
+
+        Reserves one window slot per request (raising
+        :class:`~repro.errors.QueueFull` past the bound, unless the
+        window is empty) and returns one future per request, in request
+        order.  Each future resolves to the standard pool payload
+        ``(value, cycles, wall_us, worker, telemetry)`` — telemetry is
+        always ``None`` here because the batch's worker snapshot is
+        merged by the reader thread, once per batch — or raises the
+        reconstructed worker-side error.
+        """
+        if self._closed:
+            raise QueueFull("shard pool is shut down")
+        if not requests:
+            return []
+        key = (requests[0].modulus, requests[0].l)
+        for request in requests:
+            if request.coalesce_key != key:
+                raise ParameterError(
+                    "a shard batch must share one (modulus, l); got "
+                    f"{request.coalesce_key} and {key}"
+                )
+        self._window.reserve(len(requests), elastic=True)
+        try:
+            return self._dispatch_batch(list(requests), attempt=0)
+        except BaseException:
+            self._window.cancel_reservation(len(requests))
+            raise
+
+    def _dispatch_batch(
+        self, requests: List[ModExpRequest], *, attempt: int
+    ) -> List[Future]:
+        batch_id = next(self._batch_seq)
+        wire_requests = self._uniquify_ids(requests, batch_id)
+        futures: List[Future] = [Future() for _ in wire_requests]
+        pending = _PendingBatch(batch_id, wire_requests, futures, attempt)
+        frame = encode_batch_frame(
+            batch_id, wire_requests, attempt=attempt, want_telemetry=OBS.enabled
+        )
+        self._send(pending, frame)
+        return futures
+
+    @staticmethod
+    def _uniquify_ids(
+        requests: List[ModExpRequest], batch_id: int
+    ) -> List[ModExpRequest]:
+        """Ensure every request id in the frame is unique and non-empty.
+
+        Results match futures by id, so empty or duplicated client ids
+        (legal on the service API) get a positional suffix on the wire.
+        The service assigns unique ids whenever chaos or verification is
+        active, so deterministic fault plans never see rewritten ids.
+        """
+        from dataclasses import replace
+
+        seen: set = set()
+        out: List[ModExpRequest] = []
+        for pos, request in enumerate(requests):
+            rid = request.request_id
+            if not rid or rid in seen:
+                rid = f"{rid}#b{batch_id}p{pos}"
+                request = replace(request, request_id=rid)
+            seen.add(rid)
+            out.append(request)
+        return out
+
+    def _send(self, pending: _PendingBatch, frame: bytes) -> None:
+        """Register ``pending`` with the key's current owner and send.
+
+        Registration happens *before* the write: if the worker dies
+        mid-send, the reader's death handler finds the batch in
+        ``pending`` and requeues it.  A shard flagged dead (respawn in
+        progress) is retried against the ring until an alive owner
+        accepts the batch.
+        """
+        key = placement_key(pending.requests[0].modulus, pending.requests[0].l)
+        give_up = time.monotonic() + 30.0
+        while True:
+            try:
+                owner = self.map.owner(key)
+            except ShardFailure:
+                # Every shard momentarily dead (e.g. the only shard is
+                # mid-respawn): wait it out rather than failing the batch.
+                if self._closed or time.monotonic() > give_up:
+                    raise
+                time.sleep(0.01)
+                continue
+            shard = self._shards[owner]
+            with shard.lock:
+                if shard.dead:
+                    time.sleep(0.005)
+                    continue
+                shard.pending[pending.batch_id] = pending
+            break
+        if OBS.enabled:
+            OBS.count("serving.shard_batches", shard=str(shard.index))
+            OBS.count(
+                "serving.shard_requests", len(pending.requests), shard=str(shard.index)
+            )
+            OBS.count("serving.frame_bytes", len(frame), direction="out")
+            OBS.gauge(
+                "serving.shard_queue_depth", shard.depth(), shard=str(shard.index)
+            )
+        try:
+            with shard.send_lock:
+                shard.conn.send_bytes(frame)
+        except (OSError, ValueError, BrokenPipeError):
+            # The worker died between registration and the write; the
+            # reader thread's death handler requeues this batch.
+            pass
+
+    # ------------------------------------------------------------------
+    # Collection (reader threads)
+    # ------------------------------------------------------------------
+    def _reader(self, shard: _Shard) -> None:
+        while True:
+            try:
+                data = shard.conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            try:
+                batch_id, batch_wall_us, rows, telemetry = decode_result_frame(data)
+            except WireFormatError:
+                break  # corrupt worker stream: treat as a death
+            with shard.lock:
+                pending = shard.pending.pop(batch_id, None)
+            if pending is None:
+                continue  # batch abandoned wholesale (shutdown race)
+            self._account_batch(shard, pending, batch_wall_us, telemetry, len(data))
+            for row in rows:
+                future = pending.by_id.get(row.get("id", ""))
+                if future is None:
+                    continue
+                self._resolve(shard, future, row)
+            # Any future the worker failed to answer (should not happen)
+            # still must not leak its slot.
+            for future in pending.futures:
+                if not future.done():
+                    try:
+                        future.set_exception(
+                            RemoteWorkerError(
+                                f"shard {shard.index} returned no result for request"
+                            )
+                        )
+                    except InvalidStateError:
+                        pass
+                self._window.release(future)
+        self._handle_death(shard)
+
+    def _resolve(self, shard: _Shard, future: Future, row: Dict[str, Any]) -> None:
+        try:
+            if "value" in row:
+                future.set_result(
+                    (
+                        row["value"],
+                        row.get("cycles"),
+                        row.get("wall_us", 0.0),
+                        shard.label,
+                        None,
+                    )
+                )
+            else:
+                future.set_exception(_rebuild_error(row))
+        except InvalidStateError:
+            pass  # abandoned (deadline) while the worker was computing
+
+    def _account_batch(
+        self,
+        shard: _Shard,
+        pending: _PendingBatch,
+        batch_wall_us: float,
+        telemetry: Optional[Dict[str, Any]],
+        frame_bytes: int,
+    ) -> None:
+        """Fold one result frame's accounting into the parent registry."""
+        shard.busy_us += batch_wall_us
+        if telemetry is not None:
+            for row in telemetry.get("counters", ()):
+                if row["name"] == "montgomery.precompute_cache_hits":
+                    shard.cache_hits += row["value"]
+                elif row["name"] == "montgomery.precompute":
+                    shard.cache_misses += row["value"]
+        if not OBS.enabled:
+            return
+        OBS.count("serving.frame_bytes", frame_bytes, direction="in")
+        OBS.record(
+            "serving.shard_batch_wall_us", batch_wall_us, shard=str(shard.index)
+        )
+        if OBS.metrics is not None and telemetry is not None:
+            OBS.metrics.merge(
+                telemetry, worker=shard.label, shard=str(shard.index)
+            )
+        elapsed_us = max((time.monotonic() - self._started_at) * 1e6, 1.0)
+        OBS.gauge(
+            "serving.shard_busy_fraction",
+            min(shard.busy_us / elapsed_us, 1.0),
+            shard=str(shard.index),
+        )
+        OBS.gauge(
+            "serving.shard_queue_depth", shard.depth(), shard=str(shard.index)
+        )
+        lookups = shard.cache_hits + shard.cache_misses
+        if lookups:
+            OBS.gauge(
+                "serving.shard_cache_hit_rate",
+                shard.cache_hits / lookups,
+                shard=str(shard.index),
+            )
+
+    # ------------------------------------------------------------------
+    # Death, respawn, requeue
+    # ------------------------------------------------------------------
+    def _handle_death(self, shard: _Shard) -> None:
+        """Reader-thread epilogue: the shard's pipe reached EOF.
+
+        On a live pool this is a worker death: mark the shard dead (its
+        key ranges reassign to ring neighbours), respawn it, mark it
+        alive (the ranges return home), then requeue the dead worker's
+        batches — exactly once each, with the attempt index bumped so
+        deterministic chaos kills do not loop.  A batch already requeued
+        once fails over to :class:`ShardFailure`.  On a closed pool the
+        remaining futures just fail.
+        """
+        with shard.lock:
+            shard.dead = True
+            drained = list(shard.pending.values())
+            shard.pending.clear()
+        if self._closed:
+            self._fail_pending(shard, drained, "shard pool shut down")
+            return
+        self.map.mark_dead(shard.index)
+        with self._lifecycle:
+            if self._closed:
+                self._fail_pending(shard, drained, "shard pool shut down")
+                return
+            self.restarts += 1
+            if OBS.enabled:
+                OBS.count("serving.worker_restarts")
+                OBS.count("serving.shard_deaths", shard=str(shard.index))
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            if shard.process.is_alive():
+                shard.process.terminate()
+            shard.process.join(timeout=5)
+            self._shards[shard.index] = self._spawn(shard.index)
+        self.map.mark_alive(shard.index)
+        for pending in drained:
+            if pending.requeued:
+                self._fail_pending(
+                    shard,
+                    [pending],
+                    f"shard {shard.index} died twice on batch {pending.batch_id}",
+                )
+                continue
+            if OBS.enabled:
+                OBS.count(
+                    "serving.requeued", len(pending.requests), shard=str(shard.index)
+                )
+            self._requeue(pending)
+
+    def _requeue(self, pending: _PendingBatch) -> None:
+        """Resend a dead shard's batch — same futures, bumped attempt."""
+        pending.attempt += 1
+        pending.requeued = True
+        frame = encode_batch_frame(
+            pending.batch_id,
+            pending.requests,
+            attempt=pending.attempt,
+            want_telemetry=OBS.enabled,
+        )
+        try:
+            self._send(pending, frame)
+        except BaseException as exc:  # e.g. every shard dead
+            self._fail_pending(None, [pending], str(exc))
+
+    def _fail_pending(
+        self, shard: Optional[_Shard], batches: List[_PendingBatch], reason: str
+    ) -> None:
+        where = f"shard {shard.index}" if shard is not None else "shard pool"
+        for pending in batches:
+            for future in pending.futures:
+                try:
+                    future.set_exception(
+                        ShardFailure(f"{where}: {reason}")
+                    )
+                except InvalidStateError:
+                    pass
+                self._window.release(future)
+
+    # ------------------------------------------------------------------
+    # WorkerPool surface
+    # ------------------------------------------------------------------
+    def abandon(self, future: Future) -> bool:
+        """Give up on one request (deadline blown): free its slot now.
+
+        The worker may still answer later; the resolver then finds the
+        future cancelled/abandoned and drops the result on the floor.
+        """
+        future.cancel()
+        if self._window.release(future):
+            if OBS.enabled:
+                OBS.count("serving.abandoned")
+            return True
+        return False
+
+    def wait_for_capacity(
+        self, timeout: Optional[float] = None, *, slots: int = 1
+    ) -> bool:
+        return self._window.wait(timeout, slots=slots)
+
+    def respawn(self) -> None:
+        """No-op for API parity: shards respawn themselves on death."""
+
+    def shutdown(self, *, wait: bool = True, cancel_pending: bool = False) -> None:
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            shards = list(self._shards)
+        for shard in shards:
+            try:
+                with shard.send_lock:
+                    shard.conn.send_bytes(b"")  # shutdown pill
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for shard in shards:
+            shard.process.join(timeout=5 if wait else 0.1)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=1)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+        for shard in shards:
+            if shard.reader is not None and wait:
+                shard.reader.join(timeout=5)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,8 +1,41 @@
-"""JSON-lines wire format of the modexp service.
+"""Wire formats of the modexp service: JSON-lines and binary batch frames.
 
-One request per line, one result per line, UTF-8, newline-delimited —
-the format both ``repro serve`` (streaming over stdin/stdout) and
-``repro batch`` (file in, file out) speak.
+**JSON-lines** (human-facing): one request per line, one result per
+line, UTF-8, newline-delimited — the format both ``repro serve``
+(streaming over stdin/stdout) and ``repro batch`` (file in, file out)
+speak.
+
+**Binary batch frames** (the sharded data plane, :mod:`repro.serving.shard`):
+the scheduler's coalesced batches cross the parent↔shard-worker pipe as
+*one* compact frame per batch instead of one pickled task per request.
+Big-int operands travel as raw big-endian bytes (an RSA-2048 modulus is
+256 bytes, not a 617-digit decimal string), and the batch's shared
+``(modulus, l)`` is encoded once per frame, not once per request.
+
+Frame grammar (all integers unsigned, network byte order)::
+
+    frame    := u32 length | payload            length = len(payload)
+    payload  := batch | results
+    batch    := 0x01 | u64 batch_id | u8 attempt | u8 bflags
+                | bigint modulus | u32 l | u16 count | request*
+                bflags bit 0: caller wants the telemetry snapshot
+                (workers skip metrics capture entirely when clear)
+    request  := str16 id | bigint base | bigint exponent | u8 flags
+                | [bigint p | bigint q]         when flags bit 0
+    results  := 0x02 | u64 batch_id | f64 batch_wall_us | u16 count
+                | result* | u32 tlen | telemetry-json
+    result   := str16 id | u8 ok
+                ok=1: bigint value | u8 has_cycles | [u64 cycles] | f64 wall_us
+                ok=0: str16 error_type | str16 check | str16 message
+    bigint   := u32 n | n bytes, big-endian, minimal (0 encodes as n=0)
+    str16    := u16 n | n bytes utf-8
+
+``length`` is bounded by :data:`MAX_FRAME`; a declared length past the
+bound, a truncated length prefix, or a payload shorter than its declared
+structure all raise :class:`~repro.errors.WireFormatError` — a corrupt
+pipe can never allocate unbounded memory or be half-parsed silently.
+The trailing telemetry blob is the worker's per-batch metrics snapshot
+(JSON — it is cold-path, per batch, and schema-free by design).
 
 Request line fields
 -------------------
@@ -36,7 +69,19 @@ buffered batch immediately instead of waiting for ``max_batch`` lines.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+import struct
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ParameterError, WireFormatError
 from repro.serving.request import ModExpRequest, ModExpResult
@@ -47,6 +92,14 @@ __all__ = [
     "result_to_dict",
     "result_to_json",
     "read_requests",
+    "MAX_FRAME",
+    "encode_batch_frame",
+    "decode_batch_frame",
+    "encode_result_frame",
+    "decode_result_frame",
+    "write_frame",
+    "read_frame",
+    "iter_frames",
 ]
 
 #: Integers at or above 2^53 are emitted as strings on the wire.
@@ -204,3 +257,308 @@ def read_requests(
             yield lineno, parse_request_line(stripped)
         except WireFormatError as exc:
             yield lineno, exc
+
+
+# ----------------------------------------------------------------------
+# Binary batch frames (the sharded data plane)
+# ----------------------------------------------------------------------
+
+#: Hard ceiling on one frame's payload.  Generous — a 4096-entry batch of
+#: RSA-4096 operands is under 7 MiB — while keeping a corrupt or hostile
+#: length prefix from asking the receiver to allocate gigabytes.
+MAX_FRAME = 1 << 26  # 64 MiB
+
+BATCH_FRAME = 0x01
+RESULT_FRAME = 0x02
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+#: request flags
+_HAS_FACTORS = 0x01
+
+#: batch flags
+_WANT_TELEMETRY = 0x01
+
+
+def _put_bigint(buf: bytearray, value: int, field: str) -> None:
+    if value < 0:
+        raise WireFormatError(f"field {field!r} must be non-negative, got {value}")
+    raw = value.to_bytes((value.bit_length() + 7) // 8, "big")
+    buf += _U32.pack(len(raw))
+    buf += raw
+
+
+def _put_str(buf: bytearray, text: str, field: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise WireFormatError(f"field {field!r} exceeds 65535 encoded bytes")
+    buf += _U16.pack(len(raw))
+    buf += raw
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame payload.
+
+    Every read validates against the payload length first, so a frame
+    whose declared structure outruns its bytes fails with a precise
+    :class:`WireFormatError` instead of a ``struct.error`` mid-field.
+    """
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int, what: str) -> bytes:
+        if n > len(self.data) - self.pos:
+            raise WireFormatError(
+                f"truncated frame: {what} wants {n} bytes, "
+                f"{len(self.data) - self.pos} remain"
+            )
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self, what: str) -> int:
+        return self.take(1, what)[0]
+
+    def u16(self, what: str) -> int:
+        return _U16.unpack(self.take(2, what))[0]
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack(self.take(4, what))[0]
+
+    def u64(self, what: str) -> int:
+        return _U64.unpack(self.take(8, what))[0]
+
+    def f64(self, what: str) -> float:
+        return _F64.unpack(self.take(8, what))[0]
+
+    def bigint(self, what: str) -> int:
+        n = self.u32(what + " length")
+        if n > MAX_FRAME:
+            raise WireFormatError(
+                f"{what}: declared integer length {n} exceeds frame bound"
+            )
+        return int.from_bytes(self.take(n, what), "big")
+
+    def string(self, what: str) -> str:
+        n = self.u16(what + " length")
+        try:
+            return self.take(n, what).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireFormatError(f"{what}: invalid UTF-8 ({exc})") from None
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise WireFormatError(
+                f"frame has {len(self.data) - self.pos} trailing bytes"
+            )
+
+
+def encode_batch_frame(
+    batch_id: int,
+    requests: Sequence[ModExpRequest],
+    *,
+    attempt: int = 0,
+    want_telemetry: bool = True,
+) -> bytes:
+    """One coalesced batch as a binary frame payload.
+
+    Every request must share one ``(modulus, l)`` — the scheduler's
+    coalescing invariant — so the modulus is encoded exactly once.
+    ``want_telemetry`` sets batch-flag bit 0: when clear, the worker
+    skips metrics capture for the batch (observation hooks on the
+    engine hot path are not free) and answers with an empty telemetry
+    blob.
+    """
+    if not requests:
+        raise WireFormatError("a batch frame needs at least one request")
+    modulus, l = requests[0].modulus, requests[0].l
+    buf = bytearray([BATCH_FRAME])
+    buf += _U64.pack(batch_id)
+    buf.append(attempt & 0xFF)
+    buf.append(_WANT_TELEMETRY if want_telemetry else 0)
+    _put_bigint(buf, modulus, "modulus")
+    buf += _U32.pack(l)
+    buf += _U16.pack(len(requests))
+    for request in requests:
+        if request.coalesce_key != (modulus, l):
+            raise WireFormatError(
+                "batch frame requests must share one (modulus, l); got "
+                f"{request.coalesce_key} vs {(modulus, l)}"
+            )
+        _put_str(buf, request.request_id, "id")
+        _put_bigint(buf, request.base, "base")
+        _put_bigint(buf, request.exponent, "exponent")
+        flags = _HAS_FACTORS if request.factors is not None else 0
+        buf.append(flags)
+        if request.factors is not None:
+            _put_bigint(buf, request.factors[0], "p")
+            _put_bigint(buf, request.factors[1], "q")
+    return bytes(buf)
+
+
+def decode_batch_frame(
+    payload: bytes,
+) -> Tuple[int, int, bool, List[ModExpRequest]]:
+    """Parse a batch frame payload.
+
+    Returns ``(batch_id, attempt, want_telemetry, requests)``.
+    """
+    r = _Reader(payload)
+    kind = r.u8("frame kind")
+    if kind != BATCH_FRAME:
+        raise WireFormatError(f"expected batch frame (0x01), got 0x{kind:02x}")
+    batch_id = r.u64("batch id")
+    attempt = r.u8("attempt")
+    want_telemetry = bool(r.u8("batch flags") & _WANT_TELEMETRY)
+    modulus = r.bigint("modulus")
+    l = r.u32("l")
+    count = r.u16("request count")
+    requests: List[ModExpRequest] = []
+    for _ in range(count):
+        request_id = r.string("request id")
+        base = r.bigint("base")
+        exponent = r.bigint("exponent")
+        flags = r.u8("request flags")
+        factors: Optional[Tuple[int, int]] = None
+        if flags & _HAS_FACTORS:
+            factors = (r.bigint("p"), r.bigint("q"))
+        try:
+            requests.append(
+                ModExpRequest(
+                    base=base,
+                    exponent=exponent,
+                    modulus=modulus,
+                    request_id=request_id,
+                    l=l,
+                    factors=factors,
+                )
+            )
+        except ParameterError as exc:
+            raise WireFormatError(f"invalid request in batch frame: {exc}") from None
+    r.done()
+    return batch_id, attempt, want_telemetry, requests
+
+
+def encode_result_frame(
+    batch_id: int,
+    results: Sequence[Dict[str, Any]],
+    *,
+    batch_wall_us: float = 0.0,
+    telemetry: Optional[Dict[str, Any]] = None,
+) -> bytes:
+    """One batch's results (plus the worker's telemetry snapshot).
+
+    Each result dict carries ``id`` and either ``value`` (with optional
+    ``cycles`` / ``wall_us``) or ``error_type`` / ``check`` / ``error``.
+    """
+    buf = bytearray([RESULT_FRAME])
+    buf += _U64.pack(batch_id)
+    buf += _F64.pack(batch_wall_us)
+    buf += _U16.pack(len(results))
+    for res in results:
+        _put_str(buf, str(res.get("id", "")), "id")
+        if "value" in res:
+            buf.append(1)
+            _put_bigint(buf, res["value"], "value")
+            cycles = res.get("cycles")
+            if cycles is None:
+                buf.append(0)
+            else:
+                buf.append(1)
+                buf += _U64.pack(cycles)
+            buf += _F64.pack(float(res.get("wall_us", 0.0)))
+        else:
+            buf.append(0)
+            _put_str(buf, str(res.get("error_type", "RuntimeError")), "error type")
+            _put_str(buf, str(res.get("check", "")), "check")
+            _put_str(buf, str(res.get("error", "")), "error message")
+    blob = b"" if telemetry is None else json.dumps(telemetry).encode("utf-8")
+    buf += _U32.pack(len(blob))
+    buf += blob
+    return bytes(buf)
+
+
+def decode_result_frame(
+    payload: bytes,
+) -> Tuple[int, float, List[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Parse a result frame into ``(batch_id, wall_us, results, telemetry)``."""
+    r = _Reader(payload)
+    kind = r.u8("frame kind")
+    if kind != RESULT_FRAME:
+        raise WireFormatError(f"expected result frame (0x02), got 0x{kind:02x}")
+    batch_id = r.u64("batch id")
+    batch_wall_us = r.f64("batch wall time")
+    count = r.u16("result count")
+    results: List[Dict[str, Any]] = []
+    for _ in range(count):
+        res: Dict[str, Any] = {"id": r.string("result id")}
+        if r.u8("ok flag"):
+            res["value"] = r.bigint("value")
+            if r.u8("has-cycles flag"):
+                res["cycles"] = r.u64("cycles")
+            res["wall_us"] = r.f64("wall time")
+        else:
+            res["error_type"] = r.string("error type")
+            res["check"] = r.string("check")
+            res["error"] = r.string("error message")
+        results.append(res)
+    tlen = r.u32("telemetry length")
+    telemetry: Optional[Dict[str, Any]] = None
+    if tlen:
+        try:
+            telemetry = json.loads(r.take(tlen, "telemetry").decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"corrupt telemetry blob: {exc}") from None
+    r.done()
+    return batch_id, batch_wall_us, results, telemetry
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    """Write one length-prefixed frame to a byte stream."""
+    if len(payload) > MAX_FRAME:
+        raise WireFormatError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    stream.write(_U32.pack(len(payload)) + payload)
+
+
+def read_frame(stream: BinaryIO) -> Optional[bytes]:
+    """Read one length-prefixed frame; ``None`` at a clean end of stream.
+
+    A partial length prefix, a declared length past :data:`MAX_FRAME`,
+    or a payload cut short all raise :class:`WireFormatError`.
+    """
+    prefix = stream.read(4)
+    if not prefix:
+        return None
+    if len(prefix) < 4:
+        raise WireFormatError(
+            f"truncated length prefix: got {len(prefix)} of 4 bytes"
+        )
+    (length,) = _U32.unpack(prefix)
+    if length > MAX_FRAME:
+        raise WireFormatError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise WireFormatError(
+            f"truncated frame: declared {length} bytes, got {len(payload)}"
+        )
+    return payload
+
+
+def iter_frames(stream: BinaryIO) -> Iterator[bytes]:
+    """Yield frame payloads until a clean end of stream."""
+    while True:
+        payload = read_frame(stream)
+        if payload is None:
+            return
+        yield payload

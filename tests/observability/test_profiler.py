@@ -104,7 +104,31 @@ class TestAttributeServing:
         serving = attribute_serving(MetricsRegistry())
         assert serving["total_us"] == 0
         assert serving["workers"] == {}
+        assert serving["shards"] == {}
         assert serving["queue_wait_p50_us"] is None
+
+    def test_per_shard_gauges_folded_by_shard(self):
+        reg = MetricsRegistry()
+        reg.gauge("serving.shard_busy_fraction").set(0.8, shard="0")
+        reg.gauge("serving.shard_busy_fraction").set(0.4, shard="1")
+        reg.gauge("serving.shard_queue_depth").set(3, shard="0")
+        reg.gauge("serving.shard_cache_hit_rate").set(0.9, shard="1")
+        serving = attribute_serving(reg)
+        assert serving["shards"] == {
+            "0": {"busy_fraction": 0.8, "queue_depth": 3},
+            "1": {"busy_fraction": 0.4, "cache_hit_rate": 0.9},
+        }
+
+    def test_render_report_shows_shard_section(self):
+        from repro.observability.profiler import render_report
+
+        reg = MetricsRegistry()
+        reg.gauge("serving.shard_busy_fraction").set(0.75, shard="0")
+        reg.gauge("serving.shard_queue_depth").set(2, shard="0")
+        reg.gauge("serving.shard_cache_hit_rate").set(0.5, shard="0")
+        report = render_report(reg)
+        assert "shards (modulus-homed data plane):" in report
+        assert "shard0" in report and "75.0%" in report
 
 
 class TestExportUtilizationGauges:
