@@ -27,9 +27,15 @@ improves, comes from
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.errors import FaultDetected, ParameterError, SimulationError
+from repro.errors import (
+    DeadlineExceeded,
+    FaultDetected,
+    ParameterError,
+    SimulationError,
+)
 from repro.montgomery.params import MontgomeryContext
 from repro.robustness.verify import walter_bound_ok
 from repro.serving.backends import (
@@ -154,9 +160,34 @@ class ChipBackend(ModExpBackend):
     def execute_many(
         self, ctx: MontgomeryContext, requests: List[ModExpRequest]
     ) -> List[BackendResult]:
-        """Drive every request's chain through the chip concurrently."""
+        """Drive every request's chain through the chip concurrently.
+
+        Deadline-aware drain: simulating a chip is expensive wall-clock
+        work, so when *every* chain still in flight carries an absolute
+        deadline that has already passed, the drain is abandoned (checked
+        at entry and every ~256 chip cycles) with
+        :class:`~repro.errors.DeadlineExceeded` rather than burning
+        seconds computing answers nobody is waiting for.  The cached chip
+        model is discarded on abandonment so stale in-flight operations
+        can never leak into the next batch.
+        """
         if not requests:
             return []
+
+        def _all_expired(indices) -> bool:
+            now = time.monotonic()
+            live = list(indices)
+            return bool(live) and all(
+                requests[i].expires_at is not None and requests[i].expired(now)
+                for i in live
+            )
+
+        if _all_expired(range(len(requests))):
+            raise DeadlineExceeded(
+                f"all {len(requests)} requests past their deadline before "
+                "the chip drain started",
+                where="chip",
+            )
         n = ctx.modulus
         with self._lock:
             chip = self._chip(ctx.l)
@@ -177,7 +208,20 @@ class ChipBackend(ModExpBackend):
                 chip.tiles[0].array.datapath_cycles
                 + chip.tiles[0].array.issue_interval
             )
+            deadline_check = chip.cycle + 256
             while chains:
+                if chip.cycle >= deadline_check:
+                    deadline_check = chip.cycle + 256
+                    if _all_expired(chains):
+                        # Mid-drain abandonment leaves operations in the
+                        # chip's FIFOs; drop the cached model so the next
+                        # batch starts from a clean lattice.
+                        self._chips.pop(ctx.l, None)
+                        raise DeadlineExceeded(
+                            f"all {len(chains)} remaining chains past their "
+                            "deadline; abandoning chip drain",
+                            where="chip",
+                        )
                 chip.step()
                 for outcome in chip.collect():
                     idx = outcome.op.tag

@@ -309,6 +309,63 @@ def build_parser() -> argparse.ArgumentParser:
             help="retry via the next-cheapest capable backend when the "
             "primary's breaker is open",
         )
+        ovl = parser.add_argument_group(
+            "overload & graceful degradation (see docs/ROBUSTNESS.md)"
+        )
+        ovl.add_argument(
+            "--overload",
+            action="store_true",
+            help="enable the graceful-degradation ladder (deadline "
+            "admission, CoDel shedding of batch traffic; add --admit-rate"
+            "/--hedge/--brownout for the other rungs)",
+        )
+        ovl.add_argument(
+            "--admit-rate",
+            type=float,
+            default=None,
+            help="token-bucket admission rate in requests/s (implies "
+            "--overload; interactive traffic keeps a reserve slice)",
+        )
+        ovl.add_argument(
+            "--interactive-reserve",
+            type=float,
+            default=0.25,
+            help="bucket fraction only interactive traffic may drain "
+            "(default: 0.25)",
+        )
+        ovl.add_argument(
+            "--shed-target",
+            type=float,
+            default=0.05,
+            help="CoDel sojourn target in seconds for batch traffic "
+            "(default: 0.05)",
+        )
+        ovl.add_argument(
+            "--default-budget",
+            type=float,
+            default=None,
+            help="relative deadline in seconds stamped on budget-less "
+            "batch requests at admission",
+        )
+        ovl.add_argument(
+            "--interactive-budget",
+            type=float,
+            default=None,
+            help="relative deadline for budget-less interactive requests",
+        )
+        ovl.add_argument(
+            "--hedge",
+            action="store_true",
+            help="re-issue stragglers past the observed p99 to the next "
+            "ring shard, first result wins (shard pools; implies --overload)",
+        )
+        ovl.add_argument(
+            "--brownout",
+            action="store_true",
+            help="under sustained pressure: thin verification, reroute to "
+            "cheaper backends, then suspend batch admission "
+            "(implies --overload)",
+        )
         cha = parser.add_argument_group("chaos injection (drills only)")
         cha.add_argument(
             "--chaos",
@@ -330,6 +387,32 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.0,
             help="per-request result/register bit-flip probability "
             "(silent — only --verify catches it)",
+        )
+        cha.add_argument(
+            "--chaos-stuck-rate",
+            type=float,
+            default=0.0,
+            help="per-request wedged-worker probability (the stuck monitor "
+            "and drain path recover it)",
+        )
+        cha.add_argument(
+            "--chaos-slow-frame-rate",
+            type=float,
+            default=0.0,
+            help="per-batch slow shard-frame-write probability",
+        )
+        cha.add_argument(
+            "--chaos-corrupt-frame-rate",
+            type=float,
+            default=0.0,
+            help="per-batch shard-frame corruption probability (caught by "
+            "the frame checksum; degrades the shard, never kills it)",
+        )
+        cha.add_argument(
+            "--chaos-truncate-frame-rate",
+            type=float,
+            default=0.0,
+            help="per-batch shard-frame truncation probability",
         )
         cha.add_argument(
             "--chaos-target-prefix",
@@ -632,6 +715,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lg.add_argument("--burst-every", type=float, default=1.0)
     lg.add_argument("--burst-len", type=float, default=0.25)
+    lg.add_argument(
+        "--interactive-share",
+        type=float,
+        default=0.0,
+        help="fraction of requests tagged priority=interactive",
+    )
+    lg.add_argument(
+        "--interactive-budget",
+        type=float,
+        default=None,
+        help="relative deadline (s) carried by interactive requests",
+    )
+    lg.add_argument(
+        "--batch-budget",
+        type=float,
+        default=None,
+        help="relative deadline (s) carried by batch requests",
+    )
     lg.add_argument("--seed", default="workload", help="workload seed string")
     lg.add_argument(
         "--summary",
@@ -935,6 +1036,10 @@ def _make_service(args):
             exception_rate=args.chaos_exception_rate,
             latency_rate=args.chaos_latency_rate,
             bitflip_rate=args.chaos_bitflip_rate,
+            stuck_rate=args.chaos_stuck_rate,
+            slow_frame_rate=args.chaos_slow_frame_rate,
+            corrupt_frame_rate=args.chaos_corrupt_frame_rate,
+            truncate_frame_rate=args.chaos_truncate_frame_rate,
             target_prefix=args.chaos_target_prefix,
         )
         if args.chaos
@@ -953,6 +1058,19 @@ def _make_service(args):
         if (args.breaker or args.failover)
         else None
     )
+    overload = None
+    if args.overload or args.admit_rate is not None or args.hedge or args.brownout:
+        from repro.serving import OverloadConfig
+
+        overload = OverloadConfig(
+            admit_rate=args.admit_rate,
+            interactive_reserve=args.interactive_reserve,
+            shed_target_s=args.shed_target,
+            hedge=args.hedge,
+            brownout=args.brownout,
+            default_budget_s=args.default_budget,
+            interactive_budget_s=args.interactive_budget,
+        )
     return ModExpService(
         backend=args.backend,
         workers=args.workers,
@@ -966,6 +1084,7 @@ def _make_service(args):
         retry=retry,
         breaker=breaker,
         failover=args.failover,
+        overload=overload,
     )
 
 
@@ -1526,6 +1645,9 @@ def _cmd_loadgen(args, out) -> int:
         burst_factor=args.burst_factor,
         burst_every=args.burst_every,
         burst_len=args.burst_len,
+        interactive_share=args.interactive_share,
+        interactive_budget_s=args.interactive_budget,
+        batch_budget_s=args.batch_budget,
     )
     workload = generate_workload(config, seed=args.seed)
     with contextlib.ExitStack() as stack:
@@ -1638,17 +1760,45 @@ def _top_summary(metrics) -> dict:
         },
         "worker_busy_us": per_worker,
     }
+    shed = metrics.get("serving_shed_requests_total")
+    hedges = _mx_total(metrics, "serving_hedges_fired_total")
+    if shed or hedges or metrics.get("serving_brownout_level"):
+        shed_by_reason: dict = {}
+        if shed:
+            for lb, v in shed["samples"]:
+                reason = lb.get("reason", "?")
+                shed_by_reason[reason] = shed_by_reason.get(reason, 0.0) + v
+        summary["overload"] = {
+            "shed_by_reason": shed_by_reason,
+            "hedges_fired": hedges,
+            "hedge_wins": {
+                winner: _mx_total(
+                    metrics, "serving_hedge_wins_total", winner=winner
+                )
+                for winner in ("primary", "hedge")
+            },
+            "deadline_violations": _mx_total(
+                metrics, "serving_deadline_violations_total"
+            ),
+            "brownout_level": _mx_total(metrics, "serving_brownout_level"),
+        }
     shards: dict = {}
     for name, field in (
         ("serving_shard_busy_fraction", "busy_fraction"),
         ("serving_shard_queue_depth", "queue_depth"),
         ("serving_shard_cache_hit_rate", "cache_hit_rate"),
+        ("serving_shard_health", "health"),
     ):
         entry = metrics.get(name)
         if entry:
             for lb, v in entry["samples"]:
                 shards.setdefault(lb.get("shard", "?"), {})[field] = v
     if shards:
+        # Health is exported for every shard slot at pool start; traffic
+        # gauges only for shards that saw batches — fill the idle ones.
+        for row in shards.values():
+            for field in ("busy_fraction", "queue_depth", "cache_hit_rate"):
+                row.setdefault(field, 0.0)
         summary["shards"] = {k: shards[k] for k in sorted(shards)}
     if metrics.get("chip_tile_busy_fraction"):
         summary["chip"] = {
@@ -1714,19 +1864,38 @@ def _render_top_frame(url: str, text: str) -> str:
             f"{idle:.1%}" if idle else "-",
         )
     )
+    shed = total("serving_shed_requests_total")
+    hedges = total("serving_hedges_fired_total")
+    if shed or hedges or metrics.get("serving_brownout_level"):
+        lines.append(
+            "overload   shed={:.0f} hedged={:.0f} (won={:.0f}) "
+            "late={:.0f} brownout=L{:.0f}".format(
+                shed,
+                hedges,
+                total("serving_hedge_wins_total", winner="hedge"),
+                total("serving_deadline_violations_total"),
+                total("serving_brownout_level"),
+            )
+        )
     busy_mx = metrics.get("serving_shard_busy_fraction")
     if busy_mx:
+        health_names = {0: "ok", 1: "deg", 2: "drn", 3: "dead"}
         parts = []
         for lb, v in sorted(
             busy_mx["samples"], key=lambda s: s[0].get("shard", "")
         ):
             sid = lb.get("shard", "?")
+            health = ""
+            if metrics.get("serving_shard_health"):
+                code = int(total("serving_shard_health", shard=sid))
+                health = f" {health_names.get(code, '?')}"
             parts.append(
-                "s{} busy={:.0%} q={:.0f} hit={:.0%}".format(
+                "s{} busy={:.0%} q={:.0f} hit={:.0%}{}".format(
                     sid,
                     v,
                     total("serving_shard_queue_depth", shard=sid),
                     total("serving_shard_cache_hit_rate", shard=sid),
+                    health,
                 )
             )
         lines.append("shards     " + "  ".join(parts))

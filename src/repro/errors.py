@@ -29,6 +29,8 @@ __all__ = [
     "ProtocolError",
     "ServingError",
     "QueueFull",
+    "RequestShed",
+    "DeadlineExceeded",
     "WireFormatError",
     "ShardFailure",
     "FaultDetected",
@@ -67,6 +69,37 @@ class QueueFull(ServingError):
     (and the JSON-lines wire) surface the rejection to the client so it
     can retry with backoff.
     """
+
+
+class RequestShed(QueueFull):
+    """The overload layer refused a request to protect the ones it kept.
+
+    A subclass of :class:`QueueFull` so every existing "rejected"
+    handling path (the serving loop's ``ok: false`` /
+    ``error_type: "QueueFull"`` responses, retry-with-backoff clients)
+    applies unchanged.  ``reason`` says which gate fired: ``"admission"``
+    (token bucket empty), ``"codel"`` (queue sojourn over target) or
+    ``"brownout"`` (batch traffic suspended under sustained pressure).
+    """
+
+    def __init__(self, message: str, *, reason: str = "admission") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceeded(ServingError, TimeoutError):
+    """A request's absolute deadline passed before it could complete.
+
+    Raised (or returned as a failure result) wherever the deadline is
+    checked — admission, dequeue, pre-execute in the worker, and the
+    retry ladder.  ``where`` names the checkpoint so the
+    ``serving.deadline_expired{where=}`` counter can tell a request that
+    died waiting from one that died mid-retry.
+    """
+
+    def __init__(self, message: str, *, where: str = "unknown") -> None:
+        super().__init__(message)
+        self.where = where
 
 
 class WireFormatError(ServingError, ValueError):

@@ -129,22 +129,58 @@ def diff_snapshots(
 _REQUIREMENT_OPS = (">=", "<=", "==", "!=", ">", "<")
 
 
-def _metric_total(snapshot: Dict[str, Any], name: str) -> Tuple[float, bool]:
-    """Sum a metric over all its label series.  Returns ``(total, found)``.
+def _parse_selector(selector: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``name{label=value,...}`` into ``(name, label_filter)``.
 
-    Counters and gauges contribute their value; histograms contribute
-    their observation count.  A metric absent from the snapshot counts
-    as 0.0 / not-found — the caller decides whether absence is failure.
+    A bare name selects every label series (empty filter).  Quotes
+    around label values are optional and stripped.
     """
+    selector = selector.strip()
+    if not selector.endswith("}"):
+        return selector, {}
+    name, brace, body = selector[:-1].partition("{")
+    if not brace:
+        return selector, {}
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        if not eq:
+            raise ValueError(
+                f"metric selector {selector!r}: label term {part!r} "
+                "is not key=value"
+            )
+        labels[key.strip()] = value.strip().strip("'\"")
+    return name.strip(), labels
+
+
+def _labels_match(row: Dict[str, Any], wanted: Dict[str, str]) -> bool:
+    have = row.get("labels", {})
+    return all(have.get(k) == v for k, v in wanted.items())
+
+
+def _metric_total(snapshot: Dict[str, Any], selector: str) -> Tuple[float, bool]:
+    """Sum a metric over matching label series.  Returns ``(total, found)``.
+
+    ``selector`` is a metric name, optionally narrowed to specific label
+    series with ``name{label=value,...}`` (every given label must match;
+    unmentioned labels are free).  Counters and gauges contribute their
+    value; histograms contribute their observation count.  A selector
+    matching nothing counts as 0.0 / not-found — the caller decides
+    whether absence is failure.
+    """
+    name, wanted = _parse_selector(selector)
     total = 0.0
     found = False
     for kind in ("counters", "gauges"):
         for row in snapshot.get(kind, ()):
-            if row["name"] == name:
+            if row["name"] == name and _labels_match(row, wanted):
                 total += row["value"]
                 found = True
     for row in snapshot.get("histograms", ()):
-        if row["name"] == name:
+        if row["name"] == name and _labels_match(row, wanted):
             total += row.get("count", 0)
             found = True
     return total, found
@@ -155,13 +191,17 @@ def check_requirements(
 ) -> List[str]:
     """Assert constraint expressions against a metrics snapshot.
 
-    Each requirement is ``"<metric><op><number>"`` with ``op`` one of
+    Each requirement is ``"<selector><op><number>"`` with ``op`` one of
     ``> >= < <= == !=``, e.g. ``"serving.faults_detected>0"`` or
-    ``"serving.silent_corruptions==0"``.  The metric's value is the sum
-    over all label series (histograms contribute their count).  A metric
-    missing from the snapshot evaluates as 0 — so ``name==0`` passes
-    when the metric was never emitted, while ``name>0`` fails — exactly
-    the semantics a chaos drill's gate wants.
+    ``"serving.silent_corruptions==0"``.  The selector is a metric name,
+    optionally narrowed to matching label series with
+    ``name{label=value,...}`` — e.g.
+    ``"serving.deadline_violations{class=interactive}==0"`` gates one
+    traffic class while leaving the others free to violate.  The value
+    is the sum over matching label series (histograms contribute their
+    count).  A selector matching nothing evaluates as 0 — so ``name==0``
+    passes when the metric was never emitted, while ``name>0`` fails —
+    exactly the semantics a chaos drill's gate wants.
 
     Returns one human-readable line per violated requirement.
     """

@@ -33,10 +33,15 @@ from repro.observability.occupancy import OccupancyRecorder, analytic_idle_fract
 
 __all__ = [
     "attribute_cycles",
+    "attribute_overload",
     "attribute_serving",
     "export_utilization_gauges",
     "render_report",
 ]
+
+#: Gauge code -> shard health state name (mirrors serving.health's order;
+#: kept literal so the observability layer does not import serving).
+_HEALTH_NAMES = {0: "healthy", 1: "degraded", 2: "draining", 3: "dead"}
 
 #: Exponentiator operation kinds -> report phase names.
 _PHASES = (
@@ -118,6 +123,7 @@ def attribute_serving(registry: MetricsRegistry) -> Dict[str, Any]:
         ("serving.shard_busy_fraction", "busy_fraction"),
         ("serving.shard_queue_depth", "queue_depth"),
         ("serving.shard_cache_hit_rate", "cache_hit_rate"),
+        ("serving.shard_health", "health"),
     ):
         if metric in registry:
             for row in registry.gauge(metric).snapshot():
@@ -132,6 +138,62 @@ def attribute_serving(registry: MetricsRegistry) -> Dict[str, Any]:
         "queue_wait_p50_us": _hist_percentile(registry, "serving.queue_wait_us", 50),
         "workers": workers,
         "shards": {sid: shards[sid] for sid in sorted(shards)},
+        "overload": attribute_overload(registry),
+    }
+
+
+def _counter_by_label(
+    registry: MetricsRegistry, name: str, label: str
+) -> Dict[str, float]:
+    """Counter totals keyed by one label's values (missing metric = {})."""
+    out: Dict[str, float] = {}
+    if name in registry:
+        for row in registry.counter(name).snapshot():
+            key = row["labels"].get(label, "?")
+            out[key] = out.get(key, 0.0) + row["value"]
+    return out
+
+
+def attribute_overload(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Overload-ladder attribution: shedding, hedging, deadlines, brownout.
+
+    Everything the graceful-degradation layer emits, folded into one
+    dict so ``repro top`` / ``repro profile`` can show at a glance *how*
+    the service degraded: what was shed and why, how many stragglers
+    were hedged (and which copy won), which deadlines were missed and
+    where in the lifecycle, and the current brownout level.
+    """
+    gauges = {}
+    for name, key in (
+        ("serving.brownout_level", "brownout_level"),
+        ("serving.admission_level", "admission_level"),
+    ):
+        if name in registry:
+            rows = registry.gauge(name).snapshot()
+            if rows:
+                gauges[key] = rows[0]["value"]
+    return {
+        "shed_by_reason": _counter_by_label(
+            registry, "serving.shed_requests", "reason"
+        ),
+        "shed_by_class": _counter_by_label(
+            registry, "serving.shed_requests", "class"
+        ),
+        "hedges_fired": (
+            registry.counter("serving.hedges_fired").total()
+            if "serving.hedges_fired" in registry
+            else 0.0
+        ),
+        "hedge_wins": _counter_by_label(
+            registry, "serving.hedge_wins", "winner"
+        ),
+        "deadline_expired": _counter_by_label(
+            registry, "serving.deadline_expired", "where"
+        ),
+        "deadline_violations": _counter_by_label(
+            registry, "serving.deadline_violations", "class"
+        ),
+        **gauges,
     }
 
 
@@ -304,15 +366,64 @@ def render_report(
         lines.append("")
         lines.append("shards (modulus-homed data plane):")
         for sid, row in serving["shards"].items():
+            health = ""
+            if "health" in row:
+                health = f"  health {_HEALTH_NAMES.get(int(row['health']), '?')}"
             lines.append(
                 "  shard{:<4} busy {:>6.1%}  queue {:>4.0f}  "
-                "cache hit {:>6.1%}".format(
+                "cache hit {:>6.1%}{}".format(
                     sid,
                     row.get("busy_fraction", 0.0),
                     row.get("queue_depth", 0.0),
                     row.get("cache_hit_rate", 0.0),
+                    health,
                 )
             )
+
+    overload = serving["overload"]
+    shed_total = sum(overload["shed_by_reason"].values())
+    degraded = (
+        shed_total
+        or overload["hedges_fired"]
+        or overload["deadline_expired"]
+        or overload["deadline_violations"]
+        or overload.get("brownout_level")
+    )
+    if degraded:
+        lines.append("")
+        lines.append("overload & degradation:")
+        if shed_total:
+            by_reason = "  ".join(
+                f"{reason}={int(count)}"
+                for reason, count in sorted(overload["shed_by_reason"].items())
+            )
+            by_class = "  ".join(
+                f"{cls}={int(count)}"
+                for cls, count in sorted(overload["shed_by_class"].items())
+            )
+            lines.append(f"  shed {int(shed_total)}  by reason: {by_reason}")
+            lines.append(f"  {'':<5}by class:  {by_class}")
+        if overload["hedges_fired"]:
+            wins = overload["hedge_wins"]
+            lines.append(
+                f"  hedges fired {int(overload['hedges_fired'])}  "
+                f"won by hedge {int(wins.get('hedge', 0))}  "
+                f"by primary {int(wins.get('primary', 0))}"
+            )
+        if overload["deadline_expired"]:
+            detail = "  ".join(
+                f"{where}={int(count)}"
+                for where, count in sorted(overload["deadline_expired"].items())
+            )
+            lines.append(f"  deadlines expired: {detail}")
+        if overload["deadline_violations"]:
+            detail = "  ".join(
+                f"{cls}={int(count)}"
+                for cls, count in sorted(overload["deadline_violations"].items())
+            )
+            lines.append(f"  completed late (violations): {detail}")
+        if "brownout_level" in overload:
+            lines.append(f"  brownout level: {int(overload['brownout_level'])}")
 
     if occupancy is not None and heatmap_source is not None:
         if occupancy.cycles(heatmap_source):

@@ -10,9 +10,13 @@ individually.  The classic three-state breaker:
   ``slo_violation_threshold`` consecutive SLO breaches) the breaker
   trips; ``allow()`` returns ``False`` until ``cooldown_s`` elapses, and
   the router fails requests over to the next-cheapest capable backend.
-* **half-open** — after cooldown, up to ``half_open_probes`` requests
-  are let through; one failure re-opens, ``half_open_probes`` successes
-  re-close.
+* **half-open** — after cooldown, probe traffic is **serialized**: at
+  most one in-flight probe at a time (``allow()`` claims the slot,
+  ``record_success``/``record_failure`` settle it).  One failure
+  re-opens; ``half_open_probes`` successes re-close.  Concurrent probes
+  would defeat the point of probing — ten threads racing through a
+  half-open breaker can re-trip a barely-recovered backend with exactly
+  the thundering herd the breaker exists to prevent.
 
 State is exported continuously as the gauge ``serving.breaker_state``
 (0 = closed, 1 = open, 2 = half-open, labelled by backend) and each edge
@@ -46,7 +50,7 @@ class BreakerConfig:
     failure_threshold: int = 5
     slo_violation_threshold: int = 10
     cooldown_s: float = 5.0
-    half_open_probes: int = 2
+    half_open_probes: int = 2  # successes to re-close; probes run one at a time
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -121,9 +125,11 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """May a request be routed to this backend right now?
 
-        In half-open state this also *claims* a probe slot, so callers
-        must follow every allowed request with ``record_success`` or
-        ``record_failure``.
+        In half-open state this *claims* the single probe slot — probes
+        are strictly serialized, so a second caller is refused until the
+        first settles via ``record_success`` or ``record_failure``.
+        Callers must follow every allowed half-open request with exactly
+        one of those.
         """
         with self._lock:
             self._maybe_half_open_locked()
@@ -131,9 +137,9 @@ class CircuitBreaker:
                 return True
             if self._state == "open":
                 return False
-            if self._half_open_inflight >= self.config.half_open_probes:
+            if self._half_open_inflight > 0:
                 return False
-            self._half_open_inflight += 1
+            self._half_open_inflight = 1
             return True
 
     def record_success(self) -> None:
@@ -145,6 +151,7 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             self._consecutive_slo_violations = 0
             if self._state == "half_open":
+                self._half_open_inflight = 0  # the probe settled
                 self._half_open_successes += 1
                 if self._half_open_successes >= self.config.half_open_probes:
                     self._transition_locked("closed")
@@ -152,6 +159,7 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         with self._lock:
             if self._state == "half_open":
+                self._half_open_inflight = 0  # the probe settled
                 self._transition_locked("open")
                 return
             self._consecutive_failures += 1

@@ -25,6 +25,20 @@ Fault kinds, drawn first-match-wins in this order:
   :meth:`GateLevelMMMC.schedule_fault`); exercises online verification.
   A bitflip is *silent* by construction — recovery must come from
   :mod:`repro.robustness.verify`, not from an exception.
+* ``stuck`` — the worker sleeps ``stuck_s`` mid-request: alive, not
+  answering.  Distinct from ``latency`` (sized to blow timeouts rather
+  than SLOs); exercises the shard health machine's stuck detection and
+  graceful drain instead of the death path.
+
+Separately from per-request faults, **frame faults** target the shard
+wire itself, decided per ``(batch_id, attempt)`` by
+:meth:`FaultPlan.decide_frame` and applied by the shard worker around
+its result send: ``slow_frame`` delays the write by ``stuck_s``,
+``corrupt_frame`` XORs a byte mid-payload and ``truncate_frame`` sends
+only a prefix.  Both corruption kinds must surface as *degradation* of
+the shard (the pipe's message boundaries survive a bad payload), never
+as silent wrong answers — exercising exactly the degrade-not-kill
+recovery path.
 
 ``attempt`` is part of the RNG key so a request that was killed on
 attempt 0 is not deterministically killed again on its retry — rates
@@ -48,9 +62,21 @@ from typing import Optional
 from repro.errors import InjectedFault, ParameterError
 from repro.observability import OBS
 
-__all__ = ["FAULT_KINDS", "ChaosConfig", "FaultDecision", "FaultPlan"]
+__all__ = [
+    "FAULT_KINDS",
+    "FRAME_FAULT_KINDS",
+    "ChaosConfig",
+    "FaultDecision",
+    "FaultPlan",
+]
 
-FAULT_KINDS = ("kill", "exception", "latency", "bitflip")
+#: Per-request fault kinds.  ``stuck`` is drawn last so adding it keeps
+#: every existing seed's kill/exception/latency/bitflip decisions
+#: byte-identical (the draw is one uniform against cumulative bounds).
+FAULT_KINDS = ("kill", "exception", "latency", "bitflip", "stuck")
+
+#: Per-batch faults on the shard wire (result-frame writes).
+FRAME_FAULT_KINDS = ("slow_frame", "corrupt_frame", "truncate_frame")
 
 
 @dataclass(frozen=True)
@@ -69,6 +95,11 @@ class ChaosConfig:
     latency_rate: float = 0.0
     latency_s: float = 0.05
     bitflip_rate: float = 0.0
+    stuck_rate: float = 0.0
+    stuck_s: float = 1.0
+    slow_frame_rate: float = 0.0
+    corrupt_frame_rate: float = 0.0
+    truncate_frame_rate: float = 0.0
     register_faults: bool = True
     target_prefix: str = ""
     # Flight-recorder auto-arm: when set, chaos bit-flips (and retries of
@@ -85,23 +116,42 @@ class ChaosConfig:
     flightrec_stride: int = 4
 
     def __post_init__(self) -> None:
-        for name in ("worker_kill_rate", "exception_rate", "latency_rate", "bitflip_rate"):
+        for name in (
+            "worker_kill_rate",
+            "exception_rate",
+            "latency_rate",
+            "bitflip_rate",
+            "stuck_rate",
+            "slow_frame_rate",
+            "corrupt_frame_rate",
+            "truncate_frame_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ParameterError(f"{name} must be in [0, 1], got {rate}")
         if self.latency_s < 0:
             raise ParameterError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.stuck_s < 0:
+            raise ParameterError(f"stuck_s must be >= 0, got {self.stuck_s}")
         total = (
             self.worker_kill_rate
             + self.exception_rate
             + self.latency_rate
             + self.bitflip_rate
+            + self.stuck_rate
         )
         if total > 1.0:
             # The decision is one uniform draw against cumulative
             # thresholds; rates summing past 1 would silently truncate
             # the later kinds.
             raise ParameterError(f"fault rates sum to {total}, must be <= 1")
+        frame_total = (
+            self.slow_frame_rate + self.corrupt_frame_rate + self.truncate_frame_rate
+        )
+        if frame_total > 1.0:
+            raise ParameterError(
+                f"frame fault rates sum to {frame_total}, must be <= 1"
+            )
         if self.flightrec_pre < 1 or self.flightrec_post < 0:
             raise ParameterError(
                 f"flightrec window needs pre >= 1, post >= 0; got "
@@ -139,7 +189,17 @@ class ChaosConfig:
             or self.exception_rate
             or self.latency_rate
             or self.bitflip_rate
+            or self.stuck_rate
             or self.target_prefix
+            or self.frame_faults_active
+        )
+
+    @property
+    def frame_faults_active(self) -> bool:
+        return bool(
+            self.slow_frame_rate
+            or self.corrupt_frame_rate
+            or self.truncate_frame_rate
         )
 
 
@@ -189,7 +249,56 @@ class FaultPlan:
         threshold += cfg.bitflip_rate
         if draw < threshold:
             return FaultDecision(kind="bitflip", bit=rng.getrandbits(16))
+        threshold += cfg.stuck_rate
+        if draw < threshold:
+            return FaultDecision(kind="stuck")
         return FaultDecision()
+
+    def decide_frame(self, batch_id: int, attempt: int = 0) -> FaultDecision:
+        """Frame-level fault for one result-frame write.
+
+        Keyed on ``(seed, batch_id, attempt)`` — independent of the
+        per-request plan, so a drill can corrupt the wire without
+        perturbing request-level decisions.  ``bit`` doubles as the
+        byte-position seed for ``corrupt_frame`` / ``truncate_frame``.
+        """
+        cfg = self.config
+        if not cfg.frame_faults_active:
+            return FaultDecision()
+        rng = random.Random(f"chaos-frame|{cfg.seed}|{batch_id}|{attempt}")
+        draw = rng.random()
+        threshold = cfg.slow_frame_rate
+        if draw < threshold:
+            return FaultDecision(kind="slow_frame")
+        threshold += cfg.corrupt_frame_rate
+        if draw < threshold:
+            return FaultDecision(kind="corrupt_frame", bit=rng.getrandbits(24))
+        threshold += cfg.truncate_frame_rate
+        if draw < threshold:
+            return FaultDecision(kind="truncate_frame", bit=rng.getrandbits(24))
+        return FaultDecision()
+
+    def mangle_frame(self, decision: FaultDecision, frame: bytes) -> bytes:
+        """Apply a frame-fault decision to an outbound frame's bytes.
+
+        ``corrupt_frame`` XORs one byte past the 9-byte kind+batch-id
+        header (the receiver must still be able to requeue *that* batch,
+        which is the realistic partial-corruption case); a
+        ``truncate_frame`` keeps only a prefix — at least the header —
+        modelling a writer dying mid-``send``.  ``slow_frame`` is
+        handled by the caller (a sleep has no byte-level effect).
+        """
+        if decision.kind == "corrupt_frame" and len(frame) > 9:
+            OBS.count("chaos.injected", kind="corrupt_frame")
+            pos = 9 + decision.bit % (len(frame) - 9)
+            mangled = bytearray(frame)
+            mangled[pos] ^= 0xFF
+            return bytes(mangled)
+        if decision.kind == "truncate_frame" and len(frame) > 9:
+            OBS.count("chaos.injected", kind="truncate_frame")
+            keep = 9 + decision.bit % (len(frame) - 9)
+            return frame[:keep]
+        return frame
 
     def apply_pre(self, decision: FaultDecision, request_id: str) -> None:
         """Execute the pre-backend side of ``decision`` (kill / exception /
@@ -209,6 +318,14 @@ class FaultPlan:
         if decision.kind == "latency":
             OBS.count("chaos.injected", kind="latency")
             time.sleep(self.config.latency_s)
+        if decision.kind == "stuck":
+            # Alive but wedged: long enough to trip stuck detection /
+            # hedging, short enough that a drill still terminates.
+            OBS.count("chaos.injected", kind="stuck")
+            time.sleep(self.config.stuck_s)
+        if decision.kind == "slow_frame":
+            OBS.count("chaos.injected", kind="slow_frame")
+            time.sleep(self.config.stuck_s)
 
     def corrupt_result(self, decision: FaultDecision, value: int, modulus: int) -> int:
         """Apply a ``bitflip`` decision to a finished integer result.

@@ -12,6 +12,12 @@ so two guard rails are built in:
   outstanding the request fails fast instead of joining a retry storm.
   Tokens are released when the retried attempt settles, so the budget
   bounds *concurrent* retries, not the lifetime total.
+* **Deadline clamp** — when a request carries an absolute deadline,
+  :meth:`RetryPolicy.backoff` accepts the remaining budget and clamps
+  the jittered sleep to it, and :meth:`RetryPolicy.worth_retrying`
+  fails fast when the remaining budget cannot plausibly cover another
+  attempt — sleeping 80 ms before retrying a request that expires in
+  20 ms only converts a retryable error into a deadline violation.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ParameterError
 
@@ -53,15 +60,58 @@ class RetryPolicy:
         if not 0.0 <= self.jitter < 1.0:
             raise ParameterError(f"jitter must be in [0, 1), got {self.jitter}")
 
-    def backoff(self, request_id: str, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based) of a request."""
+    def backoff(
+        self,
+        request_id: str,
+        attempt: int,
+        remaining_s: Optional[float] = None,
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based) of a request.
+
+        ``remaining_s`` is the request's remaining deadline budget, when
+        it has one: the jittered delay is clamped so the sleep alone can
+        never push the request past its deadline.  (Whether a retry is
+        worth attempting at all is :meth:`worth_retrying`'s call.)
+        """
         if attempt < 1 or self.backoff_s == 0:
             return 0.0
         base = self.backoff_s * self.multiplier ** (attempt - 1)
-        if self.jitter == 0:
-            return base
-        rng = random.Random(f"retry|{self.seed}|{request_id}|{attempt}")
-        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        if self.jitter != 0:
+            rng = random.Random(f"retry|{self.seed}|{request_id}|{attempt}")
+            base *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        if remaining_s is not None:
+            base = min(base, max(remaining_s, 0.0))
+        return base
+
+    def worth_retrying(
+        self,
+        attempt: int,
+        remaining_s: Optional[float],
+        attempt_cost_s: float = 0.0,
+    ) -> bool:
+        """Can attempt ``attempt + 1`` plausibly finish inside the deadline?
+
+        ``attempt_cost_s`` is the caller's estimate of one attempt's
+        duration (e.g. the wall time the failed attempt just took);
+        retrying when the remaining budget cannot cover the backoff plus
+        one attempt only adds load while still missing the deadline —
+        failing fast instead is what keeps retries from amplifying an
+        overload.  Requests without a deadline always retry (subject to
+        ``max_attempts``).
+        """
+        if attempt + 1 > self.max_attempts:
+            return False
+        if remaining_s is None:
+            return True
+        if attempt < 1 or self.backoff_s == 0:
+            floor = 0.0
+        else:  # smallest jitter outcome for the sleep before the retry
+            floor = (
+                self.backoff_s
+                * self.multiplier ** (attempt - 1)
+                * (1.0 - self.jitter)
+            )
+        return remaining_s > floor + max(attempt_cost_s, 0.0)
 
 
 class RetryBudget:

@@ -29,9 +29,17 @@ single-shot engines into a multi-worker modular-exponentiation service.
 * :mod:`repro.serving.http` — :class:`TelemetryServer`, the ``/metrics``
   (Prometheus) + ``/healthz`` scrape endpoint ``repro serve`` can run.
 * :mod:`repro.serving.wire` — the JSON-lines request/result format and
-  the binary batch-frame format the shard plane speaks.
+  the checksummed binary batch-frame format the shard plane speaks.
 * :mod:`repro.serving.workload` — seeded workload generator (Zipf keyring
-  traffic, mixed exponents, open-loop bursts) behind ``repro loadgen``.
+  traffic, mixed exponents, open-loop bursts, priority mix) behind
+  ``repro loadgen``.
+* :mod:`repro.serving.overload` — the graceful-degradation ladder:
+  :class:`OverloadConfig` plus the token-bucket admission gate, CoDel
+  shedder, hedged-request policy and brownout controller the service
+  threads through its lifecycle under load.
+* :mod:`repro.serving.health` — per-shard
+  ``healthy → degraded → draining → dead`` state machines replacing the
+  binary alive/dead view of the sharded data plane.
 
 Self-healing (PR 5) lives in :mod:`repro.robustness` and threads through
 :class:`ModExpService`: online result verification, seeded chaos fault
@@ -53,7 +61,16 @@ from repro.serving.backends import (
     ModExpBackend,
     default_registry,
 )
+from repro.serving.health import HEALTH_STATES, HealthConfig, ShardHealth
 from repro.serving.http import TelemetryServer
+from repro.serving.overload import (
+    BrownoutController,
+    CoDelShedder,
+    HedgePolicy,
+    LatencyReservoir,
+    OverloadConfig,
+    TokenBucket,
+)
 from repro.serving.pool import SlotWindow, WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
 from repro.serving.scheduler import Batch, BatchScheduler, coalesce, lane_groups
@@ -107,6 +124,15 @@ __all__ = [
     "Workload",
     "WorkloadConfig",
     "generate_workload",
+    "OverloadConfig",
+    "TokenBucket",
+    "CoDelShedder",
+    "HedgePolicy",
+    "LatencyReservoir",
+    "BrownoutController",
+    "HEALTH_STATES",
+    "HealthConfig",
+    "ShardHealth",
     "BreakerConfig",
     "ChaosConfig",
     "RetryPolicy",

@@ -1,0 +1,216 @@
+"""Shard health state machine: healthy → degraded → draining → dead.
+
+PR 9's shard plane knew exactly two shard states — alive or
+pipe-at-EOF — so every anomaly short of death was invisible, and every
+death was a SIGKILL-grade event: pending batches requeued, caches gone.
+This module adds the states between, driven by passive probes the pool
+already generates:
+
+* a **latency EWMA** per shard, fed from each result frame's batch wall
+  time; a sample far above the smoothed mean is a *strike* (the
+  quad-core RSA processor keeps cores independently schedulable for the
+  same reason — one stalled core must not look like a dead part);
+* **corrupt frames** (a result frame the parent cannot decode, or a
+  batch frame the worker NACKs) are strikes too — message boundaries
+  are preserved by the pipe, so one bad frame does not desync the
+  stream and is *not* a death;
+* **stuck detection**: a pending batch older than ``stuck_timeout_s``
+  with no frame seen since means the worker is alive but wedged.
+
+Strikes promote ``healthy → degraded`` (routing unchanged, recovery
+counted); persistent strikes or a stuck worker promote ``degraded →
+draining``: the shard stops admitting (its ring ranges rehome to the
+next live shard), in-flight work gets ``drain_timeout_s`` to finish,
+then the pool recycles the worker gracefully.  Clean batches demote
+``degraded → healthy``.  ``dead`` remains what it was — pipe EOF — and
+respawn returns the shard to ``healthy``.
+
+State is exported as the ``serving.shard_health{shard=}`` gauge (0–3 in
+state order) and every edge counts
+``serving.shard_health_transitions{shard=,to=}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ParameterError
+from repro.observability import OBS
+
+__all__ = ["HEALTH_STATES", "HealthConfig", "ShardHealth"]
+
+HEALTH_STATES = ("healthy", "degraded", "draining", "dead")
+_STATE_CODE = {name: code for code, name in enumerate(HEALTH_STATES)}
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Promotion/demotion thresholds shared by every shard's machine."""
+
+    latency_alpha: float = 0.2       # EWMA smoothing of batch wall time
+    degrade_factor: float = 6.0      # sample > factor × EWMA = one strike
+    degrade_strikes: int = 2         # strikes to leave healthy
+    drain_strikes: int = 4           # strikes (total) to start draining
+    recover_batches: int = 3         # clean batches to return healthy
+    stuck_timeout_s: float = 5.0     # oldest pending age with no frames
+    drain_timeout_s: float = 5.0     # grace for in-flight work while draining
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.latency_alpha <= 1.0:
+            raise ParameterError(
+                f"latency_alpha must be in (0, 1], got {self.latency_alpha}"
+            )
+        if self.degrade_factor <= 1.0:
+            raise ParameterError(
+                f"degrade_factor must be > 1, got {self.degrade_factor}"
+            )
+        if self.degrade_strikes < 1 or self.drain_strikes < self.degrade_strikes:
+            raise ParameterError(
+                "need drain_strikes >= degrade_strikes >= 1, got "
+                f"{self.drain_strikes}/{self.degrade_strikes}"
+            )
+        if self.recover_batches < 1:
+            raise ParameterError(
+                f"recover_batches must be >= 1, got {self.recover_batches}"
+            )
+        if self.stuck_timeout_s <= 0 or self.drain_timeout_s < 0:
+            raise ParameterError(
+                "need stuck_timeout_s > 0 and drain_timeout_s >= 0, got "
+                f"{self.stuck_timeout_s}/{self.drain_timeout_s}"
+            )
+
+
+class ShardHealth:
+    """Thread-safe health machine for one shard.
+
+    Transitions are driven by the pool's reader/monitor threads through
+    the ``on_*`` event methods; the pool reacts to the *returned* state
+    (e.g. ``on_corrupt_frame() == "draining"`` → stop admitting).
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        config: Optional[HealthConfig] = None,
+        *,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        self.shard = shard
+        self.config = config or HealthConfig()
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "healthy"
+        self.ewma_us: Optional[float] = None
+        self._strikes = 0
+        self._clean = 0
+        self._export_locked()
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def code(self) -> int:
+        return _STATE_CODE[self.state]
+
+    @property
+    def strikes(self) -> int:
+        with self._lock:
+            return self._strikes
+
+    def _export_locked(self) -> None:
+        if OBS.enabled:
+            OBS.gauge(
+                "serving.shard_health",
+                _STATE_CODE[self._state],
+                shard=str(self.shard),
+            )
+
+    def _transition_locked(self, to: str) -> None:
+        if to == self._state:
+            return
+        came_from = self._state
+        self._state = to
+        if to in ("healthy", "dead"):
+            self._strikes = 0
+            self._clean = 0
+        self._export_locked()
+        if OBS.enabled:
+            OBS.count(
+                "serving.shard_health_transitions", shard=str(self.shard), to=to
+            )
+        if self._on_transition is not None:
+            self._on_transition(came_from, to)
+
+    def _strike_locked(self) -> str:
+        self._clean = 0
+        self._strikes += 1
+        if self._state == "healthy" and self._strikes >= self.config.degrade_strikes:
+            self._transition_locked("degraded")
+        elif self._state == "degraded" and self._strikes >= self.config.drain_strikes:
+            self._transition_locked("draining")
+        return self._state
+
+    # ------------------------------------------------------------------
+    # Events (return the post-event state)
+    # ------------------------------------------------------------------
+    def on_batch_done(self, batch_wall_us: float) -> str:
+        """One result frame arrived; fold its wall time into the EWMA."""
+        cfg = self.config
+        with self._lock:
+            if self.ewma_us is None:
+                self.ewma_us = batch_wall_us
+                slow = False
+            else:
+                slow = batch_wall_us > cfg.degrade_factor * max(self.ewma_us, 1.0)
+                self.ewma_us += cfg.latency_alpha * (batch_wall_us - self.ewma_us)
+            if slow:
+                return self._strike_locked()
+            if self._state == "degraded":
+                self._clean += 1
+                if self._clean >= cfg.recover_batches:
+                    self._transition_locked("healthy")
+            return self._state
+
+    def on_corrupt_frame(self) -> str:
+        """A malformed frame crossed this shard's wire (either direction).
+
+        Corruption weighs a full degrade step at once: unlike a slow
+        batch it is never ambiguous.
+        """
+        with self._lock:
+            self._clean = 0
+            self._strikes += max(
+                self.config.degrade_strikes - (0 if self._state == "healthy" else 1),
+                1,
+            )
+            if self._state == "healthy":
+                self._transition_locked("degraded")
+            elif (
+                self._state == "degraded"
+                and self._strikes >= self.config.drain_strikes
+            ):
+                self._transition_locked("draining")
+            return self._state
+
+    def on_stuck(self) -> str:
+        """The worker is alive but has not answered within the timeout."""
+        with self._lock:
+            if self._state in ("healthy", "degraded"):
+                self._transition_locked("draining")
+            return self._state
+
+    def on_death(self) -> str:
+        with self._lock:
+            self._transition_locked("dead")
+            return self._state
+
+    def on_respawn(self) -> str:
+        with self._lock:
+            self.ewma_us = None
+            self._transition_locked("healthy")
+            return self._state

@@ -185,6 +185,11 @@ class WorkerPool:
         """Current in-flight task count (the queue-depth gauge value)."""
         return self._window.depth
 
+    @property
+    def load(self) -> float:
+        """Window occupancy in ``[0, 1]`` — the brownout pressure signal."""
+        return min(self._window.depth / max(self.queue_limit, 1), 1.0)
+
     def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
         """Dispatch ``fn(*args, **kwargs)``; reject when the window is full."""
         if self._closed:

@@ -17,6 +17,7 @@ order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -24,7 +25,12 @@ from repro.errors import ParameterError
 from repro.observability.context import TraceContext
 from repro.utils.validation import ensure_odd
 
-__all__ = ["ModExpRequest", "ModExpResult"]
+__all__ = ["PRIORITIES", "ModExpRequest", "ModExpResult"]
+
+#: Priority classes the overload layer understands, most urgent first.
+#: ``interactive`` traffic is protected by admission reserves and is the
+#: last to be shed; ``batch`` is the first.
+PRIORITIES = ("interactive", "batch")
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,22 @@ class ModExpRequest:
     timeout:
         Optional per-request wall-clock limit in seconds, enforced by the
         service when collecting the request's future.
+    priority:
+        Overload class, one of :data:`PRIORITIES` (default
+        ``"batch"``).  Under pressure the admission gate and the CoDel
+        shedder drop batch traffic first; interactive requests ride the
+        reserved admission tokens.
+    budget_s:
+        Optional *relative* completion budget in seconds.  This is the
+        form deadlines travel in on the JSON wire (``budget_ms``) and in
+        workload traces — the service converts it to :attr:`expires_at`
+        at admission time.
+    expires_at:
+        Optional *absolute* deadline on the ``time.monotonic()`` clock
+        (system-wide on Linux, so it stays meaningful across forked
+        shard workers).  Checked at admission, dequeue, and pre-execute;
+        caps retry backoff.  Distinct from :attr:`deadline`, which is a
+        relative urgency sort key, not a drop-dead time.
     trace:
         Optional :class:`~repro.observability.context.TraceContext`
         attached by the service before dispatch; it travels with the
@@ -69,9 +91,18 @@ class ModExpRequest:
     factors: Optional[Tuple[int, int]] = None
     deadline: Optional[float] = None
     timeout: Optional[float] = None
+    priority: str = "batch"
+    budget_s: Optional[float] = None
+    expires_at: Optional[float] = None
     trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
+        if self.priority not in PRIORITIES:
+            raise ParameterError(
+                f"priority must be one of {PRIORITIES}, got {self.priority!r}"
+            )
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise ParameterError(f"budget_s must be > 0, got {self.budget_s}")
         ensure_odd("modulus", self.modulus)
         if self.modulus < 3:
             raise ParameterError(f"modulus must be >= 3, got {self.modulus}")
@@ -116,6 +147,21 @@ class ModExpRequest:
         from repro.serving.shard import placement_key
 
         return placement_key(self.modulus, self.l)
+
+    def remaining_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until :attr:`expires_at` (``None`` = no deadline).
+
+        Negative once the deadline has passed — callers compare against
+        zero rather than clamping, so "how late" stays observable.
+        """
+        if self.expires_at is None:
+            return None
+        return self.expires_at - (time.monotonic() if now is None else now)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True once the absolute deadline has passed."""
+        remaining = self.remaining_s(now)
+        return remaining is not None and remaining <= 0.0
 
     def expected(self) -> int:
         """Reference answer via CPython's ``pow`` (tests / verification)."""

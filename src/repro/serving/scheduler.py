@@ -9,9 +9,12 @@ derives the constants **once per batch** through the shared
 and attaches the resulting context to the batch so workers never touch
 the cache at all.
 
-Dispatch order is earliest-deadline-first, ties broken by estimated
-backend cost (cheap batches first, so a long simulation batch cannot
-convoy short integer batches with equal urgency).
+Dispatch order is interactive-first, then earliest-deadline-first, ties
+broken by estimated backend cost (cheap batches first, so a long
+simulation batch cannot convoy short integer batches with equal
+urgency).  A batch containing any interactive-priority request outranks
+every pure-batch one — under overload the dispatch queue is where
+interactive latency is won or lost.
 
 Metrics (when observation is enabled):
 
@@ -102,6 +105,17 @@ class Batch:
         deadlines = [r.deadline for r in self.requests if r.deadline is not None]
         return min(deadlines) if deadlines else math.inf
 
+    @property
+    def priority_rank(self) -> int:
+        """0 when any request is interactive, 1 otherwise.
+
+        The primary dispatch key: under overload the queue in front of
+        the pool is exactly where interactive latency is won or lost, so
+        a batch carrying interactive traffic jumps every pure-batch one
+        regardless of deadlines.
+        """
+        return 0 if any(r.priority == "interactive" for r in self.requests) else 1
+
 
 def coalesce(
     requests: Sequence[ModExpRequest],
@@ -145,7 +159,7 @@ def coalesce(
                 )
             )
 
-    batches.sort(key=lambda b: (b.deadline, b.estimated_cost))
+    batches.sort(key=lambda b: (b.priority_rank, b.deadline, b.estimated_cost))
     for offset, batch in enumerate(batches):
         batch.index = start_index + offset
         if OBS.enabled:

@@ -57,15 +57,18 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
 from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import wait as futures_wait
 from dataclasses import replace
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.errors import (
+    DeadlineExceeded,
     FaultDetected,
     ParameterError,
     QueueFull,
+    RequestShed,
     WireFormatError,
 )
 from repro.montgomery.params import MontgomeryContext
@@ -87,6 +90,14 @@ from repro.serving.backends import (
     BackendRegistry,
     ModExpBackend,
     default_registry,
+)
+from repro.serving.health import HealthConfig
+from repro.serving.overload import (
+    BrownoutController,
+    CoDelShedder,
+    HedgePolicy,
+    OverloadConfig,
+    TokenBucket,
 )
 from repro.serving.pool import WorkerPool
 from repro.serving.request import ModExpRequest, ModExpResult
@@ -256,6 +267,7 @@ class _Entry:
         "future",
         "result",
         "submitted_at",
+        "admitted_at",
         "group_pos",
         "group_size",
         "context",
@@ -269,6 +281,7 @@ class _Entry:
         self.future: Optional[Future] = None
         self.result: Optional[ModExpResult] = None
         self.submitted_at: float = 0.0
+        self.admitted_at: float = 0.0  # sojourn clock for the CoDel shedder
         self.group_pos: Optional[int] = None  # position in a lane group
         self.group_size: int = 1
         self.context: Optional[MontgomeryContext] = None  # batch's shared ctx
@@ -328,6 +341,29 @@ class ModExpService:
         When True, retries may be routed to the next-cheapest capable
         backend from the registry when the primary's breaker is open
         (or simply as an alternate opinion after a failure).
+    overload:
+        :class:`~repro.serving.overload.OverloadConfig` enabling the
+        graceful-degradation ladder (``None`` = off, the default —
+        nothing below changes behaviour):
+
+        * **deadlines** — requests get an absolute ``expires_at`` from
+          their ``budget_s`` (or the config's per-class default) at
+          admission, checked again at dispatch, while awaiting, and
+          before every retry (backoff is clamped to the remaining
+          budget);
+        * **admission** — a token bucket paces intake, with a reserve
+          slice only interactive traffic may draw from;
+        * **shedding** — a CoDel controller sheds *batch*-class
+          requests whose queue sojourn stays over target;
+        * **hedging** — stragglers past the observed p99 are re-issued
+          to the next ring shard, first result wins (shard pools only);
+        * **brownout** — sustained pressure steps down verification
+          sampling, reroutes to cheaper backends, then suspends batch
+          admission entirely, in that order.
+    health:
+        :class:`~repro.serving.health.HealthConfig` for the shard
+        pool's per-shard health state machines (shard pools only;
+        ``None`` = pool defaults).
     """
 
     def __init__(
@@ -347,6 +383,8 @@ class ModExpService:
         retry_budget: int = 32,
         breaker: Optional[BreakerConfig] = None,
         failover: bool = False,
+        overload: Optional[OverloadConfig] = None,
+        health: Optional[HealthConfig] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.backend: ModExpBackend = (
@@ -390,6 +428,7 @@ class ModExpService:
                 backend=self.backend.name,
                 queue_limit=queue_limit,
                 chaos=self.chaos,
+                health=health,
             )
         else:
             self.pool = WorkerPool(
@@ -404,6 +443,33 @@ class ModExpService:
         self._retry_budget = RetryBudget(retry_budget)
         self.breakers = BreakerBoard(breaker) if breaker is not None else None
         self.failover = failover
+        self.overload = overload
+        self._admission: Optional[TokenBucket] = None
+        self._shedder: Optional[CoDelShedder] = None
+        self._brownout: Optional[BrownoutController] = None
+        self._hedge: Optional[HedgePolicy] = None
+        if overload is not None:
+            if overload.admit_rate is not None:
+                self._admission = TokenBucket(
+                    overload.admit_rate,
+                    overload.admit_burst,
+                    reserve=overload.interactive_reserve,
+                )
+            self._shedder = CoDelShedder(
+                overload.shed_target_s, overload.shed_interval_s
+            )
+            if overload.brownout:
+                self._brownout = BrownoutController(
+                    high=overload.brownout_high,
+                    low=overload.brownout_low,
+                    dwell_s=overload.brownout_dwell_s,
+                )
+            if overload.hedge:
+                self._hedge = HedgePolicy(
+                    quantile=overload.hedge_quantile,
+                    min_samples=overload.hedge_min_samples,
+                    min_delay_s=overload.hedge_min_delay_s,
+                )
         self._batch_counter = 0
         self._trace_seq = 0
 
@@ -463,6 +529,127 @@ class ModExpService:
                 )
             if self.breakers is not None:
                 self.breakers.get(backend_name).record_slo_violation()
+
+    # ------------------------------------------------------------------
+    # Overload control: admission, shedding, brownout
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _count_shed(reason: str, priority: str) -> None:
+        if OBS.enabled:
+            OBS.count(
+                "serving.shed_requests", reason=reason, **{"class": priority}
+            )
+
+    def _admit(
+        self, request: ModExpRequest, now: float
+    ) -> Tuple[ModExpRequest, Optional[BaseException]]:
+        """Admission gate: stamp the absolute deadline, apply the ladder.
+
+        Returns the (possibly deadline-stamped) request and ``None``, or
+        the refusal exception: :class:`DeadlineExceeded` for requests
+        already past their budget, :class:`RequestShed` for brownout
+        batch suspension and token-bucket refusal.  Interactive traffic
+        may draw from the bucket's reserve slice and is never refused by
+        the brownout gate — under overload it is batch that gives way.
+        """
+        if self.overload is None:
+            return request, None
+        if request.expires_at is None:
+            budget = request.budget_s
+            if budget is None:
+                budget = self.overload.budget_for(request.priority)
+            if budget is not None:
+                request = replace(request, expires_at=now + budget)
+        if request.expired(now):
+            if OBS.enabled:
+                OBS.count("serving.deadline_expired", where="admission")
+            return request, DeadlineExceeded(
+                "deadline passed before admission", where="admission"
+            )
+        if (
+            self._brownout is not None
+            and self._brownout.batch_suspended
+            and request.priority == "batch"
+        ):
+            self._count_shed("brownout", request.priority)
+            return request, RequestShed(
+                "batch admission suspended (brownout level 3)", reason="brownout"
+            )
+        if self._admission is not None:
+            if not self._admission.try_admit(request.priority):
+                self._count_shed("admission", request.priority)
+                return request, RequestShed(
+                    f"admission rate exceeded for {request.priority} traffic",
+                    reason="admission",
+                )
+            if OBS.enabled:
+                OBS.gauge("serving.admission_level", self._admission.level)
+        return request, None
+
+    def _update_brownout(self) -> None:
+        """Feed the pool's window occupancy into the brownout controller."""
+        if self._brownout is None:
+            return
+        level = self._brownout.update(getattr(self.pool, "load", 0.0))
+        if OBS.enabled:
+            OBS.gauge("serving.brownout_level", level)
+
+    def _shed_at_dispatch(self, entries: List[_Entry]) -> List[_Entry]:
+        """Dequeue-time gates: expired deadlines, then CoDel shedding.
+
+        Runs just before a batch's entries are submitted to the pool.
+        Entries that fail a gate get their failure result attached (the
+        collector returns it directly) and are excluded from submission;
+        the survivors are returned.  CoDel sheds *batch*-class requests
+        only — interactive latency is protected by shedding around it,
+        never by dropping it.
+        """
+        if self.overload is None:
+            return entries
+        keep: List[_Entry] = []
+        now = time.monotonic()
+        for entry in entries:
+            request = entry.request
+            if request.expired(now):
+                if OBS.enabled:
+                    OBS.count("serving.deadline_expired", where="dispatch")
+                    OBS.count(
+                        "serving.requests",
+                        status="expired",
+                        backend=self.backend.name,
+                    )
+                entry.result = ModExpResult.failure(
+                    request.request_id,
+                    DeadlineExceeded(
+                        "deadline passed before dispatch", where="dispatch"
+                    ),
+                    backend=self.backend.name,
+                    batch_index=entry.batch_index,
+                )
+                continue
+            if self._shedder is not None and request.priority == "batch":
+                sojourn = now - entry.admitted_at if entry.admitted_at else 0.0
+                if self._shedder.offer(sojourn):
+                    self._count_shed("codel", request.priority)
+                    if OBS.enabled:
+                        OBS.count(
+                            "serving.requests",
+                            status="shed",
+                            backend=self.backend.name,
+                        )
+                    entry.result = ModExpResult.failure(
+                        request.request_id,
+                        RequestShed(
+                            f"queue sojourn {sojourn * 1e3:.1f} ms over the "
+                            f"{self._shedder.target_s * 1e3:.1f} ms target",
+                            reason="codel",
+                        ),
+                        backend=self.backend.name,
+                        batch_index=entry.batch_index,
+                    )
+                    continue
+            keep.append(entry)
+        return keep
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -574,14 +761,17 @@ class ModExpService:
                 entry.batch_index = batch.index
                 entry.context = batch.context
             dispatched.extend(entries)
+            live = self._shed_at_dispatch(entries)
+            if not live:
+                continue
             groups = (
                 self._lane_groups(
-                    entries,
+                    live,
                     lanes,
                     mixed=self.backend.capabilities.mixed_exponent_lanes,
                 )
                 if lane_packing
-                else [[entry] for entry in entries]
+                else [[entry] for entry in live]
             )
             for group in groups:
                 if OBS.enabled:
@@ -613,6 +803,7 @@ class ModExpService:
         batch-granular: a batch that does not fit the window is rejected
         or waited out whole.
         """
+        cheap = self._brownout is not None and self._brownout.reroute_cheap
         dispatched: List[_Entry] = []
         for batch in batches:
             entries = [entries_by_id[id(r)].popleft() for r in batch.requests]
@@ -620,24 +811,29 @@ class ModExpService:
                 entry.batch_index = batch.index
                 entry.context = batch.context
             dispatched.extend(entries)
+            live = self._shed_at_dispatch(entries)
+            if not live:
+                continue
             while True:
                 try:
                     now = time.monotonic()
-                    futures = self.pool.submit_batch(batch.requests)
-                    for entry, future in zip(entries, futures):
+                    futures = self.pool.submit_batch(
+                        [e.request for e in live], cheap_mode=cheap
+                    )
+                    for entry, future in zip(live, futures):
                         entry.submitted_at = now
                         entry.future = future
                     if OBS.enabled:
                         OBS.count(
                             "serving.requests",
-                            len(entries),
+                            len(live),
                             status="accepted",
                             backend=self.backend.name,
                         )
                     break
                 except QueueFull as exc:
                     if on_full == "reject":
-                        for entry in entries:
+                        for entry in live:
                             entry.result = ModExpResult.failure(
                                 entry.request.request_id,
                                 exc,
@@ -647,7 +843,7 @@ class ModExpService:
                         if OBS.enabled:
                             OBS.count(
                                 "serving.requests",
-                                len(entries),
+                                len(live),
                                 status="rejected",
                                 backend=self.backend.name,
                             )
@@ -656,9 +852,7 @@ class ModExpService:
                     # one — a below-limit-but-too-full window would
                     # otherwise bounce the waiter straight back into
                     # QueueFull in a hot loop.
-                    self.pool.wait_for_capacity(
-                        timeout=0.5, slots=len(batch.requests)
-                    )
+                    self.pool.wait_for_capacity(timeout=0.5, slots=len(live))
         return dispatched
 
     # ------------------------------------------------------------------
@@ -680,8 +874,23 @@ class ModExpService:
         remaining: Optional[float] = None
         if timeout is not None:
             remaining = max(0.0, entry.submitted_at + timeout - time.monotonic())
+        # The absolute deadline also caps the wait — there is no point
+        # blocking past the moment the answer stops being useful.
+        budget = request.remaining_s()
+        if budget is not None:
+            budget = max(0.0, budget)
+            remaining = budget if remaining is None else min(remaining, budget)
         try:
-            payload = future.result(timeout=remaining)
+            if (
+                self._hedge is not None
+                and self.pool.kind == "shard"
+                and entry.group_pos is None
+            ):
+                payload = self._hedged_result(entry, remaining)
+            else:
+                payload = future.result(timeout=remaining)
+            if self._hedge is not None:
+                self._hedge.observe(time.monotonic() - entry.submitted_at)
             if entry.group_pos is None:
                 value, cycles, wall_us, worker, telemetry = payload
             else:
@@ -704,9 +913,73 @@ class ModExpService:
             return "ok", (value, cycles, wall_us, worker, telemetry)
         except FuturesTimeout:
             self.pool.abandon(future)
+            if request.expired():
+                if OBS.enabled:
+                    OBS.count("serving.deadline_expired", where="await")
+                return "timeout", DeadlineExceeded(
+                    "deadline passed while awaiting the result", where="await"
+                )
             return "timeout", TimeoutError(f"request exceeded {timeout}s")
         except BaseException as exc:
             return "error", exc
+
+    def _hedged_result(self, entry: _Entry, remaining: Optional[float]) -> Any:
+        """First-result-wins between the primary dispatch and one hedge.
+
+        After the hedge policy's p99-derived delay (``None`` until the
+        latency reservoir warms up), the straggling request is re-issued
+        to the next live shard on the ring — the shard that would
+        inherit its key on real failover, so hedges also warm the right
+        caches.  Whichever copy answers first wins; the loser is
+        abandoned, so exactly one result is ever consumed.  Raises
+        :class:`FuturesTimeout` or the winner's exception exactly like
+        ``Future.result`` so the caller's handling is unchanged.
+        """
+        primary = entry.future
+        assert primary is not None and self._hedge is not None
+        give_up = None if remaining is None else time.monotonic() + remaining
+        delay = self._hedge.delay()
+        if delay is None:  # reservoir still warming up: no hedging yet
+            return primary.result(timeout=remaining)
+        first_wait = (
+            delay
+            if give_up is None
+            else min(delay, max(give_up - time.monotonic(), 0.0))
+        )
+        try:
+            return primary.result(timeout=first_wait)
+        except FuturesTimeout:
+            pass
+        hedge = self.pool.submit_hedge(entry.request)
+        if hedge is None:  # no distinct live shard, or the window is full
+            rest = None if give_up is None else max(give_up - time.monotonic(), 0.0)
+            return primary.result(timeout=rest)
+        if OBS.enabled:
+            OBS.count("serving.hedges_fired")
+        pending = {primary, hedge}
+        while pending:
+            rest = None if give_up is None else max(give_up - time.monotonic(), 0.0)
+            done, pending = futures_wait(
+                pending, timeout=rest, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Overall timeout: the caller abandons the primary; the
+                # hedge is ours to clean up.
+                self.pool.abandon(hedge)
+                raise FuturesTimeout()
+            for settled in done:
+                if settled.exception() is None:
+                    loser = hedge if settled is primary else primary
+                    if not loser.done():
+                        self.pool.abandon(loser)
+                    if OBS.enabled:
+                        OBS.count(
+                            "serving.hedge_wins",
+                            winner="primary" if settled is primary else "hedge",
+                        )
+                    return settled.result()
+        # Both copies settled exceptionally: surface the primary's error.
+        return primary.result()
 
     def _rid(self, entry: _Entry) -> str:
         request = entry.request
@@ -724,6 +997,17 @@ class ModExpService:
             return None
         if not self.verify_policy.should_verify(self._rid(entry), attempt):
             return None
+        if self._brownout is not None:
+            # Brownout step one: thin verification before touching any
+            # traffic.  Deterministic per (request, attempt) so a given
+            # value's fate does not depend on collection order.
+            scale = self._brownout.verify_scale()
+            if scale < 1.0:
+                rng = random.Random(f"brownout-verify|{self._rid(entry)}|{attempt}")
+                if rng.random() >= scale:
+                    if OBS.enabled:
+                        OBS.count("serving.verify_skipped", reason="brownout")
+                    return None
         if OBS.enabled:
             OBS.count("serving.verified", backend=backend_name)
         started = time.perf_counter()
@@ -880,6 +1164,14 @@ class ModExpService:
         value, cycles, wall_us, worker, telemetry = payload
         if OBS.enabled:
             OBS.count("serving.requests", status="completed", backend=used)
+            # A completed-but-late result still violated its deadline;
+            # the CI drill gates on this being zero for interactive.
+            late = request.remaining_s()
+            if late is not None and late < 0:
+                OBS.count(
+                    "serving.deadline_violations",
+                    **{"class": request.priority},
+                )
             if telemetry is not None:
                 self._merge_telemetry(entry, telemetry)
             if cycles is not None:
@@ -927,6 +1219,17 @@ class ModExpService:
             replace(request, trace=None) if request.trace is not None else request
         )
         while attempt + 1 < policy.max_attempts and status != "ok":
+            remaining = request.remaining_s()
+            if remaining is not None and not policy.worth_retrying(attempt, remaining):
+                # Fail fast: the budget cannot cover another attempt, so
+                # burning it on a doomed retry only delays the failure.
+                if OBS.enabled:
+                    OBS.count("serving.deadline_expired", where="retry")
+                if remaining <= 0 and not isinstance(payload, DeadlineExceeded):
+                    status, payload = "timeout", DeadlineExceeded(
+                        "deadline passed during retries", where="retry"
+                    )
+                break
             if not self._retry_budget.try_acquire():
                 if OBS.enabled:
                     OBS.count("serving.retry_budget_exhausted")
@@ -939,7 +1242,7 @@ class ModExpService:
                     if OBS.enabled:
                         OBS.count("serving.no_backend_available")
                     break
-                delay = policy.backoff(rid, attempt)
+                delay = policy.backoff(rid, attempt, request.remaining_s())
                 if delay > 0:
                     time.sleep(delay)
                 if OBS.enabled:
@@ -995,10 +1298,13 @@ class ModExpService:
             raise ParameterError(f"on_full must be 'wait' or 'reject', got {on_full!r}")
         ordered = list(requests)
         results: List[Optional[ModExpResult]] = [None] * len(ordered)
+        self._update_brownout()
 
-        # Capability screen: unservable requests resolve immediately.
+        # Capability screen + overload admission: unservable, refused
+        # and already-expired requests resolve immediately.
         servable: List[ModExpRequest] = []
         entries_by_id: Dict[int, Deque[_Entry]] = {}
+        admitted_at = time.monotonic()
         for index, request in enumerate(ordered):
             reason = self.backend.reject_reason(request)
             if reason is not None:
@@ -1014,6 +1320,23 @@ class ModExpService:
                     backend=self.backend.name,
                 )
                 continue
+            request, refusal = self._admit(request, admitted_at)
+            if refusal is not None:
+                if OBS.enabled:
+                    status = (
+                        "expired"
+                        if isinstance(refusal, DeadlineExceeded)
+                        else "shed"
+                    )
+                    OBS.count(
+                        "serving.requests", status=status, backend=self.backend.name
+                    )
+                results[index] = ModExpResult.failure(
+                    request.request_id,
+                    refusal,
+                    backend=self.backend.name,
+                )
+                continue
             if not request.request_id and (
                 self.chaos is not None or self._verifier is not None
             ):
@@ -1024,9 +1347,9 @@ class ModExpService:
             if OBS.enabled and request.trace is None:
                 request = replace(request, trace=self._trace_context(request))
             servable.append(request)
-            entries_by_id.setdefault(id(request), deque()).append(
-                _Entry(request, index)
-            )
+            entry = _Entry(request, index)
+            entry.admitted_at = admitted_at
+            entries_by_id.setdefault(id(request), deque()).append(entry)
 
         batches = coalesce(
             servable,
@@ -1065,7 +1388,9 @@ class ModExpService:
             stats["served"] += 1
             if result.ok:
                 stats["ok"] += 1
-            elif result.error_type == "QueueFull":
+            elif result.error_type in ("QueueFull", "RequestShed"):
+                # Shedding is load regulation, not failure: both count
+                # as rejections the client may retry elsewhere/later.
                 stats["rejected"] += 1
             else:
                 stats["failed"] += 1

@@ -33,7 +33,17 @@ This module replaces that plane with three pieces:
   pool tasks produce — so the service's collector, verifier, retry
   ladder and SLO accounting work unchanged.
 
-**Failure semantics.**  A shard death (chaos kill, OOM, crash) surfaces
+**Failure semantics.**  Failures are graded, not binary.  Each shard
+slot carries a :class:`~repro.serving.health.ShardHealth` machine
+(healthy → degraded → draining → dead): slow batches and corrupt frames
+are strikes that *degrade*; a stuck worker or persistent strikes start a
+*graceful drain* (ring ranges rehome, in-flight work gets a grace
+period, then the worker is recycled); only pipe EOF is *death*.  A
+malformed frame in either direction — the worker NACKs a batch it
+cannot decode; the parent catches a result frame that fails its crc —
+requeues the affected batch exactly once without killing anything,
+because the pipe's message boundaries keep the stream parseable past a
+damaged payload.  A shard death (chaos kill, OOM, crash) surfaces
 as EOF on its pipe.  The reader thread marks the shard dead on the ring,
 respawns a fresh worker (counting ``serving.worker_restarts``), marks it
 alive again, and requeues every batch the dead worker held — exactly
@@ -67,6 +77,7 @@ from concurrent.futures import Future, InvalidStateError
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
+    DeadlineExceeded,
     FaultDetected,
     InjectedFault,
     ParameterError,
@@ -77,14 +88,21 @@ from repro.errors import (
 )
 from repro.montgomery.params import precompute_montgomery_constants
 from repro.observability import OBS, MetricsRegistry, observe
-from repro.robustness.chaos import ChaosConfig
+from repro.robustness.chaos import ChaosConfig, FaultPlan
+from repro.serving.health import HealthConfig, ShardHealth
 from repro.serving.pool import SlotWindow
 from repro.serving.request import ModExpRequest
 from repro.serving.scheduler import lane_groups
 from repro.serving.wire import (
+    BATCH_FRAME,
+    NACK_FRAME,
+    RESULT_FRAME,
+    batch_frame_cheap_mode,
     decode_batch_frame,
-    decode_result_frame,
+    decode_nack_frame,
     encode_batch_frame,
+    encode_nack_frame,
+    decode_result_frame,
     encode_result_frame,
 )
 
@@ -166,6 +184,21 @@ class ShardMap:
                 return shard
         raise ShardFailure("every shard in the map is marked dead")
 
+    def next_owner(self, key: int, avoid: int) -> Optional[int]:
+        """First alive shard clockwise from ``key`` other than ``avoid``.
+
+        The hedging target: when the key's owner is slow, the re-dispatch
+        goes to the shard that would inherit the key were the owner dead —
+        so a hedged request warms exactly the caches a real failover
+        would use.  ``None`` when no distinct alive shard exists.
+        """
+        start = bisect.bisect_right(self._points, key) % len(self._ring)
+        for offset in range(len(self._ring)):
+            shard = self._ring[(start + offset) % len(self._ring)][1]
+            if shard != avoid and self._alive[shard]:
+                return shard
+        return None
+
     def assignments(self, keys: Sequence[int]) -> Dict[int, int]:
         """Convenience: ``{key: owner}`` for a set of placement keys."""
         return {key: self.owner(key) for key in keys}
@@ -196,15 +229,24 @@ def _shard_worker_main(
     a fresh local observation session whose snapshot travels back in the
     result frame (telemetry per batch, not per request).
 
-    An empty frame is the shutdown pill.  Any unexpected error (a frame
-    this worker cannot decode, a closed pipe) ends the loop; the parent
-    treats worker exit as a death and requeues whatever was in flight.
+    An empty frame is the shutdown pill.  A batch frame this worker
+    cannot decode is **not** fatal: the pipe preserves message
+    boundaries, so the stream is intact — the worker answers with a NACK
+    frame naming the batch (when the header was readable) and keeps
+    serving; the parent degrades the shard and requeues the batch.  Only
+    a closed pipe ends the loop.
     """
     from repro.serving.service import _execute_with_chaos, _worker_registry
 
-    backend = _worker_registry().get(backend_name)
-    caps = backend.capabilities
+    registry_obj = _worker_registry()
+    backend = registry_obj.get(backend_name)
     chaos = chaos if (chaos is not None and chaos.active) else None
+    frame_plan = (
+        FaultPlan(chaos)
+        if chaos is not None and chaos.frame_faults_active
+        else None
+    )
+    cheap_backend = None  # resolved lazily on the first cheap-mode batch
     while True:
         try:
             data = conn.recv_bytes()
@@ -212,7 +254,32 @@ def _shard_worker_main(
             return
         if not data:  # shutdown pill
             return
-        batch_id, attempt, want_telemetry, requests = decode_batch_frame(data)
+        try:
+            batch_id, attempt, want_telemetry, requests = decode_batch_frame(data)
+        except WireFormatError as exc:
+            # Recover the batch id from the fixed header when possible so
+            # the parent can requeue exactly that batch.
+            nack_id = (
+                int.from_bytes(data[1:9], "big")
+                if len(data) >= 9 and data[0] == BATCH_FRAME
+                else 0
+            )
+            try:
+                conn.send_bytes(encode_nack_frame(nack_id, str(exc)[:512]))
+            except (OSError, ValueError, BrokenPipeError):
+                return
+            continue
+        if batch_frame_cheap_mode(data):
+            # Brownout lever: execute on the registry's cheapest backend
+            # still capable of this batch instead of the primary.
+            if cheap_backend is None:
+                cheap_backend = _cheapest_capable(
+                    registry_obj, requests[0], fallback=backend
+                )
+            exec_backend = cheap_backend
+        else:
+            exec_backend = backend
+        caps = exec_backend.capabilities
         # Metrics capture is opt-in per batch (frame flag, set when the
         # parent runs under an observation session): the engines' hook
         # sites on the multiply/exponentiate hot path are not free, and
@@ -225,6 +292,26 @@ def _shard_worker_main(
             ctx = precompute_montgomery_constants(
                 requests[0].modulus, requests[0].l
             )
+            # Pre-execute deadline check: a request that expired while
+            # queued or in transit gets a typed failure instead of a
+            # modexp nobody is waiting for.
+            live: List[ModExpRequest] = []
+            for request in requests:
+                if request.expired():
+                    if OBS.enabled:
+                        OBS.count("serving.deadline_expired", where="worker")
+                    results.append(
+                        _error_row(
+                            request.request_id,
+                            DeadlineExceeded(
+                                "deadline passed before execution",
+                                where="worker",
+                            ),
+                        )
+                    )
+                else:
+                    live.append(request)
+            requests = live
             # Lane packing is suspended under chaos, exactly as in the
             # parent's dispatcher: every request needs its own fault
             # decision, which a lock-step sweep cannot honour.
@@ -241,14 +328,16 @@ def _shard_worker_main(
                         packed="yes" if len(group) > 1 else "no",
                     )
                     OBS.record(
-                        "serving.lane_group_size", len(group), backend=backend_name
+                        "serving.lane_group_size",
+                        len(group),
+                        backend=exec_backend.name,
                     )
                 if len(group) == 1:
                     request = group[0]
                     t0 = time.perf_counter()
                     try:
                         out = _execute_with_chaos(
-                            backend, ctx, request, chaos, attempt, True
+                            exec_backend, ctx, request, chaos, attempt, True
                         )
                     except BaseException as exc:
                         results.append(_error_row(request.request_id, exc))
@@ -265,7 +354,7 @@ def _shard_worker_main(
                 else:
                     t0 = time.perf_counter()
                     try:
-                        outs = backend.execute_many(ctx, list(group))
+                        outs = exec_backend.execute_many(ctx, list(group))
                     except BaseException as exc:
                         results.extend(
                             _error_row(r.request_id, exc) for r in group
@@ -289,10 +378,32 @@ def _shard_worker_main(
             batch_wall_us=batch_wall_us,
             telemetry=registry.snapshot() if registry is not None else None,
         )
+        if frame_plan is not None:
+            decision = frame_plan.decide_frame(batch_id, attempt)
+            if decision:
+                frame_plan.apply_pre(decision, f"batch-{batch_id}")
+                frame = frame_plan.mangle_frame(decision, frame)
         try:
             conn.send_bytes(frame)
         except (OSError, ValueError, BrokenPipeError):
             return
+
+
+def _cheapest_capable(registry: Any, probe: ModExpRequest, *, fallback: Any) -> Any:
+    """The registry backend with the lowest estimated cost for ``probe``.
+
+    The brownout controller's "cheap backends" level trades fidelity for
+    throughput; the worker makes the trade locally because only it knows
+    which backends its registry actually holds.
+    """
+    best, best_cost = fallback, None
+    for candidate in registry:
+        if candidate.reject_reason(probe) is not None:
+            continue
+        cost = candidate.estimate_cost(probe)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = candidate, cost
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -313,6 +424,8 @@ def _rebuild_error(row: Dict[str, Any]) -> BaseException:
     message = row.get("error", "")
     if name == "FaultDetected":
         return FaultDetected(message, check=row.get("check") or "unknown")
+    if name == "DeadlineExceeded":
+        return DeadlineExceeded(message, where="worker")
     known: Dict[str, Any] = {
         "QueueFull": QueueFull,
         "WireFormatError": WireFormatError,
@@ -330,7 +443,15 @@ def _rebuild_error(row: Dict[str, Any]) -> BaseException:
 class _PendingBatch:
     """One batch frame in flight to a shard."""
 
-    __slots__ = ("batch_id", "requests", "futures", "by_id", "attempt", "requeued")
+    __slots__ = (
+        "batch_id",
+        "requests",
+        "futures",
+        "by_id",
+        "attempt",
+        "requeued",
+        "sent_at",
+    )
 
     def __init__(
         self,
@@ -345,6 +466,7 @@ class _PendingBatch:
         self.by_id = {r.request_id: f for r, f in zip(requests, futures)}
         self.attempt = attempt
         self.requeued = attempt > 0
+        self.sent_at = time.monotonic()  # refreshed on every (re)send
 
 
 class _Shard:
@@ -420,6 +542,10 @@ class ShardPool:
         Fault plan forwarded to every worker at spawn time.
     vnodes:
         Ring positions per shard for the :class:`ShardMap`.
+    health:
+        Thresholds for the per-shard
+        :class:`~repro.serving.health.ShardHealth` machines (latency
+        strikes, corrupt-frame strikes, stuck/drain timeouts).
     """
 
     kind = "shard"
@@ -432,6 +558,7 @@ class ShardPool:
         queue_limit: Optional[int] = None,
         chaos: Optional[ChaosConfig] = None,
         vnodes: int = DEFAULT_VNODES,
+        health: Optional[HealthConfig] = None,
     ) -> None:
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
@@ -447,7 +574,26 @@ class ShardPool:
         self._batch_seq = itertools.count(1)
         self._started_at = time.monotonic()
         self._lifecycle = threading.Lock()  # serializes respawn/shutdown
+        self.health_config = health or HealthConfig()
+        # Health machines outlive worker respawns so strike history and
+        # transition counters stay per shard *slot*, not per process.
+        self._health: List[ShardHealth] = [
+            ShardHealth(
+                i,
+                self.health_config,
+                on_transition=(
+                    lambda came_from, to, index=i: self._on_health_transition(
+                        index, came_from, to
+                    )
+                ),
+            )
+            for i in range(shards)
+        ]
         self._shards: List[_Shard] = [self._spawn(i) for i in range(shards)]
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="shard-monitor", daemon=True
+        )
+        self._monitor_thread.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -476,14 +622,106 @@ class ShardPool:
         return self._window.depth
 
     @property
+    def load(self) -> float:
+        """Window occupancy in ``[0, 1]`` — the brownout pressure signal."""
+        return min(self._window.depth / max(self.queue_limit, 1), 1.0)
+
+    @property
     def shard_pids(self) -> List[int]:
         """Worker PIDs by shard index (drills kill these directly)."""
         return [shard.process.pid for shard in self._shards]
 
+    def health_states(self) -> Dict[int, str]:
+        """Current health state per shard index (dashboards, drills)."""
+        return {i: h.state for i, h in enumerate(self._health)}
+
+    # ------------------------------------------------------------------
+    # Health reactions
+    # ------------------------------------------------------------------
+    def _on_health_transition(self, index: int, came_from: str, to: str) -> None:
+        """React to one shard's health edge (called from event threads).
+
+        ``draining`` is the one edge with a routing side effect: the
+        shard's ring ranges rehome immediately (stop admitting) while a
+        background thread gives in-flight work its grace period and then
+        recycles the worker.  ``dead``/``healthy`` routing flips are
+        owned by the death/respawn path itself.
+        """
+        if to == "draining" and not self._closed:
+            self.map.mark_dead(index)
+            threading.Thread(
+                target=self._drain,
+                args=(index,),
+                name=f"shard{index}-drain",
+                daemon=True,
+            ).start()
+
+    def _drain(self, index: int) -> None:
+        """Graceful drain: finish in-flight work, then recycle the worker.
+
+        The pipe is FIFO and the worker answers strictly in order, so a
+        shutdown pill sent after the last admitted batch lets a *slow*
+        worker finish everything before exiting; a *wedged* worker never
+        reads the pill and is terminated when the grace period lapses.
+        Either way the reader thread's death handler respawns the shard,
+        returns its ring ranges, and requeues whatever did not finish —
+        the same exactly-once path a crash takes.
+        """
+        shard = self._shards[index]
+        give_up = time.monotonic() + self.health_config.drain_timeout_s
+        while time.monotonic() < give_up and not self._closed:
+            if shard.depth() == 0:
+                break
+            time.sleep(0.005)
+        # The worker may have crashed outright while we waited; the death
+        # path already recycled it and this drain is moot.
+        if self._closed or self._health[index].state != "draining":
+            return
+        if OBS.enabled:
+            OBS.count("serving.shard_drains", shard=str(index))
+        try:
+            with shard.send_lock:
+                shard.conn.send_bytes(b"")  # pill: exit after current work
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        shard.process.join(timeout=max(self.health_config.drain_timeout_s, 0.1))
+        if shard.process.is_alive():
+            shard.process.terminate()
+        # EOF now reaches the reader, whose death handler does the rest.
+
+    def _monitor(self) -> None:
+        """Stuck-worker detector: pending work older than the timeout.
+
+        A wedged worker holds the pipe open — no EOF, no result frames —
+        so it is invisible to both the reader and the latency EWMA.  The
+        monitor ages each shard's oldest in-flight batch instead, and
+        promotes the shard to draining when it exceeds
+        ``stuck_timeout_s``.
+        """
+        cfg = self.health_config
+        interval = max(min(cfg.stuck_timeout_s / 4.0, 0.25), 0.005)
+        while not self._closed:
+            time.sleep(interval)
+            now = time.monotonic()
+            for shard in list(self._shards):
+                health = self._health[shard.index]
+                if health.state not in ("healthy", "degraded"):
+                    continue
+                with shard.lock:
+                    if shard.dead or not shard.pending:
+                        continue
+                    oldest = min(p.sent_at for p in shard.pending.values())
+                if now - oldest > cfg.stuck_timeout_s:
+                    if OBS.enabled:
+                        OBS.count("serving.stuck_shards", shard=str(shard.index))
+                    health.on_stuck()
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def submit_batch(self, requests: Sequence[ModExpRequest]) -> List[Future]:
+    def submit_batch(
+        self, requests: Sequence[ModExpRequest], *, cheap_mode: bool = False
+    ) -> List[Future]:
         """Ship one coalesced batch to its home shard as a single frame.
 
         Reserves one window slot per request (raising
@@ -508,22 +746,68 @@ class ShardPool:
                 )
         self._window.reserve(len(requests), elastic=True)
         try:
-            return self._dispatch_batch(list(requests), attempt=0)
+            return self._dispatch_batch(
+                list(requests), attempt=0, cheap_mode=cheap_mode
+            )
         except BaseException:
             self._window.cancel_reservation(len(requests))
             raise
 
+    def submit_hedge(self, request: ModExpRequest) -> Optional[Future]:
+        """Re-dispatch one straggler to the ring's next alive shard.
+
+        Hedging is strictly best-effort: no distinct alive shard, a full
+        window, or a shutdown all return ``None`` rather than raising —
+        the primary dispatch is still in flight and remains the source
+        of truth.  The caller owns first-result-wins arbitration and
+        must :meth:`abandon` the loser.
+        """
+        if self._closed:
+            return None
+        key = placement_key(request.modulus, request.l)
+        try:
+            owner = self.map.owner(key)
+        except ShardFailure:
+            return None
+        target = self.map.next_owner(key, avoid=owner)
+        if target is None:
+            return None
+        try:
+            self._window.reserve(1)
+        except QueueFull:
+            return None  # never let a hedge steal admission capacity
+        try:
+            # attempt=1, same as a death-requeue: a deterministic chaos
+            # fault keyed on (request, attempt) must not simply re-fire
+            # on the hedge copy, or a stuck primary begets a stuck hedge.
+            futures = self._dispatch_batch([request], attempt=1, target=target)
+        except BaseException:
+            self._window.cancel_reservation(1)
+            return None
+        if OBS.enabled:
+            OBS.count("serving.hedges_dispatched", shard=str(target))
+        return futures[0]
+
     def _dispatch_batch(
-        self, requests: List[ModExpRequest], *, attempt: int
+        self,
+        requests: List[ModExpRequest],
+        *,
+        attempt: int,
+        target: Optional[int] = None,
+        cheap_mode: bool = False,
     ) -> List[Future]:
         batch_id = next(self._batch_seq)
         wire_requests = self._uniquify_ids(requests, batch_id)
         futures: List[Future] = [Future() for _ in wire_requests]
         pending = _PendingBatch(batch_id, wire_requests, futures, attempt)
         frame = encode_batch_frame(
-            batch_id, wire_requests, attempt=attempt, want_telemetry=OBS.enabled
+            batch_id,
+            wire_requests,
+            attempt=attempt,
+            want_telemetry=OBS.enabled,
+            cheap_mode=cheap_mode,
         )
-        self._send(pending, frame)
+        self._send(pending, frame, target=target)
         return futures
 
     @staticmethod
@@ -550,33 +834,48 @@ class ShardPool:
             out.append(request)
         return out
 
-    def _send(self, pending: _PendingBatch, frame: bytes) -> None:
+    def _send(
+        self,
+        pending: _PendingBatch,
+        frame: bytes,
+        *,
+        target: Optional[int] = None,
+    ) -> None:
         """Register ``pending`` with the key's current owner and send.
 
         Registration happens *before* the write: if the worker dies
         mid-send, the reader's death handler finds the batch in
         ``pending`` and requeues it.  A shard flagged dead (respawn in
         progress) is retried against the ring until an alive owner
-        accepts the batch.
+        accepts the batch.  ``target`` pins the batch to an explicit
+        shard (hedging) instead of the ring owner.
         """
         key = placement_key(pending.requests[0].modulus, pending.requests[0].l)
         give_up = time.monotonic() + 30.0
         while True:
-            try:
-                owner = self.map.owner(key)
-            except ShardFailure:
-                # Every shard momentarily dead (e.g. the only shard is
-                # mid-respawn): wait it out rather than failing the batch.
-                if self._closed or time.monotonic() > give_up:
-                    raise
-                time.sleep(0.01)
-                continue
+            if target is not None:
+                owner = target
+            else:
+                try:
+                    owner = self.map.owner(key)
+                except ShardFailure:
+                    # Every shard momentarily dead (e.g. the only shard is
+                    # mid-respawn): wait it out rather than failing the batch.
+                    if self._closed or time.monotonic() > give_up:
+                        raise
+                    time.sleep(0.01)
+                    continue
             shard = self._shards[owner]
             with shard.lock:
                 if shard.dead:
+                    if self._closed or time.monotonic() > give_up:
+                        raise ShardFailure(
+                            f"shard {owner} stayed dead past the send grace period"
+                        )
                     time.sleep(0.005)
                     continue
                 shard.pending[pending.batch_id] = pending
+                pending.sent_at = time.monotonic()
             break
         if OBS.enabled:
             OBS.count("serving.shard_batches", shard=str(shard.index))
@@ -604,10 +903,32 @@ class ShardPool:
                 data = shard.conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            if data[:1] and data[0] == NACK_FRAME:
+                # The worker could not decode a batch frame we sent.
+                try:
+                    nack_id, message = decode_nack_frame(data)
+                except WireFormatError as exc:
+                    self._frame_corruption(shard, None, f"undecodable nack: {exc}")
+                    continue
+                self._frame_corruption(
+                    shard, nack_id or None, f"worker nack: {message}"
+                )
+                continue
             try:
                 batch_id, batch_wall_us, rows, telemetry = decode_result_frame(data)
-            except WireFormatError:
-                break  # corrupt worker stream: treat as a death
+            except WireFormatError as exc:
+                # A corrupt result frame is shard *degradation*, not death:
+                # the pipe preserves message boundaries, so the stream
+                # stays parseable.  Recover the batch id from the fixed
+                # header when the corruption landed past it.
+                peeked = (
+                    int.from_bytes(data[1:9], "big")
+                    if len(data) >= 9 and data[0] == RESULT_FRAME
+                    else None
+                )
+                self._frame_corruption(shard, peeked, str(exc))
+                continue
+            self._health[shard.index].on_batch_done(batch_wall_us)
             with shard.lock:
                 pending = shard.pending.pop(batch_id, None)
             if pending is None:
@@ -632,6 +953,40 @@ class ShardPool:
                         pass
                 self._window.release(future)
         self._handle_death(shard)
+
+    def _frame_corruption(
+        self, shard: _Shard, batch_id: Optional[int], reason: str
+    ) -> None:
+        """One malformed frame crossed this shard's wire (either way).
+
+        Degrade — never kill: the worker process and its warm caches are
+        fine; only one message was damaged.  When the batch is
+        identifiable it is requeued exactly once (the same budget a
+        death-requeue spends); a second corruption fails its futures
+        over to the service's retry ladder.  An unidentifiable batch is
+        left pending for the stuck monitor to recover via draining.
+        """
+        if OBS.enabled:
+            OBS.count("serving.corrupt_frames", shard=str(shard.index))
+        self._health[shard.index].on_corrupt_frame()
+        if batch_id is None:
+            return
+        with shard.lock:
+            pending = shard.pending.pop(batch_id, None)
+        if pending is None:
+            return
+        if pending.requeued:
+            self._fail_pending(
+                shard,
+                [pending],
+                f"batch {batch_id} lost twice to frame corruption: {reason}",
+            )
+            return
+        if OBS.enabled:
+            OBS.count(
+                "serving.requeued", len(pending.requests), shard=str(shard.index)
+            )
+        self._requeue(pending)
 
     def _resolve(self, shard: _Shard, future: Future, row: Dict[str, Any]) -> None:
         try:
@@ -715,6 +1070,7 @@ class ShardPool:
             self._fail_pending(shard, drained, "shard pool shut down")
             return
         self.map.mark_dead(shard.index)
+        self._health[shard.index].on_death()
         with self._lifecycle:
             if self._closed:
                 self._fail_pending(shard, drained, "shard pool shut down")
@@ -731,6 +1087,7 @@ class ShardPool:
                 shard.process.terminate()
             shard.process.join(timeout=5)
             self._shards[shard.index] = self._spawn(shard.index)
+        self._health[shard.index].on_respawn()
         self.map.mark_alive(shard.index)
         for pending in drained:
             if pending.requeued:

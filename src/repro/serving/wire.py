@@ -15,15 +15,34 @@ Big-int operands travel as raw big-endian bytes (an RSA-2048 modulus is
 Frame grammar (all integers unsigned, network byte order)::
 
     frame    := u32 length | payload            length = len(payload)
-    payload  := batch | results
+    payload  := (batch | results | nack) | u32 crc32
+                crc32 covers every preceding payload byte; a mismatch
+                raises :class:`WireFormatError` *before* any structural
+                parsing, so a flipped byte inside a value bigint can
+                never decode into a silently wrong answer — corruption
+                on the shard wire always surfaces as detectable shard
+                degradation
     batch    := 0x01 | u64 batch_id | u8 attempt | u8 bflags
                 | bigint modulus | u32 l | u16 count | request*
                 bflags bit 0: caller wants the telemetry snapshot
                 (workers skip metrics capture entirely when clear)
+                bflags bit 1: brownout cheap mode — the worker executes
+                on its registry's cheapest capable backend instead of
+                its primary
     request  := str16 id | bigint base | bigint exponent | u8 flags
                 | [bigint p | bigint q]         when flags bit 0
+                | [f64 expires_at]              when flags bit 1
+                flags bit 2: priority class is interactive (batch when
+                clear); ``expires_at`` is the absolute deadline on the
+                ``time.monotonic()`` clock — valid across forked
+                workers, checked worker-side before execution
     results  := 0x02 | u64 batch_id | f64 batch_wall_us | u16 count
                 | result* | u32 tlen | telemetry-json
+    nack     := 0x03 | u64 batch_id | str16 message
+                the worker's decode-failure report: a batch frame it
+                could not parse (``batch_id`` is 0 when even the header
+                was unreadable); the parent degrades the shard and
+                requeues the batch instead of killing the worker
     result   := str16 id | u8 ok
                 ok=1: bigint value | u8 has_cycles | [u64 cycles] | f64 wall_us
                 ok=0: str16 error_type | str16 check | str16 message
@@ -53,6 +72,14 @@ Request line fields
     Optional per-request wall-clock limit in seconds.
 ``deadline``
     Optional urgency key (earliest dispatches first).
+``budget_ms``
+    Optional completion budget in milliseconds.  Deadlines are
+    *relative* on the JSON wire (an absolute monotonic timestamp means
+    nothing to a remote client); the service converts the budget to an
+    absolute ``expires_at`` at admission.
+``priority``
+    Optional priority class, ``"interactive"`` or ``"batch"``
+    (default).  Under overload, batch traffic is shed first.
 
 Result line fields
 ------------------
@@ -70,6 +97,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import (
     Any,
     BinaryIO,
@@ -95,8 +123,11 @@ __all__ = [
     "MAX_FRAME",
     "encode_batch_frame",
     "decode_batch_frame",
+    "batch_frame_cheap_mode",
     "encode_result_frame",
     "decode_result_frame",
+    "encode_nack_frame",
+    "decode_nack_frame",
     "write_frame",
     "read_frame",
     "iter_frames",
@@ -150,6 +181,7 @@ def parse_request_line(line: str) -> ModExpRequest:
 
     unknown = set(obj) - {
         "id", "base", "exponent", "modulus", "l", "p", "q", "timeout", "deadline",
+        "budget_ms", "priority",
     }
     if unknown:
         raise _wire_error(
@@ -176,6 +208,13 @@ def parse_request_line(line: str) -> ModExpRequest:
             raise _wire_error(f"field {field!r} must be a number", request_id)
         return float(value)
 
+    priority = obj.get("priority", "batch")
+    if not isinstance(priority, str):
+        raise _wire_error("field 'priority' must be a string", request_id)
+    budget_ms = _number("budget_ms")
+    if budget_ms is not None and budget_ms <= 0:
+        raise _wire_error("field 'budget_ms' must be > 0", request_id)
+
     try:
         return ModExpRequest(
             base=_to_int(obj["base"], "base", request_id),
@@ -186,6 +225,8 @@ def parse_request_line(line: str) -> ModExpRequest:
             factors=factors,
             timeout=_number("timeout"),
             deadline=_number("deadline"),
+            priority=priority,
+            budget_s=None if budget_ms is None else budget_ms / 1000.0,
         )
     except ParameterError as exc:
         raise _wire_error(str(exc), request_id) from None
@@ -212,6 +253,10 @@ def request_to_json(request: ModExpRequest) -> str:
         obj["timeout"] = request.timeout
     if request.deadline is not None:
         obj["deadline"] = request.deadline
+    if request.priority != "batch":
+        obj["priority"] = request.priority
+    if request.budget_s is not None:
+        obj["budget_ms"] = request.budget_s * 1000.0
     return json.dumps(obj, sort_keys=True)
 
 
@@ -270,6 +315,7 @@ MAX_FRAME = 1 << 26  # 64 MiB
 
 BATCH_FRAME = 0x01
 RESULT_FRAME = 0x02
+NACK_FRAME = 0x03
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
@@ -278,9 +324,28 @@ _F64 = struct.Struct(">d")
 
 #: request flags
 _HAS_FACTORS = 0x01
+_HAS_DEADLINE = 0x02
+_INTERACTIVE = 0x04
 
 #: batch flags
 _WANT_TELEMETRY = 0x01
+_CHEAP_MODE = 0x02
+
+
+def _seal(buf: bytearray) -> bytes:
+    """Append the payload checksum: u32 crc32 over every byte so far."""
+    buf += _U32.pack(zlib.crc32(bytes(buf)) & 0xFFFFFFFF)
+    return bytes(buf)
+
+
+def _open(payload: bytes, what: str) -> bytes:
+    """Verify and strip a payload's crc32 trailer before parsing."""
+    if len(payload) < 5:
+        raise WireFormatError(f"{what}: payload too short for a checksum")
+    body, (crc,) = payload[:-4], _U32.unpack(payload[-4:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise WireFormatError(f"{what}: checksum mismatch (corrupt frame)")
+    return body
 
 
 def _put_bigint(buf: bytearray, value: int, field: str) -> None:
@@ -366,6 +431,7 @@ def encode_batch_frame(
     *,
     attempt: int = 0,
     want_telemetry: bool = True,
+    cheap_mode: bool = False,
 ) -> bytes:
     """One coalesced batch as a binary frame payload.
 
@@ -374,7 +440,10 @@ def encode_batch_frame(
     ``want_telemetry`` sets batch-flag bit 0: when clear, the worker
     skips metrics capture for the batch (observation hooks on the
     engine hot path are not free) and answers with an empty telemetry
-    blob.
+    blob.  ``cheap_mode`` sets bit 1 — the brownout lever: the worker
+    executes the batch on its registry's cheapest capable backend
+    instead of its primary.  A request's absolute deadline and priority
+    class ride per-request flags, so expiry is checkable worker-side.
     """
     if not requests:
         raise WireFormatError("a batch frame needs at least one request")
@@ -382,7 +451,10 @@ def encode_batch_frame(
     buf = bytearray([BATCH_FRAME])
     buf += _U64.pack(batch_id)
     buf.append(attempt & 0xFF)
-    buf.append(_WANT_TELEMETRY if want_telemetry else 0)
+    bflags = _WANT_TELEMETRY if want_telemetry else 0
+    if cheap_mode:
+        bflags |= _CHEAP_MODE
+    buf.append(bflags)
     _put_bigint(buf, modulus, "modulus")
     buf += _U32.pack(l)
     buf += _U16.pack(len(requests))
@@ -396,11 +468,17 @@ def encode_batch_frame(
         _put_bigint(buf, request.base, "base")
         _put_bigint(buf, request.exponent, "exponent")
         flags = _HAS_FACTORS if request.factors is not None else 0
+        if request.expires_at is not None:
+            flags |= _HAS_DEADLINE
+        if request.priority == "interactive":
+            flags |= _INTERACTIVE
         buf.append(flags)
         if request.factors is not None:
             _put_bigint(buf, request.factors[0], "p")
             _put_bigint(buf, request.factors[1], "q")
-    return bytes(buf)
+        if request.expires_at is not None:
+            buf += _F64.pack(request.expires_at)
+    return _seal(buf)
 
 
 def decode_batch_frame(
@@ -408,15 +486,20 @@ def decode_batch_frame(
 ) -> Tuple[int, int, bool, List[ModExpRequest]]:
     """Parse a batch frame payload.
 
-    Returns ``(batch_id, attempt, want_telemetry, requests)``.
+    Returns ``(batch_id, attempt, want_telemetry, requests)``.  The
+    cheap-mode flag is available separately via
+    :func:`batch_frame_cheap_mode` so this signature stays stable.
     """
-    r = _Reader(payload)
+    r = _Reader(_open(payload, "batch frame"))
     kind = r.u8("frame kind")
     if kind != BATCH_FRAME:
         raise WireFormatError(f"expected batch frame (0x01), got 0x{kind:02x}")
     batch_id = r.u64("batch id")
     attempt = r.u8("attempt")
-    want_telemetry = bool(r.u8("batch flags") & _WANT_TELEMETRY)
+    bflags = r.u8("batch flags")
+    if bflags & ~(_WANT_TELEMETRY | _CHEAP_MODE):
+        raise WireFormatError(f"unknown batch flags 0x{bflags:02x}")
+    want_telemetry = bool(bflags & _WANT_TELEMETRY)
     modulus = r.bigint("modulus")
     l = r.u32("l")
     count = r.u16("request count")
@@ -426,9 +509,14 @@ def decode_batch_frame(
         base = r.bigint("base")
         exponent = r.bigint("exponent")
         flags = r.u8("request flags")
+        if flags & ~(_HAS_FACTORS | _HAS_DEADLINE | _INTERACTIVE):
+            raise WireFormatError(f"unknown request flags 0x{flags:02x}")
         factors: Optional[Tuple[int, int]] = None
         if flags & _HAS_FACTORS:
             factors = (r.bigint("p"), r.bigint("q"))
+        expires_at: Optional[float] = None
+        if flags & _HAS_DEADLINE:
+            expires_at = r.f64("expires_at")
         try:
             requests.append(
                 ModExpRequest(
@@ -438,12 +526,47 @@ def decode_batch_frame(
                     request_id=request_id,
                     l=l,
                     factors=factors,
+                    priority="interactive" if flags & _INTERACTIVE else "batch",
+                    expires_at=expires_at,
                 )
             )
         except ParameterError as exc:
             raise WireFormatError(f"invalid request in batch frame: {exc}") from None
     r.done()
     return batch_id, attempt, want_telemetry, requests
+
+
+def batch_frame_cheap_mode(payload: bytes) -> bool:
+    """Peek the brownout cheap-mode flag of a batch frame payload."""
+    if len(payload) < 11 or payload[0] != BATCH_FRAME:
+        return False
+    return bool(payload[10] & _CHEAP_MODE)
+
+
+def encode_nack_frame(batch_id: int, message: str) -> bytes:
+    """A worker's decode-failure report for one batch frame.
+
+    ``batch_id`` is 0 when even the frame header was unreadable.  The
+    parent treats a NACK as shard *degradation*, not death: the pipe's
+    message boundaries survive a corrupt payload, so the stream is
+    intact and the batch can be requeued without recycling the worker.
+    """
+    buf = bytearray([NACK_FRAME])
+    buf += _U64.pack(batch_id)
+    _put_str(buf, message, "nack message")
+    return _seal(buf)
+
+
+def decode_nack_frame(payload: bytes) -> Tuple[int, str]:
+    """Parse a NACK frame into ``(batch_id, message)``."""
+    r = _Reader(_open(payload, "nack frame"))
+    kind = r.u8("frame kind")
+    if kind != NACK_FRAME:
+        raise WireFormatError(f"expected nack frame (0x03), got 0x{kind:02x}")
+    batch_id = r.u64("batch id")
+    message = r.string("nack message")
+    r.done()
+    return batch_id, message
 
 
 def encode_result_frame(
@@ -482,14 +605,14 @@ def encode_result_frame(
     blob = b"" if telemetry is None else json.dumps(telemetry).encode("utf-8")
     buf += _U32.pack(len(blob))
     buf += blob
-    return bytes(buf)
+    return _seal(buf)
 
 
 def decode_result_frame(
     payload: bytes,
 ) -> Tuple[int, float, List[Dict[str, Any]], Optional[Dict[str, Any]]]:
     """Parse a result frame into ``(batch_id, wall_us, results, telemetry)``."""
-    r = _Reader(payload)
+    r = _Reader(_open(payload, "result frame"))
     kind = r.u8("frame kind")
     if kind != RESULT_FRAME:
         raise WireFormatError(f"expected result frame (0x02), got 0x{kind:02x}")

@@ -24,6 +24,13 @@ exact request sequence, forever.
   arrival time lands in ``ModExpRequest.deadline``, so the batch
   scheduler processes traffic in arrival order and queue-depth dynamics
   follow the bursts.
+* **Priority mix** — an ``interactive_share`` of requests (drawn
+  per-request from the same trace RNG, so the mix is reproducible) is
+  tagged ``priority="interactive"``; each class can carry its own
+  relative deadline budget (``interactive_budget_s`` /
+  ``batch_budget_s``), which the service turns into an absolute
+  ``expires_at`` at admission.  This is what the overload drill uses to
+  show interactive traffic surviving a 2× overload while batch sheds.
 
 ``repro loadgen`` writes the result as JSON-lines via
 :func:`~repro.serving.wire.request_to_json`, directly consumable by
@@ -34,7 +41,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.serving.request import ModExpRequest
@@ -60,6 +67,9 @@ class WorkloadConfig:
     burst_factor: float = 1.0
     burst_every: float = 1.0
     burst_len: float = 0.25
+    interactive_share: float = 0.0
+    interactive_budget_s: Optional[float] = None
+    batch_budget_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.requests < 0:
@@ -87,6 +97,14 @@ class WorkloadConfig:
                 "need burst_every > 0 and 0 <= burst_len <= burst_every, got "
                 f"{self.burst_every}/{self.burst_len}"
             )
+        if not 0.0 <= self.interactive_share <= 1.0:
+            raise ParameterError(
+                f"interactive_share must be in [0, 1], got {self.interactive_share}"
+            )
+        for name in ("interactive_budget_s", "batch_budget_s"):
+            budget = getattr(self, name)
+            if budget is not None and budget <= 0:
+                raise ParameterError(f"{name} must be > 0, got {budget}")
 
 
 @dataclass(frozen=True)
@@ -153,6 +171,14 @@ def generate_workload(
         else:
             ebits = rng.choice(config.exponent_bits)
             exponent = rng.randrange(1 << (ebits - 1), 1 << ebits) if ebits > 1 else 1
+        interactive = (
+            config.interactive_share > 0
+            and rng.random() < config.interactive_share
+        )
+        priority = "interactive" if interactive else "batch"
+        budget = (
+            config.interactive_budget_s if interactive else config.batch_budget_s
+        )
         requests.append(
             ModExpRequest(
                 base=rng.randrange(1, n),
@@ -160,6 +186,8 @@ def generate_workload(
                 modulus=n,
                 request_id=f"{seed}-{i:05d}",
                 deadline=t,
+                priority=priority,
+                budget_s=budget,
             )
         )
         arrivals.append(t)

@@ -53,13 +53,31 @@ class TestStateMachine:
         clock.now = 10.0
         assert brk.state == "half_open"
 
-    def test_half_open_admits_only_the_probe_quota(self, clock):
+    def test_half_open_serializes_to_one_inflight_probe(self, clock):
+        # Probes are strictly serialized: even with half_open_probes=2
+        # (successes needed to close), only ONE probe may be in flight —
+        # a second concurrent allow() is refused until the first settles.
         brk = make(clock, half_open_probes=2)
         for _ in range(3):
             brk.record_failure()
         clock.now = 11.0
-        assert brk.allow() and brk.allow()
-        assert not brk.allow()  # third probe rejected
+        assert brk.allow()
+        assert not brk.allow()  # concurrent probe rejected
+        brk.record_success()  # probe settles → slot frees
+        assert brk.state == "half_open"
+        assert brk.allow()
+        assert not brk.allow()  # still one at a time
+
+    def test_probe_failure_frees_the_slot_too(self, clock):
+        brk = make(clock, half_open_probes=2)
+        for _ in range(3):
+            brk.record_failure()
+        clock.now = 11.0
+        assert brk.allow()
+        brk.record_failure()  # settles the probe and re-opens
+        assert brk.state == "open"
+        clock.now = 22.0  # fresh cooldown elapses
+        assert brk.allow()  # slot was not leaked by the failed probe
 
     def test_probe_successes_close(self, clock):
         brk = make(clock, half_open_probes=2)

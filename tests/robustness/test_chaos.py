@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.errors import InjectedFault, ParameterError
+from repro.errors import InjectedFault, ParameterError, WireFormatError
 from repro.robustness.chaos import ChaosConfig, FaultDecision, FaultPlan
+from repro.serving.request import ModExpRequest
+from repro.serving.wire import decode_batch_frame, encode_batch_frame
 
 
 class TestConfig:
@@ -79,3 +81,54 @@ class TestApply:
             assert corrupted != 42
             assert bin(corrupted ^ 42).count("1") == 1
             assert (corrupted ^ 42).bit_length() <= n.bit_length()
+
+
+class TestFrameFaults:
+    """Per-batch wire faults: seeded decisions, surgical frame damage."""
+
+    def _frame(self) -> bytes:
+        return encode_batch_frame(
+            7, [ModExpRequest(4, 13, 497, request_id="f")]
+        )
+
+    def test_frame_decisions_deterministic_per_batch_and_attempt(self):
+        plan = FaultPlan(ChaosConfig(seed=3, corrupt_frame_rate=0.5))
+        a = [plan.decide_frame(i, 0) for i in range(50)]
+        b = [plan.decide_frame(i, 0) for i in range(50)]
+        assert a == b
+
+    def test_frame_attempts_draw_independently(self):
+        plan = FaultPlan(ChaosConfig(seed=3, corrupt_frame_rate=0.5))
+        kinds = {plan.decide_frame(7, a).kind for a in range(30)}
+        assert None in kinds and "corrupt_frame" in kinds
+
+    def test_inactive_config_never_faults_the_wire(self):
+        plan = FaultPlan(ChaosConfig(seed=3, bitflip_rate=0.5))
+        assert not any(plan.decide_frame(i, 0) for i in range(50))
+
+    def test_corrupt_frame_flips_one_byte_past_the_header(self):
+        plan = FaultPlan(ChaosConfig(seed=0, corrupt_frame_rate=1.0))
+        frame = self._frame()
+        mangled = plan.mangle_frame(
+            FaultDecision(kind="corrupt_frame", bit=1234), frame
+        )
+        assert len(mangled) == len(frame)
+        assert mangled[:9] == frame[:9]  # receiver can still requeue
+        diffs = [i for i, (x, y) in enumerate(zip(frame, mangled)) if x != y]
+        assert len(diffs) == 1 and diffs[0] >= 9
+        with pytest.raises(WireFormatError, match="checksum mismatch"):
+            decode_batch_frame(mangled)
+
+    def test_truncate_frame_keeps_at_least_the_header(self):
+        plan = FaultPlan(ChaosConfig(seed=0, truncate_frame_rate=1.0))
+        frame = self._frame()
+        mangled = plan.mangle_frame(
+            FaultDecision(kind="truncate_frame", bit=5), frame
+        )
+        assert 9 <= len(mangled) < len(frame)
+        assert mangled == frame[: len(mangled)]  # a prefix, not damage
+
+    def test_slow_frame_leaves_the_bytes_alone(self):
+        plan = FaultPlan(ChaosConfig(seed=0, slow_frame_rate=1.0))
+        frame = self._frame()
+        assert plan.mangle_frame(FaultDecision(kind="slow_frame"), frame) == frame

@@ -35,6 +35,43 @@ class TestBackoff:
             RetryPolicy(jitter=2.0)
 
 
+class TestDeadlineClamp:
+    """Backoff bounded by the remaining deadline; fail fast when it
+    cannot cover another attempt."""
+
+    def test_backoff_clamped_to_remaining_budget(self):
+        p = RetryPolicy(max_attempts=4, backoff_s=0.1, jitter=0.0)
+        assert p.backoff("r", 1) == pytest.approx(0.1)
+        assert p.backoff("r", 1, remaining_s=0.02) == pytest.approx(0.02)
+
+    def test_negative_remaining_means_no_sleep(self):
+        p = RetryPolicy(max_attempts=4, backoff_s=0.1, jitter=0.0)
+        assert p.backoff("r", 1, remaining_s=-1.0) == 0.0
+
+    def test_no_deadline_retries_up_to_max_attempts(self):
+        p = RetryPolicy(max_attempts=3, backoff_s=0.1)
+        assert p.worth_retrying(2, None)  # attempt 3 is the last allowed
+        assert not p.worth_retrying(3, None)  # attempt 4 would exceed
+
+    def test_fails_fast_when_budget_cannot_cover_the_backoff(self):
+        # Floor for attempt 1's sleep is backoff_s × (1 − jitter) = 0.1.
+        p = RetryPolicy(max_attempts=5, backoff_s=0.1, jitter=0.0)
+        assert p.worth_retrying(1, 0.2)
+        assert not p.worth_retrying(1, 0.05)
+
+    def test_attempt_cost_counts_against_the_budget(self):
+        # 0.2 s remaining covers the 0.1 s sleep but not sleep + a
+        # 0.15 s attempt: retrying would only miss the deadline later.
+        p = RetryPolicy(max_attempts=5, backoff_s=0.1, jitter=0.0)
+        assert not p.worth_retrying(1, 0.2, attempt_cost_s=0.15)
+        assert p.worth_retrying(1, 0.3, attempt_cost_s=0.15)
+
+    def test_first_retry_of_zero_backoff_policy_needs_any_budget(self):
+        p = RetryPolicy(max_attempts=3, backoff_s=0.0)
+        assert p.worth_retrying(1, 0.001)
+        assert not p.worth_retrying(1, 0.0)
+
+
 class TestBudget:
     def test_bounds_concurrent_retries(self):
         b = RetryBudget(2)

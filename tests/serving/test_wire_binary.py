@@ -21,9 +21,12 @@ from repro.errors import WireFormatError
 from repro.serving.request import ModExpRequest
 from repro.serving.wire import (
     MAX_FRAME,
+    batch_frame_cheap_mode,
     decode_batch_frame,
+    decode_nack_frame,
     decode_result_frame,
     encode_batch_frame,
+    encode_nack_frame,
     encode_result_frame,
     iter_frames,
     parse_request_line,
@@ -43,6 +46,13 @@ EDGE_VALUES = (_JSON_SAFE_INT - 1, _JSON_SAFE_INT, _JSON_SAFE_INT + 1)
 def _rsa2048_modulus() -> int:
     n = random.Random("wire-rsa2048").getrandbits(2048) | (1 << 2047)
     return n | 1  # odd, full 2048 bits
+
+
+def _reseal(body: bytes) -> bytes:
+    """Stamp a fresh crc32 trailer onto a hand-patched frame body."""
+    import zlib
+
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
 
 
 class TestBigIntEdges:
@@ -140,6 +150,69 @@ class TestBigIntEdges:
             assert want_telemetry is flag
 
 
+class TestDeadlinePriorityWire:
+    """Deadlines, priority classes and the degradation control frames."""
+
+    def test_deadline_and_priority_ride_the_binary_frame(self):
+        requests = [
+            ModExpRequest(
+                2, 3, 97, request_id="i",
+                priority="interactive", expires_at=1234.5,
+            ),
+            ModExpRequest(4, 5, 97, request_id="b"),
+        ]
+        _, _, _, out = decode_batch_frame(encode_batch_frame(8, requests))
+        assert out[0].priority == "interactive"
+        assert out[0].expires_at == 1234.5  # f64 is bit-exact
+        assert out[1].priority == "batch"
+        assert out[1].expires_at is None
+
+    def test_nack_frame_round_trip(self):
+        payload = encode_nack_frame(42, "unknown batch flags 0xf0")
+        assert decode_nack_frame(payload) == (42, "unknown batch flags 0xf0")
+        # batch_id 0 is the "header unreadable" sentinel.
+        assert decode_nack_frame(encode_nack_frame(0, "garbage"))[0] == 0
+
+    def test_nack_decoder_rejects_other_kinds(self):
+        batch = encode_batch_frame(
+            1, [ModExpRequest(4, 13, 497, request_id="x")]
+        )
+        with pytest.raises(WireFormatError, match="nack frame"):
+            decode_nack_frame(batch)
+
+    def test_cheap_mode_flag_peekable_without_full_decode(self):
+        requests = [ModExpRequest(2, 3, 97, request_id="c")]
+        cheap = encode_batch_frame(6, requests, cheap_mode=True)
+        plain = encode_batch_frame(6, requests)
+        assert batch_frame_cheap_mode(cheap) is True
+        assert batch_frame_cheap_mode(plain) is False
+        # The flag is a legal bflag: the full decoder still accepts it.
+        _, _, want_telemetry, out = decode_batch_frame(cheap)
+        assert want_telemetry and out[0].request_id == "c"
+
+    def test_budget_and_priority_round_trip_through_json(self):
+        original = ModExpRequest(
+            2, 3, 97, request_id="j", priority="interactive", budget_s=0.25
+        )
+        parsed = parse_request_line(request_to_json(original))
+        assert parsed == original
+        assert json.loads(request_to_json(original))["budget_ms"] == 250.0
+
+    def test_non_positive_budget_ms_rejected(self):
+        line = json.dumps(
+            {"id": "z", "base": 2, "exponent": 3, "modulus": 97, "budget_ms": 0}
+        )
+        with pytest.raises(WireFormatError, match="budget_ms"):
+            parse_request_line(line)
+
+    def test_unknown_priority_class_rejected(self):
+        line = json.dumps(
+            {"base": 2, "exponent": 3, "modulus": 97, "priority": "urgent"}
+        )
+        with pytest.raises(WireFormatError):
+            parse_request_line(line)
+
+
 class TestFraming:
     def test_stream_round_trip(self):
         requests = [ModExpRequest(4, 13, 497, request_id="s")]
@@ -188,8 +261,13 @@ class TestFraming:
         payload = encode_batch_frame(
             1, [ModExpRequest(4, 13, 497, request_id="x")]
         )
-        with pytest.raises(WireFormatError, match="trailing"):
+        # Appended bytes break the checksum before structural parsing...
+        with pytest.raises(WireFormatError, match="checksum"):
             decode_batch_frame(payload + b"\x00")
+        # ...and even a correctly re-sealed payload with junk between the
+        # last request and the trailer is rejected structurally.
+        with pytest.raises(WireFormatError, match="trailing"):
+            decode_batch_frame(_reseal(payload[:-4] + b"\x00"))
 
     def test_wrong_frame_kind_rejected(self):
         batch = encode_batch_frame(
@@ -208,10 +286,11 @@ class TestFraming:
         good = encode_batch_frame(
             1, [ModExpRequest(4, 13, 497, request_id="x")]
         )
-        # Patch the modulus bytes (497 = 0x01F1) to an even value.
+        # Patch the modulus bytes (497 = 0x01F1) to an even value and
+        # re-seal so the semantic check is reached, not the checksum.
         bad = good.replace((497).to_bytes(2, "big"), (498).to_bytes(2, "big"), 1)
         with pytest.raises(WireFormatError, match="invalid request"):
-            decode_batch_frame(bad)
+            decode_batch_frame(_reseal(bad[:-4]))
 
     def test_mixed_modulus_batch_refused_at_encode(self):
         requests = [

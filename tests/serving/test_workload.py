@@ -30,6 +30,10 @@ class TestConfigScreen:
             {"burst_factor": 0.5},
             {"burst_every": 0.0},
             {"burst_len": 2.0},
+            {"interactive_share": 1.5},
+            {"interactive_share": -0.1},
+            {"interactive_budget_s": 0.0},
+            {"batch_budget_s": -1.0},
         ],
     )
     def test_bad_knobs_rejected(self, kw):
@@ -97,6 +101,50 @@ class TestShape:
         )
         # Same request count arrives in less simulated time under bursts.
         assert bursty.arrivals[-1] < calm.arrivals[-1]
+
+
+class TestPriorityMix:
+    def test_default_mix_is_all_batch_with_no_budgets(self):
+        w = generate_workload(_cfg(), seed="mix0")
+        assert all(r.priority == "batch" for r in w.requests)
+        assert all(r.budget_s is None for r in w.requests)
+
+    def test_share_splits_classes_and_assigns_class_budgets(self):
+        w = generate_workload(
+            _cfg(
+                requests=400,
+                interactive_share=0.5,
+                interactive_budget_s=0.05,
+                batch_budget_s=2.0,
+            ),
+            seed="mix",
+        )
+        interactive = [r for r in w.requests if r.priority == "interactive"]
+        batch = [r for r in w.requests if r.priority == "batch"]
+        assert 120 < len(interactive) < 280  # ~half, seeded draw
+        assert len(interactive) + len(batch) == 400
+        assert all(r.budget_s == 0.05 for r in interactive)
+        assert all(r.budget_s == 2.0 for r in batch)
+
+    def test_priority_draw_rides_the_trace_seed(self):
+        kw = dict(requests=200, interactive_share=0.3)
+        a = generate_workload(_cfg(**kw), seed="p")
+        b = generate_workload(_cfg(**kw), seed="p")
+        assert [r.priority for r in a.requests] == [
+            r.priority for r in b.requests
+        ]
+
+    def test_priority_mix_survives_the_wire(self):
+        # 0.25 s is exact in binary, so budget_ms → budget_s round-trips
+        # bit-identically through the JSON float detour.
+        w = generate_workload(
+            _cfg(requests=20, interactive_share=0.5, interactive_budget_s=0.25),
+            seed="pw",
+        )
+        for req in w.requests:
+            back = parse_request_line(request_to_json(req))
+            assert back.priority == req.priority
+            assert back.budget_s == req.budget_s
 
 
 class TestWireCompat:
